@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! CB bucket size, activation checkpointing, P_a, and the MD arena.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zero_bench::bench_setup;
+use zero_comm::Grid;
+use zero_core::{run_training, ZeroStage};
+
+fn bench_bucket_size(c: &mut Criterion) {
+    // §6.2: the constant buffer must be "large enough to remain
+    // efficient" — small buckets mean many small collectives.
+    let mut g = c.benchmark_group("cb_bucket_size");
+    g.sample_size(10);
+    for bucket in [256usize, 4096, 1 << 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(bucket), &bucket, |b, &bucket| {
+            let mut setup = bench_setup(ZeroStage::Two, 4);
+            setup.zero.bucket_elems = bucket;
+            b.iter(|| run_training(&setup, 2, 0).losses[1]);
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    // §3.2: checkpointing trades ~33% recompute for memory.
+    let mut g = c.benchmark_group("activation_checkpointing");
+    g.sample_size(10);
+    for ckpt in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if ckpt { "recompute" } else { "stash" }),
+            &ckpt,
+            |b, &ckpt| {
+                let mut setup = bench_setup(ZeroStage::Two, 2);
+                setup.zero.checkpoint_activations = ckpt;
+                b.iter(|| run_training(&setup, 2, 0).losses[1]);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pa(c: &mut Criterion) {
+    // §6.1: P_a adds one MP all-gather per block per step.
+    let mut g = c.benchmark_group("partitioned_activations");
+    g.sample_size(10);
+    for pa in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if pa { "pa" } else { "replicated" }),
+            &pa,
+            |b, &pa| {
+                let mut setup = bench_setup(ZeroStage::Two, 2);
+                setup.grid = Grid::new(2, 2);
+                setup.zero.checkpoint_activations = true;
+                setup.zero.partition_activations = pa;
+                b.iter(|| run_training(&setup, 2, 0).losses[1]);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_arena(c: &mut Criterion) {
+    // §6.3: the MD arena avoids allocator churn for checkpoints.
+    let mut g = c.benchmark_group("md_arena");
+    g.sample_size(10);
+    for arena in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if arena { "arena" } else { "malloc" }),
+            &arena,
+            |b, &arena| {
+                let mut setup = bench_setup(ZeroStage::Two, 2);
+                setup.zero.checkpoint_activations = true;
+                setup.zero.use_arena = arena;
+                b.iter(|| run_training(&setup, 2, 0).losses[1]);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bucket_size, bench_checkpointing, bench_pa, bench_arena);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ring-collective microbenchmarks: the §7 primitives.
+//!
+//! Verifies the performance premise behind the paper's volume analysis:
+//! all-reduce ≈ reduce-scatter + all-gather in cost, and per-rank work
+//! scales with buffer size, not rank count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zero_comm::{launch, Precision, ReduceOp};
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("all_reduce");
+    for &len in &[1usize << 10, 1 << 14, 1 << 18] {
+        g.throughput(Throughput::Bytes((len * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("ranks4", len), &len, |b, &len| {
+            b.iter(|| {
+                launch(4, |mut comm| {
+                    let mut buf = vec![comm.rank() as f32; len];
+                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    buf[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce_scatter_plus_all_gather(c: &mut Criterion) {
+    // §7.1: an all-reduce is a reduce-scatter followed by an all-gather;
+    // the pair should cost about the same as the fused all-reduce.
+    let len = 1usize << 14;
+    let mut g = c.benchmark_group("rs_plus_ag_vs_allreduce");
+    g.throughput(Throughput::Bytes((len * 4) as u64));
+    g.bench_function("rs_then_ag", |b| {
+        b.iter(|| {
+            launch(4, |mut comm| {
+                let input = vec![comm.rank() as f32; len];
+                let shard_len = zero_comm::chunk_range(len, 4, comm.rank()).len();
+                let mut shard = vec![0.0; shard_len];
+                comm.reduce_scatter(&input, &mut shard, ReduceOp::Sum, Precision::Fp32);
+                let mut out = vec![0.0; len];
+                comm.all_gather(&shard, &mut out, Precision::Fp32);
+                out[0]
+            })
+        });
+    });
+    g.bench_function("fused_allreduce", |b| {
+        b.iter(|| {
+            launch(4, |mut comm| {
+                let mut buf = vec![comm.rank() as f32; len];
+                comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                buf[0]
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let len = 1usize << 14;
+    let mut g = c.benchmark_group("all_reduce_rank_scaling");
+    for &n in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                launch(n, |mut comm| {
+                    let mut buf = vec![1.0_f32; len];
+                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    buf[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let len = 1usize << 14;
+    c.bench_function("broadcast_4ranks_64KB", |b| {
+        b.iter(|| {
+            launch(4, |mut comm| {
+                let mut buf = vec![comm.rank() as f32; len];
+                comm.broadcast(0, &mut buf, Precision::Fp32);
+                buf[0]
+            })
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all_reduce,
+        bench_reduce_scatter_plus_all_gather,
+        bench_rank_scaling,
+        bench_broadcast
+);
+criterion_main!(benches);

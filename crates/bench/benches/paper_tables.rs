@@ -1,0 +1,56 @@
+//! One bench target per paper table/figure: times the regeneration
+//! drivers (the analytical ones are microseconds; `fig5` — the real
+//! training run — is exercised with a 4-step budget here and in full by
+//! `cargo run --release -p zero-sim --bin fig5`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zero_comm::Grid;
+use zero_core::{run_training, TrainSetup, ZeroConfig, ZeroStage};
+use zero_model::ModelConfig;
+use zero_sim::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(experiments::table1));
+    c.bench_function("table2", |b| b.iter(experiments::table2));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig1", |b| b.iter(experiments::fig1));
+    c.bench_function("fig2", |b| b.iter(experiments::fig2));
+    c.bench_function("fig3", |b| b.iter(experiments::fig3));
+    c.bench_function("fig4", |b| b.iter(experiments::fig4));
+    c.bench_function("fig6", |b| b.iter(experiments::fig6));
+    c.bench_function("fig7", |b| b.iter(experiments::fig7));
+    c.bench_function("fig8", |b| b.iter(experiments::fig8));
+}
+
+fn bench_fig5_training(c: &mut Criterion) {
+    // A 4-step slice of the Figure 5 substitute's real training loop.
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("train_4steps_small_model", |b| {
+        let setup = TrainSetup {
+            model: ModelConfig {
+                vocab: 64,
+                seq: 32,
+                hidden: 48,
+                layers: 2,
+                heads: 4,
+            },
+            zero: ZeroConfig {
+                stage: ZeroStage::Two,
+                fp16: true,
+                initial_loss_scale: 128.0,
+                ..ZeroConfig::default()
+            },
+            grid: Grid::new(2, 1),
+            global_batch: 8,
+            seed: 11,
+        };
+        b.iter(|| run_training(&setup, 4, 0).losses[3]);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_fig5_training);
+criterion_main!(benches);

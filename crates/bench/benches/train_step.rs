@@ -1,0 +1,58 @@
+//! Full-engine training-step benchmarks: per ZeRO stage and per DP degree.
+//!
+//! Wall-clock here measures the *functional* engine (CPU threads), not the
+//! paper's GPUs; the interesting comparisons are relative — stage overheads
+//! and the cost of stage 3's extra parameter gathers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zero_bench::bench_setup;
+use zero_core::{run_training, ZeroStage};
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_step_by_stage");
+    g.sample_size(10);
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(stage.name()),
+            &stage,
+            |b, &stage| {
+                let setup = bench_setup(stage, 4);
+                b.iter(|| run_training(&setup, 2, 0).losses[1]);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_step_by_dp");
+    g.sample_size(10);
+    for dp in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(dp), &dp, |b, &dp| {
+            let mut setup = bench_setup(ZeroStage::Two, dp);
+            setup.global_batch = 8; // fixed global batch: strong scaling
+            b.iter(|| run_training(&setup, 2, 0).losses[1]);
+        });
+    }
+    g.finish();
+}
+
+fn bench_mp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_step_mp");
+    g.sample_size(10);
+    for (dp, mp) in [(4usize, 1usize), (2, 2), (1, 4)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("dp{dp}xmp{mp}")),
+            &(dp, mp),
+            |b, &(dp, mp)| {
+                let mut setup = bench_setup(ZeroStage::Two, dp);
+                setup.grid = zero_comm::Grid::new(dp, mp);
+                b.iter(|| run_training(&setup, 2, 0).losses[1]);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_dp_scaling, bench_mp);
+criterion_main!(benches);

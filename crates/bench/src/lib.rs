@@ -1,0 +1,44 @@
+//! # zero-bench
+//!
+//! Criterion benchmark harness for the ZeRO reproduction. The library
+//! itself only hosts shared fixtures; the benches live under `benches/`:
+//!
+//! * `collectives` — ring all-reduce / reduce-scatter / all-gather
+//!   latency scaling (the §7 primitives).
+//! * `kernels` — GEMM/layernorm/softmax/attention substrate.
+//! * `train_step` — full engine step per ZeRO stage.
+//! * `paper_tables` — one target per paper table/figure, timing the
+//!   regeneration drivers.
+//! * `ablations` — bucket-size (CB), checkpointing, and P_a ablations.
+
+use zero_comm::Grid;
+use zero_core::{TrainSetup, ZeroConfig, ZeroStage};
+use zero_model::ModelConfig;
+
+/// The standard small benchmark model (large enough that per-step work
+/// dominates harness overhead, small enough for quick iterations).
+pub fn bench_model() -> ModelConfig {
+    ModelConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 64,
+        layers: 2,
+        heads: 4,
+    }
+}
+
+/// A ready-to-run setup for a stage at a DP degree.
+pub fn bench_setup(stage: ZeroStage, dp: usize) -> TrainSetup {
+    TrainSetup {
+        model: bench_model(),
+        zero: ZeroConfig {
+            stage,
+            fp16: true,
+            initial_loss_scale: 1.0,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(dp, 1),
+        global_batch: 8,
+        seed: 1,
+    }
+}

@@ -1,0 +1,824 @@
+//! Ring collectives.
+//!
+//! These are the same pipelined ring schedules NCCL uses, which is what
+//! makes the paper's volume arithmetic hold: a ring all-reduce of Ψ
+//! elements moves 2Ψ·(N−1)/N per rank (reduce-scatter Ψ·(N−1)/N plus
+//! all-gather Ψ·(N−1)/N), which §7.1 rounds to 2Ψ.
+//!
+//! All collectives run over an explicit member list so the same code serves
+//! the full world and DP/MP subgroups (§ "ZeRO and MP"). Chunking is
+//! balanced-uneven (no padding): chunk `i` of `total` over `n` ranks has
+//! `total/n + (i < total%n)` elements, and member `i` owns chunk `i`.
+
+use crate::group::Group;
+use crate::stats::CollectiveKind;
+use crate::world::Communicator;
+
+/// Reduction operator for reduce-style collectives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise sum divided by the group size.
+    Mean,
+    /// Elementwise maximum.
+    Max,
+}
+
+/// Logical element width for traffic accounting.
+///
+/// In-process payloads always travel widened to `f32`, but fp16 tensors
+/// must be *accounted* at 2 bytes/element for the paper's arithmetic
+/// (gradients and parameters are fp16 in mixed-precision training).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// 4 bytes per element.
+    Fp32,
+    /// 2 bytes per element.
+    Fp16,
+}
+
+impl Precision {
+    /// Bytes per element.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+}
+
+/// The element range of chunk `i` when `total` elements are split over `n`
+/// owners: sizes differ by at most one, larger chunks first.
+pub fn chunk_range(total: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < n);
+    let base = total / n;
+    let rem = total % n;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..start + len
+}
+
+/// Converts explicit per-member chunk lengths into contiguous ranges.
+fn ranges_from_counts(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut cursor = 0;
+    for &c in counts {
+        out.push(cursor..cursor + c);
+        cursor += c;
+    }
+    out
+}
+
+#[inline]
+fn apply(op: ReduceOp, dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    match op {
+        ReduceOp::Sum | ReduceOp::Mean => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        ReduceOp::Max => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = d.max(s);
+            }
+        }
+    }
+}
+
+#[inline]
+fn finalize(op: ReduceOp, buf: &mut [f32], n: usize) {
+    if op == ReduceOp::Mean {
+        let inv = 1.0 / n as f32;
+        for v in buf {
+            *v *= inv;
+        }
+    }
+}
+
+impl Communicator {
+    // ----- world-wide convenience wrappers -----
+
+    /// Ring all-reduce over the whole world, in place.
+    pub fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+        let g = Group::world(self.world_size());
+        self.all_reduce_in(&g, buf, op, prec);
+    }
+
+    /// Ring reduce-scatter over the whole world. `input` has the full
+    /// length; this rank's reduced chunk is written to `out`, which must
+    /// have exactly `chunk_range(len, n, rank).len()` elements.
+    pub fn reduce_scatter(&mut self, input: &[f32], out: &mut [f32], op: ReduceOp, prec: Precision) {
+        let g = Group::world(self.world_size());
+        self.reduce_scatter_in(&g, input, out, op, prec);
+    }
+
+    /// Ring all-gather over the whole world: this rank contributes `shard`
+    /// (its chunk of `out`), and `out` receives every rank's chunk.
+    pub fn all_gather(&mut self, shard: &[f32], out: &mut [f32], prec: Precision) {
+        let g = Group::world(self.world_size());
+        self.all_gather_in(&g, shard, out, prec);
+    }
+
+    /// Pipelined broadcast from `root` (a global rank) over the whole world.
+    pub fn broadcast(&mut self, root: usize, buf: &mut [f32], prec: Precision) {
+        let g = Group::world(self.world_size());
+        self.broadcast_in(&g, root, buf, prec);
+    }
+
+    /// Chain reduce to `root` (a global rank); only the root's `buf` holds
+    /// the result afterwards.
+    pub fn reduce(&mut self, root: usize, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+        let g = Group::world(self.world_size());
+        self.reduce_in(&g, root, buf, op, prec);
+    }
+
+    // ----- group collectives -----
+
+    /// Ring all-reduce within `group`, in place.
+    ///
+    /// # Panics
+    /// Panics if this rank is not a member of `group`.
+    pub fn all_reduce_in(&mut self, group: &Group, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+        let n = group.len();
+        if n == 1 {
+            finalize(op, buf, 1);
+            return;
+        }
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let total = buf.len();
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+
+        // Phase 1: reduce-scatter. After n−1 steps this rank holds the
+        // fully reduced chunk `idx`.
+        for step in 0..n - 1 {
+            let send_c = (idx + 2 * n - 1 - step) % n;
+            let recv_c = (idx + 2 * n - 2 - step) % n;
+            let payload = buf[chunk_range(total, n, send_c)].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes);
+            let incoming = self.recv_raw(prev);
+            apply(op, &mut buf[chunk_range(total, n, recv_c)], &incoming);
+        }
+        // Phase 2: all-gather the reduced chunks around the ring.
+        for step in 0..n - 1 {
+            let send_c = (idx + n - step) % n;
+            let recv_c = (idx + 2 * n - 1 - step) % n;
+            let payload = buf[chunk_range(total, n, send_c)].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes);
+            let incoming = self.recv_raw(prev);
+            buf[chunk_range(total, n, recv_c)].copy_from_slice(&incoming);
+        }
+        finalize(op, buf, n);
+    }
+
+    /// Ring reduce-scatter within `group`: member `i` receives reduced
+    /// chunk `i` of `input` into `out`, with balanced chunk sizes.
+    ///
+    /// # Panics
+    /// Panics if this rank is not in `group` or `out` has the wrong length.
+    pub fn reduce_scatter_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) {
+        let n = group.len();
+        let counts: Vec<usize> = (0..n).map(|i| chunk_range(input.len(), n, i).len()).collect();
+        self.reduce_scatter_var_in(group, input, out, op, &counts, prec);
+    }
+
+    /// Ring reduce-scatter with explicit per-member chunk lengths
+    /// (`counts[i]` elements go to group member `i`; `Σ counts` must equal
+    /// `input.len()`). Zero counts are allowed — ZeRO's flat-space
+    /// partitioning produces uneven and sometimes empty intersections
+    /// between a layer's parameter range and a rank's shard.
+    ///
+    /// # Panics
+    /// Panics on membership or length inconsistencies.
+    pub fn reduce_scatter_var_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        counts: &[usize],
+        prec: Precision,
+    ) {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "reduce_scatter: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let ranges = ranges_from_counts(counts);
+        assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
+        if n == 1 {
+            out.copy_from_slice(input);
+            finalize(op, out, 1);
+            return;
+        }
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+
+        // Working copy: the ring mutates chunks as partial sums flow.
+        let mut work = input.to_vec();
+        for step in 0..n - 1 {
+            let send_c = (idx + 2 * n - 1 - step) % n;
+            let recv_c = (idx + 2 * n - 2 - step) % n;
+            let payload = work[ranges[send_c].clone()].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::ReduceScatter, bytes);
+            let incoming = self.recv_raw(prev);
+            apply(op, &mut work[ranges[recv_c].clone()], &incoming);
+        }
+        out.copy_from_slice(&work[ranges[idx].clone()]);
+        finalize(op, out, n);
+    }
+
+    /// Ring all-gather within `group`: member `i` contributes chunk `i`,
+    /// with balanced chunk sizes.
+    ///
+    /// # Panics
+    /// Panics if this rank is not in `group` or the lengths are inconsistent.
+    pub fn all_gather_in(&mut self, group: &Group, shard: &[f32], out: &mut [f32], prec: Precision) {
+        let n = group.len();
+        let counts: Vec<usize> = (0..n).map(|i| chunk_range(out.len(), n, i).len()).collect();
+        self.all_gather_var_in(group, shard, out, &counts, prec);
+    }
+
+    /// Ring all-gather with explicit per-member chunk lengths (`counts[i]`
+    /// elements contributed by member `i`; `Σ counts` = `out.len()`).
+    /// Zero counts are allowed.
+    ///
+    /// # Panics
+    /// Panics on membership or length inconsistencies.
+    pub fn all_gather_var_in(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        out: &mut [f32],
+        counts: &[usize],
+        prec: Precision,
+    ) {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "all_gather: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather: counts sum");
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let ranges = ranges_from_counts(counts);
+        assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
+        out[ranges[idx].clone()].copy_from_slice(shard);
+        if n == 1 {
+            return;
+        }
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+        for step in 0..n - 1 {
+            let send_c = (idx + n - step) % n;
+            let recv_c = (idx + 2 * n - 1 - step) % n;
+            let payload = out[ranges[send_c].clone()].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::AllGather, bytes);
+            let incoming = self.recv_raw(prev);
+            out[ranges[recv_c].clone()].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Pipelined broadcast within `group` from global rank `root`.
+    ///
+    /// # Panics
+    /// Panics if this rank or `root` is not in `group`.
+    pub fn broadcast_in(&mut self, group: &Group, root: usize, buf: &mut [f32], prec: Precision) {
+        let n = group.len();
+        if n == 1 {
+            return;
+        }
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let root_idx = group.local_index(root).expect("root not in group");
+        // Position along the chain starting at the root.
+        let pos = (idx + n - root_idx) % n;
+        let bytes = prec.bytes() * buf.len() as u64;
+        if pos > 0 {
+            let prev = group.members()[(idx + n - 1) % n];
+            let incoming = self.recv_raw(prev);
+            buf.copy_from_slice(&incoming);
+        }
+        if pos < n - 1 {
+            let next = group.members()[(idx + 1) % n];
+            self.send_raw(next, buf.to_vec(), CollectiveKind::Broadcast, bytes);
+        }
+    }
+
+    /// Chain reduce within `group` to global rank `root`. Afterwards only
+    /// the root's `buf` holds the reduced result; other members' buffers
+    /// are unchanged.
+    ///
+    /// # Panics
+    /// Panics if this rank or `root` is not in `group`.
+    pub fn reduce_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) {
+        let n = group.len();
+        if n == 1 {
+            finalize(op, buf, 1);
+            return;
+        }
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let root_idx = group.local_index(root).expect("root not in group");
+        // Chain: the member farthest *after* the root sends first; partial
+        // sums flow backwards around the ring into the root.
+        let pos = (idx + n - root_idx) % n; // root has pos 0
+        let bytes = prec.bytes() * buf.len() as u64;
+        if pos == 0 {
+            // Root: receive one partial-sum message from its successor.
+            let next = group.members()[(idx + 1) % n];
+            let incoming = self.recv_raw(next);
+            apply(op, buf, &incoming);
+            finalize(op, buf, n);
+        } else {
+            let mut work = buf.to_vec();
+            if pos < n - 1 {
+                let next = group.members()[(idx + 1) % n];
+                let incoming = self.recv_raw(next);
+                apply(op, &mut work, &incoming);
+            }
+            let prev = group.members()[(idx + n - 1) % n];
+            self.send_raw(prev, work, CollectiveKind::Reduce, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{launch, launch_with_stats};
+
+    #[test]
+    fn chunk_ranges_cover_and_are_balanced() {
+        for total in [0usize, 1, 7, 64, 65] {
+            for n in [1usize, 2, 3, 5, 8] {
+                let mut covered = 0;
+                let mut sizes = Vec::new();
+                for i in 0..n {
+                    let r = chunk_range(total, n, i);
+                    assert_eq!(r.start, covered, "chunks must be contiguous");
+                    covered = r.end;
+                    sizes.push(r.len());
+                }
+                assert_eq!(covered, total, "chunks must cover the buffer");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced within one element");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for len in [1usize, 5, 16, 33] {
+                let results = launch(n, |mut c| {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (c.rank() * 100 + i) as f32).collect();
+                    c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    buf
+                });
+                let want: Vec<f32> = (0..len)
+                    .map(|i| (0..n).map(|r| (r * 100 + i) as f32).sum())
+                    .collect();
+                for (rank, got) in results.iter().enumerate() {
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!((g - w).abs() < 1e-3, "n={n} len={len} rank={rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_divides() {
+        let results = launch(4, |mut c| {
+            let mut buf = vec![(c.rank() + 1) as f32; 8];
+            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32);
+            buf
+        });
+        for got in &results {
+            for &v in got {
+                assert!((v - 2.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_max() {
+        let results = launch(3, |mut c| {
+            let mut buf = vec![c.rank() as f32, -(c.rank() as f32)];
+            c.all_reduce(&mut buf, ReduceOp::Max, Precision::Fp32);
+            buf
+        });
+        for got in &results {
+            assert_eq!(got[0], 2.0);
+            assert_eq!(got[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_chunk() {
+        let n = 4;
+        let len = 10; // uneven: chunks of 3,3,2,2
+        let results = launch(n, |mut c| {
+            let input: Vec<f32> = (0..len).map(|i| (i + c.rank()) as f32).collect();
+            let my_len = chunk_range(len, n, c.rank()).len();
+            let mut out = vec![0.0; my_len];
+            c.reduce_scatter(&input, &mut out, ReduceOp::Sum, Precision::Fp32);
+            out
+        });
+        for (rank, got) in results.iter().enumerate() {
+            let r = chunk_range(len, n, rank);
+            for (j, &v) in got.iter().enumerate() {
+                let i = r.start + j;
+                let want: f32 = (0..n).map(|rr| (i + rr) as f32).sum();
+                assert_eq!(v, want, "rank {rank} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_reassembles() {
+        let n = 3;
+        let len = 8; // chunks 3,3,2
+        let results = launch(n, |mut c| {
+            let r = chunk_range(len, n, c.rank());
+            let shard: Vec<f32> = r.clone().map(|i| i as f32 * 2.0).collect();
+            let mut out = vec![0.0; len];
+            c.all_gather(&shard, &mut out, Precision::Fp32);
+            out
+        });
+        let want: Vec<f32> = (0..len).map(|i| i as f32 * 2.0).collect();
+        for got in &results {
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..4 {
+            let results = launch(4, move |mut c| {
+                let mut buf = if c.rank() == root {
+                    vec![42.0, root as f32]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                c.broadcast(root, &mut buf, Precision::Fp32);
+                buf
+            });
+            for got in &results {
+                assert_eq!(got, &vec![42.0, root as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_only() {
+        let results = launch(5, |mut c| {
+            let mut buf = vec![1.0_f32; 4];
+            c.reduce(2, &mut buf, ReduceOp::Sum, Precision::Fp32);
+            buf
+        });
+        assert_eq!(results[2], vec![5.0; 4]);
+        for (rank, got) in results.iter().enumerate() {
+            if rank != 2 {
+                assert_eq!(got, &vec![1.0; 4], "non-roots unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_volume_matches_ring_formula() {
+        // A ring all-reduce of `len` f32 elements sends 2·len·(n−1)/n
+        // elements per rank — the 2Ψ of §7.1.
+        let n = 4;
+        let len = 1024; // divisible by n so the formula is exact
+        let (_, snaps) = launch_with_stats(n, |mut c| {
+            let mut buf = vec![1.0_f32; len];
+            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+        });
+        let want = (2 * len * (n - 1) / n * 4) as u64;
+        for s in &snaps {
+            assert_eq!(s.bytes(CollectiveKind::AllReduce), want);
+        }
+    }
+
+    #[test]
+    fn fp16_accounting_halves_bytes() {
+        let n = 2;
+        let len = 100;
+        let (_, snaps) = launch_with_stats(n, |mut c| {
+            let mut buf = vec![1.0_f32; len];
+            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp16);
+        });
+        let want = (2 * len * (n - 1) / n * 2) as u64;
+        assert_eq!(snaps[0].bytes(CollectiveKind::AllReduce), want);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_local() {
+        let (_, snaps) = launch_with_stats(1, |mut c| {
+            let mut buf = vec![3.0_f32; 7];
+            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32);
+            assert_eq!(buf, vec![3.0; 7]);
+            let mut out = vec![0.0; 7];
+            c.reduce_scatter(&buf, &mut out, ReduceOp::Sum, Precision::Fp32);
+            assert_eq!(out, vec![3.0; 7]);
+            let mut gathered = vec![0.0; 7];
+            c.all_gather(&out, &mut gathered, Precision::Fp32);
+            assert_eq!(gathered, vec![3.0; 7]);
+        });
+        assert_eq!(snaps[0].total_bytes(), 0, "no traffic for world of 1");
+    }
+}
+
+#[cfg(test)]
+mod var_tests {
+    use super::*;
+    use crate::world::launch;
+
+    #[test]
+    fn var_reduce_scatter_with_uneven_and_zero_counts() {
+        let n = 4;
+        let counts = [5usize, 0, 2, 3];
+        let total: usize = counts.iter().sum();
+        let results = launch(n, move |mut c| {
+            let input: Vec<f32> = (0..total).map(|i| (i * (c.rank() + 1)) as f32).collect();
+            let mut out = vec![0.0; counts[c.rank()]];
+            let g = Group::world(n);
+            c.reduce_scatter_var_in(&g, &input, &mut out, ReduceOp::Sum, &counts, Precision::Fp32);
+            out
+        });
+        // Element i of the reduced buffer is i * (1+2+3+4) = 10i.
+        let mut offset = 0;
+        for (rank, cnt) in counts.iter().enumerate() {
+            for j in 0..*cnt {
+                assert_eq!(results[rank][j], (10 * (offset + j)) as f32, "rank {rank}");
+            }
+            offset += cnt;
+        }
+        assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn var_all_gather_with_uneven_and_zero_counts() {
+        let n = 3;
+        let counts = [4usize, 0, 3];
+        let total: usize = counts.iter().sum();
+        let results = launch(n, move |mut c| {
+            let mut offset = 0;
+            for r in 0..c.rank() {
+                offset += counts[r];
+            }
+            let shard: Vec<f32> = (0..counts[c.rank()]).map(|j| (offset + j) as f32).collect();
+            let mut out = vec![-1.0; total];
+            let g = Group::world(n);
+            c.all_gather_var_in(&g, &shard, &mut out, &counts, Precision::Fp32);
+            out
+        });
+        let want: Vec<f32> = (0..total).map(|i| i as f32).collect();
+        for got in &results {
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn var_versions_match_equal_versions() {
+        let n = 4;
+        let len = 12;
+        let results = launch(n, move |mut c| {
+            let input: Vec<f32> = (0..len).map(|i| (i + c.rank() * 3) as f32).collect();
+            let g = Group::world(n);
+            let mut out_a = vec![0.0; chunk_range(len, n, c.rank()).len()];
+            c.reduce_scatter_in(&g, &input, &mut out_a, ReduceOp::Mean, Precision::Fp32);
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
+            let mut out_b = vec![0.0; counts[c.rank()]];
+            c.reduce_scatter_var_in(&g, &input, &mut out_b, ReduceOp::Mean, &counts, Precision::Fp32);
+            (out_a, out_b)
+        });
+        for (a, b) in &results {
+            assert_eq!(a, b);
+        }
+    }
+}
+
+impl Communicator {
+    /// All-to-all within `group`: member `i` sends `chunks[j]` of its
+    /// input to member `j` and receives everyone's `i`-th chunk, in
+    /// member order. Equal chunking of `input.len()` over the group
+    /// (balanced like [`chunk_range`]); `out` must match `input` length.
+    ///
+    /// Used by expert-parallel (MoE) layouts; included for completeness
+    /// of the NCCL-substitute surface.
+    ///
+    /// # Panics
+    /// Panics on membership or length inconsistencies.
+    pub fn all_to_all_in(&mut self, group: &Group, input: &[f32], out: &mut [f32], prec: Precision) {
+        let n = group.len();
+        assert_eq!(input.len(), out.len(), "all_to_all: length mismatch");
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let total = input.len();
+        // Keep own chunk.
+        let own = chunk_range(total, n, idx);
+        out[own.clone()].copy_from_slice(&input[own]);
+        if n == 1 {
+            return;
+        }
+        // Pairwise exchange, ordered by offset to avoid deadlock: at each
+        // step s, exchange with partner (idx ^ does not work for non-power
+        // of two), so use send-to-(idx+s), recv-from-(idx-s) rounds.
+        for s in 1..n {
+            let to = group.members()[(idx + s) % n];
+            let from = group.members()[(idx + n - s) % n];
+            let send_chunk = chunk_range(total, n, (idx + s) % n);
+            let bytes = prec.bytes() * send_chunk.len() as u64;
+            self.send_raw(to, input[send_chunk].to_vec(), CollectiveKind::P2p, bytes);
+            let incoming = self.recv_raw(from);
+            let recv_chunk = chunk_range(total, n, (idx + n - s) % n);
+            assert_eq!(incoming.len(), recv_chunk.len(), "all_to_all: chunk mismatch");
+            out[recv_chunk].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Gather within `group`: every member's `shard` arrives at `root`'s
+    /// `out` (chunked in member order); non-roots may pass an empty `out`.
+    ///
+    /// # Panics
+    /// Panics on membership or length inconsistencies.
+    pub fn gather_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        shard: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) {
+        let n = group.len();
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let root_idx = group.local_index(root).expect("root not in group");
+        if idx == root_idx {
+            let total = out.len();
+            let own = chunk_range(total, n, idx);
+            assert_eq!(shard.len(), own.len(), "gather: bad root shard");
+            out[own].copy_from_slice(shard);
+            for j in 0..n {
+                if j == idx {
+                    continue;
+                }
+                let incoming = self.recv_raw(group.members()[j]);
+                let r = chunk_range(total, n, j);
+                assert_eq!(incoming.len(), r.len(), "gather: bad chunk from {j}");
+                out[r].copy_from_slice(&incoming);
+            }
+        } else {
+            let bytes = prec.bytes() * shard.len() as u64;
+            self.send_raw(root, shard.to_vec(), CollectiveKind::P2p, bytes);
+        }
+    }
+
+    /// Scatter within `group`: `root`'s `input` is chunked in member
+    /// order; member `i` receives chunk `i` into `shard`.
+    ///
+    /// # Panics
+    /// Panics on membership or length inconsistencies.
+    pub fn scatter_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        input: &[f32],
+        shard: &mut [f32],
+        prec: Precision,
+    ) {
+        let n = group.len();
+        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let root_idx = group.local_index(root).expect("root not in group");
+        if idx == root_idx {
+            let total = input.len();
+            for j in 0..n {
+                let r = chunk_range(total, n, j);
+                if j == idx {
+                    assert_eq!(shard.len(), r.len(), "scatter: bad root shard");
+                    shard.copy_from_slice(&input[r]);
+                } else {
+                    let bytes = prec.bytes() * r.len() as u64;
+                    self.send_raw(group.members()[j], input[r].to_vec(), CollectiveKind::P2p, bytes);
+                }
+            }
+        } else {
+            let incoming = self.recv_raw(root);
+            assert_eq!(incoming.len(), shard.len(), "scatter: bad chunk length");
+            shard.copy_from_slice(&incoming);
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_collective_tests {
+    use super::*;
+    use crate::world::launch;
+
+    #[test]
+    fn all_to_all_transposes_chunks() {
+        for n in [1usize, 2, 3, 4] {
+            let len = 12;
+            let results = launch(n, move |mut c| {
+                // Rank r's chunk j holds value 100·r + j.
+                let input: Vec<f32> = (0..len)
+                    .map(|i| {
+                        let j = (0..n).position(|k| chunk_range(len, n, k).contains(&i)).unwrap();
+                        (100 * c.rank() + j) as f32
+                    })
+                    .collect();
+                let mut out = vec![-1.0; len];
+                let g = Group::world(n);
+                c.all_to_all_in(&g, &input, &mut out, Precision::Fp32);
+                out
+            });
+            for (r, got) in results.iter().enumerate() {
+                for j in 0..n {
+                    for i in chunk_range(len, n, j) {
+                        assert_eq!(
+                            got[i],
+                            (100 * j + r) as f32,
+                            "n={n}: rank {r} chunk {j} element {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root_only() {
+        let n = 4;
+        let len = 10;
+        let results = launch(n, move |mut c| {
+            let shard: Vec<f32> = chunk_range(len, n, c.rank()).map(|i| i as f32).collect();
+            let mut out = if c.rank() == 2 { vec![0.0; len] } else { Vec::new() };
+            let g = Group::world(n);
+            c.gather_in(&g, 2, &shard, &mut out, Precision::Fp32);
+            out
+        });
+        let want: Vec<f32> = (0..len).map(|i| i as f32).collect();
+        assert_eq!(results[2], want);
+        assert!(results[0].is_empty() && results[3].is_empty());
+    }
+
+    #[test]
+    fn scatter_distributes_from_root() {
+        let n = 3;
+        let len = 8;
+        let results = launch(n, move |mut c| {
+            let input: Vec<f32> = if c.rank() == 1 {
+                (0..len).map(|i| i as f32 * 3.0).collect()
+            } else {
+                Vec::new()
+            };
+            let my_len = chunk_range(len, n, c.rank()).len();
+            let mut shard = vec![0.0; my_len];
+            let g = Group::world(n);
+            c.scatter_in(&g, 1, &input, &mut shard, Precision::Fp32);
+            shard
+        });
+        for (r, got) in results.iter().enumerate() {
+            let want: Vec<f32> = chunk_range(len, n, r).map(|i| i as f32 * 3.0).collect();
+            assert_eq!(got, &want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips() {
+        let n = 4;
+        let len = 13; // uneven
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let input: Vec<f32> = if c.rank() == 0 {
+                (0..len).map(|i| (i * i) as f32).collect()
+            } else {
+                Vec::new()
+            };
+            let my_len = chunk_range(len, n, c.rank()).len();
+            let mut shard = vec![0.0; my_len];
+            c.scatter_in(&g, 0, &input, &mut shard, Precision::Fp32);
+            let mut out = if c.rank() == 0 { vec![0.0; len] } else { Vec::new() };
+            c.gather_in(&g, 0, &shard, &mut out, Precision::Fp32);
+            out
+        });
+        let want: Vec<f32> = (0..13).map(|i| (i * i) as f32).collect();
+        assert_eq!(results[0], want);
+    }
+}

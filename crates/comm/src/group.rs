@@ -1,0 +1,177 @@
+//! Rank subgroups and the 2-D data-parallel × model-parallel grid.
+//!
+//! The paper combines ZeRO-DP with Megatron-style MP by running MP *within*
+//! a node and DP *across* nodes ("1024 GPUs with 16-way model parallelism
+//! within each DGX2 node and 64-way data parallelism across nodes", §1).
+//! [`Grid`] encodes exactly that layout: global rank = dp_rank · mp + mp_rank,
+//! so consecutive ranks form an MP group (one "node").
+
+/// An ordered set of global ranks that perform collectives together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// A group from explicit global ranks.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn new(members: Vec<usize>) -> Group {
+        assert!(!members.is_empty(), "group must be non-empty");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "group has duplicate ranks");
+        Group { members }
+    }
+
+    /// The trivial group of all `n` ranks in order.
+    pub fn world(n: usize) -> Group {
+        Group {
+            members: (0..n).collect(),
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has exactly one member.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members in collective order.
+    #[inline]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Position of `rank` within the group, if present.
+    pub fn local_index(&self, rank: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == rank)
+    }
+
+    /// True if `rank` belongs to this group.
+    pub fn contains(&self, rank: usize) -> bool {
+        self.local_index(rank).is_some()
+    }
+}
+
+/// A 2-D process grid: `dp` data-parallel replicas × `mp` model-parallel
+/// shards, with MP contiguous (mapping MP inside the fast intra-node fabric
+/// as the paper prescribes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    dp: usize,
+    mp: usize,
+}
+
+impl Grid {
+    /// Creates a grid; total ranks = `dp · mp`.
+    ///
+    /// # Panics
+    /// Panics if either degree is zero.
+    pub fn new(dp: usize, mp: usize) -> Grid {
+        assert!(dp > 0 && mp > 0, "grid degrees must be positive");
+        Grid { dp, mp }
+    }
+
+    /// Data-parallel degree N_d.
+    #[inline]
+    pub fn dp_degree(&self) -> usize {
+        self.dp
+    }
+
+    /// Model-parallel degree N_m.
+    #[inline]
+    pub fn mp_degree(&self) -> usize {
+        self.mp
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.dp * self.mp
+    }
+
+    /// The (dp_rank, mp_rank) coordinates of a global rank.
+    #[inline]
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.world_size());
+        (rank / self.mp, rank % self.mp)
+    }
+
+    /// The global rank at the given coordinates.
+    #[inline]
+    pub fn rank_at(&self, dp_rank: usize, mp_rank: usize) -> usize {
+        debug_assert!(dp_rank < self.dp && mp_rank < self.mp);
+        dp_rank * self.mp + mp_rank
+    }
+
+    /// The model-parallel group containing `rank`: all shards of the same
+    /// replica (consecutive global ranks — "within the node").
+    pub fn mp_group(&self, rank: usize) -> Group {
+        let (dp_rank, _) = self.coords(rank);
+        Group::new((0..self.mp).map(|m| self.rank_at(dp_rank, m)).collect())
+    }
+
+    /// The data-parallel group containing `rank`: the same shard index
+    /// across all replicas ("across nodes").
+    pub fn dp_group(&self, rank: usize) -> Group {
+        let (_, mp_rank) = self.coords(rank);
+        Group::new((0..self.dp).map(|d| self.rank_at(d, mp_rank)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group_is_identity() {
+        let g = Group::world(4);
+        assert_eq!(g.members(), &[0, 1, 2, 3]);
+        assert_eq!(g.local_index(2), Some(2));
+        assert_eq!(g.local_index(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_members_rejected() {
+        let _ = Group::new(vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn grid_coordinates_round_trip() {
+        let g = Grid::new(4, 2); // 8 ranks, MP pairs (0,1), (2,3), ...
+        for rank in 0..8 {
+            let (d, m) = g.coords(rank);
+            assert_eq!(g.rank_at(d, m), rank);
+        }
+        assert_eq!(g.coords(5), (2, 1));
+    }
+
+    #[test]
+    fn mp_groups_are_contiguous_dp_groups_are_strided() {
+        let g = Grid::new(2, 4); // ranks 0..8
+        assert_eq!(g.mp_group(5).members(), &[4, 5, 6, 7]);
+        assert_eq!(g.dp_group(5).members(), &[1, 5]);
+        assert_eq!(g.mp_group(0).members(), &[0, 1, 2, 3]);
+        assert_eq!(g.dp_group(2).members(), &[2, 6]);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = Grid::new(1, 4);
+        assert_eq!(g.dp_group(2).len(), 1);
+        assert_eq!(g.mp_group(2).len(), 4);
+        let g = Grid::new(4, 1);
+        assert_eq!(g.dp_group(2).len(), 4);
+        assert_eq!(g.mp_group(2).len(), 1);
+    }
+}

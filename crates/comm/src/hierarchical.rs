@@ -1,0 +1,205 @@
+//! Hierarchical (two-level) all-reduce.
+//!
+//! On a DGX-2 cluster the flat ring crosses the slow inter-node links
+//! (N−1) times per element. The standard topology-aware alternative —
+//! what NCCL trees/hierarchies approximate — reduces in three phases:
+//!
+//! 1. **intra-node reduce-scatter** over the fast fabric: each local rank
+//!    ends up owning 1/G of the node's sum (G = ranks per node);
+//! 2. **inter-node all-reduce** of each owner's chunk across nodes: only
+//!    1/G of the data crosses the slow links per rank;
+//! 3. **intra-node all-gather** to redistribute the final sums.
+//!
+//! Total per-rank volume matches the flat ring asymptotically, but the
+//! *inter-node* share drops from ≈2Ψ to ≈2Ψ/G — why MP-in-the-node ×
+//! DP-across-nodes (the paper's §1 layout) is bandwidth-sane. The
+//! distinction is measurable here because phases run in different groups
+//! whose traffic is metered separately.
+
+use crate::collectives::{chunk_range, Precision, ReduceOp};
+use crate::group::Group;
+use crate::world::Communicator;
+
+/// Topology for the two-level reduction: ranks `[node·G, node·G + G)`
+/// share a node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeTopology {
+    /// Ranks per node G.
+    pub ranks_per_node: usize,
+}
+
+impl NodeTopology {
+    /// Creates a topology; world size must be a multiple of `g`.
+    pub fn new(g: usize) -> NodeTopology {
+        assert!(g > 0, "ranks_per_node must be positive");
+        NodeTopology { ranks_per_node: g }
+    }
+
+    /// The intra-node group of `rank`.
+    pub fn node_group(&self, rank: usize) -> Group {
+        let g = self.ranks_per_node;
+        let base = rank / g * g;
+        Group::new((base..base + g).collect())
+    }
+
+    /// The inter-node group of `rank`: the same local slot on every node.
+    pub fn cross_group(&self, rank: usize, world: usize) -> Group {
+        let g = self.ranks_per_node;
+        let slot = rank % g;
+        Group::new((0..world / g).map(|n| n * g + slot).collect())
+    }
+}
+
+impl Communicator {
+    /// Two-level all-reduce: intra-node reduce-scatter, inter-node
+    /// all-reduce of the owned chunk, intra-node all-gather. Numerically
+    /// equivalent to [`Communicator::all_reduce`] up to reassociation.
+    ///
+    /// # Panics
+    /// Panics if the world size is not a multiple of `topo.ranks_per_node`.
+    pub fn hierarchical_all_reduce(
+        &mut self,
+        topo: &NodeTopology,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) {
+        let world = self.world_size();
+        let g = topo.ranks_per_node;
+        assert_eq!(world % g, 0, "world {world} not a multiple of node size {g}");
+        if world == 1 {
+            // Degenerate: behave like the flat collective.
+            self.all_reduce(buf, op, prec);
+            return;
+        }
+        let rank = self.rank();
+        let node_group = topo.node_group(rank);
+        let cross_group = topo.cross_group(rank, world);
+        let local_idx = node_group.local_index(rank).expect("rank in its node");
+        let total = buf.len();
+        let my_chunk = chunk_range(total, g, local_idx);
+
+        // Mean semantics: sum through the hierarchy, divide once at the end.
+        let inner_op = if op == ReduceOp::Mean { ReduceOp::Sum } else { op };
+
+        // Phase 1: intra-node reduce-scatter; this rank owns `my_chunk`.
+        let mut shard = vec![0.0; my_chunk.len()];
+        self.reduce_scatter_in(&node_group, buf, &mut shard, inner_op, prec);
+
+        // Phase 2: inter-node all-reduce of the owned chunk only.
+        self.all_reduce_in(&cross_group, &mut shard, inner_op, prec);
+
+        // Phase 3: intra-node all-gather of the finished chunks.
+        self.all_gather_in(&node_group, &shard, buf, prec);
+
+        if op == ReduceOp::Mean {
+            let inv = 1.0 / world as f32;
+            for v in buf.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CollectiveKind;
+    use crate::world::{launch, launch_with_stats};
+
+    #[test]
+    fn matches_flat_all_reduce() {
+        for (world, g) in [(4usize, 2usize), (8, 4), (6, 3), (8, 1), (4, 4)] {
+            let topo = NodeTopology::new(g);
+            let len = 37;
+            let results = launch(world, move |mut c| {
+                let mut a: Vec<f32> = (0..len).map(|i| (c.rank() * 10 + i) as f32).collect();
+                let mut b = a.clone();
+                c.all_reduce(&mut a, ReduceOp::Sum, Precision::Fp32);
+                c.hierarchical_all_reduce(&topo, &mut b, ReduceOp::Sum, Precision::Fp32);
+                (a, b)
+            });
+            for (flat, hier) in &results {
+                for (x, y) in flat.iter().zip(hier) {
+                    assert!((x - y).abs() < 1e-3, "world {world} g {g}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_divides_by_world() {
+        let topo = NodeTopology::new(2);
+        let results = launch(4, move |mut c| {
+            let mut buf = vec![(c.rank() + 1) as f32; 8];
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Mean, Precision::Fp32);
+            buf
+        });
+        for r in &results {
+            for &v in r {
+                assert!((v - 2.5).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_node_volume_shrinks_by_node_size() {
+        // The point of the hierarchy: the inter-node phase only moves the
+        // 1/G chunk. Compare metered inter-phase bytes against flat.
+        let len = 1024usize;
+        let world = 8;
+        let g = 4;
+        let topo = NodeTopology::new(g);
+        // Hierarchical: cross-node traffic is exactly the phase-2
+        // all-reduce over the (world/g)-rank group of a len/g chunk.
+        let (_, snaps) = launch_with_stats(world, move |mut c| {
+            let mut buf = vec![1.0_f32; len];
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32);
+        });
+        let cross_nodes = world / g;
+        let chunk = len / g;
+        let want_cross = (2 * chunk * (cross_nodes - 1) / cross_nodes * 4) as u64;
+        // Phase 2 is the only AllReduce-kind traffic in the hierarchy
+        // (phases 1/3 are ReduceScatter/AllGather kinds).
+        for s in &snaps {
+            assert_eq!(s.bytes(CollectiveKind::AllReduce), want_cross);
+        }
+        // A flat ring would move 2·len·(world−1)/world per rank across
+        // mixed links; the hierarchy's slow-link share is G× smaller.
+        let flat = 2.0 * len as f64 * (world - 1) as f64 / world as f64 * 4.0;
+        assert!(
+            (want_cross as f64) < flat / (g as f64 - 1.0),
+            "cross-node traffic {want_cross} should be ≪ flat {flat}"
+        );
+    }
+
+    #[test]
+    fn node_and_cross_groups_partition_the_world() {
+        let topo = NodeTopology::new(4);
+        for rank in 0..8 {
+            let ng = topo.node_group(rank);
+            let cg = topo.cross_group(rank, 8);
+            assert_eq!(ng.len(), 4);
+            assert_eq!(cg.len(), 2);
+            assert!(ng.contains(rank) && cg.contains(rank));
+            // They intersect exactly at `rank`.
+            let overlap: Vec<usize> = ng
+                .members()
+                .iter()
+                .filter(|m| cg.contains(**m))
+                .copied()
+                .collect();
+            assert_eq!(overlap, vec![rank]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn bad_topology_rejected() {
+        let topo = NodeTopology::new(3);
+        launch(4, move |mut c| {
+            let mut buf = vec![0.0_f32; 4];
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32);
+        });
+    }
+}

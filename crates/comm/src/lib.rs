@@ -1,0 +1,30 @@
+//! # zero-comm
+//!
+//! In-process substitute for NCCL: each rank is an OS thread, the fabric is
+//! a matrix of FIFO channels, and the collectives are the same pipelined
+//! ring schedules NCCL uses — so per-rank communication *volume* matches
+//! the algorithmic volumes the paper's §7 analysis is built on, and is
+//! measured, not assumed, via [`stats::TrafficStats`].
+//!
+//! ```
+//! use zero_comm::{launch, ReduceOp, Precision};
+//!
+//! let sums = launch(4, |mut comm| {
+//!     let mut buf = vec![comm.rank() as f32; 8];
+//!     comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+//!     buf[0]
+//! });
+//! assert_eq!(sums, vec![6.0; 4]);
+//! ```
+
+pub mod collectives;
+pub mod group;
+pub mod hierarchical;
+pub mod stats;
+pub mod world;
+
+pub use collectives::{chunk_range, Precision, ReduceOp};
+pub use group::{Grid, Group};
+pub use hierarchical::NodeTopology;
+pub use stats::{CollectiveKind, TrafficSnapshot, TrafficStats};
+pub use world::{launch, launch_with_stats, Communicator, World};

@@ -1,0 +1,170 @@
+//! Per-rank communication traffic accounting.
+//!
+//! §7 of the paper argues entirely in terms of *bytes sent per rank per
+//! training step* (all-reduce = 2Ψ, ZeRO stage 2 = 2Ψ, stage 3 = 3Ψ).
+//! Every collective in this crate records its send volume here so tests and
+//! the `comm_volume` experiment can verify those claims empirically rather
+//! than by assertion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The collective operation categories tracked separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (reduce-scatter + all-gather fused).
+    AllReduce = 0,
+    /// Ring reduce-scatter.
+    ReduceScatter = 1,
+    /// Ring all-gather.
+    AllGather = 2,
+    /// Pipelined ring broadcast.
+    Broadcast = 3,
+    /// Reduce to a root.
+    Reduce = 4,
+    /// Point-to-point send/recv.
+    P2p = 5,
+}
+
+/// Number of tracked categories.
+pub const KIND_COUNT: usize = 6;
+
+/// All tracked categories, in discriminant order.
+pub const ALL_KINDS: [CollectiveKind; KIND_COUNT] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::ReduceScatter,
+    CollectiveKind::AllGather,
+    CollectiveKind::Broadcast,
+    CollectiveKind::Reduce,
+    CollectiveKind::P2p,
+];
+
+/// Thread-safe per-rank traffic counters.
+///
+/// Shared between the rank's `Communicator` (writer) and the launching code
+/// (reader, typically after the ranks have joined).
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    bytes_sent: [AtomicU64; KIND_COUNT],
+    messages_sent: [AtomicU64; KIND_COUNT],
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters behind an `Arc`.
+    pub fn new() -> Arc<TrafficStats> {
+        Arc::new(TrafficStats::default())
+    }
+
+    /// Records one message of `bytes` payload under `kind`.
+    pub fn record_send(&self, kind: CollectiveKind, bytes: u64) {
+        self.bytes_sent[kind as usize].fetch_add(bytes, Ordering::Relaxed);
+        self.messages_sent[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes sent under one category.
+    pub fn bytes(&self, kind: CollectiveKind) -> u64 {
+        self.bytes_sent[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent under one category.
+    pub fn messages(&self, kind: CollectiveKind) -> u64 {
+        self.messages_sent[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for i in 0..KIND_COUNT {
+            self.bytes_sent[i].store(0, Ordering::Relaxed);
+            self.messages_sent[i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut bytes = [0u64; KIND_COUNT];
+        let mut messages = [0u64; KIND_COUNT];
+        for i in 0..KIND_COUNT {
+            bytes[i] = self.bytes_sent[i].load(Ordering::Relaxed);
+            messages[i] = self.messages_sent[i].load(Ordering::Relaxed);
+        }
+        TrafficSnapshot { bytes, messages }
+    }
+}
+
+/// An immutable copy of a rank's traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    bytes: [u64; KIND_COUNT],
+    messages: [u64; KIND_COUNT],
+}
+
+impl TrafficSnapshot {
+    /// Bytes sent under one category.
+    pub fn bytes(&self, kind: CollectiveKind) -> u64 {
+        self.bytes[kind as usize]
+    }
+
+    /// Messages sent under one category.
+    pub fn messages(&self, kind: CollectiveKind) -> u64 {
+        self.messages[kind as usize]
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Difference `self − earlier`, counter-wise (for per-step deltas).
+    pub fn delta_since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        let mut bytes = [0u64; KIND_COUNT];
+        let mut messages = [0u64; KIND_COUNT];
+        for i in 0..KIND_COUNT {
+            bytes[i] = self.bytes[i] - earlier.bytes[i];
+            messages[i] = self.messages[i] - earlier.messages[i];
+        }
+        TrafficSnapshot { bytes, messages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let s = TrafficStats::new();
+        s.record_send(CollectiveKind::AllReduce, 100);
+        s.record_send(CollectiveKind::AllReduce, 50);
+        s.record_send(CollectiveKind::P2p, 8);
+        assert_eq!(s.bytes(CollectiveKind::AllReduce), 150);
+        assert_eq!(s.messages(CollectiveKind::AllReduce), 2);
+        assert_eq!(s.total_bytes(), 158);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = TrafficStats::new();
+        s.record_send(CollectiveKind::AllGather, 10);
+        let a = s.snapshot();
+        s.record_send(CollectiveKind::AllGather, 32);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.bytes(CollectiveKind::AllGather), 32);
+        assert_eq!(d.messages(CollectiveKind::AllGather), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = TrafficStats::new();
+        s.record_send(CollectiveKind::Broadcast, 77);
+        s.reset();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.messages(CollectiveKind::Broadcast), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The communicator "world": N ranks connected all-to-all.
+//!
+//! A rank in the paper is one GPU process talking NCCL over NVLink/IB.
+//! Here a rank is one OS thread, and the fabric is a matrix of crossbeam
+//! channels — one FIFO per ordered rank pair. Because every rank issues the
+//! same sequence of collectives (SPMD), per-pair FIFO ordering plus a
+//! sequence-number check is sufficient to match sends to receives.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::stats::{CollectiveKind, TrafficStats};
+
+/// A message between two ranks: an opaque f32 payload plus a per-channel
+/// sequence number used to detect mismatched collective schedules.
+pub(crate) struct Msg {
+    pub seq: u64,
+    pub data: Vec<f32>,
+}
+
+/// Builds the channel fabric and hands out one [`Communicator`] per rank.
+pub struct World {
+    comms: Vec<Option<Communicator>>,
+    stats: Vec<Arc<TrafficStats>>,
+}
+
+impl World {
+    /// Creates a world of `n` fully connected ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> World {
+        assert!(n > 0, "world size must be positive");
+        // senders[dst][src] pairs with receivers[dst][src].
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..n).map(|_| vec![None; n]).collect();
+        for dst in 0..n {
+            for src in 0..n {
+                let (tx, rx) = unbounded();
+                senders[dst][src] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(n));
+        let stats: Vec<Arc<TrafficStats>> = (0..n).map(|_| TrafficStats::new()).collect();
+
+        // Re-group: rank r needs send handles to every dst and its own recv row.
+        let mut comms = Vec::with_capacity(n);
+        let mut recv_rows: Vec<Vec<Receiver<Msg>>> = receivers
+            .into_iter()
+            .map(|row| row.into_iter().map(|r| r.unwrap()).collect())
+            .collect();
+        // Transpose the sender matrix so each rank owns its outgoing handles.
+        let mut send_rows: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for dst_row in senders.iter_mut() {
+            for (src, slot) in dst_row.iter_mut().enumerate() {
+                send_rows[src].push(slot.take().unwrap());
+            }
+        }
+        for (rank, (tx_row, rx_row)) in
+            send_rows.into_iter().zip(recv_rows.drain(..)).enumerate()
+        {
+            comms.push(Some(Communicator {
+                rank,
+                world: n,
+                to_peer: tx_row,
+                from_peer: rx_row,
+                send_seq: vec![0; n].into(),
+                recv_seq: vec![0; n].into(),
+                barrier: barrier.clone(),
+                stats: stats[rank].clone(),
+            }));
+        }
+        World { comms, stats }
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Takes rank `r`'s communicator (panics if taken twice).
+    pub fn take(&mut self, rank: usize) -> Communicator {
+        self.comms[rank].take().expect("communicator already taken")
+    }
+
+    /// Traffic counters for rank `r` (usable while ranks run and after).
+    pub fn stats(&self, rank: usize) -> Arc<TrafficStats> {
+        self.stats[rank].clone()
+    }
+}
+
+/// One rank's endpoint: point-to-point primitives, a barrier, and traffic
+/// accounting. Ring collectives are built on top in `collectives.rs`.
+///
+/// A `Communicator` is owned by exactly one thread (it is `Send` but not
+/// `Sync`), matching NCCL's one-communicator-per-device rule.
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    to_peer: Vec<Sender<Msg>>,
+    from_peer: Vec<Receiver<Msg>>,
+    send_seq: Box<[u64]>,
+    recv_seq: Box<[u64]>,
+    barrier: Arc<Barrier>,
+    stats: Arc<TrafficStats>,
+}
+
+impl Communicator {
+    /// This rank's id in `0..world_size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// This rank's traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Sends `data` to `dst`, attributing `logical_bytes` to `kind`.
+    ///
+    /// `logical_bytes` is passed explicitly because fp16 payloads travel as
+    /// widened f32 in-process but must be *accounted* at 2 bytes/element to
+    /// match the paper's arithmetic.
+    pub(crate) fn send_raw(
+        &mut self,
+        dst: usize,
+        data: Vec<f32>,
+        kind: CollectiveKind,
+        logical_bytes: u64,
+    ) {
+        debug_assert!(dst < self.world && dst != self.rank, "bad dst {dst}");
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        self.stats.record_send(kind, logical_bytes);
+        self.to_peer[dst]
+            .send(Msg { seq, data })
+            .expect("peer hung up mid-collective");
+    }
+
+    /// Receives the next message from `src`, verifying schedule agreement.
+    pub(crate) fn recv_raw(&mut self, src: usize) -> Vec<f32> {
+        debug_assert!(src < self.world && src != self.rank, "bad src {src}");
+        let msg = self
+            .from_peer[src]
+            .recv()
+            .expect("peer hung up mid-collective");
+        let expect = self.recv_seq[src];
+        assert_eq!(
+            msg.seq, expect,
+            "rank {} received out-of-order message from {} (seq {} expected {})",
+            self.rank, src, msg.seq, expect
+        );
+        self.recv_seq[src] += 1;
+        msg.data
+    }
+
+    /// Point-to-point send of an f32 buffer.
+    pub fn send(&mut self, dst: usize, data: &[f32]) {
+        self.send_raw(dst, data.to_vec(), CollectiveKind::P2p, 4 * data.len() as u64);
+    }
+
+    /// Point-to-point receive into `buf`.
+    ///
+    /// # Panics
+    /// Panics if the incoming message length differs from `buf.len()`.
+    pub fn recv(&mut self, src: usize, buf: &mut [f32]) {
+        let data = self.recv_raw(src);
+        assert_eq!(data.len(), buf.len(), "p2p length mismatch");
+        buf.copy_from_slice(&data);
+    }
+
+    /// Blocks until every rank in the world reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Runs `f` on `n` ranks (one thread each) and returns their results in
+/// rank order. Panics in any rank propagate.
+pub fn launch<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    let mut world = World::new(n);
+    let comms: Vec<Communicator> = (0..n).map(|r| world.take(r)).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || f(c))
+            })
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Like [`launch`] but also returns each rank's traffic snapshot.
+pub fn launch_with_stats<F, R>(n: usize, f: F) -> (Vec<R>, Vec<crate::stats::TrafficSnapshot>)
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    let mut world = World::new(n);
+    let stats: Vec<_> = (0..n).map(|r| world.stats(r)).collect();
+    let comms: Vec<Communicator> = (0..n).map(|r| world.take(r)).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || f(c))
+            })
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    });
+    let snaps = stats.iter().map(|s| s.snapshot()).collect();
+    (results.into_iter().map(|r| r.unwrap()).collect(), snaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_ring_pass() {
+        let out = launch(4, |mut c| {
+            let n = c.world_size();
+            let next = (c.rank() + 1) % n;
+            let prev = (c.rank() + n - 1) % n;
+            let payload = vec![c.rank() as f32; 3];
+            if c.rank() % 2 == 0 {
+                c.send(next, &payload);
+                let mut buf = vec![0.0; 3];
+                c.recv(prev, &mut buf);
+                buf[0]
+            } else {
+                let mut buf = vec![0.0; 3];
+                c.recv(prev, &mut buf);
+                c.send(next, &payload);
+                buf[0]
+            }
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        launch(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all 8 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn stats_count_p2p_bytes() {
+        let (_, snaps) = launch_with_stats(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0; 10]);
+            } else {
+                let mut buf = [0.0; 10];
+                c.recv(0, &mut buf);
+            }
+        });
+        assert_eq!(snaps[0].bytes(CollectiveKind::P2p), 40);
+        assert_eq!(snaps[1].bytes(CollectiveKind::P2p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_world_rejected() {
+        let _ = World::new(0);
+    }
+}

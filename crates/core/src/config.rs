@@ -1,0 +1,242 @@
+//! ZeRO engine configuration: the stage and ZeRO-R switches (Table 3's
+//! C1–C5 configurations are combinations of these flags).
+
+use zero_optim::{AdamConfig, LrSchedule, SgdConfig};
+
+/// Which optimizer the engine runs over the (possibly sharded) fp32
+/// master parameters.
+///
+/// The choice sets the paper's K multiplier: mixed-precision Adam keeps
+/// momentum + variance + master copy (K = 12); SGD with momentum keeps
+/// velocity + master (K = 8); plain SGD only the master (K = 4). §2.3
+/// argues ZeRO "makes it possible to develop and use even more complex
+/// and memory hungry optimizers" — the K-dependence is measurable here.
+#[derive(Clone, Copy, Debug)]
+pub enum OptimizerKind {
+    /// Adam with fp32 moments (K = 12).
+    Adam(AdamConfig),
+    /// SGD, optionally with momentum (K = 8 or 4).
+    Sgd(SgdConfig),
+}
+
+impl OptimizerKind {
+    /// Optimizer-state bytes per parameter (excluding the fp32 master).
+    pub fn state_bytes_per_param(&self) -> u64 {
+        match self {
+            OptimizerKind::Adam(_) => 8,
+            OptimizerKind::Sgd(c) if c.momentum != 0.0 => 4,
+            OptimizerKind::Sgd(_) => 0,
+        }
+    }
+
+    /// The paper's K: fp32 master + optimizer state bytes per parameter.
+    pub fn k_multiplier(&self) -> u64 {
+        4 + self.state_bytes_per_param()
+    }
+}
+
+/// The ZeRO-DP optimization stage (§5, Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroStage {
+    /// Baseline data parallelism: full replication, gradient all-reduce —
+    /// what PyTorch DDP does. Memory: (4 + K)·Ψ with fp16 params/grads.
+    Ddp,
+    /// P_os — optimizer state partitioning: 4Ψ + KΨ/N_d.
+    One,
+    /// P_os+g — plus gradient partitioning: 2Ψ + (2+K)Ψ/N_d.
+    Two,
+    /// P_os+g+p — plus parameter partitioning: (4+K)Ψ/N_d.
+    Three,
+}
+
+impl ZeroStage {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ZeroStage::Ddp => "DDP",
+            ZeroStage::One => "ZeRO-1 (Pos)",
+            ZeroStage::Two => "ZeRO-2 (Pos+g)",
+            ZeroStage::Three => "ZeRO-3 (Pos+g+p)",
+        }
+    }
+
+    /// True if gradients are partitioned (stages 2 and 3).
+    pub fn partitions_grads(&self) -> bool {
+        matches!(self, ZeroStage::Two | ZeroStage::Three)
+    }
+
+    /// True if parameters are partitioned (stage 3).
+    pub fn partitions_params(&self) -> bool {
+        matches!(self, ZeroStage::Three)
+    }
+
+    /// True if optimizer states are partitioned (stages 1–3).
+    pub fn partitions_optimizer(&self) -> bool {
+        !matches!(self, ZeroStage::Ddp)
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ZeroConfig {
+    /// ZeRO-DP stage.
+    pub stage: ZeroStage,
+    /// Mixed precision: fp16 working params/grads + fp32 master states
+    /// (K = 12). When false, everything is fp32 (the bit-exactness test
+    /// mode; K = 8).
+    pub fp16: bool,
+    /// Activation checkpointing: store only each block's input, recompute
+    /// the rest in backward (§6.1 prerequisite).
+    pub checkpoint_activations: bool,
+    /// Checkpoint every k-th block input (1 = every block). Larger
+    /// intervals store ~L/k checkpoints and recompute whole segments —
+    /// the √L memory/recompute dial of §3.2.
+    pub checkpoint_interval: usize,
+    /// P_a: partition activation checkpoints across the MP group (§6.1).
+    /// Requires `checkpoint_activations`.
+    pub partition_activations: bool,
+    /// P_a+cpu: hold the partitioned checkpoints in CPU memory.
+    /// Requires `partition_activations`.
+    pub offload_checkpoints: bool,
+    /// CB: fused-buffer capacity in elements (§6.2). Collectives over the
+    /// flat space are staged through buffers of at most this size.
+    pub bucket_elems: usize,
+    /// MD: copy long-lived per-iteration tensors (checkpoints) into a
+    /// pre-allocated contiguous arena (§6.3).
+    pub use_arena: bool,
+    /// Initial dynamic loss scale (fp16 only).
+    pub initial_loss_scale: f32,
+    /// Global gradient-norm clip; `None` disables.
+    pub clip_grad_norm: Option<f64>,
+    /// Optimizer over the (possibly sharded) fp32 master parameters.
+    pub optimizer: OptimizerKind,
+    /// Learning-rate schedule (multiplier of the optimizer's base rate).
+    pub lr_schedule: LrSchedule,
+    /// Residual-branch dropout probability (0 disables; applied in
+    /// training only, never in eval, with deterministic per-step masks).
+    pub dropout: f32,
+    /// Ranks per node for topology-aware (two-level) gradient all-reduce
+    /// under DDP; `None` uses the flat ring. Requires mp = 1 and a world
+    /// size divisible by the node size.
+    pub node_size: Option<usize>,
+}
+
+impl Default for ZeroConfig {
+    fn default() -> Self {
+        ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: true,
+            checkpoint_activations: true,
+            checkpoint_interval: 1,
+            partition_activations: false,
+            offload_checkpoints: false,
+            bucket_elems: 1 << 16,
+            use_arena: true,
+            initial_loss_scale: 4096.0,
+            clip_grad_norm: None,
+            optimizer: OptimizerKind::Adam(AdamConfig::default()),
+            lr_schedule: LrSchedule::Constant,
+            dropout: 0.0,
+            node_size: None,
+        }
+    }
+}
+
+impl ZeroConfig {
+    /// Validates flag dependencies.
+    ///
+    /// # Panics
+    /// Panics on inconsistent combinations.
+    pub fn validate(&self) {
+        assert!(self.bucket_elems > 0, "bucket_elems must be positive");
+        assert!(
+            self.checkpoint_interval >= 1,
+            "checkpoint_interval must be at least 1"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout must be in [0, 1)"
+        );
+        if self.partition_activations {
+            assert!(
+                self.checkpoint_activations,
+                "P_a requires activation checkpointing"
+            );
+        }
+        if self.offload_checkpoints {
+            assert!(
+                self.partition_activations,
+                "P_a+cpu requires P_a (partitioned checkpoints)"
+            );
+        }
+    }
+
+    /// The pure-fp32 exactness-test configuration at a given stage.
+    pub fn fp32_exact(stage: ZeroStage) -> ZeroConfig {
+        ZeroConfig {
+            stage,
+            fp16: false,
+            checkpoint_activations: false,
+            partition_activations: false,
+            offload_checkpoints: false,
+            initial_loss_scale: 1.0,
+            ..ZeroConfig::default()
+        }
+    }
+
+    /// The paper's ZeRO-100B implementation profile: P_os+g + ZeRO-R.
+    pub fn zero_100b() -> ZeroConfig {
+        ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: true,
+            checkpoint_activations: true,
+            partition_activations: true,
+            offload_checkpoints: false,
+            ..ZeroConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_predicates() {
+        assert!(!ZeroStage::Ddp.partitions_optimizer());
+        assert!(ZeroStage::One.partitions_optimizer());
+        assert!(!ZeroStage::One.partitions_grads());
+        assert!(ZeroStage::Two.partitions_grads());
+        assert!(!ZeroStage::Two.partitions_params());
+        assert!(ZeroStage::Three.partitions_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "P_a requires")]
+    fn pa_without_checkpointing_rejected() {
+        ZeroConfig {
+            checkpoint_activations: false,
+            partition_activations: true,
+            ..ZeroConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "P_a+cpu requires")]
+    fn pa_cpu_without_pa_rejected() {
+        ZeroConfig {
+            partition_activations: false,
+            offload_checkpoints: true,
+            ..ZeroConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        ZeroConfig::default().validate();
+        ZeroConfig::zero_100b().validate();
+        ZeroConfig::fp32_exact(ZeroStage::Three).validate();
+    }
+}

@@ -1,0 +1,1052 @@
+//! The per-rank ZeRO training engine.
+//!
+//! One `RankEngine` runs on each rank (thread) of a `dp × mp` grid and
+//! implements the paper's four data-parallel regimes over the same model
+//! and collectives:
+//!
+//! * [`ZeroStage::Ddp`] — replicate everything, all-reduce gradients
+//!   (the PyTorch-DDP baseline of §10.1).
+//! * [`ZeroStage::One`] — P_os (§5.1): optimizer states sharded 1/N_d;
+//!   gradients reduce-scattered so each rank owns its shard's average,
+//!   updated parameters all-gathered.
+//! * [`ZeroStage::Two`] — P_os+g (§5.2): gradients partitioned too;
+//!   per-unit gradients are bucketized (CB, §6.2) and reduce-scattered to
+//!   their owners as backward proceeds, then freed.
+//! * [`ZeroStage::Three`] — P_os+g+p (§5.3): parameters partitioned;
+//!   each unit's parameters are all-gathered right before use in forward
+//!   and again in backward, and discarded right after — the dynamic
+//!   communication schedule of §7.2.2 with its 3Ψ total volume.
+//!
+//! ZeRO-R is layered on top: activation checkpointing with optional
+//! MP-partitioned checkpoints P_a and CPU offload P_a+cpu (§6.1),
+//! constant-size fused buffers CB for every flat-space collective (§6.2),
+//! and a contiguous checkpoint arena MD (§6.3).
+
+use zero_comm::{Communicator, Grid, Group, Precision, ReduceOp};
+use zero_model::{BlockSaved, Gpt};
+use zero_optim::{
+    apply_clip, clip_coefficient, local_sq_norm, Adam, DynamicLossScaler, Sgd,
+};
+use zero_tensor::F16;
+
+use crate::config::OptimizerKind;
+
+use crate::arena::{ArenaSlot, ContiguousArena};
+use crate::bucket::GradBucket;
+use crate::config::{ZeroConfig, ZeroStage};
+use crate::memory::{MemCategory, MemoryTracker};
+use crate::partition::Partitioner;
+use crate::store::FlatStore;
+
+/// Result of one training step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepOutcome {
+    /// Mean loss over this rank's micro-batch (identical across MP ranks).
+    pub loss: f32,
+    /// True if the optimizer step was skipped (fp16 overflow).
+    pub skipped: bool,
+    /// Global gradient norm, when clipping is enabled.
+    pub grad_norm: Option<f64>,
+    /// Loss scale in effect during the step (1.0 in fp32 mode).
+    pub loss_scale: f32,
+}
+
+/// Storage for one activation checkpoint.
+struct Checkpoint {
+    data: CkptData,
+    /// Elements of the full (unpartitioned) activation.
+    full_len: usize,
+    /// Whether only this rank's 1/N_m slice is stored (P_a).
+    partitioned: bool,
+    /// Whether the slice lives in CPU memory (P_a+cpu).
+    offloaded: bool,
+    /// Logical bytes accounted (for the matching free).
+    bytes: u64,
+}
+
+enum CkptData {
+    Own(Vec<f32>),
+    Arena(ArenaSlot),
+}
+
+/// The optimizer over the master shard, selected by
+/// [`OptimizerKind`](crate::config::OptimizerKind).
+enum OptState {
+    Adam(Adam),
+    Sgd(Sgd),
+}
+
+impl OptState {
+    fn new(numel: usize, kind: OptimizerKind) -> OptState {
+        match kind {
+            OptimizerKind::Adam(cfg) => OptState::Adam(Adam::new(numel, cfg)),
+            OptimizerKind::Sgd(cfg) => OptState::Sgd(Sgd::new(numel, cfg)),
+        }
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        match self {
+            OptState::Adam(a) => a.step(params, grads),
+            OptState::Sgd(s) => s.step(params, grads),
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        match self {
+            OptState::Adam(a) => a.set_lr(lr),
+            OptState::Sgd(s) => s.set_lr(lr),
+        }
+    }
+}
+
+/// One rank's ZeRO engine.
+pub struct RankEngine {
+    gpt: Gpt,
+    zcfg: ZeroConfig,
+    grid: Grid,
+    comm: Communicator,
+    dp_group: Group,
+    mp_group: Group,
+    dp_idx: usize,
+    mp_idx: usize,
+    part: Partitioner,
+
+    /// Working parameters consumed by forward/backward: full flat buffer
+    /// (stages DDP/1/2) or this rank's 1/N_d shard (stage 3).
+    work: FlatStore,
+    /// fp32 master parameters: full (DDP) or the DP shard (stages 1–3).
+    master: Vec<f32>,
+    /// Optimizer state over `master`.
+    opt: OptState,
+    /// Full flat gradient buffer (stages DDP/1 only).
+    full_grads: Option<FlatStore>,
+    /// Reduced gradient shard (stages 2/3 only).
+    grad_shard: Option<FlatStore>,
+
+    bucket: GradBucket,
+    scaler: Option<DynamicLossScaler>,
+    arena: Option<ContiguousArena>,
+    mem: MemoryTracker,
+    step: u64,
+    /// Monotone micro-batch counter (drives deterministic dropout seeds).
+    micro_seq: u64,
+}
+
+impl RankEngine {
+    /// Builds the engine for one rank.
+    ///
+    /// `initial_params` is this MP shard's full flat fp32 parameter buffer
+    /// (every DP replica passes identical values); the engine derives its
+    /// working copy and master shard from it.
+    ///
+    /// # Panics
+    /// Panics on configuration inconsistencies (grid vs. world size,
+    /// parameter length vs. layout, invalid `ZeroConfig`).
+    pub fn new(
+        gpt: Gpt,
+        initial_params: &[f32],
+        zcfg: ZeroConfig,
+        grid: Grid,
+        comm: Communicator,
+    ) -> RankEngine {
+        zcfg.validate();
+        assert_eq!(
+            grid.world_size(),
+            comm.world_size(),
+            "grid does not match communicator world"
+        );
+        assert_eq!(
+            initial_params.len(),
+            gpt.num_params(),
+            "initial params do not match model layout"
+        );
+        assert_eq!(
+            gpt.mp_degree(),
+            grid.mp_degree(),
+            "model MP degree does not match grid"
+        );
+        let rank = comm.rank();
+        let (dp_idx, mp_idx) = grid.coords(rank);
+        let dp_group = grid.dp_group(rank);
+        let mp_group = grid.mp_group(rank);
+        let psi = gpt.num_params();
+        let part = Partitioner::new(psi, grid.dp_degree());
+        let my_shard = part.shard_range(dp_idx);
+
+        let mut mem = MemoryTracker::new();
+
+        // Working parameters.
+        let work = if zcfg.stage.partitions_params() {
+            FlatStore::from_f32(&initial_params[my_shard.clone()], zcfg.fp16)
+        } else {
+            FlatStore::from_f32(initial_params, zcfg.fp16)
+        };
+        mem.alloc(MemCategory::ParamsFp16, work.bytes());
+
+        // fp32 master copy: full for DDP, shard otherwise.
+        let master: Vec<f32> = if zcfg.stage.partitions_optimizer() {
+            initial_params[my_shard].to_vec()
+        } else {
+            initial_params.to_vec()
+        };
+        mem.alloc(MemCategory::MasterParams, 4 * master.len() as u64);
+        let opt = OptState::new(master.len(), zcfg.optimizer);
+        // Optimizer-state accounting: Adam = momentum + variance (K = 12
+        // with the master copy); SGD-momentum = velocity only (K = 8);
+        // plain SGD = nothing (K = 4).
+        match &opt {
+            OptState::Adam(_) => {
+                mem.alloc(MemCategory::Momentum, 4 * master.len() as u64);
+                mem.alloc(MemCategory::Variance, 4 * master.len() as u64);
+            }
+            OptState::Sgd(s) => {
+                mem.alloc(MemCategory::Momentum, s.state_bytes() as u64);
+            }
+        }
+
+        // Gradient storage.
+        let (full_grads, grad_shard) = if zcfg.stage.partitions_grads() {
+            let shard = FlatStore::zeros(part.shard_range(dp_idx).len(), zcfg.fp16);
+            mem.alloc(MemCategory::Gradients, shard.bytes());
+            (None, Some(shard))
+        } else {
+            let full = FlatStore::zeros(psi, zcfg.fp16);
+            mem.alloc(MemCategory::Gradients, full.bytes());
+            (Some(full), None)
+        };
+
+        RankEngine {
+            bucket: GradBucket::new(zcfg.bucket_elems),
+            scaler: zcfg.fp16.then(|| DynamicLossScaler::new(zcfg.initial_loss_scale)),
+            arena: None,
+            gpt,
+            zcfg,
+            grid,
+            comm,
+            dp_group,
+            mp_group,
+            dp_idx,
+            mp_idx,
+            part,
+            work,
+            master,
+            opt,
+            full_grads,
+            grad_shard,
+            mem,
+            step: 0,
+            micro_seq: 0,
+        }
+    }
+
+    /// This rank's global id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Data-parallel coordinate.
+    pub fn dp_rank(&self) -> usize {
+        self.dp_idx
+    }
+
+    /// Model-parallel coordinate.
+    pub fn mp_rank(&self) -> usize {
+        self.mp_idx
+    }
+
+    /// The memory tracker (read it after steps for measured footprints).
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.mem
+    }
+
+    /// Communication counters for this rank.
+    pub fn traffic(&self) -> zero_comm::TrafficSnapshot {
+        self.comm.stats().snapshot()
+    }
+
+    /// The flat range of this rank's DP shard.
+    pub fn dp_shard_range(&self) -> std::ops::Range<usize> {
+        self.part.shard_range(self.dp_idx)
+    }
+
+    /// The flat range covered by [`Self::master_params`]: the DP shard for
+    /// stages 1–3, the full space for DDP.
+    pub fn master_range(&self) -> std::ops::Range<usize> {
+        if self.zcfg.stage.partitions_optimizer() {
+            self.part.shard_range(self.dp_idx)
+        } else {
+            0..self.part.total()
+        }
+    }
+
+    /// fp32 master parameters: the full buffer under DDP, the DP shard
+    /// otherwise.
+    pub fn master_params(&self) -> &[f32] {
+        &self.master
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Current loss scale (1.0 in fp32 mode).
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.as_ref().map_or(1.0, |s| s.scale())
+    }
+
+    /// The model.
+    pub fn model(&self) -> &Gpt {
+        &self.gpt
+    }
+
+    /// The process grid this engine runs on.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Tears the engine down, returning its communicator — used when
+    /// rebuilding an engine in place (e.g. restart-and-resume tests).
+    pub fn into_comm(self) -> Communicator {
+        self.comm
+    }
+
+    // ----- parameter materialization -----
+
+    /// Materializes unit `u`'s parameters as an f32 buffer.
+    ///
+    /// Stage 3 all-gathers the pieces from every DP rank's shard (the
+    /// "broadcast … from the data parallel process responsible for that
+    /// partition" of §5.3, realized as a ring all-gather of uneven
+    /// pieces); other stages widen the local slice.
+    fn fetch_unit(&mut self, u: usize) -> Vec<f32> {
+        let unit_range = self.gpt.layout().units()[u].range.clone();
+        let len = unit_range.len();
+        self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
+        if self.zcfg.stage.partitions_params() {
+            let counts = self.part.intersect_counts(&unit_range);
+            let local = self.part.local_slice_of(self.dp_idx, &unit_range);
+            let piece = self.work.read_vec(local);
+            let mut out = vec![0.0; len];
+            let prec = self.precision();
+            self.comm
+                .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec);
+            out
+        } else {
+            self.work.read_vec(unit_range)
+        }
+    }
+
+    /// Releases a fetched unit buffer (the stage-3 "discard after use").
+    fn release_unit(&mut self, params: Vec<f32>) {
+        self.mem.free(MemCategory::Buffers, 4 * params.len() as u64);
+        drop(params);
+    }
+
+    #[inline]
+    fn precision(&self) -> Precision {
+        if self.zcfg.fp16 {
+            Precision::Fp16
+        } else {
+            Precision::Fp32
+        }
+    }
+
+    /// Quantizes activations to fp16 width in mixed-precision mode, so the
+    /// values flowing between units are genuine fp16 (and checkpointed
+    /// values match recomputed ones bit for bit).
+    fn maybe_quantize(&self, x: &mut [f32]) {
+        if self.zcfg.fp16 {
+            for v in x {
+                *v = F16::from_f32(*v).to_f32();
+            }
+        }
+    }
+
+    // ----- checkpoints (ZeRO-R: P_a / P_a+cpu / MD) -----
+
+    fn ckpt_store_len(&self, full_len: usize) -> usize {
+        if self.zcfg.partition_activations {
+            zero_comm::chunk_range(full_len, self.mp_group.len(), self.mp_idx).len()
+        } else {
+            full_len
+        }
+    }
+
+    fn store_checkpoint(&mut self, x: &[f32]) -> Checkpoint {
+        let full_len = x.len();
+        let partitioned = self.zcfg.partition_activations;
+        let offloaded = self.zcfg.offload_checkpoints;
+        let slice: &[f32] = if partitioned {
+            &x[zero_comm::chunk_range(full_len, self.mp_group.len(), self.mp_idx)]
+        } else {
+            x
+        };
+        let bytes = self.precision().bytes() * slice.len() as u64;
+        let cat = if offloaded {
+            MemCategory::CpuOffload
+        } else {
+            MemCategory::Checkpoints
+        };
+        self.mem.alloc(cat, bytes);
+        if offloaded {
+            self.mem.record_cpu_transfer(bytes);
+        }
+        let data = if self.zcfg.use_arena && !offloaded {
+            if self.arena.is_none() {
+                // Size the arena once: one checkpoint per block.
+                let cap = self.ckpt_store_len(full_len) * self.gpt.config().layers;
+                self.arena = Some(ContiguousArena::new(cap));
+            }
+            CkptData::Arena(self.arena.as_mut().unwrap().store(slice))
+        } else {
+            CkptData::Own(slice.to_vec())
+        };
+        Checkpoint {
+            data,
+            full_len,
+            partitioned,
+            offloaded,
+            bytes,
+        }
+    }
+
+    /// Re-materializes a checkpointed activation: P_a all-gathers the
+    /// slices across the MP group (the extra all-gather §8 prices at
+    /// seq·hidden per block); P_a+cpu additionally pays the PCIe
+    /// round-trip, which we meter.
+    fn fetch_checkpoint(&mut self, c: &Checkpoint) -> Vec<f32> {
+        let slice: Vec<f32> = match &c.data {
+            CkptData::Own(v) => v.clone(),
+            CkptData::Arena(slot) => self.arena.as_ref().unwrap().slot(slot).to_vec(),
+        };
+        if c.offloaded {
+            self.mem.record_cpu_transfer(c.bytes);
+        }
+        if c.partitioned {
+            let counts: Vec<usize> = (0..self.mp_group.len())
+                .map(|i| zero_comm::chunk_range(c.full_len, self.mp_group.len(), i).len())
+                .collect();
+            let mut out = vec![0.0; c.full_len];
+            let prec = self.precision();
+            self.comm
+                .all_gather_var_in(&self.mp_group, &slice, &mut out, &counts, prec);
+            out
+        } else {
+            slice
+        }
+    }
+
+    fn free_checkpoint(&mut self, c: Checkpoint) {
+        let cat = if c.offloaded {
+            MemCategory::CpuOffload
+        } else {
+            MemCategory::Checkpoints
+        };
+        self.mem.free(cat, c.bytes);
+    }
+
+    // ----- gradient dispatch (stage-dependent) -----
+
+    /// Consumes one unit's freshly computed gradients.
+    ///
+    /// Stages DDP/1 accumulate into the persistent full gradient buffer.
+    /// Stages 2/3 push into the constant-size bucket; each flush fires one
+    /// reduce-scatter whose owner pieces land in `grad_shard`, after which
+    /// the bucket contents are dropped — "after the reduction we no longer
+    /// need the gradients and their memory can be released" (§5.2).
+    fn dispatch_grads(&mut self, range: std::ops::Range<usize>, mut g: Vec<f32>) {
+        if !self.zcfg.stage.partitions_grads() {
+            self.full_grads
+                .as_mut()
+                .expect("full gradient buffer")
+                .add_from(range, &g);
+            return;
+        }
+        // fp16 gradients: quantize before they enter the fused buffer.
+        self.maybe_quantize(&mut g);
+        let prec = self.precision();
+        let Self {
+            bucket,
+            comm,
+            dp_group,
+            part,
+            grad_shard,
+            dp_idx,
+            mem,
+            ..
+        } = self;
+        let grad_shard = grad_shard.as_mut().expect("gradient shard");
+        bucket.push(range, g, &mut |r, fused| {
+            mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
+            let counts = part.intersect_counts(&r);
+            let mut out = vec![0.0; counts[*dp_idx]];
+            comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec);
+            let local = part.local_slice_of(*dp_idx, &r);
+            grad_shard.add_from(local, &out);
+            mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
+        });
+    }
+
+    /// End-of-backward gradient reduction for the non-bucketed stages,
+    /// staged through constant-size buffers (CB): DDP all-reduces every
+    /// chunk in place; stage 1 reduce-scatters so this rank's shard region
+    /// of the full buffer holds the averaged values.
+    /// Flushes whatever gradients remain in the bucket (stages 2/3).
+    fn flush_pending_grads(&mut self) {
+        if !self.zcfg.stage.partitions_grads() {
+            return;
+        }
+        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, .. } = self;
+        let grad_shard = grad_shard.as_mut().expect("gradient shard");
+        let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
+        bucket.flush_all(&mut |r, fused| {
+            mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
+            let counts = part.intersect_counts(&r);
+            let mut out = vec![0.0; counts[*dp_idx]];
+            comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec);
+            let local = part.local_slice_of(*dp_idx, &r);
+            grad_shard.add_from(local, &out);
+            mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
+        });
+    }
+
+    fn reduce_full_grads(&mut self) {
+        if self.zcfg.stage.partitions_grads() {
+            // Stages 2/3 already reduced everything through the bucket.
+            debug_assert_eq!(self.bucket.pending_elems(), 0);
+            return;
+        }
+        let psi = self.part.total();
+        let step = self.zcfg.bucket_elems;
+        let prec = self.precision();
+        let full = self.full_grads.as_mut().expect("full gradient buffer");
+        let mut cursor = 0;
+        while cursor < psi {
+            let end = (cursor + step).min(psi);
+            let chunk = cursor..end;
+            self.mem.alloc(MemCategory::Buffers, 4 * chunk.len() as u64);
+            let mut staging = full.read_vec(chunk.clone());
+            match self.zcfg.stage {
+                ZeroStage::Ddp => {
+                    match self.zcfg.node_size {
+                        Some(g) => {
+                            assert_eq!(
+                                self.grid.mp_degree(),
+                                1,
+                                "hierarchical all-reduce requires mp = 1"
+                            );
+                            let topo = zero_comm::NodeTopology::new(g);
+                            self.comm
+                                .hierarchical_all_reduce(&topo, &mut staging, ReduceOp::Mean, prec);
+                        }
+                        None => self
+                            .comm
+                            .all_reduce_in(&self.dp_group, &mut staging, ReduceOp::Mean, prec),
+                    }
+                    full.write_from(chunk.clone(), &staging);
+                }
+                ZeroStage::One => {
+                    let counts = self.part.intersect_counts(&chunk);
+                    let mut out = vec![0.0; counts[self.dp_idx]];
+                    self.comm.reduce_scatter_var_in(
+                        &self.dp_group,
+                        &staging,
+                        &mut out,
+                        ReduceOp::Mean,
+                        &counts,
+                        prec,
+                    );
+                    if !out.is_empty() {
+                        let shard = self.part.shard_range(self.dp_idx);
+                        let lo = shard.start.max(chunk.start);
+                        full.write_from(lo..lo + out.len(), &out);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            staging.clear();
+            self.mem.free(MemCategory::Buffers, 4 * chunk.len() as u64);
+            cursor = end;
+        }
+    }
+
+    /// Reads the reduced gradients covering [`Self::master_range`] as f32:
+    /// the full averaged buffer under DDP, this rank's shard otherwise.
+    fn read_grad_shard(&self) -> Vec<f32> {
+        match (&self.full_grads, &self.grad_shard) {
+            (Some(full), None) => full.read_vec(self.master_range()),
+            (None, Some(s)) => s.read_vec(0..s.len()),
+            _ => unreachable!("exactly one gradient store exists"),
+        }
+    }
+
+    /// True if this rank's reduced gradients contain NaN/Inf.
+    fn shard_has_overflow(&self) -> bool {
+        let shard = self.part.shard_range(self.dp_idx);
+        match (&self.full_grads, &self.grad_shard) {
+            (Some(full), None) => full.has_non_finite(shard),
+            (None, Some(s)) => s.has_non_finite(0..s.len()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Publishes updated master parameters into the working copy.
+    /// Stages 1/2 all-gather the updated fp16 shards across DP — "an
+    /// all-gather … to get the fully updated parameters" (§5.1) — staged
+    /// through CB-sized chunks; stage 3 keeps only the local shard; DDP
+    /// wrote the full buffer locally.
+    fn publish_params(&mut self) {
+        match self.zcfg.stage {
+            ZeroStage::Ddp => {
+                let master = std::mem::take(&mut self.master);
+                self.work.write_from(0..master.len(), &master);
+                self.master = master;
+            }
+            ZeroStage::Three => {
+                let master = std::mem::take(&mut self.master);
+                self.work.write_from(0..master.len(), &master);
+                self.master = master;
+            }
+            ZeroStage::One | ZeroStage::Two => {
+                // First refresh the local shard region from master…
+                let shard = self.part.shard_range(self.dp_idx);
+                let master = std::mem::take(&mut self.master);
+                self.work.write_from(shard.clone(), &master);
+                self.master = master;
+                // …then all-gather the (quantized) shards chunk by chunk.
+                let psi = self.part.total();
+                let step = self.zcfg.bucket_elems;
+                let prec = self.precision();
+                let mut cursor = 0;
+                while cursor < psi {
+                    let end = (cursor + step).min(psi);
+                    let chunk = cursor..end;
+                    self.mem.alloc(MemCategory::Buffers, 4 * chunk.len() as u64);
+                    let counts = self.part.intersect_counts(&chunk);
+                    let lo = shard.start.max(chunk.start);
+                    let piece = self
+                        .work
+                        .read_vec(lo..lo + counts[self.dp_idx]);
+                    let mut out = vec![0.0; chunk.len()];
+                    self.comm
+                        .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec);
+                    self.work.write_from(chunk.clone(), &out);
+                    self.mem.free(MemCategory::Buffers, 4 * chunk.len() as u64);
+                    cursor = end;
+                }
+            }
+        }
+    }
+
+    /// Global gradient norm across the whole grid, counting every logical
+    /// parameter exactly once: under partitioned stages each DP rank
+    /// contributes only its shard and the squares are summed over the
+    /// whole world; under DDP every rank already holds the full averaged
+    /// gradients, so only the MP dimension is summed. Fields replicated
+    /// across MP are down-weighted by 1/N_m either way.
+    fn global_grad_norm(&mut self, grads: &[f32]) -> f64 {
+        let range = self.master_range();
+        let nm = self.mp_group.len() as f64;
+        let mut sq = 0.0_f64;
+        if nm > 1.0 {
+            let layout = self.gpt.layout();
+            for field in layout.fields() {
+                let lo = field.range.start.max(range.start);
+                let hi = field.range.end.min(range.end);
+                if lo >= hi {
+                    continue;
+                }
+                let w = if field.replicated_under_mp() { 1.0 / nm } else { 1.0 };
+                sq += w * local_sq_norm(&grads[lo - range.start..hi - range.start]);
+            }
+        } else {
+            sq = local_sq_norm(grads);
+        }
+        let mut buf = [sq as f32];
+        if self.zcfg.stage.partitions_optimizer() {
+            self.comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+        } else {
+            let Self { comm, mp_group, .. } = self;
+            comm.all_reduce_in(mp_group, &mut buf, ReduceOp::Sum, Precision::Fp32);
+        }
+        (buf[0] as f64).sqrt()
+    }
+
+    // ----- sharded checkpointing -----
+
+    /// Captures this rank's training-state shard (master parameters,
+    /// optimizer state, loss-scaler state). Under stages 1-3 the N_d
+    /// shards together hold exactly one copy of the training state --
+    /// ZeRO's natural sharded-checkpoint layout.
+    pub fn save_snapshot(&self) -> crate::snapshot::RankSnapshot {
+        let range = self.master_range();
+        let (opt_m, opt_v, opt_t) = match &self.opt {
+            OptState::Adam(a) => {
+                let (m, v) = a.moments();
+                (m.to_vec(), v.to_vec(), a.steps())
+            }
+            OptState::Sgd(s) => (
+                s.velocity().map(|v| v.to_vec()).unwrap_or_default(),
+                Vec::new(),
+                0,
+            ),
+        };
+        crate::snapshot::RankSnapshot {
+            rank: self.comm.rank() as u32,
+            world: self.comm.world_size() as u32,
+            step: self.step,
+            shard_start: range.start as u64,
+            shard_end: range.end as u64,
+            master: self.master.clone(),
+            opt_m,
+            opt_v,
+            opt_t,
+            scaler: self.scaler.as_ref().map(|s| s.state()),
+        }
+    }
+
+    /// Restores training state from a snapshot and re-publishes the
+    /// working parameters. **Collective**: every rank of the grid must
+    /// call this (stages 1/2 all-gather the refreshed fp16 parameters).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's rank/world/shard do not match this engine.
+    pub fn restore_snapshot(&mut self, snap: &crate::snapshot::RankSnapshot) {
+        assert_eq!(snap.rank as usize, self.comm.rank(), "snapshot rank mismatch");
+        assert_eq!(
+            snap.world as usize,
+            self.comm.world_size(),
+            "snapshot world-size mismatch (resume requires the same grid)"
+        );
+        let range = self.master_range();
+        assert_eq!(
+            (snap.shard_start as usize, snap.shard_end as usize),
+            (range.start, range.end),
+            "snapshot shard mismatch"
+        );
+        assert_eq!(snap.master.len(), self.master.len(), "master length mismatch");
+        self.master.copy_from_slice(&snap.master);
+        self.opt = match self.zcfg.optimizer {
+            OptimizerKind::Adam(cfg) => OptState::Adam(Adam::from_state(
+                cfg,
+                snap.opt_m.clone(),
+                snap.opt_v.clone(),
+                snap.opt_t,
+            )),
+            OptimizerKind::Sgd(cfg) => OptState::Sgd(Sgd::from_state(
+                cfg,
+                (cfg.momentum != 0.0).then(|| snap.opt_m.clone()),
+            )),
+        };
+        self.step = snap.step;
+        if let (Some(scaler), Some((scale, good, skipped))) = (&mut self.scaler, snap.scaler) {
+            scaler.restore(scale, good, skipped);
+        }
+        self.publish_params();
+    }
+
+    // ----- the training step -----
+
+    /// Runs one training step over this rank's micro-batch.
+    ///
+    /// `ids`/`targets` hold `local_batch · seq` tokens. Under MP, all
+    /// ranks of an MP group must receive identical data.
+    pub fn train_step(&mut self, ids: &[u32], targets: &[u32], local_batch: usize) -> StepOutcome {
+        self.train_step_micro(&[(ids, targets)], local_batch)
+    }
+
+    /// Runs one training step with gradient accumulation over several
+    /// micro-batches: forward+backward per micro-batch, gradients
+    /// accumulated (and, under stages 2/3, reduce-scattered as they are
+    /// produced), one optimizer step at the end. This is how the paper's
+    /// large total batch sizes (Tables 5–6) are realized on limited
+    /// memory: total batch = micro-batch × accumulation × N_d.
+    ///
+    /// # Panics
+    /// Panics if `micros` is empty.
+    pub fn train_step_micro(
+        &mut self,
+        micros: &[(&[u32], &[u32])],
+        local_batch: usize,
+    ) -> StepOutcome {
+        assert!(!micros.is_empty(), "need at least one micro-batch");
+        let scale = self.loss_scale();
+
+        // Zero persistent gradient storage once per optimizer step.
+        if let Some(full) = &mut self.full_grads {
+            let len = full.len();
+            full.zero_range(0..len);
+        }
+        if let Some(shard) = &mut self.grad_shard {
+            let len = shard.len();
+            shard.zero_range(0..len);
+        }
+
+        let mut loss_sum = 0.0_f32;
+        for &(ids, targets) in micros {
+            loss_sum += self.accumulate_micro(ids, targets, local_batch, scale);
+        }
+        let loss = loss_sum / micros.len() as f32;
+        self.finish_step(loss, scale, micros.len())
+    }
+
+    /// One micro-batch's forward + backward, dispatching gradients into
+    /// the stage-appropriate stores. Returns the micro-batch loss.
+    fn accumulate_micro(
+        &mut self,
+        ids: &[u32],
+        targets: &[u32],
+        local_batch: usize,
+        scale: f32,
+    ) -> f32 {
+        let layers = self.gpt.config().layers;
+        let units: Vec<std::ops::Range<usize>> = self
+            .gpt
+            .layout()
+            .units()
+            .iter()
+            .map(|u| u.range.clone())
+            .collect();
+        let mp_prec = self.precision();
+        if let Some(arena) = &mut self.arena {
+            arena.reset();
+        }
+        // Deterministic per-(micro, layer) dropout seeds: the checkpoint
+        // recompute in backward regenerates identical masks.
+        self.micro_seq += 1;
+        let drop_base = self
+            .micro_seq
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        let drop_p = self.zcfg.dropout;
+        let drop_for = move |layer: usize| zero_model::Dropout {
+            p: drop_p,
+            seed: drop_base ^ (layer as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        };
+
+        // ---------- forward ----------
+        let p_embed = self.fetch_unit(0);
+        let mut x = self.gpt.embed(&p_embed, ids, local_batch);
+        self.release_unit(p_embed);
+        self.maybe_quantize(&mut x);
+
+        let interval = self.zcfg.checkpoint_interval.max(1);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut saveds: Vec<Option<BlockSaved>> = Vec::new();
+        for l in 0..layers {
+            let p = self.fetch_unit(1 + l);
+            if self.zcfg.checkpoint_activations && l % interval == 0 {
+                // One checkpoint per segment of `interval` blocks (§3.2's
+                // memory/recompute dial; interval 1 = one per layer).
+                let c = self.store_checkpoint(&x);
+                checkpoints.push(c);
+            }
+            let (mut y, saved) = {
+                let Self { gpt, comm, mp_group, .. } = self;
+                gpt.block_fwd_dropout(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
+                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                }, drop_for(l))
+            };
+            self.release_unit(p);
+            if self.zcfg.checkpoint_activations {
+                drop(saved);
+                saveds.push(None);
+            } else {
+                self.mem
+                    .alloc(MemCategory::Activations, 4 * saved.elems() as u64);
+                saveds.push(Some(saved));
+            }
+            self.maybe_quantize(&mut y);
+            x = y;
+        }
+
+        // ---------- head forward + backward (loss gradient is born here) ----------
+        let p_head = self.fetch_unit(1 + layers);
+        let head_len = units[1 + layers].len();
+        let mut head_grads = vec![0.0; head_len];
+        let (loss, mut dy) =
+            self.gpt
+                .head_fwd_bwd(&p_head, &x, targets, &mut head_grads, local_batch);
+        self.release_unit(p_head);
+        drop(x);
+        // Apply the loss scale to everything downstream of the loss.
+        if scale != 1.0 {
+            for v in &mut dy {
+                *v *= scale;
+            }
+            for v in &mut head_grads {
+                *v *= scale;
+            }
+        }
+        self.dispatch_grads(units[1 + layers].clone(), head_grads);
+
+        // ---------- backward through blocks ----------
+        if self.zcfg.checkpoint_activations {
+            // Segment-wise: re-materialize `interval` blocks from their
+            // checkpoint (the §8-counted recompute all-reduces), then walk
+            // the segment backward.
+            let mut seg_end = layers;
+            while seg_end > 0 {
+                let seg_start = ((seg_end - 1) / interval) * interval;
+                let ck = checkpoints.pop().expect("checkpoint for segment");
+                let mut x_in = self.fetch_checkpoint(&ck);
+                self.free_checkpoint(ck);
+                let mut segment: Vec<(Vec<f32>, BlockSaved)> = Vec::new();
+                for l in seg_start..seg_end {
+                    let p = self.fetch_unit(1 + l);
+                    let (mut y, saved) = {
+                        let Self { gpt, comm, mp_group, .. } = self;
+                        gpt.block_fwd_dropout(l, &p, &x_in, local_batch, &mut |buf: &mut [f32]| {
+                            comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                        }, drop_for(l))
+                    };
+                    self.mem
+                        .alloc(MemCategory::Activations, 4 * saved.elems() as u64);
+                    self.maybe_quantize(&mut y);
+                    x_in = y;
+                    segment.push((p, saved));
+                }
+                for l in (seg_start..seg_end).rev() {
+                    let (p, saved) = segment.pop().expect("segment entry");
+                    self.mem
+                        .free(MemCategory::Activations, 4 * saved.elems() as u64);
+                    let block_len = units[1 + l].len();
+                    let mut block_grads = vec![0.0; block_len];
+                    dy = {
+                        let Self { gpt, comm, mp_group, .. } = self;
+                        gpt.block_bwd_dropout(
+                            l,
+                            &p,
+                            &saved,
+                            &dy,
+                            &mut block_grads,
+                            local_batch,
+                            &mut |buf: &mut [f32]| {
+                                comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                            },
+                            drop_for(l),
+                        )
+                    };
+                    self.release_unit(p);
+                    self.dispatch_grads(units[1 + l].clone(), block_grads);
+                }
+                seg_end = seg_start;
+            }
+        } else {
+            for l in (0..layers).rev() {
+                let p = self.fetch_unit(1 + l);
+                let saved = saveds[l].take().expect("saved activations for block");
+                self.mem
+                    .free(MemCategory::Activations, 4 * saved.elems() as u64);
+                let block_len = units[1 + l].len();
+                let mut block_grads = vec![0.0; block_len];
+                dy = {
+                    let Self { gpt, comm, mp_group, .. } = self;
+                    gpt.block_bwd_dropout(
+                        l,
+                        &p,
+                        &saved,
+                        &dy,
+                        &mut block_grads,
+                        local_batch,
+                        &mut |buf: &mut [f32]| {
+                            comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                        },
+                        drop_for(l),
+                    )
+                };
+                self.release_unit(p);
+                self.dispatch_grads(units[1 + l].clone(), block_grads);
+            }
+        }
+
+        // ---------- embedding backward ----------
+        let embed_len = units[0].len();
+        let mut embed_grads = vec![0.0; embed_len];
+        self.gpt
+            .embed_backward(ids, &dy, &mut embed_grads, local_batch);
+        drop(dy);
+        self.dispatch_grads(units[0].clone(), embed_grads);
+        // Drain the bucket so the next micro-batch's head-first pushes
+        // start a fresh contiguous descending run.
+        self.flush_pending_grads();
+        loss
+    }
+
+    /// Reduces accumulated gradients (stages DDP/1), synchronizes the
+    /// overflow flag, and applies (or skips) the optimizer update.
+    fn finish_step(&mut self, loss: f32, scale: f32, n_micro: usize) -> StepOutcome {
+        // ---------- reduce & update ----------
+        self.reduce_full_grads();
+
+        let local_overflow = self.shard_has_overflow();
+        let mut flag = [if local_overflow { 1.0_f32 } else { 0.0 }];
+        self.comm.all_reduce(&mut flag, ReduceOp::Max, Precision::Fp32);
+        let overflow = flag[0] > 0.0;
+
+        let skipped = match &mut self.scaler {
+            Some(s) => s.update(overflow),
+            None => overflow, // fp32 overflow: skip, nothing to rescale
+        };
+
+        let mut grad_norm = None;
+        if !skipped {
+            let mut g = self.read_grad_shard();
+            // Undo the loss scale and average over accumulation steps.
+            let inv = 1.0 / (scale * n_micro as f32);
+            if inv != 1.0 {
+                for v in &mut g {
+                    *v *= inv;
+                }
+            }
+            if let Some(max_norm) = self.zcfg.clip_grad_norm {
+                let norm = self.global_grad_norm(&g);
+                grad_norm = Some(norm);
+                apply_clip(&mut g, clip_coefficient(norm, max_norm));
+            }
+            let base_lr = match self.zcfg.optimizer {
+                OptimizerKind::Adam(c) => c.lr,
+                OptimizerKind::Sgd(c) => c.lr,
+            };
+            self.opt
+                .set_lr(base_lr * self.zcfg.lr_schedule.factor(self.step));
+            self.opt.step(&mut self.master, &g);
+            self.publish_params();
+        }
+        self.step += 1;
+        StepOutcome {
+            loss,
+            skipped,
+            grad_norm,
+            loss_scale: scale,
+        }
+    }
+
+    /// Forward-only validation loss over this rank's micro-batch.
+    pub fn eval_loss(&mut self, ids: &[u32], targets: &[u32], local_batch: usize) -> f32 {
+        let layers = self.gpt.config().layers;
+        let mp_prec = self.precision();
+        let p = self.fetch_unit(0);
+        let mut x = self.gpt.embed(&p, ids, local_batch);
+        self.release_unit(p);
+        self.maybe_quantize(&mut x);
+        for l in 0..layers {
+            let p = self.fetch_unit(1 + l);
+            let (mut y, saved) = {
+                let Self { gpt, comm, mp_group, .. } = self;
+                gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
+                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                })
+            };
+            drop(saved);
+            self.release_unit(p);
+            self.maybe_quantize(&mut y);
+            x = y;
+        }
+        let p = self.fetch_unit(1 + layers);
+        let loss = self.gpt.head_loss(&p, &x, targets, local_batch);
+        self.release_unit(p);
+        loss
+    }
+}

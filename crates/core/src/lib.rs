@@ -1,0 +1,47 @@
+//! # zero-core
+//!
+//! The paper's primary contribution: ZeRO-DP stages 1–3 (P_os, P_os+g,
+//! P_os+g+p) and ZeRO-R (partitioned activation checkpointing P_a /
+//! P_a+cpu, constant-size buffers CB, contiguous-memory defragmentation
+//! MD), implemented as a real distributed training engine over the
+//! `zero-comm` collectives and the `zero-model` transformer — plus the
+//! DDP baseline it is compared against.
+//!
+//! Every byte of model state the engine allocates is registered with a
+//! [`MemoryTracker`], and every byte any collective sends is metered, so
+//! the paper's memory (§3, §5) and communication (§7, §8) analyses are
+//! *measured properties* of this implementation, verified in tests.
+//!
+//! ```
+//! use zero_core::Partitioner;
+//!
+//! // ZeRO's flat-space partition: Ψ elements over N_d owners.
+//! let p = Partitioner::new(100, 8);
+//! assert_eq!(p.counts().iter().sum::<usize>(), 100);
+//! // A layer's range straddles owners; the pieces drive the
+//! // variable-count collectives.
+//! let counts = p.intersect_counts(&(10..40));
+//! assert_eq!(counts.iter().sum::<usize>(), 30);
+//! ```
+
+pub mod arena;
+pub mod bucket;
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod metrics;
+pub mod partition;
+pub mod snapshot;
+pub mod store;
+pub mod trainer;
+
+pub use arena::ContiguousArena;
+pub use bucket::GradBucket;
+pub use config::{OptimizerKind, ZeroConfig, ZeroStage};
+pub use engine::{RankEngine, StepOutcome};
+pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
+pub use metrics::TrainingMetrics;
+pub use partition::Partitioner;
+pub use snapshot::{reshard, RankSnapshot};
+pub use store::FlatStore;
+pub use trainer::{model_state_bytes, run_training, run_training_on, RankReport, TrainReport, TrainSetup};

@@ -1,0 +1,228 @@
+//! Explicit per-rank memory accounting.
+//!
+//! §3 of the paper decomposes training memory into model states (fp16
+//! parameters 2Ψ, fp16 gradients 2Ψ, fp32 master + Adam moments KΨ = 12Ψ)
+//! and residual states (activations, temporary buffers, fragmentation).
+//! The engine registers every allocation it makes against one of those
+//! categories, so tests can assert the *measured* peak equals the paper's
+//! closed-form expressions — the same validation Table 2 performs at
+//! cluster scale ("the measured model size with P_os matches the
+//! theoretical maximum").
+
+/// Memory categories, mirroring the paper's taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MemCategory {
+    /// fp16 working parameters (2 bytes/param) — the "parameters" term.
+    ParamsFp16 = 0,
+    /// fp16 gradients (2 bytes/param) — the "gradients" term.
+    Gradients = 1,
+    /// fp32 master parameters (4 bytes/param) — part of K.
+    MasterParams = 2,
+    /// Adam first moment, fp32 — part of K.
+    Momentum = 3,
+    /// Adam second moment, fp32 — part of K.
+    Variance = 4,
+    /// Saved activations for backward (non-checkpointed).
+    Activations = 5,
+    /// Activation checkpoints (§6.1).
+    Checkpoints = 6,
+    /// Temporary fused buffers (§6.2 CB) and per-unit working copies.
+    Buffers = 7,
+    /// Bytes resident in CPU memory via P_a+cpu offload — NOT device
+    /// memory; excluded from [`MemoryTracker::device_live`].
+    CpuOffload = 8,
+}
+
+/// Number of categories.
+pub const CATEGORY_COUNT: usize = 9;
+
+/// All categories in discriminant order.
+pub const ALL_CATEGORIES: [MemCategory; CATEGORY_COUNT] = [
+    MemCategory::ParamsFp16,
+    MemCategory::Gradients,
+    MemCategory::MasterParams,
+    MemCategory::Momentum,
+    MemCategory::Variance,
+    MemCategory::Activations,
+    MemCategory::Checkpoints,
+    MemCategory::Buffers,
+    MemCategory::CpuOffload,
+];
+
+/// Categories that constitute "model states" in the paper's sense.
+pub const MODEL_STATE_CATEGORIES: [MemCategory; 5] = [
+    MemCategory::ParamsFp16,
+    MemCategory::Gradients,
+    MemCategory::MasterParams,
+    MemCategory::Momentum,
+    MemCategory::Variance,
+];
+
+/// Live/peak byte counters per category for one rank.
+///
+/// Single-threaded by design (each rank owns its tracker), which keeps the
+/// accounting exact and free of ordering questions.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryTracker {
+    live: [u64; CATEGORY_COUNT],
+    peak: [u64; CATEGORY_COUNT],
+    peak_device_total: u64,
+    peak_model_states: u64,
+    cpu_transfer_bytes: u64,
+}
+
+impl MemoryTracker {
+    /// A fresh tracker with all counters zero.
+    pub fn new() -> MemoryTracker {
+        MemoryTracker::default()
+    }
+
+    /// Registers an allocation of `bytes` under `cat`.
+    pub fn alloc(&mut self, cat: MemCategory, bytes: u64) {
+        let i = cat as usize;
+        self.live[i] += bytes;
+        if self.live[i] > self.peak[i] {
+            self.peak[i] = self.live[i];
+        }
+        let dev = self.device_live();
+        if dev > self.peak_device_total {
+            self.peak_device_total = dev;
+        }
+        let ms = self.model_state_live();
+        if ms > self.peak_model_states {
+            self.peak_model_states = ms;
+        }
+    }
+
+    /// Registers a release of `bytes` under `cat`.
+    ///
+    /// # Panics
+    /// Panics on a release exceeding the live amount (a double free in the
+    /// engine's accounting).
+    pub fn free(&mut self, cat: MemCategory, bytes: u64) {
+        let i = cat as usize;
+        assert!(
+            self.live[i] >= bytes,
+            "memory accounting underflow in {:?}: freeing {} of {}",
+            cat,
+            bytes,
+            self.live[i]
+        );
+        self.live[i] -= bytes;
+    }
+
+    /// Records `bytes` moved over the (simulated) PCIe link for P_a+cpu;
+    /// §8 prices this at 2× the P_a all-gather volume.
+    pub fn record_cpu_transfer(&mut self, bytes: u64) {
+        self.cpu_transfer_bytes += bytes;
+    }
+
+    /// Total bytes moved to/from CPU so far.
+    pub fn cpu_transfer_bytes(&self) -> u64 {
+        self.cpu_transfer_bytes
+    }
+
+    /// Live bytes in one category.
+    pub fn live(&self, cat: MemCategory) -> u64 {
+        self.live[cat as usize]
+    }
+
+    /// Peak bytes in one category.
+    pub fn peak(&self, cat: MemCategory) -> u64 {
+        self.peak[cat as usize]
+    }
+
+    /// Live device bytes (everything except CPU offload).
+    pub fn device_live(&self) -> u64 {
+        ALL_CATEGORIES
+            .iter()
+            .filter(|&&c| c != MemCategory::CpuOffload)
+            .map(|&c| self.live[c as usize])
+            .sum()
+    }
+
+    /// Peak simultaneous device bytes (the paper's "max cached memory",
+    /// Figure 7 analogue).
+    pub fn peak_device(&self) -> u64 {
+        self.peak_device_total
+    }
+
+    /// Live model-state bytes (params + grads + optimizer states).
+    pub fn model_state_live(&self) -> u64 {
+        MODEL_STATE_CATEGORIES.iter().map(|&c| self.live[c as usize]).sum()
+    }
+
+    /// Peak simultaneous model-state bytes — the quantity Figure 1 and
+    /// Table 1 tabulate.
+    pub fn peak_model_states(&self) -> u64 {
+        self.peak_model_states
+    }
+
+    /// Resets peaks to current live values (for per-iteration peaks).
+    pub fn reset_peaks(&mut self) {
+        self.peak = self.live;
+        self.peak_device_total = self.device_live();
+        self.peak_model_states = self.model_state_live();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_and_peaks() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::ParamsFp16, 100);
+        m.alloc(MemCategory::Gradients, 50);
+        assert_eq!(m.device_live(), 150);
+        m.free(MemCategory::Gradients, 50);
+        assert_eq!(m.device_live(), 100);
+        assert_eq!(m.peak_device(), 150, "peak remembers the high-water mark");
+        m.alloc(MemCategory::Gradients, 20);
+        assert_eq!(m.peak(MemCategory::Gradients), 50);
+    }
+
+    #[test]
+    fn model_states_exclude_activations_and_buffers() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::MasterParams, 400);
+        m.alloc(MemCategory::Momentum, 400);
+        m.alloc(MemCategory::Variance, 400);
+        m.alloc(MemCategory::Activations, 999);
+        m.alloc(MemCategory::Buffers, 123);
+        assert_eq!(m.model_state_live(), 1200);
+        assert_eq!(m.peak_model_states(), 1200);
+    }
+
+    #[test]
+    fn cpu_offload_not_counted_as_device() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::CpuOffload, 1_000_000);
+        assert_eq!(m.device_live(), 0);
+        assert_eq!(m.live(MemCategory::CpuOffload), 1_000_000);
+        m.record_cpu_transfer(2_000_000);
+        assert_eq!(m.cpu_transfer_bytes(), 2_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn double_free_detected() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::Buffers, 10);
+        m.free(MemCategory::Buffers, 11);
+    }
+
+    #[test]
+    fn reset_peaks_tracks_per_iteration() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::Activations, 100);
+        m.free(MemCategory::Activations, 100);
+        assert_eq!(m.peak(MemCategory::Activations), 100);
+        m.reset_peaks();
+        assert_eq!(m.peak(MemCategory::Activations), 0);
+        m.alloc(MemCategory::Activations, 40);
+        assert_eq!(m.peak(MemCategory::Activations), 40);
+    }
+}

@@ -1,0 +1,170 @@
+//! Training-run metrics: smoothed loss, throughput, and skip-rate
+//! tracking for long runs (what the `zero-train` CLI and the Figure 5
+//! driver report).
+
+use std::time::{Duration, Instant};
+
+use crate::engine::StepOutcome;
+
+/// Rolling statistics over a training run.
+#[derive(Debug)]
+pub struct TrainingMetrics {
+    started: Instant,
+    tokens_per_step: u64,
+    steps: u64,
+    skipped: u64,
+    loss_ema: Option<f64>,
+    ema_beta: f64,
+    best_loss: f32,
+    last_loss: f32,
+}
+
+impl TrainingMetrics {
+    /// Creates metrics for a run processing `tokens_per_step` tokens per
+    /// optimizer step (global batch × seq).
+    pub fn new(tokens_per_step: u64) -> TrainingMetrics {
+        TrainingMetrics {
+            started: Instant::now(),
+            tokens_per_step,
+            steps: 0,
+            skipped: 0,
+            loss_ema: None,
+            ema_beta: 0.9,
+            best_loss: f32::INFINITY,
+            last_loss: f32::NAN,
+        }
+    }
+
+    /// Records one step's outcome.
+    pub fn record(&mut self, out: &StepOutcome) {
+        self.steps += 1;
+        if out.skipped {
+            self.skipped += 1;
+            return;
+        }
+        self.last_loss = out.loss;
+        self.best_loss = self.best_loss.min(out.loss);
+        let l = out.loss as f64;
+        self.loss_ema = Some(match self.loss_ema {
+            Some(e) => self.ema_beta * e + (1.0 - self.ema_beta) * l,
+            None => l,
+        });
+    }
+
+    /// Steps recorded (including skipped).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Fraction of steps skipped by the loss scaler.
+    pub fn skip_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.steps as f64
+        }
+    }
+
+    /// Exponentially smoothed loss (β = 0.9), if any step completed.
+    pub fn smoothed_loss(&self) -> Option<f64> {
+        self.loss_ema
+    }
+
+    /// Best (lowest) per-step loss seen.
+    pub fn best_loss(&self) -> f32 {
+        self.best_loss
+    }
+
+    /// Most recent non-skipped loss.
+    pub fn last_loss(&self) -> f32 {
+        self.last_loss
+    }
+
+    /// Wall-clock elapsed.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Tokens processed per wall-clock second (skipped steps still cost
+    /// the forward/backward, so they count).
+    pub fn tokens_per_second(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.steps * self.tokens_per_step) as f64 / secs
+        }
+    }
+
+    /// Perplexity of the smoothed loss.
+    pub fn smoothed_perplexity(&self) -> Option<f64> {
+        self.loss_ema.map(f64::exp)
+    }
+
+    /// One-line progress summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "step {:>5}  loss {:.4} (ema {:.4}, best {:.4})  ppl {:.2}  {:.0} tok/s  skip {:.1}%",
+            self.steps,
+            self.last_loss,
+            self.smoothed_loss().unwrap_or(f64::NAN),
+            self.best_loss,
+            self.smoothed_perplexity().unwrap_or(f64::NAN),
+            self.tokens_per_second(),
+            100.0 * self.skip_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(loss: f32, skipped: bool) -> StepOutcome {
+        StepOutcome {
+            loss,
+            skipped,
+            grad_norm: None,
+            loss_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn ema_tracks_and_best_is_min() {
+        let mut m = TrainingMetrics::new(128);
+        m.record(&outcome(4.0, false));
+        m.record(&outcome(2.0, false));
+        m.record(&outcome(3.0, false));
+        let ema = m.smoothed_loss().unwrap();
+        assert!(ema > 2.0 && ema < 4.0, "ema {ema}");
+        assert_eq!(m.best_loss(), 2.0);
+        assert_eq!(m.last_loss(), 3.0);
+        assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn skips_are_counted_but_do_not_move_the_loss() {
+        let mut m = TrainingMetrics::new(1);
+        m.record(&outcome(5.0, false));
+        let ema_before = m.smoothed_loss();
+        m.record(&outcome(f32::NAN, true));
+        assert_eq!(m.smoothed_loss(), ema_before);
+        assert!((m.skip_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perplexity_is_exp_loss() {
+        let mut m = TrainingMetrics::new(1);
+        m.record(&outcome(0.0, false));
+        assert!((m.smoothed_perplexity().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let mut m = TrainingMetrics::new(64);
+        m.record(&outcome(1.5, false));
+        let s = m.summary();
+        assert!(s.contains("loss 1.5"), "{s}");
+        assert!(s.contains("skip 0.0%"), "{s}");
+    }
+}

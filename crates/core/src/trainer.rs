@@ -1,0 +1,361 @@
+//! Multi-rank training harness.
+//!
+//! Spawns one [`RankEngine`] per grid rank (each a thread, per
+//! `zero-comm`), feeds every rank its share of each global batch, and
+//! collects losses, memory footprints, and communication traffic — the
+//! measurements the reproduction's experiments and equivalence tests
+//! consume.
+
+use zero_comm::{Grid, TrafficSnapshot, World};
+use zero_model::{init_full_params, shard_params, Gpt, ModelConfig, SyntheticCorpus};
+
+use crate::config::ZeroConfig;
+use crate::engine::RankEngine;
+use crate::memory::{MemCategory, ALL_CATEGORIES, CATEGORY_COUNT};
+
+/// A complete training-run specification.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainSetup {
+    /// Model configuration (per the full, unsharded model).
+    pub model: ModelConfig,
+    /// ZeRO engine configuration.
+    pub zero: ZeroConfig,
+    /// Process grid (dp × mp).
+    pub grid: Grid,
+    /// Global batch size (split evenly over DP replicas).
+    pub global_batch: usize,
+    /// Parameter-init and data seed.
+    pub seed: u64,
+}
+
+/// Per-rank measurements captured after a run.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// Global rank.
+    pub rank: usize,
+    /// Peak device bytes.
+    pub peak_device_bytes: u64,
+    /// Peak model-state bytes (Figure 1 / Table 1 quantity).
+    pub peak_model_state_bytes: u64,
+    /// Live bytes per category at end of run (discriminant order).
+    pub live_by_category: [u64; CATEGORY_COUNT],
+    /// Peak bytes per category over the run (discriminant order).
+    pub peak_by_category: [u64; CATEGORY_COUNT],
+    /// Bytes moved over the simulated PCIe link (P_a+cpu).
+    pub cpu_transfer_bytes: u64,
+    /// Communication traffic snapshot.
+    pub traffic: TrafficSnapshot,
+    /// This rank's fp32 master shard (or full buffer under DDP).
+    pub master: Vec<f32>,
+    /// The flat range the master shard covers.
+    pub shard_range: std::ops::Range<usize>,
+}
+
+/// Results of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean loss per step, averaged over DP replicas.
+    pub losses: Vec<f32>,
+    /// Steps skipped by the loss scaler, per step (true = skipped).
+    pub skipped: Vec<bool>,
+    /// Validation losses, if eval points were requested.
+    pub val_losses: Vec<f32>,
+    /// Per-rank measurements.
+    pub ranks: Vec<RankReport>,
+}
+
+impl TrainReport {
+    /// Peak model-state bytes, maximum over ranks.
+    pub fn max_model_state_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.peak_model_state_bytes).max().unwrap_or(0)
+    }
+
+    /// Reassembles the full fp32 master parameter buffer from the MP-rank-0
+    /// replicas' shards (valid for mp = 1; for mp > 1 use per-shard
+    /// comparisons instead). Under DDP each rank holds the full buffer and
+    /// rank 0's copy is returned.
+    ///
+    /// # Panics
+    /// Panics if the shards do not tile the flat space.
+    pub fn gather_master_mp1(&self) -> Vec<f32> {
+        if self.ranks[0].shard_range.start == 0 && self.ranks.len() >= 1 {
+            if let Some(full) = self
+                .ranks
+                .iter()
+                .find(|r| r.shard_range.start == 0 && r.master.len() == r.shard_range.len())
+            {
+                let covers_all = self
+                    .ranks
+                    .iter()
+                    .all(|r| r.shard_range == full.shard_range);
+                if covers_all {
+                    return full.master.clone();
+                }
+            }
+        }
+        let mut pieces: Vec<&RankReport> = self.ranks.iter().collect();
+        pieces.sort_by_key(|r| r.shard_range.start);
+        pieces.dedup_by_key(|r| r.shard_range.start);
+        let mut out = Vec::new();
+        for r in pieces {
+            assert_eq!(r.shard_range.start, out.len(), "shards must tile the space");
+            out.extend_from_slice(&r.master);
+        }
+        out
+    }
+}
+
+/// Runs `steps` training steps on a fresh model over a synthetic corpus.
+///
+/// `eval_every` (if nonzero) runs a validation pass on a held-out batch
+/// after every that many steps.
+pub fn run_training(setup: &TrainSetup, steps: usize, eval_every: usize) -> TrainReport {
+    let corpus = SyntheticCorpus::generate(
+        setup.model.vocab,
+        (setup.global_batch * (setup.model.seq + 1) * (steps + 2)).max(10_000),
+        setup.seed ^ 0x5EED,
+    );
+    run_training_on(setup, steps, eval_every, corpus.tokens())
+}
+
+/// Like [`run_training`] but over a caller-supplied token stream (e.g. a
+/// [`zero_model::ByteCorpus`] built from real text). Every token must be
+/// `< model.vocab`.
+pub fn run_training_on(
+    setup: &TrainSetup,
+    steps: usize,
+    eval_every: usize,
+    tokens: &[u32],
+) -> TrainReport {
+    setup.model.validate();
+    setup.zero.validate();
+    let n = setup.grid.world_size();
+    assert_eq!(
+        setup.global_batch % setup.grid.dp_degree(),
+        0,
+        "global batch must divide evenly over DP replicas"
+    );
+    assert!(
+        tokens.iter().all(|&t| (t as usize) < setup.model.vocab),
+        "token stream exceeds the model vocabulary"
+    );
+    assert!(
+        tokens.len() > setup.model.seq + 1,
+        "token stream shorter than one sequence"
+    );
+    let full = init_full_params(&setup.model, setup.seed);
+    let corpus = TokenStream { tokens, seq: setup.model.seq };
+
+    let mut world = World::new(n);
+    let comms: Vec<_> = (0..n).map(|r| world.take(r)).collect();
+    let setup_ref = &setup;
+    let full_ref = &full;
+    let corpus_ref = &corpus;
+
+    let mut rank_outputs: Vec<Option<(Vec<f32>, Vec<bool>, Vec<f32>, RankReport)>> =
+        (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                s.spawn(move || {
+                    let rank = comm.rank();
+                    let (dp_rank, mp_rank) = setup_ref.grid.coords(rank);
+                    let mp = setup_ref.grid.mp_degree();
+                    let gpt = Gpt::new_mp(setup_ref.model, mp);
+                    let my_params = if mp == 1 {
+                        full_ref.clone()
+                    } else {
+                        shard_params(&setup_ref.model, full_ref, mp, mp_rank)
+                    };
+                    let mut engine =
+                        RankEngine::new(gpt, &my_params, setup_ref.zero, setup_ref.grid, comm);
+                    drop(my_params);
+
+                    let local_batch = setup_ref.global_batch / setup_ref.grid.dp_degree();
+                    let mut losses = Vec::with_capacity(steps);
+                    let mut skipped = Vec::with_capacity(steps);
+                    let mut val_losses = Vec::new();
+                    for step in 0..steps {
+                        let (ids, targets) = corpus_ref.rank_batch(
+                            step,
+                            setup_ref.global_batch,
+                            setup_ref.model.seq,
+                            setup_ref.grid.dp_degree(),
+                            dp_rank,
+                        );
+                        let out = engine.train_step(&ids, &targets, local_batch);
+                        losses.push(out.loss);
+                        skipped.push(out.skipped);
+                        if eval_every > 0 && (step + 1) % eval_every == 0 {
+                            // Held-out batch: beyond the training range.
+                            let (ids, targets) = corpus_ref.rank_batch(
+                                steps + 1,
+                                setup_ref.global_batch,
+                                setup_ref.model.seq,
+                                setup_ref.grid.dp_degree(),
+                                dp_rank,
+                            );
+                            val_losses.push(engine.eval_loss(&ids, &targets, local_batch));
+                        }
+                    }
+                    let mem = engine.memory();
+                    let mut live = [0u64; CATEGORY_COUNT];
+                    let mut peak = [0u64; CATEGORY_COUNT];
+                    for (i, c) in ALL_CATEGORIES.iter().enumerate() {
+                        live[i] = mem.live(*c);
+                        peak[i] = mem.peak(*c);
+                    }
+                    let report = RankReport {
+                        rank,
+                        peak_device_bytes: mem.peak_device(),
+                        peak_model_state_bytes: mem.peak_model_states(),
+                        live_by_category: live,
+                        peak_by_category: peak,
+                        cpu_transfer_bytes: mem.cpu_transfer_bytes(),
+                        traffic: engine.traffic(),
+                        master: engine.master_params().to_vec(),
+                        shard_range: engine.master_range(),
+                    };
+                    (losses, skipped, val_losses, report)
+                })
+            })
+            .collect();
+        for (slot, h) in rank_outputs.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    });
+
+    let outputs: Vec<_> = rank_outputs.into_iter().map(|o| o.unwrap()).collect();
+    // Average losses over DP replicas (take mp_rank 0 of each replica —
+    // MP ranks report identical losses).
+    let dp = setup.grid.dp_degree();
+    let steps_run = outputs[0].0.len();
+    let mut losses = vec![0.0_f32; steps_run];
+    for d in 0..dp {
+        let rank = setup.grid.rank_at(d, 0);
+        for (i, l) in outputs[rank].0.iter().enumerate() {
+            losses[i] += l / dp as f32;
+        }
+    }
+    let mut val_losses = vec![0.0_f32; outputs[0].2.len()];
+    for d in 0..dp {
+        let rank = setup.grid.rank_at(d, 0);
+        for (i, l) in outputs[rank].2.iter().enumerate() {
+            val_losses[i] += l / dp as f32;
+        }
+    }
+    let skipped = outputs[0].1.clone();
+    let ranks = outputs.into_iter().map(|o| o.3).collect();
+    TrainReport {
+        losses,
+        skipped,
+        val_losses,
+        ranks,
+    }
+}
+
+/// Convenience: the live model-state bytes of one rank report.
+pub fn model_state_bytes(report: &RankReport) -> u64 {
+    use MemCategory::*;
+    [ParamsFp16, Gradients, MasterParams, Momentum, Variance]
+        .iter()
+        .map(|&c| report.live_by_category[c as usize])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ZeroConfig, ZeroStage};
+
+    fn tiny_setup(stage: ZeroStage, dp: usize, mp: usize) -> TrainSetup {
+        TrainSetup {
+            model: ModelConfig {
+                vocab: 32,
+                seq: 8,
+                hidden: 16,
+                layers: 2,
+                heads: 2,
+            },
+            zero: ZeroConfig {
+                stage,
+                bucket_elems: 512,
+                ..ZeroConfig::default()
+            },
+            grid: Grid::new(dp, mp),
+            global_batch: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn smoke_train_all_stages_fp16() {
+        for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let setup = tiny_setup(stage, 2, 1);
+            let report = run_training(&setup, 3, 0);
+            assert_eq!(report.losses.len(), 3);
+            assert!(
+                report.losses.iter().all(|l| l.is_finite()),
+                "{stage:?}: losses finite"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_train_with_mp() {
+        let setup = tiny_setup(ZeroStage::Two, 2, 2);
+        let report = run_training(&setup, 2, 1);
+        assert_eq!(report.losses.len(), 2);
+        assert_eq!(report.val_losses.len(), 2);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut setup = tiny_setup(ZeroStage::Two, 2, 1);
+        setup.zero.fp16 = false; // avoid scaler warm-up noise in a short run
+        setup.zero.optimizer = crate::config::OptimizerKind::Adam(zero_optim::AdamConfig {
+            lr: 3e-3,
+            ..Default::default()
+        });
+        let report = run_training(&setup, 25, 0);
+        let first: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
+        let last: f32 = report.losses[20..].iter().sum::<f32>() / 5.0;
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+}
+
+/// A borrowed token stream with the same batch-slicing semantics as
+/// [`SyntheticCorpus::rank_batch`].
+struct TokenStream<'a> {
+    tokens: &'a [u32],
+    seq: usize,
+}
+
+impl TokenStream<'_> {
+    fn rank_batch(
+        &self,
+        index: usize,
+        global_batch: usize,
+        seq: usize,
+        dp: usize,
+        rank: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        debug_assert_eq!(seq, self.seq);
+        assert_eq!(global_batch % dp, 0, "batch not divisible by dp");
+        let span = seq + 1;
+        let local = global_batch / dp;
+        let mut ids = Vec::with_capacity(local * seq);
+        let mut targets = Vec::with_capacity(local * seq);
+        for b in 0..local {
+            let global_b = rank * local + b;
+            let start = (index * global_batch * span + global_b * span)
+                % (self.tokens.len() - span);
+            let window = &self.tokens[start..start + span];
+            ids.extend_from_slice(&window[..seq]);
+            targets.extend_from_slice(&window[1..]);
+        }
+        (ids, targets)
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for zero-core's partitioning, bucketing, storage, and
+//! arena invariants — the pieces whose correctness the ZeRO schedule
+//! silently relies on for every step.
+
+use proptest::prelude::*;
+use zero_core::{ContiguousArena, FlatStore, GradBucket, Partitioner};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partitioner_covers_without_overlap(total in 0usize..10_000, n in 1usize..64) {
+        let p = Partitioner::new(total, n);
+        let mut cursor = 0;
+        for i in 0..n {
+            let r = p.shard_range(i);
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, total);
+    }
+
+    #[test]
+    fn partitioner_shards_are_balanced(total in 0usize..10_000, n in 1usize..64) {
+        let p = Partitioner::new(total, n);
+        let counts = p.counts();
+        let (min, max) = (
+            counts.iter().min().copied().unwrap_or(0),
+            counts.iter().max().copied().unwrap_or(0),
+        );
+        prop_assert!(max - min <= 1, "shards {counts:?} not balanced");
+    }
+
+    #[test]
+    fn owner_of_is_consistent_with_shard_range(
+        total in 1usize..5_000, n in 1usize..32, idx_seed in 0usize..5_000,
+    ) {
+        let p = Partitioner::new(total, n);
+        let idx = idx_seed % total;
+        let owner = p.owner_of(idx);
+        prop_assert!(p.shard_range(owner).contains(&idx));
+    }
+
+    #[test]
+    fn intersect_counts_match_local_slices(
+        total in 1usize..5_000, n in 1usize..16,
+        a in 0usize..5_000, b in 0usize..5_000,
+    ) {
+        let p = Partitioner::new(total, n);
+        let (lo, hi) = (a.min(b) % total, (a.max(b) % total).max(a.min(b) % total));
+        let range = lo..hi;
+        let counts = p.intersect_counts(&range);
+        prop_assert_eq!(counts.iter().sum::<usize>(), range.len());
+        for i in 0..n {
+            let local = p.local_slice_of(i, &range);
+            prop_assert_eq!(local.len(), counts[i], "owner {}", i);
+            prop_assert!(local.end <= p.shard_range(i).len());
+        }
+    }
+
+    #[test]
+    fn bucket_flushes_cover_all_pushed_data(
+        unit_lens in prop::collection::vec(1usize..50, 1..10),
+        capacity in 1usize..100,
+    ) {
+        // Build descending contiguous unit ranges (backward order).
+        let total: usize = unit_lens.iter().sum();
+        let mut ranges = Vec::new();
+        let mut hi = total;
+        for len in &unit_lens {
+            ranges.push(hi - len..hi);
+            hi -= len;
+        }
+        let mut bucket = GradBucket::new(capacity);
+        let mut seen = vec![false; total];
+        let mut flush = |r: std::ops::Range<usize>, d: &mut [f32]| {
+            assert_eq!(r.len(), d.len());
+            for (i, &v) in r.clone().zip(d.iter()) {
+                assert!(!seen[i], "element {i} flushed twice");
+                seen[i] = true;
+                assert_eq!(v, i as f32, "value at {i} scrambled");
+            }
+        };
+        for r in &ranges {
+            let data: Vec<f32> = r.clone().map(|i| i as f32).collect();
+            bucket.push(r.clone(), data, &mut flush);
+        }
+        bucket.flush_all(&mut flush);
+        prop_assert!(seen.iter().all(|&s| s), "not all elements flushed");
+        prop_assert_eq!(bucket.pending_elems(), 0);
+    }
+
+    #[test]
+    fn flat_store_write_read_round_trip_f32(
+        values in prop::collection::vec(-1e6f32..1e6, 1..100),
+    ) {
+        let s = FlatStore::from_f32(&values, false);
+        prop_assert_eq!(s.read_vec(0..values.len()), values);
+    }
+
+    #[test]
+    fn flat_store_f16_error_bounded(
+        values in prop::collection::vec(-60000.0f32..60000.0, 1..100),
+    ) {
+        let s = FlatStore::from_f32(&values, true);
+        let back = s.read_vec(0..values.len());
+        for (v, b) in values.iter().zip(&back) {
+            let tol = (v.abs() * 2.0_f32.powi(-11)).max(2.0_f32.powi(-25));
+            prop_assert!((v - b).abs() <= tol);
+        }
+        prop_assert_eq!(s.bytes(), 2 * values.len() as u64);
+    }
+
+    #[test]
+    fn arena_slots_never_alias(
+        lens in prop::collection::vec(1usize..40, 1..12),
+    ) {
+        let total: usize = lens.iter().sum();
+        let mut arena = ContiguousArena::new(total);
+        let mut slots = Vec::new();
+        for (i, len) in lens.iter().enumerate() {
+            let data: Vec<f32> = std::iter::repeat(i as f32).take(*len).collect();
+            slots.push((arena.store(&data), i));
+        }
+        for (slot, i) in &slots {
+            let got = arena.slot(slot);
+            prop_assert!(got.iter().all(|&v| v == *i as f32), "slot {i} corrupted");
+        }
+        prop_assert_eq!(arena.used(), total);
+    }
+}

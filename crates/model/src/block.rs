@@ -1,0 +1,752 @@
+//! One transformer block: LN → causal multi-head attention → residual →
+//! LN → GELU MLP → residual, with hand-written exact backward.
+//!
+//! The block is written against [`BlockDims`] so the *same* kernels serve
+//! the single-device model and each shard of the Megatron-style
+//! model-parallel model (local heads = heads / N_m). The two places where
+//! Megatron inserts its forward all-reduces (after the row-parallel
+//! attention projection and the row-parallel second MLP matmul, §8 of the
+//! paper) are exposed as a `reduce` callback; the two backward all-reduces
+//! (the `f` operator before each layernorm backward) as `reduce_back`.
+//! For a single device both callbacks are the identity.
+
+use zero_tensor::ops::activation::{acc, add, add_bias, bias_grad, dropout_backward, dropout_forward, gelu_backward, gelu_forward};
+use zero_tensor::ops::matmul::{sgemm, sgemm_nt, sgemm_tn};
+use zero_tensor::ops::norm::{layernorm_backward, layernorm_forward};
+use zero_tensor::ops::softmax::{causal_softmax_forward, softmax_backward};
+
+use crate::layout::BlockOffsets;
+
+const LN_EPS: f32 = 1e-5;
+
+/// Dropout applied at GPT-2's two residual-branch sites (after the
+/// attention projection and after the MLP's second matmul).
+///
+/// Masks are derived from a stateless counter-based hash of `seed`, so the
+/// checkpointing recompute path regenerates the forward pass bit-exactly —
+/// callers must pass a seed unique per (step, micro-batch, layer) and the
+/// SAME seed to the matching backward call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dropout {
+    /// Drop probability in [0, 1).
+    pub p: f32,
+    /// Mask seed for this block invocation.
+    pub seed: u64,
+}
+
+impl Dropout {
+    /// No dropout (identity).
+    pub const OFF: Dropout = Dropout { p: 0.0, seed: 0 };
+
+    #[inline]
+    fn site(&self, which: u64) -> u64 {
+        self.seed ^ which.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Shape parameters of one block *as seen by one rank*.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockDims {
+    /// Full hidden dimension h (the block's input/output width).
+    pub hidden: usize,
+    /// Heads computed on this rank (= heads / N_m).
+    pub local_heads: usize,
+    /// Per-head dimension (global, unaffected by MP).
+    pub head_dim: usize,
+    /// MLP intermediate width on this rank (= 4h / N_m).
+    pub ffn: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+impl BlockDims {
+    /// Rows of the `[T, h]` activation matrices: batch · seq.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.batch * self.seq
+    }
+
+    /// Local attention width = local_heads · head_dim (= h / N_m).
+    #[inline]
+    pub fn attn_width(&self) -> usize {
+        self.local_heads * self.head_dim
+    }
+}
+
+/// Activations saved by the forward pass for the exact backward pass.
+///
+/// Its size is what activation checkpointing (§6.1) trades for recompute:
+/// with checkpointing only the block *input* (`x`, seq·hidden per sample)
+/// is kept and everything else is rebuilt on the fly.
+pub struct BlockSaved {
+    /// Block input `[T, h]`.
+    pub x: Vec<f32>,
+    /// LN1 statistics.
+    pub ln1_mean: Vec<f32>,
+    pub ln1_rstd: Vec<f32>,
+    /// LN1 output `[T, h]`.
+    pub h1: Vec<f32>,
+    /// QKV projections `[T, 3·attn_width]`.
+    pub qkv: Vec<f32>,
+    /// Attention probabilities, `local_heads·batch` causal maps of `[s, s]`.
+    pub probs: Vec<f32>,
+    /// Concatenated per-head context `[T, attn_width]`.
+    pub attn_out: Vec<f32>,
+    /// Post-attention residual stream `[T, h]`.
+    pub x2: Vec<f32>,
+    /// LN2 statistics.
+    pub ln2_mean: Vec<f32>,
+    pub ln2_rstd: Vec<f32>,
+    /// LN2 output `[T, h]`.
+    pub h2: Vec<f32>,
+    /// MLP pre-activation `[T, ffn]`.
+    pub fc1: Vec<f32>,
+    /// GELU output `[T, ffn]`.
+    pub gelu: Vec<f32>,
+}
+
+impl BlockSaved {
+    /// Total saved activation elements (for memory accounting).
+    pub fn elems(&self) -> usize {
+        self.x.len()
+            + self.ln1_mean.len()
+            + self.ln1_rstd.len()
+            + self.h1.len()
+            + self.qkv.len()
+            + self.probs.len()
+            + self.attn_out.len()
+            + self.x2.len()
+            + self.ln2_mean.len()
+            + self.ln2_rstd.len()
+            + self.h2.len()
+            + self.fc1.len()
+            + self.gelu.len()
+    }
+}
+
+/// Forward pass of one block.
+///
+/// * `params` — this block's flat parameter slice (see [`BlockOffsets`]).
+/// * `x` — input `[T, h]`.
+/// * `y` — output `[T, h]`.
+/// * `reduce` — called on partial row-parallel outputs (attention
+///   projection, then MLP fc2) *before* bias/residual; all-reduce across
+///   the MP group, or identity when N_m = 1.
+///
+/// Returns the saved activations for [`block_backward`].
+pub fn block_forward(
+    dims: &BlockDims,
+    params: &[f32],
+    off: &BlockOffsets,
+    x: &[f32],
+    y: &mut [f32],
+    reduce: &mut dyn FnMut(&mut [f32]),
+) -> BlockSaved {
+    block_forward_dropout(dims, params, off, x, y, reduce, Dropout::OFF)
+}
+
+/// [`block_forward`] with residual-branch dropout.
+#[allow(clippy::too_many_arguments)]
+pub fn block_forward_dropout(
+    dims: &BlockDims,
+    params: &[f32],
+    off: &BlockOffsets,
+    x: &[f32],
+    y: &mut [f32],
+    reduce: &mut dyn FnMut(&mut [f32]),
+    drop: Dropout,
+) -> BlockSaved {
+    let t = dims.rows();
+    let h = dims.hidden;
+    let aw = dims.attn_width();
+    let ffn = dims.ffn;
+    assert_eq!(x.len(), t * h, "block_forward: x shape");
+    assert_eq!(y.len(), t * h, "block_forward: y shape");
+
+    // LN1.
+    let mut h1 = vec![0.0; t * h];
+    let mut ln1_mean = vec![0.0; t];
+    let mut ln1_rstd = vec![0.0; t];
+    layernorm_forward(
+        x,
+        &params[off.ln1_g.clone()],
+        &params[off.ln1_b.clone()],
+        &mut h1,
+        &mut ln1_mean,
+        &mut ln1_rstd,
+        t,
+        h,
+        LN_EPS,
+    );
+
+    // QKV projection (column-parallel under MP: no communication).
+    let mut qkv = vec![0.0; t * 3 * aw];
+    sgemm_nt(&h1, &params[off.w_qkv.clone()], &mut qkv, t, h, 3 * aw);
+    add_bias(&mut qkv, &params[off.b_qkv.clone()]);
+
+    // Per-(batch, head) causal attention.
+    let (probs, attn_out) = attention_forward(dims, &qkv);
+
+    // Output projection (row-parallel under MP: partial sums reduced).
+    let mut ao = vec![0.0; t * h];
+    sgemm_nt(&attn_out, &params[off.w_o.clone()], &mut ao, t, aw, h);
+    reduce(&mut ao);
+    add_bias(&mut ao, &params[off.b_o.clone()]);
+    dropout_forward(&mut ao, drop.p, drop.site(1));
+
+    // Residual 1.
+    let mut x2 = vec![0.0; t * h];
+    add(x, &ao, &mut x2);
+
+    // LN2.
+    let mut h2 = vec![0.0; t * h];
+    let mut ln2_mean = vec![0.0; t];
+    let mut ln2_rstd = vec![0.0; t];
+    layernorm_forward(
+        &x2,
+        &params[off.ln2_g.clone()],
+        &params[off.ln2_b.clone()],
+        &mut h2,
+        &mut ln2_mean,
+        &mut ln2_rstd,
+        t,
+        h,
+        LN_EPS,
+    );
+
+    // MLP: fc1 (column-parallel) → GELU → fc2 (row-parallel, reduced).
+    let mut fc1 = vec![0.0; t * ffn];
+    sgemm_nt(&h2, &params[off.w_fc1.clone()], &mut fc1, t, h, ffn);
+    add_bias(&mut fc1, &params[off.b_fc1.clone()]);
+    let mut gelu = vec![0.0; t * ffn];
+    gelu_forward(&fc1, &mut gelu);
+    let mut f2 = vec![0.0; t * h];
+    sgemm_nt(&gelu, &params[off.w_fc2.clone()], &mut f2, t, ffn, h);
+    reduce(&mut f2);
+    add_bias(&mut f2, &params[off.b_fc2.clone()]);
+    dropout_forward(&mut f2, drop.p, drop.site(2));
+
+    // Residual 2.
+    add(&x2, &f2, y);
+
+    BlockSaved {
+        x: x.to_vec(),
+        ln1_mean,
+        ln1_rstd,
+        h1,
+        qkv,
+        probs,
+        attn_out,
+        x2,
+        ln2_mean,
+        ln2_rstd,
+        h2,
+        fc1,
+        gelu,
+    }
+}
+
+/// Backward pass of one block.
+///
+/// * `dy` — gradient w.r.t. the block output `[T, h]`.
+/// * `dx` — receives the gradient w.r.t. the block input `[T, h]`.
+/// * `grads` — this block's flat gradient slice; contributions are
+///   **accumulated** (callers zero it when appropriate).
+/// * `reduce_back` — Megatron's `f` operator: all-reduce of the partial
+///   input gradients of the two column-parallel matmuls; identity for
+///   N_m = 1.
+#[allow(clippy::too_many_arguments)]
+pub fn block_backward(
+    dims: &BlockDims,
+    params: &[f32],
+    off: &BlockOffsets,
+    saved: &BlockSaved,
+    dy: &[f32],
+    dx: &mut [f32],
+    grads: &mut [f32],
+    reduce_back: &mut dyn FnMut(&mut [f32]),
+) {
+    block_backward_dropout(dims, params, off, saved, dy, dx, grads, reduce_back, Dropout::OFF)
+}
+
+/// [`block_backward`] with residual-branch dropout; `drop` must match the
+/// forward call's.
+#[allow(clippy::too_many_arguments)]
+pub fn block_backward_dropout(
+    dims: &BlockDims,
+    params: &[f32],
+    off: &BlockOffsets,
+    saved: &BlockSaved,
+    dy: &[f32],
+    dx: &mut [f32],
+    grads: &mut [f32],
+    reduce_back: &mut dyn FnMut(&mut [f32]),
+    drop: Dropout,
+) {
+    let t = dims.rows();
+    let h = dims.hidden;
+    let aw = dims.attn_width();
+    let ffn = dims.ffn;
+    assert_eq!(dy.len(), t * h, "block_backward: dy shape");
+    assert_eq!(dx.len(), t * h, "block_backward: dx shape");
+
+    // --- MLP path ---
+    // y = x2 + dropout(f2): dL/d(fc2 out) = dropout'(dy); dL/dx2 = dy.
+    let mut df2 = dy.to_vec();
+    dropout_backward(&mut df2, drop.p, drop.site(2));
+    let mut dgelu = vec![0.0; t * ffn];
+    sgemm(&df2, &params[off.w_fc2.clone()], &mut dgelu, t, h, ffn);
+    sgemm_tn_into(grads, off.w_fc2.clone(), &df2, &saved.gelu, h, t, ffn);
+    bias_grad(&df2, &mut grads[off.b_fc2.clone()]);
+
+    // GELU.
+    let mut dfc1 = vec![0.0; t * ffn];
+    gelu_backward(&saved.fc1, &dgelu, &mut dfc1);
+
+    // fc1: fc1 = h2 · W1^T + b1.
+    let mut dh2 = vec![0.0; t * h];
+    sgemm(&dfc1, &params[off.w_fc1.clone()], &mut dh2, t, ffn, h);
+    reduce_back(&mut dh2); // f-operator: sum partial dh2 across MP shards
+    sgemm_tn_into(grads, off.w_fc1.clone(), &dfc1, &saved.h2, ffn, t, h);
+    bias_grad(&dfc1, &mut grads[off.b_fc1.clone()]);
+
+    // LN2 backward: accumulate into dx2.
+    let mut dx2 = dy.to_vec(); // residual branch
+    {
+        let mut d_from_ln2 = vec![0.0; t * h];
+        let (dg_range, db_range) = (off.ln2_g.clone(), off.ln2_b.clone());
+        let mut dg = vec![0.0; h];
+        let mut db = vec![0.0; h];
+        layernorm_backward(
+            &saved.x2,
+            &params[off.ln2_g.clone()],
+            &saved.ln2_mean,
+            &saved.ln2_rstd,
+            &dh2,
+            &mut d_from_ln2,
+            &mut dg,
+            &mut db,
+            t,
+            h,
+        );
+        acc(&mut grads[dg_range], &dg);
+        acc(&mut grads[db_range], &db);
+        acc(&mut dx2, &d_from_ln2);
+    }
+
+    // --- Attention path ---
+    // x2 = x + dropout(ao) ⇒ dao = dropout'(dx2); dx starts as dx2.
+    // ao = attn_out · Wo^T + bo (bias added after MP reduce; its gradient
+    // is consistent because b_o is replicated).
+    let mut dao = dx2.clone();
+    dropout_backward(&mut dao, drop.p, drop.site(1));
+    let dao = &dao;
+    let mut dattn = vec![0.0; t * aw];
+    sgemm(dao, &params[off.w_o.clone()], &mut dattn, t, h, aw);
+    sgemm_tn_into(grads, off.w_o.clone(), dao, &saved.attn_out, h, t, aw);
+    bias_grad(dao, &mut grads[off.b_o.clone()]);
+
+    // Attention core backward.
+    let dqkv = attention_backward(dims, &saved.qkv, &saved.probs, &dattn);
+
+    // QKV: qkv = h1 · Wqkv^T + bqkv.
+    let mut dh1 = vec![0.0; t * h];
+    sgemm(&dqkv, &params[off.w_qkv.clone()], &mut dh1, t, 3 * aw, h);
+    reduce_back(&mut dh1); // f-operator
+    sgemm_tn_into(grads, off.w_qkv.clone(), &dqkv, &saved.h1, 3 * aw, t, h);
+    bias_grad(&dqkv, &mut grads[off.b_qkv.clone()]);
+
+    // LN1 backward.
+    {
+        let mut d_from_ln1 = vec![0.0; t * h];
+        let mut dg = vec![0.0; h];
+        let mut db = vec![0.0; h];
+        layernorm_backward(
+            &saved.x,
+            &params[off.ln1_g.clone()],
+            &saved.ln1_mean,
+            &saved.ln1_rstd,
+            &dh1,
+            &mut d_from_ln1,
+            &mut dg,
+            &mut db,
+            t,
+            h,
+        );
+        acc(&mut grads[off.ln1_g.clone()], &dg);
+        acc(&mut grads[off.ln1_b.clone()], &db);
+        // dx = residual branch (dx2) + LN1 branch.
+        add(&dx2, &d_from_ln1, dx);
+    }
+}
+
+/// Weight gradient `grads[range] += a^T · b` where `a` is `[t, rows]`
+/// (used transposed) and `b` is `[t, cols]`.
+fn sgemm_tn_into(
+    grads: &mut [f32],
+    range: std::ops::Range<usize>,
+    a: &[f32],
+    b: &[f32],
+    rows: usize,
+    t: usize,
+    cols: usize,
+) {
+    let mut tmp = vec![0.0; rows * cols];
+    sgemm_tn(a, b, &mut tmp, rows, t, cols);
+    acc(&mut grads[range], &tmp);
+}
+
+/// Causal multi-head attention forward over local heads.
+///
+/// Returns `(probs, attn_out)` where `probs` stores `batch·local_heads`
+/// causal maps of `[s, s]` and `attn_out` is `[T, attn_width]`.
+fn attention_forward(dims: &BlockDims, qkv: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    use rayon::prelude::*;
+    let (b, s, nh, hd) = (dims.batch, dims.seq, dims.local_heads, dims.head_dim);
+    let aw = nh * hd;
+    let t = b * s;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut probs = vec![0.0; b * nh * s * s];
+    let mut attn_out = vec![0.0; t * aw];
+    // One (batch, head) map per probs chunk: embarrassingly parallel — the
+    // CPU stand-in for per-head attention kernels running on separate SMs.
+    let contexts: Vec<Vec<f32>> = probs
+        .par_chunks_mut(s * s)
+        .enumerate()
+        .map(|(map, p)| {
+            let (bi, head) = (map / nh, map % nh);
+            let mut q = vec![0.0; s * hd];
+            let mut k = vec![0.0; s * hd];
+            let mut v = vec![0.0; s * hd];
+            let mut scores = vec![0.0; s * s];
+            let mut ctx = vec![0.0; s * hd];
+            gather_head(qkv, &mut q, bi, head, 0, s, nh, hd);
+            gather_head(qkv, &mut k, bi, head, 1, s, nh, hd);
+            gather_head(qkv, &mut v, bi, head, 2, s, nh, hd);
+            // scores = Q · K^T, scaled.
+            sgemm_nt(&q, &k, &mut scores, s, hd, s);
+            scores.iter_mut().for_each(|x| *x *= scale);
+            causal_softmax_forward(&scores, p, 1, s);
+            // ctx = P · V.
+            sgemm(p, &v, &mut ctx, s, s, hd);
+            ctx
+        })
+        .collect();
+    for (map, ctx) in contexts.iter().enumerate() {
+        scatter_head(ctx, &mut attn_out, map / nh, map % nh, s, nh, hd);
+    }
+    (probs, attn_out)
+}
+
+/// Backward of [`attention_forward`]; returns `dqkv` `[T, 3·attn_width]`.
+fn attention_backward(dims: &BlockDims, qkv: &[f32], probs: &[f32], dattn: &[f32]) -> Vec<f32> {
+    use rayon::prelude::*;
+    let (b, s, nh, hd) = (dims.batch, dims.seq, dims.local_heads, dims.head_dim);
+    let aw = nh * hd;
+    let t = b * s;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut dqkv = vec![0.0; t * 3 * aw];
+    // Per-(batch, head) gradients in parallel; the scatter back into the
+    // interleaved dqkv layout is serial (disjoint but strided regions).
+    let grads: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..b * nh)
+        .into_par_iter()
+        .map(|map| {
+            let (bi, head) = (map / nh, map % nh);
+            let mut q = vec![0.0; s * hd];
+            let mut k = vec![0.0; s * hd];
+            let mut v = vec![0.0; s * hd];
+            let mut dctx = vec![0.0; s * hd];
+            let mut dp = vec![0.0; s * s];
+            let mut dscores = vec![0.0; s * s];
+            let mut dq = vec![0.0; s * hd];
+            let mut dk = vec![0.0; s * hd];
+            let mut dv = vec![0.0; s * hd];
+            gather_head(qkv, &mut q, bi, head, 0, s, nh, hd);
+            gather_head(qkv, &mut k, bi, head, 1, s, nh, hd);
+            gather_head(qkv, &mut v, bi, head, 2, s, nh, hd);
+            gather_out(dattn, &mut dctx, bi, head, s, nh, hd);
+            let p = &probs[map * s * s..(map + 1) * s * s];
+            // ctx = P·V ⇒ dP = dctx·V^T, dV = P^T·dctx.
+            sgemm_nt(&dctx, &v, &mut dp, s, hd, s);
+            sgemm_tn(p, &dctx, &mut dv, s, s, hd);
+            // P = softmax(scores) ⇒ dscores (masked entries have P = 0 and
+            // contribute nothing).
+            softmax_backward(p, &dp, &mut dscores, s, s);
+            dscores.iter_mut().for_each(|x| *x *= scale);
+            // scores = Q·K^T ⇒ dQ = dS·K, dK = dS^T·Q.
+            sgemm(&dscores, &k, &mut dq, s, s, hd);
+            sgemm_tn(&dscores, &q, &mut dk, s, s, hd);
+            (dq, dk, dv)
+        })
+        .collect();
+    for (map, (dq, dk, dv)) in grads.iter().enumerate() {
+        let (bi, head) = (map / nh, map % nh);
+        scatter_qkv(dq, &mut dqkv, bi, head, 0, s, nh, hd);
+        scatter_qkv(dk, &mut dqkv, bi, head, 1, s, nh, hd);
+        scatter_qkv(dv, &mut dqkv, bi, head, 2, s, nh, hd);
+    }
+    dqkv
+}
+
+/// Copies one head's Q/K/V (`which` ∈ {0,1,2}) from `[T, 3·aw]` into a
+/// contiguous `[s, hd]` scratch.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gather_head(
+    qkv: &[f32],
+    out: &mut [f32],
+    bi: usize,
+    head: usize,
+    which: usize,
+    s: usize,
+    nh: usize,
+    hd: usize,
+) {
+    let aw = nh * hd;
+    let row_w = 3 * aw;
+    let col0 = which * aw + head * hd;
+    for i in 0..s {
+        let src = (bi * s + i) * row_w + col0;
+        out[i * hd..(i + 1) * hd].copy_from_slice(&qkv[src..src + hd]);
+    }
+}
+
+/// Scatter-adds a `[s, hd]` head gradient back into `dqkv`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn scatter_qkv(
+    src: &[f32],
+    dqkv: &mut [f32],
+    bi: usize,
+    head: usize,
+    which: usize,
+    s: usize,
+    nh: usize,
+    hd: usize,
+) {
+    let aw = nh * hd;
+    let row_w = 3 * aw;
+    let col0 = which * aw + head * hd;
+    for i in 0..s {
+        let dst = (bi * s + i) * row_w + col0;
+        for (d, &v) in dqkv[dst..dst + hd].iter_mut().zip(&src[i * hd..(i + 1) * hd]) {
+            *d += v;
+        }
+    }
+}
+
+/// Writes a head's `[s, hd]` context into the `[T, aw]` output.
+#[inline]
+fn scatter_head(src: &[f32], out: &mut [f32], bi: usize, head: usize, s: usize, nh: usize, hd: usize) {
+    let aw = nh * hd;
+    for i in 0..s {
+        let dst = (bi * s + i) * aw + head * hd;
+        out[dst..dst + hd].copy_from_slice(&src[i * hd..(i + 1) * hd]);
+    }
+}
+
+/// Reads a head's slice of the `[T, aw]` gradient into `[s, hd]` scratch.
+#[inline]
+fn gather_out(dattn: &[f32], out: &mut [f32], bi: usize, head: usize, s: usize, nh: usize, hd: usize) {
+    let aw = nh * hd;
+    for i in 0..s {
+        let src = (bi * s + i) * aw + head * hd;
+        out[i * hd..(i + 1) * hd].copy_from_slice(&dattn[src..src + hd]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::layout::Layout;
+    use zero_tensor::init::normal_init;
+
+    fn ident() -> impl FnMut(&mut [f32]) {
+        |_: &mut [f32]| {}
+    }
+
+    fn setup() -> (BlockDims, Vec<f32>, BlockOffsets) {
+        let cfg = ModelConfig {
+            vocab: 17,
+            seq: 5,
+            hidden: 8,
+            layers: 1,
+            heads: 2,
+        };
+        let layout = Layout::build(&cfg);
+        let dims = BlockDims {
+            hidden: cfg.hidden,
+            local_heads: cfg.heads,
+            head_dim: cfg.head_dim(),
+            ffn: 4 * cfg.hidden,
+            batch: 2,
+            seq: cfg.seq,
+        };
+        let mut params = vec![0.0; cfg.block_params()];
+        normal_init(&mut params, 0.2, 11);
+        let off = layout.block_offsets(0);
+        // Layernorm gains start at 1.
+        for v in &mut params[off.ln1_g.clone()] {
+            *v = 1.0 + *v * 0.1;
+        }
+        for v in &mut params[off.ln2_g.clone()] {
+            *v = 1.0 + *v * 0.1;
+        }
+        (dims, params, off)
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite() {
+        let (dims, params, off) = setup();
+        let t = dims.rows();
+        let mut x = vec![0.0; t * dims.hidden];
+        normal_init(&mut x, 1.0, 3);
+        let mut y1 = vec![0.0; t * dims.hidden];
+        let mut y2 = vec![0.0; t * dims.hidden];
+        let _ = block_forward(&dims, &params, &off, &x, &mut y1, &mut ident());
+        let _ = block_forward(&dims, &params, &off, &x, &mut y2, &mut ident());
+        assert_eq!(y1, y2);
+        assert!(y1.iter().all(|v| v.is_finite()));
+        assert!(y1.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_input() {
+        let (dims, params, off) = setup();
+        let t = dims.rows();
+        let n = t * dims.hidden;
+        let mut x = vec![0.0; n];
+        normal_init(&mut x, 0.8, 5);
+        let mut dy = vec![0.0; n];
+        normal_init(&mut dy, 1.0, 6);
+
+        let mut y = vec![0.0; n];
+        let saved = block_forward(&dims, &params, &off, &x, &mut y, &mut ident());
+        let mut dx = vec![0.0; n];
+        let mut grads = vec![0.0; params.len()];
+        block_backward(&dims, &params, &off, &saved, &dy, &mut dx, &mut grads, &mut ident());
+
+        let loss = |x: &[f32]| -> f64 {
+            let mut y = vec![0.0; n];
+            let _ = block_forward(&dims, &params, &off, x, &mut y, &mut ident());
+            y.iter().zip(&dy).map(|(a, b)| (*a as f64) * (*b as f64)).sum()
+        };
+        let h = 1e-3;
+        // Spot-check a spread of input coordinates (full sweep is slow).
+        for i in (0..n).step_by(7) {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = ((loss(&xp) - loss(&xm)) / (2.0 * h as f64)) as f32;
+            assert!(
+                (fd - dx[i]).abs() < 5e-2 * (1.0 + fd.abs()),
+                "dx[{i}]: fd={fd} analytic={}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_params() {
+        let (dims, params, off) = setup();
+        let t = dims.rows();
+        let n = t * dims.hidden;
+        let mut x = vec![0.0; n];
+        normal_init(&mut x, 0.8, 5);
+        let mut dy = vec![0.0; n];
+        normal_init(&mut dy, 1.0, 6);
+
+        let mut y = vec![0.0; n];
+        let saved = block_forward(&dims, &params, &off, &x, &mut y, &mut ident());
+        let mut dx = vec![0.0; n];
+        let mut grads = vec![0.0; params.len()];
+        block_backward(&dims, &params, &off, &saved, &dy, &mut dx, &mut grads, &mut ident());
+
+        let loss = |p: &[f32]| -> f64 {
+            let mut y = vec![0.0; n];
+            let _ = block_forward(&dims, p, &off, &x, &mut y, &mut ident());
+            y.iter().zip(&dy).map(|(a, b)| (*a as f64) * (*b as f64)).sum()
+        };
+        let h = 1e-3;
+        // One probe per parameter field.
+        let probes = [
+            off.ln1_g.start,
+            off.ln1_b.start + 1,
+            off.w_qkv.start + 5,
+            off.b_qkv.start + 2,
+            off.w_o.start + 9,
+            off.b_o.start,
+            off.ln2_g.start + 3,
+            off.ln2_b.start,
+            off.w_fc1.start + 11,
+            off.b_fc1.start + 4,
+            off.w_fc2.start + 7,
+            off.b_fc2.start + 1,
+        ];
+        for &i in &probes {
+            let mut pp = params.clone();
+            pp[i] += h;
+            let mut pm = params.clone();
+            pm[i] -= h;
+            let fd = ((loss(&pp) - loss(&pm)) / (2.0 * h as f64)) as f32;
+            assert!(
+                (fd - grads[i]).abs() < 5e-2 * (1.0 + fd.abs()),
+                "grad[{i}]: fd={fd} analytic={}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn saved_activation_size_is_accounted() {
+        let (dims, params, off) = setup();
+        let t = dims.rows();
+        let mut x = vec![0.1; t * dims.hidden];
+        normal_init(&mut x, 0.5, 9);
+        let mut y = vec![0.0; t * dims.hidden];
+        let saved = block_forward(&dims, &params, &off, &x, &mut y, &mut ident());
+        // x, h1, x2, h2 (4·T·h) + qkv (3·T·h) + attn_out (T·h) + fc1, gelu
+        // (2·T·4h) + probs (b·nh·s²) + 4 LN stat vectors (4·T).
+        let t_h = t * dims.hidden;
+        let want = 8 * t_h + 2 * t * dims.ffn
+            + dims.batch * dims.local_heads * dims.seq * dims.seq
+            + 4 * t;
+        assert_eq!(saved.elems(), want);
+    }
+
+    #[test]
+    fn causal_masking_blocks_future_influence() {
+        // Changing the input at position j must not affect outputs at
+        // positions i < j (within the attention path; LN/MLP act per-token).
+        let (dims, params, off) = setup();
+        let t = dims.rows();
+        let n = t * dims.hidden;
+        let mut x = vec![0.0; n];
+        normal_init(&mut x, 0.8, 5);
+        let mut y1 = vec![0.0; n];
+        let _ = block_forward(&dims, &params, &off, &x, &mut y1, &mut ident());
+        // Perturb the LAST position of batch 0.
+        let j = dims.seq - 1;
+        for c in 0..dims.hidden {
+            x[j * dims.hidden + c] += 1.0;
+        }
+        let mut y2 = vec![0.0; n];
+        let _ = block_forward(&dims, &params, &off, &x, &mut y2, &mut ident());
+        for i in 0..j {
+            for c in 0..dims.hidden {
+                let a = y1[i * dims.hidden + c];
+                let b = y2[i * dims.hidden + c];
+                assert_eq!(a, b, "future token leaked into position {i}");
+            }
+        }
+        // And the perturbed position itself must change.
+        assert_ne!(
+            &y1[j * dims.hidden..(j + 1) * dims.hidden],
+            &y2[j * dims.hidden..(j + 1) * dims.hidden]
+        );
+    }
+}

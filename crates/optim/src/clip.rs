@@ -1,0 +1,67 @@
+//! Gradient clipping by global L2 norm.
+//!
+//! In distributed training the global norm spans *all* ranks' partitions:
+//! each rank computes the squared norm of its shard, the squares are
+//! sum-all-reduced, and every rank applies the same coefficient — one of
+//! the "gradient norm computation" fusions §3.2 mentions among temporary-
+//! buffer consumers.
+
+/// Squared L2 norm of a gradient shard (f64 accumulation).
+pub fn local_sq_norm(grads: &[f32]) -> f64 {
+    grads.iter().map(|&g| (g as f64) * (g as f64)).sum()
+}
+
+/// The multiplicative clip coefficient for a given global norm:
+/// `min(1, max_norm / global_norm)`.
+pub fn clip_coefficient(global_norm: f64, max_norm: f64) -> f32 {
+    if global_norm > max_norm && global_norm > 0.0 {
+        (max_norm / global_norm) as f32
+    } else {
+        1.0
+    }
+}
+
+/// Scales a shard in place by the clip coefficient.
+pub fn apply_clip(grads: &mut [f32], coeff: f32) {
+    if coeff != 1.0 {
+        for g in grads {
+            *g *= coeff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_coefficient() {
+        let g = [3.0_f32, 4.0];
+        assert_eq!(local_sq_norm(&g), 25.0);
+        assert_eq!(clip_coefficient(5.0, 10.0), 1.0);
+        assert!((clip_coefficient(5.0, 1.0) - 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sharded_norms_compose() {
+        let all = [1.0_f32, 2.0, 3.0, 4.0];
+        let total = local_sq_norm(&all);
+        let split = local_sq_norm(&all[..2]) + local_sq_norm(&all[2..]);
+        assert_eq!(total, split);
+    }
+
+    #[test]
+    fn apply_clip_scales() {
+        let mut g = vec![3.0_f32, 4.0];
+        let gn = local_sq_norm(&g).sqrt();
+        let c = clip_coefficient(gn, 1.0);
+        apply_clip(&mut g, c);
+        let after = local_sq_norm(&g).sqrt();
+        assert!((after - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_norm_is_safe() {
+        assert_eq!(clip_coefficient(0.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Learning-rate schedules.
+//!
+//! Large-model pretraining (the paper's workloads, GPT-2/Megatron style)
+//! universally uses linear warmup followed by a decay; schedules compose
+//! with ZeRO trivially because the sharded optimizer applies the same
+//! scalar rate on every rank.
+
+/// A learning-rate schedule mapping optimizer step → multiplier of the
+/// base rate (so `lr(step) = base_lr · factor(step)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Always the base rate.
+    Constant,
+    /// Linear 0→1 warmup over `warmup` steps, then flat.
+    Warmup {
+        /// Warmup steps.
+        warmup: u64,
+    },
+    /// Linear warmup, then linear decay to `floor` at `total` steps.
+    WarmupLinear {
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps (decay endpoint).
+        total: u64,
+        /// Final multiplier in [0, 1].
+        floor: f32,
+    },
+    /// Linear warmup, then cosine decay to `floor` at `total` steps.
+    WarmupCosine {
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps (decay endpoint).
+        total: u64,
+        /// Final multiplier in [0, 1].
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based: the factor applied to the
+    /// step+1-th update).
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => warmup_factor(step, warmup),
+            LrSchedule::WarmupLinear { warmup, total, floor } => {
+                let w = warmup_factor(step, warmup);
+                if step < warmup || total <= warmup {
+                    return w;
+                }
+                let t = ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
+                floor + (1.0 - floor) * (1.0 - t)
+            }
+            LrSchedule::WarmupCosine { warmup, total, floor } => {
+                let w = warmup_factor(step, warmup);
+                if step < warmup || total <= warmup {
+                    return w;
+                }
+                let t = ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+fn warmup_factor(step: u64, warmup: u64) -> f32 {
+    if warmup == 0 || step >= warmup {
+        1.0
+    } else {
+        (step + 1) as f32 / warmup as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for s in [0u64, 5, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn linear_decay_reaches_floor() {
+        let s = LrSchedule::WarmupLinear {
+            warmup: 2,
+            total: 12,
+            floor: 0.1,
+        };
+        assert!(s.factor(0) < 1.0, "still warming");
+        assert!((s.factor(2) - 1.0).abs() < 1e-6, "peak right after warmup");
+        let mid = s.factor(7);
+        assert!(mid < 1.0 && mid > 0.1);
+        assert!((s.factor(12) - 0.1).abs() < 1e-6);
+        assert!((s.factor(500) - 0.1).abs() < 1e-6, "clamped at floor");
+    }
+
+    #[test]
+    fn cosine_decay_is_smooth_and_monotone() {
+        let s = LrSchedule::WarmupCosine {
+            warmup: 0,
+            total: 100,
+            floor: 0.0,
+        };
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-6, "cosine decay must be monotone");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert!((s.factor(0) - 1.0).abs() < 1e-3);
+        assert!(s.factor(100) < 1e-3);
+        // Halfway through, cosine sits at exactly 0.5.
+        assert!((s.factor(50) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_totals_do_not_divide_by_zero() {
+        let s = LrSchedule::WarmupLinear {
+            warmup: 10,
+            total: 10,
+            floor: 0.0,
+        };
+        assert_eq!(s.factor(20), 1.0, "no decay span: stay at peak");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig1 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig1();
+    zero_sim::experiments::print_fig1(&rows);
+    zero_sim::experiments::write_json("fig1", &rows).expect("write results/fig1.json");
+}

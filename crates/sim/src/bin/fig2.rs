@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig2 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig2();
+    zero_sim::experiments::print_fig2(&rows);
+    zero_sim::experiments::write_json("fig2", &rows).expect("write results/fig2.json");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig3 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig3();
+    zero_sim::experiments::print_fig3(&rows);
+    zero_sim::experiments::write_json("fig3", &rows).expect("write results/fig3.json");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig4 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig4();
+    zero_sim::experiments::print_fig4(&rows);
+    zero_sim::experiments::write_json("fig4", &rows).expect("write results/fig4.json");
+}

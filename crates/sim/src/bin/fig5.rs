@@ -1,0 +1,127 @@
+//! Figure 5 substitute: validation perplexity of a larger ZeRO-trained
+//! model vs. a smaller baseline-scale model.
+//!
+//! The paper's Figure 5 shows Turing-NLG (17B, trained end-to-end with
+//! ZeRO-100B) reaching lower validation perplexity than the previous
+//! SOTA Megatron-LM 8.3B. We cannot train 17B parameters here, so per
+//! DESIGN.md the claim reproduced is the *relative* one on a synthetic
+//! corpus at laptop scale: (a) ZeRO's convergence is identical to plain
+//! DDP, and (b) the larger model reaches lower validation perplexity over
+//! the same training schedule.
+
+use serde::Serialize;
+use zero_comm::Grid;
+use zero_core::{run_training, TrainSetup, ZeroConfig, ZeroStage};
+use zero_model::ModelConfig;
+
+#[derive(Serialize)]
+struct Fig5Point {
+    step: usize,
+    small_ppl: f32,
+    large_ppl: f32,
+}
+
+#[derive(Serialize)]
+struct Fig5Result {
+    small_params: usize,
+    large_params: usize,
+    points: Vec<Fig5Point>,
+    ddp_final_loss: f32,
+    zero_final_loss: f32,
+}
+
+fn setup(model: ModelConfig, stage: ZeroStage, seed: u64) -> TrainSetup {
+    TrainSetup {
+        model,
+        zero: ZeroConfig {
+            stage,
+            fp16: true,
+            initial_loss_scale: 128.0,
+            checkpoint_activations: true,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 8,
+        seed,
+    }
+}
+
+fn main() {
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120usize);
+    let eval_every = (steps / 12).max(1);
+
+    // The "Megatron 8.3B" stand-in (smaller) vs "Turing-NLG 17B" (larger).
+    let small = ModelConfig {
+        vocab: 64,
+        seq: 32,
+        hidden: 48,
+        layers: 2,
+        heads: 4,
+    };
+    let large = ModelConfig {
+        vocab: 64,
+        seq: 32,
+        hidden: 96,
+        layers: 4,
+        heads: 8,
+    };
+
+    eprintln!(
+        "training small ({} params) and large ({} params) models, {steps} steps…",
+        zero_model::Layout::build(&small).total_params(),
+        zero_model::Layout::build(&large).total_params()
+    );
+    let small_rep = run_training(&setup(small, ZeroStage::Two, 11), steps, eval_every);
+    let large_rep = run_training(&setup(large, ZeroStage::Two, 11), steps, eval_every);
+
+    // Convergence equivalence at the large size: ZeRO-2 vs DDP.
+    let ddp_rep = run_training(&setup(large, ZeroStage::Ddp, 11), steps.min(30), 0);
+    let zero_rep = run_training(&setup(large, ZeroStage::Two, 11), steps.min(30), 0);
+
+    let points: Vec<Fig5Point> = small_rep
+        .val_losses
+        .iter()
+        .zip(&large_rep.val_losses)
+        .enumerate()
+        .map(|(i, (s, l))| Fig5Point {
+            step: (i + 1) * eval_every,
+            small_ppl: s.exp(),
+            large_ppl: l.exp(),
+        })
+        .collect();
+
+    println!("Figure 5 (substituted): validation perplexity over training");
+    println!("{:>6} {:>12} {:>12}", "step", "small ppl", "large ppl");
+    for p in &points {
+        println!("{:>6} {:>12.3} {:>12.3}", p.step, p.small_ppl, p.large_ppl);
+    }
+    let last = points.last().expect("at least one eval point");
+    println!(
+        "final: large model ppl {:.3} vs small model ppl {:.3} ({})",
+        last.large_ppl,
+        last.small_ppl,
+        if last.large_ppl < last.small_ppl {
+            "larger model wins, as in the paper"
+        } else {
+            "UNEXPECTED ordering"
+        }
+    );
+    println!(
+        "convergence check: DDP loss {:.4} vs ZeRO-2 loss {:.4} after {} steps",
+        ddp_rep.losses.last().unwrap(),
+        zero_rep.losses.last().unwrap(),
+        steps.min(30)
+    );
+
+    let result = Fig5Result {
+        small_params: zero_model::Layout::build(&small).total_params(),
+        large_params: zero_model::Layout::build(&large).total_params(),
+        points,
+        ddp_final_loss: *ddp_rep.losses.last().unwrap(),
+        zero_final_loss: *zero_rep.losses.last().unwrap(),
+    };
+    zero_sim::experiments::write_json("fig5", &result).expect("write results/fig5.json");
+}

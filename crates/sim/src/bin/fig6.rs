@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig6 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig6();
+    zero_sim::experiments::print_fig6(&rows);
+    zero_sim::experiments::write_json("fig6", &rows).expect("write results/fig6.json");
+}

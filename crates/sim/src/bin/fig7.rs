@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig7 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig7();
+    zero_sim::experiments::print_fig7(&rows);
+    zero_sim::experiments::write_json("fig7", &rows).expect("write results/fig7.json");
+}

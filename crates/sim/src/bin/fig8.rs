@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig8 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::fig8();
+    zero_sim::experiments::print_fig8(&rows);
+    zero_sim::experiments::write_json("fig8", &rows).expect("write results/fig8.json");
+}

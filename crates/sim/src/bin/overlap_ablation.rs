@@ -1,0 +1,71 @@
+//! Ablation: how much of ZeRO's gradient traffic hides behind backward
+//! compute, as a function of the CB bucket size — the §5.2/§6.2 design
+//! choice, quantified with the discrete-event simulator at the paper's
+//! 100B-on-400-GPUs operating point.
+
+use serde::Serialize;
+use zero_sim::{overlap_fraction, simulate_overlapped, simulate_serial, DesConfig};
+
+#[derive(Serialize)]
+struct OverlapRow {
+    bucket_mb: f64,
+    collectives: usize,
+    exposed_comm_s: f64,
+    serial_comm_s: f64,
+    overlap_fraction: f64,
+    step_time_s: f64,
+}
+
+fn main() {
+    // 100B model, MP 16, per-GPU view: 125 layers, ~6.25B local params →
+    // 12.5 GB fp16 gradients; backward ≈ 2/3 of a ~20 s step; effective
+    // DP bandwidth 6.25 GB/s (shared NIC); ~0.5 ms ring latency.
+    let layers = 125;
+    let grad_bytes_total = 12.5e9_f64;
+    let base = DesConfig {
+        layers,
+        layer_compute: 13.0 / layers as f64,
+        layer_grad_bytes: grad_bytes_total / layers as f64,
+        bucket_bytes: 0.0, // set per row
+        bandwidth: 6.25e9,
+        latency: 5e-4,
+    };
+
+    let mut rows = Vec::new();
+    println!("Gradient reduce-scatter overlap vs CB bucket size (100B/400-GPU point):");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "bucket", "collectives", "exposed s", "serial s", "hidden", "step s"
+    );
+    for bucket_mb in [1.0_f64, 8.0, 64.0, 512.0, 4096.0, 16384.0] {
+        let cfg = DesConfig {
+            bucket_bytes: bucket_mb * 1e6,
+            ..base
+        };
+        let o = simulate_overlapped(&cfg);
+        let s = simulate_serial(&cfg);
+        let f = overlap_fraction(&cfg);
+        println!(
+            "{:>7.0}MB | {:>12} {:>12.2} {:>12.2} {:>8.0}% {:>10.2}",
+            bucket_mb,
+            o.collectives,
+            o.exposed_comm,
+            s.exposed_comm,
+            f * 100.0,
+            o.total
+        );
+        rows.push(OverlapRow {
+            bucket_mb,
+            collectives: o.collectives,
+            exposed_comm_s: o.exposed_comm,
+            serial_comm_s: s.exposed_comm,
+            overlap_fraction: f,
+            step_time_s: o.total,
+        });
+    }
+    println!("\nReading: mid-sized constant buffers hide most of the 2Ψ gradient");
+    println!("volume behind backward compute (the PerfModel's dp_overlap ≈ 0.7);");
+    println!("one giant fused buffer (the §6.2 anti-pattern) serializes it.");
+    zero_sim::experiments::write_json("overlap_ablation", &rows)
+        .expect("write results/overlap_ablation.json");
+}

@@ -1,0 +1,43 @@
+//! §2.1 comparison: ZeRO vs pipeline parallelism. Quantifies the paper's
+//! claims that G-pipe needs batch ∝ stages to hide its bubble, that
+//! PipeDream's stale-weight stashing costs memory, and that ZeRO matches
+//! or beats both on model-state memory without their restrictions.
+
+use zero_sim::{compare_zero_vs_pp, PipelineConfig, PipelineScheme};
+
+fn main() {
+    let psi = 100e9;
+    println!("100B parameters, devices = pipeline stages = DP degree:\n");
+    println!(
+        "{:>8} | {:>10} {:>11} {:>14} | {:>13}",
+        "devices", "ZeRO-3 GB", "G-pipe GB", "PipeDream GB", "G-pipe bubble"
+    );
+    let mut rows = Vec::new();
+    for devices in [4usize, 8, 16, 32, 64] {
+        let r = compare_zero_vs_pp(psi, devices, devices); // M = P
+        println!(
+            "{:>8} | {:>10.1} {:>11.1} {:>14.1} | {:>12.0}%",
+            r.devices,
+            r.zero_state_gb,
+            r.gpipe_state_gb,
+            r.pipedream_state_gb,
+            100.0 * r.gpipe_bubble
+        );
+        rows.push(r);
+    }
+    println!("\nBubble vs micro-batch count (16 stages):");
+    println!("{:>6} {:>8}", "M", "bubble");
+    for m in [4usize, 16, 64, 256] {
+        let b = PipelineConfig {
+            stages: 16,
+            micro_batches: m,
+            scheme: PipelineScheme::GPipe,
+        }
+        .bubble_fraction();
+        println!("{:>6} {:>7.0}%", m, 100.0 * b);
+    }
+    println!("\n§2.1 reproduced: ZeRO matches G-pipe's per-device state memory with no");
+    println!("bubble and no batch-size floor, and beats PipeDream's weight stashing;");
+    println!("G-pipe only escapes its bubble with convergence-hostile batch sizes.");
+    zero_sim::experiments::write_json("pp_compare", &rows).expect("write results/pp_compare.json");
+}

@@ -1,0 +1,84 @@
+//! Beyond Figure 3: "we expect this trend to continue further as we
+//! increase the number of GPUs beyond 400" (§10.3). This sweep extends
+//! the 60B superlinear-scaling experiment to 1024 GPUs and contrasts
+//! fixed-batch (strong) scaling against memory-driven max-batch scaling —
+//! the mechanism test for the superlinearity claim.
+
+use serde::Serialize;
+use zero_core::ZeroStage;
+use zero_sim::{MemoryModel, PerfModel, RunConfig, SimWorkload, ZeroRFlags};
+
+#[derive(Serialize)]
+struct SweepRow {
+    gpus: usize,
+    max_batch: usize,
+    tflops_max_batch: f64,
+    pflops_max_batch: f64,
+    tflops_fixed_batch: f64,
+    speedup_vs_64: f64,
+    linear: f64,
+}
+
+fn main() {
+    let perf = PerfModel::default();
+    let mem = MemoryModel::default();
+    let base_workload = SimWorkload {
+        layers: 75, // 60B at h = 8192
+        hidden: 8192,
+        seq: 1024,
+        batch_per_gpu: 16,
+    };
+    let mp = 16;
+    let mut rows: Vec<SweepRow> = Vec::new();
+    println!("60B model, MP 16, stage P_os+g: scaling 64 → 1024 GPUs");
+    println!(
+        "{:>5} | {:>9} {:>12} {:>10} | {:>13} | {:>9} {:>7}",
+        "GPUs", "max b", "Tf (max b)", "Pflops", "Tf (b=16)", "speedup", "linear"
+    );
+    let mut base_pflops = None;
+    for nd in [4usize, 8, 16, 25, 32, 48, 64] {
+        let gpus = nd * mp;
+        let mut cfg = RunConfig {
+            workload: base_workload,
+            stage: ZeroStage::Two,
+            nd,
+            mp,
+            flags: ZeroRFlags::with_pa(),
+        };
+        let max_batch = perf.max_batch_per_gpu(&mem, &cfg, 128).unwrap_or(0);
+        cfg.workload.batch_per_gpu = max_batch.max(1);
+        let tf_max = perf.tflops_per_gpu(&cfg);
+        let pf = perf.aggregate_pflops(&cfg);
+        let base = *base_pflops.get_or_insert(pf);
+        let mut fixed = cfg;
+        fixed.workload.batch_per_gpu = 16;
+        let tf_fixed = perf.tflops_per_gpu(&fixed);
+        let linear = gpus as f64 / (4 * mp) as f64;
+        println!(
+            "{:>5} | {:>9} {:>12.1} {:>10.2} | {:>13.1} | {:>8.2}x {:>6.2}x",
+            gpus,
+            max_batch,
+            tf_max,
+            pf,
+            tf_fixed,
+            pf / base,
+            linear
+        );
+        rows.push(SweepRow {
+            gpus,
+            max_batch,
+            tflops_max_batch: tf_max,
+            pflops_max_batch: pf,
+            tflops_fixed_batch: tf_fixed,
+            speedup_vs_64: pf / base,
+            linear,
+        });
+    }
+    println!("\nReading: with memory-driven batches the speedup column stays ahead of");
+    println!("the linear column (superlinear) until the max batch saturates; at a");
+    println!("fixed batch the same sweep is merely linear — isolating the paper's");
+    println!("claimed mechanism (§10.3: bigger N_d → more memory → bigger batch →");
+    println!("higher arithmetic intensity).");
+    zero_sim::experiments::write_json("scaling_sweep", &rows)
+        .expect("write results/scaling_sweep.json");
+}

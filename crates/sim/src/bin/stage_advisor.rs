@@ -1,0 +1,90 @@
+//! Stage advisor: given a model and a cluster share, recommend the ZeRO
+//! configuration — the §4/§9 decision procedure ("if and when to apply
+//! P_a and P_a+cpu", which stage fits, what throughput to expect) as a
+//! tool.
+//!
+//! ```text
+//! cargo run --release -p zero-sim --bin stage_advisor -- <size_B> <gpus> [mp] [batch]
+//! ```
+
+use zero_core::ZeroStage;
+use zero_sim::{ClusterSpec, MemoryModel, PerfModel, RunConfig, SimWorkload, ZeroRFlags};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size_b: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let gpus: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let mp: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let batch: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let cluster = ClusterSpec::dgx2_v100();
+    let mem = MemoryModel::default();
+    let perf = PerfModel::default();
+    let nd = (gpus / mp).max(1);
+    let workload = SimWorkload::with_params(8192, 1024, batch, size_b * 1e9);
+
+    println!(
+        "advising for {size_b}B params on {gpus} GPUs (MP {mp} × DP {nd}), batch {batch}/GPU\n"
+    );
+    println!(
+        "{:>18} {:>12} | {:>6} {:>10} {:>11}",
+        "stage", "ZeRO-R", "fits", "Tf/GPU", "comm factor"
+    );
+
+    let flag_sets: [(&str, ZeroRFlags); 3] = [
+        ("ckpt", ZeroRFlags::baseline()),
+        ("ckpt+Pa", ZeroRFlags::with_pa()),
+        ("ckpt+Pa+cpu", ZeroRFlags::with_pa_cpu()),
+    ];
+    let mut recommendation: Option<(ZeroStage, &str, f64)> = None;
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for (label, flags) in flag_sets {
+            let cfg = RunConfig {
+                workload,
+                stage,
+                nd,
+                mp,
+                flags,
+            };
+            let fits = mem.fits(&cluster, &workload, stage, nd as f64, mp as f64, &flags);
+            let tf = if fits { perf.tflops_per_gpu(&cfg) } else { 0.0 };
+            let comm = match stage {
+                ZeroStage::Three => "1.5x",
+                _ => "1.0x",
+            };
+            println!(
+                "{:>18} {:>12} | {:>6} {:>10.1} {:>11}",
+                stage.name(),
+                label,
+                if fits { "yes" } else { "OOM" },
+                tf,
+                comm
+            );
+            // Recommend the highest-throughput fitting configuration,
+            // preferring the cheapest ZeRO-R additions at equal speed.
+            if fits && recommendation.map_or(true, |(_, _, best)| tf > best + 1e-9) {
+                recommendation = Some((stage, label, tf));
+            }
+        }
+    }
+
+    println!();
+    match recommendation {
+        Some((stage, label, tf)) => {
+            println!("RECOMMENDATION: {} with {label} (≈{tf:.1} Tflops/GPU).", stage.name());
+            if stage == ZeroStage::Three {
+                println!("Note: stage 3 trades a 1.5x communication volume for the N_d× memory");
+                println!("reduction (§7.2.2); prefer stage 2 whenever it fits.");
+            }
+        }
+        None => {
+            let need3 = mem.model_state_bytes(size_b * 1e9 / mp as f64, ZeroStage::Three, nd as f64);
+            println!(
+                "Nothing fits. Stage-3 states alone need {:.1} GB/GPU; add GPUs so that",
+                need3 / 1e9
+            );
+            println!("16Ψ/(N_m·N_d) drops below the device budget (§5.4: with enough devices");
+            println!("ZeRO fits models of arbitrary size).");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table1 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::table1();
+    zero_sim::experiments::print_table1(&rows);
+    zero_sim::experiments::write_json("table1", &rows).expect("write results/table1.json");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table2 (see DESIGN.md §4 and EXPERIMENTS.md).
+
+fn main() {
+    let rows = zero_sim::experiments::table2();
+    zero_sim::experiments::print_table2(&rows);
+    zero_sim::experiments::write_json("table2", &rows).expect("write results/table2.json");
+}

@@ -1,0 +1,102 @@
+//! Hardware model of the paper's testbed: 25 DGX-2 nodes, 400 V100 GPUs,
+//! 800 Gbps internode fabric (§10.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster/topology constants used by the memory and throughput models.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Device memory per GPU, bytes (32 GB V100).
+    pub gpu_mem_bytes: u64,
+    /// GPUs per node (DGX-2: 16).
+    pub gpus_per_node: usize,
+    /// Peak fp16 tensor-core throughput per GPU, FLOP/s (V100: 125 T).
+    pub peak_flops: f64,
+    /// Effective per-GPU collective bandwidth inside a node, bytes/s
+    /// (NVSwitch: 300 GB/s per link; ~150 GB/s effective for rings).
+    pub intra_node_bw: f64,
+    /// Aggregate internode bandwidth per node, bytes/s (800 Gbps = 100 GB/s).
+    pub inter_node_bw_per_node: f64,
+    /// Per-IB-link bandwidth, bytes/s (EDR: 12.5 GB/s) — the number the
+    /// paper quotes for cross-node MP.
+    pub inter_node_bw_per_link: f64,
+    /// Host↔device (PCIe) bandwidth per GPU, bytes/s (~12 GB/s effective).
+    pub pcie_bw: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's cluster: 32 GB V100s in DGX-2 nodes, NVSwitch inside,
+    /// 800 Gbps Infiniband between nodes.
+    pub fn dgx2_v100() -> ClusterSpec {
+        ClusterSpec {
+            gpu_mem_bytes: 32 * (1 << 30),
+            gpus_per_node: 16,
+            peak_flops: 125e12,
+            intra_node_bw: 150e9,
+            inter_node_bw_per_node: 100e9,
+            inter_node_bw_per_link: 12.5e9,
+            pcie_bw: 12e9,
+        }
+    }
+
+    /// Effective per-GPU bandwidth for a collective whose group spans
+    /// `group` ranks with `mp` ranks per replica packed contiguously.
+    ///
+    /// * group fits in a node → NVSwitch speed;
+    /// * group crosses nodes and *every* GPU of each node participates in
+    ///   some group simultaneously (the DP-across-nodes case) → the node's
+    ///   aggregate 100 GB/s is shared by its 16 GPUs;
+    /// * group crosses nodes with few participants per node (the cross-node
+    ///   MP case) → bounded by the per-link rate.
+    pub fn collective_bw(&self, group_size: usize, ranks_per_node_in_group: usize) -> f64 {
+        if group_size <= 1 {
+            return f64::INFINITY;
+        }
+        if group_size <= self.gpus_per_node && ranks_per_node_in_group == group_size {
+            self.intra_node_bw
+        } else if ranks_per_node_in_group >= self.gpus_per_node {
+            // All GPUs of the node talk at once: share the NIC aggregate.
+            self.inter_node_bw_per_node / self.gpus_per_node as f64
+        } else {
+            // Sparse cross-node traffic: per-link bound, shared by the
+            // node's participants in this group.
+            (self.inter_node_bw_per_node / self.gpus_per_node as f64)
+                .max(self.inter_node_bw_per_link / ranks_per_node_in_group as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = ClusterSpec::dgx2_v100();
+        assert_eq!(c.gpu_mem_bytes, 34_359_738_368);
+        assert_eq!(c.gpus_per_node, 16);
+        // 400 GPUs at 30% of peak is the paper's 15 Pflops.
+        assert!((400.0 * c.peak_flops * 0.30 - 15e15).abs() < 1e14);
+    }
+
+    #[test]
+    fn bandwidth_regimes() {
+        let c = ClusterSpec::dgx2_v100();
+        // MP of 16 inside a node: fast.
+        assert_eq!(c.collective_bw(16, 16), 150e9);
+        // DP across nodes with all 16 GPUs active: NIC shared.
+        assert_eq!(c.collective_bw(25, 16), 100e9 / 16.0);
+        // Cross-node MP with 2 participants per node: per-link bound.
+        let bw = c.collective_bw(32, 2);
+        assert!(bw <= 12.5e9 && bw > 0.0);
+        // Intra-node is far faster than any cross-node regime — the cliff
+        // behind Figure 2's baseline collapse.
+        assert!(c.collective_bw(16, 16) > 10.0 * c.collective_bw(32, 2));
+    }
+
+    #[test]
+    fn single_rank_groups_are_free() {
+        let c = ClusterSpec::dgx2_v100();
+        assert!(c.collective_bw(1, 1).is_infinite());
+    }
+}

@@ -1,0 +1,323 @@
+//! IEEE 754 binary16 ("half precision") implemented from scratch.
+//!
+//! ZeRO's memory arithmetic (§3.1 of the paper) depends on parameters and
+//! gradients being stored in *2 bytes per element* while the optimizer keeps
+//! 4-byte master copies (K = 12 for mixed-precision Adam). This module
+//! provides that 2-byte storage type with correct round-to-nearest-even
+//! conversion, so the engine's measured memory matches the paper's formulas
+//! byte for byte.
+//!
+//! Arithmetic is performed by converting to `f32`, mirroring how V100 tensor
+//! cores accumulate fp16 products in fp32.
+
+/// A 16-bit IEEE 754 binary16 floating point number.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const F16_MAN_BITS: u32 = 10;
+const F16_EXP_BIAS: i32 = 15;
+const F32_MAN_BITS: u32 = 23;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    ///
+    /// Values above `F16::MAX` overflow to infinity; subnormal results are
+    /// produced for magnitudes below 2^-14; magnitudes below 2^-24 round to
+    /// (signed) zero. NaN payloads are not preserved beyond quietness.
+    #[inline]
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> F32_MAN_BITS) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN.
+            return if man == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                // Quiet NaN, keep the top mantissa bit set.
+                F16(sign | 0x7C00 | 0x0200 | ((man >> 13) as u16 & 0x01FF))
+            };
+        }
+
+        // Unbiased exponent of the f32 value.
+        let unbiased = exp - 127;
+        // Target binary16 biased exponent.
+        let f16_exp = unbiased + F16_EXP_BIAS;
+
+        if f16_exp >= 0x1F {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+
+        if f16_exp <= 0 {
+            // Subnormal or zero. The implicit leading 1 must become explicit
+            // and the mantissa shifted right by (1 - f16_exp) extra places.
+            if f16_exp < -10 {
+                // Too small even for the largest subnormal: round to zero.
+                return F16(sign);
+            }
+            // Make the implicit bit explicit. The subnormal result stores
+            // round(value / 2^-24) = 1.f · 2^(unbiased+24); with 1.f held
+            // as man·2^-23 that is a right shift by (-1 − unbiased), i.e.
+            // 14 (largest subnormal) through 24 (round-up from below the
+            // smallest subnormal).
+            let man = (man | 0x0080_0000) as u64;
+            let shift = (-1 - unbiased) as u32;
+            let halfway = 1u64 << (shift - 1);
+            let mut out = (man >> shift) as u16;
+            let rem = man & ((1u64 << shift) - 1);
+            // Round to nearest, ties to even.
+            if rem > halfway || (rem == halfway && (out & 1) == 1) {
+                out += 1; // may carry into the exponent field: that is correct
+            }
+            return F16(sign | out);
+        }
+
+        // Normal case: shift the 23-bit mantissa down to 10 bits with RNE.
+        let shift = F32_MAN_BITS - F16_MAN_BITS; // 13
+        let halfway = 1u32 << (shift - 1);
+        let rem = man & ((1 << shift) - 1);
+        let mut out = ((f16_exp as u32) << F16_MAN_BITS | (man >> shift)) as u16;
+        if rem > halfway || (rem == halfway && (out & 1) == 1) {
+            // Carry may ripple into the exponent, turning e.g. 0x3BFF into
+            // 0x3C00 (1.0) or the max normal into infinity — both correct.
+            out += 1;
+        }
+        F16(sign | out)
+    }
+
+    /// Converts this binary16 value to `f32` exactly (every f16 is
+    /// representable in f32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> F16_MAN_BITS) & 0x1F) as u32;
+        let man = (self.0 & 0x03FF) as u32;
+
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: the stored value is man·2^-24. Normalize by
+                // shifting the leading 1 up to the implicit-bit position
+                // (bit 10), adjusting the exponent accordingly: a leading
+                // bit at position p gives unbiased exponent p − 24, i.e. a
+                // biased f32 exponent of 113 − shift with shift = 10 − p.
+                let shift = man.leading_zeros() - (32 - F16_MAN_BITS - 1);
+                let man = (man << shift) & 0x03FF;
+                let exp = 127 - F16_EXP_BIAS as u32 + 1 - shift;
+                sign | (exp << F32_MAN_BITS) | (man << (F32_MAN_BITS - F16_MAN_BITS))
+            }
+        } else if exp == 0x1F {
+            // Infinity / NaN.
+            sign | 0x7F80_0000 | (man << (F32_MAN_BITS - F16_MAN_BITS))
+        } else {
+            let exp = exp + 127 - F16_EXP_BIAS as u32;
+            sign | (exp << F32_MAN_BITS) | (man << (F32_MAN_BITS - F16_MAN_BITS))
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// True if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if this value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True if the value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+impl std::fmt::Debug for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+/// Converts a slice of `f32` into freshly allocated `F16` storage.
+pub fn f32_to_f16_vec(src: &[f32]) -> Vec<F16> {
+    src.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+/// Converts `F16` storage back to `f32`, writing into `dst`.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn f16_to_f32_slice(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "f16->f32 length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// Converts `f32` values into an existing `F16` buffer.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn f32_to_f16_slice(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "f32->f16 length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(*s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let f = i as f32;
+            assert_eq!(F16::from_f32(f).to_f32(), f, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn constants_match_ieee() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0_f32.powi(-14));
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(F16::NAN.is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite());
+        assert!(F16::from_f32(1e9).is_infinite());
+        assert_eq!(F16::from_f32(-1e9), F16::NEG_INFINITY);
+        // 65504 + half a ulp rounds back down (ties-to-even would go up, but
+        // 65519.999 < halfway to the next representable 65536).
+        assert_eq!(F16::from_f32(65519.0).to_f32(), 65504.0);
+        assert!(F16::from_f32(65520.0).is_infinite(), "65520 is the tie, rounds to even=inf");
+    }
+
+    #[test]
+    fn subnormals_convert_exactly() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        assert_eq!(F16::from_bits(0x0001).to_f32(), tiny);
+        // Largest subnormal.
+        let big_sub = 2.0_f32.powi(-14) - 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(big_sub).to_bits(), 0x03FF);
+        assert_eq!(F16::from_bits(0x03FF).to_f32(), big_sub);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(F16::from_f32(2.0_f32.powi(-26)).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 value
+        // (1 + 2^-10); RNE keeps the even mantissa, i.e. 1.0.
+        let tie_down = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(tie_down).to_f32(), 1.0);
+        // (1 + 2^-10) + 2^-11 is halfway between odd mantissa 1 and even
+        // mantissa 2; RNE rounds up to the even one.
+        let tie_up = 1.0 + 2.0_f32.powi(-10) + 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(tie_up).to_f32(), 1.0 + 2.0_f32.powi(-9));
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_bits(0x8000).to_f32().to_bits(), (-0.0_f32).to_bits());
+    }
+
+    #[test]
+    fn nan_round_trips_as_nan() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip_through_f32() {
+        // Every finite f16 is exactly representable in f32, so the
+        // f16 -> f32 -> f16 round trip must be the identity.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bit pattern {bits:#06x} failed to round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_conversions() {
+        let src = [0.5_f32, -1.25, 3.0, 1e-3];
+        let h = f32_to_f16_vec(&src);
+        let mut back = [0.0_f32; 4];
+        f16_to_f32_slice(&h, &mut back);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Token/position embedding lookup and its scatter-add backward.
+
+/// Embedding lookup: for each token id, copies the corresponding row of the
+/// `vocab × dim` table into the output.
+///
+/// # Panics
+/// Panics on out-of-range token ids.
+pub fn embedding_forward(table: &[f32], ids: &[u32], out: &mut [f32], vocab: usize, dim: usize) {
+    assert_eq!(table.len(), vocab * dim, "embedding: table length");
+    assert_eq!(out.len(), ids.len() * dim, "embedding: out length");
+    for (t, &id) in ids.iter().enumerate() {
+        let id = id as usize;
+        assert!(id < vocab, "token id {id} out of range (vocab {vocab})");
+        out[t * dim..(t + 1) * dim].copy_from_slice(&table[id * dim..(id + 1) * dim]);
+    }
+}
+
+/// Embedding backward: scatter-adds each output-position gradient into the
+/// gradient of the table row selected by its token id.
+pub fn embedding_backward(dtable: &mut [f32], ids: &[u32], dy: &[f32], vocab: usize, dim: usize) {
+    assert_eq!(dtable.len(), vocab * dim, "embedding_backward: dtable length");
+    assert_eq!(dy.len(), ids.len() * dim, "embedding_backward: dy length");
+    for (t, &id) in ids.iter().enumerate() {
+        let id = id as usize;
+        assert!(id < vocab, "token id {id} out of range (vocab {vocab})");
+        let drow = &mut dtable[id * dim..(id + 1) * dim];
+        let g = &dy[t * dim..(t + 1) * dim];
+        for (d, &v) in drow.iter_mut().zip(g) {
+            *d += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let table: Vec<f32> = (0..12).map(|i| i as f32).collect(); // vocab=4, dim=3
+        let ids = [2u32, 0, 2];
+        let mut out = vec![0.0; 9];
+        embedding_forward(&table, &ids, &mut out, 4, 3);
+        assert_eq!(&out[0..3], &[6.0, 7.0, 8.0]);
+        assert_eq!(&out[3..6], &[0.0, 1.0, 2.0]);
+        assert_eq!(&out[6..9], &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let ids = [1u32, 1, 3];
+        let dy = vec![1.0; 9];
+        let mut dt = vec![0.0; 12];
+        embedding_backward(&mut dt, &ids, &dy, 4, 3);
+        assert_eq!(&dt[3..6], &[2.0, 2.0, 2.0], "id 1 hit twice");
+        assert_eq!(&dt[9..12], &[1.0, 1.0, 1.0]);
+        assert_eq!(&dt[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_ids() {
+        let table = vec![0.0; 12];
+        let mut out = vec![0.0; 3];
+        embedding_forward(&table, &[7], &mut out, 4, 3);
+    }
+}

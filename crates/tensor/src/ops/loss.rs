@@ -1,0 +1,127 @@
+//! Fused softmax + cross-entropy loss for language modeling.
+
+/// Computes mean cross-entropy over `tokens` rows of logits
+/// (`tokens × vocab`) against integer targets, and writes the gradient of
+/// the *mean* loss w.r.t. the logits into `dlogits`.
+///
+/// Fusing forward and backward avoids materializing full probability
+/// tensors twice — the same fusion DL frameworks apply, and the reason the
+/// paper counts the LM head as one GEMM plus an elementwise pass.
+///
+/// Returns the mean loss in nats.
+pub fn cross_entropy_fused(
+    logits: &[f32],
+    targets: &[u32],
+    dlogits: &mut [f32],
+    tokens: usize,
+    vocab: usize,
+) -> f32 {
+    assert_eq!(logits.len(), tokens * vocab, "cross_entropy: logits length");
+    assert_eq!(dlogits.len(), tokens * vocab, "cross_entropy: dlogits length");
+    assert_eq!(targets.len(), tokens, "cross_entropy: targets length");
+    let inv_tokens = 1.0 / tokens as f32;
+    let mut total = 0.0_f64;
+    for t in 0..tokens {
+        let target = targets[t] as usize;
+        assert!(target < vocab, "target {target} out of range (vocab {vocab})");
+        let lr = &logits[t * vocab..(t + 1) * vocab];
+        let dr = &mut dlogits[t * vocab..(t + 1) * vocab];
+        let max = lr.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0_f32;
+        for (d, &v) in dr.iter_mut().zip(lr) {
+            let e = (v - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let log_sum = sum.ln();
+        total += (log_sum - (lr[target] - max)) as f64;
+        let inv_sum = 1.0 / sum;
+        for d in dr.iter_mut() {
+            *d *= inv_sum * inv_tokens;
+        }
+        dr[target] -= inv_tokens;
+    }
+    (total / tokens as f64) as f32
+}
+
+/// Forward-only mean cross-entropy (for validation perplexity).
+pub fn cross_entropy_loss(logits: &[f32], targets: &[u32], tokens: usize, vocab: usize) -> f32 {
+    assert_eq!(logits.len(), tokens * vocab, "cross_entropy: logits length");
+    assert_eq!(targets.len(), tokens, "cross_entropy: targets length");
+    let mut total = 0.0_f64;
+    for t in 0..tokens {
+        let target = targets[t] as usize;
+        assert!(target < vocab, "target {target} out of range (vocab {vocab})");
+        let lr = &logits[t * vocab..(t + 1) * vocab];
+        let max = lr.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let sum: f32 = lr.iter().map(|&v| (v - max).exp()).sum();
+        total += (sum.ln() - (lr[target] - max)) as f64;
+    }
+    (total / tokens as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let vocab = 8;
+        let logits = vec![0.0; vocab];
+        let mut d = vec![0.0; vocab];
+        let loss = cross_entropy_fused(&logits, &[3], &mut d, 1, vocab);
+        assert!((loss - (vocab as f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = vec![0.0; 4];
+        logits[2] = 20.0;
+        let mut d = vec![0.0; 4];
+        let loss = cross_entropy_fused(&logits, &[2], &mut d, 1, 4);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let vocab = 6;
+        let tokens = 3;
+        let logits: Vec<f32> = (0..tokens * vocab).map(|i| (i as f32 * 0.31).sin()).collect();
+        let targets = [1u32, 4, 0];
+        let mut d = vec![0.0; tokens * vocab];
+        cross_entropy_fused(&logits, &targets, &mut d, tokens, vocab);
+        let h = 1e-3;
+        for i in 0..tokens * vocab {
+            let mut lp = logits.clone();
+            lp[i] += h;
+            let mut lm = logits.clone();
+            lm[i] -= h;
+            let fd = (cross_entropy_loss(&lp, &targets, tokens, vocab)
+                - cross_entropy_loss(&lm, &targets, tokens, vocab))
+                / (2.0 * h);
+            assert!((fd - d[i]).abs() < 1e-3, "dlogits[{i}] fd={fd} analytic={}", d[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let vocab = 5;
+        let logits: Vec<f32> = (0..vocab).map(|i| i as f32 * 0.2).collect();
+        let mut d = vec![0.0; vocab];
+        cross_entropy_fused(&logits, &[2], &mut d, 1, vocab);
+        let s: f32 = d.iter().sum();
+        assert!(s.abs() < 1e-6, "softmax-CE gradient sums to zero, got {s}");
+    }
+
+    #[test]
+    fn forward_only_matches_fused() {
+        let vocab = 7;
+        let tokens = 4;
+        let logits: Vec<f32> = (0..tokens * vocab).map(|i| (i as f32 * 0.17).cos()).collect();
+        let targets = [0u32, 3, 6, 2];
+        let mut d = vec![0.0; tokens * vocab];
+        let a = cross_entropy_fused(&logits, &targets, &mut d, tokens, vocab);
+        let b = cross_entropy_loss(&logits, &targets, tokens, vocab);
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,221 @@
+//! Matrix multiplication kernels.
+//!
+//! These are the FLOP-dominant kernels of transformer training. They are
+//! written as cache-blocked loops parallelized with rayon over output rows —
+//! the CPU stand-in for the GPU GEMMs that dominate the paper's workloads.
+//! All variants accumulate in `f32` over `f32` inputs (the engine converts
+//! fp16 storage to f32 before compute, as tensor cores do).
+
+use rayon::prelude::*;
+
+/// Minimum per-thread row count before splitting; keeps rayon overhead
+/// negligible for the small matrices used in tests.
+const PAR_ROW_MIN: usize = 8;
+
+/// `c[m×n] = a[m×k] · b[k×n]` (row-major).
+///
+/// # Panics
+/// Panics if slice lengths are inconsistent with the dimensions.
+pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm: a has wrong length");
+    assert_eq!(b.len(), k * n, "sgemm: b has wrong length");
+    assert_eq!(c.len(), m * n, "sgemm: c has wrong length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        c_row.iter_mut().for_each(|v| *v = 0.0);
+        let a_row = &a[row * k..(row + 1) * k];
+        // ikj loop order: stream through b rows, accumulate into the c row
+        // kept hot in cache.
+        for (p, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_val * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_MIN {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `c[m×n] += a[m×k] · b[k×n]`.
+pub fn sgemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm_acc: a has wrong length");
+    assert_eq!(b.len(), k * n, "sgemm_acc: b has wrong length");
+    assert_eq!(c.len(), m * n, "sgemm_acc: c has wrong length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        let a_row = &a[row * k..(row + 1) * k];
+        for (p, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_val * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_MIN {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `c[m×n] = a[m×k] · b[n×k]^T` — i.e. B is stored row-major as `n×k` and
+/// used transposed. This is the natural layout for `dX = dY · W^T` with W
+/// stored `[out, in]`... here expressed generically.
+pub fn sgemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm_nt: a has wrong length");
+    assert_eq!(b.len(), n * k, "sgemm_nt: b has wrong length");
+    assert_eq!(c.len(), m * n, "sgemm_nt: c has wrong length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        let a_row = &a[row * k..(row + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0_f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    };
+    if m >= PAR_ROW_MIN {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `c[m×n] = a[k×m]^T · b[k×n]` — A stored row-major as `k×m`, used
+/// transposed. This is the natural layout for weight gradients
+/// `dW = X^T · dY`.
+pub fn sgemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "sgemm_tn: a has wrong length");
+    assert_eq!(b.len(), k * n, "sgemm_tn: b has wrong length");
+    assert_eq!(c.len(), m * n, "sgemm_tn: c has wrong length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        c_row.iter_mut().for_each(|v| *v = 0.0);
+        // c[row, :] = sum_p a[p, row] * b[p, :]
+        for p in 0..k {
+            let a_val = a[p * m + row];
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_val * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_MIN {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Out-of-place transpose of a row-major `rows×cols` matrix.
+pub fn transpose(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "transpose: src has wrong length");
+    assert_eq!(dst.len(), rows * cols, "transpose: dst has wrong length");
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i * 7 % 13) as f32 - 6.0) * scale).collect()
+    }
+
+    #[test]
+    fn sgemm_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (17, 9, 23), (32, 32, 32)] {
+            let a = seq(m * k, 0.25);
+            let b = seq(k * n, 0.5);
+            let mut c = vec![f32::NAN; m * n];
+            sgemm(&a, &b, &mut c, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn sgemm_acc_accumulates() {
+        let (m, k, n) = (5, 4, 6);
+        let a = seq(m * k, 0.1);
+        let b = seq(k * n, 0.2);
+        let mut c = vec![1.0; m * n];
+        sgemm_acc(&a, &b, &mut c, m, k, n);
+        let want: Vec<f32> = naive(&a, &b, m, k, n).iter().map(|v| v + 1.0).collect();
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sgemm_nt_matches_explicit_transpose() {
+        let (m, k, n) = (7, 5, 9);
+        let a = seq(m * k, 0.3);
+        let b_t = seq(n * k, 0.2); // stored n×k
+        let mut b = vec![0.0; k * n];
+        transpose(&b_t, &mut b, n, k);
+        let mut c = vec![0.0; m * n];
+        sgemm_nt(&a, &b_t, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sgemm_tn_matches_explicit_transpose() {
+        let (m, k, n) = (6, 8, 5);
+        let a_t = seq(k * m, 0.15); // stored k×m
+        let b = seq(k * n, 0.25);
+        let mut a = vec![0.0; m * k];
+        transpose(&a_t, &mut a, k, m);
+        let mut c = vec![0.0; m * n];
+        sgemm_tn(&a_t, &b, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let src = seq(12, 1.0);
+        let mut t = vec![0.0; 12];
+        let mut back = vec![0.0; 12];
+        transpose(&src, &mut t, 3, 4);
+        transpose(&t, &mut back, 4, 3);
+        assert_eq!(src, back);
+    }
+}

@@ -1,0 +1,9 @@
+//! Compute kernels: the FLOP substrate standing in for cuBLAS/cuDNN.
+
+pub mod activation;
+pub mod embedding;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+pub mod softmax;
+pub mod vector;

@@ -1,0 +1,172 @@
+//! Layer normalization with exact backward pass.
+
+/// Forward layer norm over the last dimension.
+///
+/// For each row of `x` (`rows × dim`):
+/// `y = (x − mean) / √(var + eps) · gamma + beta`.
+///
+/// `mean_out` and `rstd_out` (length `rows`) receive the per-row mean and
+/// reciprocal standard deviation, which the backward pass consumes.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_forward(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    y: &mut [f32],
+    mean_out: &mut [f32],
+    rstd_out: &mut [f32],
+    rows: usize,
+    dim: usize,
+    eps: f32,
+) {
+    assert_eq!(x.len(), rows * dim, "layernorm: x length");
+    assert_eq!(y.len(), rows * dim, "layernorm: y length");
+    assert_eq!(gamma.len(), dim, "layernorm: gamma length");
+    assert_eq!(beta.len(), dim, "layernorm: beta length");
+    assert_eq!(mean_out.len(), rows, "layernorm: mean length");
+    assert_eq!(rstd_out.len(), rows, "layernorm: rstd length");
+    for r in 0..rows {
+        let xr = &x[r * dim..(r + 1) * dim];
+        let yr = &mut y[r * dim..(r + 1) * dim];
+        let mean = xr.iter().sum::<f32>() / dim as f32;
+        let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+        let rstd = 1.0 / (var + eps).sqrt();
+        mean_out[r] = mean;
+        rstd_out[r] = rstd;
+        for ((o, &v), (&g, &b)) in yr.iter_mut().zip(xr).zip(gamma.iter().zip(beta)) {
+            *o = (v - mean) * rstd * g + b;
+        }
+    }
+}
+
+/// Backward layer norm.
+///
+/// Consumes the forward inputs `x`, saved `mean`/`rstd`, and upstream
+/// gradient `dy`; produces `dx` and accumulates into `dgamma`/`dbeta`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward(
+    x: &[f32],
+    gamma: &[f32],
+    mean: &[f32],
+    rstd: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    rows: usize,
+    dim: usize,
+) {
+    assert_eq!(x.len(), rows * dim, "layernorm_backward: x length");
+    assert_eq!(dy.len(), rows * dim, "layernorm_backward: dy length");
+    assert_eq!(dx.len(), rows * dim, "layernorm_backward: dx length");
+    assert_eq!(gamma.len(), dim, "layernorm_backward: gamma length");
+    assert_eq!(dgamma.len(), dim, "layernorm_backward: dgamma length");
+    assert_eq!(dbeta.len(), dim, "layernorm_backward: dbeta length");
+    let n = dim as f32;
+    for r in 0..rows {
+        let xr = &x[r * dim..(r + 1) * dim];
+        let dyr = &dy[r * dim..(r + 1) * dim];
+        let dxr = &mut dx[r * dim..(r + 1) * dim];
+        let (m, rs) = (mean[r], rstd[r]);
+
+        // xhat = (x - m) * rs;  dy_hat = dy * gamma
+        // dx = rs/n * (n*dy_hat - sum(dy_hat) - xhat * sum(dy_hat * xhat))
+        let mut sum_dyh = 0.0_f32;
+        let mut sum_dyh_xhat = 0.0_f32;
+        for i in 0..dim {
+            let xhat = (xr[i] - m) * rs;
+            let dyh = dyr[i] * gamma[i];
+            sum_dyh += dyh;
+            sum_dyh_xhat += dyh * xhat;
+            dgamma[i] += dyr[i] * xhat;
+            dbeta[i] += dyr[i];
+        }
+        for i in 0..dim {
+            let xhat = (xr[i] - m) * rs;
+            let dyh = dyr[i] * gamma[i];
+            dxr[i] = rs / n * (n * dyh - sum_dyh - xhat * sum_dyh_xhat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-5;
+
+    fn forward_loss(x: &[f32], gamma: &[f32], beta: &[f32], dy: &[f32], rows: usize, dim: usize) -> f32 {
+        // Scalar loss = <y, dy> so that dL/dy = dy.
+        let mut y = vec![0.0; rows * dim];
+        let mut mean = vec![0.0; rows];
+        let mut rstd = vec![0.0; rows];
+        layernorm_forward(x, gamma, beta, &mut y, &mut mean, &mut rstd, rows, dim, EPS);
+        y.iter().zip(dy).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn forward_normalizes() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        let mut y = vec![0.0; 4];
+        let mut mean = vec![0.0; 1];
+        let mut rstd = vec![0.0; 1];
+        layernorm_forward(&x, &gamma, &beta, &mut y, &mut mean, &mut rstd, 1, 4, EPS);
+        assert!((mean[0] - 2.5).abs() < 1e-6);
+        let out_mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let out_var: f32 = y.iter().map(|v| (v - out_mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(out_mean.abs() < 1e-6);
+        assert!((out_var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let rows = 2;
+        let dim = 5;
+        let x: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let gamma: Vec<f32> = (0..dim).map(|i| 1.0 + 0.1 * i as f32).collect();
+        let beta: Vec<f32> = (0..dim).map(|i| -0.05 * i as f32).collect();
+        let dy: Vec<f32> = (0..rows * dim).map(|i| ((i * 3) as f32 * 0.21).cos()).collect();
+
+        let mut y = vec![0.0; rows * dim];
+        let mut mean = vec![0.0; rows];
+        let mut rstd = vec![0.0; rows];
+        layernorm_forward(&x, &gamma, &beta, &mut y, &mut mean, &mut rstd, rows, dim, EPS);
+
+        let mut dx = vec![0.0; rows * dim];
+        let mut dgamma = vec![0.0; dim];
+        let mut dbeta = vec![0.0; dim];
+        layernorm_backward(&x, &gamma, &mean, &rstd, &dy, &mut dx, &mut dgamma, &mut dbeta, rows, dim);
+
+        let h = 1e-3;
+        for i in 0..rows * dim {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (forward_loss(&xp, &gamma, &beta, &dy, rows, dim)
+                - forward_loss(&xm, &gamma, &beta, &dy, rows, dim))
+                / (2.0 * h);
+            assert!((fd - dx[i]).abs() < 2e-2, "dx[{i}]: fd={fd} analytic={}", dx[i]);
+        }
+        for i in 0..dim {
+            let mut gp = gamma.clone();
+            gp[i] += h;
+            let mut gm = gamma.clone();
+            gm[i] -= h;
+            let fd = (forward_loss(&x, &gp, &beta, &dy, rows, dim)
+                - forward_loss(&x, &gm, &beta, &dy, rows, dim))
+                / (2.0 * h);
+            assert!((fd - dgamma[i]).abs() < 2e-2, "dgamma[{i}]: fd={fd} vs {}", dgamma[i]);
+            let mut bp = beta.clone();
+            bp[i] += h;
+            let mut bm = beta.clone();
+            bm[i] -= h;
+            let fd = (forward_loss(&x, &gamma, &bp, &dy, rows, dim)
+                - forward_loss(&x, &gamma, &bm, &dy, rows, dim))
+                / (2.0 * h);
+            assert!((fd - dbeta[i]).abs() < 2e-2, "dbeta[{i}]: fd={fd} vs {}", dbeta[i]);
+        }
+    }
+}

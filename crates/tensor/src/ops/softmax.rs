@@ -1,0 +1,138 @@
+//! Row-wise (optionally causal) softmax with exact backward pass.
+
+/// Numerically stable softmax over each row of a `rows × cols` matrix.
+pub fn softmax_forward(x: &[f32], y: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols, "softmax: x length");
+    assert_eq!(y.len(), rows * cols, "softmax: y length");
+    for r in 0..rows {
+        let xr = &x[r * cols..(r + 1) * cols];
+        let yr = &mut y[r * cols..(r + 1) * cols];
+        softmax_row(xr, yr);
+    }
+}
+
+#[inline]
+fn softmax_row(xr: &[f32], yr: &mut [f32]) {
+    let max = xr.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0_f32;
+    for (o, &v) in yr.iter_mut().zip(xr) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in yr.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Causal softmax for attention scores.
+///
+/// `x` is `(rows_outer · seq) × seq` where each group of `seq` rows is one
+/// attention map; row `i` of each map may only attend to columns `0..=i`.
+/// Masked positions get probability exactly 0.
+pub fn causal_softmax_forward(x: &[f32], y: &mut [f32], maps: usize, seq: usize) {
+    assert_eq!(x.len(), maps * seq * seq, "causal_softmax: x length");
+    assert_eq!(y.len(), maps * seq * seq, "causal_softmax: y length");
+    for m in 0..maps {
+        for i in 0..seq {
+            let base = (m * seq + i) * seq;
+            let xr = &x[base..base + i + 1];
+            let yr = &mut y[base..base + seq];
+            softmax_row(xr, &mut yr[..i + 1]);
+            for v in &mut yr[i + 1..] {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Backward of softmax given the forward *output* `y`:
+/// `dx = y ⊙ (dy − Σ_j dy_j·y_j)` per row. Works for causal maps too since
+/// masked outputs are exactly zero.
+pub fn softmax_backward(y: &[f32], dy: &[f32], dx: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(y.len(), rows * cols, "softmax_backward: y length");
+    assert_eq!(dy.len(), rows * cols, "softmax_backward: dy length");
+    assert_eq!(dx.len(), rows * cols, "softmax_backward: dx length");
+    for r in 0..rows {
+        let yr = &y[r * cols..(r + 1) * cols];
+        let dyr = &dy[r * cols..(r + 1) * cols];
+        let dxr = &mut dx[r * cols..(r + 1) * cols];
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for ((d, &p), &g) in dxr.iter_mut().zip(yr).zip(dyr) {
+            *d = p * (g - dot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut y = vec![0.0; 6];
+        softmax_forward(&x, &mut y, 2, 3);
+        for r in 0..2 {
+            let s: f32 = y[r * 3..r * 3 + 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(y[2] > y[1] && y[1] > y[0], "monotone in logits");
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let x = vec![1000.0, 1001.0, 999.0];
+        let mut y = vec![0.0; 3];
+        softmax_forward(&x, &mut y, 1, 3);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!((y.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn causal_masks_upper_triangle() {
+        let seq = 4;
+        let x: Vec<f32> = (0..seq * seq).map(|i| i as f32 * 0.1).collect();
+        let mut y = vec![0.0; seq * seq];
+        causal_softmax_forward(&x, &mut y, 1, seq);
+        for i in 0..seq {
+            for j in 0..seq {
+                let v = y[i * seq + j];
+                if j > i {
+                    assert_eq!(v, 0.0, "position ({i},{j}) must be masked");
+                } else {
+                    assert!(v > 0.0);
+                }
+            }
+            let s: f32 = y[i * seq..(i + 1) * seq].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let cols = 5;
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.7).sin()).collect();
+        let dy: Vec<f32> = (0..cols).map(|i| (i as f32 * 1.3).cos()).collect();
+        let mut y = vec![0.0; cols];
+        softmax_forward(&x, &mut y, 1, cols);
+        let mut dx = vec![0.0; cols];
+        softmax_backward(&y, &dy, &mut dx, 1, cols);
+
+        let loss = |x: &[f32]| -> f32 {
+            let mut y = vec![0.0; cols];
+            softmax_forward(x, &mut y, 1, cols);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-3;
+        for i in 0..cols {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            assert!((fd - dx[i]).abs() < 1e-3, "dx[{i}] fd={fd} analytic={}", dx[i]);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Dense row-major tensor storage.
+//!
+//! The engine deliberately keeps one concrete storage type (`Vec<f32>`)
+//! rather than a generic tensor framework: ZeRO operates on flat parameter
+//! buffers and rank-2/3 activations, and a simple contiguous layout keeps
+//! kernels cache-friendly and the memory accounting exact.
+
+use crate::f16::F16;
+
+/// A dense, row-major, contiguously stored tensor of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor {
+            data: vec![0.0; numel],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor {
+            data: vec![value; numel],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The shape as a slice.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(self.numel(), numel, "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Returns element `(row, col)` of a rank-2 tensor.
+    #[inline]
+    pub fn at2(&self, row: usize, col: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert_eq!(self.ndim(), 2);
+        let cols = self.shape[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert_eq!(self.ndim(), 2);
+        let cols = self.shape[1];
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Fills the tensor with zeros in place.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self *= s`.
+    pub fn scale_(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Sum of all elements (f64 accumulation for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Maximum absolute element, 0.0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// L2 norm of the flattened tensor (f64 accumulation).
+    pub fn l2_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Lossy conversion to fp16 storage (used by the mixed-precision path).
+    pub fn to_f16(&self) -> Vec<F16> {
+        self.data.iter().map(|&v| F16::from_f32(v)).collect()
+    }
+
+    /// Builds a tensor from fp16 storage.
+    pub fn from_f16(data: &[F16], shape: &[usize]) -> Tensor {
+        let v: Vec<f32> = data.iter().map(|h| h.to_f32()).collect();
+        Tensor::from_vec(v, shape)
+    }
+
+    /// Simulates a round trip through fp16 storage (quantization noise of
+    /// the mixed-precision forward pass) without allocating u16 storage.
+    pub fn quantize_f16_(&mut self) {
+        for v in &mut self.data {
+            *v = F16::from_f32(*v).to_f32();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.ndim(), 2);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let t = t.reshape(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at2(1, 0), 2.0);
+    }
+
+    #[test]
+    fn rows_and_indexing() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(t.at2(0, 2), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::full(&[4], 2.0);
+        let b = Tensor::full(&[4], 0.5);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[2.5; 4]);
+        a.scale_(2.0);
+        assert_eq!(a.data(), &[5.0; 4]);
+        assert_eq!(a.sum(), 20.0);
+        assert_eq!(a.max_abs(), 5.0);
+        assert!((a.l2_norm() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[3]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+        t.data_mut()[1] = f32::INFINITY;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn f16_round_trip_close() {
+        let t = Tensor::from_vec(vec![0.1, -2.5, 1000.0, 1e-4], &[4]);
+        let h = t.to_f16();
+        let back = Tensor::from_f16(&h, &[4]);
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-7);
+        }
+    }
+}
+
+// ----- op wrappers: the convenience API over the slice kernels -----
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] · [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank-2 or the inner dims differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul: self must be rank-2");
+        assert_eq!(other.ndim(), 2, "matmul: other must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        crate::ops::matmul::sgemm(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+
+    /// `self · other^T`: the `x · W^T` linear-layer product with `other`
+    /// stored row-major as `[n, k]`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_nt: self must be rank-2");
+        assert_eq!(other.ndim(), 2, "matmul_nt: other must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt: inner dimensions {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        crate::ops::matmul::sgemm_nt(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transposed: must be rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        crate::ops::matmul::transpose(&self.data, &mut out.data, r, c);
+        out
+    }
+
+    /// Row-wise softmax of a rank-2 tensor.
+    pub fn softmax(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "softmax: must be rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[r, c]);
+        crate::ops::softmax::softmax_forward(&self.data, &mut out.data, r, c);
+        out
+    }
+
+    /// Elementwise GELU.
+    pub fn gelu(&self) -> Tensor {
+        let mut out = Tensor::zeros(&self.shape);
+        crate::ops::activation::gelu_forward(&self.data, &mut out.data);
+        out
+    }
+
+    /// Layer norm over the last dimension with unit gain and zero shift.
+    pub fn layernorm(&self) -> Tensor {
+        assert!(self.ndim() >= 1, "layernorm: needs at least one dim");
+        let dim = *self.shape.last().unwrap();
+        let rows = self.numel() / dim;
+        let gamma = vec![1.0; dim];
+        let beta = vec![0.0; dim];
+        let mut out = Tensor::zeros(&self.shape);
+        let mut mean = vec![0.0; rows];
+        let mut rstd = vec![0.0; rows];
+        crate::ops::norm::layernorm_forward(
+            &self.data, &gamma, &beta, &mut out.data, &mut mean, &mut rstd, rows, dim, 1e-5,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod op_wrapper_tests {
+    use super::*;
+
+    #[test]
+    fn matmul_agrees_with_nt_through_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), &[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 4]);
+        let c2 = a.matmul_nt(&b.transposed());
+        for (x, y) in c.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0], &[2, 3]);
+        let s = a.softmax();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!((s.at2(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_standardizes_rows() {
+        let a = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 4]);
+        let n = a.layernorm();
+        let mean: f32 = n.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_matches_scalar() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let g = a.gelu();
+        assert_eq!(g.data()[1], 0.0);
+        assert!((g.data()[2] - crate::ops::activation::gelu_scalar(2.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+}

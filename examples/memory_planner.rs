@@ -1,0 +1,59 @@
+//! Memory planner: "will my model fit?" — the §5.4/Table 1 arithmetic as
+//! a practical tool.
+//!
+//! Give it a parameter count (in billions), a GPU count, and optionally a
+//! model-parallel degree, and it prints the per-GPU memory for every
+//! ZeRO stage together with the verdict against a 32 GB V100.
+//!
+//! ```text
+//! cargo run --release --example memory_planner -- 100 400 16
+//! cargo run --release --example memory_planner -- 1000 1024      # 1T!
+//! ```
+
+use zero::core::ZeroStage;
+use zero::sim::{ClusterSpec, MemoryModel, SimWorkload, ZeroRFlags};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size_b: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let gpus: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let mp: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let batch: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let cluster = ClusterSpec::dgx2_v100();
+    let mem = MemoryModel::default();
+    let nd = (gpus / mp).max(1);
+    let psi = size_b * 1e9;
+    let w = SimWorkload::with_params(8192, 1024, batch, psi);
+    let flags = ZeroRFlags::with_pa_cpu();
+
+    println!("Planning: {size_b}B parameters on {gpus} GPUs (MP {mp} × DP {nd}), batch {batch}/GPU");
+    println!("Device: 32 GB V100; activations with checkpointing + P_a + CPU offload.\n");
+    println!(
+        "{:>18} | {:>10} {:>11} {:>9} | {}",
+        "stage", "states GB", "+resid GB", "per GPU", "fits?"
+    );
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        let states = mem.model_state_bytes(psi / mp as f64, stage, nd as f64);
+        let total = mem.total_bytes(&w, stage, nd as f64, mp as f64, &flags);
+        let fits = mem.fits(&cluster, &w, stage, nd as f64, mp as f64, &flags);
+        println!(
+            "{:>18} | {:>10.1} {:>11.1} {:>9.1} | {}",
+            stage.name(),
+            states / 1e9,
+            (total - states) / 1e9,
+            total / 1e9,
+            if fits { "yes" } else { "NO — out of memory" }
+        );
+    }
+
+    // And the headline question: what WOULD fit here?
+    println!("\nLargest model that fits at each stage (layers swept at h = 8192):");
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        let max =
+            mem.max_model_params(&cluster, 8192, 1024, batch, stage, nd as f64, mp as f64, &flags);
+        println!("{:>18} | {:>8.1}B", stage.name(), max / 1e9);
+    }
+    println!("\n(Compare Table 1/Table 2 of the paper; with 1024 GPUs and stage 3,");
+    println!(" the trillion-parameter bound of §9 appears.)");
+}

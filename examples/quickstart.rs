@@ -1,0 +1,58 @@
+//! Quickstart: train a small transformer with every ZeRO stage and watch
+//! the per-rank model-state memory shrink while the loss trajectory stays
+//! identical — the paper's pitch in thirty lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use zero::comm::Grid;
+use zero::core::{run_training, TrainSetup, ZeroConfig, ZeroStage};
+use zero::model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 32,
+        layers: 2,
+        heads: 4,
+    };
+    let psi = model.total_params();
+    println!("model: {psi} parameters, 4-way data parallelism, 10 steps\n");
+    println!(
+        "{:>18} | {:>12} {:>14} {:>12}",
+        "stage", "final loss", "states/rank", "vs DDP"
+    );
+
+    let mut ddp_bytes = 0u64;
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        let setup = TrainSetup {
+            model,
+            zero: ZeroConfig {
+                stage,
+                ..ZeroConfig::default()
+            },
+            grid: Grid::new(4, 1),
+            global_batch: 8,
+            seed: 42,
+        };
+        let report = run_training(&setup, 10, 0);
+        let bytes = report.max_model_state_bytes();
+        if stage == ZeroStage::Ddp {
+            ddp_bytes = bytes;
+        }
+        println!(
+            "{:>18} | {:>12.4} {:>11} B {:>11.2}x",
+            stage.name(),
+            report.losses.last().unwrap(),
+            bytes,
+            ddp_bytes as f64 / bytes as f64
+        );
+    }
+    println!(
+        "\nSame losses, up to {}x less model-state memory per rank — that is ZeRO.",
+        16 * 4 / 16
+    );
+    println!("(With N_d = 4 the stage-3 bound is 16Ψ/N_d: a 4x reduction; it grows with N_d.)");
+}

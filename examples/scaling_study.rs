@@ -1,0 +1,67 @@
+//! Scaling study on the *functional* engine: sweep the DP degree and
+//! measure — not model — per-rank model-state memory and communication
+//! volume, reproducing Table 1's 1/N_d law and §7's volume analysis with
+//! real allocations and real ring collectives (threads as GPUs).
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use zero::comm::{CollectiveKind, Grid};
+use zero::core::{run_training, TrainSetup, ZeroConfig, ZeroStage};
+use zero::model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 32,
+        layers: 3,
+        heads: 4,
+    };
+    let psi = model.total_params() as u64;
+    let steps = 2;
+    println!("functional scaling study: Ψ = {psi} parameters, {steps} steps per point\n");
+
+    for stage in [ZeroStage::Two, ZeroStage::Three] {
+        println!("--- {} ---", stage.name());
+        println!(
+            "{:>4} | {:>14} {:>10} | {:>16} {:>9}",
+            "Nd", "states B/rank", "vs 16Ψ", "comm elems/step", "vs 2Ψ"
+        );
+        for dp in [1usize, 2, 4, 8] {
+            let setup = TrainSetup {
+                model,
+                zero: ZeroConfig {
+                    stage,
+                    fp16: true,
+                    initial_loss_scale: 1.0,
+                    checkpoint_activations: true,
+                    ..ZeroConfig::default()
+                },
+                grid: Grid::new(dp, 1),
+                global_batch: 8,
+                seed: 1,
+            };
+            let report = run_training(&setup, steps, 0);
+            let states = report.max_model_state_bytes();
+            let traffic = &report.ranks[0].traffic;
+            let bytes = traffic.bytes(CollectiveKind::AllReduce)
+                + traffic.bytes(CollectiveKind::ReduceScatter)
+                + traffic.bytes(CollectiveKind::AllGather);
+            let elems_per_step = bytes as f64 / 2.0 / steps as f64;
+            println!(
+                "{:>4} | {:>14} {:>9.2}x | {:>16.0} {:>8.2}x",
+                dp,
+                states,
+                16.0 * psi as f64 / states as f64,
+                elems_per_step,
+                elems_per_step / (2.0 * psi as f64)
+            );
+        }
+        println!();
+    }
+    println!("Reading: memory per rank falls toward 16Ψ/N_d (Table 1) while the");
+    println!("communication column stays ≈ 2Ψ·(N−1)/N for stage 2 and ≤ 3Ψ·(N−1)/N");
+    println!("for stage 3 — exactly §7's claim, measured on real ring collectives.");
+}

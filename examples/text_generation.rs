@@ -1,0 +1,83 @@
+//! End-to-end: train a character-level LM with ZeRO-2 across 4 ranks,
+//! then sample from the trained weights — the "democratization" story of
+//! §10.4: plain data-parallel ergonomics, ZeRO memory behaviour, and a
+//! model you can actually use afterwards.
+//!
+//! ```text
+//! cargo run --release --example text_generation -- 150
+//! ```
+
+use zero::comm::Grid;
+use zero::core::{run_training, TrainSetup, ZeroConfig, ZeroStage};
+use zero::model::{Generator, Gpt, ModelConfig, Sampling, SyntheticCorpus};
+
+fn main() {
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100usize);
+    let model = ModelConfig {
+        vocab: 32,
+        seq: 24,
+        hidden: 64,
+        layers: 2,
+        heads: 4,
+    };
+    let setup = TrainSetup {
+        model,
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: true,
+            initial_loss_scale: 128.0,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(4, 1),
+        global_batch: 16,
+        seed: 77,
+    };
+    println!(
+        "training a {}-parameter char-LM with ZeRO-2 on 4 ranks, {steps} steps…",
+        model.total_params()
+    );
+    let report = run_training(&setup, steps, 0);
+    println!(
+        "loss: {:.3} → {:.3}",
+        report.losses.first().unwrap(),
+        report.losses.last().unwrap()
+    );
+
+    // Reassemble the trained fp32 master parameters and run generation
+    // single-process (inference does not need ZeRO).
+    let params = report.gather_master_mp1();
+    let gpt = Gpt::new(model);
+    let generator = Generator::new(&gpt, &params);
+    let corpus = SyntheticCorpus::generate(model.vocab, 1000, setup.seed ^ 0x5EED);
+    let prompt: Vec<u32> = corpus.tokens()[..model.seq].to_vec();
+
+    print!("seed tokens:        ");
+    for &t in &prompt[model.seq - 12..] {
+        print!("{t:>3}");
+    }
+    println!();
+    print!("greedy continuation:");
+    for t in generator.generate(&prompt, 12, Sampling::Greedy) {
+        print!("{t:>3}");
+    }
+    println!();
+    print!("sampled (T=0.8, k=8):");
+    let sampled = generator.generate(
+        &prompt,
+        12,
+        Sampling::Temperature {
+            temperature: 0.8,
+            top_k: 8,
+            seed: 7,
+        },
+    );
+    for t in sampled {
+        print!("{t:>3}");
+    }
+    println!();
+    println!("\n(The corpus is a sparse Markov chain — a trained model locks onto its");
+    println!("preferred transitions; an untrained one would emit near-uniform noise.)");
+}

@@ -1,0 +1,408 @@
+//! Engine behavior under stress: loss-scaler overflow recovery, parameter
+//! freezing on skipped steps, gradient accumulation semantics, and the
+//! optimizer-choice (K multiplier) memory footprints.
+
+use zero::comm::{launch, Grid};
+use zero::core::{
+    run_training, MemCategory, OptimizerKind, RankEngine, TrainSetup, ZeroConfig, ZeroStage,
+};
+use zero::model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
+use zero::optim::{AdamConfig, SgdConfig};
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        vocab: 32,
+        seq: 8,
+        hidden: 16,
+        layers: 2,
+        heads: 2,
+    }
+}
+
+#[test]
+fn overflow_skips_step_and_scaler_recovers() {
+    // An absurd initial loss scale forces fp16 gradient overflow; the
+    // scaler must skip updates and halve until training proceeds.
+    let cfg = model();
+    let outcomes = launch(2, |comm| {
+        let gpt = Gpt::new(cfg);
+        let params = init_full_params(&cfg, 4);
+        let zcfg = ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: true,
+            initial_loss_scale: 1e30,
+            ..ZeroConfig::default()
+        };
+        let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(2, 1), comm);
+        let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 1);
+        let master_before = engine.master_params().to_vec();
+        let mut results = Vec::new();
+        for step in 0..120 {
+            let (ids, targets) = corpus.rank_batch(step, 2, cfg.seq, 2, engine.dp_rank());
+            let out = engine.train_step(&ids, &targets, 1);
+            if step == 0 {
+                // First step must have overflowed and left parameters
+                // untouched.
+                assert!(out.skipped, "1e30 scale must overflow");
+                assert_eq!(engine.master_params(), &master_before[..]);
+            }
+            results.push(out);
+        }
+        results
+    });
+    let r0 = &outcomes[0];
+    assert!(r0[0].skipped);
+    assert!(
+        r0.iter().any(|o| !o.skipped),
+        "scaler should back off until steps succeed"
+    );
+    let first_clean = r0.iter().position(|o| !o.skipped).unwrap();
+    // After recovery, the vast majority of steps proceed (the scaler may
+    // still occasionally back off near the overflow boundary — that is
+    // its job).
+    let clean = r0[first_clean..].iter().filter(|o| !o.skipped).count();
+    let tail = r0.len() - first_clean;
+    assert!(
+        clean * 10 >= tail * 8,
+        "only {clean}/{tail} clean steps after recovery"
+    );
+    // The scale halved at least ~66 times to get under fp16 range.
+    assert!(r0[first_clean].loss_scale < 1e10);
+}
+
+#[test]
+fn gradient_accumulation_equals_bigger_batch() {
+    // One step over [micro1, micro2] must equal one step over the
+    // concatenated batch (fp32, mean losses and mean gradients agree).
+    let cfg = model();
+    let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 7);
+    let (ids, targets) = corpus.batch(0, 4, cfg.seq);
+    let half = 2 * cfg.seq;
+
+    let masters = launch(1, |comm| {
+        let gpt = Gpt::new(cfg);
+        let params = init_full_params(&cfg, 9);
+        let zcfg = ZeroConfig::fp32_exact(ZeroStage::Two);
+        let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(1, 1), comm);
+        let micros = [
+            (&ids[..half], &targets[..half]),
+            (&ids[half..], &targets[half..]),
+        ];
+        let out = engine.train_step_micro(&micros, 2);
+        (engine.master_params().to_vec(), out.loss)
+    });
+    let (accum_master, accum_loss) = masters[0].clone();
+
+    let full = launch(1, |comm| {
+        let gpt = Gpt::new(cfg);
+        let params = init_full_params(&cfg, 9);
+        let zcfg = ZeroConfig::fp32_exact(ZeroStage::Two);
+        let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(1, 1), comm);
+        let out = engine.train_step(&ids, &targets, 4);
+        (engine.master_params().to_vec(), out.loss)
+    });
+    let (full_master, full_loss) = full[0].clone();
+
+    assert!(
+        (accum_loss - full_loss).abs() < 1e-5,
+        "losses: {accum_loss} vs {full_loss}"
+    );
+    let max_diff = accum_master
+        .iter()
+        .zip(&full_master)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f32, f32::max);
+    assert!(max_diff < 1e-5, "accumulation diverged by {max_diff}");
+}
+
+#[test]
+fn accumulation_across_stages_is_consistent() {
+    let cfg = model();
+    let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 3);
+    let run = |stage: ZeroStage| {
+        let corpus = &corpus;
+        let masters = launch(2, move |comm| {
+            let gpt = Gpt::new(cfg);
+            let params = init_full_params(&cfg, 5);
+            let zcfg = ZeroConfig::fp32_exact(stage);
+            let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(2, 1), comm);
+            for step in 0..3 {
+                let (a_ids, a_tg) = corpus.rank_batch(2 * step, 4, cfg.seq, 2, engine.dp_rank());
+                let (b_ids, b_tg) =
+                    corpus.rank_batch(2 * step + 1, 4, cfg.seq, 2, engine.dp_rank());
+                let micros = [(&a_ids[..], &a_tg[..]), (&b_ids[..], &b_tg[..])];
+                engine.train_step_micro(&micros, 2);
+            }
+            (engine.master_params().to_vec(), engine.master_range())
+        });
+        let mut flat = vec![0.0; cfg.total_params()];
+        for (m, r) in &masters {
+            flat[r.clone()].copy_from_slice(&m[..r.len()]);
+        }
+        flat
+    };
+    let two = run(ZeroStage::Two);
+    let three = run(ZeroStage::Three);
+    let ddp = run(ZeroStage::Ddp);
+    for (i, ((a, b), c)) in two.iter().zip(&three).zip(&ddp).enumerate() {
+        assert!((a - b).abs() < 1e-4, "param {i}: stage2 {a} vs stage3 {b}");
+        assert!((a - c).abs() < 1e-4, "param {i}: stage2 {a} vs ddp {c}");
+    }
+}
+
+#[test]
+fn optimizer_choice_sets_the_k_multiplier() {
+    // §2.3: the optimizer decides K. Measured model states under DDP:
+    // Adam (2+2+12)Ψ, SGD+momentum (2+2+8)Ψ, plain SGD (2+2+4)Ψ.
+    let cfg = model();
+    let psi = cfg.total_params() as u64;
+    let run = |opt: OptimizerKind| {
+        let setup = TrainSetup {
+            model: cfg,
+            zero: ZeroConfig {
+                stage: ZeroStage::Ddp,
+                fp16: true,
+                optimizer: opt,
+                ..ZeroConfig::default()
+            },
+            grid: Grid::new(2, 1),
+            global_batch: 4,
+            seed: 1,
+        };
+        run_training(&setup, 1, 0).ranks[0].peak_model_state_bytes
+    };
+    assert_eq!(run(OptimizerKind::Adam(AdamConfig::default())), 16 * psi);
+    assert_eq!(
+        run(OptimizerKind::Sgd(SgdConfig {
+            lr: 0.01,
+            momentum: 0.9
+        })),
+        12 * psi
+    );
+    assert_eq!(
+        run(OptimizerKind::Sgd(SgdConfig {
+            lr: 0.01,
+            momentum: 0.0
+        })),
+        8 * psi
+    );
+}
+
+#[test]
+fn sgd_training_also_converges_under_zero() {
+    let setup = TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: false,
+            initial_loss_scale: 1.0,
+            optimizer: OptimizerKind::Sgd(SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+            }),
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 6,
+    };
+    let report = run_training(&setup, 25, 0);
+    let first: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
+    let last: f32 = report.losses[20..].iter().sum::<f32>() / 5.0;
+    assert!(last < first, "SGD under ZeRO should learn: {first} -> {last}");
+}
+
+#[test]
+fn eval_does_not_mutate_parameters_or_state() {
+    let cfg = model();
+    launch(2, |comm| {
+        let gpt = Gpt::new(cfg);
+        let params = init_full_params(&cfg, 8);
+        let zcfg = ZeroConfig::default();
+        let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(2, 1), comm);
+        let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 2);
+        let (ids, targets) = corpus.rank_batch(0, 2, cfg.seq, 2, engine.dp_rank());
+        let before = engine.master_params().to_vec();
+        let l1 = engine.eval_loss(&ids, &targets, 1);
+        let l2 = engine.eval_loss(&ids, &targets, 1);
+        assert_eq!(l1, l2, "eval must be deterministic");
+        assert_eq!(engine.master_params(), &before[..], "eval must not train");
+        assert_eq!(engine.steps(), 0);
+    });
+}
+
+#[test]
+fn mixed_precision_trains_close_to_fp32() {
+    // The whole point of the fp16 + fp32-master scheme: training quality
+    // tracks fp32 closely.
+    let mk = |fp16: bool| TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16,
+            initial_loss_scale: 64.0,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 13,
+    };
+    let fp16 = run_training(&mk(true), 20, 0);
+    let fp32 = run_training(&mk(false), 20, 0);
+    for (a, b) in fp16.losses.iter().zip(&fp32.losses) {
+        assert!(
+            (a - b).abs() < 0.05 * (1.0 + b.abs()),
+            "fp16 {a} vs fp32 {b} drifted"
+        );
+    }
+}
+
+#[test]
+fn hierarchical_all_reduce_matches_flat_in_training() {
+    // Topology-aware DDP gradient reduction must be numerically
+    // equivalent to the flat ring (up to reassociation — exact here
+    // because both sum the same 4 values, grouped differently, on data
+    // where f32 addition happens to associate; tolerance covers the rest).
+    let mk = |node: Option<usize>| TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            node_size: node,
+            ..ZeroConfig::fp32_exact(ZeroStage::Ddp)
+        },
+        grid: Grid::new(4, 1),
+        global_batch: 4,
+        seed: 31,
+    };
+    let flat = run_training(&mk(None), 4, 0);
+    let hier = run_training(&mk(Some(2)), 4, 0);
+    let a = flat.gather_master_mp1();
+    let b = hier.gather_master_mp1();
+    let diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f32, f32::max);
+    assert!(diff < 1e-5, "hierarchical diverged by {diff}");
+}
+
+#[test]
+fn lr_schedule_shapes_the_update_magnitudes() {
+    use zero::optim::LrSchedule;
+    // With warmup, the first update must be much smaller than the peak
+    // update; losses must still fall.
+    let mk = |sched: LrSchedule| TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            lr_schedule: sched,
+            ..ZeroConfig::fp32_exact(ZeroStage::Two)
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 17,
+    };
+    let corpus_independent_delta = |sched: LrSchedule| -> (f32, f32) {
+        let cfg = model();
+        let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 9);
+        let corpus = &corpus;
+        let setup = mk(sched);
+        let deltas = launch(2, move |comm| {
+            let gpt = Gpt::new(cfg);
+            let params = init_full_params(&cfg, 3);
+            let mut engine = RankEngine::new(gpt, &params, setup.zero, setup.grid, comm);
+            let before = engine.master_params().to_vec();
+            let (ids, tg) = corpus.rank_batch(0, 4, cfg.seq, 2, engine.dp_rank());
+            engine.train_step(&ids, &tg, 2);
+            let after_first: f32 = engine
+                .master_params()
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            let mid = engine.master_params().to_vec();
+            for step in 1..10 {
+                let (ids, tg) = corpus.rank_batch(step, 4, cfg.seq, 2, engine.dp_rank());
+                engine.train_step(&ids, &tg, 2);
+            }
+            let _ = mid;
+            (after_first, 0.0)
+        });
+        deltas[0]
+    };
+    let (warm_first, _) = corpus_independent_delta(LrSchedule::Warmup { warmup: 10 });
+    let (const_first, _) = corpus_independent_delta(LrSchedule::Constant);
+    assert!(
+        warm_first < 0.2 * const_first,
+        "warmup first update {warm_first} should be ~1/10 of constant {const_first}"
+    );
+}
+
+#[test]
+fn dropout_trains_and_is_neutral_at_zero() {
+    // p = 0 must be bit-identical to the no-dropout path; p > 0 must
+    // change the trajectory, remain finite, and stay exactly compatible
+    // with checkpoint recompute (same masks regenerated).
+    let mk = |p: f32, ckpt: bool| TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            dropout: p,
+            checkpoint_activations: ckpt,
+            ..ZeroConfig::fp32_exact(ZeroStage::Two)
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 23,
+    };
+    let zero_a = run_training(&mk(0.0, false), 4, 0).gather_master_mp1();
+    let zero_b = run_training(&mk(0.0, true), 4, 0).gather_master_mp1();
+    assert_eq!(zero_a, zero_b, "p = 0 must be exactly neutral");
+
+    let dropped = run_training(&mk(0.2, false), 4, 0);
+    assert!(dropped.losses.iter().all(|l| l.is_finite()));
+    let dropped_params = dropped.gather_master_mp1();
+    assert_ne!(zero_a, dropped_params, "dropout must perturb training");
+
+    // Checkpoint recompute regenerates the identical masks.
+    let d_ckpt = run_training(&mk(0.2, true), 4, 0).gather_master_mp1();
+    assert_eq!(dropped_params, d_ckpt, "recompute must reuse the masks");
+}
+
+#[test]
+fn dropout_masks_differ_across_steps() {
+    // If masks were reused every step, dropout would act like a fixed
+    // sparsity pattern; the per-step seeds must differ. Detect via the
+    // spread of parameter updates: train twice with identical data —
+    // deterministic engine means identical results; but a single step
+    // with dropout twice in a row (same batch) must produce different
+    // updates across the two steps.
+    let cfg = model();
+    let corpus = SyntheticCorpus::generate(cfg.vocab, 5000, 41);
+    let corpus = &corpus;
+    let deltas = launch(1, move |comm| {
+        let gpt = Gpt::new(cfg);
+        let params = init_full_params(&cfg, 2);
+        let zcfg = ZeroConfig {
+            dropout: 0.3,
+            ..ZeroConfig::fp32_exact(ZeroStage::Ddp)
+        };
+        let mut engine = RankEngine::new(gpt, &params, zcfg, Grid::new(1, 1), comm);
+        let (ids, tg) = corpus.batch(0, 2, cfg.seq);
+        let p0 = engine.master_params().to_vec();
+        engine.train_step(&ids, &tg, 2);
+        let p1 = engine.master_params().to_vec();
+        engine.train_step(&ids, &tg, 2); // same data again
+        let p2 = engine.master_params().to_vec();
+        let d1: Vec<f32> = p1.iter().zip(&p0).map(|(a, b)| a - b).collect();
+        let d2: Vec<f32> = p2.iter().zip(&p1).map(|(a, b)| a - b).collect();
+        (d1, d2)
+    });
+    let (d1, d2) = &deltas[0];
+    // Same data, different masks: update *directions* must differ in some
+    // coordinates beyond Adam-state drift alone would explain. Use sign
+    // flips as a coarse detector.
+    let flips = d1
+        .iter()
+        .zip(d2)
+        .filter(|(a, b)| a.signum() != b.signum() && a.abs() > 1e-7 && b.abs() > 1e-7)
+        .count();
+    assert!(flips > 0, "expected mask variation to flip some update signs");
+}

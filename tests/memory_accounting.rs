@@ -1,0 +1,261 @@
+//! Measured memory vs. the paper's closed-form expressions (§3.1, §5,
+//! Figure 1): with mixed-precision Adam the model states take
+//!
+//! * DDP:      2Ψ + 2Ψ + KΨ            (K = 12)
+//! * P_os:     2Ψ + 2Ψ + KΨ/N_d
+//! * P_os+g:   2Ψ + (2+K)Ψ/N_d
+//! * P_os+g+p: (4+K)Ψ/N_d
+//!
+//! The engine's MemoryTracker registers every model-state allocation, so
+//! these are *measured equalities*, exact to the byte (the shard of rank
+//! `d` has `chunk_range(Ψ, N_d, d)` elements, so per-rank values differ by
+//! at most one element's worth).
+
+use zero::comm::Grid;
+use zero::core::{run_training, MemCategory, TrainSetup, ZeroConfig, ZeroStage};
+use zero::model::ModelConfig;
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        vocab: 32,
+        seq: 8,
+        hidden: 16,
+        layers: 2,
+        heads: 2,
+    }
+}
+
+fn run(stage: ZeroStage, dp: usize) -> zero::core::TrainReport {
+    let setup = TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            stage,
+            fp16: true,
+            checkpoint_activations: false,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(dp, 1),
+        global_batch: 4,
+        seed: 3,
+    };
+    run_training(&setup, 2, 0)
+}
+
+fn shard_len(total: usize, n: usize, i: usize) -> u64 {
+    zero::comm::chunk_range(total, n, i).len() as u64
+}
+
+#[test]
+fn ddp_model_states_are_16_psi() {
+    let psi = model().total_params() as u64;
+    let report = run(ZeroStage::Ddp, 4);
+    for r in &report.ranks {
+        assert_eq!(
+            r.peak_model_state_bytes,
+            16 * psi,
+            "rank {}: DDP must hold 2Ψ+2Ψ+12Ψ bytes",
+            r.rank
+        );
+    }
+}
+
+#[test]
+fn stage1_model_states_are_4_psi_plus_k_over_nd() {
+    let psi = model().total_params();
+    let dp = 4;
+    let report = run(ZeroStage::One, dp);
+    for (d, r) in report.ranks.iter().enumerate() {
+        let want = 4 * psi as u64 + 12 * shard_len(psi, dp, d);
+        assert_eq!(r.peak_model_state_bytes, want, "rank {d}");
+    }
+}
+
+#[test]
+fn stage2_model_states_are_2_psi_plus_14_over_nd() {
+    let psi = model().total_params();
+    let dp = 4;
+    let report = run(ZeroStage::Two, dp);
+    for (d, r) in report.ranks.iter().enumerate() {
+        let want = 2 * psi as u64 + 14 * shard_len(psi, dp, d);
+        assert_eq!(r.peak_model_state_bytes, want, "rank {d}");
+    }
+}
+
+#[test]
+fn stage3_model_states_are_16_over_nd() {
+    let psi = model().total_params();
+    let dp = 4;
+    let report = run(ZeroStage::Three, dp);
+    for (d, r) in report.ranks.iter().enumerate() {
+        let want = 16 * shard_len(psi, dp, d);
+        assert_eq!(r.peak_model_state_bytes, want, "rank {d}");
+    }
+}
+
+#[test]
+fn memory_reduction_ratios_match_figure1() {
+    // Figure 1's example ratios at N_d = 4: DDP = 16Ψ, P_os ≈ 7Ψ,
+    // P_os+g ≈ 5.5Ψ, P_os+g+p = 4Ψ.
+    let psi = model().total_params() as f64;
+    let ddp = run(ZeroStage::Ddp, 4).max_model_state_bytes() as f64 / psi;
+    let s1 = run(ZeroStage::One, 4).max_model_state_bytes() as f64 / psi;
+    let s2 = run(ZeroStage::Two, 4).max_model_state_bytes() as f64 / psi;
+    let s3 = run(ZeroStage::Three, 4).max_model_state_bytes() as f64 / psi;
+    assert!((ddp - 16.0).abs() < 0.01, "DDP {ddp}");
+    assert!((s1 - 7.0).abs() < 0.05, "P_os {s1}");
+    assert!((s2 - 5.5).abs() < 0.05, "P_os+g {s2}");
+    assert!((s3 - 4.0).abs() < 0.05, "P_os+g+p {s3}");
+    assert!(ddp > s1 && s1 > s2 && s2 > s3, "each stage strictly helps");
+}
+
+#[test]
+fn fp32_mode_has_k_8_footprint() {
+    // Without mixed precision there is no separate fp16 copy: 4Ψ params
+    // (working) + 4Ψ grads + 4Ψ master + 8Ψ Adam = 20Ψ under DDP.
+    let psi = model().total_params() as u64;
+    let setup = TrainSetup {
+        model: model(),
+        zero: ZeroConfig::fp32_exact(ZeroStage::Ddp),
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 3,
+    };
+    let report = run_training(&setup, 1, 0);
+    assert_eq!(report.ranks[0].peak_model_state_bytes, 20 * psi);
+}
+
+#[test]
+fn checkpointing_reduces_activation_memory() {
+    let mk = |ckpt: bool| TrainSetup {
+        model: model(),
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            checkpoint_activations: ckpt,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 3,
+    };
+    let with = run_training(&mk(true), 1, 0);
+    let without = run_training(&mk(false), 1, 0);
+    let act = MemCategory::Activations as usize;
+    let ck = MemCategory::Checkpoints as usize;
+    let _ = act;
+    let _ = ck;
+    assert!(
+        with.ranks[0].peak_device_bytes < without.ranks[0].peak_device_bytes,
+        "checkpointing must lower peak device memory: {} vs {}",
+        with.ranks[0].peak_device_bytes,
+        without.ranks[0].peak_device_bytes
+    );
+}
+
+#[test]
+fn pa_partitions_checkpoint_memory_by_mp_degree() {
+    // §6.1: P_a reduces the checkpoint footprint proportional to N_m.
+    let mk = |pa: bool| TrainSetup {
+        model: ModelConfig {
+            heads: 4,
+            ..model()
+        },
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            checkpoint_activations: true,
+            partition_activations: pa,
+            use_arena: false,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 2),
+        global_batch: 4,
+        seed: 3,
+    };
+    let plain = run_training(&mk(false), 1, 0);
+    let pa = run_training(&mk(true), 1, 0);
+    let ck = MemCategory::Checkpoints as usize;
+    let plain_peak = plain.ranks[0].peak_by_category[ck];
+    let pa_peak = pa.ranks[0].peak_by_category[ck];
+    assert!(plain_peak > 0, "checkpoints were stored");
+    assert_eq!(
+        pa_peak * 2,
+        plain_peak,
+        "P_a must shrink checkpoint bytes by exactly N_m = 2"
+    );
+}
+
+#[test]
+fn cpu_offload_moves_checkpoints_off_device() {
+    let mk = |off: bool| TrainSetup {
+        model: ModelConfig { heads: 4, ..model() },
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            checkpoint_activations: true,
+            partition_activations: true,
+            offload_checkpoints: off,
+            use_arena: false,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(1, 2),
+        global_batch: 2,
+        seed: 3,
+    };
+    let on_device = run_training(&mk(false), 1, 0);
+    let offloaded = run_training(&mk(true), 1, 0);
+    let ck = MemCategory::Checkpoints as usize;
+    let cpu = MemCategory::CpuOffload as usize;
+    // All checkpoint bytes move to the CPU pool: device checkpoint peak
+    // drops to zero and the CPU pool holds exactly what the device held.
+    assert!(on_device.ranks[0].peak_by_category[ck] > 0);
+    assert_eq!(offloaded.ranks[0].peak_by_category[ck], 0);
+    assert_eq!(
+        offloaded.ranks[0].peak_by_category[cpu],
+        on_device.ranks[0].peak_by_category[ck],
+        "CPU pool must hold exactly the former device checkpoints"
+    );
+    // §8: P_a+cpu costs 2× the checkpoint bytes in PCIe transfers
+    // (to CPU at store, back at fetch).
+    assert_eq!(
+        offloaded.ranks[0].cpu_transfer_bytes,
+        2 * offloaded.ranks[0].peak_by_category[cpu],
+        "each checkpoint crosses the link twice"
+    );
+    assert_eq!(on_device.ranks[0].cpu_transfer_bytes, 0);
+}
+
+#[test]
+fn checkpoint_interval_trades_checkpoint_memory_for_activation_memory() {
+    // Interval k stores ⌈L/k⌉ checkpoints; during backward a whole
+    // segment's saved activations are live at once.
+    let mk = |interval: usize| TrainSetup {
+        model: ModelConfig {
+            layers: 4,
+            ..model()
+        },
+        zero: ZeroConfig {
+            stage: ZeroStage::Two,
+            checkpoint_activations: true,
+            checkpoint_interval: interval,
+            use_arena: false,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(2, 1),
+        global_batch: 4,
+        seed: 3,
+    };
+    let every = run_training(&mk(1), 1, 0);
+    let half = run_training(&mk(2), 1, 0);
+    let ck = MemCategory::Checkpoints as usize;
+    let act = MemCategory::Activations as usize;
+    // Checkpoint bytes halve exactly (4 checkpoints -> 2).
+    assert_eq!(
+        every.ranks[0].peak_by_category[ck],
+        2 * half.ranks[0].peak_by_category[ck]
+    );
+    // Peak saved activations grow (two blocks' worth live per segment).
+    assert!(
+        half.ranks[0].peak_by_category[act] > every.ranks[0].peak_by_category[act],
+        "{} vs {}",
+        half.ranks[0].peak_by_category[act],
+        every.ranks[0].peak_by_category[act]
+    );
+}
