@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, then the long-running fault-injection
+# stress matrix (tests marked #[ignore], e.g. randomized_fault_matrix_stress).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -- --ignored (fault-matrix stress)"
+cargo test -q -- --ignored
+
+echo "==> CI green"

@@ -15,7 +15,7 @@ fn bench_all_reduce(c: &mut Criterion) {
             b.iter(|| {
                 launch(4, |mut comm| {
                     let mut buf = vec![comm.rank() as f32; len];
-                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
                     buf[0]
                 })
             });
@@ -36,9 +36,9 @@ fn bench_reduce_scatter_plus_all_gather(c: &mut Criterion) {
                 let input = vec![comm.rank() as f32; len];
                 let shard_len = zero_comm::chunk_range(len, 4, comm.rank()).len();
                 let mut shard = vec![0.0; shard_len];
-                comm.reduce_scatter(&input, &mut shard, ReduceOp::Sum, Precision::Fp32);
+                comm.reduce_scatter(&input, &mut shard, ReduceOp::Sum, Precision::Fp32).unwrap();
                 let mut out = vec![0.0; len];
-                comm.all_gather(&shard, &mut out, Precision::Fp32);
+                comm.all_gather(&shard, &mut out, Precision::Fp32).unwrap();
                 out[0]
             })
         });
@@ -47,7 +47,7 @@ fn bench_reduce_scatter_plus_all_gather(c: &mut Criterion) {
         b.iter(|| {
             launch(4, |mut comm| {
                 let mut buf = vec![comm.rank() as f32; len];
-                comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
                 buf[0]
             })
         });
@@ -63,7 +63,7 @@ fn bench_rank_scaling(c: &mut Criterion) {
             b.iter(|| {
                 launch(n, |mut comm| {
                     let mut buf = vec![1.0_f32; len];
-                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
                     buf[0]
                 })
             });
@@ -78,7 +78,7 @@ fn bench_broadcast(c: &mut Criterion) {
         b.iter(|| {
             launch(4, |mut comm| {
                 let mut buf = vec![comm.rank() as f32; len];
-                comm.broadcast(0, &mut buf, Precision::Fp32);
+                comm.broadcast(0, &mut buf, Precision::Fp32).unwrap();
                 buf[0]
             })
         });

@@ -10,6 +10,7 @@
 //! balanced-uneven (no padding): chunk `i` of `total` over `n` ranks has
 //! `total/n + (i < total%n)` elements, and member `i` owns chunk `i`.
 
+use crate::error::CommError;
 use crate::group::Group;
 use crate::stats::CollectiveKind;
 use crate::world::Communicator;
@@ -102,37 +103,64 @@ impl Communicator {
     // ----- world-wide convenience wrappers -----
 
     /// Ring all-reduce over the whole world, in place.
-    pub fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+    pub fn all_reduce(
+        &mut self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let g = Group::world(self.world_size());
-        self.all_reduce_in(&g, buf, op, prec);
+        self.all_reduce_in(&g, buf, op, prec)
     }
 
     /// Ring reduce-scatter over the whole world. `input` has the full
     /// length; this rank's reduced chunk is written to `out`, which must
     /// have exactly `chunk_range(len, n, rank).len()` elements.
-    pub fn reduce_scatter(&mut self, input: &[f32], out: &mut [f32], op: ReduceOp, prec: Precision) {
+    pub fn reduce_scatter(
+        &mut self,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let g = Group::world(self.world_size());
-        self.reduce_scatter_in(&g, input, out, op, prec);
+        self.reduce_scatter_in(&g, input, out, op, prec)
     }
 
     /// Ring all-gather over the whole world: this rank contributes `shard`
     /// (its chunk of `out`), and `out` receives every rank's chunk.
-    pub fn all_gather(&mut self, shard: &[f32], out: &mut [f32], prec: Precision) {
+    pub fn all_gather(
+        &mut self,
+        shard: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let g = Group::world(self.world_size());
-        self.all_gather_in(&g, shard, out, prec);
+        self.all_gather_in(&g, shard, out, prec)
     }
 
     /// Pipelined broadcast from `root` (a global rank) over the whole world.
-    pub fn broadcast(&mut self, root: usize, buf: &mut [f32], prec: Precision) {
+    pub fn broadcast(
+        &mut self,
+        root: usize,
+        buf: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let g = Group::world(self.world_size());
-        self.broadcast_in(&g, root, buf, prec);
+        self.broadcast_in(&g, root, buf, prec)
     }
 
     /// Chain reduce to `root` (a global rank); only the root's `buf` holds
     /// the result afterwards.
-    pub fn reduce(&mut self, root: usize, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let g = Group::world(self.world_size());
-        self.reduce_in(&g, root, buf, op, prec);
+        self.reduce_in(&g, root, buf, op, prec)
     }
 
     // ----- group collectives -----
@@ -141,12 +169,21 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if this rank is not a member of `group`.
-    pub fn all_reduce_in(&mut self, group: &Group, buf: &mut [f32], op: ReduceOp, prec: Precision) {
+    pub fn all_reduce_in(
+        &mut self,
+        group: &Group,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let n = group.len();
         if n == 1 {
+            // A single-member group exchanges nothing: no fabric op is
+            // counted, so injected faults cannot target it.
             finalize(op, buf, 1);
-            return;
+            return Ok(());
         }
+        self.begin_op(CollectiveKind::AllReduce)?;
         let idx = group.local_index(self.rank()).expect("rank not in group");
         let total = buf.len();
         let next = group.members()[(idx + 1) % n];
@@ -159,8 +196,8 @@ impl Communicator {
             let recv_c = (idx + 2 * n - 2 - step) % n;
             let payload = buf[chunk_range(total, n, send_c)].to_vec();
             let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes);
-            let incoming = self.recv_raw(prev);
+            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes)?;
+            let incoming = self.recv_raw(prev)?;
             apply(op, &mut buf[chunk_range(total, n, recv_c)], &incoming);
         }
         // Phase 2: all-gather the reduced chunks around the ring.
@@ -169,11 +206,12 @@ impl Communicator {
             let recv_c = (idx + 2 * n - 1 - step) % n;
             let payload = buf[chunk_range(total, n, send_c)].to_vec();
             let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes);
-            let incoming = self.recv_raw(prev);
+            self.send_raw(next, payload, CollectiveKind::AllReduce, bytes)?;
+            let incoming = self.recv_raw(prev)?;
             buf[chunk_range(total, n, recv_c)].copy_from_slice(&incoming);
         }
         finalize(op, buf, n);
+        Ok(())
     }
 
     /// Ring reduce-scatter within `group`: member `i` receives reduced
@@ -188,10 +226,10 @@ impl Communicator {
         out: &mut [f32],
         op: ReduceOp,
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
         let n = group.len();
         let counts: Vec<usize> = (0..n).map(|i| chunk_range(input.len(), n, i).len()).collect();
-        self.reduce_scatter_var_in(group, input, out, op, &counts, prec);
+        self.reduce_scatter_var_in(group, input, out, op, &counts, prec)
     }
 
     /// Ring reduce-scatter with explicit per-member chunk lengths
@@ -210,7 +248,7 @@ impl Communicator {
         op: ReduceOp,
         counts: &[usize],
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
         let n = group.len();
         assert_eq!(counts.len(), n, "reduce_scatter: counts length");
         assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
@@ -218,10 +256,12 @@ impl Communicator {
         let ranges = ranges_from_counts(counts);
         assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
         if n == 1 {
+            // No peers, no fabric op (see `all_reduce_in`).
             out.copy_from_slice(input);
             finalize(op, out, 1);
-            return;
+            return Ok(());
         }
+        self.begin_op(CollectiveKind::ReduceScatter)?;
         let next = group.members()[(idx + 1) % n];
         let prev = group.members()[(idx + n - 1) % n];
 
@@ -232,12 +272,13 @@ impl Communicator {
             let recv_c = (idx + 2 * n - 2 - step) % n;
             let payload = work[ranges[send_c].clone()].to_vec();
             let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::ReduceScatter, bytes);
-            let incoming = self.recv_raw(prev);
+            self.send_raw(next, payload, CollectiveKind::ReduceScatter, bytes)?;
+            let incoming = self.recv_raw(prev)?;
             apply(op, &mut work[ranges[recv_c].clone()], &incoming);
         }
         out.copy_from_slice(&work[ranges[idx].clone()]);
         finalize(op, out, n);
+        Ok(())
     }
 
     /// Ring all-gather within `group`: member `i` contributes chunk `i`,
@@ -245,10 +286,16 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if this rank is not in `group` or the lengths are inconsistent.
-    pub fn all_gather_in(&mut self, group: &Group, shard: &[f32], out: &mut [f32], prec: Precision) {
+    pub fn all_gather_in(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
         let n = group.len();
         let counts: Vec<usize> = (0..n).map(|i| chunk_range(out.len(), n, i).len()).collect();
-        self.all_gather_var_in(group, shard, out, &counts, prec);
+        self.all_gather_var_in(group, shard, out, &counts, prec)
     }
 
     /// Ring all-gather with explicit per-member chunk lengths (`counts[i]`
@@ -264,7 +311,7 @@ impl Communicator {
         out: &mut [f32],
         counts: &[usize],
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
         let n = group.len();
         assert_eq!(counts.len(), n, "all_gather: counts length");
         assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather: counts sum");
@@ -273,8 +320,10 @@ impl Communicator {
         assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
         out[ranges[idx].clone()].copy_from_slice(shard);
         if n == 1 {
-            return;
+            // No peers, no fabric op (see `all_reduce_in`).
+            return Ok(());
         }
+        self.begin_op(CollectiveKind::AllGather)?;
         let next = group.members()[(idx + 1) % n];
         let prev = group.members()[(idx + n - 1) % n];
         for step in 0..n - 1 {
@@ -282,20 +331,28 @@ impl Communicator {
             let recv_c = (idx + 2 * n - 1 - step) % n;
             let payload = out[ranges[send_c].clone()].to_vec();
             let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::AllGather, bytes);
-            let incoming = self.recv_raw(prev);
+            self.send_raw(next, payload, CollectiveKind::AllGather, bytes)?;
+            let incoming = self.recv_raw(prev)?;
             out[ranges[recv_c].clone()].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// Pipelined broadcast within `group` from global rank `root`.
     ///
     /// # Panics
     /// Panics if this rank or `root` is not in `group`.
-    pub fn broadcast_in(&mut self, group: &Group, root: usize, buf: &mut [f32], prec: Precision) {
+    pub fn broadcast_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        buf: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::Broadcast)?;
         let n = group.len();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let idx = group.local_index(self.rank()).expect("rank not in group");
         let root_idx = group.local_index(root).expect("root not in group");
@@ -304,13 +361,14 @@ impl Communicator {
         let bytes = prec.bytes() * buf.len() as u64;
         if pos > 0 {
             let prev = group.members()[(idx + n - 1) % n];
-            let incoming = self.recv_raw(prev);
+            let incoming = self.recv_raw(prev)?;
             buf.copy_from_slice(&incoming);
         }
         if pos < n - 1 {
             let next = group.members()[(idx + 1) % n];
-            self.send_raw(next, buf.to_vec(), CollectiveKind::Broadcast, bytes);
+            self.send_raw(next, buf.to_vec(), CollectiveKind::Broadcast, bytes)?;
         }
+        Ok(())
     }
 
     /// Chain reduce within `group` to global rank `root`. Afterwards only
@@ -326,11 +384,12 @@ impl Communicator {
         buf: &mut [f32],
         op: ReduceOp,
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::Reduce)?;
         let n = group.len();
         if n == 1 {
             finalize(op, buf, 1);
-            return;
+            return Ok(());
         }
         let idx = group.local_index(self.rank()).expect("rank not in group");
         let root_idx = group.local_index(root).expect("root not in group");
@@ -341,19 +400,20 @@ impl Communicator {
         if pos == 0 {
             // Root: receive one partial-sum message from its successor.
             let next = group.members()[(idx + 1) % n];
-            let incoming = self.recv_raw(next);
+            let incoming = self.recv_raw(next)?;
             apply(op, buf, &incoming);
             finalize(op, buf, n);
         } else {
             let mut work = buf.to_vec();
             if pos < n - 1 {
                 let next = group.members()[(idx + 1) % n];
-                let incoming = self.recv_raw(next);
+                let incoming = self.recv_raw(next)?;
                 apply(op, &mut work, &incoming);
             }
             let prev = group.members()[(idx + n - 1) % n];
-            self.send_raw(prev, work, CollectiveKind::Reduce, bytes);
+            self.send_raw(prev, work, CollectiveKind::Reduce, bytes)?;
         }
+        Ok(())
     }
 }
 
@@ -388,7 +448,7 @@ mod tests {
                 let results = launch(n, |mut c| {
                     let mut buf: Vec<f32> =
                         (0..len).map(|i| (c.rank() * 100 + i) as f32).collect();
-                    c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+                    c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
                     buf
                 });
                 let want: Vec<f32> = (0..len)
@@ -407,7 +467,7 @@ mod tests {
     fn all_reduce_mean_divides() {
         let results = launch(4, |mut c| {
             let mut buf = vec![(c.rank() + 1) as f32; 8];
-            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32);
+            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32).unwrap();
             buf
         });
         for got in &results {
@@ -421,7 +481,7 @@ mod tests {
     fn all_reduce_max() {
         let results = launch(3, |mut c| {
             let mut buf = vec![c.rank() as f32, -(c.rank() as f32)];
-            c.all_reduce(&mut buf, ReduceOp::Max, Precision::Fp32);
+            c.all_reduce(&mut buf, ReduceOp::Max, Precision::Fp32).unwrap();
             buf
         });
         for got in &results {
@@ -438,7 +498,7 @@ mod tests {
             let input: Vec<f32> = (0..len).map(|i| (i + c.rank()) as f32).collect();
             let my_len = chunk_range(len, n, c.rank()).len();
             let mut out = vec![0.0; my_len];
-            c.reduce_scatter(&input, &mut out, ReduceOp::Sum, Precision::Fp32);
+            c.reduce_scatter(&input, &mut out, ReduceOp::Sum, Precision::Fp32).unwrap();
             out
         });
         for (rank, got) in results.iter().enumerate() {
@@ -459,7 +519,7 @@ mod tests {
             let r = chunk_range(len, n, c.rank());
             let shard: Vec<f32> = r.clone().map(|i| i as f32 * 2.0).collect();
             let mut out = vec![0.0; len];
-            c.all_gather(&shard, &mut out, Precision::Fp32);
+            c.all_gather(&shard, &mut out, Precision::Fp32).unwrap();
             out
         });
         let want: Vec<f32> = (0..len).map(|i| i as f32 * 2.0).collect();
@@ -477,7 +537,7 @@ mod tests {
                 } else {
                     vec![0.0, 0.0]
                 };
-                c.broadcast(root, &mut buf, Precision::Fp32);
+                c.broadcast(root, &mut buf, Precision::Fp32).unwrap();
                 buf
             });
             for got in &results {
@@ -490,7 +550,7 @@ mod tests {
     fn reduce_to_root_only() {
         let results = launch(5, |mut c| {
             let mut buf = vec![1.0_f32; 4];
-            c.reduce(2, &mut buf, ReduceOp::Sum, Precision::Fp32);
+            c.reduce(2, &mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
             buf
         });
         assert_eq!(results[2], vec![5.0; 4]);
@@ -509,7 +569,7 @@ mod tests {
         let len = 1024; // divisible by n so the formula is exact
         let (_, snaps) = launch_with_stats(n, |mut c| {
             let mut buf = vec![1.0_f32; len];
-            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
         });
         let want = (2 * len * (n - 1) / n * 4) as u64;
         for s in &snaps {
@@ -523,7 +583,7 @@ mod tests {
         let len = 100;
         let (_, snaps) = launch_with_stats(n, |mut c| {
             let mut buf = vec![1.0_f32; len];
-            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp16);
+            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp16).unwrap();
         });
         let want = (2 * len * (n - 1) / n * 2) as u64;
         assert_eq!(snaps[0].bytes(CollectiveKind::AllReduce), want);
@@ -533,13 +593,13 @@ mod tests {
     fn single_rank_collectives_are_local() {
         let (_, snaps) = launch_with_stats(1, |mut c| {
             let mut buf = vec![3.0_f32; 7];
-            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32);
+            c.all_reduce(&mut buf, ReduceOp::Mean, Precision::Fp32).unwrap();
             assert_eq!(buf, vec![3.0; 7]);
             let mut out = vec![0.0; 7];
-            c.reduce_scatter(&buf, &mut out, ReduceOp::Sum, Precision::Fp32);
+            c.reduce_scatter(&buf, &mut out, ReduceOp::Sum, Precision::Fp32).unwrap();
             assert_eq!(out, vec![3.0; 7]);
             let mut gathered = vec![0.0; 7];
-            c.all_gather(&out, &mut gathered, Precision::Fp32);
+            c.all_gather(&out, &mut gathered, Precision::Fp32).unwrap();
             assert_eq!(gathered, vec![3.0; 7]);
         });
         assert_eq!(snaps[0].total_bytes(), 0, "no traffic for world of 1");
@@ -560,14 +620,15 @@ mod var_tests {
             let input: Vec<f32> = (0..total).map(|i| (i * (c.rank() + 1)) as f32).collect();
             let mut out = vec![0.0; counts[c.rank()]];
             let g = Group::world(n);
-            c.reduce_scatter_var_in(&g, &input, &mut out, ReduceOp::Sum, &counts, Precision::Fp32);
+            c.reduce_scatter_var_in(&g, &input, &mut out, ReduceOp::Sum, &counts, Precision::Fp32).unwrap();
             out
         });
         // Element i of the reduced buffer is i * (1+2+3+4) = 10i.
         let mut offset = 0;
         for (rank, cnt) in counts.iter().enumerate() {
-            for j in 0..*cnt {
-                assert_eq!(results[rank][j], (10 * (offset + j)) as f32, "rank {rank}");
+            assert_eq!(results[rank].len(), *cnt, "rank {rank}");
+            for (j, &got) in results[rank].iter().enumerate() {
+                assert_eq!(got, (10 * (offset + j)) as f32, "rank {rank}");
             }
             offset += cnt;
         }
@@ -580,14 +641,11 @@ mod var_tests {
         let counts = [4usize, 0, 3];
         let total: usize = counts.iter().sum();
         let results = launch(n, move |mut c| {
-            let mut offset = 0;
-            for r in 0..c.rank() {
-                offset += counts[r];
-            }
+            let offset: usize = counts[..c.rank()].iter().sum();
             let shard: Vec<f32> = (0..counts[c.rank()]).map(|j| (offset + j) as f32).collect();
             let mut out = vec![-1.0; total];
             let g = Group::world(n);
-            c.all_gather_var_in(&g, &shard, &mut out, &counts, Precision::Fp32);
+            c.all_gather_var_in(&g, &shard, &mut out, &counts, Precision::Fp32).unwrap();
             out
         });
         let want: Vec<f32> = (0..total).map(|i| i as f32).collect();
@@ -604,10 +662,10 @@ mod var_tests {
             let input: Vec<f32> = (0..len).map(|i| (i + c.rank() * 3) as f32).collect();
             let g = Group::world(n);
             let mut out_a = vec![0.0; chunk_range(len, n, c.rank()).len()];
-            c.reduce_scatter_in(&g, &input, &mut out_a, ReduceOp::Mean, Precision::Fp32);
+            c.reduce_scatter_in(&g, &input, &mut out_a, ReduceOp::Mean, Precision::Fp32).unwrap();
             let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
             let mut out_b = vec![0.0; counts[c.rank()]];
-            c.reduce_scatter_var_in(&g, &input, &mut out_b, ReduceOp::Mean, &counts, Precision::Fp32);
+            c.reduce_scatter_var_in(&g, &input, &mut out_b, ReduceOp::Mean, &counts, Precision::Fp32).unwrap();
             (out_a, out_b)
         });
         for (a, b) in &results {
@@ -627,7 +685,14 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics on membership or length inconsistencies.
-    pub fn all_to_all_in(&mut self, group: &Group, input: &[f32], out: &mut [f32], prec: Precision) {
+    pub fn all_to_all_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
         assert_eq!(input.len(), out.len(), "all_to_all: length mismatch");
         let idx = group.local_index(self.rank()).expect("rank not in group");
@@ -636,7 +701,7 @@ impl Communicator {
         let own = chunk_range(total, n, idx);
         out[own.clone()].copy_from_slice(&input[own]);
         if n == 1 {
-            return;
+            return Ok(());
         }
         // Pairwise exchange, ordered by offset to avoid deadlock: at each
         // step s, exchange with partner (idx ^ does not work for non-power
@@ -646,12 +711,13 @@ impl Communicator {
             let from = group.members()[(idx + n - s) % n];
             let send_chunk = chunk_range(total, n, (idx + s) % n);
             let bytes = prec.bytes() * send_chunk.len() as u64;
-            self.send_raw(to, input[send_chunk].to_vec(), CollectiveKind::P2p, bytes);
-            let incoming = self.recv_raw(from);
+            self.send_raw(to, input[send_chunk].to_vec(), CollectiveKind::P2p, bytes)?;
+            let incoming = self.recv_raw(from)?;
             let recv_chunk = chunk_range(total, n, (idx + n - s) % n);
             assert_eq!(incoming.len(), recv_chunk.len(), "all_to_all: chunk mismatch");
             out[recv_chunk].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// Gather within `group`: every member's `shard` arrives at `root`'s
@@ -666,7 +732,8 @@ impl Communicator {
         shard: &[f32],
         out: &mut [f32],
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
         let idx = group.local_index(self.rank()).expect("rank not in group");
         let root_idx = group.local_index(root).expect("root not in group");
@@ -679,15 +746,16 @@ impl Communicator {
                 if j == idx {
                     continue;
                 }
-                let incoming = self.recv_raw(group.members()[j]);
+                let incoming = self.recv_raw(group.members()[j])?;
                 let r = chunk_range(total, n, j);
                 assert_eq!(incoming.len(), r.len(), "gather: bad chunk from {j}");
                 out[r].copy_from_slice(&incoming);
             }
         } else {
             let bytes = prec.bytes() * shard.len() as u64;
-            self.send_raw(root, shard.to_vec(), CollectiveKind::P2p, bytes);
+            self.send_raw(root, shard.to_vec(), CollectiveKind::P2p, bytes)?;
         }
+        Ok(())
     }
 
     /// Scatter within `group`: `root`'s `input` is chunked in member
@@ -702,7 +770,8 @@ impl Communicator {
         input: &[f32],
         shard: &mut [f32],
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
         let idx = group.local_index(self.rank()).expect("rank not in group");
         let root_idx = group.local_index(root).expect("root not in group");
@@ -715,14 +784,20 @@ impl Communicator {
                     shard.copy_from_slice(&input[r]);
                 } else {
                     let bytes = prec.bytes() * r.len() as u64;
-                    self.send_raw(group.members()[j], input[r].to_vec(), CollectiveKind::P2p, bytes);
+                    self.send_raw(
+                        group.members()[j],
+                        input[r].to_vec(),
+                        CollectiveKind::P2p,
+                        bytes,
+                    )?;
                 }
             }
         } else {
-            let incoming = self.recv_raw(root);
+            let incoming = self.recv_raw(root)?;
             assert_eq!(incoming.len(), shard.len(), "scatter: bad chunk length");
             shard.copy_from_slice(&incoming);
         }
+        Ok(())
     }
 }
 
@@ -745,7 +820,7 @@ mod extra_collective_tests {
                     .collect();
                 let mut out = vec![-1.0; len];
                 let g = Group::world(n);
-                c.all_to_all_in(&g, &input, &mut out, Precision::Fp32);
+                c.all_to_all_in(&g, &input, &mut out, Precision::Fp32).unwrap();
                 out
             });
             for (r, got) in results.iter().enumerate() {
@@ -770,7 +845,7 @@ mod extra_collective_tests {
             let shard: Vec<f32> = chunk_range(len, n, c.rank()).map(|i| i as f32).collect();
             let mut out = if c.rank() == 2 { vec![0.0; len] } else { Vec::new() };
             let g = Group::world(n);
-            c.gather_in(&g, 2, &shard, &mut out, Precision::Fp32);
+            c.gather_in(&g, 2, &shard, &mut out, Precision::Fp32).unwrap();
             out
         });
         let want: Vec<f32> = (0..len).map(|i| i as f32).collect();
@@ -791,7 +866,7 @@ mod extra_collective_tests {
             let my_len = chunk_range(len, n, c.rank()).len();
             let mut shard = vec![0.0; my_len];
             let g = Group::world(n);
-            c.scatter_in(&g, 1, &input, &mut shard, Precision::Fp32);
+            c.scatter_in(&g, 1, &input, &mut shard, Precision::Fp32).unwrap();
             shard
         });
         for (r, got) in results.iter().enumerate() {
@@ -813,9 +888,9 @@ mod extra_collective_tests {
             };
             let my_len = chunk_range(len, n, c.rank()).len();
             let mut shard = vec![0.0; my_len];
-            c.scatter_in(&g, 0, &input, &mut shard, Precision::Fp32);
+            c.scatter_in(&g, 0, &input, &mut shard, Precision::Fp32).unwrap();
             let mut out = if c.rank() == 0 { vec![0.0; len] } else { Vec::new() };
-            c.gather_in(&g, 0, &shard, &mut out, Precision::Fp32);
+            c.gather_in(&g, 0, &shard, &mut out, Precision::Fp32).unwrap();
             out
         });
         let want: Vec<f32> = (0..13).map(|i| (i * i) as f32).collect();

@@ -1,0 +1,111 @@
+//! CRC-32 (IEEE 802.3 polynomial) over message and checkpoint payloads.
+//!
+//! Both the channel fabric (per-message integrity) and `zero-core`'s
+//! snapshot format (per-file integrity) use this one implementation, so a
+//! bit flipped anywhere in a payload — in flight or at rest — is detected
+//! by the same checksum.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (the zlib/ethernet CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Streaming CRC-32 state, for checksumming data as it is written/read.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// CRC-32 of an f32 slice, over its little-endian byte image (matching how
+/// snapshots serialize floats, so in-flight and at-rest checksums agree).
+pub fn crc32_f32s(data: &[f32]) -> u32 {
+    let mut c = Crc32::new();
+    for v in data {
+        c.update(&v.to_le_bytes());
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer() {
+        // CRC-32/ISO-HDLC of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn f32_crc_matches_byte_crc() {
+        let floats = [1.0f32, -2.5, 3.25e7, f32::MIN_POSITIVE];
+        let bytes: Vec<u8> = floats.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(crc32_f32s(&floats), crc32(&bytes));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0.5f32; 64];
+        let clean = crc32_f32s(&data);
+        data[17] = f32::from_bits(data[17].to_bits() ^ (1 << 3));
+        assert_ne!(clean, crc32_f32s(&data));
+    }
+}

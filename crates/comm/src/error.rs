@@ -1,0 +1,164 @@
+//! Typed communication failures.
+//!
+//! The original fabric panicked on any irregularity — acceptable when every
+//! failure is a bug, fatal for elastic training where rank loss is an
+//! *expected* event the survivors must recover from. Every failure mode a
+//! peer can observe (or a fault plan can inject) maps to one variant here,
+//! so recovery code can classify without string-matching panic payloads.
+
+use std::time::Duration;
+
+/// A communication failure observed by one rank.
+///
+/// `Clone + PartialEq` so supervisors can collect, compare, and re-report
+/// failures from several ranks; `Send + Sync + 'static` so it can cross
+/// thread boundaries as an error value or a panic payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommError {
+    /// The channel to/from `peer` disconnected: the peer dropped its
+    /// communicator (crashed or exited) while this rank still needed it.
+    PeerLost {
+        /// The observing rank.
+        rank: usize,
+        /// The rank whose endpoint went away.
+        peer: usize,
+    },
+    /// No message arrived from `peer` within the configured receive
+    /// timeout. The peer is alive enough to hold its endpoint open but is
+    /// not making progress (hung, or wedged on a different collective).
+    Timeout {
+        /// The observing rank.
+        rank: usize,
+        /// The rank that failed to send in time.
+        peer: usize,
+        /// How long the receiver waited.
+        waited: Duration,
+    },
+    /// Not every rank reached the barrier within the receive timeout.
+    BarrierTimeout {
+        /// The observing rank.
+        rank: usize,
+        /// How long the rank waited at the barrier.
+        waited: Duration,
+    },
+    /// A message arrived whose payload checksum does not match: the bytes
+    /// were damaged in flight (or a fault plan flipped a bit).
+    Corrupt {
+        /// The observing rank.
+        rank: usize,
+        /// The sender of the damaged message.
+        peer: usize,
+        /// Checksum carried by the message.
+        declared_crc: u32,
+        /// Checksum recomputed over the received payload.
+        actual_crc: u32,
+    },
+    /// A message arrived with an unexpected sequence number: the two ranks
+    /// disagree about the collective schedule (an SPMD bug, not a fault).
+    OutOfOrder {
+        /// The observing rank.
+        rank: usize,
+        /// The sender.
+        peer: usize,
+        /// Sequence number carried by the message.
+        got: u64,
+        /// Sequence number the receiver expected.
+        expected: u64,
+    },
+    /// This rank's fault plan killed it at communication op `op`.
+    InjectedCrash {
+        /// The crashed rank.
+        rank: usize,
+        /// Index of the op (collective or p2p call) at which it died.
+        op: u64,
+    },
+    /// This rank's fault plan hung it at op `op`; after stalling long
+    /// enough for every peer to time out, the rank reports itself dead.
+    InjectedHang {
+        /// The hung rank.
+        rank: usize,
+        /// Index of the op at which it hung.
+        op: u64,
+    },
+}
+
+impl CommError {
+    /// The rank that observed (or suffered) the failure.
+    pub fn rank(&self) -> usize {
+        match *self {
+            CommError::PeerLost { rank, .. }
+            | CommError::Timeout { rank, .. }
+            | CommError::BarrierTimeout { rank, .. }
+            | CommError::Corrupt { rank, .. }
+            | CommError::OutOfOrder { rank, .. }
+            | CommError::InjectedCrash { rank, .. }
+            | CommError::InjectedHang { rank, .. } => rank,
+        }
+    }
+
+    /// True if this error means the *observing* rank itself is dead
+    /// (injected faults), as opposed to having witnessed a peer's failure.
+    pub fn is_self_fault(&self) -> bool {
+        matches!(
+            self,
+            CommError::InjectedCrash { .. } | CommError::InjectedHang { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerLost { rank, peer } => {
+                write!(f, "rank {rank}: peer {peer} disconnected mid-collective")
+            }
+            CommError::Timeout { rank, peer, waited } => {
+                write!(f, "rank {rank}: timed out after {waited:?} waiting on peer {peer}")
+            }
+            CommError::BarrierTimeout { rank, waited } => {
+                write!(f, "rank {rank}: barrier incomplete after {waited:?}")
+            }
+            CommError::Corrupt { rank, peer, declared_crc, actual_crc } => write!(
+                f,
+                "rank {rank}: corrupt payload from peer {peer} \
+                 (declared crc {declared_crc:#010x}, actual {actual_crc:#010x})"
+            ),
+            CommError::OutOfOrder { rank, peer, got, expected } => write!(
+                f,
+                "rank {rank}: out-of-order message from peer {peer} \
+                 (seq {got}, expected {expected})"
+            ),
+            CommError::InjectedCrash { rank, op } => {
+                write!(f, "rank {rank}: fault plan crashed this rank at comm op {op}")
+            }
+            CommError::InjectedHang { rank, op } => {
+                write!(f, "rank {rank}: fault plan hung this rank at comm op {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let crash = CommError::InjectedCrash { rank: 2, op: 7 };
+        assert!(crash.is_self_fault());
+        assert_eq!(crash.rank(), 2);
+
+        let lost = CommError::PeerLost { rank: 1, peer: 2 };
+        assert!(!lost.is_self_fault());
+        assert_eq!(lost.rank(), 1);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CommError::Corrupt { rank: 0, peer: 3, declared_crc: 1, actual_crc: 2 };
+        let s = e.to_string();
+        assert!(s.contains("rank 0") && s.contains("peer 3") && s.contains("corrupt"));
+    }
+}

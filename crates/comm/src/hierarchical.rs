@@ -17,6 +17,7 @@
 //! whose traffic is metered separately.
 
 use crate::collectives::{chunk_range, Precision, ReduceOp};
+use crate::error::CommError;
 use crate::group::Group;
 use crate::world::Communicator;
 
@@ -63,14 +64,13 @@ impl Communicator {
         buf: &mut [f32],
         op: ReduceOp,
         prec: Precision,
-    ) {
+    ) -> Result<(), CommError> {
         let world = self.world_size();
         let g = topo.ranks_per_node;
         assert_eq!(world % g, 0, "world {world} not a multiple of node size {g}");
         if world == 1 {
             // Degenerate: behave like the flat collective.
-            self.all_reduce(buf, op, prec);
-            return;
+            return self.all_reduce(buf, op, prec);
         }
         let rank = self.rank();
         let node_group = topo.node_group(rank);
@@ -84,13 +84,13 @@ impl Communicator {
 
         // Phase 1: intra-node reduce-scatter; this rank owns `my_chunk`.
         let mut shard = vec![0.0; my_chunk.len()];
-        self.reduce_scatter_in(&node_group, buf, &mut shard, inner_op, prec);
+        self.reduce_scatter_in(&node_group, buf, &mut shard, inner_op, prec)?;
 
         // Phase 2: inter-node all-reduce of the owned chunk only.
-        self.all_reduce_in(&cross_group, &mut shard, inner_op, prec);
+        self.all_reduce_in(&cross_group, &mut shard, inner_op, prec)?;
 
         // Phase 3: intra-node all-gather of the finished chunks.
-        self.all_gather_in(&node_group, &shard, buf, prec);
+        self.all_gather_in(&node_group, &shard, buf, prec)?;
 
         if op == ReduceOp::Mean {
             let inv = 1.0 / world as f32;
@@ -98,6 +98,7 @@ impl Communicator {
                 *v *= inv;
             }
         }
+        Ok(())
     }
 }
 
@@ -115,8 +116,8 @@ mod tests {
             let results = launch(world, move |mut c| {
                 let mut a: Vec<f32> = (0..len).map(|i| (c.rank() * 10 + i) as f32).collect();
                 let mut b = a.clone();
-                c.all_reduce(&mut a, ReduceOp::Sum, Precision::Fp32);
-                c.hierarchical_all_reduce(&topo, &mut b, ReduceOp::Sum, Precision::Fp32);
+                c.all_reduce(&mut a, ReduceOp::Sum, Precision::Fp32).unwrap();
+                c.hierarchical_all_reduce(&topo, &mut b, ReduceOp::Sum, Precision::Fp32).unwrap();
                 (a, b)
             });
             for (flat, hier) in &results {
@@ -132,7 +133,7 @@ mod tests {
         let topo = NodeTopology::new(2);
         let results = launch(4, move |mut c| {
             let mut buf = vec![(c.rank() + 1) as f32; 8];
-            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Mean, Precision::Fp32);
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Mean, Precision::Fp32).unwrap();
             buf
         });
         for r in &results {
@@ -154,7 +155,7 @@ mod tests {
         // all-reduce over the (world/g)-rank group of a len/g chunk.
         let (_, snaps) = launch_with_stats(world, move |mut c| {
             let mut buf = vec![1.0_f32; len];
-            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32);
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
         });
         let cross_nodes = world / g;
         let chunk = len / g;
@@ -199,7 +200,7 @@ mod tests {
         let topo = NodeTopology::new(3);
         launch(4, move |mut c| {
             let mut buf = vec![0.0_f32; 4];
-            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32);
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
         });
     }
 }

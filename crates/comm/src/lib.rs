@@ -6,25 +6,39 @@
 //! the algorithmic volumes the paper's §7 analysis is built on, and is
 //! measured, not assumed, via [`stats::TrafficStats`].
 //!
+//! Failures are first-class: every receive is timeout-bounded, every payload
+//! carries a CRC, and collectives return `Result<_, CommError>` so dead,
+//! hung, or corrupting peers surface as typed errors rather than deadlocks
+//! or aborts. [`FaultPlan`] injects such failures deterministically.
+//!
 //! ```
 //! use zero_comm::{launch, ReduceOp, Precision};
 //!
 //! let sums = launch(4, |mut comm| {
 //!     let mut buf = vec![comm.rank() as f32; 8];
-//!     comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+//!     comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
 //!     buf[0]
 //! });
 //! assert_eq!(sums, vec![6.0; 4]);
 //! ```
 
 pub mod collectives;
+pub mod crc;
+pub mod error;
+pub mod fault;
 pub mod group;
 pub mod hierarchical;
 pub mod stats;
 pub mod world;
 
 pub use collectives::{chunk_range, Precision, ReduceOp};
+pub use crc::{crc32, crc32_f32s, Crc32};
+pub use error::CommError;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use group::{Grid, Group};
 pub use hierarchical::NodeTopology;
 pub use stats::{CollectiveKind, TrafficSnapshot, TrafficStats};
-pub use world::{launch, launch_with_stats, Communicator, World};
+pub use world::{
+    launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,
+    Communicator, RankFailure, World, WorldConfig,
+};

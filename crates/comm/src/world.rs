@@ -1,22 +1,60 @@
 //! The communicator "world": N ranks connected all-to-all.
 //!
 //! A rank in the paper is one GPU process talking NCCL over NVLink/IB.
-//! Here a rank is one OS thread, and the fabric is a matrix of crossbeam
+//! Here a rank is one OS thread, and the fabric is a matrix of `std::sync::mpsc`
 //! channels — one FIFO per ordered rank pair. Because every rank issues the
 //! same sequence of collectives (SPMD), per-pair FIFO ordering plus a
 //! sequence-number check is sufficient to match sends to receives.
+//!
+//! Failure semantics: every receive is bounded by a configurable timeout and
+//! every payload carries a CRC, so a dead peer, a hung peer, or a damaged
+//! message surfaces as a typed [`CommError`] on the observing rank instead
+//! of a deadlock or an abort. Faults can be injected deterministically via
+//! [`FaultPlan`] to exercise those paths.
 
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
+use crate::crc::crc32_f32s;
+use crate::error::CommError;
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::stats::{CollectiveKind, TrafficStats};
 
-/// A message between two ranks: an opaque f32 payload plus a per-channel
-/// sequence number used to detect mismatched collective schedules.
+/// A message between two ranks: an opaque f32 payload, a per-channel
+/// sequence number used to detect mismatched collective schedules, and a
+/// payload checksum used to detect in-flight corruption.
 pub(crate) struct Msg {
     pub seq: u64,
+    pub crc: u32,
     pub data: Vec<f32>,
+}
+
+/// Fabric-wide configuration: receive timeout and fault script.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Upper bound on any single blocking receive (and on barrier waits).
+    /// Normal in-process latency is microseconds; this only fires when a
+    /// peer is dead, hung, or schedule-divergent.
+    pub recv_timeout: Duration,
+    /// Deterministic fault script (empty by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            recv_timeout: Duration::from_secs(30),
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Default timeouts with the given fault script.
+    pub fn with_faults(faults: FaultPlan) -> WorldConfig {
+        WorldConfig { faults, ..WorldConfig::default() }
+    }
 }
 
 /// Builds the channel fabric and hands out one [`Communicator`] per rank.
@@ -26,24 +64,39 @@ pub struct World {
 }
 
 impl World {
-    /// Creates a world of `n` fully connected ranks.
+    /// Creates a world of `n` fully connected ranks with default config.
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> World {
+        World::with_config(n, WorldConfig::default())
+    }
+
+    /// Creates a world of `n` fully connected ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_config(n: usize, config: WorldConfig) -> World {
         assert!(n > 0, "world size must be positive");
         // senders[dst][src] pairs with receivers[dst][src].
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
-            (0..n).map(|_| vec![None; n]).collect();
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| {
+            let mut row = Vec::with_capacity(n);
+            row.resize_with(n, || None);
+            row
+        }).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| {
+            let mut row = Vec::with_capacity(n);
+            row.resize_with(n, || None);
+            row
+        }).collect();
         for dst in 0..n {
             for src in 0..n {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[dst][src] = Some(tx);
                 receivers[dst][src] = Some(rx);
             }
         }
-        let barrier = Arc::new(Barrier::new(n));
+        let barrier = Arc::new(TimeoutBarrier::new(n));
         let stats: Vec<Arc<TrafficStats>> = (0..n).map(|_| TrafficStats::new()).collect();
 
         // Re-group: rank r needs send handles to every dst and its own recv row.
@@ -71,6 +124,9 @@ impl World {
                 recv_seq: vec![0; n].into(),
                 barrier: barrier.clone(),
                 stats: stats[rank].clone(),
+                recv_timeout: config.recv_timeout,
+                fault: config.faults.for_rank(rank),
+                dead: false,
             }));
         }
         World { comms, stats }
@@ -81,14 +137,73 @@ impl World {
         self.stats.len()
     }
 
-    /// Takes rank `r`'s communicator (panics if taken twice).
+    /// Takes rank `r`'s communicator.
+    ///
+    /// # Panics
+    /// Panics if rank `r`'s communicator was already taken. Use
+    /// [`World::try_take`] for a non-panicking variant.
     pub fn take(&mut self, rank: usize) -> Communicator {
-        self.comms[rank].take().expect("communicator already taken")
+        self.try_take(rank)
+            .unwrap_or_else(|| panic!("communicator for rank {rank} already taken"))
+    }
+
+    /// Takes rank `r`'s communicator, or `None` if it was already taken.
+    pub fn try_take(&mut self, rank: usize) -> Option<Communicator> {
+        self.comms[rank].take()
     }
 
     /// Traffic counters for rank `r` (usable while ranks run and after).
     pub fn stats(&self, rank: usize) -> Arc<TrafficStats> {
         self.stats[rank].clone()
+    }
+}
+
+/// A reusable N-party barrier whose wait is bounded by a timeout, so a dead
+/// rank strands survivors with a typed error instead of a deadlock.
+/// (`std::sync::Barrier` has no timed wait.)
+struct TimeoutBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl TimeoutBarrier {
+    fn new(n: usize) -> TimeoutBarrier {
+        TimeoutBarrier {
+            n,
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Returns `true` if all `n` parties arrived within `timeout`.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut s = self.state.lock().unwrap();
+        let gen = s.generation;
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while s.generation == gen {
+            let now = Instant::now();
+            if now >= deadline {
+                // Withdraw our arrival so a later retry starts clean.
+                s.arrived -= 1;
+                return false;
+            }
+            let (guard, _res) = self.cv.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+        }
+        true
     }
 }
 
@@ -104,8 +219,11 @@ pub struct Communicator {
     from_peer: Vec<Receiver<Msg>>,
     send_seq: Box<[u64]>,
     recv_seq: Box<[u64]>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<TimeoutBarrier>,
     stats: Arc<TrafficStats>,
+    recv_timeout: Duration,
+    fault: FaultState,
+    dead: bool,
 }
 
 impl Communicator {
@@ -126,6 +244,45 @@ impl Communicator {
         &self.stats
     }
 
+    /// The configured receive timeout.
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Registers the start of one communication op of `kind`, applying any
+    /// fault the plan scripts at this point in the schedule. Called once
+    /// per public collective / p2p / barrier entry.
+    pub(crate) fn begin_op(&mut self, kind: CollectiveKind) -> Result<(), CommError> {
+        if self.dead {
+            // An injected fault already killed this rank; every later op
+            // fails fast instead of half-participating in collectives.
+            return Err(CommError::InjectedCrash { rank: self.rank, op: 0 });
+        }
+        let (op, fault) = self.fault.begin_op(kind);
+        match fault {
+            None => Ok(()),
+            Some(FaultKind::Crash) => {
+                self.dead = true;
+                Err(CommError::InjectedCrash { rank: self.rank, op })
+            }
+            Some(FaultKind::Hang) => {
+                // Stall past every peer's receive timeout so they observe
+                // `Timeout`, then report this rank dead.
+                std::thread::sleep(self.recv_timeout * 2);
+                self.dead = true;
+                Err(CommError::InjectedHang { rank: self.rank, op })
+            }
+            Some(FaultKind::CorruptNextSend) => {
+                self.fault.arm_corruption();
+                Ok(())
+            }
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+
     /// Sends `data` to `dst`, attributing `logical_bytes` to `kind`.
     ///
     /// `logical_bytes` is passed explicitly because fp16 payloads travel as
@@ -134,67 +291,160 @@ impl Communicator {
     pub(crate) fn send_raw(
         &mut self,
         dst: usize,
-        data: Vec<f32>,
+        mut data: Vec<f32>,
         kind: CollectiveKind,
         logical_bytes: u64,
-    ) {
+    ) -> Result<(), CommError> {
         debug_assert!(dst < self.world && dst != self.rank, "bad dst {dst}");
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
         self.stats.record_send(kind, logical_bytes);
+        // Checksum first, then apply any armed corruption: the damage must
+        // be invisible to the sender, exactly like a real network flip.
+        let crc = crc32_f32s(&data);
+        if let Some((elem, bit)) = self.fault.take_corruption(data.len()) {
+            data[elem] = f32::from_bits(data[elem].to_bits() ^ (1 << bit));
+        }
         self.to_peer[dst]
-            .send(Msg { seq, data })
-            .expect("peer hung up mid-collective");
+            .send(Msg { seq, crc, data })
+            .map_err(|_| CommError::PeerLost { rank: self.rank, peer: dst })
     }
 
-    /// Receives the next message from `src`, verifying schedule agreement.
-    pub(crate) fn recv_raw(&mut self, src: usize) -> Vec<f32> {
+    /// Receives the next message from `src`, verifying schedule agreement
+    /// and payload integrity, bounded by the receive timeout.
+    pub(crate) fn recv_raw(&mut self, src: usize) -> Result<Vec<f32>, CommError> {
         debug_assert!(src < self.world && src != self.rank, "bad src {src}");
-        let msg = self
-            .from_peer[src]
-            .recv()
-            .expect("peer hung up mid-collective");
+        let msg = match self.from_peer[src].recv_timeout(self.recv_timeout) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    peer: src,
+                    waited: self.recv_timeout,
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(CommError::PeerLost { rank: self.rank, peer: src })
+            }
+        };
         let expect = self.recv_seq[src];
-        assert_eq!(
-            msg.seq, expect,
-            "rank {} received out-of-order message from {} (seq {} expected {})",
-            self.rank, src, msg.seq, expect
-        );
+        if msg.seq != expect {
+            return Err(CommError::OutOfOrder {
+                rank: self.rank,
+                peer: src,
+                got: msg.seq,
+                expected: expect,
+            });
+        }
+        let actual = crc32_f32s(&msg.data);
+        if actual != msg.crc {
+            return Err(CommError::Corrupt {
+                rank: self.rank,
+                peer: src,
+                declared_crc: msg.crc,
+                actual_crc: actual,
+            });
+        }
         self.recv_seq[src] += 1;
-        msg.data
+        Ok(msg.data)
     }
 
     /// Point-to-point send of an f32 buffer.
-    pub fn send(&mut self, dst: usize, data: &[f32]) {
-        self.send_raw(dst, data.to_vec(), CollectiveKind::P2p, 4 * data.len() as u64);
+    pub fn send(&mut self, dst: usize, data: &[f32]) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::P2p)?;
+        self.send_raw(dst, data.to_vec(), CollectiveKind::P2p, 4 * data.len() as u64)
     }
 
     /// Point-to-point receive into `buf`.
     ///
     /// # Panics
     /// Panics if the incoming message length differs from `buf.len()`.
-    pub fn recv(&mut self, src: usize, buf: &mut [f32]) {
-        let data = self.recv_raw(src);
+    pub fn recv(&mut self, src: usize, buf: &mut [f32]) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::P2p)?;
+        let data = self.recv_raw(src)?;
         assert_eq!(data.len(), buf.len(), "p2p length mismatch");
         buf.copy_from_slice(&data);
+        Ok(())
     }
 
-    /// Blocks until every rank in the world reaches the barrier.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Blocks until every rank in the world reaches the barrier, or the
+    /// receive timeout elapses with ranks missing.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        if self.dead {
+            return Err(CommError::InjectedCrash { rank: self.rank, op: 0 });
+        }
+        if self.barrier.wait_timeout(self.recv_timeout) {
+            Ok(())
+        } else {
+            Err(CommError::BarrierTimeout { rank: self.rank, waited: self.recv_timeout })
+        }
     }
 }
 
-/// Runs `f` on `n` ranks (one thread each) and returns their results in
-/// rank order. Panics in any rank propagate.
-pub fn launch<F, R>(n: usize, f: F) -> Vec<R>
+/// A rank's terminal failure, as reported by [`try_launch`]: the rank index
+/// plus the panic payload or communication error that killed it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankFailure {
+    /// Which rank failed.
+    pub rank: usize,
+    /// The typed communication error, when the rank died of one.
+    pub comm: Option<CommError>,
+    /// Human-readable failure description (panic payload or error text).
+    pub message: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn describe_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure {
+    // Panic payloads are almost always &str or String; a rank that dies of
+    // a comm error may also `panic_any(CommError)` — preserve the type.
+    let payload = match payload.downcast::<CommError>() {
+        Ok(e) => {
+            return RankFailure { rank, comm: Some(*e.clone()), message: e.to_string() }
+        }
+        Err(p) => p,
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    RankFailure { rank, comm: None, message }
+}
+
+/// Runs `f` on `n` ranks (one thread each) and returns their per-rank
+/// outcomes in rank order: `Ok(result)` for ranks that returned, `Err` with
+/// the rank index and panic payload for ranks that panicked. Never panics
+/// on rank failure itself.
+pub fn try_launch<F, R>(n: usize, f: F) -> Vec<Result<R, RankFailure>>
 where
     F: Fn(Communicator) -> R + Send + Sync,
     R: Send,
 {
-    let mut world = World::new(n);
+    try_launch_with_config(n, WorldConfig::default(), f)
+}
+
+/// [`try_launch`] with an explicit [`WorldConfig`] (timeouts, fault plan).
+pub fn try_launch_with_config<F, R>(
+    n: usize,
+    config: WorldConfig,
+    f: F,
+) -> Vec<Result<R, RankFailure>>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    let mut world = World::with_config(n, config);
     let comms: Vec<Communicator> = (0..n).map(|r| world.take(r)).collect();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<R, RankFailure>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -203,11 +453,39 @@ where
                 s.spawn(move || f(c))
             })
             .collect();
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rank panicked"));
+        for (rank, (slot, h)) in results.iter_mut().zip(handles).enumerate() {
+            *slot = Some(h.join().map_err(|payload| describe_panic(rank, payload)));
         }
     });
     results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Runs `f` on `n` ranks (one thread each) and returns their results in
+/// rank order.
+///
+/// # Panics
+/// Panics if any rank panics, naming the rank and its panic payload.
+pub fn launch<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    launch_with_config(n, WorldConfig::default(), f)
+}
+
+/// [`launch`] with an explicit [`WorldConfig`] (timeouts, fault plan).
+///
+/// # Panics
+/// Panics if any rank panics, naming the rank and its panic payload.
+pub fn launch_with_config<F, R>(n: usize, config: WorldConfig, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    try_launch_with_config(n, config, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("rank panicked: {e}")))
+        .collect()
 }
 
 /// Like [`launch`] but also returns each rank's traffic snapshot.
@@ -228,8 +506,10 @@ where
                 s.spawn(move || f(c))
             })
             .collect();
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rank panicked"));
+        for (rank, (slot, h)) in results.iter_mut().zip(handles).enumerate() {
+            *slot = Some(h.join().unwrap_or_else(|payload| {
+                panic!("rank panicked: {}", describe_panic(rank, payload))
+            }));
         }
     });
     let snaps = stats.iter().map(|s| s.snapshot()).collect();
@@ -248,14 +528,14 @@ mod tests {
             let prev = (c.rank() + n - 1) % n;
             let payload = vec![c.rank() as f32; 3];
             if c.rank() % 2 == 0 {
-                c.send(next, &payload);
+                c.send(next, &payload).unwrap();
                 let mut buf = vec![0.0; 3];
-                c.recv(prev, &mut buf);
+                c.recv(prev, &mut buf).unwrap();
                 buf[0]
             } else {
                 let mut buf = vec![0.0; 3];
-                c.recv(prev, &mut buf);
-                c.send(next, &payload);
+                c.recv(prev, &mut buf).unwrap();
+                c.send(next, &payload).unwrap();
                 buf[0]
             }
         });
@@ -266,11 +546,25 @@ mod tests {
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let counter = AtomicUsize::new(0);
-        launch(8, |c| {
+        launch(8, |mut c| {
             counter.fetch_add(1, Ordering::SeqCst);
-            c.barrier();
+            c.barrier().unwrap();
             // After the barrier every rank must observe all 8 increments.
             assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        launch(4, |mut c| {
+            for round in 1..=3 {
+                counter.fetch_add(1, Ordering::SeqCst);
+                c.barrier().unwrap();
+                assert!(counter.load(Ordering::SeqCst) >= 4 * round);
+                c.barrier().unwrap();
+            }
         });
     }
 
@@ -278,10 +572,10 @@ mod tests {
     fn stats_count_p2p_bytes() {
         let (_, snaps) = launch_with_stats(2, |mut c| {
             if c.rank() == 0 {
-                c.send(1, &[1.0; 10]);
+                c.send(1, &[1.0; 10]).unwrap();
             } else {
                 let mut buf = [0.0; 10];
-                c.recv(0, &mut buf);
+                c.recv(0, &mut buf).unwrap();
             }
         });
         assert_eq!(snaps[0].bytes(CollectiveKind::P2p), 40);
@@ -292,5 +586,173 @@ mod tests {
     #[should_panic(expected = "world size must be positive")]
     fn zero_world_rejected() {
         let _ = World::new(0);
+    }
+
+    #[test]
+    fn take_twice_names_the_rank() {
+        let mut world = World::new(2);
+        let _c = world.take(1);
+        assert!(world.try_take(1).is_none(), "second take must not succeed");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = world.take(1);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("rank 1"), "panic must name the rank: {msg}");
+        // Rank 0 is still available.
+        assert!(world.try_take(0).is_some());
+    }
+
+    #[test]
+    fn dead_peer_surfaces_as_peer_lost() {
+        let config = WorldConfig {
+            recv_timeout: Duration::from_secs(5),
+            faults: FaultPlan::new(),
+        };
+        let out = try_launch_with_config(2, config, |mut c| {
+            if c.rank() == 0 {
+                // Exit immediately, dropping all endpoints.
+                Ok(())
+            } else {
+                let mut buf = [0.0; 4];
+                c.recv(0, &mut buf)
+            }
+        });
+        assert_eq!(out[0], Ok(Ok(())));
+        assert_eq!(
+            out[1].as_ref().unwrap(),
+            &Err(CommError::PeerLost { rank: 1, peer: 0 })
+        );
+    }
+
+    #[test]
+    fn silent_peer_surfaces_as_timeout() {
+        let timeout = Duration::from_millis(100);
+        let config = WorldConfig { recv_timeout: timeout, faults: FaultPlan::new() };
+        let out = try_launch_with_config(2, config, move |mut c| {
+            if c.rank() == 0 {
+                // Stay alive (endpoint open) but never send, longer than
+                // the peer's timeout.
+                std::thread::sleep(timeout * 3);
+                Ok(())
+            } else {
+                let mut buf = [0.0; 4];
+                c.recv(0, &mut buf)
+            }
+        });
+        assert_eq!(
+            out[1].as_ref().unwrap(),
+            &Err(CommError::Timeout { rank: 1, peer: 0, waited: timeout })
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_surfaces_as_corrupt() {
+        let config = WorldConfig::with_faults(FaultPlan::seeded(3).with_corruption(0, 0));
+        let out = try_launch_with_config(2, config, |mut c| {
+            if c.rank() == 0 {
+                // The sender is oblivious: its send succeeds.
+                c.send(1, &[1.0; 16]).map(|_| Vec::new())
+            } else {
+                let mut buf = vec![0.0; 16];
+                c.recv(0, &mut buf).map(|_| buf)
+            }
+        });
+        assert!(out[0].as_ref().unwrap().is_ok(), "sender must not notice");
+        match out[1].as_ref().unwrap() {
+            Err(CommError::Corrupt { rank: 1, peer: 0, .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_kills_only_the_victim() {
+        let config = WorldConfig {
+            recv_timeout: Duration::from_secs(5),
+            faults: FaultPlan::new().with_crash(0, 0),
+        };
+        let out = try_launch_with_config(2, config, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0; 4])
+            } else {
+                let mut buf = [0.0; 4];
+                c.recv(0, &mut buf)
+            }
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &Err(CommError::InjectedCrash { rank: 0, op: 0 })
+        );
+        // Rank 1 observes the loss as a typed error, not a deadlock.
+        assert_eq!(
+            out[1].as_ref().unwrap(),
+            &Err(CommError::PeerLost { rank: 1, peer: 0 })
+        );
+    }
+
+    #[test]
+    fn barrier_with_dead_rank_times_out() {
+        let timeout = Duration::from_millis(100);
+        let config = WorldConfig { recv_timeout: timeout, faults: FaultPlan::new() };
+        let out = try_launch_with_config(3, config, move |mut c| {
+            if c.rank() == 2 {
+                // Never arrives at the barrier.
+                return Ok(());
+            }
+            c.barrier()
+        });
+        for (rank, o) in out.iter().enumerate().take(2) {
+            assert_eq!(
+                o.as_ref().unwrap(),
+                &Err(CommError::BarrierTimeout { rank, waited: timeout })
+            );
+        }
+    }
+
+    #[test]
+    fn try_launch_reports_rank_and_payload() {
+        let out = try_launch(2, |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 exploding on purpose");
+            }
+            c.rank()
+        });
+        assert_eq!(out[0], Ok(0));
+        let failure = out[1].as_ref().unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert!(failure.message.contains("exploding on purpose"));
+    }
+
+    #[test]
+    fn launch_panic_names_the_rank() {
+        let err = std::panic::catch_unwind(|| {
+            launch(3, |c| {
+                if c.rank() == 2 {
+                    panic!("boom at rank two");
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("rank 2"), "panic must name the rank: {msg}");
+        assert!(msg.contains("boom at rank two"), "panic must carry payload: {msg}");
+    }
+
+    #[test]
+    fn delay_fault_is_transparent() {
+        let config = WorldConfig::with_faults(
+            FaultPlan::new().with_delay(0, 0, Duration::from_millis(20)),
+        );
+        let out = launch_with_config(2, config, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, &[7.0; 2]).unwrap();
+                0.0
+            } else {
+                let mut buf = [0.0; 2];
+                c.recv(0, &mut buf).unwrap();
+                buf[0]
+            }
+        });
+        assert_eq!(out[1], 7.0);
     }
 }

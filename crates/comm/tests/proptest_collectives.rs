@@ -36,7 +36,7 @@ proptest! {
         let data_ref = &data;
         let results = launch(n, move |mut c| {
             let mut buf = data_ref[c.rank()].clone();
-            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+            c.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
             buf
         });
         for got in &results {
@@ -58,13 +58,13 @@ proptest! {
             let input = data_ref[c.rank()].clone();
             // Path A: fused all-reduce.
             let mut fused = input.clone();
-            c.all_reduce(&mut fused, ReduceOp::Sum, Precision::Fp32);
+            c.all_reduce(&mut fused, ReduceOp::Sum, Precision::Fp32).unwrap();
             // Path B: reduce-scatter + all-gather (§7.1's decomposition).
             let shard_len = chunk_range(len, c.world_size(), c.rank()).len();
             let mut shard = vec![0.0; shard_len];
-            c.reduce_scatter(&input, &mut shard, ReduceOp::Sum, Precision::Fp32);
+            c.reduce_scatter(&input, &mut shard, ReduceOp::Sum, Precision::Fp32).unwrap();
             let mut rebuilt = vec![0.0; len];
-            c.all_gather(&shard, &mut rebuilt, Precision::Fp32);
+            c.all_gather(&shard, &mut rebuilt, Precision::Fp32).unwrap();
             (fused, rebuilt)
         });
         for (fused, rebuilt) in &results {
@@ -87,15 +87,12 @@ proptest! {
         }
         let counts_ref = &counts;
         let results = launch(n, move |mut c| {
-            let mut offset = 0;
-            for r in 0..c.rank() {
-                offset += counts_ref[r];
-            }
+            let offset: usize = counts_ref[..c.rank()].iter().sum();
             let shard: Vec<f32> =
                 (0..counts_ref[c.rank()]).map(|j| (offset + j) as f32).collect();
             let mut out = vec![-1.0; total];
             let g = Group::world(n);
-            c.all_gather_var_in(&g, &shard, &mut out, counts_ref, Precision::Fp32);
+            c.all_gather_var_in(&g, &shard, &mut out, counts_ref, Precision::Fp32).unwrap();
             out
         });
         let want: Vec<f32> = (0..total).map(|i| i as f32).collect();
@@ -123,15 +120,15 @@ proptest! {
             let input = data_ref[c.rank()].clone();
             let mut out = vec![0.0; counts_ref[c.rank()]];
             let g = Group::world(n);
-            c.reduce_scatter_var_in(&g, &input, &mut out, ReduceOp::Sum, counts_ref, Precision::Fp32);
+            c.reduce_scatter_var_in(&g, &input, &mut out, ReduceOp::Sum, counts_ref, Precision::Fp32).unwrap();
             out
         });
         let mut offset = 0;
         for (rank, cnt) in counts.iter().enumerate() {
-            for j in 0..*cnt {
+            for (j, &got) in results[rank].iter().enumerate() {
                 let i = offset + j;
                 let want: f32 = data.iter().map(|d| d[i]).sum();
-                prop_assert!((results[rank][j] - want).abs() < 1e-3);
+                prop_assert!((got - want).abs() < 1e-3);
             }
             offset += cnt;
         }
@@ -150,7 +147,7 @@ proptest! {
             } else {
                 vec![0.0; len]
             };
-            c.broadcast(root, &mut buf, Precision::Fp32);
+            c.broadcast(root, &mut buf, Precision::Fp32).unwrap();
             buf
         });
         let want: Vec<f32> = (0..len).map(|i| i as f32 + 0.5).collect();
@@ -170,8 +167,8 @@ proptest! {
         let results = launch(n, move |mut c| {
             let mut a = data_ref[c.rank()].clone();
             let mut b = data_ref[c.rank()].clone();
-            c.all_reduce(&mut a, ReduceOp::Sum, Precision::Fp32);
-            c.all_reduce(&mut b, ReduceOp::Mean, Precision::Fp32);
+            c.all_reduce(&mut a, ReduceOp::Sum, Precision::Fp32).unwrap();
+            c.all_reduce(&mut b, ReduceOp::Mean, Precision::Fp32).unwrap();
             (a, b)
         });
         for (sum, mean) in &results {
@@ -199,8 +196,8 @@ proptest! {
         let results = launch(world, move |mut c| {
             let mut flat = data_ref[c.rank()].clone();
             let mut hier = flat.clone();
-            c.all_reduce(&mut flat, ReduceOp::Sum, Precision::Fp32);
-            c.hierarchical_all_reduce(&topo, &mut hier, ReduceOp::Sum, Precision::Fp32);
+            c.all_reduce(&mut flat, ReduceOp::Sum, Precision::Fp32).unwrap();
+            c.hierarchical_all_reduce(&topo, &mut hier, ReduceOp::Sum, Precision::Fp32).unwrap();
             (flat, hier)
         });
         for (flat, hier) in &results {

@@ -120,7 +120,6 @@ mod tests {
         let mut cb = |r: std::ops::Range<usize>, d: &mut [f32]| flushed.push((r, d.to_vec()));
         b.push(20..26, vec![6.0; 6], &mut cb);
         b.push(14..20, vec![4.0; 6], &mut cb);
-        drop(cb);
         assert_eq!(flushed.len(), 1, "flush only at capacity");
         let (r, d) = &flushed[0];
         assert_eq!(*r, 14..26);
@@ -138,7 +137,6 @@ mod tests {
         b.push(0..5, vec![2.0; 5], &mut cb);
         b.flush_all(&mut cb);
         b.flush_all(&mut cb);
-        drop(cb);
         assert_eq!(count, 1, "one real flush; the empty one is a no-op");
     }
 

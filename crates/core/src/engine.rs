@@ -22,7 +22,7 @@
 //! constant-size fused buffers CB for every flat-space collective (§6.2),
 //! and a contiguous checkpoint arena MD (§6.3).
 
-use zero_comm::{Communicator, Grid, Group, Precision, ReduceOp};
+use zero_comm::{CommError, Communicator, Grid, Group, Precision, ReduceOp};
 use zero_model::{BlockSaved, Gpt};
 use zero_optim::{
     apply_clip, clip_coefficient, local_sq_norm, Adam, DynamicLossScaler, Sgd,
@@ -319,7 +319,7 @@ impl RankEngine {
     /// "broadcast … from the data parallel process responsible for that
     /// partition" of §5.3, realized as a ring all-gather of uneven
     /// pieces); other stages widen the local slice.
-    fn fetch_unit(&mut self, u: usize) -> Vec<f32> {
+    fn fetch_unit(&mut self, u: usize) -> Result<Vec<f32>, CommError> {
         let unit_range = self.gpt.layout().units()[u].range.clone();
         let len = unit_range.len();
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
@@ -330,10 +330,10 @@ impl RankEngine {
             let mut out = vec![0.0; len];
             let prec = self.precision();
             self.comm
-                .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec);
-            out
+                .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec)?;
+            Ok(out)
         } else {
-            self.work.read_vec(unit_range)
+            Ok(self.work.read_vec(unit_range))
         }
     }
 
@@ -415,7 +415,7 @@ impl RankEngine {
     /// slices across the MP group (the extra all-gather §8 prices at
     /// seq·hidden per block); P_a+cpu additionally pays the PCIe
     /// round-trip, which we meter.
-    fn fetch_checkpoint(&mut self, c: &Checkpoint) -> Vec<f32> {
+    fn fetch_checkpoint(&mut self, c: &Checkpoint) -> Result<Vec<f32>, CommError> {
         let slice: Vec<f32> = match &c.data {
             CkptData::Own(v) => v.clone(),
             CkptData::Arena(slot) => self.arena.as_ref().unwrap().slot(slot).to_vec(),
@@ -430,10 +430,10 @@ impl RankEngine {
             let mut out = vec![0.0; c.full_len];
             let prec = self.precision();
             self.comm
-                .all_gather_var_in(&self.mp_group, &slice, &mut out, &counts, prec);
-            out
+                .all_gather_var_in(&self.mp_group, &slice, &mut out, &counts, prec)?;
+            Ok(out)
         } else {
-            slice
+            Ok(slice)
         }
     }
 
@@ -455,13 +455,17 @@ impl RankEngine {
     /// reduce-scatter whose owner pieces land in `grad_shard`, after which
     /// the bucket contents are dropped — "after the reduction we no longer
     /// need the gradients and their memory can be released" (§5.2).
-    fn dispatch_grads(&mut self, range: std::ops::Range<usize>, mut g: Vec<f32>) {
+    fn dispatch_grads(
+        &mut self,
+        range: std::ops::Range<usize>,
+        mut g: Vec<f32>,
+    ) -> Result<(), CommError> {
         if !self.zcfg.stage.partitions_grads() {
             self.full_grads
                 .as_mut()
                 .expect("full gradient buffer")
                 .add_from(range, &g);
-            return;
+            return Ok(());
         }
         // fp16 gradients: quantize before they enter the fused buffer.
         self.maybe_quantize(&mut g);
@@ -477,15 +481,28 @@ impl RankEngine {
             ..
         } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
+        let mut comm_err: Option<CommError> = None;
         bucket.push(range, g, &mut |r, fused| {
+            if comm_err.is_some() {
+                return;
+            }
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let counts = part.intersect_counts(&r);
             let mut out = vec![0.0; counts[*dp_idx]];
-            comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec);
-            let local = part.local_slice_of(*dp_idx, &r);
-            grad_shard.add_from(local, &out);
+            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec)
+            {
+                Ok(()) => {
+                    let local = part.local_slice_of(*dp_idx, &r);
+                    grad_shard.add_from(local, &out);
+                }
+                Err(e) => comm_err = Some(e),
+            }
             mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
         });
+        match comm_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// End-of-backward gradient reduction for the non-bucketed stages,
@@ -493,29 +510,42 @@ impl RankEngine {
     /// chunk in place; stage 1 reduce-scatters so this rank's shard region
     /// of the full buffer holds the averaged values.
     /// Flushes whatever gradients remain in the bucket (stages 2/3).
-    fn flush_pending_grads(&mut self) {
+    fn flush_pending_grads(&mut self) -> Result<(), CommError> {
         if !self.zcfg.stage.partitions_grads() {
-            return;
+            return Ok(());
         }
         let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, .. } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
+        let mut comm_err: Option<CommError> = None;
         bucket.flush_all(&mut |r, fused| {
+            if comm_err.is_some() {
+                return;
+            }
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let counts = part.intersect_counts(&r);
             let mut out = vec![0.0; counts[*dp_idx]];
-            comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec);
-            let local = part.local_slice_of(*dp_idx, &r);
-            grad_shard.add_from(local, &out);
+            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec)
+            {
+                Ok(()) => {
+                    let local = part.local_slice_of(*dp_idx, &r);
+                    grad_shard.add_from(local, &out);
+                }
+                Err(e) => comm_err = Some(e),
+            }
             mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
         });
+        match comm_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    fn reduce_full_grads(&mut self) {
+    fn reduce_full_grads(&mut self) -> Result<(), CommError> {
         if self.zcfg.stage.partitions_grads() {
             // Stages 2/3 already reduced everything through the bucket.
             debug_assert_eq!(self.bucket.pending_elems(), 0);
-            return;
+            return Ok(());
         }
         let psi = self.part.total();
         let step = self.zcfg.bucket_elems;
@@ -538,11 +568,11 @@ impl RankEngine {
                             );
                             let topo = zero_comm::NodeTopology::new(g);
                             self.comm
-                                .hierarchical_all_reduce(&topo, &mut staging, ReduceOp::Mean, prec);
+                                .hierarchical_all_reduce(&topo, &mut staging, ReduceOp::Mean, prec)?;
                         }
                         None => self
                             .comm
-                            .all_reduce_in(&self.dp_group, &mut staging, ReduceOp::Mean, prec),
+                            .all_reduce_in(&self.dp_group, &mut staging, ReduceOp::Mean, prec)?,
                     }
                     full.write_from(chunk.clone(), &staging);
                 }
@@ -556,7 +586,7 @@ impl RankEngine {
                         ReduceOp::Mean,
                         &counts,
                         prec,
-                    );
+                    )?;
                     if !out.is_empty() {
                         let shard = self.part.shard_range(self.dp_idx);
                         let lo = shard.start.max(chunk.start);
@@ -569,6 +599,7 @@ impl RankEngine {
             self.mem.free(MemCategory::Buffers, 4 * chunk.len() as u64);
             cursor = end;
         }
+        Ok(())
     }
 
     /// Reads the reduced gradients covering [`Self::master_range`] as f32:
@@ -596,7 +627,7 @@ impl RankEngine {
     /// all-gather … to get the fully updated parameters" (§5.1) — staged
     /// through CB-sized chunks; stage 3 keeps only the local shard; DDP
     /// wrote the full buffer locally.
-    fn publish_params(&mut self) {
+    fn publish_params(&mut self) -> Result<(), CommError> {
         match self.zcfg.stage {
             ZeroStage::Ddp => {
                 let master = std::mem::take(&mut self.master);
@@ -630,13 +661,14 @@ impl RankEngine {
                         .read_vec(lo..lo + counts[self.dp_idx]);
                     let mut out = vec![0.0; chunk.len()];
                     self.comm
-                        .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec);
+                        .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec)?;
                     self.work.write_from(chunk.clone(), &out);
                     self.mem.free(MemCategory::Buffers, 4 * chunk.len() as u64);
                     cursor = end;
                 }
             }
         }
+        Ok(())
     }
 
     /// Global gradient norm across the whole grid, counting every logical
@@ -645,7 +677,7 @@ impl RankEngine {
     /// whole world; under DDP every rank already holds the full averaged
     /// gradients, so only the MP dimension is summed. Fields replicated
     /// across MP are down-weighted by 1/N_m either way.
-    fn global_grad_norm(&mut self, grads: &[f32]) -> f64 {
+    fn global_grad_norm(&mut self, grads: &[f32]) -> Result<f64, CommError> {
         let range = self.master_range();
         let nm = self.mp_group.len() as f64;
         let mut sq = 0.0_f64;
@@ -665,12 +697,12 @@ impl RankEngine {
         }
         let mut buf = [sq as f32];
         if self.zcfg.stage.partitions_optimizer() {
-            self.comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32);
+            self.comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32)?;
         } else {
             let Self { comm, mp_group, .. } = self;
-            comm.all_reduce_in(mp_group, &mut buf, ReduceOp::Sum, Precision::Fp32);
+            comm.all_reduce_in(mp_group, &mut buf, ReduceOp::Sum, Precision::Fp32)?;
         }
-        (buf[0] as f64).sqrt()
+        Ok((buf[0] as f64).sqrt())
     }
 
     // ----- sharded checkpointing -----
@@ -711,8 +743,20 @@ impl RankEngine {
     /// call this (stages 1/2 all-gather the refreshed fp16 parameters).
     ///
     /// # Panics
-    /// Panics if the snapshot's rank/world/shard do not match this engine.
+    /// Panics if the snapshot's rank/world/shard do not match this engine,
+    /// or on a communication failure (see [`Self::try_restore_snapshot`]).
     pub fn restore_snapshot(&mut self, snap: &crate::snapshot::RankSnapshot) {
+        self.try_restore_snapshot(snap)
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+    }
+
+    /// Fallible [`Self::restore_snapshot`]: surfaces communication failures
+    /// during the parameter re-publish as [`CommError`] instead of
+    /// panicking, so a supervisor can treat them as recoverable.
+    pub fn try_restore_snapshot(
+        &mut self,
+        snap: &crate::snapshot::RankSnapshot,
+    ) -> Result<(), CommError> {
         assert_eq!(snap.rank as usize, self.comm.rank(), "snapshot rank mismatch");
         assert_eq!(
             snap.world as usize,
@@ -743,7 +787,7 @@ impl RankEngine {
         if let (Some(scaler), Some((scale, good, skipped))) = (&mut self.scaler, snap.scaler) {
             scaler.restore(scale, good, skipped);
         }
-        self.publish_params();
+        self.publish_params()
     }
 
     // ----- the training step -----
@@ -752,8 +796,24 @@ impl RankEngine {
     ///
     /// `ids`/`targets` hold `local_batch · seq` tokens. Under MP, all
     /// ranks of an MP group must receive identical data.
+    ///
+    /// # Panics
+    /// Panics on a communication failure — the [`CommError`] itself is the
+    /// panic payload, so [`zero_comm::try_launch`] recovers it typed. Use
+    /// [`Self::try_train_step`] to handle failures in-line.
     pub fn train_step(&mut self, ids: &[u32], targets: &[u32], local_batch: usize) -> StepOutcome {
         self.train_step_micro(&[(ids, targets)], local_batch)
+    }
+
+    /// Fallible [`Self::train_step`]: a dead, hung, or corrupting peer
+    /// surfaces as `Err(CommError)` instead of a panic.
+    pub fn try_train_step(
+        &mut self,
+        ids: &[u32],
+        targets: &[u32],
+        local_batch: usize,
+    ) -> Result<StepOutcome, CommError> {
+        self.try_train_step_micro(&[(ids, targets)], local_batch)
     }
 
     /// Runs one training step with gradient accumulation over several
@@ -764,12 +824,28 @@ impl RankEngine {
     /// memory: total batch = micro-batch × accumulation × N_d.
     ///
     /// # Panics
-    /// Panics if `micros` is empty.
+    /// Panics if `micros` is empty, or on a communication failure (the
+    /// [`CommError`] is the panic payload — see [`Self::try_train_step_micro`]).
     pub fn train_step_micro(
         &mut self,
         micros: &[(&[u32], &[u32])],
         local_batch: usize,
     ) -> StepOutcome {
+        self.try_train_step_micro(micros, local_batch)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Self::train_step_micro`].
+    ///
+    /// On `Err` the engine's own state may be mid-step (partially
+    /// accumulated gradients) but the master parameters and optimizer state
+    /// are untouched — recovery is "restore the last snapshot", not "patch
+    /// the wreckage".
+    pub fn try_train_step_micro(
+        &mut self,
+        micros: &[(&[u32], &[u32])],
+        local_batch: usize,
+    ) -> Result<StepOutcome, CommError> {
         assert!(!micros.is_empty(), "need at least one micro-batch");
         let scale = self.loss_scale();
 
@@ -785,7 +861,7 @@ impl RankEngine {
 
         let mut loss_sum = 0.0_f32;
         for &(ids, targets) in micros {
-            loss_sum += self.accumulate_micro(ids, targets, local_batch, scale);
+            loss_sum += self.accumulate_micro(ids, targets, local_batch, scale)?;
         }
         let loss = loss_sum / micros.len() as f32;
         self.finish_step(loss, scale, micros.len())
@@ -799,7 +875,11 @@ impl RankEngine {
         targets: &[u32],
         local_batch: usize,
         scale: f32,
-    ) -> f32 {
+    ) -> Result<f32, CommError> {
+        // The model's MP hook is an infallible `FnMut(&mut [f32])`, so
+        // errors inside it are parked here and surfaced right after the
+        // block call returns.
+        let mut mp_err: Option<CommError> = None;
         let layers = self.gpt.config().layers;
         let units: Vec<std::ops::Range<usize>> = self
             .gpt
@@ -826,7 +906,7 @@ impl RankEngine {
         };
 
         // ---------- forward ----------
-        let p_embed = self.fetch_unit(0);
+        let p_embed = self.fetch_unit(0)?;
         let mut x = self.gpt.embed(&p_embed, ids, local_batch);
         self.release_unit(p_embed);
         self.maybe_quantize(&mut x);
@@ -835,7 +915,7 @@ impl RankEngine {
         let mut checkpoints: Vec<Checkpoint> = Vec::new();
         let mut saveds: Vec<Option<BlockSaved>> = Vec::new();
         for l in 0..layers {
-            let p = self.fetch_unit(1 + l);
+            let p = self.fetch_unit(1 + l)?;
             if self.zcfg.checkpoint_activations && l % interval == 0 {
                 // One checkpoint per segment of `interval` blocks (§3.2's
                 // memory/recompute dial; interval 1 = one per layer).
@@ -845,9 +925,14 @@ impl RankEngine {
             let (mut y, saved) = {
                 let Self { gpt, comm, mp_group, .. } = self;
                 gpt.block_fwd_dropout(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
-                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                    if mp_err.is_none() {
+                        mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
+                    }
                 }, drop_for(l))
             };
+            if let Some(e) = mp_err.take() {
+                return Err(e);
+            }
             self.release_unit(p);
             if self.zcfg.checkpoint_activations {
                 drop(saved);
@@ -862,7 +947,7 @@ impl RankEngine {
         }
 
         // ---------- head forward + backward (loss gradient is born here) ----------
-        let p_head = self.fetch_unit(1 + layers);
+        let p_head = self.fetch_unit(1 + layers)?;
         let head_len = units[1 + layers].len();
         let mut head_grads = vec![0.0; head_len];
         let (loss, mut dy) =
@@ -879,7 +964,7 @@ impl RankEngine {
                 *v *= scale;
             }
         }
-        self.dispatch_grads(units[1 + layers].clone(), head_grads);
+        self.dispatch_grads(units[1 + layers].clone(), head_grads)?;
 
         // ---------- backward through blocks ----------
         if self.zcfg.checkpoint_activations {
@@ -890,17 +975,23 @@ impl RankEngine {
             while seg_end > 0 {
                 let seg_start = ((seg_end - 1) / interval) * interval;
                 let ck = checkpoints.pop().expect("checkpoint for segment");
-                let mut x_in = self.fetch_checkpoint(&ck);
+                let mut x_in = self.fetch_checkpoint(&ck)?;
                 self.free_checkpoint(ck);
                 let mut segment: Vec<(Vec<f32>, BlockSaved)> = Vec::new();
                 for l in seg_start..seg_end {
-                    let p = self.fetch_unit(1 + l);
+                    let p = self.fetch_unit(1 + l)?;
                     let (mut y, saved) = {
                         let Self { gpt, comm, mp_group, .. } = self;
                         gpt.block_fwd_dropout(l, &p, &x_in, local_batch, &mut |buf: &mut [f32]| {
-                            comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                            if mp_err.is_none() {
+                                mp_err =
+                                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
+                            }
                         }, drop_for(l))
                     };
+                    if let Some(e) = mp_err.take() {
+                        return Err(e);
+                    }
                     self.mem
                         .alloc(MemCategory::Activations, 4 * saved.elems() as u64);
                     self.maybe_quantize(&mut y);
@@ -923,19 +1014,26 @@ impl RankEngine {
                             &mut block_grads,
                             local_batch,
                             &mut |buf: &mut [f32]| {
-                                comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                                if mp_err.is_none() {
+                                    mp_err = comm
+                                        .all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec)
+                                        .err();
+                                }
                             },
                             drop_for(l),
                         )
                     };
+                    if let Some(e) = mp_err.take() {
+                        return Err(e);
+                    }
                     self.release_unit(p);
-                    self.dispatch_grads(units[1 + l].clone(), block_grads);
+                    self.dispatch_grads(units[1 + l].clone(), block_grads)?;
                 }
                 seg_end = seg_start;
             }
         } else {
             for l in (0..layers).rev() {
-                let p = self.fetch_unit(1 + l);
+                let p = self.fetch_unit(1 + l)?;
                 let saved = saveds[l].take().expect("saved activations for block");
                 self.mem
                     .free(MemCategory::Activations, 4 * saved.elems() as u64);
@@ -951,13 +1049,19 @@ impl RankEngine {
                         &mut block_grads,
                         local_batch,
                         &mut |buf: &mut [f32]| {
-                            comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                            if mp_err.is_none() {
+                                mp_err =
+                                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
+                            }
                         },
                         drop_for(l),
                     )
                 };
+                if let Some(e) = mp_err.take() {
+                    return Err(e);
+                }
                 self.release_unit(p);
-                self.dispatch_grads(units[1 + l].clone(), block_grads);
+                self.dispatch_grads(units[1 + l].clone(), block_grads)?;
             }
         }
 
@@ -967,22 +1071,27 @@ impl RankEngine {
         self.gpt
             .embed_backward(ids, &dy, &mut embed_grads, local_batch);
         drop(dy);
-        self.dispatch_grads(units[0].clone(), embed_grads);
+        self.dispatch_grads(units[0].clone(), embed_grads)?;
         // Drain the bucket so the next micro-batch's head-first pushes
         // start a fresh contiguous descending run.
-        self.flush_pending_grads();
-        loss
+        self.flush_pending_grads()?;
+        Ok(loss)
     }
 
     /// Reduces accumulated gradients (stages DDP/1), synchronizes the
     /// overflow flag, and applies (or skips) the optimizer update.
-    fn finish_step(&mut self, loss: f32, scale: f32, n_micro: usize) -> StepOutcome {
+    fn finish_step(
+        &mut self,
+        loss: f32,
+        scale: f32,
+        n_micro: usize,
+    ) -> Result<StepOutcome, CommError> {
         // ---------- reduce & update ----------
-        self.reduce_full_grads();
+        self.reduce_full_grads()?;
 
         let local_overflow = self.shard_has_overflow();
         let mut flag = [if local_overflow { 1.0_f32 } else { 0.0 }];
-        self.comm.all_reduce(&mut flag, ReduceOp::Max, Precision::Fp32);
+        self.comm.all_reduce(&mut flag, ReduceOp::Max, Precision::Fp32)?;
         let overflow = flag[0] > 0.0;
 
         let skipped = match &mut self.scaler {
@@ -1001,7 +1110,7 @@ impl RankEngine {
                 }
             }
             if let Some(max_norm) = self.zcfg.clip_grad_norm {
-                let norm = self.global_grad_norm(&g);
+                let norm = self.global_grad_norm(&g)?;
                 grad_norm = Some(norm);
                 apply_clip(&mut g, clip_coefficient(norm, max_norm));
             }
@@ -1012,41 +1121,62 @@ impl RankEngine {
             self.opt
                 .set_lr(base_lr * self.zcfg.lr_schedule.factor(self.step));
             self.opt.step(&mut self.master, &g);
-            self.publish_params();
+            self.publish_params()?;
         }
         self.step += 1;
-        StepOutcome {
+        Ok(StepOutcome {
             loss,
             skipped,
             grad_norm,
             loss_scale: scale,
-        }
+        })
     }
 
     /// Forward-only validation loss over this rank's micro-batch.
+    ///
+    /// # Panics
+    /// Panics on a communication failure (the [`CommError`] is the panic
+    /// payload — see [`Self::try_eval_loss`]).
     pub fn eval_loss(&mut self, ids: &[u32], targets: &[u32], local_batch: usize) -> f32 {
+        self.try_eval_loss(ids, targets, local_batch)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Self::eval_loss`].
+    pub fn try_eval_loss(
+        &mut self,
+        ids: &[u32],
+        targets: &[u32],
+        local_batch: usize,
+    ) -> Result<f32, CommError> {
         let layers = self.gpt.config().layers;
         let mp_prec = self.precision();
-        let p = self.fetch_unit(0);
+        let mut mp_err: Option<CommError> = None;
+        let p = self.fetch_unit(0)?;
         let mut x = self.gpt.embed(&p, ids, local_batch);
         self.release_unit(p);
         self.maybe_quantize(&mut x);
         for l in 0..layers {
-            let p = self.fetch_unit(1 + l);
+            let p = self.fetch_unit(1 + l)?;
             let (mut y, saved) = {
                 let Self { gpt, comm, mp_group, .. } = self;
                 gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
-                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec);
+                    if mp_err.is_none() {
+                        mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
+                    }
                 })
             };
+            if let Some(e) = mp_err.take() {
+                return Err(e);
+            }
             drop(saved);
             self.release_unit(p);
             self.maybe_quantize(&mut y);
             x = y;
         }
-        let p = self.fetch_unit(1 + layers);
+        let p = self.fetch_unit(1 + layers)?;
         let loss = self.gpt.head_loss(&p, &x, targets, local_batch);
         self.release_unit(p);
-        loss
+        Ok(loss)
     }
 }

@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod partition;
 pub mod snapshot;
 pub mod store;
+pub mod supervisor;
 pub mod trainer;
 
 pub use arena::ContiguousArena;
@@ -42,6 +43,9 @@ pub use engine::{RankEngine, StepOutcome};
 pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
 pub use metrics::TrainingMetrics;
 pub use partition::Partitioner;
-pub use snapshot::{reshard, RankSnapshot};
+pub use snapshot::{reshard, validate_consistent, RankSnapshot, SnapshotError};
 pub use store::FlatStore;
+pub use supervisor::{
+    resume_from_snapshot, run_supervised, RecoveryReport, SupervisedReport, SupervisorConfig,
+};
 pub use trainer::{model_state_bytes, run_training, run_training_on, RankReport, TrainReport, TrainSetup};

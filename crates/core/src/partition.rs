@@ -138,9 +138,9 @@ mod tests {
         let p = Partitioner::new(50, 4);
         let range = 10..37;
         let counts = p.intersect_counts(&range);
-        for i in 0..4 {
+        for (i, cnt) in counts.iter().enumerate() {
             let local = p.local_slice_of(i, &range);
-            assert_eq!(local.len(), counts[i], "owner {i}");
+            assert_eq!(local.len(), *cnt, "owner {i}");
             // The local slice must sit inside the owner's shard.
             assert!(local.end <= p.shard_range(i).len());
         }

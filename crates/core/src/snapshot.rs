@@ -9,13 +9,137 @@
 //!
 //! The format is a small self-describing binary layout (no external
 //! serialization dependency): a magic/version header followed by
-//! length-prefixed little-endian sections.
+//! length-prefixed little-endian sections, closed by a CRC32 over
+//! everything after the version field. The trailing checksum makes three
+//! failure modes distinguishable on load:
+//!
+//! * **not a snapshot** — wrong magic or version ([`SnapshotError::BadMagic`],
+//!   [`SnapshotError::UnsupportedVersion`]);
+//! * **torn write** — the file ends mid-section, e.g. a rank died while
+//!   checkpointing ([`SnapshotError::Torn`]);
+//! * **bit rot** — the file is complete but its payload was altered after
+//!   the fact ([`SnapshotError::ChecksumMismatch`]).
 
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
+use zero_comm::Crc32;
+
 const MAGIC: &[u8; 8] = b"ZEROSNAP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Why a snapshot failed to load (or a set failed validation).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The file is a snapshot, but from an incompatible format version.
+    UnsupportedVersion(u32),
+    /// The file ends mid-section: a torn or truncated write (the writer
+    /// died part-way through). Distinct from [`SnapshotError::BadMagic`]
+    /// so recovery code can tell "garbage file" from "interrupted save".
+    Torn,
+    /// The payload is complete but its CRC32 does not match the recorded
+    /// one: silent corruption after the write.
+    ChecksumMismatch {
+        /// CRC recorded in the file.
+        declared: u32,
+        /// CRC recomputed over the payload as read.
+        actual: u32,
+    },
+    /// A section header requests an absurd allocation (corrupt length).
+    ImplausibleLength(u64),
+    /// Snapshots in a set disagree with each other (step or world size) —
+    /// they cannot all come from the same consistent checkpoint.
+    Inconsistent(String),
+    /// Any other I/O failure (permissions, missing file, …).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "bad magic: not a snapshot file"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::Torn => {
+                write!(f, "torn snapshot: file ends mid-section (interrupted write)")
+            }
+            SnapshotError::ChecksumMismatch { declared, actual } => write!(
+                f,
+                "snapshot checksum mismatch: file declares {declared:#010x}, payload hashes to {actual:#010x}"
+            ),
+            SnapshotError::ImplausibleLength(len) => {
+                write!(f, "implausible section length {len}")
+            }
+            SnapshotError::Inconsistent(why) => write!(f, "inconsistent snapshot set: {why}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        // `read_exact` hitting EOF mid-field is how truncation manifests.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Torn
+        } else {
+            SnapshotError::Io(e)
+        }
+    }
+}
+
+impl From<SnapshotError> for io::Error {
+    fn from(e: SnapshotError) -> io::Error {
+        match e {
+            SnapshotError::Io(e) => e,
+            SnapshotError::Torn => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// `Write` adapter that folds everything written into a CRC32.
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `Read` adapter that folds everything read into a CRC32.
+struct CrcReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Everything one rank needs to resume training.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,67 +171,78 @@ impl RankSnapshot {
         dir.join(format!("rank_{rank:05}.zero"))
     }
 
-    /// Serializes to a writer.
+    /// Serializes to a writer. Everything after the version field is
+    /// covered by a trailing CRC32.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&self.rank.to_le_bytes())?;
-        w.write_all(&self.world.to_le_bytes())?;
-        w.write_all(&self.step.to_le_bytes())?;
-        w.write_all(&self.shard_start.to_le_bytes())?;
-        w.write_all(&self.shard_end.to_le_bytes())?;
-        write_f32s(w, &self.master)?;
-        write_f32s(w, &self.opt_m)?;
-        write_f32s(w, &self.opt_v)?;
-        w.write_all(&self.opt_t.to_le_bytes())?;
+        let mut cw = CrcWriter { inner: w, crc: Crc32::new() };
+        cw.write_all(&self.rank.to_le_bytes())?;
+        cw.write_all(&self.world.to_le_bytes())?;
+        cw.write_all(&self.step.to_le_bytes())?;
+        cw.write_all(&self.shard_start.to_le_bytes())?;
+        cw.write_all(&self.shard_end.to_le_bytes())?;
+        write_f32s(&mut cw, &self.master)?;
+        write_f32s(&mut cw, &self.opt_m)?;
+        write_f32s(&mut cw, &self.opt_v)?;
+        cw.write_all(&self.opt_t.to_le_bytes())?;
         match self.scaler {
             Some((scale, good, skipped)) => {
-                w.write_all(&1u8.to_le_bytes())?;
-                w.write_all(&scale.to_le_bytes())?;
-                w.write_all(&good.to_le_bytes())?;
-                w.write_all(&skipped.to_le_bytes())?;
+                cw.write_all(&1u8.to_le_bytes())?;
+                cw.write_all(&scale.to_le_bytes())?;
+                cw.write_all(&good.to_le_bytes())?;
+                cw.write_all(&skipped.to_le_bytes())?;
             }
-            None => w.write_all(&0u8.to_le_bytes())?,
+            None => cw.write_all(&0u8.to_le_bytes())?,
         }
+        let crc = cw.crc.finish();
+        w.write_all(&crc.to_le_bytes())?;
         Ok(())
     }
 
-    /// Deserializes from a reader.
-    ///
-    /// # Errors
-    /// Returns `InvalidData` on a bad magic, version, or truncation.
-    pub fn read_from<R: Read>(r: &mut R) -> io::Result<RankSnapshot> {
+    /// Deserializes from a reader, verifying the payload checksum.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<RankSnapshot, SnapshotError> {
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        match r.read_exact(&mut magic) {
+            Ok(()) => {}
+            // An empty or sub-8-byte file cannot even be identified.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(SnapshotError::BadMagic)
+            }
+            Err(e) => return Err(SnapshotError::Io(e)),
+        }
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+            return Err(SnapshotError::BadMagic);
         }
         let version = read_u32(r)?;
         if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported snapshot version {version}"),
-            ));
+            return Err(SnapshotError::UnsupportedVersion(version));
         }
-        let rank = read_u32(r)?;
-        let world = read_u32(r)?;
-        let step = read_u64(r)?;
-        let shard_start = read_u64(r)?;
-        let shard_end = read_u64(r)?;
-        let master = read_f32s(r)?;
-        let opt_m = read_f32s(r)?;
-        let opt_v = read_f32s(r)?;
-        let opt_t = read_u64(r)?;
+        let mut cr = CrcReader { inner: r, crc: Crc32::new() };
+        let rank = read_u32(&mut cr)?;
+        let world = read_u32(&mut cr)?;
+        let step = read_u64(&mut cr)?;
+        let shard_start = read_u64(&mut cr)?;
+        let shard_end = read_u64(&mut cr)?;
+        let master = read_f32s(&mut cr)?;
+        let opt_m = read_f32s(&mut cr)?;
+        let opt_v = read_f32s(&mut cr)?;
+        let opt_t = read_u64(&mut cr)?;
         let mut flag = [0u8; 1];
-        r.read_exact(&mut flag)?;
+        cr.read_exact(&mut flag)?;
         let scaler = if flag[0] == 1 {
-            let scale = f32::from_le_bytes(read_array(r)?);
-            let good = read_u32(r)?;
-            let skipped = read_u64(r)?;
+            let scale = f32::from_le_bytes(read_array(&mut cr)?);
+            let good = read_u32(&mut cr)?;
+            let skipped = read_u64(&mut cr)?;
             Some((scale, good, skipped))
         } else {
             None
         };
+        let actual = cr.crc.finish();
+        let declared = read_u32(r)?;
+        if declared != actual {
+            return Err(SnapshotError::ChecksumMismatch { declared, actual });
+        }
         Ok(RankSnapshot {
             rank,
             world,
@@ -133,10 +268,53 @@ impl RankSnapshot {
     }
 
     /// Loads rank `rank`'s shard from `dir`.
-    pub fn load(dir: &Path, rank: usize) -> io::Result<RankSnapshot> {
+    pub fn load(dir: &Path, rank: usize) -> Result<RankSnapshot, SnapshotError> {
         let mut f = io::BufReader::new(std::fs::File::open(Self::path_for(dir, rank))?);
         RankSnapshot::read_from(&mut f)
     }
+
+    /// Loads all `world` shards of a checkpoint directory and verifies
+    /// they form one consistent cut (see [`validate_consistent`]).
+    pub fn load_all(dir: &Path, world: usize) -> Result<Vec<RankSnapshot>, SnapshotError> {
+        let snaps: Vec<RankSnapshot> = (0..world)
+            .map(|r| RankSnapshot::load(dir, r))
+            .collect::<Result<_, _>>()?;
+        validate_consistent(&snaps)?;
+        Ok(snaps)
+    }
+}
+
+/// Cross-rank consistency check: every shard of a checkpoint must record
+/// the same step, world size, and optimizer clock, and the shard ranges
+/// must be mutually disjoint in the expected per-rank order. A set that
+/// fails this mixes cuts from different moments — resuming from it would
+/// silently diverge, so it is rejected up front.
+pub fn validate_consistent(snaps: &[RankSnapshot]) -> Result<(), SnapshotError> {
+    let first = match snaps.first() {
+        Some(s) => s,
+        None => return Err(SnapshotError::Inconsistent("empty snapshot set".into())),
+    };
+    for s in snaps {
+        if s.step != first.step {
+            return Err(SnapshotError::Inconsistent(format!(
+                "rank {} is at step {} but rank {} is at step {}",
+                first.rank, first.step, s.rank, s.step
+            )));
+        }
+        if s.world != first.world {
+            return Err(SnapshotError::Inconsistent(format!(
+                "rank {} believes world={} but rank {} believes world={}",
+                first.rank, first.world, s.rank, s.world
+            )));
+        }
+        if s.opt_t != first.opt_t {
+            return Err(SnapshotError::Inconsistent(format!(
+                "optimizer clock differs: rank {} at t={} vs rank {} at t={}",
+                first.rank, first.opt_t, s.rank, s.opt_t
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> io::Result<()> {
@@ -153,14 +331,11 @@ fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+fn read_f32s<R: Read>(r: &mut R) -> Result<Vec<f32>, SnapshotError> {
     let len = read_u64(r)? as usize;
     // Guard against corrupt headers requesting absurd allocations.
     if len > (1 << 34) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("implausible section length {len}"),
-        ));
+        return Err(SnapshotError::ImplausibleLength(len as u64));
     }
     let mut out = Vec::with_capacity(len);
     let mut buf = [0u8; 4096];
@@ -249,15 +424,70 @@ mod tests {
         sample().write_to(&mut buf).unwrap();
         buf[0] = b'X';
         let err = RankSnapshot::read_from(&mut &buf[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, SnapshotError::BadMagic), "got {err}");
     }
 
     #[test]
-    fn truncation_rejected() {
+    fn unsupported_version_named_in_error() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = RankSnapshot::read_from(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(1)), "got {err}");
+    }
+
+    #[test]
+    fn torn_file_is_distinct_from_bad_magic() {
         let mut buf = Vec::new();
         sample().write_to(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
-        assert!(RankSnapshot::read_from(&mut &buf[..]).is_err());
+        let err = RankSnapshot::read_from(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Torn), "got {err}");
+    }
+
+    #[test]
+    fn every_flipped_payload_byte_is_caught() {
+        // Flip one byte at a time across a sample of payload offsets: the
+        // checksum must catch each one (CRC32 detects all 1-byte errors).
+        let mut clean = Vec::new();
+        sample().write_to(&mut clean).unwrap();
+        let payload = 12..clean.len() - 4; // after magic+version, before crc
+        for pos in payload.step_by(97).chain([12, clean.len() - 5]) {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x10;
+            let err = RankSnapshot::read_from(&mut &buf[..])
+                .expect_err("corrupted snapshot must not load");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::ImplausibleLength(_)
+                        | SnapshotError::Torn
+                ),
+                "byte {pos}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_crc_trailer_is_caught_too() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = RankSnapshot::read_from(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::ChecksumMismatch { .. }), "got {err}");
+    }
+
+    #[test]
+    fn inconsistent_sets_rejected() {
+        let a = sample();
+        let mut b = sample();
+        b.rank = 4;
+        b.step += 1;
+        let err = validate_consistent(&[a.clone(), b]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Inconsistent(_)), "got {err}");
+        assert!(validate_consistent(&[a.clone(), a]).is_ok());
     }
 }
 
@@ -416,6 +646,6 @@ mod corrupt_tests {
         buf.extend_from_slice(&0u64.to_le_bytes()); // shard_end
         buf.extend_from_slice(&u64::MAX.to_le_bytes()); // master length: absurd
         let err = RankSnapshot::read_from(&mut &buf[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, SnapshotError::ImplausibleLength(_)), "got {err}");
     }
 }

@@ -1,0 +1,453 @@
+//! Elastic training supervisor: run under fault injection, survive.
+//!
+//! The supervisor owns the whole-run lifecycle that a single
+//! [`RankEngine`](crate::engine::RankEngine) cannot: it launches one engine
+//! per rank under a [`FaultPlan`], watches for per-rank failures (typed
+//! [`CommError`]s, hangs surfacing as timeouts, outright panics), and when
+//! a round dies it
+//!
+//! 1. classifies the casualties — ranks that *caused* the failure are
+//!    removed, ranks that merely *observed* it (peer-lost / timeout /
+//!    corrupt-message errors) are survivors;
+//! 2. walks the snapshot directory backwards to the newest checkpoint that
+//!    is complete, checksum-clean, and cross-rank consistent;
+//! 3. reshards that checkpoint to the surviving world size with
+//!    [`crate::snapshot::reshard`];
+//! 4. relaunches fresh engines on a fresh world and resumes from the
+//!    snapshot step, recording a [`RecoveryReport`].
+//!
+//! Because the data schedule is a pure function of (step, global batch,
+//! DP coordinates), a recovered run is *bitwise identical* to a clean run
+//! started from the same resharded snapshot — the property the
+//! fault-recovery tests assert.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use zero_comm::{try_launch_with_config, CommError, FaultPlan, Grid, WorldConfig};
+use zero_model::{init_full_params, Gpt, SyntheticCorpus};
+
+use crate::engine::RankEngine;
+use crate::snapshot::{reshard, RankSnapshot};
+use crate::trainer::TrainSetup;
+
+/// Everything the supervisor needs for one supervised run.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Model/ZeRO/grid/batch specification. The grid must be pure data
+    /// parallel (mp = 1) and the stage must shard optimizer state
+    /// (stages 1–3) so checkpoints can be resharded across world sizes.
+    pub setup: TrainSetup,
+    /// Total optimizer steps to complete.
+    pub steps: usize,
+    /// Snapshot cadence: a sharded checkpoint is written after every this
+    /// many steps (plus one at step 0, so recovery always has a floor).
+    pub snapshot_every: usize,
+    /// Directory for checkpoint subdirectories (`step_00005/`, …).
+    pub snapshot_dir: PathBuf,
+    /// Faults injected into the first round (recovered rounds run clean).
+    pub faults: FaultPlan,
+    /// Receive timeout: how long a rank waits on a silent peer before
+    /// surfacing [`CommError::Timeout`].
+    pub recv_timeout: Duration,
+    /// Abort after this many recoveries (guards against a fault that
+    /// reproduces forever).
+    pub max_recoveries: usize,
+}
+
+impl SupervisorConfig {
+    /// A config with conventional defaults: snapshot every 5 steps, 1 s
+    /// receive timeout, at most 4 recoveries, no faults.
+    pub fn new(setup: TrainSetup, steps: usize, snapshot_dir: PathBuf) -> SupervisorConfig {
+        SupervisorConfig {
+            setup,
+            steps,
+            snapshot_every: 5,
+            snapshot_dir,
+            faults: FaultPlan::new(),
+            recv_timeout: Duration::from_secs(1),
+            max_recoveries: 4,
+        }
+    }
+}
+
+/// What one recovery cost.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Ranks removed from the world (crashed, hung, or panicked).
+    pub failed_ranks: Vec<usize>,
+    /// Human-readable description per failed or erroring rank.
+    pub failures: Vec<(usize, String)>,
+    /// World size before the failure.
+    pub old_world: usize,
+    /// World size after resharding to the survivors.
+    pub new_world: usize,
+    /// Step of the snapshot training resumed from.
+    pub resumed_from_step: u64,
+    /// Completed optimizer steps whose work was discarded by the rollback
+    /// (work past the snapshot that the failed round had already done).
+    pub steps_lost: u64,
+    /// Bytes of checkpoint state re-read and re-moved by the reshard.
+    pub bytes_moved: u64,
+    /// Wall time from failure detection to the relaunch being ready.
+    pub wall_time: Duration,
+}
+
+/// Outcome of a supervised run.
+#[derive(Clone, Debug)]
+pub struct SupervisedReport {
+    /// Mean training loss per completed step (averaged over DP ranks),
+    /// stitched across recoveries: rolled-back steps appear once, with the
+    /// values from the round that finally completed them.
+    pub losses: Vec<f32>,
+    /// Final evaluation loss on the held-out batch, averaged over ranks.
+    pub final_eval: f32,
+    /// World size the run finished with.
+    pub final_world: usize,
+    /// One entry per recovery, in order.
+    pub recoveries: Vec<RecoveryReport>,
+}
+
+/// One rank's output from one round: the losses it completed, the final
+/// eval (if the round finished), and the error that stopped it (if any).
+struct RoundOut {
+    losses: Vec<f32>,
+    eval: Option<f32>,
+    error: Option<CommError>,
+}
+
+/// Runs `cfg.steps` optimizer steps under `cfg.faults`, recovering from
+/// rank failures by snapshot rollback + reshard, and returns the stitched
+/// history. See the module docs for the recovery protocol.
+///
+/// # Panics
+/// Panics if the configuration is unsupported (mp > 1, DDP stage, zero
+/// world), if a failure leaves no survivors, if no loadable snapshot
+/// exists, or if `max_recoveries` is exceeded.
+pub fn run_supervised(cfg: &SupervisorConfig) -> SupervisedReport {
+    assert_eq!(
+        cfg.setup.grid.mp_degree(),
+        1,
+        "supervisor supports pure data-parallel grids (mp = 1)"
+    );
+    assert!(
+        cfg.setup.zero.stage.partitions_optimizer(),
+        "supervisor requires sharded optimizer state (ZeRO stages 1-3) for resharding"
+    );
+    assert!(cfg.snapshot_every > 0, "snapshot_every must be positive");
+    let setup = &cfg.setup;
+    setup.model.validate();
+    setup.zero.validate();
+
+    // One corpus for the whole run: the schedule is a function of the
+    // global step, so it survives world-size changes.
+    let corpus = SyntheticCorpus::generate(
+        setup.model.vocab,
+        (setup.global_batch * (setup.model.seq + 1) * (cfg.steps + 2)).max(10_000),
+        setup.seed ^ 0x5EED,
+    );
+    let full_params = init_full_params(&setup.model, setup.seed);
+
+    let mut world = setup.grid.dp_degree();
+    let mut start_step: u64 = 0;
+    let mut restore: Option<Vec<RankSnapshot>> = None;
+    let mut recoveries: Vec<RecoveryReport> = Vec::new();
+    let mut losses: Vec<f32> = Vec::new();
+
+    loop {
+        let plan = if recoveries.is_empty() { cfg.faults.clone() } else { FaultPlan::new() };
+        let outcomes = run_round(
+            cfg,
+            &corpus,
+            &full_params,
+            world,
+            start_step,
+            restore.as_deref(),
+            plan,
+        );
+
+        // Collect what each rank managed, and who died of what.
+        let mut dead: Vec<usize> = Vec::new();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut outs: Vec<Option<RoundOut>> = Vec::new();
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(out) => {
+                    if let Some(e) = &out.error {
+                        failures.push((rank, e.to_string()));
+                        if e.is_self_fault() {
+                            dead.push(rank);
+                        }
+                    }
+                    outs.push(Some(out));
+                }
+                Err(failure) => {
+                    // A panic (not a typed comm error): the rank is gone
+                    // and its partial history with it.
+                    failures.push((rank, failure.message.clone()));
+                    dead.push(rank);
+                    outs.push(None);
+                }
+            }
+        }
+
+        if failures.is_empty() {
+            // Clean round: stitch and finish.
+            let round: Vec<&RoundOut> = outs.iter().map(|o| o.as_ref().unwrap()).collect();
+            let completed = round[0].losses.len();
+            for i in 0..completed {
+                let mean =
+                    round.iter().map(|o| o.losses[i]).sum::<f32>() / round.len() as f32;
+                losses.push(mean);
+            }
+            let final_eval = round.iter().filter_map(|o| o.eval).sum::<f32>()
+                / round.iter().filter(|o| o.eval.is_some()).count().max(1) as f32;
+            return SupervisedReport {
+                losses,
+                final_eval,
+                final_world: world,
+                recoveries,
+            };
+        }
+
+        // ----- recovery -----
+        let t0 = Instant::now();
+        assert!(
+            recoveries.len() < cfg.max_recoveries,
+            "supervisor: exceeded {} recoveries; last failures: {failures:?}",
+            cfg.max_recoveries
+        );
+        let new_world = world - dead.len();
+        assert!(new_world > 0, "no surviving ranks to recover with: {failures:?}");
+
+        // Furthest step any rank reached, to price the discarded work.
+        let reached = outs
+            .iter()
+            .flatten()
+            .map(|o| start_step + o.losses.len() as u64)
+            .max()
+            .unwrap_or(start_step);
+
+        // Newest complete, checksum-clean, cross-rank-consistent snapshot.
+        let (snap_step, snaps) = latest_consistent_snapshot(
+            &cfg.snapshot_dir,
+            reached,
+            cfg.snapshot_every as u64,
+        )
+        .unwrap_or_else(|| {
+            panic!("supervisor: no consistent snapshot to recover from in {:?}", cfg.snapshot_dir)
+        });
+        let bytes_moved = snaps
+            .iter()
+            .map(|s| 4 * (s.master.len() + s.opt_m.len() + s.opt_v.len()) as u64)
+            .sum();
+
+        // Keep the stitched history only up to the rollback point; the
+        // next round recomputes everything past it.
+        losses.truncate(snap_step as usize);
+        // Append the failed round's per-step means for steps the snapshot
+        // covers but the stitched history does not (every rank that wrote
+        // the snapshot completed those steps; panicked ranks may be
+        // missing, so average over who reported).
+        for step in losses.len() as u64..snap_step {
+            let i = (step - start_step) as usize;
+            let vals: Vec<f32> = outs
+                .iter()
+                .flatten()
+                .filter_map(|o| o.losses.get(i).copied())
+                .collect();
+            assert!(
+                !vals.is_empty(),
+                "no loss record for step {step} below snapshot step {snap_step}"
+            );
+            losses.push(vals.iter().sum::<f32>() / vals.len() as f32);
+        }
+
+        let resharded = reshard(&snaps, new_world);
+        recoveries.push(RecoveryReport {
+            failed_ranks: dead.clone(),
+            failures,
+            old_world: world,
+            new_world,
+            resumed_from_step: snap_step,
+            steps_lost: reached.saturating_sub(snap_step),
+            bytes_moved,
+            wall_time: t0.elapsed(),
+        });
+
+        world = new_world;
+        start_step = snap_step;
+        restore = Some(resharded);
+    }
+}
+
+/// Launches one round of `world` engines and runs them from `start_step`
+/// toward `cfg.steps`, snapshotting on cadence. Returns per-rank outcomes.
+fn run_round(
+    cfg: &SupervisorConfig,
+    corpus: &SyntheticCorpus,
+    full_params: &[f32],
+    world: usize,
+    start_step: u64,
+    restore: Option<&[RankSnapshot]>,
+    plan: FaultPlan,
+) -> Vec<Result<RoundOut, zero_comm::RankFailure>> {
+    let setup = &cfg.setup;
+    let grid = Grid::new(world, 1);
+    let local_batch = setup.global_batch / world;
+    assert_eq!(
+        setup.global_batch % world,
+        0,
+        "global batch {} must divide the surviving world {world}",
+        setup.global_batch
+    );
+    let config = WorldConfig { recv_timeout: cfg.recv_timeout, faults: plan };
+
+    try_launch_with_config(world, config, move |comm| {
+        let rank = comm.rank();
+        let gpt = Gpt::new_mp(setup.model, 1);
+        let mut engine = RankEngine::new(gpt, full_params, setup.zero, grid, comm);
+        if let Some(snaps) = restore {
+            if let Err(e) = engine.try_restore_snapshot(&snaps[rank]) {
+                return RoundOut { losses: Vec::new(), eval: None, error: Some(e) };
+            }
+        } else {
+            // Step-0 floor: recovery can always fall back to initial state.
+            engine
+                .save_snapshot()
+                .save(&snapshot_dir_for(&cfg.snapshot_dir, 0))
+                .expect("write step-0 snapshot");
+        }
+
+        let mut losses = Vec::new();
+        for step in start_step as usize..cfg.steps {
+            let (ids, targets) =
+                corpus.rank_batch(step, setup.global_batch, setup.model.seq, world, rank);
+            match engine.try_train_step(&ids, &targets, local_batch) {
+                Ok(out) => losses.push(out.loss),
+                Err(e) => return RoundOut { losses, eval: None, error: Some(e) },
+            }
+            if (step + 1) % cfg.snapshot_every == 0 {
+                engine
+                    .save_snapshot()
+                    .save(&snapshot_dir_for(&cfg.snapshot_dir, (step + 1) as u64))
+                    .expect("write snapshot shard");
+            }
+        }
+
+        // Held-out batch, same convention as the trainer: one past the end.
+        let (ids, targets) = corpus.rank_batch(
+            cfg.steps + 1,
+            setup.global_batch,
+            setup.model.seq,
+            world,
+            rank,
+        );
+        match engine.try_eval_loss(&ids, &targets, local_batch) {
+            Ok(l) => RoundOut { losses, eval: Some(l), error: None },
+            Err(e) => RoundOut { losses, eval: None, error: Some(e) },
+        }
+    })
+}
+
+/// The checkpoint subdirectory for a given step.
+pub fn snapshot_dir_for(root: &Path, step: u64) -> PathBuf {
+    root.join(format!("step_{step:05}"))
+}
+
+/// Scans snapshot steps `reached, reached-1, … 0` (on the cadence grid,
+/// plus the step-0 floor) for the newest directory holding a complete,
+/// checksum-clean, cross-rank-consistent shard set. Torn, corrupt,
+/// missing, or inconsistent checkpoints are skipped — that is the point.
+/// The writing world size is read from the shards themselves, so a
+/// checkpoint from a larger (pre-failure) world remains usable.
+fn latest_consistent_snapshot(
+    root: &Path,
+    reached: u64,
+    cadence: u64,
+) -> Option<(u64, Vec<RankSnapshot>)> {
+    let mut candidates: Vec<u64> = (1..=reached / cadence).map(|k| k * cadence).collect();
+    candidates.push(0);
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+    for step in candidates {
+        let dir = snapshot_dir_for(root, step);
+        if let Some(snaps) = try_load_set(&dir) {
+            if snaps.iter().all(|s| s.step == step) {
+                return Some((step, snaps));
+            }
+        }
+    }
+    None
+}
+
+/// Loads a shard set from one checkpoint directory: rank 0 declares the
+/// world size, the rest must exist, load cleanly, and agree.
+fn try_load_set(dir: &Path) -> Option<Vec<RankSnapshot>> {
+    let first = RankSnapshot::load(dir, 0).ok()?;
+    let world = first.world as usize;
+    let mut snaps = Vec::with_capacity(world);
+    snaps.push(first);
+    for r in 1..world {
+        snaps.push(RankSnapshot::load(dir, r).ok()?);
+    }
+    crate::snapshot::validate_consistent(&snaps).ok()?;
+    Some(snaps)
+}
+
+/// Resumes a *clean* run from an on-disk checkpoint written by a possibly
+/// different world size: loads `old_world` shards from `snapshot_dir`,
+/// reshards them to `setup.grid`, and trains to `steps` — the control
+/// arm the fault-recovery tests compare against, and the user-facing
+/// elastic-resume entry point.
+///
+/// Returns the per-step mean losses from the snapshot step onward and the
+/// final eval loss.
+///
+/// # Panics
+/// Panics on unsupported configs (see [`run_supervised`]), unreadable
+/// snapshots, or rank failures (none are expected in a clean run).
+pub fn resume_from_snapshot(
+    setup: &TrainSetup,
+    steps: usize,
+    snapshot_dir: &Path,
+    old_world: usize,
+) -> (Vec<f32>, f32) {
+    assert_eq!(setup.grid.mp_degree(), 1, "resume supports mp = 1");
+    let snaps = RankSnapshot::load_all(snapshot_dir, old_world)
+        .unwrap_or_else(|e| panic!("cannot resume from {snapshot_dir:?}: {e}"));
+    let snap_step = snaps[0].step;
+    let world = setup.grid.dp_degree();
+    let resharded = reshard(&snaps, world);
+
+    let mut cfg = SupervisorConfig::new(*setup, steps, std::env::temp_dir());
+    // Snapshots during the control run are not needed; park them far out.
+    cfg.snapshot_every = steps.max(1) * 2;
+    let corpus = SyntheticCorpus::generate(
+        setup.model.vocab,
+        (setup.global_batch * (setup.model.seq + 1) * (steps + 2)).max(10_000),
+        setup.seed ^ 0x5EED,
+    );
+    let full_params = init_full_params(&setup.model, setup.seed);
+    let outcomes = run_round(
+        &cfg,
+        &corpus,
+        &full_params,
+        world,
+        snap_step,
+        Some(&resharded),
+        FaultPlan::new(),
+    );
+    let outs: Vec<RoundOut> = outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|f| panic!("clean resume rank failed: {f}")))
+        .collect();
+    for o in &outs {
+        assert!(o.error.is_none(), "clean resume hit a comm error: {:?}", o.error);
+    }
+    let completed = outs[0].losses.len();
+    let losses = (0..completed)
+        .map(|i| outs.iter().map(|o| o.losses[i]).sum::<f32>() / outs.len() as f32)
+        .collect();
+    let eval = outs.iter().filter_map(|o| o.eval).sum::<f32>() / outs.len() as f32;
+    (losses, eval)
+}

@@ -78,7 +78,7 @@ impl TrainReport {
     /// # Panics
     /// Panics if the shards do not tile the flat space.
     pub fn gather_master_mp1(&self) -> Vec<f32> {
-        if self.ranks[0].shard_range.start == 0 && self.ranks.len() >= 1 {
+        if self.ranks[0].shard_range.start == 0 && !self.ranks.is_empty() {
             if let Some(full) = self
                 .ranks
                 .iter()
@@ -121,6 +121,10 @@ pub fn run_training(setup: &TrainSetup, steps: usize, eval_every: usize) -> Trai
 /// Like [`run_training`] but over a caller-supplied token stream (e.g. a
 /// [`zero_model::ByteCorpus`] built from real text). Every token must be
 /// `< model.vocab`.
+/// Per-rank results collected by the training driver: losses, skipped
+/// flags, final master params, and the rank's report.
+type RankOutput = (Vec<f32>, Vec<bool>, Vec<f32>, RankReport);
+
 pub fn run_training_on(
     setup: &TrainSetup,
     steps: usize,
@@ -152,8 +156,7 @@ pub fn run_training_on(
     let full_ref = &full;
     let corpus_ref = &corpus;
 
-    let mut rank_outputs: Vec<Option<(Vec<f32>, Vec<bool>, Vec<f32>, RankReport)>> =
-        (0..n).map(|_| None).collect();
+    let mut rank_outputs: Vec<Option<RankOutput>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -264,6 +267,40 @@ pub fn model_state_bytes(report: &RankReport) -> u64 {
         .sum()
 }
 
+/// A borrowed token stream with the same batch-slicing semantics as
+/// [`SyntheticCorpus::rank_batch`].
+struct TokenStream<'a> {
+    tokens: &'a [u32],
+    seq: usize,
+}
+
+impl TokenStream<'_> {
+    fn rank_batch(
+        &self,
+        index: usize,
+        global_batch: usize,
+        seq: usize,
+        dp: usize,
+        rank: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        debug_assert_eq!(seq, self.seq);
+        assert_eq!(global_batch % dp, 0, "batch not divisible by dp");
+        let span = seq + 1;
+        let local = global_batch / dp;
+        let mut ids = Vec::with_capacity(local * seq);
+        let mut targets = Vec::with_capacity(local * seq);
+        for b in 0..local {
+            let global_b = rank * local + b;
+            let start = (index * global_batch * span + global_b * span)
+                % (self.tokens.len() - span);
+            let window = &self.tokens[start..start + span];
+            ids.extend_from_slice(&window[..seq]);
+            targets.extend_from_slice(&window[1..]);
+        }
+        (ids, targets)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,39 +360,5 @@ mod tests {
         let first: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
         let last: f32 = report.losses[20..].iter().sum::<f32>() / 5.0;
         assert!(last < first, "loss should fall: {first} -> {last}");
-    }
-}
-
-/// A borrowed token stream with the same batch-slicing semantics as
-/// [`SyntheticCorpus::rank_batch`].
-struct TokenStream<'a> {
-    tokens: &'a [u32],
-    seq: usize,
-}
-
-impl TokenStream<'_> {
-    fn rank_batch(
-        &self,
-        index: usize,
-        global_batch: usize,
-        seq: usize,
-        dp: usize,
-        rank: usize,
-    ) -> (Vec<u32>, Vec<u32>) {
-        debug_assert_eq!(seq, self.seq);
-        assert_eq!(global_batch % dp, 0, "batch not divisible by dp");
-        let span = seq + 1;
-        let local = global_batch / dp;
-        let mut ids = Vec::with_capacity(local * seq);
-        let mut targets = Vec::with_capacity(local * seq);
-        for b in 0..local {
-            let global_b = rank * local + b;
-            let start = (index * global_batch * span + global_b * span)
-                % (self.tokens.len() - span);
-            let window = &self.tokens[start..start + span];
-            ids.extend_from_slice(&window[..seq]);
-            targets.extend_from_slice(&window[1..]);
-        }
-        (ids, targets)
     }
 }

@@ -3,7 +3,44 @@
 //! silently relies on for every step.
 
 use proptest::prelude::*;
-use zero_core::{ContiguousArena, FlatStore, GradBucket, Partitioner};
+use zero_core::{reshard, ContiguousArena, FlatStore, GradBucket, Partitioner, RankSnapshot};
+
+/// Deterministic f32 fill so round-trips can be compared bitwise.
+fn fill(seed: u64, len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut z = seed ^ salt ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((z >> 40) as f32 / 16_777_216.0) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// An N-way sharded Adam checkpoint over `psi` elements, partitioned the
+/// same way the engine partitions its flat space.
+fn sharded(psi: usize, world: usize, seed: u64, scaler: Option<(f32, u32, u64)>) -> Vec<RankSnapshot> {
+    let part = Partitioner::new(psi, world);
+    let master = fill(seed, psi, 1);
+    let opt_m = fill(seed, psi, 2);
+    let opt_v = fill(seed, psi, 3);
+    (0..world)
+        .map(|r| {
+            let range = part.shard_range(r);
+            RankSnapshot {
+                rank: r as u32,
+                world: world as u32,
+                step: 13,
+                shard_start: range.start as u64,
+                shard_end: range.end as u64,
+                master: master[range.clone()].to_vec(),
+                opt_m: opt_m[range.clone()].to_vec(),
+                opt_v: opt_v[range.clone()].to_vec(),
+                opt_t: 13,
+                scaler,
+            }
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -51,9 +88,9 @@ proptest! {
         let range = lo..hi;
         let counts = p.intersect_counts(&range);
         prop_assert_eq!(counts.iter().sum::<usize>(), range.len());
-        for i in 0..n {
+        for (i, cnt) in counts.iter().enumerate() {
             let local = p.local_slice_of(i, &range);
-            prop_assert_eq!(local.len(), counts[i], "owner {}", i);
+            prop_assert_eq!(local.len(), *cnt, "owner {}", i);
             prop_assert!(local.end <= p.shard_range(i).len());
         }
     }
@@ -112,6 +149,33 @@ proptest! {
     }
 
     #[test]
+    fn reshard_round_trip_is_bitwise_lossless(
+        psi in 1usize..400, n in 1usize..9, m in 1usize..9, seed in 0u64..1_000_000,
+    ) {
+        // Elastic recovery reshards N→M; growing back M→N must return the
+        // exact original shards — master params and both Adam moments
+        // bitwise, plus every piece of metadata the optimizer resumes from.
+        let scaler = if seed % 2 == 0 { Some((64.0, 3, seed)) } else { None };
+        let orig = sharded(psi, n, seed, scaler);
+        let mid = reshard(&orig, m);
+        prop_assert_eq!(mid.len(), m);
+        let back = reshard(&mid, n);
+        prop_assert_eq!(back.len(), n);
+        for (a, b) in orig.iter().zip(&back) {
+            prop_assert_eq!(a.rank, b.rank);
+            prop_assert_eq!(a.world, b.world);
+            prop_assert_eq!((a.step, a.opt_t), (b.step, b.opt_t));
+            prop_assert_eq!((a.shard_start, a.shard_end), (b.shard_start, b.shard_end));
+            prop_assert_eq!(a.scaler.map(|(s, g, k)| (s.to_bits(), g, k)),
+                            b.scaler.map(|(s, g, k)| (s.to_bits(), g, k)));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&a.master), bits(&b.master), "master shard {}", a.rank);
+            prop_assert_eq!(bits(&a.opt_m), bits(&b.opt_m), "opt_m shard {}", a.rank);
+            prop_assert_eq!(bits(&a.opt_v), bits(&b.opt_v), "opt_v shard {}", a.rank);
+        }
+    }
+
+    #[test]
     fn arena_slots_never_alias(
         lens in prop::collection::vec(1usize..40, 1..12),
     ) {
@@ -119,7 +183,7 @@ proptest! {
         let mut arena = ContiguousArena::new(total);
         let mut slots = Vec::new();
         for (i, len) in lens.iter().enumerate() {
-            let data: Vec<f32> = std::iter::repeat(i as f32).take(*len).collect();
+            let data: Vec<f32> = std::iter::repeat_n(i as f32, *len).collect();
             slots.push((arena.store(&data), i));
         }
         for (slot, i) in &slots {

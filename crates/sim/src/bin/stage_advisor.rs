@@ -62,7 +62,7 @@ fn main() {
             );
             // Recommend the highest-throughput fitting configuration,
             // preferring the cheapest ZeRO-R additions at equal speed.
-            if fits && recommendation.map_or(true, |(_, _, best)| tf > best + 1e-9) {
+            if fits && recommendation.is_none_or(|(_, _, best)| tf > best + 1e-9) {
                 recommendation = Some((stage, label, tf));
             }
         }

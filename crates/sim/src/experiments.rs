@@ -420,7 +420,7 @@ pub fn fig7() -> Vec<Fig7Row> {
 /// Prints Figure 7.
 pub fn print_fig7(rows: &[Fig7Row]) {
     println!("Figure 7: peak per-GPU memory (GB) per configuration");
-    println!("{:>7} | {}", "model", "C1      C2      C3      C4      C5");
+    println!("{:>7} | C1      C2      C3      C4      C5", "model");
     for model_b in [40.0, 100.0] {
         let cells: Vec<f64> = rows
             .iter()

@@ -22,6 +22,7 @@ pub mod experiments;
 pub mod memory;
 pub mod perf;
 pub mod pipeline;
+pub mod recovery;
 
 pub use cluster::ClusterSpec;
 pub use des::{overlap_fraction, simulate_overlapped, simulate_serial, stage3_forward_prefetch, stage3_forward_serial, DesConfig, DesResult, Stage3Config};
@@ -29,3 +30,4 @@ pub use fragmentation::{simulate_training_fragmentation, FirstFitHeap, FragRepor
 pub use memory::{MemoryModel, SimWorkload, ZeroRFlags, K_ADAM};
 pub use perf::{PerfModel, RunConfig, StepBreakdown};
 pub use pipeline::{compare_zero_vs_pp, PipelineConfig, PipelineScheme, PpComparison};
+pub use recovery::{reshard_bytes, RecoveryModel};

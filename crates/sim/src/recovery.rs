@@ -1,0 +1,136 @@
+//! Analytical model of checkpoint cadence vs. failure cost.
+//!
+//! The supervisor (zero-core) recovers from a rank failure by rolling back
+//! to the last consistent sharded checkpoint and resharding it onto the
+//! survivors. This module prices that protocol at cluster scale: given a
+//! per-step time, a checkpoint cost, and a mean time between failures
+//! (MTBF), what cadence minimizes expected wall-clock overhead, and what
+//! does one failure cost?
+//!
+//! The cadence question is the classic Young/Daly first-order optimum
+//! `τ* = sqrt(2·C·M)` — checkpoint interval τ, checkpoint cost C, MTBF M —
+//! which balances the cost of writing checkpoints (C/τ of runtime) against
+//! the expected rework after a failure (τ/2 on average, amortized τ/(2M)).
+
+/// Inputs describing a training deployment's failure economics.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryModel {
+    /// Wall-clock seconds per optimizer step.
+    pub step_seconds: f64,
+    /// Seconds to write one full sharded checkpoint (all ranks, overlapped;
+    /// ZeRO shards mean each rank writes only 1/N_d of the state).
+    pub checkpoint_seconds: f64,
+    /// Mean time between failures for the whole job, in seconds.
+    pub mtbf_seconds: f64,
+    /// Seconds to detect a failure, load + reshard the checkpoint, and
+    /// relaunch (the supervisor's `RecoveryReport::wall_time`).
+    pub restart_seconds: f64,
+}
+
+impl RecoveryModel {
+    /// Young/Daly optimal checkpoint interval in seconds:
+    /// `sqrt(2 · checkpoint_seconds · mtbf_seconds)`.
+    pub fn optimal_interval_seconds(&self) -> f64 {
+        (2.0 * self.checkpoint_seconds * self.mtbf_seconds).sqrt()
+    }
+
+    /// The optimal interval expressed in optimizer steps (at least 1).
+    pub fn optimal_interval_steps(&self) -> u64 {
+        (self.optimal_interval_seconds() / self.step_seconds).round().max(1.0) as u64
+    }
+
+    /// Expected fractional overhead (extra runtime / useful runtime) at a
+    /// checkpoint interval of `tau` seconds: checkpoint cost `C/τ`, plus
+    /// expected rework `(τ/2 + R)/M` per failure window.
+    pub fn expected_overhead(&self, tau_seconds: f64) -> f64 {
+        assert!(tau_seconds > 0.0, "checkpoint interval must be positive");
+        self.checkpoint_seconds / tau_seconds
+            + (tau_seconds / 2.0 + self.restart_seconds) / self.mtbf_seconds
+    }
+
+    /// Expected overhead at the optimal interval.
+    pub fn optimal_overhead(&self) -> f64 {
+        self.expected_overhead(self.optimal_interval_seconds())
+    }
+
+    /// Expected steps of work lost to one failure at a cadence of
+    /// `snapshot_every` steps: on average the failure lands mid-window, so
+    /// half a window is discarded.
+    pub fn expected_steps_lost(&self, snapshot_every: u64) -> f64 {
+        snapshot_every as f64 / 2.0
+    }
+
+    /// Wall-clock cost of one failure event at cadence `snapshot_every`:
+    /// rework of the discarded half-window plus the restart itself.
+    pub fn failure_cost_seconds(&self, snapshot_every: u64) -> f64 {
+        self.expected_steps_lost(snapshot_every) * self.step_seconds + self.restart_seconds
+    }
+}
+
+/// Bytes a recovery re-moves when resharding a ZeRO checkpoint of `psi`
+/// parameters with optimizer multiplier `k` (12 for fp16 Adam, §3.1) from
+/// any world size onto `new_world` survivors: the whole sharded state is
+/// read once and re-partitioned, independent of the old world size.
+pub fn reshard_bytes(psi: f64, k: f64, _new_world: usize) -> f64 {
+    psi * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RecoveryModel {
+        RecoveryModel {
+            step_seconds: 10.0,
+            checkpoint_seconds: 30.0,
+            mtbf_seconds: 6.0 * 3600.0,
+            restart_seconds: 120.0,
+        }
+    }
+
+    #[test]
+    fn young_daly_interval_matches_closed_form() {
+        let m = model();
+        let tau = m.optimal_interval_seconds();
+        assert!((tau - (2.0 * 30.0 * 6.0 * 3600.0_f64).sqrt()).abs() < 1e-9);
+        // ~1138 s at these numbers — roughly 114 steps.
+        assert_eq!(m.optimal_interval_steps(), 114);
+    }
+
+    #[test]
+    fn optimum_beats_neighbors() {
+        let m = model();
+        let tau = m.optimal_interval_seconds();
+        let best = m.expected_overhead(tau);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            assert!(
+                best <= m.expected_overhead(tau * factor) + 1e-12,
+                "overhead at τ* must not exceed τ*·{factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_frequent_failures_mean_shorter_intervals() {
+        let mut frequent = model();
+        frequent.mtbf_seconds /= 16.0;
+        assert!(frequent.optimal_interval_seconds() < model().optimal_interval_seconds());
+        // And higher overall overhead, checkpointing optimally or not.
+        assert!(frequent.optimal_overhead() > model().optimal_overhead());
+    }
+
+    #[test]
+    fn failure_cost_scales_with_cadence() {
+        let m = model();
+        assert!(m.failure_cost_seconds(20) > m.failure_cost_seconds(5));
+        // Half-window rework: 10 steps at cadence 20.
+        assert!((m.expected_steps_lost(20) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reshard_bytes_independent_of_world() {
+        let psi = 7.5e9;
+        assert_eq!(reshard_bytes(psi, 12.0, 3), reshard_bytes(psi, 12.0, 63));
+        assert_eq!(reshard_bytes(psi, 12.0, 4), psi * 12.0);
+    }
+}

@@ -2,12 +2,20 @@
 //! its 1/N_d shard), reshard the checkpoint, and resume on 4 "GPUs" —
 //! ZeRO's sharded state makes the cluster size a restart-time choice.
 //!
+//! Then the involuntary version: a supervised run where a rank is *killed*
+//! mid-step by an injected fault, and the supervisor rolls the survivors
+//! back to the last consistent snapshot, reshards it onto the smaller
+//! world, and finishes the job — no human in the loop.
+//!
 //! ```text
 //! cargo run --release --example elastic_resume
 //! ```
 
-use zero::comm::{launch, Grid};
-use zero::core::{reshard, RankEngine, RankSnapshot, ZeroConfig, ZeroStage};
+use zero::comm::{launch, CollectiveKind, FaultPlan, Grid};
+use zero::core::{
+    reshard, run_supervised, RankEngine, RankSnapshot, SupervisorConfig, TrainSetup, ZeroConfig,
+    ZeroStage,
+};
 use zero::model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
 
 fn main() {
@@ -91,4 +99,44 @@ fn main() {
     std::fs::remove_dir_all(&dir).ok();
     println!("\nEach rank only ever wrote/read its own 1/N_d state shard — the");
     println!("N_d files together hold exactly one copy of the training state.");
+
+    // ---- Phase 3: the involuntary shrink — survive a mid-step crash ----
+    println!("\nphase 3: supervised run, killing rank 2 of 4 mid-step…");
+    let sup_dir = std::env::temp_dir().join("zero-elastic-demo-supervised");
+    std::fs::remove_dir_all(&sup_dir).ok();
+    let setup = TrainSetup {
+        model: cfg,
+        zero: ZeroConfig { stage: ZeroStage::Two, fp16: false, ..ZeroConfig::default() },
+        grid: Grid::new(4, 1),
+        global_batch: 12,
+        seed: 7,
+    };
+    let mut sup = SupervisorConfig::new(setup, 16, sup_dir.clone());
+    sup.snapshot_every = 4;
+    // Crash rank 2 in its 8th overflow-check all-reduce: mid-step, after
+    // gradients are reduced, before the optimizer update lands.
+    sup.faults = FaultPlan::new().with_crash_at_kind(2, CollectiveKind::AllReduce, 7);
+    let report = run_supervised(&sup);
+
+    for rec in &report.recoveries {
+        println!(
+            "  rank(s) {:?} died; rolled {} → {} ranks back to step {} \
+             ({} steps of work lost, {} checkpoint bytes resharded)",
+            rec.failed_ranks,
+            rec.old_world,
+            rec.new_world,
+            rec.resumed_from_step,
+            rec.steps_lost,
+            rec.bytes_moved,
+        );
+    }
+    println!(
+        "  finished all {} steps on {} survivors; final eval loss {:.3}",
+        report.losses.len(),
+        report.final_world,
+        report.final_eval,
+    );
+    assert_eq!(report.final_world, 3, "exactly one rank should have died");
+    assert_eq!(report.losses.len(), 16, "the job must still run to completion");
+    std::fs::remove_dir_all(&sup_dir).ok();
 }

@@ -30,8 +30,8 @@ fn main() {
     println!("Planning: {size_b}B parameters on {gpus} GPUs (MP {mp} × DP {nd}), batch {batch}/GPU");
     println!("Device: 32 GB V100; activations with checkpointing + P_a + CPU offload.\n");
     println!(
-        "{:>18} | {:>10} {:>11} {:>9} | {}",
-        "stage", "states GB", "+resid GB", "per GPU", "fits?"
+        "{:>18} | {:>10} {:>11} {:>9} | fits?",
+        "stage", "states GB", "+resid GB", "per GPU"
     );
     for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
         let states = mem.model_state_bytes(psi / mp as f64, stage, nd as f64);

@@ -4,7 +4,7 @@
 
 use zero::comm::{launch, Grid};
 use zero::core::{
-    run_training, MemCategory, OptimizerKind, RankEngine, TrainSetup, ZeroConfig, ZeroStage,
+    run_training, OptimizerKind, RankEngine, TrainSetup, ZeroConfig, ZeroStage,
 };
 use zero::model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
 use zero::optim::{AdamConfig, SgdConfig};

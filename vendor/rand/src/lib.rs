@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the few entry points it actually uses: `StdRng::seed_from_u64`, the
+//! `Rng` sampling methods, and `distributions::Uniform`. The generator is
+//! xoshiro256** seeded through splitmix64 — deterministic across platforms,
+//! which is all the reproduction's seeded-equivalence tests require (no
+//! test depends on matching upstream `rand`'s exact stream).
+
+/// Seedable generators (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (API-compatible subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its natural range (`[0,1)` for floats).
+    fn gen<T: SampleUniformValue>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform sample from `[low, high)`.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait SampleUniformValue {
+    /// Maps 64 uniform bits onto the type's `gen` distribution.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl SampleUniformValue for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 mantissa bits -> [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniformValue for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniformValue for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl SampleUniformValue for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl SampleUniformValue for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Types `Rng::gen_range` can produce.
+pub trait SampleRange: Copy {
+    /// Maps 64 uniform bits into `[low, high)`.
+    fn sample_range(bits: u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(bits: u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high - low) as u64;
+                low + (bits % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange for f32 {
+    fn sample_range(bits: u64, low: Self, high: Self) -> Self {
+        low + f32::from_bits_uniform(bits) * (high - low)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample_range(bits: u64, low: Self, high: Self) -> Self {
+        low + f64::from_bits_uniform(bits) * (high - low)
+    }
+}
+
+trait FromBitsUniform {
+    fn from_bits_uniform(bits: u64) -> Self;
+}
+impl FromBitsUniform for f32 {
+    fn from_bits_uniform(bits: u64) -> f32 {
+        <f32 as SampleUniformValue>::from_bits(bits)
+    }
+}
+impl FromBitsUniform for f64 {
+    fn from_bits_uniform(bits: u64) -> f64 {
+        <f64 as SampleUniformValue>::from_bits(bits)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** generator (the stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion, as upstream rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution sampleable with any [`Rng`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed or half-open interval.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl Uniform<f32> {
+        /// Uniform over `[low, high]` (the closed-interval constructor).
+        pub fn new_inclusive(low: f32, high: f32) -> Uniform<f32> {
+            assert!(low <= high, "Uniform::new_inclusive: low > high");
+            Uniform { low, high }
+        }
+
+        /// Uniform over `[low, high)`.
+        pub fn new(low: f32, high: f32) -> Uniform<f32> {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+            let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            self.low + u * (self.high - self.low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this environment, so the workspace
+//! vendors the three parallel-iterator entry points the tensor/model
+//! kernels use — `par_chunks_mut`, `par_iter`, `into_par_iter` — mapped to
+//! their *sequential* std equivalents. The kernels' correctness does not
+//! depend on parallel execution (each body owns a disjoint chunk), only
+//! their throughput does; sequential execution keeps results bit-identical
+//! while trading speed, which is acceptable for the test-scale models.
+
+pub mod prelude {
+    /// `par_chunks_mut` on mutable slices (sequential fallback).
+    pub trait ParallelSliceMut<T> {
+        /// Disjoint mutable chunks of `size`, as a std iterator.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `par_iter` on shared slices (sequential fallback).
+    pub trait ParallelSlice<T> {
+        /// Shared iteration, as a std iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter` on owned iterables (sequential fallback).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Owned iteration, as a std iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+/// `rayon::join` (sequential fallback: runs `a` then `b`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_collects_in_order() {
+        let out: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, [0, 1, 4, 9, 16]);
+    }
+}

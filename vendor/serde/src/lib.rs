@@ -1,0 +1,153 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this environment, so the workspace vendors
+//! the surface it uses: `derive(Serialize)` on plain structs/unit enums and
+//! `serde_json::to_string_pretty`. Instead of upstream's serializer
+//! abstraction, [`Serialize`] writes JSON directly into a string buffer —
+//! sufficient because JSON is the only format this repo emits.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as a JSON value.
+///
+/// Upstream serde is format-agnostic; this stand-in hard-wires JSON, which is
+/// the only serialization the workspace performs (simulator result files).
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn json_into(&self, out: &mut String);
+}
+
+/// Marker for types deriving `Deserialize`.
+///
+/// The workspace derives `Deserialize` on a few config structs but never
+/// actually deserializes, so the stand-in keeps only the name.
+pub trait Deserialize {}
+
+macro_rules! serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's float Display is shortest-round-trip, but bare
+                    // integral floats print without a fractional part; keep
+                    // them recognizably floating-point in the JSON.
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Infinity/NaN; match serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn json_into(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        self.as_str().json_into(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.json_into(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(to_json(42usize), "42");
+        assert_eq!(to_json(-3i64), "-3");
+        assert_eq!(to_json(true), "true");
+        assert_eq!(to_json(1.5f64), "1.5");
+        assert_eq!(to_json(2.0f32), "2.0");
+        assert_eq!(to_json(f64::INFINITY), "null");
+        assert_eq!(to_json("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(Option::<u32>::None), "null");
+        assert_eq!(to_json(Some(7u32)), "7");
+        assert_eq!(to_json("str"), "\"str\"");
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Provides `to_string` / `to_string_pretty` over the vendored
+//! direct-to-JSON `serde::Serialize` trait. Serialization of the types this
+//! workspace derives cannot fail, so [`Error`] exists only to satisfy the
+//! upstream-compatible `Result` signatures (and the `?` conversion into
+//! `std::io::Error` that the simulator's result writer relies on).
+
+use serde::Serialize;
+
+/// JSON serialization error (never produced by the stub, kept for API parity).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json_into(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON (upstream's pretty format).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. Operates on the stub's own output, which never
+/// contains insignificant whitespace outside string literals.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if matches!(chars.peek(), Some(&n) if n == matching_close(c)) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn matching_close(open: char) -> char {
+    if open == '{' {
+        '}'
+    } else {
+        ']'
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_nested_containers() {
+        let compact = r#"{"a":[1,2],"b":{"c":"x,y: {z}","d":[]}}"#;
+        let pretty = super::prettify(compact);
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": \"x,y: {z}\",\n    \"d\": []\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn to_string_handles_primitives() {
+        assert_eq!(super::to_string(&7u32).unwrap(), "7");
+        assert_eq!(super::to_string("hi").unwrap(), "\"hi\"");
+    }
+}
