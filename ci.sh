@@ -7,11 +7,17 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> zero-verify (static schedule check + tiling proof + lint)"
+cargo run -q --release -p zero-verify
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "==> cargo test -- --ignored (fault-matrix stress)"
 cargo test -q -- --ignored

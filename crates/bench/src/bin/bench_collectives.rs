@@ -1,0 +1,112 @@
+//! Collective-traffic baseline: `results/BENCH_collectives.json`.
+//!
+//! For each ZeRO stage at the standard bench model and DP degree, runs a
+//! short training loop and records per-rank communication volume
+//! (measured by the fabric's traffic counters *and* predicted by the
+//! declarative `CommPlan` — the two must agree exactly) together with
+//! wall-clock throughput in bytes/sec. The JSON is a committed baseline:
+//! a schedule change that moves more bytes than the plan predicts shows
+//! up as a diff here before it shows up as a regression on hardware.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zero_bench::bench_setup;
+use zero_comm::ALL_KINDS;
+use zero_core::{run_training, CommPlan, StepShape, ZeroStage};
+use zero_model::Layout;
+
+#[derive(Serialize)]
+struct StageRow {
+    stage: String,
+    psi: usize,
+    nd: usize,
+    steps: usize,
+    /// Measured bytes sent per rank per step (max over ranks).
+    bytes_per_rank_per_step: f64,
+    /// The CommPlan's analytic prediction for the same quantity.
+    plan_bytes_per_rank_per_step: f64,
+    /// Measured aggregate send throughput (all ranks) over the run.
+    bytes_per_sec: f64,
+    /// Wall-clock seconds per training step.
+    secs_per_step: f64,
+    /// Per-kind bytes for rank 0 per step, in discriminant order
+    /// (all-reduce, reduce-scatter, all-gather, broadcast, reduce, p2p).
+    rank0_bytes_by_kind: Vec<f64>,
+}
+
+fn main() {
+    let nd = 4;
+    let steps = 5;
+    let mut rows = Vec::new();
+
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        let setup = bench_setup(stage, nd);
+        let layout = Layout::build(&setup.model);
+        let psi = layout.total_params();
+        let local_batch = setup.global_batch / nd;
+        let act_elems = local_batch * setup.model.seq * setup.model.hidden;
+
+        let t0 = Instant::now();
+        let report = run_training(&setup, steps, 0);
+        let elapsed = t0.elapsed().as_secs_f64();
+
+        // Analytic per-rank volume from the plan, shaped by the observed
+        // skip flags (max over ranks, matching the measured statistic).
+        let plan_bytes = |rank: usize| -> u64 {
+            report
+                .skipped
+                .iter()
+                .map(|&skipped| {
+                    CommPlan::train_step(
+                        &layout,
+                        &setup.zero,
+                        setup.grid,
+                        &StepShape { micro_batches: 1, act_elems, skipped },
+                    )
+                    .total_rank_bytes(rank)
+                })
+                .sum()
+        };
+
+        let measured_max = report
+            .ranks
+            .iter()
+            .map(|r| r.traffic.total_bytes())
+            .max()
+            .unwrap_or(0);
+        let plan_max = (0..nd).map(plan_bytes).max().unwrap_or(0);
+        let total: u64 = report.ranks.iter().map(|r| r.traffic.total_bytes()).sum();
+        let rank0 = &report.ranks[0].traffic;
+
+        rows.push(StageRow {
+            stage: stage.name().to_string(),
+            psi,
+            nd,
+            steps,
+            bytes_per_rank_per_step: measured_max as f64 / steps as f64,
+            plan_bytes_per_rank_per_step: plan_max as f64 / steps as f64,
+            bytes_per_sec: total as f64 / elapsed,
+            secs_per_step: elapsed / steps as f64,
+            rank0_bytes_by_kind: ALL_KINDS
+                .iter()
+                .map(|k| rank0.bytes(*k) as f64 / steps as f64)
+                .collect(),
+        });
+    }
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a grandparent");
+    let out = root.join("results/BENCH_collectives.json");
+    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+    std::fs::write(&out, json + "\n").expect("write BENCH_collectives.json");
+    println!("wrote {}", out.display());
+    for row in &rows {
+        println!(
+            "{:<20} bytes/rank/step {:>12.0} (plan {:>12.0})  {:>10.2e} B/s",
+            row.stage, row.bytes_per_rank_per_step, row.plan_bytes_per_rank_per_step, row.bytes_per_sec
+        );
+    }
+}

@@ -72,6 +72,17 @@ fn ranges_from_counts(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Resolves `rank`'s position within `group`, surfacing a missing
+/// membership as [`CommError::NotInGroup`] instead of a panic, so a
+/// mis-grouped collective call leaves the rank recoverable (peers time out
+/// cleanly rather than observing a poisoned thread).
+pub(crate) fn member_index(group: &Group, rank: usize) -> Result<usize, CommError> {
+    group.local_index(rank).ok_or_else(|| CommError::NotInGroup {
+        rank,
+        group: group.members().to_vec(),
+    })
+}
+
 #[inline]
 fn apply(op: ReduceOp, dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
@@ -167,8 +178,9 @@ impl Communicator {
 
     /// Ring all-reduce within `group`, in place.
     ///
-    /// # Panics
-    /// Panics if this rank is not a member of `group`.
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank is not a member of
+    /// `group`.
     pub fn all_reduce_in(
         &mut self,
         group: &Group,
@@ -184,7 +196,7 @@ impl Communicator {
             return Ok(());
         }
         self.begin_op(CollectiveKind::AllReduce)?;
-        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let idx = member_index(group, self.rank())?;
         let total = buf.len();
         let next = group.members()[(idx + 1) % n];
         let prev = group.members()[(idx + n - 1) % n];
@@ -218,7 +230,8 @@ impl Communicator {
     /// chunk `i` of `input` into `out`, with balanced chunk sizes.
     ///
     /// # Panics
-    /// Panics if this rank is not in `group` or `out` has the wrong length.
+    /// Panics if `out` has the wrong length. A non-member caller gets
+    /// [`CommError::NotInGroup`].
     pub fn reduce_scatter_in(
         &mut self,
         group: &Group,
@@ -239,7 +252,8 @@ impl Communicator {
     /// between a layer's parameter range and a rank's shard.
     ///
     /// # Panics
-    /// Panics on membership or length inconsistencies.
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
     pub fn reduce_scatter_var_in(
         &mut self,
         group: &Group,
@@ -252,7 +266,7 @@ impl Communicator {
         let n = group.len();
         assert_eq!(counts.len(), n, "reduce_scatter: counts length");
         assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
-        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let idx = member_index(group, self.rank())?;
         let ranges = ranges_from_counts(counts);
         assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
         if n == 1 {
@@ -285,7 +299,8 @@ impl Communicator {
     /// with balanced chunk sizes.
     ///
     /// # Panics
-    /// Panics if this rank is not in `group` or the lengths are inconsistent.
+    /// Panics if the lengths are inconsistent. A non-member caller gets
+    /// [`CommError::NotInGroup`].
     pub fn all_gather_in(
         &mut self,
         group: &Group,
@@ -303,7 +318,8 @@ impl Communicator {
     /// Zero counts are allowed.
     ///
     /// # Panics
-    /// Panics on membership or length inconsistencies.
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
     pub fn all_gather_var_in(
         &mut self,
         group: &Group,
@@ -315,7 +331,7 @@ impl Communicator {
         let n = group.len();
         assert_eq!(counts.len(), n, "all_gather: counts length");
         assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather: counts sum");
-        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let idx = member_index(group, self.rank())?;
         let ranges = ranges_from_counts(counts);
         assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
         out[ranges[idx].clone()].copy_from_slice(shard);
@@ -340,8 +356,9 @@ impl Communicator {
 
     /// Pipelined broadcast within `group` from global rank `root`.
     ///
-    /// # Panics
-    /// Panics if this rank or `root` is not in `group`.
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank or `root` is not in
+    /// `group`.
     pub fn broadcast_in(
         &mut self,
         group: &Group,
@@ -354,8 +371,8 @@ impl Communicator {
         if n == 1 {
             return Ok(());
         }
-        let idx = group.local_index(self.rank()).expect("rank not in group");
-        let root_idx = group.local_index(root).expect("root not in group");
+        let idx = member_index(group, self.rank())?;
+        let root_idx = member_index(group, root)?;
         // Position along the chain starting at the root.
         let pos = (idx + n - root_idx) % n;
         let bytes = prec.bytes() * buf.len() as u64;
@@ -375,8 +392,9 @@ impl Communicator {
     /// the root's `buf` holds the reduced result; other members' buffers
     /// are unchanged.
     ///
-    /// # Panics
-    /// Panics if this rank or `root` is not in `group`.
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank or `root` is not in
+    /// `group`.
     pub fn reduce_in(
         &mut self,
         group: &Group,
@@ -391,8 +409,8 @@ impl Communicator {
             finalize(op, buf, 1);
             return Ok(());
         }
-        let idx = group.local_index(self.rank()).expect("rank not in group");
-        let root_idx = group.local_index(root).expect("root not in group");
+        let idx = member_index(group, self.rank())?;
+        let root_idx = member_index(group, root)?;
         // Chain: the member farthest *after* the root sends first; partial
         // sums flow backwards around the ring into the root.
         let pos = (idx + n - root_idx) % n; // root has pos 0
@@ -684,7 +702,8 @@ impl Communicator {
     /// of the NCCL-substitute surface.
     ///
     /// # Panics
-    /// Panics on membership or length inconsistencies.
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
     pub fn all_to_all_in(
         &mut self,
         group: &Group,
@@ -695,7 +714,7 @@ impl Communicator {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
         assert_eq!(input.len(), out.len(), "all_to_all: length mismatch");
-        let idx = group.local_index(self.rank()).expect("rank not in group");
+        let idx = member_index(group, self.rank())?;
         let total = input.len();
         // Keep own chunk.
         let own = chunk_range(total, n, idx);
@@ -724,7 +743,8 @@ impl Communicator {
     /// `out` (chunked in member order); non-roots may pass an empty `out`.
     ///
     /// # Panics
-    /// Panics on membership or length inconsistencies.
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
     pub fn gather_in(
         &mut self,
         group: &Group,
@@ -735,8 +755,8 @@ impl Communicator {
     ) -> Result<(), CommError> {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
-        let idx = group.local_index(self.rank()).expect("rank not in group");
-        let root_idx = group.local_index(root).expect("root not in group");
+        let idx = member_index(group, self.rank())?;
+        let root_idx = member_index(group, root)?;
         if idx == root_idx {
             let total = out.len();
             let own = chunk_range(total, n, idx);
@@ -762,7 +782,8 @@ impl Communicator {
     /// order; member `i` receives chunk `i` into `shard`.
     ///
     /// # Panics
-    /// Panics on membership or length inconsistencies.
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
     pub fn scatter_in(
         &mut self,
         group: &Group,
@@ -773,8 +794,8 @@ impl Communicator {
     ) -> Result<(), CommError> {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
-        let idx = group.local_index(self.rank()).expect("rank not in group");
-        let root_idx = group.local_index(root).expect("root not in group");
+        let idx = member_index(group, self.rank())?;
+        let root_idx = member_index(group, root)?;
         if idx == root_idx {
             let total = input.len();
             for j in 0..n {

@@ -80,6 +80,17 @@ pub enum CommError {
         /// Index of the op at which it hung.
         op: u64,
     },
+    /// A collective was invoked with a group that does not contain the
+    /// required rank (the caller, or the designated root). This is a
+    /// schedule bug on the *calling* rank, surfaced as a typed error so a
+    /// supervisor can fence the rank instead of unwinding its thread while
+    /// peers block inside the ring.
+    NotInGroup {
+        /// The rank missing from the group (caller or root).
+        rank: usize,
+        /// The offending group's members.
+        group: Vec<usize>,
+    },
 }
 
 impl CommError {
@@ -93,6 +104,7 @@ impl CommError {
             | CommError::OutOfOrder { rank, .. }
             | CommError::InjectedCrash { rank, .. }
             | CommError::InjectedHang { rank, .. } => rank,
+            CommError::NotInGroup { rank, .. } => rank,
         }
     }
 
@@ -133,6 +145,9 @@ impl std::fmt::Display for CommError {
             }
             CommError::InjectedHang { rank, op } => {
                 write!(f, "rank {rank}: fault plan hung this rank at comm op {op}")
+            }
+            CommError::NotInGroup { rank, group } => {
+                write!(f, "rank {rank} is not a member of collective group {group:?}")
             }
         }
     }

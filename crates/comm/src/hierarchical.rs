@@ -75,7 +75,7 @@ impl Communicator {
         let rank = self.rank();
         let node_group = topo.node_group(rank);
         let cross_group = topo.cross_group(rank, world);
-        let local_idx = node_group.local_index(rank).expect("rank in its node");
+        let local_idx = crate::collectives::member_index(&node_group, rank)?;
         let total = buf.len();
         let my_chunk = chunk_range(total, g, local_idx);
 

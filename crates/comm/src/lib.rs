@@ -37,7 +37,7 @@ pub use error::CommError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use group::{Grid, Group};
 pub use hierarchical::NodeTopology;
-pub use stats::{CollectiveKind, TrafficSnapshot, TrafficStats};
+pub use stats::{CollectiveKind, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT};
 pub use world::{
     launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,
     Communicator, RankFailure, World, WorldConfig,

@@ -120,6 +120,17 @@ impl TrafficSnapshot {
         self.bytes.iter().sum()
     }
 
+    /// Per-kind `(kind, bytes, messages)` rows in discriminant order — the
+    /// shape trace-conformance checks and benchmark emitters consume when
+    /// comparing a whole snapshot against an analytic plan.
+    pub fn per_kind(&self) -> [(CollectiveKind, u64, u64); KIND_COUNT] {
+        let mut out = [(CollectiveKind::AllReduce, 0, 0); KIND_COUNT];
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            out[i] = (*k, self.bytes[i], self.messages[i]);
+        }
+        out
+    }
+
     /// Difference `self − earlier`, counter-wise (for per-step deltas).
     pub fn delta_since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
         let mut bytes = [0u64; KIND_COUNT];

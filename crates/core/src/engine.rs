@@ -22,7 +22,7 @@
 //! constant-size fused buffers CB for every flat-space collective (§6.2),
 //! and a contiguous checkpoint arena MD (§6.3).
 
-use zero_comm::{CommError, Communicator, Grid, Group, Precision, ReduceOp};
+use zero_comm::{CollectiveKind, CommError, Communicator, Grid, Group, Precision, ReduceOp};
 use zero_model::{BlockSaved, Gpt};
 use zero_optim::{
     apply_clip, clip_coefficient, local_sq_norm, Adam, DynamicLossScaler, Sgd,
@@ -36,6 +36,7 @@ use crate::bucket::GradBucket;
 use crate::config::{ZeroConfig, ZeroStage};
 use crate::memory::{MemCategory, MemoryTracker};
 use crate::partition::Partitioner;
+use crate::plan::{CommPlan, PlanCursor};
 use crate::store::FlatStore;
 
 /// Result of one training step.
@@ -124,6 +125,11 @@ pub struct RankEngine {
     grad_shard: Option<FlatStore>,
 
     bucket: GradBucket,
+    /// The declarative schedule the runtime collectives are derived from:
+    /// every engine entry point installs its [`CommPlan`] here, and every
+    /// collective call site pops (and is parameterized by) the next
+    /// planned op — see [`crate::plan`].
+    plan: PlanCursor,
     scaler: Option<DynamicLossScaler>,
     arena: Option<ContiguousArena>,
     mem: MemoryTracker,
@@ -217,6 +223,7 @@ impl RankEngine {
 
         RankEngine {
             bucket: GradBucket::new(zcfg.bucket_elems),
+            plan: PlanCursor::idle(),
             scaler: zcfg.fp16.then(|| DynamicLossScaler::new(zcfg.initial_loss_scale)),
             arena: None,
             gpt,
@@ -324,13 +331,14 @@ impl RankEngine {
         let len = unit_range.len();
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
         if self.zcfg.stage.partitions_params() {
-            let counts = self.part.intersect_counts(&unit_range);
+            let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
+            assert_eq!(op.total_elems(), len, "planned fetch-unit size");
             let local = self.part.local_slice_of(self.dp_idx, &unit_range);
             let piece = self.work.read_vec(local);
             let mut out = vec![0.0; len];
             let prec = self.precision();
             self.comm
-                .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec)?;
+                .all_gather_var_in(&self.dp_group, &piece, &mut out, &op.counts, prec)?;
             Ok(out)
         } else {
             Ok(self.work.read_vec(unit_range))
@@ -424,13 +432,12 @@ impl RankEngine {
             self.mem.record_cpu_transfer(c.bytes);
         }
         if c.partitioned {
-            let counts: Vec<usize> = (0..self.mp_group.len())
-                .map(|i| zero_comm::chunk_range(c.full_len, self.mp_group.len(), i).len())
-                .collect();
+            let op = self.plan.take(CollectiveKind::AllGather, &self.mp_group);
+            assert_eq!(op.total_elems(), c.full_len, "planned ckpt-gather size");
             let mut out = vec![0.0; c.full_len];
             let prec = self.precision();
             self.comm
-                .all_gather_var_in(&self.mp_group, &slice, &mut out, &counts, prec)?;
+                .all_gather_var_in(&self.mp_group, &slice, &mut out, &op.counts, prec)?;
             Ok(out)
         } else {
             Ok(slice)
@@ -478,6 +485,7 @@ impl RankEngine {
             grad_shard,
             dp_idx,
             mem,
+            plan,
             ..
         } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
@@ -487,9 +495,10 @@ impl RankEngine {
                 return;
             }
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
-            let counts = part.intersect_counts(&r);
-            let mut out = vec![0.0; counts[*dp_idx]];
-            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec)
+            let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
+            assert_eq!(op.total_elems(), fused.len(), "planned grad-bucket size");
+            let mut out = vec![0.0; op.counts[*dp_idx]];
+            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &op.counts, prec)
             {
                 Ok(()) => {
                     let local = part.local_slice_of(*dp_idx, &r);
@@ -514,7 +523,7 @@ impl RankEngine {
         if !self.zcfg.stage.partitions_grads() {
             return Ok(());
         }
-        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, .. } = self;
+        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, plan, .. } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
         let mut comm_err: Option<CommError> = None;
@@ -523,9 +532,10 @@ impl RankEngine {
                 return;
             }
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
-            let counts = part.intersect_counts(&r);
-            let mut out = vec![0.0; counts[*dp_idx]];
-            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &counts, prec)
+            let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
+            assert_eq!(op.total_elems(), fused.len(), "planned grad-flush size");
+            let mut out = vec![0.0; op.counts[*dp_idx]];
+            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &op.counts, prec)
             {
                 Ok(()) => {
                     let local = part.local_slice_of(*dp_idx, &r);
@@ -567,24 +577,39 @@ impl RankEngine {
                                 "hierarchical all-reduce requires mp = 1"
                             );
                             let topo = zero_comm::NodeTopology::new(g);
+                            let rank = self.comm.rank();
+                            let world = self.comm.world_size();
+                            // The hierarchy is three planned ops: node
+                            // reduce-scatter, cross-node all-reduce of the
+                            // owned chunk, node all-gather.
+                            let node_group = topo.node_group(rank);
+                            let cross_group = topo.cross_group(rank, world);
+                            let rs = self.plan.take(CollectiveKind::ReduceScatter, &node_group);
+                            assert_eq!(rs.total_elems(), staging.len(), "planned hier size");
+                            let _ar = self.plan.take(CollectiveKind::AllReduce, &cross_group);
+                            let _ag = self.plan.take(CollectiveKind::AllGather, &node_group);
                             self.comm
                                 .hierarchical_all_reduce(&topo, &mut staging, ReduceOp::Mean, prec)?;
                         }
-                        None => self
-                            .comm
-                            .all_reduce_in(&self.dp_group, &mut staging, ReduceOp::Mean, prec)?,
+                        None => {
+                            let op = self.plan.take(CollectiveKind::AllReduce, &self.dp_group);
+                            assert_eq!(op.total_elems(), staging.len(), "planned chunk size");
+                            self.comm
+                                .all_reduce_in(&self.dp_group, &mut staging, ReduceOp::Mean, prec)?;
+                        }
                     }
                     full.write_from(chunk.clone(), &staging);
                 }
                 ZeroStage::One => {
-                    let counts = self.part.intersect_counts(&chunk);
-                    let mut out = vec![0.0; counts[self.dp_idx]];
+                    let op = self.plan.take(CollectiveKind::ReduceScatter, &self.dp_group);
+                    assert_eq!(op.total_elems(), staging.len(), "planned chunk size");
+                    let mut out = vec![0.0; op.counts[self.dp_idx]];
                     self.comm.reduce_scatter_var_in(
                         &self.dp_group,
                         &staging,
                         &mut out,
                         ReduceOp::Mean,
-                        &counts,
+                        &op.counts,
                         prec,
                     )?;
                     if !out.is_empty() {
@@ -654,14 +679,15 @@ impl RankEngine {
                     let end = (cursor + step).min(psi);
                     let chunk = cursor..end;
                     self.mem.alloc(MemCategory::Buffers, 4 * chunk.len() as u64);
-                    let counts = self.part.intersect_counts(&chunk);
+                    let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
+                    assert_eq!(op.total_elems(), chunk.len(), "planned publish size");
                     let lo = shard.start.max(chunk.start);
                     let piece = self
                         .work
-                        .read_vec(lo..lo + counts[self.dp_idx]);
+                        .read_vec(lo..lo + op.counts[self.dp_idx]);
                     let mut out = vec![0.0; chunk.len()];
                     self.comm
-                        .all_gather_var_in(&self.dp_group, &piece, &mut out, &counts, prec)?;
+                        .all_gather_var_in(&self.dp_group, &piece, &mut out, &op.counts, prec)?;
                     self.work.write_from(chunk.clone(), &out);
                     self.mem.free(MemCategory::Buffers, 4 * chunk.len() as u64);
                     cursor = end;
@@ -697,9 +723,12 @@ impl RankEngine {
         }
         let mut buf = [sq as f32];
         if self.zcfg.stage.partitions_optimizer() {
+            let world_group = Group::world(self.comm.world_size());
+            let _op = self.plan.take(CollectiveKind::AllReduce, &world_group);
             self.comm.all_reduce(&mut buf, ReduceOp::Sum, Precision::Fp32)?;
         } else {
-            let Self { comm, mp_group, .. } = self;
+            let Self { comm, mp_group, plan, .. } = self;
+            let _op = plan.take(CollectiveKind::AllReduce, mp_group);
             comm.all_reduce_in(mp_group, &mut buf, ReduceOp::Sum, Precision::Fp32)?;
         }
         Ok((buf[0] as f64).sqrt())
@@ -787,7 +816,11 @@ impl RankEngine {
         if let (Some(scaler), Some((scale, good, skipped))) = (&mut self.scaler, snap.scaler) {
             scaler.restore(scale, good, skipped);
         }
-        self.publish_params()
+        let refresh = CommPlan::publish_refresh(self.gpt.layout(), &self.zcfg, self.grid);
+        self.plan.install(&refresh, self.comm.rank(), "publish-refresh");
+        self.publish_params()?;
+        self.plan.assert_exhausted("snapshot restore");
+        Ok(())
     }
 
     // ----- the training step -----
@@ -848,6 +881,13 @@ impl RankEngine {
     ) -> Result<StepOutcome, CommError> {
         assert!(!micros.is_empty(), "need at least one micro-batch");
         let scale = self.loss_scale();
+
+        // Declare the step's communication schedule up front; every
+        // collective below is derived from (and checked against) it.
+        let act_elems = local_batch * self.gpt.config().seq * self.gpt.config().hidden;
+        let prefix =
+            CommPlan::step_prefix(self.gpt.layout(), &self.zcfg, self.grid, micros.len(), act_elems);
+        self.plan.install(&prefix, self.comm.rank(), "step-prefix");
 
         // Zero persistent gradient storage once per optimizer step.
         if let Some(full) = &mut self.full_grads {
@@ -923,9 +963,11 @@ impl RankEngine {
                 checkpoints.push(c);
             }
             let (mut y, saved) = {
-                let Self { gpt, comm, mp_group, .. } = self;
+                let Self { gpt, comm, mp_group, plan, .. } = self;
                 gpt.block_fwd_dropout(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
                     if mp_err.is_none() {
+                        let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                        assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                         mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                     }
                 }, drop_for(l))
@@ -981,9 +1023,11 @@ impl RankEngine {
                 for l in seg_start..seg_end {
                     let p = self.fetch_unit(1 + l)?;
                     let (mut y, saved) = {
-                        let Self { gpt, comm, mp_group, .. } = self;
+                        let Self { gpt, comm, mp_group, plan, .. } = self;
                         gpt.block_fwd_dropout(l, &p, &x_in, local_batch, &mut |buf: &mut [f32]| {
                             if mp_err.is_none() {
+                                let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                                assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                                 mp_err =
                                     comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                             }
@@ -1005,7 +1049,7 @@ impl RankEngine {
                     let block_len = units[1 + l].len();
                     let mut block_grads = vec![0.0; block_len];
                     dy = {
-                        let Self { gpt, comm, mp_group, .. } = self;
+                        let Self { gpt, comm, mp_group, plan, .. } = self;
                         gpt.block_bwd_dropout(
                             l,
                             &p,
@@ -1015,6 +1059,8 @@ impl RankEngine {
                             local_batch,
                             &mut |buf: &mut [f32]| {
                                 if mp_err.is_none() {
+                                    let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                                    assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                                     mp_err = comm
                                         .all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec)
                                         .err();
@@ -1040,7 +1086,7 @@ impl RankEngine {
                 let block_len = units[1 + l].len();
                 let mut block_grads = vec![0.0; block_len];
                 dy = {
-                    let Self { gpt, comm, mp_group, .. } = self;
+                    let Self { gpt, comm, mp_group, plan, .. } = self;
                     gpt.block_bwd_dropout(
                         l,
                         &p,
@@ -1050,6 +1096,8 @@ impl RankEngine {
                         local_batch,
                         &mut |buf: &mut [f32]| {
                             if mp_err.is_none() {
+                                let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                                assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                                 mp_err =
                                     comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                             }
@@ -1091,13 +1139,21 @@ impl RankEngine {
 
         let local_overflow = self.shard_has_overflow();
         let mut flag = [if local_overflow { 1.0_f32 } else { 0.0 }];
+        let world_group = Group::world(self.comm.world_size());
+        let _op = self.plan.take(CollectiveKind::AllReduce, &world_group);
         self.comm.all_reduce(&mut flag, ReduceOp::Max, Precision::Fp32)?;
         let overflow = flag[0] > 0.0;
+        // The prefix plan ends at the flag — the one data-dependent branch
+        // point in the schedule; the rest of the step follows the suffix
+        // plan for the observed skip outcome.
+        self.plan.assert_exhausted("after overflow flag");
 
         let skipped = match &mut self.scaler {
             Some(s) => s.update(overflow),
             None => overflow, // fp32 overflow: skip, nothing to rescale
         };
+        let suffix = CommPlan::step_suffix(self.gpt.layout(), &self.zcfg, self.grid, skipped);
+        self.plan.install(&suffix, self.comm.rank(), "step-suffix");
 
         let mut grad_norm = None;
         if !skipped {
@@ -1123,6 +1179,7 @@ impl RankEngine {
             self.opt.step(&mut self.master, &g);
             self.publish_params()?;
         }
+        self.plan.assert_exhausted("end of step");
         self.step += 1;
         Ok(StepOutcome {
             loss,
@@ -1152,6 +1209,9 @@ impl RankEngine {
         let layers = self.gpt.config().layers;
         let mp_prec = self.precision();
         let mut mp_err: Option<CommError> = None;
+        let act_elems = local_batch * self.gpt.config().seq * self.gpt.config().hidden;
+        let eval_plan = CommPlan::eval_pass(self.gpt.layout(), &self.zcfg, self.grid, act_elems);
+        self.plan.install(&eval_plan, self.comm.rank(), "eval-pass");
         let p = self.fetch_unit(0)?;
         let mut x = self.gpt.embed(&p, ids, local_batch);
         self.release_unit(p);
@@ -1159,9 +1219,11 @@ impl RankEngine {
         for l in 0..layers {
             let p = self.fetch_unit(1 + l)?;
             let (mut y, saved) = {
-                let Self { gpt, comm, mp_group, .. } = self;
+                let Self { gpt, comm, mp_group, plan, .. } = self;
                 gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
                     if mp_err.is_none() {
+                        let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                        assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                         mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                     }
                 })
@@ -1177,6 +1239,7 @@ impl RankEngine {
         let p = self.fetch_unit(1 + layers)?;
         let loss = self.gpt.head_loss(&p, &x, targets, local_batch);
         self.release_unit(p);
+        self.plan.assert_exhausted("end of eval");
         Ok(loss)
     }
 }

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod memory;
 pub mod metrics;
 pub mod partition;
+pub mod plan;
 pub mod snapshot;
 pub mod store;
 pub mod supervisor;
@@ -43,6 +44,7 @@ pub use engine::{RankEngine, StepOutcome};
 pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
 pub use metrics::TrainingMetrics;
 pub use partition::Partitioner;
+pub use plan::{CommPlan, CountSpec, PlanCursor, PlanOp, PlanScope, ResolvedOp, StepShape};
 pub use snapshot::{reshard, validate_consistent, RankSnapshot, SnapshotError};
 pub use store::FlatStore;
 pub use supervisor::{

@@ -75,6 +75,72 @@ impl Partitioner {
             .collect()
     }
 
+    /// Proves the tiling invariants of this partition by arithmetic:
+    ///
+    /// * **cover + disjoint**: the shards are contiguous and ordered, so
+    ///   `shard_0 ‖ shard_1 ‖ … = 0..total` with no gaps or overlaps —
+    ///   every flat element is owned by exactly one rank;
+    /// * **balance**: shard lengths differ by at most one element (the
+    ///   padding the balanced-uneven split absorbs);
+    /// * **owner agreement**: the closed-form [`Self::owner_of`] agrees
+    ///   with [`Self::shard_range`] at every shard boundary (first and
+    ///   last element of each shard — the only places the closed form can
+    ///   break) and on a strided interior sample.
+    ///
+    /// Returns `Err` with a description of the first violated invariant.
+    pub fn verify_tiling(&self) -> Result<(), String> {
+        let mut cursor = 0;
+        let base = self.total / self.n;
+        for i in 0..self.n {
+            let r = self.shard_range(i);
+            if r.start != cursor {
+                return Err(format!(
+                    "shard {i} starts at {} but previous shard ended at {cursor} \
+                     (total={}, n={})",
+                    r.start, self.total, self.n
+                ));
+            }
+            if r.end < r.start {
+                return Err(format!("shard {i} is inverted: {r:?}"));
+            }
+            if r.len() != base && r.len() != base + 1 {
+                return Err(format!(
+                    "shard {i} has {} elements; balance requires {base} or {} \
+                     (total={}, n={})",
+                    r.len(),
+                    base + 1,
+                    self.total,
+                    self.n
+                ));
+            }
+            cursor = r.end;
+            // Owner agreement at the boundaries and a strided sample.
+            if !r.is_empty() {
+                let stride = (r.len() / 16).max(1);
+                for idx in [r.start, r.end - 1]
+                    .into_iter()
+                    .chain(r.clone().step_by(stride))
+                {
+                    let o = self.owner_of(idx);
+                    if o != i {
+                        return Err(format!(
+                            "owner_of({idx}) = {o} but element lies in shard {i} \
+                             (total={}, n={})",
+                            self.total, self.n
+                        ));
+                    }
+                }
+            }
+        }
+        if cursor != self.total {
+            return Err(format!(
+                "shards cover 0..{cursor} but the space is 0..{} (n={})",
+                self.total, self.n
+            ));
+        }
+        Ok(())
+    }
+
     /// The intersection of owner `i`'s shard with `range`, expressed in
     /// coordinates *relative to the owner's shard start* — i.e. the slice
     /// of the owner's local buffer that stores that part of `range`.
@@ -143,6 +209,15 @@ mod tests {
             assert_eq!(local.len(), *cnt, "owner {i}");
             // The local slice must sit inside the owner's shard.
             assert!(local.end <= p.shard_range(i).len());
+        }
+    }
+
+    #[test]
+    fn verify_tiling_accepts_valid_partitions() {
+        for total in [0usize, 1, 7, 100, 12345] {
+            for n in [1usize, 2, 3, 8, 64] {
+                Partitioner::new(total, n).verify_tiling().unwrap();
+            }
         }
     }
 

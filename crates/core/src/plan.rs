@@ -1,0 +1,843 @@
+//! The declarative communication plan (CommPlan IR).
+//!
+//! ZeRO's §7 analysis argues about *schedules*: which collectives fire, in
+//! what order, over which groups, moving how many bytes per rank. The
+//! engine used to realize that schedule implicitly — each call site
+//! computed its own group and counts — which made the paper's 2Ψ/3Ψ
+//! claims checkable only by running training and metering traffic.
+//!
+//! This module makes the schedule *first-class*: [`CommPlan`] builds, from
+//! a layout + [`ZeroConfig`] + [`Grid`] alone, the exact ordered list of
+//! collective operations one training step performs. The engine then
+//! **derives its runtime calls from the plan** through a [`PlanCursor`]:
+//! every collective call pops the next planned op, asserts kind and group,
+//! and uses the planned per-member counts as the collective's counts —
+//! the plan is the single source of truth, and any drift between schedule
+//! model and execution fails loudly at the first divergent op.
+//!
+//! Because the plan is pure data, `zero-verify` can *statically* prove,
+//! with zero training steps executed:
+//! * rank-symmetry / deadlock-freedom (every pair of ranks agrees on the
+//!   subsequence of ops they share),
+//! * group-membership consistency,
+//! * per-rank byte volumes matching the paper's formulas (2Ψ·(N−1)/N for
+//!   DDP and stages 1–2, ≤ 3Ψ for stage 3, §7).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use zero_comm::{chunk_range, CollectiveKind, Grid, Group, NodeTopology, Precision, KIND_COUNT};
+use zero_model::Layout;
+
+use crate::config::{ZeroConfig, ZeroStage};
+use crate::partition::Partitioner;
+
+/// The rank-relative group a planned op runs over. Scopes resolve to
+/// concrete [`Group`]s per rank, so one plan describes every rank of the
+/// grid (the schedule is SPMD; only the group *instances* differ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanScope {
+    /// Every rank of the grid.
+    World,
+    /// The rank's data-parallel group (same MP column across replicas).
+    Dp,
+    /// The rank's model-parallel group (contiguous ranks of one replica).
+    Mp,
+    /// The rank's intra-node group of the two-level all-reduce.
+    Node {
+        /// Ranks per node G.
+        g: usize,
+    },
+    /// The rank's inter-node group (same node-local slot on every node).
+    Cross {
+        /// Ranks per node G.
+        g: usize,
+    },
+}
+
+/// How a planned op's per-member element counts are derived at resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountSpec {
+    /// Explicit per-member counts (uneven flat-space intersections).
+    Explicit(Vec<usize>),
+    /// `total` elements split evenly (balanced-uneven) over the group.
+    Even {
+        /// Buffer length in elements.
+        total: usize,
+    },
+    /// The cross-node phase of the hierarchical all-reduce: the buffer is
+    /// this rank's node-local chunk of `total`, split evenly over the
+    /// cross group. Only valid under [`PlanScope::Cross`].
+    NodeChunk {
+        /// The full (pre-chunking) buffer length in elements.
+        total: usize,
+    },
+}
+
+/// One planned collective: kind, scope, counts, accounting precision, and
+/// a stable label naming the schedule position it models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanOp {
+    /// Collective kind (the traffic-accounting category it lands in).
+    pub kind: CollectiveKind,
+    /// Group the op runs over, relative to the issuing rank.
+    pub scope: PlanScope,
+    /// Per-member element counts.
+    pub counts: CountSpec,
+    /// Logical element width for byte accounting.
+    pub prec: Precision,
+    /// Schedule position, e.g. `"fetch-unit"` or `"overflow-flag"`.
+    pub label: &'static str,
+}
+
+/// A [`PlanOp`] resolved for one concrete rank: explicit members and
+/// per-member counts. This is what the static checks compare across ranks
+/// and what the engine's [`PlanCursor`] hands to the runtime collectives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedOp {
+    /// Collective kind.
+    pub kind: CollectiveKind,
+    /// Group members in collective order.
+    pub members: Vec<usize>,
+    /// Element count contributed by / owned by each member (Σ = buffer).
+    pub counts: Vec<usize>,
+    /// Accounting precision.
+    pub prec: Precision,
+    /// Schedule position label.
+    pub label: &'static str,
+}
+
+impl ResolvedOp {
+    /// Total buffer elements (`Σ counts`).
+    pub fn total_elems(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Elements this `rank` *sends* under the ring schedule of
+    /// `zero-comm` — the exact per-rank cost the traffic counters meter.
+    ///
+    /// Ring algebra (n = group size, L = Σ counts, c = counts, i = local
+    /// index): all-gather sends every chunk except `c[(i+1) mod n]`;
+    /// reduce-scatter every chunk except `c[i]`; all-reduce is both phases
+    /// back to back. Single-member groups exchange nothing.
+    ///
+    /// # Panics
+    /// Panics if `rank` is not a member, or the kind is not one of the
+    /// ring collectives the engine plans (AllReduce/ReduceScatter/AllGather).
+    pub fn sent_elems(&self, rank: usize) -> usize {
+        let n = self.members.len();
+        if n == 1 {
+            return 0;
+        }
+        let i = self
+            .members
+            .iter()
+            .position(|&m| m == rank)
+            .unwrap_or_else(|| panic!("rank {rank} not in planned op '{}'", self.label));
+        let total = self.total_elems();
+        match self.kind {
+            CollectiveKind::AllReduce => {
+                (total - self.counts[i]) + (total - self.counts[(i + 1) % n])
+            }
+            CollectiveKind::ReduceScatter => total - self.counts[i],
+            CollectiveKind::AllGather => total - self.counts[(i + 1) % n],
+            other => panic!("plan does not model {other:?} ops"),
+        }
+    }
+
+    /// Messages this rank sends: `2(n−1)` for all-reduce, `n−1` for the
+    /// single-phase ring collectives, `0` for single-member groups.
+    /// (Empty chunks still travel as zero-length messages.)
+    pub fn sent_messages(&self, rank: usize) -> usize {
+        let n = self.members.len();
+        if n == 1 {
+            return 0;
+        }
+        assert!(
+            self.members.contains(&rank),
+            "rank {rank} not in planned op '{}'",
+            self.label
+        );
+        match self.kind {
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            CollectiveKind::ReduceScatter | CollectiveKind::AllGather => n - 1,
+            other => panic!("plan does not model {other:?} ops"),
+        }
+    }
+
+    /// Bytes this rank sends (`sent_elems · precision width`).
+    pub fn sent_bytes(&self, rank: usize) -> u64 {
+        self.prec.bytes() * self.sent_elems(rank) as u64
+    }
+}
+
+/// The shape parameters a step plan depends on beyond config and layout.
+#[derive(Clone, Copy, Debug)]
+pub struct StepShape {
+    /// Gradient-accumulation micro-batches in the step.
+    pub micro_batches: usize,
+    /// Elements of one block activation (`local_batch · seq · hidden`) —
+    /// the buffer every MP all-reduce and P_a gather moves.
+    pub act_elems: usize,
+    /// Whether the optimizer update is skipped (fp16 overflow). The
+    /// schedule is data-dependent at exactly this one point: skipped steps
+    /// run neither the grad-norm reduction nor the parameter publish.
+    pub skipped: bool,
+}
+
+/// An ordered communication schedule for one grid, buildable without
+/// running any training.
+#[derive(Clone, Debug)]
+pub struct CommPlan {
+    grid: Grid,
+    ops: Vec<PlanOp>,
+}
+
+/// Mirrors [`GradBucket`](crate::bucket::GradBucket)'s flush decisions
+/// arithmetically (spans only, no data): push descending-contiguous
+/// ranges, flush the fused span when pending reaches capacity. The
+/// trace-conformance tests pin this mirror to the real bucket.
+struct BucketMirror {
+    capacity: usize,
+    pending: usize,
+    start: usize,
+    end: usize,
+    has: bool,
+}
+
+impl BucketMirror {
+    fn new(capacity: usize) -> BucketMirror {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        BucketMirror { capacity, pending: 0, start: 0, end: 0, has: false }
+    }
+
+    fn take(&mut self) -> Range<usize> {
+        let r = self.start..self.end;
+        self.has = false;
+        self.pending = 0;
+        r
+    }
+
+    /// Pushes one unit's span; returns the fused range if this push
+    /// reached capacity (same trigger as `GradBucket::push`).
+    fn push(&mut self, r: &Range<usize>) -> Option<Range<usize>> {
+        if self.has {
+            assert_eq!(r.end, self.start, "plan bucket: spans must be descending-contiguous");
+        } else {
+            self.end = r.end;
+            self.has = true;
+        }
+        self.start = r.start;
+        self.pending += r.len();
+        (self.pending >= self.capacity).then(|| self.take())
+    }
+
+    /// Drains the remainder (end of backward), if any.
+    fn flush(&mut self) -> Option<Range<usize>> {
+        self.has.then(|| self.take())
+    }
+}
+
+/// Internal builder state shared by the plan constructors.
+struct Builder {
+    ops: Vec<PlanOp>,
+    part: Partitioner,
+    prec: Precision,
+}
+
+impl Builder {
+    fn new(layout: &Layout, zcfg: &ZeroConfig, grid: Grid) -> Builder {
+        Builder {
+            ops: Vec::new(),
+            part: Partitioner::new(layout.total_params(), grid.dp_degree()),
+            prec: if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 },
+        }
+    }
+
+    fn op(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str) {
+        self.ops.push(PlanOp { kind, scope, counts, prec, label });
+    }
+
+    /// Stage-3 parameter materialization of one unit (§5.3): all-gather
+    /// the flat-space intersections from every DP shard.
+    fn fetch_unit(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>) {
+        if zcfg.stage.partitions_params() {
+            let counts = self.part.intersect_counts(unit);
+            self.op(
+                CollectiveKind::AllGather,
+                PlanScope::Dp,
+                CountSpec::Explicit(counts),
+                self.prec,
+                "fetch-unit",
+            );
+        }
+    }
+
+    /// One block pass's Megatron hooks: two MP all-reduces of the
+    /// activation buffer (§8: two in forward, two in backward, and two
+    /// more per recomputed block).
+    fn mp_block_pass(&mut self, act_elems: usize) {
+        for _ in 0..2 {
+            self.op(
+                CollectiveKind::AllReduce,
+                PlanScope::Mp,
+                CountSpec::Even { total: act_elems },
+                self.prec,
+                "mp-block-allreduce",
+            );
+        }
+    }
+
+    /// P_a checkpoint re-materialization: all-gather the 1/N_m slices
+    /// across the MP group (§6.1).
+    fn ckpt_gather(&mut self, act_elems: usize) {
+        self.op(
+            CollectiveKind::AllGather,
+            PlanScope::Mp,
+            CountSpec::Even { total: act_elems },
+            self.prec,
+            "ckpt-gather",
+        );
+    }
+
+    /// Stages 2/3 gradient dispatch: bucket the unit's span, emit one
+    /// reduce-scatter per flush (§5.2 bucketization).
+    fn dispatch_grads(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>, bucket: &mut BucketMirror) {
+        if !zcfg.stage.partitions_grads() {
+            return;
+        }
+        if let Some(r) = bucket.push(unit) {
+            self.grad_flush(&r);
+        }
+    }
+
+    fn grad_flush(&mut self, fused: &Range<usize>) {
+        let counts = self.part.intersect_counts(fused);
+        self.op(
+            CollectiveKind::ReduceScatter,
+            PlanScope::Dp,
+            CountSpec::Explicit(counts),
+            self.prec,
+            "grad-bucket",
+        );
+    }
+
+    /// One micro-batch's forward + backward comm, mirroring
+    /// `RankEngine::accumulate_micro` op for op.
+    fn micro(&mut self, layout: &Layout, zcfg: &ZeroConfig, act_elems: usize) {
+        let units: Vec<Range<usize>> = layout.units().iter().map(|u| u.range.clone()).collect();
+        let layers = units.len() - 2;
+        let mut bucket = BucketMirror::new(zcfg.bucket_elems);
+
+        // Forward: embed, blocks (two MP all-reduces each), head.
+        self.fetch_unit(zcfg, &units[0]);
+        for l in 0..layers {
+            self.fetch_unit(zcfg, &units[1 + l]);
+            self.mp_block_pass(act_elems);
+        }
+        self.fetch_unit(zcfg, &units[1 + layers]);
+        // Head forward+backward births the first gradients.
+        self.dispatch_grads(zcfg, &units[1 + layers], &mut bucket);
+
+        // Backward through blocks.
+        if zcfg.checkpoint_activations {
+            let interval = zcfg.checkpoint_interval.max(1);
+            let mut seg_end = layers;
+            while seg_end > 0 {
+                let seg_start = ((seg_end - 1) / interval) * interval;
+                if zcfg.partition_activations {
+                    self.ckpt_gather(act_elems);
+                }
+                // Recompute the segment forward (block params are fetched
+                // again; each recomputed block fires its two MP hooks)…
+                for l in seg_start..seg_end {
+                    self.fetch_unit(zcfg, &units[1 + l]);
+                    self.mp_block_pass(act_elems);
+                }
+                // …then walk it backward (two MP hooks per block, grads
+                // dispatched head-to-embed).
+                for l in (seg_start..seg_end).rev() {
+                    self.mp_block_pass(act_elems);
+                    self.dispatch_grads(zcfg, &units[1 + l], &mut bucket);
+                }
+                seg_end = seg_start;
+            }
+        } else {
+            for l in (0..layers).rev() {
+                self.fetch_unit(zcfg, &units[1 + l]);
+                self.mp_block_pass(act_elems);
+                self.dispatch_grads(zcfg, &units[1 + l], &mut bucket);
+            }
+        }
+
+        // Embedding backward, then drain the bucket for the next micro.
+        self.dispatch_grads(zcfg, &units[0], &mut bucket);
+        if let Some(r) = bucket.flush() {
+            self.grad_flush(&r);
+        }
+    }
+
+    /// End-of-step gradient reduction for the non-bucketed stages,
+    /// chunked through CB-sized buffers (mirrors `reduce_full_grads`).
+    fn grad_reduce(&mut self, zcfg: &ZeroConfig) {
+        if zcfg.stage.partitions_grads() {
+            return;
+        }
+        let psi = self.part.total();
+        let step = zcfg.bucket_elems;
+        let mut cursor = 0;
+        while cursor < psi {
+            let end = (cursor + step).min(psi);
+            let chunk = cursor..end;
+            match zcfg.stage {
+                ZeroStage::Ddp => match zcfg.node_size {
+                    Some(g) => {
+                        // Two-level all-reduce: node reduce-scatter,
+                        // cross-node all-reduce of the owned chunk, node
+                        // all-gather.
+                        self.op(
+                            CollectiveKind::ReduceScatter,
+                            PlanScope::Node { g },
+                            CountSpec::Even { total: chunk.len() },
+                            self.prec,
+                            "hier-node-rs",
+                        );
+                        self.op(
+                            CollectiveKind::AllReduce,
+                            PlanScope::Cross { g },
+                            CountSpec::NodeChunk { total: chunk.len() },
+                            self.prec,
+                            "hier-cross-ar",
+                        );
+                        self.op(
+                            CollectiveKind::AllGather,
+                            PlanScope::Node { g },
+                            CountSpec::Even { total: chunk.len() },
+                            self.prec,
+                            "hier-node-ag",
+                        );
+                    }
+                    None => self.op(
+                        CollectiveKind::AllReduce,
+                        PlanScope::Dp,
+                        CountSpec::Even { total: chunk.len() },
+                        self.prec,
+                        "grad-allreduce",
+                    ),
+                },
+                ZeroStage::One => {
+                    let counts = self.part.intersect_counts(&chunk);
+                    self.op(
+                        CollectiveKind::ReduceScatter,
+                        PlanScope::Dp,
+                        CountSpec::Explicit(counts),
+                        self.prec,
+                        "grad-reduce-scatter",
+                    );
+                }
+                _ => unreachable!("stages 2/3 reduce through the bucket"),
+            }
+            cursor = end;
+        }
+    }
+
+    /// Stage 1/2 parameter publish: all-gather updated shards chunk by
+    /// chunk (mirrors `publish_params`).
+    fn publish(&mut self, zcfg: &ZeroConfig) {
+        if !matches!(zcfg.stage, ZeroStage::One | ZeroStage::Two) {
+            return;
+        }
+        let psi = self.part.total();
+        let step = zcfg.bucket_elems;
+        let mut cursor = 0;
+        while cursor < psi {
+            let end = (cursor + step).min(psi);
+            let counts = self.part.intersect_counts(&(cursor..end));
+            self.op(
+                CollectiveKind::AllGather,
+                PlanScope::Dp,
+                CountSpec::Explicit(counts),
+                self.prec,
+                "publish-params",
+            );
+            cursor = end;
+        }
+    }
+}
+
+impl CommPlan {
+    /// The deterministic prefix of a training step: every micro-batch's
+    /// forward/backward comm, the end-of-step gradient reduction, and the
+    /// world-wide overflow-flag all-reduce. Everything up to (and
+    /// including) the point where the skip decision becomes known.
+    pub fn step_prefix(
+        layout: &Layout,
+        zcfg: &ZeroConfig,
+        grid: Grid,
+        micro_batches: usize,
+        act_elems: usize,
+    ) -> CommPlan {
+        assert!(micro_batches > 0, "need at least one micro-batch");
+        let mut b = Builder::new(layout, zcfg, grid);
+        for _ in 0..micro_batches {
+            b.micro(layout, zcfg, act_elems);
+        }
+        b.grad_reduce(zcfg);
+        b.op(
+            CollectiveKind::AllReduce,
+            PlanScope::World,
+            CountSpec::Even { total: 1 },
+            Precision::Fp32,
+            "overflow-flag",
+        );
+        CommPlan { grid, ops: b.ops }
+    }
+
+    /// The data-dependent suffix of a training step, given the skip
+    /// outcome: the global grad-norm reduction (when clipping) and the
+    /// parameter publish — both absent on skipped steps.
+    pub fn step_suffix(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, skipped: bool) -> CommPlan {
+        let mut b = Builder::new(layout, zcfg, grid);
+        if !skipped {
+            if zcfg.clip_grad_norm.is_some() {
+                let scope = if zcfg.stage.partitions_optimizer() {
+                    // Shard contributions sum across the whole world.
+                    PlanScope::World
+                } else {
+                    // DDP already holds full DP-averaged grads; only MP
+                    // contributions remain to be summed.
+                    PlanScope::Mp
+                };
+                b.op(
+                    CollectiveKind::AllReduce,
+                    scope,
+                    CountSpec::Even { total: 1 },
+                    Precision::Fp32,
+                    "grad-norm",
+                );
+            }
+            b.publish(zcfg);
+        }
+        CommPlan { grid, ops: b.ops }
+    }
+
+    /// One whole training step (prefix + suffix) for a known skip outcome
+    /// — what the static checker and the conformance tests consume.
+    pub fn train_step(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, shape: &StepShape) -> CommPlan {
+        let mut plan = CommPlan::step_prefix(layout, zcfg, grid, shape.micro_batches, shape.act_elems);
+        plan.ops
+            .extend(CommPlan::step_suffix(layout, zcfg, grid, shape.skipped).ops);
+        plan
+    }
+
+    /// A forward-only evaluation pass (mirrors `try_eval_loss`).
+    pub fn eval_pass(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, act_elems: usize) -> CommPlan {
+        let mut b = Builder::new(layout, zcfg, grid);
+        let units: Vec<Range<usize>> = layout.units().iter().map(|u| u.range.clone()).collect();
+        let layers = units.len() - 2;
+        b.fetch_unit(zcfg, &units[0]);
+        for l in 0..layers {
+            b.fetch_unit(zcfg, &units[1 + l]);
+            b.mp_block_pass(act_elems);
+        }
+        b.fetch_unit(zcfg, &units[1 + layers]);
+        CommPlan { grid, ops: b.ops }
+    }
+
+    /// The standalone parameter re-publish a snapshot restore performs.
+    pub fn publish_refresh(layout: &Layout, zcfg: &ZeroConfig, grid: Grid) -> CommPlan {
+        let mut b = Builder::new(layout, zcfg, grid);
+        b.publish(zcfg);
+        CommPlan { grid, ops: b.ops }
+    }
+
+    /// The grid this plan is for.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// The scope-relative ops in schedule order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Resolves the schedule for one concrete rank: explicit group members
+    /// and per-member counts for every op.
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside the grid or a `Node`/`Cross` scope's
+    /// node size does not divide the world.
+    pub fn resolve_for(&self, rank: usize) -> Vec<ResolvedOp> {
+        let world = self.grid.world_size();
+        assert!(rank < world, "rank {rank} outside grid of {world}");
+        self.ops
+            .iter()
+            .map(|op| {
+                let group = match op.scope {
+                    PlanScope::World => Group::world(world),
+                    PlanScope::Dp => self.grid.dp_group(rank),
+                    PlanScope::Mp => self.grid.mp_group(rank),
+                    PlanScope::Node { g } => {
+                        assert_eq!(world % g, 0, "node size {g} must divide world {world}");
+                        NodeTopology::new(g).node_group(rank)
+                    }
+                    PlanScope::Cross { g } => {
+                        assert_eq!(world % g, 0, "node size {g} must divide world {world}");
+                        NodeTopology::new(g).cross_group(rank, world)
+                    }
+                };
+                let n = group.len();
+                let counts: Vec<usize> = match &op.counts {
+                    CountSpec::Explicit(v) => {
+                        assert_eq!(v.len(), n, "explicit counts match group size");
+                        v.clone()
+                    }
+                    CountSpec::Even { total } => {
+                        (0..n).map(|i| chunk_range(*total, n, i).len()).collect()
+                    }
+                    CountSpec::NodeChunk { total } => {
+                        let g = match op.scope {
+                            PlanScope::Cross { g } => g,
+                            other => panic!("NodeChunk counts need a Cross scope, got {other:?}"),
+                        };
+                        // This rank's node-local chunk is the cross-phase
+                        // buffer; every member of the cross group shares
+                        // the same node-local slot, hence the same length.
+                        let slot_len = chunk_range(*total, g, rank % g).len();
+                        (0..n).map(|i| chunk_range(slot_len, n, i).len()).collect()
+                    }
+                };
+                ResolvedOp {
+                    kind: op.kind,
+                    members: group.members().to_vec(),
+                    counts,
+                    prec: op.prec,
+                    label: op.label,
+                }
+            })
+            .collect()
+    }
+
+    /// Analytic bytes `rank` sends executing this plan, by collective kind
+    /// — directly comparable to a [`zero_comm::TrafficSnapshot`].
+    pub fn rank_bytes(&self, rank: usize) -> [u64; KIND_COUNT] {
+        let mut out = [0u64; KIND_COUNT];
+        for op in self.resolve_for(rank) {
+            out[op.kind as usize] += op.sent_bytes(rank);
+        }
+        out
+    }
+
+    /// Analytic messages `rank` sends, by collective kind.
+    pub fn rank_messages(&self, rank: usize) -> [u64; KIND_COUNT] {
+        let mut out = [0u64; KIND_COUNT];
+        for op in self.resolve_for(rank) {
+            out[op.kind as usize] += op.sent_messages(rank) as u64;
+        }
+        out
+    }
+
+    /// Total analytic bytes `rank` sends executing this plan.
+    pub fn total_rank_bytes(&self, rank: usize) -> u64 {
+        self.rank_bytes(rank).iter().sum()
+    }
+}
+
+/// The engine's handle on the current plan: runtime collective calls pop
+/// ops off this cursor, so execution cannot silently diverge from the
+/// declared schedule (and the planned counts drive the actual calls).
+#[derive(Debug, Default)]
+pub struct PlanCursor {
+    ops: VecDeque<ResolvedOp>,
+    source: &'static str,
+    installed: usize,
+}
+
+impl PlanCursor {
+    /// An empty cursor (no plan installed yet).
+    pub fn idle() -> PlanCursor {
+        PlanCursor::default()
+    }
+
+    /// Installs `plan` resolved for `rank`, replacing any leftover ops
+    /// (a failed step abandons its plan; the next entry point re-plans).
+    pub fn install(&mut self, plan: &CommPlan, rank: usize, source: &'static str) {
+        self.ops = plan.resolve_for(rank).into();
+        self.source = source;
+        self.installed = self.ops.len();
+    }
+
+    /// Pops the next planned op, asserting it is a `kind` collective over
+    /// exactly `group`. The returned op's counts parameterize the call.
+    ///
+    /// # Panics
+    /// Panics on schedule drift: the plan is exhausted, or the next op's
+    /// kind/group disagree with what the engine is about to execute.
+    pub fn take(&mut self, kind: CollectiveKind, group: &Group) -> ResolvedOp {
+        let op = self.ops.pop_front().unwrap_or_else(|| {
+            panic!(
+                "comm-plan drift: engine issued {kind:?} over {:?} but the \
+                 '{}' plan ({} ops) is exhausted",
+                group.members(),
+                self.source,
+                self.installed
+            )
+        });
+        assert_eq!(
+            op.kind, kind,
+            "comm-plan drift at '{}' ({}): planned {:?}, engine issued {kind:?}",
+            op.label, self.source, op.kind
+        );
+        assert_eq!(
+            op.members,
+            group.members(),
+            "comm-plan group drift at '{}' ({})",
+            op.label,
+            self.source
+        );
+        op
+    }
+
+    /// Ops not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Asserts the installed plan was fully consumed — called at the end
+    /// of every successful engine entry point.
+    ///
+    /// # Panics
+    /// Panics if planned ops were never issued.
+    pub fn assert_exhausted(&self, context: &str) {
+        assert!(
+            self.ops.is_empty(),
+            "comm-plan drift: {} op(s) of '{}' never executed ({context}); next: '{}'",
+            self.ops.len(),
+            self.source,
+            self.ops.front().map_or("-", |op| op.label)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::GradBucket;
+    use zero_model::{Layout, ModelConfig};
+
+    fn tiny() -> ModelConfig {
+        ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 }
+    }
+
+    fn cfg(stage: ZeroStage) -> ZeroConfig {
+        ZeroConfig {
+            stage,
+            fp16: false,
+            checkpoint_activations: false,
+            initial_loss_scale: 1.0,
+            bucket_elems: 1000,
+            ..ZeroConfig::default()
+        }
+    }
+
+    fn shape() -> StepShape {
+        StepShape { micro_batches: 1, act_elems: 2 * 8 * 16, skipped: false }
+    }
+
+    #[test]
+    fn bucket_mirror_matches_grad_bucket() {
+        // Same spans through both implementations → same flush ranges.
+        let spans = [90..120, 60..90, 40..60, 10..40, 0..10];
+        for cap in [1usize, 25, 64, 1000] {
+            let mut real = GradBucket::new(cap);
+            let mut real_flushes: Vec<Range<usize>> = Vec::new();
+            let mut mirror = BucketMirror::new(cap);
+            let mut mirror_flushes: Vec<Range<usize>> = Vec::new();
+            for s in &spans {
+                real.push(s.clone(), vec![0.0; s.len()], &mut |r, _| real_flushes.push(r));
+                if let Some(r) = mirror.push(s) {
+                    mirror_flushes.push(r);
+                }
+            }
+            real.flush_all(&mut |r, _| real_flushes.push(r));
+            if let Some(r) = mirror.flush() {
+                mirror_flushes.push(r);
+            }
+            assert_eq!(real_flushes, mirror_flushes, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn stage2_volume_is_exactly_2_psi_ring() {
+        // Per-rank DP traffic for stage 2 telescopes exactly: the
+        // reduce-scatters skip this rank's own shard (Ψ − |shard_i|), the
+        // publish all-gathers skip the ring successor's shard
+        // (Ψ − |shard_{i+1}|) — together the paper's 2Ψ·(N−1)/N.
+        let model = tiny();
+        let layout = Layout::build(&model);
+        let psi = layout.total_params();
+        for n in [2usize, 3, 5, 8] {
+            let grid = Grid::new(n, 1);
+            let plan = CommPlan::train_step(&layout, &cfg(ZeroStage::Two), grid, &shape());
+            let part = Partitioner::new(psi, n);
+            for rank in 0..n {
+                let bytes = plan.rank_bytes(rank);
+                let shard = part.shard_range(rank).len();
+                let next = part.shard_range((rank + 1) % n).len();
+                assert_eq!(
+                    bytes[CollectiveKind::ReduceScatter as usize],
+                    4 * (psi - shard) as u64,
+                    "rs n={n}"
+                );
+                assert_eq!(
+                    bytes[CollectiveKind::AllGather as usize],
+                    4 * (psi - next) as u64,
+                    "ag n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_suffix_is_empty_and_unskipped_is_not() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let skipped = CommPlan::step_suffix(&layout, &cfg(ZeroStage::Two), grid, true);
+        assert!(skipped.ops().is_empty());
+        let live = CommPlan::step_suffix(&layout, &cfg(ZeroStage::Two), grid, false);
+        assert!(!live.ops().is_empty());
+    }
+
+    #[test]
+    fn cursor_rejects_wrong_kind() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(2, 1);
+        let plan = CommPlan::step_prefix(&layout, &cfg(ZeroStage::Ddp), grid, 1, 64);
+        let mut cur = PlanCursor::idle();
+        cur.install(&plan, 0, "test");
+        let g = Group::world(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // DDP plans MP all-reduces (size-1 groups) first; asking for a
+            // ReduceScatter over the world must trip the drift assert.
+            cur.take(CollectiveKind::ReduceScatter, &g);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn hierarchical_plan_resolves_cross_chunks() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let zcfg = ZeroConfig { node_size: Some(2), ..cfg(ZeroStage::Ddp) };
+        let plan = CommPlan::train_step(&layout, &zcfg, grid, &shape());
+        // Every rank resolves; cross-phase counts sum to its node chunk.
+        for rank in 0..4 {
+            for op in plan.resolve_for(rank) {
+                if op.label == "hier-cross-ar" {
+                    assert_eq!(op.members.len(), 2);
+                    assert!(op.total_elems() > 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # zero-verify
+//!
+//! Static verification for the ZeRO reproduction — three passes that
+//! prove schedule- and layout-level properties **without running a single
+//! training step**:
+//!
+//! 1. [`schedule`] — the collective-schedule checker. Builds the engine's
+//!    declarative [`zero_core::CommPlan`] for every stage × grid
+//!    combination, resolves it for every rank, and proves rank-symmetry
+//!    (deadlock-freedom), group-membership consistency, and per-rank byte
+//!    volumes matching the paper's §7 formulas (2Ψ·(N−1)/N for DDP and
+//!    stages 1–2, ≤ 3Ψ for stage 3) by exact telescoping identities.
+//! 2. [`tiling`] — the shard-tiling prover. Shows the flat-space
+//!    partition is exhaustive and disjoint (every element owned by
+//!    exactly one rank, padding accounted) for arbitrary N, and that
+//!    layer-range intersections tile every unit exactly.
+//! 3. [`lint`] — the workspace lint. Scans non-test code of `zero-comm`
+//!    and `zero-core` for banned patterns: `unwrap()`/`expect()` on
+//!    communication results, untimed `recv()`, and lossy `as` casts in
+//!    byte accounting.
+//!
+//! The runtime side of the same guarantee lives in the trace-conformance
+//! tests (`tests/conformance.rs`): real training traffic, metered by
+//! `zero-comm`, must equal the plan's analytic volume byte for byte.
+
+pub mod lint;
+pub mod schedule;
+pub mod tiling;
+
+pub use lint::{lint_paths, LintHit, LintReport};
+pub use schedule::{check_all as check_schedules, ScheduleReport};
+pub use tiling::{prove_all as prove_tiling, TilingReport};

@@ -1,0 +1,392 @@
+//! The workspace lint.
+//!
+//! Scans the non-test Rust sources of the communication and engine
+//! crates for patterns that the fault-injection work showed to be
+//! reliability hazards:
+//!
+//! * **`comm-unwrap`** — `.unwrap()` or `.expect(` on the same line as a
+//!   communication call. A fabric error must surface as a typed
+//!   [`zero_comm::CommError`], not a panic that deadlocks the peers still
+//!   waiting inside the collective.
+//! * **`untimed-recv`** — a bare `.recv()` on a channel. Blocking forever
+//!   on a dead peer is exactly the failure mode elastic training guards
+//!   against; use `recv_timeout`.
+//! * **`lossy-byte-cast`** — a narrowing `as` cast on a line doing byte
+//!   accounting. Traffic counters are `u64`; truncating them silently
+//!   invalidates every volume identity the schedule checker proves.
+//!
+//! The scanner masks comments, strings, and char literals before
+//! matching, and skips `#[cfg(test)]` regions, so the rules fire only on
+//! compiled production code. A deliberate exception is declared next to
+//! the code it excuses: `// verify:allow(rule-name)` on the same line.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct LintHit {
+    /// File containing the violation.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line_no: usize,
+    /// Rule identifier (`comm-unwrap`, `untimed-recv`, `lossy-byte-cast`).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub line_text: String,
+}
+
+impl fmt::Display for LintHit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line_no,
+            self.rule,
+            self.line_text
+        )
+    }
+}
+
+/// Result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All violations found, in path order.
+    pub hits: Vec<LintHit>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.hits.is_empty()
+    }
+}
+
+/// Calls that talk to the fabric; an `unwrap`/`expect` on the same line
+/// as one of these is a `comm-unwrap` hit.
+const COMM_TOKENS: &[&str] = &[
+    "all_reduce",
+    "reduce_scatter",
+    "all_gather",
+    "broadcast",
+    "send_raw",
+    "recv_raw",
+    "barrier",
+    "local_index",
+    "all_to_all",
+    "gather_in",
+    "scatter_in",
+    "hierarchical_all_reduce",
+];
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines preserved) so pattern matching cannot fire inside them.
+fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"…", r#"…"#, r##"…"##, …
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    i = j + 1;
+                    out.resize(out.len() + (i - start), b' ');
+                    loop {
+                        if i >= b.len() {
+                            break;
+                        }
+                        if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+                            out.resize(out.len() + 1 + hashes, b' ');
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    // `r` identifier prefix that wasn't a raw string.
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is '\'' followed by an
+                // identifier with no closing quote within a few bytes.
+                let is_char = if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    true
+                } else {
+                    i + 2 < b.len() && b[i + 2] == b'\''
+                };
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Marks lines inside `#[cfg(test)]`-attributed items (brace-matched) so
+/// the rules only see production code.
+fn test_region_mask(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut li = 0;
+    while li < lines.len() {
+        if lines[li].contains("#[cfg(test)]") {
+            // Find the opening brace of the attributed item, then skip to
+            // its matching close, marking everything in between.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut lj = li;
+            'scan: while lj < lines.len() {
+                in_test[lj] = true;
+                for ch in lines[lj].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'scan;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                lj += 1;
+            }
+            li = lj + 1;
+        } else {
+            li += 1;
+        }
+    }
+    in_test
+}
+
+fn narrowing_cast(line: &str) -> bool {
+    ["as u32", "as u16", "as u8", "as i32", "as i16", "as f32"]
+        .iter()
+        .any(|p| line.contains(&format!(" {p}")) || line.ends_with(p))
+}
+
+/// Lints one file's contents. `path` is used for hit reporting only.
+fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
+    let masked = mask_source(src);
+    let in_test = test_region_mask(&masked);
+    let originals: Vec<&str> = src.lines().collect();
+    for (idx, line) in masked.lines().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let original = originals.get(idx).copied().unwrap_or("");
+        let mut hit = |rule: &'static str| {
+            if original.contains(&format!("verify:allow({rule})")) {
+                return;
+            }
+            report.hits.push(LintHit {
+                file: path.to_path_buf(),
+                line_no: idx + 1,
+                rule,
+                line_text: original.trim().to_string(),
+            });
+        };
+        let has_panic = line.contains(".unwrap()") || line.contains(".expect(");
+        if has_panic && COMM_TOKENS.iter().any(|t| line.contains(t)) {
+            hit("comm-unwrap");
+        }
+        if line.contains(".recv()") {
+            hit("untimed-recv");
+        }
+        if line.contains("bytes") && narrowing_cast(line) {
+            hit("lossy-byte-cast");
+        }
+    }
+    report.files_scanned += 1;
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under the given roots (recursively).
+///
+/// Unreadable paths are reported as synthetic hits rather than silently
+/// skipped, so a mistyped root cannot produce a vacuous pass.
+pub fn lint_paths(roots: &[&Path]) -> LintReport {
+    let mut report = LintReport::default();
+    for root in roots {
+        let mut files = Vec::new();
+        if let Err(e) = walk(root, &mut files) {
+            report.hits.push(LintHit {
+                file: root.to_path_buf(),
+                line_no: 0,
+                rule: "unreadable-path",
+                line_text: e.to_string(),
+            });
+            continue;
+        }
+        for file in files {
+            match std::fs::read_to_string(&file) {
+                Ok(src) => lint_source(&file, &src, &mut report),
+                Err(e) => report.hits.push(LintHit {
+                    file,
+                    line_no: 0,
+                    rule: "unreadable-path",
+                    line_text: e.to_string(),
+                }),
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<&'static str> {
+        let mut report = LintReport::default();
+        lint_source(Path::new("mem.rs"), src, &mut report);
+        report.hits.into_iter().map(|h| h.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_on_comm_call() {
+        let src = "fn f() { comm.all_reduce(&mut v, op, group).unwrap(); }\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap"]);
+        let src = "fn f() { group.local_index(rank).expect(\"not in group\"); }\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap"]);
+    }
+
+    #[test]
+    fn ignores_unwrap_off_comm_paths() {
+        let src = "fn f() { let x = maybe_value().unwrap(); }\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_untimed_recv_and_allows_escape() {
+        assert_eq!(lint_str("fn f() { let m = rx.recv(); }\n"), vec!["untimed-recv"]);
+        assert!(lint_str(
+            "fn f() { let m = rx.recv(); } // verify:allow(untimed-recv)\n"
+        )
+        .is_empty());
+        assert!(lint_str("fn f() { let m = rx.recv_timeout(d); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_lossy_byte_cast() {
+        assert_eq!(
+            lint_str("fn f(bytes: u64) -> u32 { bytes as u32 }\n"),
+            vec!["lossy-byte-cast"]
+        );
+        assert!(lint_str("fn f(bytes: u64) -> f64 { bytes as f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn masked_regions_do_not_fire() {
+        // In a comment, a string, and inside #[cfg(test)].
+        assert!(lint_str("// comm.all_reduce(x).unwrap()\n").is_empty());
+        assert!(lint_str("fn f() { let s = \"rx.recv()\"; }\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n  fn g() { comm.barrier(g).unwrap(); }\n}\nfn h() {}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        assert!(lint_str("fn f() { let s = r#\"rx.recv()\"#; }\n").is_empty());
+        assert!(lint_str("fn f() { let c = '\"'; let d = rx.recv_timeout(t); }\n").is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! `zero-verify` — run the static verification passes from the command
+//! line (CI runs this before the test suite).
+//!
+//! ```text
+//! zero-verify [schedule|tiling|lint|all]
+//! ```
+//!
+//! Exits non-zero if any pass fails, printing the first violated
+//! invariant (schedule/tiling) or every lint hit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/verify -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a grandparent")
+        .to_path_buf()
+}
+
+fn run_schedule() -> bool {
+    match zero_verify::check_schedules() {
+        Ok(r) => {
+            println!(
+                "schedule: OK — {} configs, {} plans, {} resolved ops, \
+                 {} rank-pair agreements",
+                r.configs, r.plans, r.ops_checked, r.pair_checks
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("schedule: FAIL — {e}");
+            false
+        }
+    }
+}
+
+fn run_tiling() -> bool {
+    match zero_verify::prove_tiling() {
+        Ok(r) => {
+            println!(
+                "tiling:   OK — {} partitions ({} elements), {} layout units tiled",
+                r.partitions, r.elements, r.units
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("tiling:   FAIL — {e}");
+            false
+        }
+    }
+}
+
+fn run_lint() -> bool {
+    let root = repo_root();
+    let comm = root.join("crates/comm/src");
+    let core = root.join("crates/core/src");
+    let report = zero_verify::lint_paths(&[comm.as_path(), core.as_path()]);
+    if report.is_clean() {
+        println!("lint:     OK — {} files scanned, 0 hits", report.files_scanned);
+        true
+    } else {
+        eprintln!(
+            "lint:     FAIL — {} hits in {} files:",
+            report.hits.len(),
+            report.files_scanned
+        );
+        for hit in &report.hits {
+            eprintln!("  {hit}");
+        }
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let ok = match mode.as_str() {
+        "schedule" => run_schedule(),
+        "tiling" => run_tiling(),
+        "lint" => run_lint(),
+        "all" => {
+            // Run every pass even if an early one fails, so CI output
+            // shows the full picture.
+            let s = run_schedule();
+            let t = run_tiling();
+            let l = run_lint();
+            s && t && l
+        }
+        other => {
+            eprintln!("unknown mode '{other}'; expected schedule|tiling|lint|all");
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,451 @@
+//! The static collective-schedule checker.
+//!
+//! A [`CommPlan`] is pure data, so every property the paper argues about a
+//! training step's communication can be proven by arithmetic:
+//!
+//! * **Rank-symmetry / deadlock-freedom.** Every rank executes the same
+//!   indexed op sequence. For each op index, any two ranks that appear in
+//!   each other's resolved group must agree *exactly* on the group's
+//!   member order and per-member counts. Groups at one index are then
+//!   either identical or disjoint, so the schedule is a sequence of
+//!   consistent collectives over a partition of the world — no rank can
+//!   wait on a peer that is executing a different op, which is the only
+//!   way this fabric deadlocks.
+//! * **Membership consistency.** Each rank belongs to its own resolved
+//!   group, and counts vectors match the group size.
+//! * **Volume.** Per-rank bytes are compared against independently
+//!   derived telescoping identities (exact, not bounds): one step of
+//!   stage 1/2 reduce-scatters Ψ − |shard_i| elements and all-gathers
+//!   Ψ − |shard_{i+1}|; stage 3 re-gathers each unit once per pass; the
+//!   paper's 2Ψ·(N−1)/N and ≤ 3Ψ headline numbers follow and are asserted
+//!   too.
+
+use zero_comm::{CollectiveKind, Grid};
+use zero_core::{CommPlan, Partitioner, StepShape, ZeroConfig, ZeroStage};
+use zero_model::{Layout, ModelConfig};
+
+/// Counters describing how much the checker covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScheduleReport {
+    /// Distinct (stage, grid, flags) configurations checked.
+    pub configs: usize,
+    /// Plans resolved and checked (train prefix+suffix, eval, refresh…).
+    pub plans: usize,
+    /// Total resolved ops validated across all ranks.
+    pub ops_checked: usize,
+    /// (rank, peer) group agreements proven.
+    pub pair_checks: usize,
+}
+
+const RS: usize = CollectiveKind::ReduceScatter as usize;
+const AG: usize = CollectiveKind::AllGather as usize;
+const AR: usize = CollectiveKind::AllReduce as usize;
+
+fn test_model() -> ModelConfig {
+    ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 }
+}
+
+/// Proves rank-symmetry and membership consistency for one plan.
+///
+/// Returns `(ops_checked, pair_checks)` on success.
+#[allow(clippy::needless_range_loop)] // ranks cross-index each other's op lists
+fn check_symmetry(plan: &CommPlan, what: &str) -> Result<(usize, usize), String> {
+    let world = plan.grid().world_size();
+    let resolved: Vec<_> = (0..world).map(|r| plan.resolve_for(r)).collect();
+    let n_ops = plan.ops().len();
+    for r in 0..world {
+        if resolved[r].len() != n_ops {
+            return Err(format!(
+                "{what}: rank {r} resolved {} ops, plan has {n_ops}",
+                resolved[r].len()
+            ));
+        }
+    }
+    let mut pairs = 0;
+    for i in 0..n_ops {
+        for r in 0..world {
+            let op = &resolved[r][i];
+            if !op.members.contains(&r) {
+                return Err(format!(
+                    "{what}: op {i} '{}' resolved for rank {r} to group {:?} \
+                     that does not contain it",
+                    op.label, op.members
+                ));
+            }
+            if op.counts.len() != op.members.len() {
+                return Err(format!(
+                    "{what}: op {i} '{}' rank {r}: {} counts for {} members",
+                    op.label,
+                    op.counts.len(),
+                    op.members.len()
+                ));
+            }
+            // Every peer this rank expects to meet inside the collective
+            // must resolve the *same* collective instance at this index.
+            for &s in &op.members {
+                let peer = &resolved[s][i];
+                if peer.kind != op.kind
+                    || peer.members != op.members
+                    || peer.counts != op.counts
+                    || peer.prec != op.prec
+                {
+                    return Err(format!(
+                        "{what}: op {i} '{}': rank {r} sees {:?} over {:?} \
+                         (counts {:?}) but member {s} sees {:?} over {:?} \
+                         (counts {:?}) — asymmetric schedule would deadlock",
+                        op.label,
+                        op.kind,
+                        op.members,
+                        op.counts,
+                        peer.kind,
+                        peer.members,
+                        peer.counts
+                    ));
+                }
+                pairs += 1;
+            }
+        }
+    }
+    Ok((n_ops * world, pairs))
+}
+
+/// The overflow-flag (and grad-norm) contribution: a 1-element fp32
+/// all-reduce over an `n`-rank group, derived from first principles.
+fn one_elem_ar_bytes(n: usize, local_idx: usize) -> u64 {
+    if n == 1 {
+        return 0;
+    }
+    // Balanced split of 1 element over n: member 0 owns it, the ring
+    // still circulates one (mostly empty) chunk per phase.
+    let own = usize::from(local_idx == 0);
+    let succ = usize::from((local_idx + 1).is_multiple_of(n));
+    4 * (2 - own - succ) as u64
+}
+
+/// Per-rank ring volume of an even split of `total` over `n` members:
+/// `(total − c_i) + (total − c_{i+1})` for all-reduce, single phases for
+/// reduce-scatter / all-gather.
+fn even_counts(total: usize, n: usize) -> Vec<usize> {
+    (0..n).map(|i| zero_comm::chunk_range(total, n, i).len()).collect()
+}
+
+struct Expected {
+    rs: u64,
+    ag: u64,
+    /// Exact all-reduce bytes, or a (center, slack) band for DDP's
+    /// chunked ring where only the paper-level 2Ψ·(N−1)/N claim holds.
+    ar: ArExpect,
+}
+
+enum ArExpect {
+    Exact(u64),
+    Band { center: f64, slack: f64 },
+}
+
+/// Independently derives one rank's per-kind byte volume for one training
+/// step (micro_batches = 1) from layout + config + grid — the telescoping
+/// identities of §7, *not* the plan-builder's op list.
+fn expected_step(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, rank: usize, skipped: bool) -> Expected {
+    let psi = layout.total_params();
+    let dp = grid.dp_degree();
+    let mp = grid.mp_degree();
+    let world = grid.world_size();
+    let (dpr, mpr) = grid.coords(rank);
+    let w: u64 = if zcfg.fp16 { 2 } else { 4 };
+    let part = Partitioner::new(psi, dp);
+    let shard = part.shard_range(dpr).len() as u64;
+    let next = part.shard_range((dpr + 1) % dp).len() as u64;
+    let layers = layout.unit_count() - 2;
+
+    // --- MP traffic (identical for every stage) ---
+    // Two all-reduces per block pass; passes per block: forward + backward
+    // (+ one recompute pass per block under checkpointing).
+    let act = {
+        // act_elems is supplied via shape at plan build; re-derive it here
+        // to stay independent: local_batch encoded by the caller in
+        // `SHAPE_LOCAL_BATCH`.
+        SHAPE_LOCAL_BATCH * test_model().seq * test_model().hidden
+    };
+    let block_passes: u64 = if zcfg.checkpoint_activations { 3 } else { 2 };
+    let mut mp_ar = 0u64;
+    let mut mp_ag = 0u64;
+    if mp > 1 {
+        let c = even_counts(act, mp);
+        let ci = c[mpr];
+        let cn = c[(mpr + 1) % mp];
+        let per_hook = ((act - ci) + (act - cn)) as u64;
+        mp_ar = w * 2 * block_passes * layers as u64 * per_hook;
+        if zcfg.partition_activations {
+            // One checkpoint gather per segment (interval 1 ⇒ per layer).
+            let segments = layers.div_ceil(zcfg.checkpoint_interval.max(1)) as u64;
+            mp_ag = w * segments * (act - cn) as u64;
+        }
+    }
+
+    // --- overflow flag (+ grad-norm when clipping an unskipped step) ---
+    let world_idx = rank; // world group is identity-ordered
+    let mut flag_ar = one_elem_ar_bytes(world, world_idx);
+    if zcfg.clip_grad_norm.is_some() && !skipped {
+        flag_ar += if zcfg.stage.partitions_optimizer() {
+            one_elem_ar_bytes(world, world_idx)
+        } else {
+            one_elem_ar_bytes(mp, mpr)
+        };
+    }
+
+    match zcfg.stage {
+        ZeroStage::One | ZeroStage::Two => Expected {
+            // Reduce-scatter skips this rank's own shard; the publish
+            // all-gather (absent when skipped) skips the successor's.
+            rs: w * (psi as u64 - shard),
+            ag: mp_ag + if skipped { 0 } else { w * (psi as u64 - next) },
+            ar: ArExpect::Exact(mp_ar + flag_ar),
+        },
+        ZeroStage::Three => {
+            // Each unit is re-gathered once per pass it participates in:
+            // embed and head once (forward only — backward reuses nothing
+            // and computes their grads without parameters re-fetched…
+            // embed) — blocks are fetched in forward and again for
+            // backward (or recompute, which subsumes the backward fetch).
+            let mut ag = 0u64;
+            let units = layout.units();
+            for (ui, unit) in units.iter().enumerate() {
+                let passes: u64 = if ui == 0 || ui + 1 == units.len() { 1 } else { 2 };
+                let counts = part.intersect_counts(&unit.range);
+                let cnext = counts[(dpr + 1) % dp] as u64;
+                ag += passes * (unit.range.len() as u64 - cnext);
+            }
+            Expected {
+                rs: w * (psi as u64 - shard),
+                ag: mp_ag + w * ag,
+                ar: ArExpect::Exact(mp_ar + flag_ar),
+            }
+        }
+        ZeroStage::Ddp => {
+            let chunks = psi.div_ceil(zcfg.bucket_elems) as u64;
+            Expected {
+                rs: 0,
+                ag: mp_ag,
+                ar: ArExpect::Band {
+                    // The paper's 2Ψ·(N−1)/N, ±2 boundary elements per
+                    // CB chunk for the balanced-uneven split.
+                    center: (mp_ar + flag_ar) as f64
+                        + w as f64 * 2.0 * psi as f64 * (dp as f64 - 1.0) / dp as f64,
+                    slack: (w * 2 * chunks) as f64 + 1.0,
+                },
+            }
+        }
+    }
+}
+
+/// The local batch all shape-dependent checks assume.
+const SHAPE_LOCAL_BATCH: usize = 2;
+
+fn shape(skipped: bool) -> StepShape {
+    let m = test_model();
+    StepShape {
+        micro_batches: 1,
+        act_elems: SHAPE_LOCAL_BATCH * m.seq * m.hidden,
+        skipped,
+    }
+}
+
+/// Checks one configuration: symmetry of every plan the engine can
+/// install, and exact volume agreement for the train step.
+fn check_config(
+    zcfg: &ZeroConfig,
+    grid: Grid,
+    report: &mut ScheduleReport,
+) -> Result<(), String> {
+    let model = test_model();
+    let layout = Layout::build_mp(&model, grid.mp_degree());
+    let what = format!(
+        "{} dp={} mp={} fp16={} ckpt={} pa={} node={:?}",
+        zcfg.stage.name(),
+        grid.dp_degree(),
+        grid.mp_degree(),
+        zcfg.fp16,
+        zcfg.checkpoint_activations,
+        zcfg.partition_activations,
+        zcfg.node_size
+    );
+
+    for skipped in [false, true] {
+        let plan = CommPlan::train_step(&layout, zcfg, grid, &shape(skipped));
+        let (ops, pairs) = check_symmetry(&plan, &what)?;
+        report.ops_checked += ops;
+        report.pair_checks += pairs;
+        report.plans += 1;
+
+        for rank in 0..grid.world_size() {
+            let got = plan.rank_bytes(rank);
+            let want = expected_step(&layout, zcfg, grid, rank, skipped);
+            if got[RS] != want.rs {
+                return Err(format!(
+                    "{what} skipped={skipped}: rank {rank} reduce-scatter bytes {} ≠ \
+                     telescoped identity {}",
+                    got[RS], want.rs
+                ));
+            }
+            if got[AG] != want.ag {
+                return Err(format!(
+                    "{what} skipped={skipped}: rank {rank} all-gather bytes {} ≠ \
+                     telescoped identity {}",
+                    got[AG], want.ag
+                ));
+            }
+            match want.ar {
+                ArExpect::Exact(b) => {
+                    if got[AR] != b {
+                        return Err(format!(
+                            "{what} skipped={skipped}: rank {rank} all-reduce bytes {} ≠ {}",
+                            got[AR], b
+                        ));
+                    }
+                }
+                ArExpect::Band { center, slack } => {
+                    let d = (got[AR] as f64 - center).abs();
+                    if d > slack {
+                        return Err(format!(
+                            "{what} skipped={skipped}: rank {rank} all-reduce bytes {} \
+                             outside 2Ψ(N−1)/N band {center}±{slack}",
+                            got[AR]
+                        ));
+                    }
+                }
+            }
+            // Paper headline bounds (§7): stages 1/2 move < 2Ψ per rank
+            // across DP; stage 3 at most 3Ψ.
+            let w: u64 = if zcfg.fp16 { 2 } else { 4 };
+            let psi = layout.total_params() as u64;
+            let dp_total = want.rs + want.ag;
+            match zcfg.stage {
+                ZeroStage::One | ZeroStage::Two
+                    if !skipped && grid.mp_degree() == 1 && dp_total > 2 * psi * w =>
+                {
+                    return Err(format!("{what}: rank {rank} exceeds the 2Ψ bound"));
+                }
+                ZeroStage::Three if grid.mp_degree() == 1 && dp_total > 3 * psi * w => {
+                    return Err(format!("{what}: rank {rank} exceeds the 3Ψ bound"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The other installable plans must be symmetric too.
+    for (plan, name) in [
+        (CommPlan::eval_pass(&layout, zcfg, grid, shape(false).act_elems), "eval"),
+        (CommPlan::publish_refresh(&layout, zcfg, grid), "refresh"),
+    ] {
+        let (ops, pairs) = check_symmetry(&plan, &format!("{what} [{name}]"))?;
+        report.ops_checked += ops;
+        report.pair_checks += pairs;
+        report.plans += 1;
+    }
+    report.configs += 1;
+    Ok(())
+}
+
+/// Runs the full static sweep: every stage × N ∈ {2..8} (plus MP grids,
+/// checkpointing/P_a, clipping, and hierarchical-all-reduce variants) —
+/// zero training steps executed.
+pub fn check_all() -> Result<ScheduleReport, String> {
+    let mut report = ScheduleReport::default();
+
+    let base = |stage: ZeroStage| ZeroConfig {
+        stage,
+        fp16: true,
+        checkpoint_activations: false,
+        initial_loss_scale: 1.0,
+        bucket_elems: 512,
+        clip_grad_norm: None,
+        ..ZeroConfig::default()
+    };
+
+    // Stage × N sweep (the acceptance grid), pure data parallelism.
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for n in 2..=8 {
+            check_config(&base(stage), Grid::new(n, 1), &mut report)?;
+        }
+    }
+
+    // Mixed DP × MP grids (Megatron-style groups).
+    for stage in [ZeroStage::Two, ZeroStage::Three] {
+        for (dp, mp) in [(2, 2), (4, 2)] {
+            check_config(&base(stage), Grid::new(dp, mp), &mut report)?;
+        }
+    }
+
+    // ZeRO-R: checkpointing with partitioned activations (P_a).
+    let pa = ZeroConfig {
+        checkpoint_activations: true,
+        partition_activations: true,
+        ..base(ZeroStage::Two)
+    };
+    for (dp, mp) in [(2, 2), (4, 2)] {
+        check_config(&pa, Grid::new(dp, mp), &mut report)?;
+    }
+
+    // Gradient clipping adds the grad-norm reduction.
+    for stage in [ZeroStage::Ddp, ZeroStage::Three] {
+        let clip = ZeroConfig { clip_grad_norm: Some(1.0), ..base(stage) };
+        check_config(&clip, Grid::new(4, 1), &mut report)?;
+    }
+
+    // Hierarchical (two-level) all-reduce under DDP: symmetry only — the
+    // three-phase volume is covered empirically by the conformance tests.
+    for (world, g) in [(4usize, 2usize), (8, 4)] {
+        let hier = ZeroConfig { node_size: Some(g), ..base(ZeroStage::Ddp) };
+        let grid = Grid::new(world, 1);
+        let layout = Layout::build_mp(&test_model(), 1);
+        for skipped in [false, true] {
+            let plan = CommPlan::train_step(&layout, &hier, grid, &shape(skipped));
+            let (ops, pairs) =
+                check_symmetry(&plan, &format!("DDP hier world={world} g={g}"))?;
+            report.ops_checked += ops;
+            report.pair_checks += pairs;
+            report.plans += 1;
+        }
+        report.configs += 1;
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_passes() {
+        let r = check_all().expect("static schedule check");
+        assert!(r.configs >= 36, "sweep covered {} configs", r.configs);
+        assert!(r.ops_checked > 1000);
+    }
+
+    #[test]
+    fn flag_volume_formula_matches_ring() {
+        // Cross-check the first-principles 1-element all-reduce bytes
+        // against the plan machinery itself.
+        let layout = Layout::build(&test_model());
+        let zcfg = ZeroConfig {
+            stage: ZeroStage::Two,
+            fp16: true,
+            checkpoint_activations: false,
+            ..ZeroConfig::default()
+        };
+        for n in [1usize, 2, 5] {
+            let plan = CommPlan::step_prefix(&layout, &zcfg, Grid::new(n, 1), 1, 16);
+            for rank in 0..n {
+                let flag: u64 = plan
+                    .resolve_for(rank)
+                    .iter()
+                    .filter(|op| op.label == "overflow-flag")
+                    .map(|op| op.sent_bytes(rank))
+                    .sum();
+                assert_eq!(flag, one_elem_ar_bytes(n, rank), "n={n} rank={rank}");
+            }
+        }
+    }
+}

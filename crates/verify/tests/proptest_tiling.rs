@@ -1,0 +1,56 @@
+//! Property tests extending the shard-tiling prover to arbitrary sizes:
+//! for any `(total, n)`, the partition invariants hold, and for any
+//! subrange the per-owner intersections tile it exactly.
+
+use proptest::prelude::*;
+use zero_core::Partitioner;
+
+proptest! {
+    #[test]
+    fn tiling_invariants_hold(total in 0usize..200_000, n in 1usize..128) {
+        let p = Partitioner::new(total, n);
+        prop_assert!(p.verify_tiling().is_ok(), "{:?}", p.verify_tiling());
+    }
+
+    #[test]
+    fn intersections_tile_any_subrange(
+        total in 1usize..100_000,
+        n in 1usize..64,
+        a in 0usize..100_000,
+        b in 0usize..100_000,
+    ) {
+        let lo = a.min(b) % total;
+        let hi = lo + (a.max(b) % (total - lo).max(1));
+        let range = lo..hi.min(total);
+        let p = Partitioner::new(total, n);
+        let counts = p.intersect_counts(&range);
+        // Counts sum to the range length…
+        prop_assert_eq!(counts.iter().sum::<usize>(), range.len());
+        // …and the owners' pieces are contiguous in owner order.
+        let mut covered = range.start;
+        for (i, &cnt) in counts.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let local = p.local_slice_of(i, &range);
+            prop_assert_eq!(local.len(), cnt);
+            let global_lo = p.shard_range(i).start + local.start;
+            prop_assert_eq!(global_lo, covered);
+            covered += cnt;
+        }
+        prop_assert_eq!(covered, range.end);
+    }
+
+    #[test]
+    fn every_element_owned_exactly_once(total in 1usize..4_000, n in 1usize..32) {
+        let p = Partitioner::new(total, n);
+        let mut seen = vec![0u8; total];
+        for i in 0..n {
+            for idx in p.shard_range(i) {
+                seen[idx] += 1;
+                prop_assert_eq!(p.owner_of(idx), i);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -170,6 +170,63 @@ fn stage3_volume_is_at_most_1_5x_baseline() {
 }
 
 #[test]
+fn per_rank_bytes_match_plan_exactly_for_all_n() {
+    // The declarative CommPlan the engine derives its collectives from is
+    // also an analytic volume model. For every stage × N the measured
+    // per-rank traffic must equal the plan's prediction EXACTLY — not
+    // within tolerance. (The approximate §7 checks above remain as
+    // independent, paper-level statements.)
+    use zero::core::{CommPlan, StepShape};
+    let steps = 2;
+    let cfg = model();
+    let layout = zero::model::Layout::build(&cfg);
+    for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for n in 2..=8 {
+            let zcfg = ZeroConfig {
+                stage,
+                fp16: true,
+                initial_loss_scale: 1.0,
+                checkpoint_activations: false,
+                bucket_elems: 1000,
+                ..ZeroConfig::default()
+            };
+            let grid = Grid::new(n, 1);
+            let setup = TrainSetup {
+                model: cfg,
+                zero: zcfg,
+                grid,
+                global_batch: n, // local batch 1 at every N
+                seed: 5,
+            };
+            let report = run_training(&setup, steps, 0);
+            let act_elems = cfg.seq * cfg.hidden;
+            for r in &report.ranks {
+                let mut want = [0u64; zero::comm::KIND_COUNT];
+                for &skipped in &report.skipped {
+                    let plan = CommPlan::train_step(
+                        &layout,
+                        &zcfg,
+                        grid,
+                        &StepShape { micro_batches: 1, act_elems, skipped },
+                    );
+                    for (i, b) in plan.rank_bytes(r.rank).iter().enumerate() {
+                        want[i] += b;
+                    }
+                }
+                for (i, kind) in zero::comm::ALL_KINDS.iter().enumerate() {
+                    assert_eq!(
+                        r.traffic.bytes(*kind),
+                        want[i],
+                        "{stage:?} n={n} rank {} {kind:?}",
+                        r.rank
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn pa_adds_one_all_gather_per_block_across_mp() {
     // Compare MP traffic with and without P_a at dp = 1 (no DP traffic),
     // checkpointing on in both.
