@@ -13,6 +13,15 @@ cargo run -q --release -p zero-verify
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> overlap conformance (bitwise equivalence + exact traffic, sync vs overlapped)"
+cargo test -q --release --test overlap_equivalence
+
+echo "==> bench_step --smoke (overlap bench path, no results churn)"
+cargo run -q --release -p zero-bench --bin bench_step -- --smoke
+
+echo "==> bench_matmul --smoke (packed-GEMM bit-exactness gate)"
+cargo run -q --release -p zero-bench --bin bench_matmul -- --smoke
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,107 @@
+//! Panel-packing micro-benchmark: `results/BENCH_matmul.json`.
+//!
+//! Times `sgemm_tn` (the weight-gradient GEMM `dW = X^T · dY`, the one
+//! kernel whose transposed operand was read with stride-`m` gathers)
+//! against the retained pre-packing baseline `sgemm_tn_unpacked` at
+//! training-relevant shapes. The packed kernel's results are bit-exact
+//! vs the baseline (asserted here on every shape), so the speedup is
+//! free of numerical caveats.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zero_tensor::ops::matmul::{sgemm_tn, sgemm_tn_unpacked};
+
+#[derive(Serialize)]
+struct MatmulRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    unpacked_secs: f64,
+    packed_secs: f64,
+    /// unpacked / packed; > 1 means the panel pack wins.
+    speedup: f64,
+    gflops_packed: f64,
+}
+
+fn fill(len: usize, scale: f32) -> Vec<f32> {
+    (0..len).map(|i| ((i * 7 % 13) as f32 - 6.0) * scale).collect()
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    // Best of 3 trials: min wall-clock is the scheduler-noise-free
+    // estimate on a shared host.
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // (m, k, n): dW[m×n] = X^T[k×m]^T · dY[k×n] with k = batch·seq rows.
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(64, 128, 64)]
+    } else {
+        &[(64, 128, 64), (64, 512, 256), (256, 1024, 256), (512, 2048, 512)]
+    };
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        let a = fill(k * m, 0.02);
+        let b = fill(k * n, 0.03);
+        let mut c_packed = vec![0.0f32; m * n];
+        let mut c_unpacked = vec![0.0f32; m * n];
+        // Correctness gate before timing: bit-exact, not approximate.
+        sgemm_tn(&a, &b, &mut c_packed, m, k, n);
+        sgemm_tn_unpacked(&a, &b, &mut c_unpacked, m, k, n);
+        for (x, y) in c_packed.iter().zip(&c_unpacked) {
+            assert_eq!(x.to_bits(), y.to_bits(), "packed kernel diverged at ({m},{k},{n})");
+        }
+        let reps = if smoke { 3 } else { (1 << 27) / (2 * m * k * n) + 3 };
+        // Warm both paths once, then time.
+        let unpacked_secs =
+            time_reps(reps, || sgemm_tn_unpacked(&a, &b, &mut c_unpacked, m, k, n));
+        let packed_secs = time_reps(reps, || sgemm_tn(&a, &b, &mut c_packed, m, k, n));
+        let flops = (2 * m * k * n * reps) as f64;
+        rows.push(MatmulRow {
+            m,
+            k,
+            n,
+            reps,
+            unpacked_secs,
+            packed_secs,
+            speedup: unpacked_secs / packed_secs,
+            gflops_packed: flops / packed_secs / 1e9,
+        });
+    }
+    for r in &rows {
+        println!(
+            "tn {:>4}x{:>4}x{:>4}  unpacked {:>8.3} ms  packed {:>8.3} ms  speedup {:.2}×  {:.2} GFLOP/s",
+            r.m,
+            r.k,
+            r.n,
+            r.unpacked_secs * 1e3 / r.reps as f64,
+            r.packed_secs * 1e3 / r.reps as f64,
+            r.speedup,
+            r.gflops_packed
+        );
+    }
+    if smoke {
+        println!("smoke run complete (results file untouched)");
+        return;
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a grandparent");
+    let path = root.join("results/BENCH_matmul.json");
+    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+    std::fs::write(&path, json + "\n").expect("write BENCH_matmul.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,198 @@
+//! Overlap win quantification: `results/BENCH_step.json`.
+//!
+//! For each ZeRO stage × DP degree, runs the same short training loop
+//! twice — synchronous and overlap-centric — over a fabric with a
+//! modeled per-hop link latency (the sleep sits on each rank's progress
+//! thread, so asynchronous collectives can genuinely hide it, exactly
+//! the §7 situation the overlap engine targets). Records step latency,
+//! tokens/sec, and the per-kind wait-time vs in-flight-time split from
+//! the comm stats: under overlap, wait time collapses while execution
+//! time (on the progress thread) stays put.
+//!
+//! `--smoke` runs a single tiny configuration and skips the results
+//! file — CI uses it to prove the bench path end-to-end without
+//! churning the committed baseline.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use zero_comm::{Grid, WorldConfig, ALL_KINDS};
+use zero_core::{run_training_world, TrainReport, TrainSetup, ZeroConfig, ZeroStage};
+use zero_model::ModelConfig;
+
+/// Larger than `bench_model()`: overlap is only measurable when per-rank
+/// compute is comparable to the link latency it must hide — a model this
+/// size gives each backward block enough FLOPs to cover an in-flight
+/// reduce-scatter at the modeled latency.
+fn step_model() -> ModelConfig {
+    ModelConfig { vocab: 64, seq: 32, hidden: 128, layers: 4, heads: 4 }
+}
+
+fn step_setup(stage: ZeroStage, dp: usize, overlap: bool) -> TrainSetup {
+    TrainSetup {
+        model: step_model(),
+        zero: ZeroConfig {
+            stage,
+            fp16: true,
+            initial_loss_scale: 1.0,
+            // No recompute (checkpointing with interval 1 re-fetches each
+            // unit exactly where it is used, leaving nothing to issue
+            // ahead) and buckets small enough that a backward pass
+            // produces several in-flight reduce-scatters.
+            checkpoint_activations: false,
+            bucket_elems: 32 * 1024,
+            overlap,
+            ..ZeroConfig::default()
+        },
+        grid: Grid::new(dp, 1),
+        global_batch: 8,
+        seed: 1,
+    }
+}
+
+#[derive(Serialize)]
+struct StepRow {
+    stage: String,
+    nd: usize,
+    overlap: bool,
+    steps: usize,
+    secs_per_step: f64,
+    tokens_per_sec: f64,
+    /// Max over ranks: total blocking wait on collectives, ms per step.
+    comm_wait_ms_per_step: f64,
+    /// Max over ranks: total progress-thread execution, ms per step.
+    comm_exec_ms_per_step: f64,
+    /// Rank 0 per-kind wait ms/step, in `ALL_KINDS` order.
+    rank0_wait_ms_by_kind: Vec<f64>,
+    /// Rank 0 per-kind in-flight execution ms/step, in `ALL_KINDS` order.
+    rank0_exec_ms_by_kind: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    stage: String,
+    nd: usize,
+    sync_secs_per_step: f64,
+    overlapped_secs_per_step: f64,
+    /// sync / overlapped step latency; > 1 means overlap wins.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchStep {
+    link_latency_us: u64,
+    steps: usize,
+    global_batch: usize,
+    rows: Vec<StepRow>,
+    speedups: Vec<Speedup>,
+}
+
+fn run_one(stage: ZeroStage, nd: usize, overlap: bool, steps: usize, latency: Duration) -> (f64, TrainReport) {
+    let setup = step_setup(stage, nd, overlap);
+    let t0 = Instant::now();
+    let report = run_training_world(&setup, steps, 0, WorldConfig::with_link_latency(latency));
+    (t0.elapsed().as_secs_f64(), report)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (stages, dps, steps, trials, latency): (&[ZeroStage], &[usize], usize, usize, Duration) =
+        if smoke {
+            (&[ZeroStage::Three], &[2], 2, 1, Duration::from_micros(50))
+        } else {
+            (
+                &[ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three],
+                &[2, 4],
+                10,
+                2,
+                Duration::from_micros(800),
+            )
+        };
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut global_batch = 0;
+    for &stage in stages {
+        for &nd in dps {
+            let mut secs = [0.0f64; 2];
+            for overlap in [false, true] {
+                let setup = step_setup(stage, nd, overlap);
+                global_batch = setup.global_batch;
+                let tokens = (setup.global_batch * setup.model.seq * steps) as f64;
+                // Best-of-`trials`: the in-process cluster shares one
+                // host with the harness, so min wall-clock is the
+                // scheduler-noise-free estimate.
+                let (mut elapsed, mut report) = run_one(stage, nd, overlap, steps, latency);
+                for _ in 1..trials {
+                    let (e, r) = run_one(stage, nd, overlap, steps, latency);
+                    if e < elapsed {
+                        (elapsed, report) = (e, r);
+                    }
+                }
+                secs[overlap as usize] = elapsed / steps as f64;
+                let per_step_ms = |nanos: u64| nanos as f64 / 1e6 / steps as f64;
+                let wait_max =
+                    report.ranks.iter().map(|r| r.timing.total_wait_nanos()).max().unwrap_or(0);
+                let exec_max =
+                    report.ranks.iter().map(|r| r.timing.total_exec_nanos()).max().unwrap_or(0);
+                let r0 = &report.ranks[0].timing;
+                rows.push(StepRow {
+                    stage: stage.name().to_string(),
+                    nd,
+                    overlap,
+                    steps,
+                    secs_per_step: elapsed / steps as f64,
+                    tokens_per_sec: tokens / elapsed,
+                    comm_wait_ms_per_step: per_step_ms(wait_max),
+                    comm_exec_ms_per_step: per_step_ms(exec_max),
+                    rank0_wait_ms_by_kind: ALL_KINDS
+                        .iter()
+                        .map(|k| per_step_ms(r0.wait_nanos(*k)))
+                        .collect(),
+                    rank0_exec_ms_by_kind: ALL_KINDS
+                        .iter()
+                        .map(|k| per_step_ms(r0.exec_nanos(*k)))
+                        .collect(),
+                });
+            }
+            speedups.push(Speedup {
+                stage: stage.name().to_string(),
+                nd,
+                sync_secs_per_step: secs[0],
+                overlapped_secs_per_step: secs[1],
+                speedup: secs[0] / secs[1],
+            });
+        }
+    }
+
+    for s in &speedups {
+        println!(
+            "{:<20} N={}  sync {:>8.2} ms/step  overlapped {:>8.2} ms/step  speedup {:.2}×",
+            s.stage,
+            s.nd,
+            s.sync_secs_per_step * 1e3,
+            s.overlapped_secs_per_step * 1e3,
+            s.speedup
+        );
+    }
+
+    if smoke {
+        println!("smoke run complete (results file untouched)");
+        return;
+    }
+    let out = BenchStep {
+        link_latency_us: latency.as_micros() as u64,
+        steps,
+        global_batch,
+        rows,
+        speedups,
+    };
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a grandparent");
+    let path = root.join("results/BENCH_step.json");
+    let json = serde_json::to_string_pretty(&out).expect("serialize bench");
+    std::fs::write(&path, json + "\n").expect("write BENCH_step.json");
+    println!("wrote {}", path.display());
+}

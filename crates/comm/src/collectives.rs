@@ -12,8 +12,9 @@
 
 use crate::error::CommError;
 use crate::group::Group;
+use crate::nonblocking::{PendingOp, Request};
 use crate::stats::CollectiveKind;
-use crate::world::Communicator;
+use crate::world::{Communicator, Fabric};
 
 /// Reduction operator for reduce-style collectives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -173,15 +174,22 @@ impl Communicator {
         let g = Group::world(self.world_size());
         self.reduce_in(&g, root, buf, op, prec)
     }
+}
 
-    // ----- group collectives -----
+// ----- fabric-side ring schedules (run on the progress thread) -----
+//
+// These bodies are the original synchronous implementations, verbatim:
+// every membership check, fault trigger (`begin_op`), send, and receive
+// happens in the same order it always did. The public `Communicator`
+// methods below submit these as queue jobs.
 
+impl Fabric {
     /// Ring all-reduce within `group`, in place.
     ///
     /// # Errors
     /// Returns [`CommError::NotInGroup`] if this rank is not a member of
     /// `group`.
-    pub fn all_reduce_in(
+    pub(crate) fn all_reduce_in(
         &mut self,
         group: &Group,
         buf: &mut [f32],
@@ -196,7 +204,7 @@ impl Communicator {
             return Ok(());
         }
         self.begin_op(CollectiveKind::AllReduce)?;
-        let idx = member_index(group, self.rank())?;
+        let idx = member_index(group, self.rank)?;
         let total = buf.len();
         let next = group.members()[(idx + 1) % n];
         let prev = group.members()[(idx + n - 1) % n];
@@ -223,6 +231,199 @@ impl Communicator {
             buf[chunk_range(total, n, recv_c)].copy_from_slice(&incoming);
         }
         finalize(op, buf, n);
+        Ok(())
+    }
+
+    /// Ring reduce-scatter with explicit per-member chunk lengths
+    /// (`counts[i]` elements go to group member `i`; `Σ counts` must equal
+    /// `input.len()`). Zero counts are allowed — ZeRO's flat-space
+    /// partitioning produces uneven and sometimes empty intersections
+    /// between a layer's parameter range and a rank's shard.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub(crate) fn reduce_scatter_var_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        counts: &[usize],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "reduce_scatter: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
+        let idx = member_index(group, self.rank)?;
+        let ranges = ranges_from_counts(counts);
+        assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
+        if n == 1 {
+            // No peers, no fabric op (see `all_reduce_in`).
+            out.copy_from_slice(input);
+            finalize(op, out, 1);
+            return Ok(());
+        }
+        self.begin_op(CollectiveKind::ReduceScatter)?;
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+
+        // Working copy: the ring mutates chunks as partial sums flow.
+        let mut work = input.to_vec();
+        for step in 0..n - 1 {
+            let send_c = (idx + 2 * n - 1 - step) % n;
+            let recv_c = (idx + 2 * n - 2 - step) % n;
+            let payload = work[ranges[send_c].clone()].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::ReduceScatter, bytes)?;
+            let incoming = self.recv_raw(prev)?;
+            apply(op, &mut work[ranges[recv_c].clone()], &incoming);
+        }
+        out.copy_from_slice(&work[ranges[idx].clone()]);
+        finalize(op, out, n);
+        Ok(())
+    }
+
+    /// Ring all-gather with explicit per-member chunk lengths (`counts[i]`
+    /// elements contributed by member `i`; `Σ counts` = `out.len()`).
+    /// Zero counts are allowed.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub(crate) fn all_gather_var_in(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        out: &mut [f32],
+        counts: &[usize],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "all_gather: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather: counts sum");
+        let idx = member_index(group, self.rank)?;
+        let ranges = ranges_from_counts(counts);
+        assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
+        out[ranges[idx].clone()].copy_from_slice(shard);
+        if n == 1 {
+            // No peers, no fabric op (see `all_reduce_in`).
+            return Ok(());
+        }
+        self.begin_op(CollectiveKind::AllGather)?;
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+        for step in 0..n - 1 {
+            let send_c = (idx + n - step) % n;
+            let recv_c = (idx + 2 * n - 1 - step) % n;
+            let payload = out[ranges[send_c].clone()].to_vec();
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(next, payload, CollectiveKind::AllGather, bytes)?;
+            let incoming = self.recv_raw(prev)?;
+            out[ranges[recv_c].clone()].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// Pipelined broadcast within `group` from global rank `root`.
+    ///
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank or `root` is not in
+    /// `group`.
+    pub(crate) fn broadcast_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        buf: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::Broadcast)?;
+        let n = group.len();
+        if n == 1 {
+            return Ok(());
+        }
+        let idx = member_index(group, self.rank)?;
+        let root_idx = member_index(group, root)?;
+        // Position along the chain starting at the root.
+        let pos = (idx + n - root_idx) % n;
+        let bytes = prec.bytes() * buf.len() as u64;
+        if pos > 0 {
+            let prev = group.members()[(idx + n - 1) % n];
+            let incoming = self.recv_raw(prev)?;
+            buf.copy_from_slice(&incoming);
+        }
+        if pos < n - 1 {
+            let next = group.members()[(idx + 1) % n];
+            self.send_raw(next, buf.to_vec(), CollectiveKind::Broadcast, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Chain reduce within `group` to global rank `root`. Afterwards only
+    /// the root's `buf` holds the reduced result; other members' buffers
+    /// are unchanged.
+    ///
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank or `root` is not in
+    /// `group`.
+    pub(crate) fn reduce_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        self.begin_op(CollectiveKind::Reduce)?;
+        let n = group.len();
+        if n == 1 {
+            finalize(op, buf, 1);
+            return Ok(());
+        }
+        let idx = member_index(group, self.rank)?;
+        let root_idx = member_index(group, root)?;
+        // Chain: the member farthest *after* the root sends first; partial
+        // sums flow backwards around the ring into the root.
+        let pos = (idx + n - root_idx) % n; // root has pos 0
+        let bytes = prec.bytes() * buf.len() as u64;
+        if pos == 0 {
+            // Root: receive one partial-sum message from its successor.
+            let next = group.members()[(idx + 1) % n];
+            let incoming = self.recv_raw(next)?;
+            apply(op, buf, &incoming);
+            finalize(op, buf, n);
+        } else {
+            let mut work = buf.to_vec();
+            if pos < n - 1 {
+                let next = group.members()[(idx + 1) % n];
+                let incoming = self.recv_raw(next)?;
+                apply(op, &mut work, &incoming);
+            }
+            let prev = group.members()[(idx + n - 1) % n];
+            self.send_raw(prev, work, CollectiveKind::Reduce, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+// ----- public group collectives: submit to the progress thread -----
+
+impl Communicator {
+    /// Ring all-reduce within `group`, in place.
+    ///
+    /// # Errors
+    /// Returns [`CommError::NotInGroup`] if this rank is not a member of
+    /// `group`.
+    pub fn all_reduce_in(
+        &mut self,
+        group: &Group,
+        buf: &mut [f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let req = Request::AllReduce { group: group.clone(), data: buf.to_vec(), op, prec };
+        let out = self.submit(Some(CollectiveKind::AllReduce), req).wait()?;
+        buf.copy_from_slice(&out);
         Ok(())
     }
 
@@ -263,35 +464,11 @@ impl Communicator {
         counts: &[usize],
         prec: Precision,
     ) -> Result<(), CommError> {
-        let n = group.len();
-        assert_eq!(counts.len(), n, "reduce_scatter: counts length");
-        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
-        let idx = member_index(group, self.rank())?;
-        let ranges = ranges_from_counts(counts);
-        assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
-        if n == 1 {
-            // No peers, no fabric op (see `all_reduce_in`).
-            out.copy_from_slice(input);
-            finalize(op, out, 1);
-            return Ok(());
+        if let Some(idx) = group.local_index(self.rank()) {
+            assert_eq!(out.len(), counts[idx], "reduce_scatter: bad out length");
         }
-        self.begin_op(CollectiveKind::ReduceScatter)?;
-        let next = group.members()[(idx + 1) % n];
-        let prev = group.members()[(idx + n - 1) % n];
-
-        // Working copy: the ring mutates chunks as partial sums flow.
-        let mut work = input.to_vec();
-        for step in 0..n - 1 {
-            let send_c = (idx + 2 * n - 1 - step) % n;
-            let recv_c = (idx + 2 * n - 2 - step) % n;
-            let payload = work[ranges[send_c].clone()].to_vec();
-            let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::ReduceScatter, bytes)?;
-            let incoming = self.recv_raw(prev)?;
-            apply(op, &mut work[ranges[recv_c].clone()], &incoming);
-        }
-        out.copy_from_slice(&work[ranges[idx].clone()]);
-        finalize(op, out, n);
+        let chunk = self.start_reduce_scatter_var(group, input, op, counts, prec).wait()?;
+        out.copy_from_slice(&chunk);
         Ok(())
     }
 
@@ -328,29 +505,9 @@ impl Communicator {
         counts: &[usize],
         prec: Precision,
     ) -> Result<(), CommError> {
-        let n = group.len();
-        assert_eq!(counts.len(), n, "all_gather: counts length");
         assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather: counts sum");
-        let idx = member_index(group, self.rank())?;
-        let ranges = ranges_from_counts(counts);
-        assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
-        out[ranges[idx].clone()].copy_from_slice(shard);
-        if n == 1 {
-            // No peers, no fabric op (see `all_reduce_in`).
-            return Ok(());
-        }
-        self.begin_op(CollectiveKind::AllGather)?;
-        let next = group.members()[(idx + 1) % n];
-        let prev = group.members()[(idx + n - 1) % n];
-        for step in 0..n - 1 {
-            let send_c = (idx + n - step) % n;
-            let recv_c = (idx + 2 * n - 1 - step) % n;
-            let payload = out[ranges[send_c].clone()].to_vec();
-            let bytes = prec.bytes() * payload.len() as u64;
-            self.send_raw(next, payload, CollectiveKind::AllGather, bytes)?;
-            let incoming = self.recv_raw(prev)?;
-            out[ranges[recv_c].clone()].copy_from_slice(&incoming);
-        }
+        let full = self.start_all_gather_var(group, shard, counts, prec).wait()?;
+        out.copy_from_slice(&full);
         Ok(())
     }
 
@@ -366,25 +523,10 @@ impl Communicator {
         buf: &mut [f32],
         prec: Precision,
     ) -> Result<(), CommError> {
-        self.begin_op(CollectiveKind::Broadcast)?;
-        let n = group.len();
-        if n == 1 {
-            return Ok(());
-        }
-        let idx = member_index(group, self.rank())?;
-        let root_idx = member_index(group, root)?;
-        // Position along the chain starting at the root.
-        let pos = (idx + n - root_idx) % n;
-        let bytes = prec.bytes() * buf.len() as u64;
-        if pos > 0 {
-            let prev = group.members()[(idx + n - 1) % n];
-            let incoming = self.recv_raw(prev)?;
-            buf.copy_from_slice(&incoming);
-        }
-        if pos < n - 1 {
-            let next = group.members()[(idx + 1) % n];
-            self.send_raw(next, buf.to_vec(), CollectiveKind::Broadcast, bytes)?;
-        }
+        let req =
+            Request::Broadcast { group: group.clone(), root, data: buf.to_vec(), prec };
+        let out = self.submit(Some(CollectiveKind::Broadcast), req).wait()?;
+        buf.copy_from_slice(&out);
         Ok(())
     }
 
@@ -403,35 +545,94 @@ impl Communicator {
         op: ReduceOp,
         prec: Precision,
     ) -> Result<(), CommError> {
-        self.begin_op(CollectiveKind::Reduce)?;
-        let n = group.len();
-        if n == 1 {
-            finalize(op, buf, 1);
-            return Ok(());
-        }
-        let idx = member_index(group, self.rank())?;
-        let root_idx = member_index(group, root)?;
-        // Chain: the member farthest *after* the root sends first; partial
-        // sums flow backwards around the ring into the root.
-        let pos = (idx + n - root_idx) % n; // root has pos 0
-        let bytes = prec.bytes() * buf.len() as u64;
-        if pos == 0 {
-            // Root: receive one partial-sum message from its successor.
-            let next = group.members()[(idx + 1) % n];
-            let incoming = self.recv_raw(next)?;
-            apply(op, buf, &incoming);
-            finalize(op, buf, n);
-        } else {
-            let mut work = buf.to_vec();
-            if pos < n - 1 {
-                let next = group.members()[(idx + 1) % n];
-                let incoming = self.recv_raw(next)?;
-                apply(op, &mut work, &incoming);
-            }
-            let prev = group.members()[(idx + n - 1) % n];
-            self.send_raw(prev, work, CollectiveKind::Reduce, bytes)?;
-        }
+        let req =
+            Request::Reduce { group: group.clone(), root, data: buf.to_vec(), op, prec };
+        let out = self.submit(Some(CollectiveKind::Reduce), req).wait()?;
+        buf.copy_from_slice(&out);
         Ok(())
+    }
+
+    // ----- non-blocking starts -----
+
+    /// Starts a ring reduce-scatter (balanced chunks) without blocking;
+    /// [`PendingOp::wait`] yields this rank's reduced chunk.
+    pub fn start_reduce_scatter(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        op: ReduceOp,
+        prec: Precision,
+    ) -> PendingOp {
+        let n = group.len();
+        let counts: Vec<usize> = (0..n).map(|i| chunk_range(input.len(), n, i).len()).collect();
+        self.start_reduce_scatter_var(group, input, op, &counts, prec)
+    }
+
+    /// Starts a ring reduce-scatter with explicit per-member counts
+    /// without blocking; [`PendingOp::wait`] yields this rank's reduced
+    /// chunk (`counts[idx]` elements). The op advances on the progress
+    /// thread while the caller computes.
+    ///
+    /// # Panics
+    /// Panics if `counts` is inconsistent with `group` and `input`.
+    pub fn start_reduce_scatter_var(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        op: ReduceOp,
+        counts: &[usize],
+        prec: Precision,
+    ) -> PendingOp {
+        assert_eq!(counts.len(), group.len(), "reduce_scatter: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter: counts sum");
+        let req = Request::ReduceScatter {
+            group: group.clone(),
+            input: input.to_vec(),
+            op,
+            counts: counts.to_vec(),
+            prec,
+        };
+        self.submit(Some(CollectiveKind::ReduceScatter), req)
+    }
+
+    /// Starts a ring all-gather (balanced chunks over `total` elements)
+    /// without blocking; [`PendingOp::wait`] yields the full buffer.
+    pub fn start_all_gather(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        total: usize,
+        prec: Precision,
+    ) -> PendingOp {
+        let n = group.len();
+        let counts: Vec<usize> = (0..n).map(|i| chunk_range(total, n, i).len()).collect();
+        self.start_all_gather_var(group, shard, &counts, prec)
+    }
+
+    /// Starts a ring all-gather with explicit per-member counts without
+    /// blocking; [`PendingOp::wait`] yields the full `Σ counts` buffer.
+    /// The op advances on the progress thread while the caller computes.
+    ///
+    /// # Panics
+    /// Panics if `counts` is inconsistent with `group` and `shard`.
+    pub fn start_all_gather_var(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        counts: &[usize],
+        prec: Precision,
+    ) -> PendingOp {
+        assert_eq!(counts.len(), group.len(), "all_gather: counts length");
+        if let Some(idx) = group.local_index(self.rank()) {
+            assert_eq!(shard.len(), counts[idx], "all_gather: bad shard length");
+        }
+        let req = Request::AllGather {
+            group: group.clone(),
+            shard: shard.to_vec(),
+            counts: counts.to_vec(),
+            prec,
+        };
+        self.submit(Some(CollectiveKind::AllGather), req)
     }
 }
 
@@ -692,19 +893,17 @@ mod var_tests {
     }
 }
 
-impl Communicator {
-    /// All-to-all within `group`: member `i` sends `chunks[j]` of its
-    /// input to member `j` and receives everyone's `i`-th chunk, in
-    /// member order. Equal chunking of `input.len()` over the group
-    /// (balanced like [`chunk_range`]); `out` must match `input` length.
-    ///
-    /// Used by expert-parallel (MoE) layouts; included for completeness
-    /// of the NCCL-substitute surface.
+impl Fabric {
+    /// All-to-all within `group` (fabric side): member `i` sends
+    /// `chunks[j]` of its input to member `j` and receives everyone's
+    /// `i`-th chunk, in member order. Equal chunking of `input.len()` over
+    /// the group (balanced like [`chunk_range`]); `out` must match `input`
+    /// length.
     ///
     /// # Panics
     /// Panics on length inconsistencies; membership violations surface as
     /// [`CommError::NotInGroup`].
-    pub fn all_to_all_in(
+    pub(crate) fn all_to_all_in(
         &mut self,
         group: &Group,
         input: &[f32],
@@ -714,7 +913,7 @@ impl Communicator {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
         assert_eq!(input.len(), out.len(), "all_to_all: length mismatch");
-        let idx = member_index(group, self.rank())?;
+        let idx = member_index(group, self.rank)?;
         let total = input.len();
         // Keep own chunk.
         let own = chunk_range(total, n, idx);
@@ -739,13 +938,14 @@ impl Communicator {
         Ok(())
     }
 
-    /// Gather within `group`: every member's `shard` arrives at `root`'s
-    /// `out` (chunked in member order); non-roots may pass an empty `out`.
+    /// Gather within `group` (fabric side): every member's `shard` arrives
+    /// at `root`'s `out` (chunked in member order); non-roots may pass an
+    /// empty `out`.
     ///
     /// # Panics
     /// Panics on length inconsistencies; membership violations surface as
     /// [`CommError::NotInGroup`].
-    pub fn gather_in(
+    pub(crate) fn gather_in(
         &mut self,
         group: &Group,
         root: usize,
@@ -755,7 +955,7 @@ impl Communicator {
     ) -> Result<(), CommError> {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
-        let idx = member_index(group, self.rank())?;
+        let idx = member_index(group, self.rank)?;
         let root_idx = member_index(group, root)?;
         if idx == root_idx {
             let total = out.len();
@@ -778,13 +978,13 @@ impl Communicator {
         Ok(())
     }
 
-    /// Scatter within `group`: `root`'s `input` is chunked in member
-    /// order; member `i` receives chunk `i` into `shard`.
+    /// Scatter within `group` (fabric side): `root`'s `input` is chunked
+    /// in member order; member `i` receives chunk `i` into `shard`.
     ///
     /// # Panics
     /// Panics on length inconsistencies; membership violations surface as
     /// [`CommError::NotInGroup`].
-    pub fn scatter_in(
+    pub(crate) fn scatter_in(
         &mut self,
         group: &Group,
         root: usize,
@@ -794,7 +994,7 @@ impl Communicator {
     ) -> Result<(), CommError> {
         self.begin_op(CollectiveKind::P2p)?;
         let n = group.len();
-        let idx = member_index(group, self.rank())?;
+        let idx = member_index(group, self.rank)?;
         let root_idx = member_index(group, root)?;
         if idx == root_idx {
             let total = input.len();
@@ -818,6 +1018,85 @@ impl Communicator {
             assert_eq!(incoming.len(), shard.len(), "scatter: bad chunk length");
             shard.copy_from_slice(&incoming);
         }
+        Ok(())
+    }
+}
+
+impl Communicator {
+    /// All-to-all within `group`: member `i` sends `chunks[j]` of its
+    /// input to member `j` and receives everyone's `i`-th chunk, in
+    /// member order. Equal chunking of `input.len()` over the group
+    /// (balanced like [`chunk_range`]); `out` must match `input` length.
+    ///
+    /// Used by expert-parallel (MoE) layouts; included for completeness
+    /// of the NCCL-substitute surface.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub fn all_to_all_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        assert_eq!(input.len(), out.len(), "all_to_all: length mismatch");
+        let req = Request::AllToAll { group: group.clone(), input: input.to_vec(), prec };
+        let data = self.submit(Some(CollectiveKind::P2p), req).wait()?;
+        out.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Gather within `group`: every member's `shard` arrives at `root`'s
+    /// `out` (chunked in member order); non-roots may pass an empty `out`.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub fn gather_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        shard: &[f32],
+        out: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let req = Request::Gather {
+            group: group.clone(),
+            root,
+            shard: shard.to_vec(),
+            out_len: out.len(),
+            prec,
+        };
+        let data = self.submit(Some(CollectiveKind::P2p), req).wait()?;
+        out.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Scatter within `group`: `root`'s `input` is chunked in member
+    /// order; member `i` receives chunk `i` into `shard`.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub fn scatter_in(
+        &mut self,
+        group: &Group,
+        root: usize,
+        input: &[f32],
+        shard: &mut [f32],
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let req = Request::Scatter {
+            group: group.clone(),
+            root,
+            input: input.to_vec(),
+            shard_len: shard.len(),
+            prec,
+        };
+        let data = self.submit(Some(CollectiveKind::P2p), req).wait()?;
+        shard.copy_from_slice(&data);
         Ok(())
     }
 }

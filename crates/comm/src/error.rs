@@ -91,6 +91,23 @@ pub enum CommError {
         /// The offending group's members.
         group: Vec<usize>,
     },
+    /// This rank's communication progress thread is gone: its job queue
+    /// disconnected before (or while) a pending op awaited its result.
+    /// The fabric endpoints died with it, so peers observe `PeerLost`.
+    ProgressLost {
+        /// The rank whose progress thread died.
+        rank: usize,
+    },
+    /// A pending op's result did not arrive within its wait budget even
+    /// though the progress thread still holds the queue open. The budget
+    /// covers every fabric timeout the op could legally consume, so this
+    /// means the progress engine itself is wedged.
+    ProgressStalled {
+        /// The rank whose progress thread stalled.
+        rank: usize,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
 }
 
 impl CommError {
@@ -105,6 +122,8 @@ impl CommError {
             | CommError::InjectedCrash { rank, .. }
             | CommError::InjectedHang { rank, .. } => rank,
             CommError::NotInGroup { rank, .. } => rank,
+            CommError::ProgressLost { rank } => rank,
+            CommError::ProgressStalled { rank, .. } => rank,
         }
     }
 
@@ -148,6 +167,16 @@ impl std::fmt::Display for CommError {
             }
             CommError::NotInGroup { rank, group } => {
                 write!(f, "rank {rank} is not a member of collective group {group:?}")
+            }
+            CommError::ProgressLost { rank } => {
+                write!(f, "rank {rank}: communication progress thread is gone")
+            }
+            CommError::ProgressStalled { rank, waited } => {
+                write!(
+                    f,
+                    "rank {rank}: pending op unanswered after {waited:?} \
+                     (progress thread wedged)"
+                )
             }
         }
     }

@@ -28,6 +28,7 @@ pub mod error;
 pub mod fault;
 pub mod group;
 pub mod hierarchical;
+pub mod nonblocking;
 pub mod stats;
 pub mod world;
 
@@ -37,7 +38,10 @@ pub use error::CommError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use group::{Grid, Group};
 pub use hierarchical::NodeTopology;
-pub use stats::{CollectiveKind, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT};
+pub use nonblocking::PendingOp;
+pub use stats::{
+    CollectiveKind, TimingSnapshot, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT,
+};
 pub use world::{
     launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,
     Communicator, RankFailure, World, WorldConfig,

@@ -1,0 +1,385 @@
+//! Non-blocking collective machinery: the progress thread, its job queue,
+//! and the [`PendingOp`] completion handle.
+//!
+//! Every communication op a rank issues — blocking or not — is a
+//! [`Request`] enqueued on the rank's progress thread. The thread drains
+//! the queue in FIFO order and runs each op against the rank's private
+//! [`Fabric`](crate::world::Fabric), so the *fabric-visible* op order is
+//! exactly the issue order. That single property carries all the
+//! correctness arguments over from the synchronous engine unchanged:
+//!
+//! * **Deadlock-freedom** — ranks run an SPMD schedule; identical issue
+//!   order per rank means the rings pair up exactly as before.
+//! * **Fault coordinates** — "the Nth fabric op on rank R" counts the same
+//!   ops in the same order, so [`FaultPlan`](crate::fault::FaultPlan)
+//!   triggers hit the same message whether the caller overlapped or not.
+//! * **Volume accounting** — the same `send_raw` path records the same
+//!   bytes/messages; overlap changes *when*, never *how much*.
+//!
+//! The blocking collectives in `collectives.rs` are thin wrappers that
+//! submit and immediately `wait()`; `start_*` returns the [`PendingOp`] so
+//! the caller can compute while the ring runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::collectives::{Precision, ReduceOp};
+use crate::error::CommError;
+use crate::group::Group;
+use crate::stats::{CollectiveKind, TrafficStats};
+use crate::world::Fabric;
+
+/// How often the progress thread re-checks its queue for disconnection.
+/// Purely a liveness bound on thread shutdown; queued jobs wake it
+/// immediately.
+const PROGRESS_TICK: Duration = Duration::from_millis(50);
+
+/// One communication op, self-contained: owns copies of its inputs so it
+/// can cross to the progress thread.
+pub(crate) enum Request {
+    /// In-place ring all-reduce over `group`.
+    AllReduce { group: Group, data: Vec<f32>, op: ReduceOp, prec: Precision },
+    /// Ring reduce-scatter with explicit per-member counts; the result is
+    /// this rank's reduced chunk (`counts[idx]` elements).
+    ReduceScatter { group: Group, input: Vec<f32>, op: ReduceOp, counts: Vec<usize>, prec: Precision },
+    /// Ring all-gather with explicit per-member counts; the result is the
+    /// full `Σ counts` buffer.
+    AllGather { group: Group, shard: Vec<f32>, counts: Vec<usize>, prec: Precision },
+    /// Pipelined broadcast from `root`; the result is the final buffer.
+    Broadcast { group: Group, root: usize, data: Vec<f32>, prec: Precision },
+    /// Chain reduce to `root`; non-roots get their input back unchanged.
+    Reduce { group: Group, root: usize, data: Vec<f32>, op: ReduceOp, prec: Precision },
+    /// All-to-all chunk transpose; the result has `input` length.
+    AllToAll { group: Group, input: Vec<f32>, prec: Precision },
+    /// Gather at `root` (result `out_len` elements there, empty elsewhere).
+    Gather { group: Group, root: usize, shard: Vec<f32>, out_len: usize, prec: Precision },
+    /// Scatter from `root`; the result is this rank's `shard_len` chunk.
+    Scatter { group: Group, root: usize, input: Vec<f32>, shard_len: usize, prec: Precision },
+    /// Point-to-point send (empty result).
+    Send { dst: usize, data: Vec<f32> },
+    /// Point-to-point receive of the next payload from `src`.
+    Recv { src: usize },
+    /// World barrier (empty result).
+    Barrier,
+}
+
+impl Request {
+    /// The stats kind this op's execution time is attributed to, if any.
+    fn kind(&self) -> Option<CollectiveKind> {
+        match self {
+            Request::AllReduce { .. } => Some(CollectiveKind::AllReduce),
+            Request::ReduceScatter { .. } => Some(CollectiveKind::ReduceScatter),
+            Request::AllGather { .. } => Some(CollectiveKind::AllGather),
+            Request::Broadcast { .. } => Some(CollectiveKind::Broadcast),
+            Request::Reduce { .. } => Some(CollectiveKind::Reduce),
+            Request::AllToAll { .. }
+            | Request::Gather { .. }
+            | Request::Scatter { .. }
+            | Request::Send { .. }
+            | Request::Recv { .. } => Some(CollectiveKind::P2p),
+            Request::Barrier => None,
+        }
+    }
+}
+
+/// A queued op plus the channel its result is delivered on.
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) done: Sender<Result<Vec<f32>, CommError>>,
+}
+
+/// Handle to an in-flight communication op.
+///
+/// Obtained from `start_reduce_scatter*` / `start_all_gather*` (or
+/// internally by every blocking collective). The op advances on the rank's
+/// progress thread regardless of what the holder does; [`PendingOp::wait`]
+/// blocks until the result (or the op's typed failure) arrives.
+///
+/// Dropping the handle without waiting does **not** cancel the op — it
+/// still executes, keeping the rank's fabric schedule aligned with its
+/// SPMD peers; only the result is discarded.
+#[must_use = "an unwaited PendingOp discards its result and any error"]
+pub struct PendingOp {
+    rank: usize,
+    kind: Option<CollectiveKind>,
+    done: Receiver<Result<Vec<f32>, CommError>>,
+    budget: Duration,
+    stats: Arc<TrafficStats>,
+    /// True if the job could not even be enqueued (progress thread gone).
+    lost: bool,
+}
+
+impl PendingOp {
+    pub(crate) fn new(
+        rank: usize,
+        kind: Option<CollectiveKind>,
+        done: Receiver<Result<Vec<f32>, CommError>>,
+        budget: Duration,
+        stats: Arc<TrafficStats>,
+        lost: bool,
+    ) -> PendingOp {
+        PendingOp { rank, kind, done, budget, stats, lost }
+    }
+
+    /// Blocks until the op completes, returning its result payload (shape
+    /// depends on the op — see [`Request`]) or its typed failure.
+    ///
+    /// The wait is bounded: the fabric bounds every op by its receive
+    /// timeouts, and the budget covers the worst legal case for this op
+    /// plus everything queued ahead of it, so exceeding it surfaces as
+    /// [`CommError::ProgressStalled`] instead of blocking forever. Caller
+    /// blocked time is recorded per kind in
+    /// [`TrafficStats::timing`](crate::stats::TrafficStats::timing).
+    pub fn wait(self) -> Result<Vec<f32>, CommError> {
+        if self.lost {
+            return Err(CommError::ProgressLost { rank: self.rank });
+        }
+        let t0 = Instant::now();
+        let res = match self.done.recv_timeout(self.budget) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                Err(CommError::ProgressStalled { rank: self.rank, waited: self.budget })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CommError::ProgressLost { rank: self.rank })
+            }
+        };
+        if let Some(kind) = self.kind {
+            self.stats.record_wait(kind, t0.elapsed());
+        }
+        res
+    }
+}
+
+/// The per-rank progress loop: drains the FIFO job queue against the
+/// rank's fabric until every `Communicator`/`PendingOp` sender is gone.
+pub(crate) fn progress_loop(mut fabric: Fabric, jobs: Receiver<Job>, queued: Arc<AtomicUsize>) {
+    loop {
+        match jobs.recv_timeout(PROGRESS_TICK) {
+            Ok(job) => {
+                let kind = job.req.kind();
+                let t0 = Instant::now();
+                let res = exec(&mut fabric, job.req);
+                if let Some(kind) = kind {
+                    fabric.stats.record_exec(kind, t0.elapsed());
+                }
+                queued.fetch_sub(1, Ordering::SeqCst);
+                // The waiter may have dropped its handle; the op already
+                // ran (keeping the SPMD schedule aligned), so a missing
+                // listener is not an error.
+                let _ = job.done.send(res);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // `fabric` drops here: endpoints close and peers observe `PeerLost`.
+}
+
+/// Runs one request against the fabric. Bodies live in
+/// `collectives.rs`/`world.rs` (`impl Fabric`) and are byte-for-byte the
+/// former synchronous implementations, so every check — fault trigger,
+/// membership, sequence, CRC — fires in the same order it always did.
+fn exec(fabric: &mut Fabric, req: Request) -> Result<Vec<f32>, CommError> {
+    match req {
+        Request::AllReduce { group, mut data, op, prec } => {
+            fabric.all_reduce_in(&group, &mut data, op, prec)?;
+            Ok(data)
+        }
+        Request::ReduceScatter { group, input, op, counts, prec } => {
+            let out_len = match group.local_index(fabric.rank) {
+                Some(idx) => counts[idx],
+                None => 0,
+            };
+            let mut out = vec![0.0; out_len];
+            fabric.reduce_scatter_var_in(&group, &input, &mut out, op, &counts, prec)?;
+            Ok(out)
+        }
+        Request::AllGather { group, shard, counts, prec } => {
+            let mut out = vec![0.0; counts.iter().sum()];
+            fabric.all_gather_var_in(&group, &shard, &mut out, &counts, prec)?;
+            Ok(out)
+        }
+        Request::Broadcast { group, root, mut data, prec } => {
+            fabric.broadcast_in(&group, root, &mut data, prec)?;
+            Ok(data)
+        }
+        Request::Reduce { group, root, mut data, op, prec } => {
+            fabric.reduce_in(&group, root, &mut data, op, prec)?;
+            Ok(data)
+        }
+        Request::AllToAll { group, input, prec } => {
+            let mut out = vec![0.0; input.len()];
+            fabric.all_to_all_in(&group, &input, &mut out, prec)?;
+            Ok(out)
+        }
+        Request::Gather { group, root, shard, out_len, prec } => {
+            let mut out = vec![0.0; out_len];
+            fabric.gather_in(&group, root, &shard, &mut out, prec)?;
+            Ok(out)
+        }
+        Request::Scatter { group, root, input, shard_len, prec } => {
+            let mut shard = vec![0.0; shard_len];
+            fabric.scatter_in(&group, root, &input, &mut shard, prec)?;
+            Ok(shard)
+        }
+        Request::Send { dst, data } => {
+            fabric.send_p2p(dst, data)?;
+            Ok(Vec::new())
+        }
+        Request::Recv { src } => fabric.recv_p2p(src),
+        Request::Barrier => {
+            fabric.barrier()?;
+            Ok(Vec::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collectives::chunk_range;
+    use crate::error::CommError;
+    use crate::fault::FaultPlan;
+    use crate::group::Group;
+    use crate::stats::CollectiveKind;
+    use crate::world::{launch, try_launch_with_config, WorldConfig};
+    use crate::{Precision, ReduceOp};
+    use std::time::Duration;
+
+    #[test]
+    fn started_op_completes_while_caller_computes() {
+        let n = 4;
+        let len = 16;
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let input: Vec<f32> = (0..len).map(|i| (i + c.rank()) as f32).collect();
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
+            let pending =
+                c.start_reduce_scatter_var(&g, &input, ReduceOp::Sum, &counts, Precision::Fp32);
+            // "Compute" while the ring runs on the progress thread.
+            let local: f32 = (0..1000).map(|x| (x as f32).sqrt()).sum();
+            let chunk = pending.wait().unwrap();
+            (local, chunk)
+        });
+        for (rank, (_, got)) in results.iter().enumerate() {
+            let r = chunk_range(len, n, rank);
+            for (j, &v) in got.iter().enumerate() {
+                let want: f32 = (0..n).map(|rr| (r.start + j + rr) as f32).sum();
+                assert_eq!(v, want, "rank {rank} element {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_in_flight_ops_complete_in_fifo_order() {
+        let n = 3;
+        let len = 9;
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
+            // Queue three all-gathers back to back, then wait in order.
+            let mut pendings = Vec::new();
+            for round in 0..3 {
+                let shard: Vec<f32> = chunk_range(len, n, c.rank())
+                    .map(|i| (i * 10 + round) as f32)
+                    .collect();
+                pendings.push(c.start_all_gather_var(&g, &shard, &counts, Precision::Fp32));
+            }
+            pendings.into_iter().map(|p| p.wait().unwrap()).collect::<Vec<_>>()
+        });
+        for got in &results {
+            for (round, out) in got.iter().enumerate() {
+                let want: Vec<f32> = (0..len).map(|i| (i * 10 + round) as f32).collect();
+                assert_eq!(out, &want, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_during_in_flight_op_surfaces_typed_error_without_deadlock() {
+        // Rank 0's fault plan kills it at its first reduce-scatter — which
+        // is in flight (started, not waited) when the fault fires. The
+        // victim's wait() must yield the typed InjectedCrash and the peers
+        // must observe PeerLost/Timeout, never a deadlock.
+        let n = 3;
+        let len = 12;
+        let config = WorldConfig {
+            recv_timeout: Duration::from_millis(200),
+            faults: FaultPlan::new().with_crash_at_kind(0, CollectiveKind::ReduceScatter, 0),
+            ..WorldConfig::default()
+        };
+        let out = try_launch_with_config(n, config, move |mut c| {
+            let g = Group::world(n);
+            let input = vec![1.0_f32; len];
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
+            let pending =
+                c.start_reduce_scatter_var(&g, &input, ReduceOp::Sum, &counts, Precision::Fp32);
+            pending.wait().map(|_| ())
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &Err(CommError::InjectedCrash { rank: 0, op: 0 })
+        );
+        for (rank, res) in out.iter().enumerate().skip(1) {
+            match res.as_ref().unwrap() {
+                Err(CommError::PeerLost { .. }) | Err(CommError::Timeout { .. }) => {}
+                other => panic!("rank {rank}: expected PeerLost/Timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_pending_op_still_executes_and_keeps_schedule_aligned() {
+        // Dropping a handle discards the result but the op still runs on
+        // the progress thread, so a later collective pairs up correctly on
+        // every rank.
+        let n = 2;
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let input = vec![(c.rank() + 1) as f32; 4];
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(4, n, i).len()).collect();
+            drop(c.start_reduce_scatter_var(&g, &input, ReduceOp::Sum, &counts, Precision::Fp32));
+            let mut buf = vec![c.rank() as f32; 2];
+            c.all_reduce_in(&g, &mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
+            buf[0]
+        });
+        assert_eq!(results, vec![1.0; n]);
+    }
+
+    #[test]
+    fn link_latency_is_hidden_by_overlap() {
+        // With a modeled per-hop latency, computing while a started op is
+        // in flight must block the caller for (measurably) less time than
+        // the op executes on the progress thread.
+        let n = 2;
+        let len = 8;
+        let lat = Duration::from_millis(20);
+        let config = WorldConfig::with_link_latency(lat);
+        let out = try_launch_with_config(n, config, move |mut c| {
+            let g = Group::world(n);
+            let counts: Vec<usize> = (0..n).map(|i| chunk_range(len, n, i).len()).collect();
+            let shard: Vec<f32> = chunk_range(len, n, c.rank()).map(|i| i as f32).collect();
+            let pending = c.start_all_gather_var(&g, &shard, &counts, Precision::Fp32);
+            // Sleep past the single ring hop: by wait() time the result is in.
+            std::thread::sleep(lat * 3);
+            pending.wait().map(|out| {
+                let t = c.stats().timing();
+                (out, t.wait_nanos(CollectiveKind::AllGather), t.exec_nanos(CollectiveKind::AllGather))
+            })
+        });
+        for (rank, r) in out.iter().enumerate() {
+            let (data, wait_ns, exec_ns) = r.as_ref().unwrap().as_ref().unwrap();
+            let want: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            assert_eq!(data, &want, "rank {rank}");
+            // The hop latency (≥ 20ms) was paid on the progress thread...
+            assert!(*exec_ns >= lat.as_nanos() as u64, "rank {rank}: exec {exec_ns}ns");
+            // ...while the caller, who slept past it, barely blocked.
+            assert!(
+                *wait_ns < exec_ns / 2,
+                "rank {rank}: wait {wait_ns}ns not hidden vs exec {exec_ns}ns"
+            );
+        }
+    }
+}

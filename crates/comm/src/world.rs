@@ -11,7 +11,21 @@
 //! message surfaces as a typed [`CommError`] on the observing rank instead
 //! of a deadlock or an abort. Faults can be injected deterministically via
 //! [`FaultPlan`] to exercise those paths.
+//!
+//! Execution model (overlap-centric): the channel endpoints, sequence
+//! numbers, CRC checks, and fault state live in a private [`Fabric`] owned
+//! by a dedicated *progress thread* per rank. The public [`Communicator`]
+//! is a thin handle that enqueues [`Request`]s onto the progress thread's
+//! FIFO and receives results through [`PendingOp`] completion channels —
+//! `start_*` returns the handle immediately (the op advances on the
+//! progress thread), while the classic blocking collectives submit and
+//! `wait()` in one call. Because the queue is FIFO and every op goes
+//! through it, the fabric executes ops in exactly the order the rank
+//! issued them — the same order the synchronous engine used — so the SPMD
+//! deadlock-freedom and fault-trigger (`the Nth op on rank R`) coordinates
+//! are unchanged.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -19,6 +33,7 @@ use std::time::{Duration, Instant};
 use crate::crc::crc32_f32s;
 use crate::error::CommError;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
+use crate::nonblocking::{progress_loop, Job, PendingOp, Request};
 use crate::stats::{CollectiveKind, TrafficStats};
 
 /// A message between two ranks: an opaque f32 payload, a per-channel
@@ -30,7 +45,8 @@ pub(crate) struct Msg {
     pub data: Vec<f32>,
 }
 
-/// Fabric-wide configuration: receive timeout and fault script.
+/// Fabric-wide configuration: receive timeout, fault script, and modeled
+/// link latency.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// Upper bound on any single blocking receive (and on barrier waits).
@@ -39,6 +55,13 @@ pub struct WorldConfig {
     pub recv_timeout: Duration,
     /// Deterministic fault script (empty by default).
     pub faults: FaultPlan,
+    /// Modeled per-hop interconnect latency, applied as a sleep before
+    /// every fabric receive. Zero (the default) for tests; benchmarks set
+    /// it so the in-process cluster exhibits the communication cost the
+    /// paper's §7 overlap analysis is about — the sleep occupies the
+    /// progress thread, not the compute thread, so asynchronous ops can
+    /// genuinely hide it.
+    pub link_latency: Duration,
 }
 
 impl Default for WorldConfig {
@@ -46,6 +69,7 @@ impl Default for WorldConfig {
         WorldConfig {
             recv_timeout: Duration::from_secs(30),
             faults: FaultPlan::new(),
+            link_latency: Duration::ZERO,
         }
     }
 }
@@ -54,6 +78,11 @@ impl WorldConfig {
     /// Default timeouts with the given fault script.
     pub fn with_faults(faults: FaultPlan) -> WorldConfig {
         WorldConfig { faults, ..WorldConfig::default() }
+    }
+
+    /// Default config with a modeled per-hop link latency.
+    pub fn with_link_latency(link_latency: Duration) -> WorldConfig {
+        WorldConfig { link_latency, ..WorldConfig::default() }
     }
 }
 
@@ -115,7 +144,7 @@ impl World {
         for (rank, (tx_row, rx_row)) in
             send_rows.into_iter().zip(recv_rows.drain(..)).enumerate()
         {
-            comms.push(Some(Communicator {
+            let fabric = Fabric {
                 rank,
                 world: n,
                 to_peer: tx_row,
@@ -125,8 +154,26 @@ impl World {
                 barrier: barrier.clone(),
                 stats: stats[rank].clone(),
                 recv_timeout: config.recv_timeout,
+                link_latency: config.link_latency,
                 fault: config.faults.for_rank(rank),
                 dead: false,
+            };
+            let (jobs_tx, jobs_rx) = channel::<Job>();
+            let queued = Arc::new(AtomicUsize::new(0));
+            let thread_queued = queued.clone();
+            // Detached on purpose: the thread owns only 'static state (its
+            // endpoints, Arc'd stats/barrier) and exits as soon as the last
+            // job sender — the Communicator handle — drops, which also
+            // drops the fabric endpoints so peers observe `PeerLost`
+            // exactly as they did when the rank thread owned them.
+            std::thread::spawn(move || progress_loop(fabric, jobs_rx, thread_queued));
+            comms.push(Some(Communicator {
+                rank,
+                world: n,
+                stats: stats[rank].clone(),
+                recv_timeout: config.recv_timeout,
+                jobs: jobs_tx,
+                queued,
             }));
         }
         World { comms, stats }
@@ -207,48 +254,26 @@ impl TimeoutBarrier {
     }
 }
 
-/// One rank's endpoint: point-to-point primitives, a barrier, and traffic
-/// accounting. Ring collectives are built on top in `collectives.rs`.
-///
-/// A `Communicator` is owned by exactly one thread (it is `Send` but not
-/// `Sync`), matching NCCL's one-communicator-per-device rule.
-pub struct Communicator {
-    rank: usize,
-    world: usize,
+/// One rank's physical endpoint: channel matrix rows, per-pair sequence
+/// numbers, fault state, and traffic accounting. Ring collectives are
+/// built on top in `collectives.rs`. Owned exclusively by the rank's
+/// progress thread; the public [`Communicator`] never touches it directly.
+pub(crate) struct Fabric {
+    pub(crate) rank: usize,
+    pub(crate) world: usize,
     to_peer: Vec<Sender<Msg>>,
     from_peer: Vec<Receiver<Msg>>,
     send_seq: Box<[u64]>,
     recv_seq: Box<[u64]>,
     barrier: Arc<TimeoutBarrier>,
-    stats: Arc<TrafficStats>,
+    pub(crate) stats: Arc<TrafficStats>,
     recv_timeout: Duration,
+    link_latency: Duration,
     fault: FaultState,
     dead: bool,
 }
 
-impl Communicator {
-    /// This rank's id in `0..world_size()`.
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// Total number of ranks.
-    #[inline]
-    pub fn world_size(&self) -> usize {
-        self.world
-    }
-
-    /// This rank's traffic counters.
-    pub fn stats(&self) -> &TrafficStats {
-        &self.stats
-    }
-
-    /// The configured receive timeout.
-    pub fn recv_timeout(&self) -> Duration {
-        self.recv_timeout
-    }
-
+impl Fabric {
     /// Registers the start of one communication op of `kind`, applying any
     /// fault the plan scripts at this point in the schedule. Called once
     /// per public collective / p2p / barrier entry.
@@ -314,6 +339,12 @@ impl Communicator {
     /// and payload integrity, bounded by the receive timeout.
     pub(crate) fn recv_raw(&mut self, src: usize) -> Result<Vec<f32>, CommError> {
         debug_assert!(src < self.world && src != self.rank, "bad src {src}");
+        if !self.link_latency.is_zero() {
+            // Modeled per-hop interconnect latency (see `WorldConfig`).
+            // Slept here — on the progress thread — so in-flight async ops
+            // pay it while the compute thread keeps running.
+            std::thread::sleep(self.link_latency);
+        }
         let msg = match self.from_peer[src].recv_timeout(self.recv_timeout) {
             Ok(msg) => msg,
             Err(RecvTimeoutError::Timeout) => {
@@ -349,27 +380,22 @@ impl Communicator {
         Ok(msg.data)
     }
 
-    /// Point-to-point send of an f32 buffer.
-    pub fn send(&mut self, dst: usize, data: &[f32]) -> Result<(), CommError> {
+    /// Point-to-point send of an f32 payload (fabric side).
+    pub(crate) fn send_p2p(&mut self, dst: usize, data: Vec<f32>) -> Result<(), CommError> {
         self.begin_op(CollectiveKind::P2p)?;
-        self.send_raw(dst, data.to_vec(), CollectiveKind::P2p, 4 * data.len() as u64)
+        let bytes = 4 * data.len() as u64;
+        self.send_raw(dst, data, CollectiveKind::P2p, bytes)
     }
 
-    /// Point-to-point receive into `buf`.
-    ///
-    /// # Panics
-    /// Panics if the incoming message length differs from `buf.len()`.
-    pub fn recv(&mut self, src: usize, buf: &mut [f32]) -> Result<(), CommError> {
+    /// Point-to-point receive of the next payload from `src` (fabric side).
+    pub(crate) fn recv_p2p(&mut self, src: usize) -> Result<Vec<f32>, CommError> {
         self.begin_op(CollectiveKind::P2p)?;
-        let data = self.recv_raw(src)?;
-        assert_eq!(data.len(), buf.len(), "p2p length mismatch");
-        buf.copy_from_slice(&data);
-        Ok(())
+        self.recv_raw(src)
     }
 
     /// Blocks until every rank in the world reaches the barrier, or the
-    /// receive timeout elapses with ranks missing.
-    pub fn barrier(&mut self) -> Result<(), CommError> {
+    /// receive timeout elapses with ranks missing (fabric side).
+    pub(crate) fn barrier(&mut self) -> Result<(), CommError> {
         if self.dead {
             return Err(CommError::InjectedCrash { rank: self.rank, op: 0 });
         }
@@ -378,6 +404,94 @@ impl Communicator {
         } else {
             Err(CommError::BarrierTimeout { rank: self.rank, waited: self.recv_timeout })
         }
+    }
+}
+
+/// One rank's handle: submits ops to the rank's progress thread and waits
+/// on their completion channels. Point-to-point primitives and the barrier
+/// live here; ring collectives are built on top in `collectives.rs`.
+///
+/// A `Communicator` is owned by exactly one thread (it is `Send` but not
+/// `Sync`), matching NCCL's one-communicator-per-device rule. Dropping it
+/// disconnects the job queue, which stops the progress thread and drops
+/// the fabric endpoints — peers observe the rank's death as `PeerLost`,
+/// exactly as when the rank thread owned the endpoints directly.
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    stats: Arc<TrafficStats>,
+    recv_timeout: Duration,
+    jobs: Sender<Job>,
+    /// Ops submitted but not yet finished by the progress thread; sizes
+    /// the wait budget of newly submitted ops (FIFO: everything already
+    /// queued runs first).
+    queued: Arc<AtomicUsize>,
+}
+
+impl Communicator {
+    /// This rank's id in `0..world_size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// This rank's traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The configured receive timeout.
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Enqueues `req` on the progress thread and returns its completion
+    /// handle. Never blocks; a dead progress thread surfaces as
+    /// [`CommError::ProgressLost`] when the handle is waited.
+    pub(crate) fn submit(&mut self, kind: Option<CollectiveKind>, req: Request) -> PendingOp {
+        let (done_tx, done_rx) = channel();
+        let behind = self.queued.fetch_add(1, Ordering::SeqCst);
+        let lost = self.jobs.send(Job { req, done: done_tx }).is_err();
+        // Budget: the fabric bounds every op by its own receive timeouts —
+        // at most 2(n−1) ring receives plus a 2× hang-fault stall — so a
+        // result slower than (2n+6)·recv_timeout per queued op means the
+        // progress engine itself is broken, not a peer.
+        let per_op = 2 * self.world + 6;
+        let depth = (behind + 1).min(64);
+        let budget = self.recv_timeout * (per_op * depth) as u32;
+        PendingOp::new(self.rank, kind, done_rx, budget, self.stats.clone(), lost)
+    }
+
+    /// Point-to-point send of an f32 buffer.
+    pub fn send(&mut self, dst: usize, data: &[f32]) -> Result<(), CommError> {
+        let pending =
+            self.submit(Some(CollectiveKind::P2p), Request::Send { dst, data: data.to_vec() });
+        pending.wait().map(|_| ())
+    }
+
+    /// Point-to-point receive into `buf`.
+    ///
+    /// # Panics
+    /// Panics if the incoming message length differs from `buf.len()`.
+    pub fn recv(&mut self, src: usize, buf: &mut [f32]) -> Result<(), CommError> {
+        let pending = self.submit(Some(CollectiveKind::P2p), Request::Recv { src });
+        let data = pending.wait()?;
+        assert_eq!(data.len(), buf.len(), "p2p length mismatch");
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Blocks until every rank in the world reaches the barrier, or the
+    /// receive timeout elapses with ranks missing.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let pending = self.submit(None, Request::Barrier);
+        pending.wait().map(|_| ())
     }
 }
 
@@ -607,7 +721,7 @@ mod tests {
     fn dead_peer_surfaces_as_peer_lost() {
         let config = WorldConfig {
             recv_timeout: Duration::from_secs(5),
-            faults: FaultPlan::new(),
+            ..WorldConfig::default()
         };
         let out = try_launch_with_config(2, config, |mut c| {
             if c.rank() == 0 {
@@ -628,7 +742,7 @@ mod tests {
     #[test]
     fn silent_peer_surfaces_as_timeout() {
         let timeout = Duration::from_millis(100);
-        let config = WorldConfig { recv_timeout: timeout, faults: FaultPlan::new() };
+        let config = WorldConfig { recv_timeout: timeout, ..WorldConfig::default() };
         let out = try_launch_with_config(2, config, move |mut c| {
             if c.rank() == 0 {
                 // Stay alive (endpoint open) but never send, longer than
@@ -670,6 +784,7 @@ mod tests {
         let config = WorldConfig {
             recv_timeout: Duration::from_secs(5),
             faults: FaultPlan::new().with_crash(0, 0),
+            ..WorldConfig::default()
         };
         let out = try_launch_with_config(2, config, |mut c| {
             if c.rank() == 0 {
@@ -693,7 +808,7 @@ mod tests {
     #[test]
     fn barrier_with_dead_rank_times_out() {
         let timeout = Duration::from_millis(100);
-        let config = WorldConfig { recv_timeout: timeout, faults: FaultPlan::new() };
+        let config = WorldConfig { recv_timeout: timeout, ..WorldConfig::default() };
         let out = try_launch_with_config(3, config, move |mut c| {
             if c.rank() == 2 {
                 // Never arrives at the barrier.

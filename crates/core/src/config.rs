@@ -119,6 +119,13 @@ pub struct ZeroConfig {
     /// under DDP; `None` uses the flat ring. Requires mp = 1 and a world
     /// size divisible by the node size.
     pub node_size: Option<usize>,
+    /// Overlap-centric execution: stage-2/3 gradient bucket flushes launch
+    /// their reduce-scatter asynchronously (waited at end-of-backward) and
+    /// stage 3 prefetches the next unit's parameter all-gather one layer
+    /// ahead through a double-buffered slot. Losses are bitwise identical
+    /// to synchronous execution: the same ops run in the same issue order,
+    /// only the waits move.
+    pub overlap: bool,
 }
 
 impl Default for ZeroConfig {
@@ -138,6 +145,7 @@ impl Default for ZeroConfig {
             lr_schedule: LrSchedule::Constant,
             dropout: 0.0,
             node_size: None,
+            overlap: false,
         }
     }
 }
@@ -182,6 +190,11 @@ impl ZeroConfig {
             initial_loss_scale: 1.0,
             ..ZeroConfig::default()
         }
+    }
+
+    /// The same configuration with overlap-centric execution switched on.
+    pub fn overlapped(self) -> ZeroConfig {
+        ZeroConfig { overlap: true, ..self }
     }
 
     /// The paper's ZeRO-100B implementation profile: P_os+g + ZeRO-R.

@@ -22,7 +22,9 @@
 //! constant-size fused buffers CB for every flat-space collective (§6.2),
 //! and a contiguous checkpoint arena MD (§6.3).
 
-use zero_comm::{CollectiveKind, CommError, Communicator, Grid, Group, Precision, ReduceOp};
+use zero_comm::{
+    CollectiveKind, CommError, Communicator, Grid, Group, PendingOp, Precision, ReduceOp,
+};
 use zero_model::{BlockSaved, Gpt};
 use zero_optim::{
     apply_clip, clip_coefficient, local_sq_norm, Adam, DynamicLossScaler, Sgd,
@@ -68,6 +70,26 @@ struct Checkpoint {
 enum CkptData {
     Own(Vec<f32>),
     Arena(ArenaSlot),
+}
+
+/// A bucket flush whose reduce-scatter is in flight on the progress
+/// thread: the handle plus where its owner piece lands when waited.
+struct InflightReduce {
+    /// Destination range within `grad_shard` (shard-local coordinates).
+    local: std::ops::Range<usize>,
+    op: PendingOp,
+    /// Fused-buffer bytes held until the wait (memory accounting).
+    bytes: u64,
+}
+
+/// A stage-3 parameter all-gather issued ahead of use (the double-buffered
+/// prefetch slot: at most one of these is outstanding).
+struct PendingFetch {
+    /// Unit index the gather materializes.
+    unit: usize,
+    op: PendingOp,
+    /// Full unit length in elements.
+    len: usize,
 }
 
 /// The optimizer over the master shard, selected by
@@ -125,6 +147,14 @@ pub struct RankEngine {
     grad_shard: Option<FlatStore>,
 
     bucket: GradBucket,
+    /// In-flight bucket reduce-scatters (overlap mode): issued as backward
+    /// produces them, waited in FIFO order at end-of-backward so gradient
+    /// accumulation order — and therefore the loss — is bitwise identical
+    /// to synchronous execution.
+    inflight_rs: Vec<InflightReduce>,
+    /// The stage-3 prefetch slot: the next unit's parameter all-gather,
+    /// issued one layer ahead (overlap mode).
+    prefetch: Option<PendingFetch>,
     /// The declarative schedule the runtime collectives are derived from:
     /// every engine entry point installs its [`CommPlan`] here, and every
     /// collective call site pops (and is parameterized by) the next
@@ -223,6 +253,8 @@ impl RankEngine {
 
         RankEngine {
             bucket: GradBucket::new(zcfg.bucket_elems),
+            inflight_rs: Vec::new(),
+            prefetch: None,
             plan: PlanCursor::idle(),
             scaler: zcfg.fp16.then(|| DynamicLossScaler::new(zcfg.initial_loss_scale)),
             arena: None,
@@ -269,6 +301,13 @@ impl RankEngine {
     /// Communication counters for this rank.
     pub fn traffic(&self) -> zero_comm::TrafficSnapshot {
         self.comm.stats().snapshot()
+    }
+
+    /// Per-kind wait vs in-flight execution timing for this rank's
+    /// collectives. Under overlap, wait time shrinks toward zero while
+    /// execution time (on the progress thread) stays put.
+    pub fn timing(&self) -> zero_comm::TimingSnapshot {
+        self.comm.stats().timing()
     }
 
     /// The flat range of this rank's DP shard.
@@ -349,6 +388,102 @@ impl RankEngine {
     fn release_unit(&mut self, params: Vec<f32>) {
         self.mem.free(MemCategory::Buffers, 4 * params.len() as u64);
         drop(params);
+    }
+
+    /// True when stage-3 fetches go through the double-buffered prefetch.
+    #[inline]
+    fn prefetches(&self) -> bool {
+        self.zcfg.overlap && self.zcfg.stage.partitions_params()
+    }
+
+    /// Issues unit `u`'s parameter all-gather to the progress thread
+    /// without waiting. The plan op is popped here — plan order is issue
+    /// order, which is what the static checks verify.
+    fn start_fetch(&mut self, u: usize) -> PendingFetch {
+        let unit_range = self.gpt.layout().units()[u].range.clone();
+        let len = unit_range.len();
+        self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
+        let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
+        assert_eq!(op.total_elems(), len, "planned fetch-unit size");
+        let local = self.part.local_slice_of(self.dp_idx, &unit_range);
+        let piece = self.work.read_vec(local);
+        let prec = self.precision();
+        let pending = self
+            .comm
+            .start_all_gather_var(&self.dp_group, &piece, &op.counts, prec);
+        PendingFetch { unit: u, op: pending, len }
+    }
+
+    /// Prefetch-aware [`Self::fetch_unit`]: takes unit `u` from the
+    /// prefetch slot (or issues it now), then issues `next`'s gather into
+    /// the slot *before* waiting on `u` — so the next unit's communication
+    /// rides under this unit's compute.
+    fn fetch_unit_pf(&mut self, u: usize, next: Option<usize>) -> Result<Vec<f32>, CommError> {
+        if !self.prefetches() {
+            return self.fetch_unit(u);
+        }
+        let cur = match self.prefetch.take() {
+            Some(pf) => {
+                assert_eq!(pf.unit, u, "prefetch drift: slot holds a different unit");
+                pf
+            }
+            None => self.start_fetch(u),
+        };
+        if let Some(v) = next {
+            let pf = self.start_fetch(v);
+            self.prefetch = Some(pf);
+        }
+        match cur.op.wait() {
+            Ok(out) => {
+                debug_assert_eq!(out.len(), cur.len);
+                Ok(out)
+            }
+            Err(e) => {
+                self.mem.free(MemCategory::Buffers, 4 * cur.len as u64);
+                Err(e)
+            }
+        }
+    }
+
+    /// Waits every in-flight bucket reduce-scatter in FIFO (issue) order
+    /// and lands the owner pieces in `grad_shard` — called at the end of
+    /// each micro-batch's backward. FIFO order makes the accumulation
+    /// order identical to the synchronous path.
+    fn drain_inflight(&mut self) -> Result<(), CommError> {
+        let mut first_err: Option<CommError> = None;
+        for inf in self.inflight_rs.drain(..) {
+            if first_err.is_none() {
+                match inf.op.wait() {
+                    Ok(out) => {
+                        let shard = self.grad_shard.as_mut().expect("gradient shard");
+                        shard.add_from(inf.local, &out);
+                    }
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            // After an error the remaining handles are dropped unawaited —
+            // their ops still execute on the progress thread, keeping the
+            // SPMD schedule aligned for recovery.
+            self.mem.free(MemCategory::Buffers, inf.bytes);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Drops any async state left over from a failed step (handles are
+    /// dropped unawaited; the progress thread still runs the ops). Called
+    /// on entry to every engine entry point that installs a fresh plan.
+    fn clear_transients(&mut self) {
+        for inf in self.inflight_rs.drain(..) {
+            self.mem.free(MemCategory::Buffers, inf.bytes);
+            drop(inf.op);
+        }
+        if let Some(pf) = self.prefetch.take() {
+            self.mem.free(MemCategory::Buffers, 4 * pf.len as u64);
+            drop(pf.op);
+        }
     }
 
     #[inline]
@@ -477,6 +612,7 @@ impl RankEngine {
         // fp16 gradients: quantize before they enter the fused buffer.
         self.maybe_quantize(&mut g);
         let prec = self.precision();
+        let overlap = self.zcfg.overlap;
         let Self {
             bucket,
             comm,
@@ -486,6 +622,7 @@ impl RankEngine {
             dp_idx,
             mem,
             plan,
+            inflight_rs,
             ..
         } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
@@ -497,16 +634,20 @@ impl RankEngine {
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-bucket size");
-            let mut out = vec![0.0; op.counts[*dp_idx]];
-            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &op.counts, prec)
-            {
-                Ok(()) => {
-                    let local = part.local_slice_of(*dp_idx, &r);
-                    grad_shard.add_from(local, &out);
+            let local = part.local_slice_of(*dp_idx, &r);
+            let pending =
+                comm.start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec);
+            if overlap {
+                // Deferred: backward keeps computing while the ring runs;
+                // `drain_inflight` waits and applies at end-of-backward.
+                inflight_rs.push(InflightReduce { local, op: pending, bytes: 4 * fused.len() as u64 });
+            } else {
+                match pending.wait() {
+                    Ok(out) => grad_shard.add_from(local, &out),
+                    Err(e) => comm_err = Some(e),
                 }
-                Err(e) => comm_err = Some(e),
+                mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
             }
-            mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
         });
         match comm_err {
             Some(e) => Err(e),
@@ -523,9 +664,11 @@ impl RankEngine {
         if !self.zcfg.stage.partitions_grads() {
             return Ok(());
         }
-        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, plan, .. } = self;
+        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, plan, inflight_rs, .. } =
+            self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
+        let overlap = zcfg.overlap;
         let mut comm_err: Option<CommError> = None;
         bucket.flush_all(&mut |r, fused| {
             if comm_err.is_some() {
@@ -534,16 +677,18 @@ impl RankEngine {
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-flush size");
-            let mut out = vec![0.0; op.counts[*dp_idx]];
-            match comm.reduce_scatter_var_in(dp_group, fused, &mut out, ReduceOp::Mean, &op.counts, prec)
-            {
-                Ok(()) => {
-                    let local = part.local_slice_of(*dp_idx, &r);
-                    grad_shard.add_from(local, &out);
+            let local = part.local_slice_of(*dp_idx, &r);
+            let pending =
+                comm.start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec);
+            if overlap {
+                inflight_rs.push(InflightReduce { local, op: pending, bytes: 4 * fused.len() as u64 });
+            } else {
+                match pending.wait() {
+                    Ok(out) => grad_shard.add_from(local, &out),
+                    Err(e) => comm_err = Some(e),
                 }
-                Err(e) => comm_err = Some(e),
+                mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
             }
-            mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
         });
         match comm_err {
             Some(e) => Err(e),
@@ -816,6 +961,7 @@ impl RankEngine {
         if let (Some(scaler), Some((scale, good, skipped))) = (&mut self.scaler, snap.scaler) {
             scaler.restore(scale, good, skipped);
         }
+        self.clear_transients();
         let refresh = CommPlan::publish_refresh(self.gpt.layout(), &self.zcfg, self.grid);
         self.plan.install(&refresh, self.comm.rank(), "publish-refresh");
         self.publish_params()?;
@@ -880,6 +1026,9 @@ impl RankEngine {
         local_batch: usize,
     ) -> Result<StepOutcome, CommError> {
         assert!(!micros.is_empty(), "need at least one micro-batch");
+        // A previously failed step may have left handles in flight; they
+        // are dropped (not cancelled) before the fresh plan goes in.
+        self.clear_transients();
         let scale = self.loss_scale();
 
         // Declare the step's communication schedule up front; every
@@ -946,7 +1095,10 @@ impl RankEngine {
         };
 
         // ---------- forward ----------
-        let p_embed = self.fetch_unit(0)?;
+        // Prefetch window (overlap + stage 3): each fetch issues the next
+        // unit's all-gather before waiting its own, so unit u+1's ring
+        // runs under unit u's compute.
+        let p_embed = self.fetch_unit_pf(0, Some(1))?;
         let mut x = self.gpt.embed(&p_embed, ids, local_batch);
         self.release_unit(p_embed);
         self.maybe_quantize(&mut x);
@@ -955,7 +1107,9 @@ impl RankEngine {
         let mut checkpoints: Vec<Checkpoint> = Vec::new();
         let mut saveds: Vec<Option<BlockSaved>> = Vec::new();
         for l in 0..layers {
-            let p = self.fetch_unit(1 + l)?;
+            // `2 + l` is the next block — or the head when this is the
+            // last block.
+            let p = self.fetch_unit_pf(1 + l, Some(2 + l))?;
             if self.zcfg.checkpoint_activations && l % interval == 0 {
                 // One checkpoint per segment of `interval` blocks (§3.2's
                 // memory/recompute dial; interval 1 = one per layer).
@@ -989,7 +1143,11 @@ impl RankEngine {
         }
 
         // ---------- head forward + backward (loss gradient is born here) ----------
-        let p_head = self.fetch_unit(1 + layers)?;
+        // The head's fetch chains the prefetch into backward's first
+        // block refetch (non-checkpointed mode only: checkpointed
+        // segments restart the chain at each recompute).
+        let head_next = (!self.zcfg.checkpoint_activations && layers > 0).then_some(layers);
+        let p_head = self.fetch_unit_pf(1 + layers, head_next)?;
         let head_len = units[1 + layers].len();
         let mut head_grads = vec![0.0; head_len];
         let (loss, mut dy) =
@@ -1021,7 +1179,7 @@ impl RankEngine {
                 self.free_checkpoint(ck);
                 let mut segment: Vec<(Vec<f32>, BlockSaved)> = Vec::new();
                 for l in seg_start..seg_end {
-                    let p = self.fetch_unit(1 + l)?;
+                    let p = self.fetch_unit_pf(1 + l, (l + 1 < seg_end).then(|| 2 + l))?;
                     let (mut y, saved) = {
                         let Self { gpt, comm, mp_group, plan, .. } = self;
                         gpt.block_fwd_dropout(l, &p, &x_in, local_batch, &mut |buf: &mut [f32]| {
@@ -1079,7 +1237,9 @@ impl RankEngine {
             }
         } else {
             for l in (0..layers).rev() {
-                let p = self.fetch_unit(1 + l)?;
+                // `l` is block l-1's unit; the last block was issued by
+                // the head's fetch above.
+                let p = self.fetch_unit_pf(1 + l, (l > 0).then_some(l))?;
                 let saved = saveds[l].take().expect("saved activations for block");
                 self.mem
                     .free(MemCategory::Activations, 4 * saved.elems() as u64);
@@ -1121,8 +1281,12 @@ impl RankEngine {
         drop(dy);
         self.dispatch_grads(units[0].clone(), embed_grads)?;
         // Drain the bucket so the next micro-batch's head-first pushes
-        // start a fresh contiguous descending run.
+        // start a fresh contiguous descending run, then wait every
+        // reduce-scatter still in flight (the end-of-backward barrier the
+        // tentpole moves the waits to).
         self.flush_pending_grads()?;
+        self.drain_inflight()?;
+        debug_assert!(self.prefetch.is_none(), "prefetch slot must drain with backward");
         Ok(loss)
     }
 
@@ -1135,6 +1299,7 @@ impl RankEngine {
         n_micro: usize,
     ) -> Result<StepOutcome, CommError> {
         // ---------- reduce & update ----------
+        debug_assert!(self.inflight_rs.is_empty(), "in-flight reduces must drain per micro");
         self.reduce_full_grads()?;
 
         let local_overflow = self.shard_has_overflow();
@@ -1210,14 +1375,15 @@ impl RankEngine {
         let mp_prec = self.precision();
         let mut mp_err: Option<CommError> = None;
         let act_elems = local_batch * self.gpt.config().seq * self.gpt.config().hidden;
+        self.clear_transients();
         let eval_plan = CommPlan::eval_pass(self.gpt.layout(), &self.zcfg, self.grid, act_elems);
         self.plan.install(&eval_plan, self.comm.rank(), "eval-pass");
-        let p = self.fetch_unit(0)?;
+        let p = self.fetch_unit_pf(0, Some(1))?;
         let mut x = self.gpt.embed(&p, ids, local_batch);
         self.release_unit(p);
         self.maybe_quantize(&mut x);
         for l in 0..layers {
-            let p = self.fetch_unit(1 + l)?;
+            let p = self.fetch_unit_pf(1 + l, Some(2 + l))?;
             let (mut y, saved) = {
                 let Self { gpt, comm, mp_group, plan, .. } = self;
                 gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
@@ -1236,7 +1402,7 @@ impl RankEngine {
             self.maybe_quantize(&mut y);
             x = y;
         }
-        let p = self.fetch_unit(1 + layers)?;
+        let p = self.fetch_unit_pf(1 + layers, None)?;
         let loss = self.gpt.head_loss(&p, &x, targets, local_batch);
         self.release_unit(p);
         self.plan.assert_exhausted("end of eval");

@@ -50,4 +50,7 @@ pub use store::FlatStore;
 pub use supervisor::{
     resume_from_snapshot, run_supervised, RecoveryReport, SupervisedReport, SupervisorConfig,
 };
-pub use trainer::{model_state_bytes, run_training, run_training_on, RankReport, TrainReport, TrainSetup};
+pub use trainer::{
+    model_state_bytes, run_training, run_training_on, run_training_world, RankReport, TrainReport,
+    TrainSetup,
+};

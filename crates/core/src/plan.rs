@@ -88,6 +88,14 @@ pub struct PlanOp {
     pub prec: Precision,
     /// Schedule position, e.g. `"fetch-unit"` or `"overflow-flag"`.
     pub label: &'static str,
+    /// Issue mode: `true` means the engine *issues* the op here (hands it
+    /// to its rank's FIFO progress thread) but completes it later — the
+    /// overlapped prefetches and bucket reduce-scatters. Plan order is
+    /// always **issue order**, which is also per-rank completion order
+    /// (one FIFO queue per rank), so the static pairwise-agreement check
+    /// proves deadlock-freedom for the async schedule exactly as for the
+    /// synchronous one.
+    pub nonblocking: bool,
 }
 
 /// A [`PlanOp`] resolved for one concrete rank: explicit members and
@@ -105,6 +113,8 @@ pub struct ResolvedOp {
     pub prec: Precision,
     /// Schedule position label.
     pub label: &'static str,
+    /// Whether the engine issues this op non-blocking (see [`PlanOp`]).
+    pub nonblocking: bool,
 }
 
 impl ResolvedOp {
@@ -243,6 +253,10 @@ struct Builder {
     ops: Vec<PlanOp>,
     part: Partitioner,
     prec: Precision,
+    /// Overlap-centric execution: fetches and bucket reduce-scatters are
+    /// issued non-blocking, and stage-3 fetch ops appear in prefetch
+    /// *issue* order (one unit ahead of use).
+    overlap: bool,
 }
 
 impl Builder {
@@ -251,11 +265,20 @@ impl Builder {
             ops: Vec::new(),
             part: Partitioner::new(layout.total_params(), grid.dp_degree()),
             prec: if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 },
+            overlap: zcfg.overlap,
         }
     }
 
     fn op(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str) {
-        self.ops.push(PlanOp { kind, scope, counts, prec, label });
+        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking: false });
+    }
+
+    /// Pushes an op the engine issues through a non-blocking handle when
+    /// overlap is on (the marker is informative: volumes and issue order
+    /// are identical either way).
+    fn op_nb(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str) {
+        let nonblocking = self.overlap;
+        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking });
     }
 
     /// Stage-3 parameter materialization of one unit (§5.3): all-gather
@@ -263,7 +286,7 @@ impl Builder {
     fn fetch_unit(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>) {
         if zcfg.stage.partitions_params() {
             let counts = self.part.intersect_counts(unit);
-            self.op(
+            self.op_nb(
                 CollectiveKind::AllGather,
                 PlanScope::Dp,
                 CountSpec::Explicit(counts),
@@ -313,7 +336,7 @@ impl Builder {
 
     fn grad_flush(&mut self, fused: &Range<usize>) {
         let counts = self.part.intersect_counts(fused);
-        self.op(
+        self.op_nb(
             CollectiveKind::ReduceScatter,
             PlanScope::Dp,
             CountSpec::Explicit(counts),
@@ -322,20 +345,45 @@ impl Builder {
         );
     }
 
+    /// True when the plan must list stage-3 fetches in prefetch *issue*
+    /// order (the engine pops a plan op when it hands the all-gather to
+    /// the progress thread, one unit ahead of use).
+    fn prefetches(&self, zcfg: &ZeroConfig) -> bool {
+        self.overlap && zcfg.stage.partitions_params()
+    }
+
     /// One micro-batch's forward + backward comm, mirroring
     /// `RankEngine::accumulate_micro` op for op.
     fn micro(&mut self, layout: &Layout, zcfg: &ZeroConfig, act_elems: usize) {
         let units: Vec<Range<usize>> = layout.units().iter().map(|u| u.range.clone()).collect();
         let layers = units.len() - 2;
         let mut bucket = BucketMirror::new(zcfg.bucket_elems);
+        let pf = self.prefetches(zcfg);
 
-        // Forward: embed, blocks (two MP all-reduces each), head.
-        self.fetch_unit(zcfg, &units[0]);
-        for l in 0..layers {
-            self.fetch_unit(zcfg, &units[1 + l]);
-            self.mp_block_pass(act_elems);
+        // Forward: embed, blocks (two MP all-reduces each), head. Under
+        // prefetch the first call issues units 0 and 1 back to back, and
+        // each block's call issues the *next* unit before its own MP ops
+        // (the double-buffered one-ahead window).
+        if pf {
+            self.fetch_unit(zcfg, &units[0]);
+            self.fetch_unit(zcfg, &units[1]);
+            for l in 0..layers {
+                self.fetch_unit(zcfg, &units[2 + l]);
+                self.mp_block_pass(act_elems);
+            }
+            // The head's call chains the prefetch into backward's first
+            // refetch (non-checkpointed mode refetches block params).
+            if !zcfg.checkpoint_activations && layers > 0 {
+                self.fetch_unit(zcfg, &units[layers]);
+            }
+        } else {
+            self.fetch_unit(zcfg, &units[0]);
+            for l in 0..layers {
+                self.fetch_unit(zcfg, &units[1 + l]);
+                self.mp_block_pass(act_elems);
+            }
+            self.fetch_unit(zcfg, &units[1 + layers]);
         }
-        self.fetch_unit(zcfg, &units[1 + layers]);
         // Head forward+backward births the first gradients.
         self.dispatch_grads(zcfg, &units[1 + layers], &mut bucket);
 
@@ -350,8 +398,20 @@ impl Builder {
                 }
                 // Recompute the segment forward (block params are fetched
                 // again; each recomputed block fires its two MP hooks)…
+                // Under prefetch the chain restarts per segment: the first
+                // block issues itself and its successor, later blocks issue
+                // one ahead, the last issues nothing.
                 for l in seg_start..seg_end {
-                    self.fetch_unit(zcfg, &units[1 + l]);
+                    if pf {
+                        if l == seg_start {
+                            self.fetch_unit(zcfg, &units[1 + l]);
+                        }
+                        if l + 1 < seg_end {
+                            self.fetch_unit(zcfg, &units[2 + l]);
+                        }
+                    } else {
+                        self.fetch_unit(zcfg, &units[1 + l]);
+                    }
                     self.mp_block_pass(act_elems);
                 }
                 // …then walk it backward (two MP hooks per block, grads
@@ -364,7 +424,15 @@ impl Builder {
             }
         } else {
             for l in (0..layers).rev() {
-                self.fetch_unit(zcfg, &units[1 + l]);
+                if pf {
+                    // Block `layers-1` was issued by the head's call; each
+                    // block issues its predecessor one ahead.
+                    if l > 0 {
+                        self.fetch_unit(zcfg, &units[l]);
+                    }
+                } else {
+                    self.fetch_unit(zcfg, &units[1 + l]);
+                }
                 self.mp_block_pass(act_elems);
                 self.dispatch_grads(zcfg, &units[1 + l], &mut bucket);
             }
@@ -535,12 +603,23 @@ impl CommPlan {
         let mut b = Builder::new(layout, zcfg, grid);
         let units: Vec<Range<usize>> = layout.units().iter().map(|u| u.range.clone()).collect();
         let layers = units.len() - 2;
-        b.fetch_unit(zcfg, &units[0]);
-        for l in 0..layers {
-            b.fetch_unit(zcfg, &units[1 + l]);
-            b.mp_block_pass(act_elems);
+        if b.prefetches(zcfg) {
+            // Same one-ahead issue order as the forward pass of `micro`;
+            // the head's call has nothing left to chain into.
+            b.fetch_unit(zcfg, &units[0]);
+            b.fetch_unit(zcfg, &units[1]);
+            for l in 0..layers {
+                b.fetch_unit(zcfg, &units[2 + l]);
+                b.mp_block_pass(act_elems);
+            }
+        } else {
+            b.fetch_unit(zcfg, &units[0]);
+            for l in 0..layers {
+                b.fetch_unit(zcfg, &units[1 + l]);
+                b.mp_block_pass(act_elems);
+            }
+            b.fetch_unit(zcfg, &units[1 + layers]);
         }
-        b.fetch_unit(zcfg, &units[1 + layers]);
         CommPlan { grid, ops: b.ops }
     }
 
@@ -613,6 +692,7 @@ impl CommPlan {
                     counts,
                     prec: op.prec,
                     label: op.label,
+                    nonblocking: op.nonblocking,
                 }
             })
             .collect()

@@ -301,7 +301,7 @@ fn run_round(
         "global batch {} must divide the surviving world {world}",
         setup.global_batch
     );
-    let config = WorldConfig { recv_timeout: cfg.recv_timeout, faults: plan };
+    let config = WorldConfig { recv_timeout: cfg.recv_timeout, faults: plan, ..WorldConfig::default() };
 
     try_launch_with_config(world, config, move |comm| {
         let rank = comm.rank();

@@ -6,7 +6,7 @@
 //! measurements the reproduction's experiments and equivalence tests
 //! consume.
 
-use zero_comm::{Grid, TrafficSnapshot, World};
+use zero_comm::{Grid, TimingSnapshot, TrafficSnapshot, World, WorldConfig};
 use zero_model::{init_full_params, shard_params, Gpt, ModelConfig, SyntheticCorpus};
 
 use crate::config::ZeroConfig;
@@ -45,6 +45,8 @@ pub struct RankReport {
     pub cpu_transfer_bytes: u64,
     /// Communication traffic snapshot.
     pub traffic: TrafficSnapshot,
+    /// Per-kind wait vs in-flight execution timing.
+    pub timing: TimingSnapshot,
     /// This rank's fp32 master shard (or full buffer under DDP).
     pub master: Vec<f32>,
     /// The flat range the master shard covers.
@@ -118,6 +120,23 @@ pub fn run_training(setup: &TrainSetup, steps: usize, eval_every: usize) -> Trai
     run_training_on(setup, steps, eval_every, corpus.tokens())
 }
 
+/// Like [`run_training`] but over a fabric built from the given
+/// [`WorldConfig`] — e.g. with a nonzero link latency, which is what
+/// makes computation/communication overlap measurable on one host.
+pub fn run_training_world(
+    setup: &TrainSetup,
+    steps: usize,
+    eval_every: usize,
+    world: WorldConfig,
+) -> TrainReport {
+    let corpus = SyntheticCorpus::generate(
+        setup.model.vocab,
+        (setup.global_batch * (setup.model.seq + 1) * (steps + 2)).max(10_000),
+        setup.seed ^ 0x5EED,
+    );
+    run_training_inner(setup, steps, eval_every, corpus.tokens(), world)
+}
+
 /// Like [`run_training`] but over a caller-supplied token stream (e.g. a
 /// [`zero_model::ByteCorpus`] built from real text). Every token must be
 /// `< model.vocab`.
@@ -130,6 +149,16 @@ pub fn run_training_on(
     steps: usize,
     eval_every: usize,
     tokens: &[u32],
+) -> TrainReport {
+    run_training_inner(setup, steps, eval_every, tokens, WorldConfig::default())
+}
+
+fn run_training_inner(
+    setup: &TrainSetup,
+    steps: usize,
+    eval_every: usize,
+    tokens: &[u32],
+    world_cfg: WorldConfig,
 ) -> TrainReport {
     setup.model.validate();
     setup.zero.validate();
@@ -150,7 +179,7 @@ pub fn run_training_on(
     let full = init_full_params(&setup.model, setup.seed);
     let corpus = TokenStream { tokens, seq: setup.model.seq };
 
-    let mut world = World::new(n);
+    let mut world = World::with_config(n, world_cfg);
     let comms: Vec<_> = (0..n).map(|r| world.take(r)).collect();
     let setup_ref = &setup;
     let full_ref = &full;
@@ -217,6 +246,7 @@ pub fn run_training_on(
                         peak_by_category: peak,
                         cpu_transfer_bytes: mem.cpu_transfer_bytes(),
                         traffic: engine.traffic(),
+                        timing: engine.timing(),
                         master: engine.master_params().to_vec(),
                         shard_range: engine.master_range(),
                     };

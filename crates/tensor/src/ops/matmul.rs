@@ -94,7 +94,47 @@ pub fn sgemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 /// `c[m×n] = a[k×m]^T · b[k×n]` — A stored row-major as `k×m`, used
 /// transposed. This is the natural layout for weight gradients
 /// `dW = X^T · dY`.
+///
+/// The transposed operand is packed into an `m×k` panel once per call,
+/// so every output row streams its A coefficients stride-1 instead of
+/// gathering a stride-`m` column per product term. The O(k·m) pack is
+/// amortized over the O(k·m·n) multiply; the per-element accumulation
+/// order is untouched, so results are bit-identical to
+/// [`sgemm_tn_unpacked`] (the baseline kept for the micro-benchmark).
 pub fn sgemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "sgemm_tn: a has wrong length");
+    assert_eq!(b.len(), k * n, "sgemm_tn: b has wrong length");
+    assert_eq!(c.len(), m * n, "sgemm_tn: c has wrong length");
+    let mut panel = vec![0.0_f32; m * k];
+    transpose(a, &mut panel, k, m);
+    let panel = &panel;
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        c_row.iter_mut().for_each(|v| *v = 0.0);
+        // c[row, :] = sum_p panel[row, p] * b[p, :] — stride-1 in panel,
+        // b, and c.
+        let a_row = &panel[row * k..(row + 1) * k];
+        for (p, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_val * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_MIN {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// The pre-packing [`sgemm_tn`] body: reads `a[p·m + row]` directly, a
+/// stride-`m` gather per product term. Kept (not used by the model) as
+/// the before/after baseline for `bench_matmul` and the bit-exactness
+/// test of the packed kernel.
+pub fn sgemm_tn_unpacked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), k * m, "sgemm_tn: a has wrong length");
     assert_eq!(b.len(), k * n, "sgemm_tn: b has wrong length");
     assert_eq!(c.len(), m * n, "sgemm_tn: c has wrong length");
@@ -206,6 +246,23 @@ mod tests {
         let want = naive(&a, &b, m, k, n);
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn packed_tn_is_bitwise_identical_to_unpacked() {
+        // The panel pack only changes *where* A coefficients are read
+        // from, never the accumulation order — bit-exact, not approximate.
+        for &(m, k, n) in &[(1, 1, 1), (6, 8, 5), (17, 33, 9), (32, 64, 32)] {
+            let a = seq(k * m, 0.15);
+            let b = seq(k * n, 0.25);
+            let mut packed = vec![f32::NAN; m * n];
+            let mut unpacked = vec![f32::NAN; m * n];
+            sgemm_tn(&a, &b, &mut packed, m, k, n);
+            sgemm_tn_unpacked(&a, &b, &mut unpacked, m, k, n);
+            for (x, y) in packed.iter().zip(&unpacked) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
         }
     }
 

@@ -14,6 +14,14 @@
 //! * **`lossy-byte-cast`** — a narrowing `as` cast on a line doing byte
 //!   accounting. Traffic counters are `u64`; truncating them silently
 //!   invalidates every volume identity the schedule checker proves.
+//! * **`blocking-flush`** — a *blocking* collective wrapper called inside
+//!   a gradient-bucket flush closure (`bucket.push(…)` / `.flush_all(…)`
+//!   call regions). Flush closures are the single code path for both
+//!   synchronous and overlapped execution: they must launch the
+//!   reduce-scatter through the non-blocking `start_*` API (the sync
+//!   mode waits the returned handle inline, the overlap mode parks it),
+//!   so a direct `.reduce_scatter(…)` there silently forfeits
+//!   backward/communication overlap.
 //!
 //! The scanner masks comments, strings, and char literals before
 //! matching, and skips `#[cfg(test)]` regions, so the rules fire only on
@@ -30,7 +38,8 @@ pub struct LintHit {
     pub file: PathBuf,
     /// 1-based line number.
     pub line_no: usize,
-    /// Rule identifier (`comm-unwrap`, `untimed-recv`, `lossy-byte-cast`).
+    /// Rule identifier (`comm-unwrap`, `untimed-recv`, `lossy-byte-cast`,
+    /// `blocking-flush`).
     pub rule: &'static str,
     /// The offending source line, trimmed.
     pub line_text: String,
@@ -80,6 +89,22 @@ const COMM_TOKENS: &[&str] = &[
     "gather_in",
     "scatter_in",
     "hierarchical_all_reduce",
+];
+
+/// Blocking collective entry points (the synchronous wrappers). The
+/// `start_…` variants deliberately do not match: inside a flush closure
+/// the non-blocking launch is exactly what the rule demands, and waiting
+/// the returned handle inline is still legal for synchronous mode.
+const BLOCKING_TOKENS: &[&str] = &[
+    ".all_reduce(",
+    ".reduce_scatter(",
+    ".reduce_scatter_var(",
+    ".all_gather(",
+    ".all_gather_var(",
+    ".broadcast(",
+    ".barrier(",
+    ".all_to_all(",
+    ".hierarchical_all_reduce(",
 ];
 
 /// Replaces comments, string literals, and char literals with spaces
@@ -245,6 +270,49 @@ fn test_region_mask(masked: &str) -> Vec<bool> {
     in_test
 }
 
+/// Marks lines inside gradient-bucket flush call regions: from a line
+/// containing `bucket.push(` or `.flush_all(` through the paren-matched
+/// end of that call (the flush closure lives inside the argument list).
+fn flush_region_mask(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut in_flush = vec![false; lines.len()];
+    let mut li = 0;
+    while li < lines.len() {
+        let open = ["bucket.push(", ".flush_all("]
+            .iter()
+            .filter_map(|t| lines[li].find(t).map(|p| p + t.len() - 1))
+            .min();
+        let Some(open) = open else {
+            li += 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut lj = li;
+        let mut col = open;
+        'scan: while lj < lines.len() {
+            in_flush[lj] = true;
+            let b = lines[lj].as_bytes();
+            while col < b.len() {
+                match b[col] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+                col += 1;
+            }
+            lj += 1;
+            col = 0;
+        }
+        li = lj + 1;
+    }
+    in_flush
+}
+
 fn narrowing_cast(line: &str) -> bool {
     ["as u32", "as u16", "as u8", "as i32", "as i16", "as f32"]
         .iter()
@@ -255,6 +323,7 @@ fn narrowing_cast(line: &str) -> bool {
 fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
     let masked = mask_source(src);
     let in_test = test_region_mask(&masked);
+    let in_flush = flush_region_mask(&masked);
     let originals: Vec<&str> = src.lines().collect();
     for (idx, line) in masked.lines().enumerate() {
         if in_test.get(idx).copied().unwrap_or(false) {
@@ -281,6 +350,11 @@ fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
         }
         if line.contains("bytes") && narrowing_cast(line) {
             hit("lossy-byte-cast");
+        }
+        if in_flush.get(idx).copied().unwrap_or(false)
+            && BLOCKING_TOKENS.iter().any(|t| line.contains(t))
+        {
+            hit("blocking-flush");
         }
     }
     report.files_scanned += 1;
@@ -381,6 +455,31 @@ mod tests {
         assert!(lint_str("// comm.all_reduce(x).unwrap()\n").is_empty());
         assert!(lint_str("fn f() { let s = \"rx.recv()\"; }\n").is_empty());
         let src = "#[cfg(test)]\nmod tests {\n  fn g() { comm.barrier(g).unwrap(); }\n}\nfn h() {}\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_blocking_collective_in_flush_closure() {
+        // A blocking reduce-scatter inside the flush closure forfeits
+        // overlap — the comm-unwrap on the same line fires too.
+        let src = "fn f() {\n  bucket.push(r, g, &mut |r, fused| {\n    \
+                   comm.reduce_scatter_var(g, fused, op, &c, p).unwrap();\n  });\n}\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap", "blocking-flush"]);
+        let src = "fn f() {\n  bucket.flush_all(&mut |r, fused| {\n    \
+                   let x = comm.all_reduce(g, fused, op);\n  });\n}\n";
+        assert_eq!(lint_str(src), vec!["blocking-flush"]);
+    }
+
+    #[test]
+    fn nonblocking_launch_in_flush_closure_is_clean() {
+        // The start_* launch (and waiting its handle inline, which is
+        // how synchronous mode runs) is exactly what the rule demands.
+        let src = "fn f() {\n  bucket.push(r, g, &mut |r, fused| {\n    \
+                   let p = comm.start_reduce_scatter_var(g, fused, op, &c, pr);\n    \
+                   let out = p.wait();\n  });\n}\n";
+        assert!(lint_str(src).is_empty());
+        // Blocking collectives *outside* any flush region stay legal.
+        let src = "fn f() { let x = comm.all_reduce(g, v, op); }\n";
         assert!(lint_str(src).is_empty());
     }
 

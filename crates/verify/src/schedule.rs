@@ -19,6 +19,18 @@
 //!   Ψ − |shard_{i+1}|; stage 3 re-gathers each unit once per pass; the
 //!   paper's 2Ψ·(N−1)/N and ≤ 3Ψ headline numbers follow and are asserted
 //!   too.
+//! * **Issue/complete ordering (overlap).** Overlapped plans list ops in
+//!   *issue* order, and every rank's ops execute on one FIFO progress
+//!   thread — so per-rank completion order equals issue order and the
+//!   pairwise-agreement proof above covers the async schedule verbatim
+//!   (the `nonblocking` flag must also agree between peers). On top,
+//!   [`check_overlap_pair`]-style invariance is proven: an overlapped
+//!   plan is a pure reordering of its synchronous twin's op multiset
+//!   (identical per-rank bytes *and* messages per kind), fetches keep
+//!   their relative issue order, and each fetch is issued no later than
+//!   its synchronous position and no earlier than its *predecessor's*
+//!   synchronous position — at most one unit ahead, which is exactly
+//!   the double-buffered prefetch window.
 
 use zero_comm::{CollectiveKind, Grid};
 use zero_core::{CommPlan, Partitioner, StepShape, ZeroConfig, ZeroStage};
@@ -88,6 +100,7 @@ fn check_symmetry(plan: &CommPlan, what: &str) -> Result<(usize, usize), String>
                     || peer.members != op.members
                     || peer.counts != op.counts
                     || peer.prec != op.prec
+                    || peer.nonblocking != op.nonblocking
                 {
                     return Err(format!(
                         "{what}: op {i} '{}': rank {r} sees {:?} over {:?} \
@@ -347,9 +360,145 @@ fn check_config(
     Ok(())
 }
 
+/// One plan's fetch issue trace: for every `fetch-unit` op in issue
+/// order, its identity key plus the number of non-fetch ops issued
+/// before it. The prefix count is the positional coordinate the
+/// double-buffer proof runs on — moving a fetch across compute/comm
+/// ops changes it, moving it across other fetches does not.
+fn fetch_trace(plan: &CommPlan) -> Vec<(String, usize)> {
+    let mut prefix = 0usize;
+    let mut fetches = Vec::new();
+    for op in plan.ops() {
+        if op.label == "fetch-unit" {
+            fetches.push((format!("{:?}|{:?}|{:?}", op.kind, op.counts, op.prec), prefix));
+        } else {
+            prefix += 1;
+        }
+    }
+    fetches
+}
+
+/// The positional double-buffer proof over two fetch traces.
+///
+/// Three clauses: (1) both schedules fetch the same units in the same
+/// relative order — prefetch moves waits, never reorders issues, which
+/// (with FIFO completion) pins the async completion order to the sync
+/// one; (2) no fetch is issued *later* than its synchronous position —
+/// a parameter is always resident by the time compute needs it; (3) no
+/// fetch is issued earlier than its predecessor's synchronous position
+/// — at most one unit is in flight beyond the one being consumed,
+/// i.e. exactly a double-buffered slot, never triple buffering.
+fn check_fetch_window(
+    sync: &[(String, usize)],
+    over: &[(String, usize)],
+) -> Result<(), String> {
+    if sync.len() != over.len() {
+        return Err(format!(
+            "fetch count differs — sync {} vs overlapped {}",
+            sync.len(),
+            over.len()
+        ));
+    }
+    for k in 0..sync.len() {
+        if sync[k].0 != over[k].0 {
+            return Err(format!("fetch {k} reordered between schedules"));
+        }
+        if over[k].1 > sync[k].1 {
+            return Err(format!(
+                "fetch {k} issued later than its synchronous position"
+            ));
+        }
+        if k > 0 && over[k].1 < sync[k - 1].1 {
+            return Err(format!(
+                "fetch {k} issued more than one unit ahead — exceeds the \
+                 double-buffered prefetch window"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Proves overlap invariance for one configuration: the overlapped plan
+/// must be a pure reordering of the synchronous plan's op multiset (same
+/// per-rank bytes and messages per kind, same resolved ops up to order),
+/// the synchronous plan must contain no non-blocking issues, and the
+/// overlapped plan's fetch issue positions must respect the
+/// double-buffered window ([`check_fetch_window`]).
+fn check_overlap_pair(
+    zcfg: &ZeroConfig,
+    grid: Grid,
+    report: &mut ScheduleReport,
+) -> Result<(), String> {
+    let model = test_model();
+    let layout = Layout::build_mp(&model, grid.mp_degree());
+    let sync_cfg = ZeroConfig { overlap: false, ..*zcfg };
+    let over_cfg = ZeroConfig { overlap: true, ..*zcfg };
+    let what = format!(
+        "overlap-invariance {} dp={} mp={} ckpt={}",
+        zcfg.stage.name(),
+        grid.dp_degree(),
+        grid.mp_degree(),
+        zcfg.checkpoint_activations
+    );
+    for skipped in [false, true] {
+        let sync = CommPlan::train_step(&layout, &sync_cfg, grid, &shape(skipped));
+        let over = CommPlan::train_step(&layout, &over_cfg, grid, &shape(skipped));
+        if sync.ops().len() != over.ops().len() {
+            return Err(format!(
+                "{what}: op count differs — sync {} vs overlapped {}",
+                sync.ops().len(),
+                over.ops().len()
+            ));
+        }
+        if sync.ops().iter().any(|op| op.nonblocking) {
+            return Err(format!("{what}: synchronous plan carries non-blocking ops"));
+        }
+        for rank in 0..grid.world_size() {
+            if sync.rank_bytes(rank) != over.rank_bytes(rank) {
+                return Err(format!("{what}: rank {rank} bytes differ between schedules"));
+            }
+            if sync.rank_messages(rank) != over.rank_messages(rank) {
+                return Err(format!("{what}: rank {rank} messages differ between schedules"));
+            }
+            // Multiset equality of the resolved ops: the overlapped
+            // schedule may only *move* fetches to their issue positions.
+            let key = |ops: Vec<zero_core::ResolvedOp>| {
+                let mut keys: Vec<String> = ops
+                    .iter()
+                    .map(|op| {
+                        format!("{:?}|{:?}|{:?}|{:?}|{}", op.kind, op.members, op.counts, op.prec, op.label)
+                    })
+                    .collect();
+                keys.sort();
+                keys
+            };
+            if key(sync.resolve_for(rank)) != key(over.resolve_for(rank)) {
+                return Err(format!(
+                    "{what}: rank {rank}: overlapped plan is not a reordering of the \
+                     synchronous op multiset"
+                ));
+            }
+        }
+        let sf = fetch_trace(&sync);
+        let of = fetch_trace(&over);
+        if zcfg.stage.partitions_params()
+            && !of.is_empty()
+            && !over.ops().iter().any(|op| op.nonblocking && op.label == "fetch-unit")
+        {
+            return Err(format!(
+                "{what}: overlapped stage-3 plan carries no non-blocking fetches"
+            ));
+        }
+        check_fetch_window(&sf, &of).map_err(|e| format!("{what}: {e}"))?;
+        report.plans += 2;
+    }
+    report.configs += 1;
+    Ok(())
+}
+
 /// Runs the full static sweep: every stage × N ∈ {2..8} (plus MP grids,
-/// checkpointing/P_a, clipping, and hierarchical-all-reduce variants) —
-/// zero training steps executed.
+/// checkpointing/P_a, clipping, hierarchical-all-reduce, and overlapped
+/// variants) — zero training steps executed.
 pub fn check_all() -> Result<ScheduleReport, String> {
     let mut report = ScheduleReport::default();
 
@@ -393,6 +542,31 @@ pub fn check_all() -> Result<ScheduleReport, String> {
         check_config(&clip, Grid::new(4, 1), &mut report)?;
     }
 
+    // Overlap-centric execution: every stage × N runs the full symmetry +
+    // volume battery on the *overlapped* plan (issue-ordered fetches,
+    // non-blocking bucket reduce-scatters)…
+    for stage in [ZeroStage::Ddp, ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for n in 2..=8 {
+            check_config(&base(stage).overlapped(), Grid::new(n, 1), &mut report)?;
+        }
+    }
+    // …and the overlapped schedule is proven a volume-preserving
+    // reordering of its synchronous twin, with bounded prefetch depth.
+    for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for n in 2..=8 {
+            check_overlap_pair(&base(stage), Grid::new(n, 1), &mut report)?;
+        }
+    }
+    let ckpt3 = ZeroConfig { checkpoint_activations: true, ..base(ZeroStage::Three) };
+    for n in [2usize, 4] {
+        check_config(&ckpt3.overlapped(), Grid::new(n, 1), &mut report)?;
+        check_overlap_pair(&ckpt3, Grid::new(n, 1), &mut report)?;
+    }
+    for (dp, mp) in [(2usize, 2usize), (4, 2)] {
+        check_config(&base(ZeroStage::Three).overlapped(), Grid::new(dp, mp), &mut report)?;
+        check_overlap_pair(&base(ZeroStage::Three), Grid::new(dp, mp), &mut report)?;
+    }
+
     // Hierarchical (two-level) all-reduce under DDP: symmetry only — the
     // three-phase volume is covered empirically by the conformance tests.
     for (world, g) in [(4usize, 2usize), (8, 4)] {
@@ -420,8 +594,62 @@ mod tests {
     #[test]
     fn full_sweep_passes() {
         let r = check_all().expect("static schedule check");
-        assert!(r.configs >= 36, "sweep covered {} configs", r.configs);
+        // 36 synchronous configs + the overlapped sweep and the
+        // overlap-invariance pairs.
+        assert!(r.configs >= 90, "sweep covered {} configs", r.configs);
         assert!(r.ops_checked > 1000);
+    }
+
+    #[test]
+    fn prefetch_moves_issues_within_double_buffer() {
+        // Stage 3 on a DP×MP grid (MP hooks interleave with fetches, so
+        // issue positions are observable): the overlapped plan must move
+        // at least one fetch strictly earlier than its synchronous
+        // position — the prefetch is real, not a relabeling — while
+        // every fetch stays inside the double-buffered window.
+        let grid = Grid::new(2, 2);
+        let layout = Layout::build_mp(&test_model(), 2);
+        let zcfg = ZeroConfig {
+            stage: ZeroStage::Three,
+            fp16: true,
+            checkpoint_activations: false,
+            ..ZeroConfig::default()
+        };
+        let sync = CommPlan::train_step(&layout, &zcfg, grid, &shape(false));
+        let over = CommPlan::train_step(&layout, &zcfg.overlapped(), grid, &shape(false));
+        let sf = fetch_trace(&sync);
+        let of = fetch_trace(&over);
+        assert!(!sf.is_empty(), "stage 3 must fetch units");
+        check_fetch_window(&sf, &of).expect("double-buffer window");
+        let moved = sf.iter().zip(&of).filter(|(s, o)| o.1 < s.1).count();
+        assert!(moved > 0, "no fetch was issued ahead of its sync position");
+        // And the engine's real plans do mark fetches non-blocking.
+        assert!(over.ops().iter().any(|op| op.nonblocking && op.label == "fetch-unit"));
+        assert!(sync.ops().iter().all(|op| !op.nonblocking));
+    }
+
+    #[test]
+    fn overlap_depth_violation_is_caught() {
+        // Synthetic traces guard the checker against regressing to a
+        // rubber stamp: a fetch issued two units ahead (triple
+        // buffering), a late fetch, and a reordered pair must all be
+        // rejected by the positional window proof.
+        let t = |v: &[(&str, usize)]| -> Vec<(String, usize)> {
+            v.iter().map(|(k, p)| (k.to_string(), *p)).collect()
+        };
+        let sync = t(&[("a", 0), ("b", 3), ("c", 6)]);
+        assert!(check_fetch_window(&sync, &t(&[("a", 0), ("b", 0), ("c", 3)])).is_ok());
+        let triple = t(&[("a", 0), ("b", 0), ("c", 0)]); // "c" before "b"'s sync spot
+        assert!(
+            check_fetch_window(&sync, &triple)
+                .unwrap_err()
+                .contains("double-buffered"),
+            "triple buffering must be rejected"
+        );
+        let late = t(&[("a", 0), ("b", 4), ("c", 6)]);
+        assert!(check_fetch_window(&sync, &late).unwrap_err().contains("later"));
+        let reordered = t(&[("b", 0), ("a", 3), ("c", 6)]);
+        assert!(check_fetch_window(&sync, &reordered).unwrap_err().contains("reordered"));
     }
 
     #[test]

@@ -50,6 +50,8 @@ fn main() {
              --lr F         Adam learning rate                  [1e-3]\n\
              --seed N       init/data seed                      [42]\n\
              --fp32         disable mixed precision\n\
+             --overlap      non-blocking collectives: overlap backward\n\
+                            with reduce-scatter, prefetch stage-3 params\n\
              --no-checkpoint disable activation checkpointing\n\
              --pa           partition activation checkpoints (needs --mp > 1)\n\
              --pa-cpu       offload checkpoints to CPU (needs --pa)\n\
@@ -87,6 +89,7 @@ fn main() {
         zero: ZeroConfig {
             stage,
             fp16: !args.flag("--fp32"),
+            overlap: args.flag("--overlap"),
             checkpoint_activations: !args.flag("--no-checkpoint"),
             partition_activations: args.flag("--pa") || args.flag("--pa-cpu"),
             offload_checkpoints: args.flag("--pa-cpu"),
