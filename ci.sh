@@ -16,6 +16,16 @@ cargo test -q
 echo "==> overlap conformance (bitwise equivalence + exact traffic, sync vs overlapped)"
 cargo test -q --release --test overlap_equivalence
 
+echo "==> trace conformance (span/byte reconciliation vs plan + traffic counters)"
+cargo test -q --release --test trace_conformance
+
+echo "==> zero-train --trace smoke (emitted Chrome trace must parse)"
+trace_out="$(mktemp -d)/smoke-trace.json"
+cargo run -q --release --bin zero-train -- \
+    --stage 3 --dp 2 --steps 2 --batch 4 --overlap --trace "$trace_out"
+test -s "$trace_out" || { echo "trace file missing or empty"; exit 1; }
+rm -rf "$(dirname "$trace_out")"
+
 echo "==> bench_step --smoke (overlap bench path, no results churn)"
 cargo run -q --release -p zero-bench --bin bench_step -- --smoke
 

@@ -66,6 +66,11 @@ struct StepRow {
     rank0_wait_ms_by_kind: Vec<f64>,
     /// Rank 0 per-kind in-flight execution ms/step, in `ALL_KINDS` order.
     rank0_exec_ms_by_kind: Vec<f64>,
+    /// Max over ranks: trace-measured wall-clock where compute and a
+    /// byte-moving collective were simultaneously in flight, ms per step.
+    trace_overlap_ms_per_step: f64,
+    /// Rank 0: distinct compute∩collective overlap windows recorded.
+    rank0_overlap_windows: usize,
 }
 
 #[derive(Serialize)]
@@ -115,6 +120,7 @@ fn main() {
     for &stage in stages {
         for &nd in dps {
             let mut secs = [0.0f64; 2];
+            let mut overlap_ms = [0.0f64; 2];
             for overlap in [false, true] {
                 let setup = step_setup(stage, nd, overlap);
                 global_batch = setup.global_batch;
@@ -135,6 +141,13 @@ fn main() {
                     report.ranks.iter().map(|r| r.timing.total_wait_nanos()).max().unwrap_or(0);
                 let exec_max =
                     report.ranks.iter().map(|r| r.timing.total_exec_nanos()).max().unwrap_or(0);
+                let overlap_max = report
+                    .ranks
+                    .iter()
+                    .map(|r| r.timeline.compute_collective_overlap_ns())
+                    .max()
+                    .unwrap_or(0);
+                overlap_ms[overlap as usize] = per_step_ms(overlap_max);
                 let r0 = &report.ranks[0].timing;
                 rows.push(StepRow {
                     stage: stage.name().to_string(),
@@ -153,8 +166,20 @@ fn main() {
                         .iter()
                         .map(|k| per_step_ms(r0.exec_nanos(*k)))
                         .collect(),
+                    trace_overlap_ms_per_step: overlap_ms[overlap as usize],
+                    rank0_overlap_windows: report.ranks[0]
+                        .timeline
+                        .compute_collective_overlap()
+                        .len(),
                 });
             }
+            println!(
+                "{:<20} N={}  trace overlap: sync {:>6.2} ms/step, overlapped {:>6.2} ms/step",
+                stage.name(),
+                nd,
+                overlap_ms[0],
+                overlap_ms[1]
+            );
             speedups.push(Speedup {
                 stage: stage.name().to_string(),
                 nd,

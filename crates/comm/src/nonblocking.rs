@@ -30,6 +30,7 @@ use crate::error::CommError;
 use crate::group::Group;
 use crate::stats::{CollectiveKind, TrafficStats};
 use crate::world::Fabric;
+use zero_trace::{SpanCategory, TraceRecorder, TRACK_PROGRESS};
 
 /// How often the progress thread re-checks its queue for disconnection.
 /// Purely a liveness bound on thread shutdown; queued jobs wake it
@@ -107,6 +108,7 @@ pub struct PendingOp {
     done: Receiver<Result<Vec<f32>, CommError>>,
     budget: Duration,
     stats: Arc<TrafficStats>,
+    trace: Arc<TraceRecorder>,
     /// True if the job could not even be enqueued (progress thread gone).
     lost: bool,
 }
@@ -118,9 +120,10 @@ impl PendingOp {
         done: Receiver<Result<Vec<f32>, CommError>>,
         budget: Duration,
         stats: Arc<TrafficStats>,
+        trace: Arc<TraceRecorder>,
         lost: bool,
     ) -> PendingOp {
-        PendingOp { rank, kind, done, budget, stats, lost }
+        PendingOp { rank, kind, done, budget, stats, trace, lost }
     }
 
     /// Blocks until the op completes, returning its result payload (shape
@@ -136,6 +139,10 @@ impl PendingOp {
         if self.lost {
             return Err(CommError::ProgressLost { rank: self.rank });
         }
+        let span = match self.kind {
+            Some(kind) => self.trace.begin(SpanCategory::Wait, kind.name()),
+            None => zero_trace::SpanId::NULL,
+        };
         let t0 = Instant::now();
         let res = match self.done.recv_timeout(self.budget) {
             Ok(r) => r,
@@ -149,6 +156,7 @@ impl PendingOp {
         if let Some(kind) = self.kind {
             self.stats.record_wait(kind, t0.elapsed());
         }
+        self.trace.end(span);
         res
     }
 }
@@ -160,10 +168,29 @@ pub(crate) fn progress_loop(mut fabric: Fabric, jobs: Receiver<Job>, queued: Arc
         match jobs.recv_timeout(PROGRESS_TICK) {
             Ok(job) => {
                 let kind = job.req.kind();
+                // One collective span per executed op, byte-tagged with the
+                // traffic-counter delta its execution produced: only this
+                // thread records sends on this fabric, so the delta is
+                // exactly the op's own volume and timeline byte sums
+                // reconcile with `TrafficStats` by construction. The span
+                // is recorded before the completion send so a waiter that
+                // returns is guaranteed to see it in the timeline.
+                let (span, bytes_before) = match kind {
+                    Some(kind) => (
+                        fabric.trace.begin_on(
+                            TRACK_PROGRESS,
+                            SpanCategory::Collective,
+                            kind.name(),
+                        ),
+                        fabric.stats.bytes(kind),
+                    ),
+                    None => (zero_trace::SpanId::NULL, 0),
+                };
                 let t0 = Instant::now();
                 let res = exec(&mut fabric, job.req);
                 if let Some(kind) = kind {
                     fabric.stats.record_exec(kind, t0.elapsed());
+                    fabric.trace.end_with_bytes(span, fabric.stats.bytes(kind) - bytes_before);
                 }
                 queued.fetch_sub(1, Ordering::SeqCst);
                 // The waiter may have dropped its handle; the op already

@@ -28,6 +28,21 @@ pub enum CollectiveKind {
     P2p = 5,
 }
 
+impl CollectiveKind {
+    /// Stable lowercase name, used as the span name of every collective
+    /// recorded in a rank's trace (and in human-readable reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "all-reduce",
+            CollectiveKind::ReduceScatter => "reduce-scatter",
+            CollectiveKind::AllGather => "all-gather",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::P2p => "p2p",
+        }
+    }
+}
+
 /// Number of tracked categories.
 pub const KIND_COUNT: usize = 6;
 

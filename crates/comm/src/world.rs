@@ -35,6 +35,7 @@ use crate::error::CommError;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::nonblocking::{progress_loop, Job, PendingOp, Request};
 use crate::stats::{CollectiveKind, TrafficStats};
+use zero_trace::{SpanCategory, TraceRecorder, TRACK_PROGRESS};
 
 /// A message between two ranks: an opaque f32 payload, a per-channel
 /// sequence number used to detect mismatched collective schedules, and a
@@ -90,6 +91,7 @@ impl WorldConfig {
 pub struct World {
     comms: Vec<Option<Communicator>>,
     stats: Vec<Arc<TrafficStats>>,
+    traces: Vec<Arc<TraceRecorder>>,
 }
 
 impl World {
@@ -127,6 +129,11 @@ impl World {
         }
         let barrier = Arc::new(TimeoutBarrier::new(n));
         let stats: Vec<Arc<TrafficStats>> = (0..n).map(|_| TrafficStats::new()).collect();
+        // One span recorder per rank, all sharing one epoch so per-rank
+        // timestamps are comparable in a merged Chrome trace.
+        let epoch = Instant::now();
+        let traces: Vec<Arc<TraceRecorder>> =
+            (0..n).map(|_| Arc::new(TraceRecorder::with_epoch(epoch))).collect();
 
         // Re-group: rank r needs send handles to every dst and its own recv row.
         let mut comms = Vec::with_capacity(n);
@@ -153,6 +160,7 @@ impl World {
                 recv_seq: vec![0; n].into(),
                 barrier: barrier.clone(),
                 stats: stats[rank].clone(),
+                trace: traces[rank].clone(),
                 recv_timeout: config.recv_timeout,
                 link_latency: config.link_latency,
                 fault: config.faults.for_rank(rank),
@@ -171,12 +179,13 @@ impl World {
                 rank,
                 world: n,
                 stats: stats[rank].clone(),
+                trace: traces[rank].clone(),
                 recv_timeout: config.recv_timeout,
                 jobs: jobs_tx,
                 queued,
             }));
         }
-        World { comms, stats }
+        World { comms, stats, traces }
     }
 
     /// World size.
@@ -202,6 +211,11 @@ impl World {
     /// Traffic counters for rank `r` (usable while ranks run and after).
     pub fn stats(&self, rank: usize) -> Arc<TrafficStats> {
         self.stats[rank].clone()
+    }
+
+    /// Span recorder for rank `r` (usable while ranks run and after).
+    pub fn trace(&self, rank: usize) -> Arc<TraceRecorder> {
+        self.traces[rank].clone()
     }
 }
 
@@ -267,6 +281,7 @@ pub(crate) struct Fabric {
     recv_seq: Box<[u64]>,
     barrier: Arc<TimeoutBarrier>,
     pub(crate) stats: Arc<TrafficStats>,
+    pub(crate) trace: Arc<TraceRecorder>,
     recv_timeout: Duration,
     link_latency: Duration,
     fault: FaultState,
@@ -288,9 +303,11 @@ impl Fabric {
             None => Ok(()),
             Some(FaultKind::Crash) => {
                 self.dead = true;
+                self.trace.instant_on(TRACK_PROGRESS, SpanCategory::Collective, "fault-crash");
                 Err(CommError::InjectedCrash { rank: self.rank, op })
             }
             Some(FaultKind::Hang) => {
+                self.trace.instant_on(TRACK_PROGRESS, SpanCategory::Collective, "fault-hang");
                 // Stall past every peer's receive timeout so they observe
                 // `Timeout`, then report this rank dead.
                 std::thread::sleep(self.recv_timeout * 2);
@@ -298,10 +315,12 @@ impl Fabric {
                 Err(CommError::InjectedHang { rank: self.rank, op })
             }
             Some(FaultKind::CorruptNextSend) => {
+                self.trace.instant_on(TRACK_PROGRESS, SpanCategory::Collective, "fault-corrupt");
                 self.fault.arm_corruption();
                 Ok(())
             }
             Some(FaultKind::Delay(d)) => {
+                self.trace.instant_on(TRACK_PROGRESS, SpanCategory::Collective, "fault-delay");
                 std::thread::sleep(d);
                 Ok(())
             }
@@ -420,6 +439,7 @@ pub struct Communicator {
     rank: usize,
     world: usize,
     stats: Arc<TrafficStats>,
+    trace: Arc<TraceRecorder>,
     recv_timeout: Duration,
     jobs: Sender<Job>,
     /// Ops submitted but not yet finished by the progress thread; sizes
@@ -446,6 +466,13 @@ impl Communicator {
         &self.stats
     }
 
+    /// This rank's span recorder. Collective execution and wait spans land
+    /// here automatically; engine code adds compute/optimizer/checkpoint
+    /// spans on the same recorder so one timeline covers the whole rank.
+    pub fn trace(&self) -> Arc<TraceRecorder> {
+        self.trace.clone()
+    }
+
     /// The configured receive timeout.
     pub fn recv_timeout(&self) -> Duration {
         self.recv_timeout
@@ -465,7 +492,15 @@ impl Communicator {
         let per_op = 2 * self.world + 6;
         let depth = (behind + 1).min(64);
         let budget = self.recv_timeout * (per_op * depth) as u32;
-        PendingOp::new(self.rank, kind, done_rx, budget, self.stats.clone(), lost)
+        PendingOp::new(
+            self.rank,
+            kind,
+            done_rx,
+            budget,
+            self.stats.clone(),
+            self.trace.clone(),
+            lost,
+        )
     }
 
     /// Point-to-point send of an f32 buffer.

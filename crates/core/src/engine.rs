@@ -22,10 +22,13 @@
 //! constant-size fused buffers CB for every flat-space collective (§6.2),
 //! and a contiguous checkpoint arena MD (§6.3).
 
+use std::sync::Arc;
+
 use zero_comm::{
     CollectiveKind, CommError, Communicator, Grid, Group, PendingOp, Precision, ReduceOp,
 };
 use zero_model::{BlockSaved, Gpt};
+use zero_trace::{SpanCategory, StepTimeline, TraceRecorder};
 use zero_optim::{
     apply_clip, clip_coefficient, local_sq_norm, Adam, DynamicLossScaler, Sgd,
 };
@@ -163,6 +166,9 @@ pub struct RankEngine {
     scaler: Option<DynamicLossScaler>,
     arena: Option<ContiguousArena>,
     mem: MemoryTracker,
+    /// This rank's span recorder — shared with the communicator, whose
+    /// progress thread records collective execution spans on it.
+    trace: Arc<TraceRecorder>,
     step: u64,
     /// Monotone micro-batch counter (drives deterministic dropout seeds).
     micro_seq: u64,
@@ -202,6 +208,7 @@ impl RankEngine {
             "model MP degree does not match grid"
         );
         let rank = comm.rank();
+        let trace = comm.trace();
         let (dp_idx, mp_idx) = grid.coords(rank);
         let dp_group = grid.dp_group(rank);
         let mp_group = grid.mp_group(rank);
@@ -226,7 +233,10 @@ impl RankEngine {
             initial_params.to_vec()
         };
         mem.alloc(MemCategory::MasterParams, 4 * master.len() as u64);
-        let opt = OptState::new(master.len(), zcfg.optimizer);
+        let mut opt = OptState::new(master.len(), zcfg.optimizer);
+        if let OptState::Adam(a) = &mut opt {
+            a.attach_trace(trace.clone());
+        }
         // Optimizer-state accounting: Adam = momentum + variance (K = 12
         // with the master copy); SGD-momentum = velocity only (K = 8);
         // plain SGD = nothing (K = 4).
@@ -273,6 +283,7 @@ impl RankEngine {
             full_grads,
             grad_shard,
             mem,
+            trace,
             step: 0,
             micro_seq: 0,
         }
@@ -308,6 +319,17 @@ impl RankEngine {
     /// execution time (on the progress thread) stays put.
     pub fn timing(&self) -> zero_comm::TimingSnapshot {
         self.comm.stats().timing()
+    }
+
+    /// This rank's span recorder (shared with the communicator).
+    pub fn trace(&self) -> Arc<TraceRecorder> {
+        self.trace.clone()
+    }
+
+    /// Snapshot of everything traced on this rank so far: spans, instant
+    /// events, and counter samples, ready for querying or Chrome export.
+    pub fn timeline(&self) -> StepTimeline {
+        self.trace.timeline()
     }
 
     /// The flat range of this rank's DP shard.
@@ -405,6 +427,7 @@ impl RankEngine {
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
         let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
         assert_eq!(op.total_elems(), len, "planned fetch-unit size");
+        self.trace.instant(SpanCategory::Collective, "prefetch-issue");
         let local = self.part.local_slice_of(self.dp_idx, &unit_range);
         let piece = self.work.read_vec(local);
         let prec = self.precision();
@@ -450,6 +473,10 @@ impl RankEngine {
     /// each micro-batch's backward. FIFO order makes the accumulation
     /// order identical to the synchronous path.
     fn drain_inflight(&mut self) -> Result<(), CommError> {
+        if self.inflight_rs.is_empty() {
+            return Ok(());
+        }
+        let span = self.trace.begin(SpanCategory::Wait, "drain-inflight");
         let mut first_err: Option<CommError> = None;
         for inf in self.inflight_rs.drain(..) {
             if first_err.is_none() {
@@ -466,6 +493,7 @@ impl RankEngine {
             // SPMD schedule aligned for recovery.
             self.mem.free(MemCategory::Buffers, inf.bytes);
         }
+        self.trace.end(span);
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -517,6 +545,7 @@ impl RankEngine {
     }
 
     fn store_checkpoint(&mut self, x: &[f32]) -> Checkpoint {
+        let span = self.trace.begin(SpanCategory::Checkpoint, "ckpt-store");
         let full_len = x.len();
         let partitioned = self.zcfg.partition_activations;
         let offloaded = self.zcfg.offload_checkpoints;
@@ -545,6 +574,7 @@ impl RankEngine {
         } else {
             CkptData::Own(slice.to_vec())
         };
+        self.trace.end(span);
         Checkpoint {
             data,
             full_len,
@@ -559,6 +589,13 @@ impl RankEngine {
     /// seq·hidden per block); P_a+cpu additionally pays the PCIe
     /// round-trip, which we meter.
     fn fetch_checkpoint(&mut self, c: &Checkpoint) -> Result<Vec<f32>, CommError> {
+        let span = self.trace.begin(SpanCategory::Checkpoint, "ckpt-fetch");
+        let res = self.fetch_checkpoint_inner(c);
+        self.trace.end(span);
+        res
+    }
+
+    fn fetch_checkpoint_inner(&mut self, c: &Checkpoint) -> Result<Vec<f32>, CommError> {
         let slice: Vec<f32> = match &c.data {
             CkptData::Own(v) => v.clone(),
             CkptData::Arena(slot) => self.arena.as_ref().unwrap().slot(slot).to_vec(),
@@ -623,6 +660,7 @@ impl RankEngine {
             mem,
             plan,
             inflight_rs,
+            trace,
             ..
         } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
@@ -631,6 +669,7 @@ impl RankEngine {
             if comm_err.is_some() {
                 return;
             }
+            trace.instant(SpanCategory::Collective, "bucket-flush");
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-bucket size");
@@ -664,8 +703,20 @@ impl RankEngine {
         if !self.zcfg.stage.partitions_grads() {
             return Ok(());
         }
-        let Self { bucket, comm, dp_group, part, grad_shard, dp_idx, mem, zcfg, plan, inflight_rs, .. } =
-            self;
+        let Self {
+            bucket,
+            comm,
+            dp_group,
+            part,
+            grad_shard,
+            dp_idx,
+            mem,
+            zcfg,
+            plan,
+            inflight_rs,
+            trace,
+            ..
+        } = self;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
         let overlap = zcfg.overlap;
@@ -674,6 +725,7 @@ impl RankEngine {
             if comm_err.is_some() {
                 return;
             }
+            trace.instant(SpanCategory::Collective, "bucket-flush");
             mem.alloc(MemCategory::Buffers, 4 * fused.len() as u64);
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-flush size");
@@ -886,6 +938,7 @@ impl RankEngine {
     /// shards together hold exactly one copy of the training state --
     /// ZeRO's natural sharded-checkpoint layout.
     pub fn save_snapshot(&self) -> crate::snapshot::RankSnapshot {
+        let span = self.trace.begin(SpanCategory::Checkpoint, "snapshot-capture");
         let range = self.master_range();
         let (opt_m, opt_v, opt_t) = match &self.opt {
             OptState::Adam(a) => {
@@ -898,7 +951,7 @@ impl RankEngine {
                 0,
             ),
         };
-        crate::snapshot::RankSnapshot {
+        let snap = crate::snapshot::RankSnapshot {
             rank: self.comm.rank() as u32,
             world: self.comm.world_size() as u32,
             step: self.step,
@@ -909,7 +962,10 @@ impl RankEngine {
             opt_v,
             opt_t,
             scaler: self.scaler.as_ref().map(|s| s.state()),
-        }
+        };
+        self.trace.instant(SpanCategory::Checkpoint, "snapshot-write");
+        self.trace.end(span);
+        snap
     }
 
     /// Restores training state from a snapshot and re-publishes the
@@ -928,6 +984,16 @@ impl RankEngine {
     /// during the parameter re-publish as [`CommError`] instead of
     /// panicking, so a supervisor can treat them as recoverable.
     pub fn try_restore_snapshot(
+        &mut self,
+        snap: &crate::snapshot::RankSnapshot,
+    ) -> Result<(), CommError> {
+        let span = self.trace.begin(SpanCategory::Checkpoint, "snapshot-restore");
+        let res = self.try_restore_snapshot_inner(snap);
+        self.trace.end(span);
+        res
+    }
+
+    fn try_restore_snapshot_inner(
         &mut self,
         snap: &crate::snapshot::RankSnapshot,
     ) -> Result<(), CommError> {
@@ -957,6 +1023,9 @@ impl RankEngine {
                 (cfg.momentum != 0.0).then(|| snap.opt_m.clone()),
             )),
         };
+        if let OptState::Adam(a) = &mut self.opt {
+            a.attach_trace(self.trace.clone());
+        }
         self.step = snap.step;
         if let (Some(scaler), Some((scale, good, skipped))) = (&mut self.scaler, snap.scaler) {
             scaler.restore(scale, good, skipped);
@@ -1099,7 +1168,9 @@ impl RankEngine {
         // unit's all-gather before waiting its own, so unit u+1's ring
         // runs under unit u's compute.
         let p_embed = self.fetch_unit_pf(0, Some(1))?;
+        let span = self.trace.begin(SpanCategory::Compute, "embed-fwd");
         let mut x = self.gpt.embed(&p_embed, ids, local_batch);
+        self.trace.end(span);
         self.release_unit(p_embed);
         self.maybe_quantize(&mut x);
 
@@ -1117,14 +1188,17 @@ impl RankEngine {
                 checkpoints.push(c);
             }
             let (mut y, saved) = {
-                let Self { gpt, comm, mp_group, plan, .. } = self;
-                gpt.block_fwd_dropout(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
+                let Self { gpt, comm, mp_group, plan, trace, .. } = self;
+                let span = trace.begin(SpanCategory::Compute, "block-fwd");
+                let out = gpt.block_fwd_dropout(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
                     if mp_err.is_none() {
                         let op = plan.take(CollectiveKind::AllReduce, mp_group);
                         assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                         mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                     }
-                }, drop_for(l))
+                }, drop_for(l));
+                trace.end(span);
+                out
             };
             if let Some(e) = mp_err.take() {
                 return Err(e);
@@ -1150,9 +1224,11 @@ impl RankEngine {
         let p_head = self.fetch_unit_pf(1 + layers, head_next)?;
         let head_len = units[1 + layers].len();
         let mut head_grads = vec![0.0; head_len];
+        let span = self.trace.begin(SpanCategory::Compute, "head-fwd-bwd");
         let (loss, mut dy) =
             self.gpt
                 .head_fwd_bwd(&p_head, &x, targets, &mut head_grads, local_batch);
+        self.trace.end(span);
         self.release_unit(p_head);
         drop(x);
         // Apply the loss scale to everything downstream of the loss.
@@ -1181,15 +1257,26 @@ impl RankEngine {
                 for l in seg_start..seg_end {
                     let p = self.fetch_unit_pf(1 + l, (l + 1 < seg_end).then(|| 2 + l))?;
                     let (mut y, saved) = {
-                        let Self { gpt, comm, mp_group, plan, .. } = self;
-                        gpt.block_fwd_dropout(l, &p, &x_in, local_batch, &mut |buf: &mut [f32]| {
-                            if mp_err.is_none() {
-                                let op = plan.take(CollectiveKind::AllReduce, mp_group);
-                                assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
-                                mp_err =
-                                    comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
-                            }
-                        }, drop_for(l))
+                        let Self { gpt, comm, mp_group, plan, trace, .. } = self;
+                        let span = trace.begin(SpanCategory::Compute, "block-refwd");
+                        let out = gpt.block_fwd_dropout(
+                            l,
+                            &p,
+                            &x_in,
+                            local_batch,
+                            &mut |buf: &mut [f32]| {
+                                if mp_err.is_none() {
+                                    let op = plan.take(CollectiveKind::AllReduce, mp_group);
+                                    assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
+                                    mp_err = comm
+                                        .all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec)
+                                        .err();
+                                }
+                            },
+                            drop_for(l),
+                        );
+                        trace.end(span);
+                        out
                     };
                     if let Some(e) = mp_err.take() {
                         return Err(e);
@@ -1207,8 +1294,9 @@ impl RankEngine {
                     let block_len = units[1 + l].len();
                     let mut block_grads = vec![0.0; block_len];
                     dy = {
-                        let Self { gpt, comm, mp_group, plan, .. } = self;
-                        gpt.block_bwd_dropout(
+                        let Self { gpt, comm, mp_group, plan, trace, .. } = self;
+                        let span = trace.begin(SpanCategory::Compute, "block-bwd");
+                        let out = gpt.block_bwd_dropout(
                             l,
                             &p,
                             &saved,
@@ -1225,7 +1313,9 @@ impl RankEngine {
                                 }
                             },
                             drop_for(l),
-                        )
+                        );
+                        trace.end(span);
+                        out
                     };
                     if let Some(e) = mp_err.take() {
                         return Err(e);
@@ -1246,8 +1336,9 @@ impl RankEngine {
                 let block_len = units[1 + l].len();
                 let mut block_grads = vec![0.0; block_len];
                 dy = {
-                    let Self { gpt, comm, mp_group, plan, .. } = self;
-                    gpt.block_bwd_dropout(
+                    let Self { gpt, comm, mp_group, plan, trace, .. } = self;
+                    let span = trace.begin(SpanCategory::Compute, "block-bwd");
+                    let out = gpt.block_bwd_dropout(
                         l,
                         &p,
                         &saved,
@@ -1263,7 +1354,9 @@ impl RankEngine {
                             }
                         },
                         drop_for(l),
-                    )
+                    );
+                    trace.end(span);
+                    out
                 };
                 if let Some(e) = mp_err.take() {
                     return Err(e);
@@ -1276,8 +1369,10 @@ impl RankEngine {
         // ---------- embedding backward ----------
         let embed_len = units[0].len();
         let mut embed_grads = vec![0.0; embed_len];
+        let span = self.trace.begin(SpanCategory::Compute, "embed-bwd");
         self.gpt
             .embed_backward(ids, &dy, &mut embed_grads, local_batch);
+        self.trace.end(span);
         drop(dy);
         self.dispatch_grads(units[0].clone(), embed_grads)?;
         // Drain the bucket so the next micro-batch's head-first pushes
@@ -1314,7 +1409,7 @@ impl RankEngine {
         self.plan.assert_exhausted("after overflow flag");
 
         let skipped = match &mut self.scaler {
-            Some(s) => s.update(overflow),
+            Some(s) => s.update_traced(overflow, &self.trace),
             None => overflow, // fp32 overflow: skip, nothing to rescale
         };
         let suffix = CommPlan::step_suffix(self.gpt.layout(), &self.zcfg, self.grid, skipped);
@@ -1341,11 +1436,14 @@ impl RankEngine {
             };
             self.opt
                 .set_lr(base_lr * self.zcfg.lr_schedule.factor(self.step));
+            let span = self.trace.begin(SpanCategory::Optimizer, "opt-step");
             self.opt.step(&mut self.master, &g);
+            self.trace.end(span);
             self.publish_params()?;
         }
         self.plan.assert_exhausted("end of step");
         self.step += 1;
+        self.trace.counter("peak-device-bytes", self.mem.peak_device());
         Ok(StepOutcome {
             loss,
             skipped,
@@ -1379,20 +1477,25 @@ impl RankEngine {
         let eval_plan = CommPlan::eval_pass(self.gpt.layout(), &self.zcfg, self.grid, act_elems);
         self.plan.install(&eval_plan, self.comm.rank(), "eval-pass");
         let p = self.fetch_unit_pf(0, Some(1))?;
+        let span = self.trace.begin(SpanCategory::Compute, "embed-fwd");
         let mut x = self.gpt.embed(&p, ids, local_batch);
+        self.trace.end(span);
         self.release_unit(p);
         self.maybe_quantize(&mut x);
         for l in 0..layers {
             let p = self.fetch_unit_pf(1 + l, Some(2 + l))?;
             let (mut y, saved) = {
-                let Self { gpt, comm, mp_group, plan, .. } = self;
-                gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
+                let Self { gpt, comm, mp_group, plan, trace, .. } = self;
+                let span = trace.begin(SpanCategory::Compute, "block-fwd");
+                let out = gpt.block_fwd(l, &p, &x, local_batch, &mut |buf: &mut [f32]| {
                     if mp_err.is_none() {
                         let op = plan.take(CollectiveKind::AllReduce, mp_group);
                         assert_eq!(op.total_elems(), buf.len(), "planned MP hook size");
                         mp_err = comm.all_reduce_in(mp_group, buf, ReduceOp::Sum, mp_prec).err();
                     }
-                })
+                });
+                trace.end(span);
+                out
             };
             if let Some(e) = mp_err.take() {
                 return Err(e);
@@ -1403,7 +1506,9 @@ impl RankEngine {
             x = y;
         }
         let p = self.fetch_unit_pf(1 + layers, None)?;
+        let span = self.trace.begin(SpanCategory::Compute, "head-loss");
         let loss = self.gpt.head_loss(&p, &x, targets, local_batch);
+        self.trace.end(span);
         self.release_unit(p);
         self.plan.assert_exhausted("end of eval");
         Ok(loss)

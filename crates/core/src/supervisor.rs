@@ -106,6 +106,10 @@ pub struct SupervisedReport {
     pub final_world: usize,
     /// One entry per recovery, in order.
     pub recoveries: Vec<RecoveryReport>,
+    /// Per-rank span timelines from the final (clean) round. After a
+    /// recovery, each contains the `checkpoint`-category
+    /// `"snapshot-restore"` span the rollback executed.
+    pub timelines: Vec<zero_trace::StepTimeline>,
 }
 
 /// One rank's output from one round: the losses it completed, the final
@@ -114,6 +118,7 @@ struct RoundOut {
     losses: Vec<f32>,
     eval: Option<f32>,
     error: Option<CommError>,
+    timeline: zero_trace::StepTimeline,
 }
 
 /// Runs `cfg.steps` optimizer steps under `cfg.faults`, recovering from
@@ -202,11 +207,13 @@ pub fn run_supervised(cfg: &SupervisorConfig) -> SupervisedReport {
             }
             let final_eval = round.iter().filter_map(|o| o.eval).sum::<f32>()
                 / round.iter().filter(|o| o.eval.is_some()).count().max(1) as f32;
+            let timelines = round.iter().map(|o| o.timeline.clone()).collect();
             return SupervisedReport {
                 losses,
                 final_eval,
                 final_world: world,
                 recoveries,
+                timelines,
             };
         }
 
@@ -309,7 +316,12 @@ fn run_round(
         let mut engine = RankEngine::new(gpt, full_params, setup.zero, grid, comm);
         if let Some(snaps) = restore {
             if let Err(e) = engine.try_restore_snapshot(&snaps[rank]) {
-                return RoundOut { losses: Vec::new(), eval: None, error: Some(e) };
+                return RoundOut {
+                    losses: Vec::new(),
+                    eval: None,
+                    error: Some(e),
+                    timeline: engine.timeline(),
+                };
             }
         } else {
             // Step-0 floor: recovery can always fall back to initial state.
@@ -325,7 +337,14 @@ fn run_round(
                 corpus.rank_batch(step, setup.global_batch, setup.model.seq, world, rank);
             match engine.try_train_step(&ids, &targets, local_batch) {
                 Ok(out) => losses.push(out.loss),
-                Err(e) => return RoundOut { losses, eval: None, error: Some(e) },
+                Err(e) => {
+                    return RoundOut {
+                        losses,
+                        eval: None,
+                        error: Some(e),
+                        timeline: engine.timeline(),
+                    }
+                }
             }
             if (step + 1) % cfg.snapshot_every == 0 {
                 engine
@@ -343,10 +362,11 @@ fn run_round(
             world,
             rank,
         );
-        match engine.try_eval_loss(&ids, &targets, local_batch) {
-            Ok(l) => RoundOut { losses, eval: Some(l), error: None },
-            Err(e) => RoundOut { losses, eval: None, error: Some(e) },
-        }
+        let (eval, error) = match engine.try_eval_loss(&ids, &targets, local_batch) {
+            Ok(l) => (Some(l), None),
+            Err(e) => (None, Some(e)),
+        };
+        RoundOut { losses, eval, error, timeline: engine.timeline() }
     })
 }
 

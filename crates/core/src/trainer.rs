@@ -47,6 +47,9 @@ pub struct RankReport {
     pub traffic: TrafficSnapshot,
     /// Per-kind wait vs in-flight execution timing.
     pub timing: TimingSnapshot,
+    /// Everything this rank traced: spans, instants, counter samples
+    /// (see [`zero_trace::StepTimeline`]).
+    pub timeline: zero_trace::StepTimeline,
     /// This rank's fp32 master shard (or full buffer under DDP).
     pub master: Vec<f32>,
     /// The flat range the master shard covers.
@@ -247,6 +250,7 @@ fn run_training_inner(
                         cpu_transfer_bytes: mem.cpu_transfer_bytes(),
                         traffic: engine.traffic(),
                         timing: engine.timing(),
+                        timeline: engine.timeline(),
                         master: engine.master_params().to_vec(),
                         shard_range: engine.master_range(),
                     };

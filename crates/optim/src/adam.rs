@@ -7,6 +7,10 @@
 //! contiguous slice, so the ZeRO engines can run it over a 1/N_d shard —
 //! the essence of P_os.
 
+use std::sync::Arc;
+
+use zero_trace::{SpanCategory, TraceRecorder};
+
 /// Adam hyperparameters.
 #[derive(Clone, Copy, Debug)]
 pub struct AdamConfig {
@@ -44,6 +48,7 @@ pub struct Adam {
     m: Vec<f32>,
     v: Vec<f32>,
     t: u64,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Adam {
@@ -54,7 +59,14 @@ impl Adam {
             m: vec![0.0; numel],
             v: vec![0.0; numel],
             t: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches a span recorder: every subsequent [`Self::step`] brackets
+    /// its update in an `optimizer`-category `"adam-update"` span.
+    pub fn attach_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = Some(trace);
     }
 
     /// Number of parameters this state covers.
@@ -84,6 +96,10 @@ impl Adam {
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), self.m.len(), "adam: params length");
         assert_eq!(grads.len(), self.m.len(), "adam: grads length");
+        let span = self
+            .trace
+            .as_ref()
+            .map(|t| t.begin(SpanCategory::Optimizer, "adam-update"));
         self.t += 1;
         let AdamConfig {
             lr,
@@ -108,6 +124,9 @@ impl Adam {
             }
             params[i] -= lr * update;
         }
+        if let (Some(t), Some(id)) = (&self.trace, span) {
+            t.end(id);
+        }
     }
 
     /// Direct access to the moment buffers (for the partitioning tests
@@ -123,7 +142,7 @@ impl Adam {
     /// Panics if the moment buffers differ in length.
     pub fn from_state(cfg: AdamConfig, m: Vec<f32>, v: Vec<f32>, t: u64) -> Adam {
         assert_eq!(m.len(), v.len(), "adam state length mismatch");
-        Adam { cfg, m, v, t }
+        Adam { cfg, m, v, t, trace: None }
     }
 }
 

@@ -96,6 +96,25 @@ impl DynamicLossScaler {
             false
         }
     }
+
+    /// Like [`Self::update`], additionally dropping a loss-scale instant
+    /// event on `trace` whenever the scale actually moves:
+    /// `"loss-scale-backoff"` on an overflow halving, `"loss-scale-growth"`
+    /// on an interval doubling.
+    pub fn update_traced(
+        &mut self,
+        found_overflow: bool,
+        trace: &zero_trace::TraceRecorder,
+    ) -> bool {
+        let before = self.scale;
+        let skipped = self.update(found_overflow);
+        if self.scale < before {
+            trace.instant(zero_trace::SpanCategory::Optimizer, "loss-scale-backoff");
+        } else if self.scale > before {
+            trace.instant(zero_trace::SpanCategory::Optimizer, "loss-scale-growth");
+        }
+        skipped
+    }
 }
 
 /// Scans a gradient buffer for NaN/Inf (the overflow signal collected,

@@ -1,0 +1,175 @@
+//! Property tests for the span recorder and interval algebra.
+//!
+//! The recorder is driven with *adversarial* call sequences — ends without
+//! begins, double-ends, interleaved opens across two recorders — and must
+//! never mint a span it was not given, leak a span across recorders, or
+//! produce an ill-formed timeline. The interval helpers are checked
+//! against brute-force point sampling, which is immune to the two-pointer
+//! bookkeeping bugs the fast path could hide.
+
+use proptest::prelude::*;
+use zero_trace::{
+    intersect_intervals, merge_intervals, SpanId, TraceRecorder, ALL_CATEGORIES,
+};
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Decodes one opaque u64 into a recorder action and applies it.
+/// Returns the updated (open, ended, closed_count) bookkeeping.
+fn apply_op(
+    rec: &TraceRecorder,
+    op: u64,
+    open: &mut Vec<SpanId>,
+    ended: &mut Vec<SpanId>,
+) -> usize {
+    match op % 4 {
+        // Begin a span with category/name drawn from the same entropy.
+        0 => {
+            let cat = ALL_CATEGORIES[(op / 4) as usize % ALL_CATEGORIES.len()];
+            let name = NAMES[(op / 32) as usize % NAMES.len()];
+            open.push(rec.begin(cat, name));
+            0
+        }
+        // End a currently open span (arbitrary pick, not LIFO — the
+        // recorder must not assume stack discipline).
+        1 if !open.is_empty() => {
+            let id = open.remove((op / 4) as usize % open.len());
+            assert!(rec.end(id), "ending a live span must record it");
+            ended.push(id);
+            1
+        }
+        // End the null id: must be a no-op that reports failure.
+        2 => {
+            assert!(!rec.end(SpanId::NULL), "null end must record nothing");
+            0
+        }
+        // Double-end an already-closed span: must be rejected, because an
+        // end-without-begin can never mint a span.
+        _ if !ended.is_empty() => {
+            let id = ended[(op / 4) as usize % ended.len()];
+            assert!(!rec.end(id), "double-end must record nothing");
+            0
+        }
+        _ => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nesting_is_well_formed_under_arbitrary_interleavings(
+        ops in prop::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let rec = TraceRecorder::new();
+        let mut open = Vec::new();
+        let mut ended = Vec::new();
+        let mut closed = 0usize;
+        for &op in &ops {
+            closed += apply_op(&rec, op, &mut open, &mut ended);
+        }
+        prop_assert_eq!(rec.open_spans(), open.len());
+        let tl = rec.timeline();
+        // Exactly the successfully closed spans appear — no more, no less.
+        prop_assert_eq!(tl.spans.len(), closed);
+        for w in tl.spans.windows(2) {
+            prop_assert!(w[0].start_ns <= w[1].start_ns, "timeline sorted by start");
+        }
+        for s in &tl.spans {
+            prop_assert!(s.end_ns >= s.start_ns, "span duration non-negative");
+            prop_assert!(NAMES.contains(&s.name), "span names come from begins only");
+        }
+        // Draining the stragglers closes everything exactly once.
+        for id in open.drain(..) {
+            prop_assert!(rec.end(id));
+        }
+        prop_assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
+    fn recorders_never_leak_spans_across_ranks(
+        ops in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        // Two ranks' recorders driven by an interleaved schedule, with
+        // disjoint name sets: rank 0 uses NAMES[0..2], rank 1 NAMES[2..4].
+        let recs = [TraceRecorder::new(), TraceRecorder::new()];
+        let mut open: [Vec<SpanId>; 2] = [Vec::new(), Vec::new()];
+        let mut counts = [0usize; 2];
+        for &op in &ops {
+            let r = (op % 2) as usize;
+            let body = op / 2;
+            if body % 3 == 0 || open[r].is_empty() {
+                let cat = ALL_CATEGORIES[(body / 3) as usize % ALL_CATEGORIES.len()];
+                let name = NAMES[2 * r + (body / 16) as usize % 2];
+                open[r].push(recs[r].begin(cat, name));
+            } else {
+                let id = open[r].remove((body / 3) as usize % open[r].len());
+                prop_assert!(recs[r].end(id));
+                counts[r] += 1;
+            }
+        }
+        for (r, rec) in recs.iter().enumerate() {
+            let tl = rec.timeline();
+            prop_assert_eq!(tl.spans.len(), counts[r]);
+            let allowed = &NAMES[2 * r..2 * r + 2];
+            for s in &tl.spans {
+                prop_assert!(
+                    allowed.contains(&s.name),
+                    "rank {}'s timeline holds foreign span {}", r, s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_intervals_matches_point_sampling(
+        raw in prop::collection::vec(0u64..200, 0..40),
+    ) {
+        // Consecutive pairs form intervals; odd-length tails are dropped,
+        // inverted and empty pairs are kept as adversarial input.
+        let ivs: Vec<(u64, u64)> = raw.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let merged = merge_intervals(ivs.clone());
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "merged output must be disjoint and sorted");
+        }
+        for &(s, e) in &merged {
+            prop_assert!(s < e, "merged output must be non-degenerate");
+        }
+        for t in 0u64..200 {
+            let in_input = ivs.iter().any(|&(s, e)| s < e && s <= t && t < e);
+            let in_merged = merged.iter().any(|&(s, e)| s <= t && t < e);
+            prop_assert_eq!(in_input, in_merged, "point {} coverage differs", t);
+        }
+        // Idempotence: merging a merged set is the identity.
+        prop_assert_eq!(merge_intervals(merged.clone()), merged);
+    }
+
+    #[test]
+    fn intersect_intervals_is_symmetric_and_clamped(
+        raw_a in prop::collection::vec(0u64..200, 0..30),
+        raw_b in prop::collection::vec(0u64..200, 0..30),
+    ) {
+        let a: Vec<(u64, u64)> = raw_a.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let b: Vec<(u64, u64)> = raw_b.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let ab = intersect_intervals(&a, &b);
+        let ba = intersect_intervals(&b, &a);
+        prop_assert_eq!(&ab, &ba, "intersection must be symmetric");
+        // Clamp-correctness: every output interval sits inside one merged
+        // interval of EACH side — never extends past either operand.
+        let (ma, mb) = (merge_intervals(a.clone()), merge_intervals(b.clone()));
+        for &(s, e) in &ab {
+            prop_assert!(s < e);
+            prop_assert!(ma.iter().any(|&(xs, xe)| xs <= s && e <= xe), "not within a");
+            prop_assert!(mb.iter().any(|&(xs, xe)| xs <= s && e <= xe), "not within b");
+        }
+        // Ground truth by point sampling.
+        let hit = |ivs: &[(u64, u64)], t: u64| ivs.iter().any(|&(s, e)| s < e && s <= t && t < e);
+        for t in 0u64..200 {
+            prop_assert_eq!(
+                hit(&a, t) && hit(&b, t),
+                ab.iter().any(|&(s, e)| s <= t && t < e),
+                "point {} membership differs", t
+            );
+        }
+    }
+}

@@ -19,14 +19,18 @@
 //!    communication results, untimed `recv()`, and lossy `as` casts in
 //!    byte accounting.
 //!
-//! The runtime side of the same guarantee lives in the trace-conformance
-//! tests (`tests/conformance.rs`): real training traffic, metered by
-//! `zero-comm`, must equal the plan's analytic volume byte for byte.
+//! The runtime side of the same guarantee lives in [`tracecheck`] and the
+//! trace-conformance tests (`tests/trace_conformance.rs`): a recorded
+//! [`zero_trace::StepTimeline`] must reconcile exactly — span counts and
+//! byte tags — with the plan's analytic volume model and the traffic
+//! counters `zero-comm` metered during real training.
 
 pub mod lint;
 pub mod schedule;
 pub mod tiling;
+pub mod tracecheck;
 
 pub use lint::{lint_paths, LintHit, LintReport};
 pub use schedule::{check_all as check_schedules, ScheduleReport};
 pub use tiling::{prove_all as prove_tiling, TilingReport};
+pub use tracecheck::{check_timeline, TraceExpectation};

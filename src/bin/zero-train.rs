@@ -56,7 +56,9 @@ fn main() {
              --pa           partition activation checkpoints (needs --mp > 1)\n\
              --pa-cpu       offload checkpoints to CPU (needs --pa)\n\
              --clip F       gradient-norm clip                  [off]\n\
-             --text PATH    train on a text file (byte tokens, sets vocab 256)"
+             --text PATH    train on a text file (byte tokens, sets vocab 256)\n\
+             --trace PATH   write a Chrome trace-event JSON of every rank's\n\
+                            spans (open in chrome://tracing or Perfetto)"
         );
         return;
     }
@@ -166,4 +168,32 @@ fn main() {
         t.bytes(CollectiveKind::AllGather),
         r.cpu_transfer_bytes,
     );
+    let overlap_ns = r.timeline.compute_collective_overlap_ns();
+    println!(
+        "  compute/collective overlap: {:.3} ms total ({:.3} ms/step)",
+        overlap_ns as f64 / 1e6,
+        overlap_ns as f64 / 1e6 / steps as f64,
+    );
+
+    let trace_path: String = args.get("--trace", String::new());
+    if !trace_path.is_empty() {
+        let timelines: Vec<_> = report.ranks.iter().map(|r| r.timeline.clone()).collect();
+        let json = zero::trace::chrome_trace(&timelines);
+        // The export must round-trip: a trace nobody can load is worse
+        // than no trace.
+        if let Err(e) = serde_json::from_str(&json) {
+            eprintln!("internal error: emitted trace does not parse: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&trace_path, &json).expect("write --trace file");
+        let events = timelines
+            .iter()
+            .map(|t| t.spans.len() + t.instants.len() + t.counters.len())
+            .sum::<usize>();
+        println!(
+            "\nwrote {} trace events ({} ranks) to {trace_path}",
+            events,
+            timelines.len()
+        );
+    }
 }

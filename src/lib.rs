@@ -17,6 +17,8 @@
 //!   DDP baseline, and the multi-rank trainer.
 //! * [`sim`] — the analytical memory model and cluster-scale throughput
 //!   simulator that regenerate the paper's tables and figures.
+//! * [`trace`] — per-rank span tracing: step timelines, overlap queries,
+//!   and Chrome trace-event export (`zero-train --trace out.json`).
 //!
 //! ## Quickstart
 //!
@@ -42,3 +44,4 @@ pub use zero_model as model;
 pub use zero_optim as optim;
 pub use zero_sim as sim;
 pub use zero_tensor as tensor;
+pub use zero_trace as trace;

@@ -11,6 +11,7 @@ use zero::core::{
     resume_from_snapshot, run_supervised, SupervisorConfig, TrainSetup, ZeroConfig, ZeroStage,
 };
 use zero::model::ModelConfig;
+use zero::trace::SpanCategory;
 
 fn unique_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("zero-fault-{tag}-{}", std::process::id()))
@@ -193,44 +194,88 @@ fn stage3_crash_recovers() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Runs one cell of the randomized fault matrix: deterministic
+/// splitmix64-derived placement of a crash, hang, or corruption across
+/// stage, victim rank, and fabric-op index. Asserts the run finishes with
+/// a full, finite loss history and — when a recovery fired — that the
+/// supervisor rollback is visible in the final round's traces as a
+/// checkpoint-category `snapshot-restore` span on every rank.
+fn run_matrix_case(case: u64) {
+    let stages = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three];
+    // Deterministic pseudo-random placement (splitmix64 spread).
+    let mut z = case.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5A5_A5A5);
+    let mut next = || {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 27)
+    };
+    let stage = stages[(next() % 3) as usize];
+    let victim = (next() % 4) as usize;
+    let op = 10 + next() % 150;
+    let flavor = next() % 3;
+    let faults = match flavor {
+        0 => FaultPlan::seeded(case).with_crash(victim, op),
+        1 => FaultPlan::seeded(case).with_hang(victim, op),
+        _ => FaultPlan::seeded(case).with_corruption(victim, op),
+    };
+
+    let dir = unique_dir(&format!("stress-{case}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = config(&dir, 4, stage, 12);
+    cfg.snapshot_every = 3;
+    cfg.recv_timeout = Duration::from_millis(200);
+    cfg.faults = faults;
+    let report = run_supervised(&cfg);
+    assert_eq!(
+        report.losses.len(),
+        12,
+        "case {case} ({stage:?}, victim {victim}, op {op}, flavor {flavor}) must finish"
+    );
+    assert!(report.losses.iter().all(|l| l.is_finite()), "case {case}: finite losses");
+    if !report.recoveries.is_empty() {
+        // The final clean round started from a snapshot restore; the
+        // rollback must appear in every surviving rank's trace.
+        assert!(!report.timelines.is_empty(), "case {case}: report must carry timelines");
+        for (rank, tl) in report.timelines.iter().enumerate() {
+            assert!(
+                tl.count_named(SpanCategory::Checkpoint, "snapshot-restore") > 0,
+                "case {case} rank {rank}: recovery happened but no snapshot-restore span"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// Four promoted matrix cells, one per flavor×stage corner, cheap enough
+// for the default tier-1 pass: stage-3 crash, stage-2 corruption,
+// stage-3 hang, stage-1 crash (placements listed in `run_matrix_case`).
+
+#[test]
+fn matrix_case_stage3_crash() {
+    run_matrix_case(0);
+}
+
+#[test]
+fn matrix_case_stage2_corruption() {
+    run_matrix_case(2);
+}
+
+#[test]
+fn matrix_case_stage3_hang() {
+    run_matrix_case(3);
+}
+
+#[test]
+fn matrix_case_stage1_crash() {
+    run_matrix_case(4);
+}
+
 /// Randomized stress matrix (ignored by default; run with
-/// `cargo test -- --ignored`): sweep crash/hang/corrupt faults across
-/// ranks, ops, and stages, and require every configuration to finish with
-/// a full, finite loss history.
+/// `cargo test -- --ignored`): the remaining cells of the same sweep the
+/// promoted `matrix_case_*` tests above cover four corners of.
 #[test]
 #[ignore = "stress matrix: minutes of runtime; exercised in CI's ignored pass"]
 fn randomized_fault_matrix_stress() {
-    let stages = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three];
     for case in 0u64..18 {
-        // Deterministic pseudo-random placement (splitmix64 spread).
-        let mut z = case.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5A5_A5A5);
-        let mut next = || {
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z ^ (z >> 27)
-        };
-        let stage = stages[(next() % 3) as usize];
-        let victim = (next() % 4) as usize;
-        let op = 10 + next() % 150;
-        let flavor = next() % 3;
-        let faults = match flavor {
-            0 => FaultPlan::seeded(case).with_crash(victim, op),
-            1 => FaultPlan::seeded(case).with_hang(victim, op),
-            _ => FaultPlan::seeded(case).with_corruption(victim, op),
-        };
-
-        let dir = unique_dir(&format!("stress-{case}"));
-        std::fs::remove_dir_all(&dir).ok();
-        let mut cfg = config(&dir, 4, stage, 12);
-        cfg.snapshot_every = 3;
-        cfg.recv_timeout = Duration::from_millis(200);
-        cfg.faults = faults;
-        let report = run_supervised(&cfg);
-        assert_eq!(
-            report.losses.len(),
-            12,
-            "case {case} ({stage:?}, victim {victim}, op {op}, flavor {flavor}) must finish"
-        );
-        assert!(report.losses.iter().all(|l| l.is_finite()), "case {case}: finite losses");
-        std::fs::remove_dir_all(&dir).ok();
+        run_matrix_case(case);
     }
 }
