@@ -26,6 +26,24 @@ cargo run -q --release --bin zero-train -- \
 test -s "$trace_out" || { echo "trace file missing or empty"; exit 1; }
 rm -rf "$(dirname "$trace_out")"
 
+echo "==> zero-serve smoke (train -> snapshot -> shard-hosted serving)"
+serve_ckpt="$(mktemp -d)"
+cargo run -q --release --bin zero-train -- \
+    --stage 3 --dp 4 --steps 4 --batch 4 --save "$serve_ckpt"
+cargo run -q --release --bin zero-serve -- --snapshots "$serve_ckpt" --ranks 2 \
+    > /dev/null || { echo "snapshot-backed serving failed"; exit 1; }
+rm -rf "$serve_ckpt"
+# >=8 concurrent requests incl. malformed ones that must get typed
+# rejections; trace/traffic must reconcile byte-exactly with the plan.
+cargo run -q --release --bin zero-serve -- --smoke
+
+echo "==> bench_serve --smoke (batched vs serial serving, bitwise outputs)"
+serve_json="$(mktemp)"
+cargo run -q --release -p zero-bench --bin bench_serve -- --smoke --out "$serve_json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$serve_json" \
+    || { echo "bench_serve smoke JSON does not parse"; exit 1; }
+rm -f "$serve_json"
+
 echo "==> bench_step --smoke (overlap bench path, no results churn)"
 cargo run -q --release -p zero-bench --bin bench_step -- --smoke
 

@@ -1,0 +1,241 @@
+//! Serving throughput and memory: `results/BENCH_serve.json`.
+//!
+//! For each serving world size N, runs the same request batch twice
+//! through the shard-hosted engine — continuous batching (several KV
+//! slots) and one-at-a-time (a single slot, the serial baseline) — and
+//! records throughput, p50/p99 request latency, and the per-rank
+//! parameter footprint against the §5.3 bound 4Ψ·(2/N + ε). Both
+//! configurations must produce bitwise-identical greedy outputs, and
+//! both must match the single-process `IncrementalDecoder`: batching
+//! and sharding are performance knobs, never accuracy knobs.
+//!
+//! `--smoke` runs one tiny configuration; with `--out PATH` the smoke
+//! still writes its JSON there (CI uses a temp file), otherwise the
+//! committed results file is left untouched.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use zero_model::{argmax, Gpt, IncrementalDecoder, ModelConfig};
+use zero_serve::{serve, ServeConfig, ServeRequest, ServeResponse};
+
+/// Deep enough (8 blocks) that the largest gather unit is a small
+/// fraction of Ψ — the transient double-buffer window has to fit inside
+/// the ε of the memory bound even at N = 4.
+fn serve_model() -> ModelConfig {
+    ModelConfig { vocab: 64, seq: 32, hidden: 64, layers: 8, heads: 4 }
+}
+
+fn requests(n_req: usize, max_new: usize, vocab: usize) -> Vec<ServeRequest> {
+    (0..n_req)
+        .map(|i| ServeRequest {
+            id: i as u64,
+            prompt: (0..3 + i % 4).map(|j| ((i * 11 + j * 5 + 1) % vocab) as u32).collect(),
+            max_new_tokens: max_new,
+        })
+        .collect()
+}
+
+fn reference_greedy(model: &ModelConfig, params: &[f32], req: &ServeRequest) -> Vec<u32> {
+    let gpt = Gpt::new(*model);
+    let mut dec = IncrementalDecoder::new(&gpt, params);
+    let mut last = Vec::new();
+    for &t in &req.prompt {
+        last = dec.feed(t).expect("bench prompt is well-formed");
+    }
+    let mut out = vec![argmax(&last) as u32];
+    while out.len() < req.max_new_tokens {
+        last = dec.feed(*out.last().unwrap()).expect("bench decode");
+        out.push(argmax(&last) as u32);
+    }
+    out
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let idx = (q * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+#[derive(Serialize)]
+struct ServeRow {
+    ranks: usize,
+    slots: usize,
+    requests: usize,
+    tokens: u64,
+    wall_secs: f64,
+    tokens_per_sec: f64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    batch_steps: u64,
+    /// Max over ranks: persistent shard + transient gather window, bytes.
+    param_bytes_peak: u64,
+    /// The §5.3 acceptance bound: 4Ψ·(2/N + ε) bytes.
+    param_bound_bytes: u64,
+    kv_slab_bytes: u64,
+    /// Rank 0 all-gather traffic — byte-exact against the static plan.
+    gather_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct ServeSpeedup {
+    ranks: usize,
+    serial_tokens_per_sec: f64,
+    batched_tokens_per_sec: f64,
+    /// batched / serial throughput; > 1 means batching wins.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchServe {
+    model_params: usize,
+    full_replica_bytes: u64,
+    epsilon: f64,
+    max_new_tokens: usize,
+    rows: Vec<ServeRow>,
+    speedups: Vec<ServeSpeedup>,
+}
+
+fn run_one(
+    model: &ModelConfig,
+    shards: &[Vec<f32>],
+    reqs: &[ServeRequest],
+    slots: usize,
+    trials: usize,
+) -> (f64, Vec<ServeResponse>, u64, u64, u64, u64) {
+    let cfg = ServeConfig { slots, overlap: true };
+    let mut best: Option<(f64, _)> = None;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let report = serve(model, shards, reqs, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        report.check_ranks_agree().expect("serving ranks agree");
+        if best.as_ref().is_none_or(|(b, _)| dt < *b) {
+            best = Some((dt, report));
+        }
+    }
+    let (secs, report) = best.unwrap();
+    let responses: Vec<ServeResponse> =
+        report.outcomes().iter().map(|o| o.response().expect("bench request admitted").clone()).collect();
+    let peak = report.ranks.iter().map(|r| r.param_bytes_peak).max().unwrap();
+    (
+        secs,
+        responses,
+        report.ranks[0].batch_steps,
+        peak,
+        report.ranks[0].kv_slab_bytes,
+        report.ranks[0].gather_bytes,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    const EPSILON: f64 = 0.10;
+    let model = serve_model();
+    let (worlds, slots, n_req, max_new, trials): (&[usize], usize, usize, usize, usize) =
+        if smoke { (&[2], 4, 6, 4, 1) } else { (&[2, 4], 4, 16, 8, 2) };
+
+    let params = zero_model::init_full_params(&model, 7);
+    let full_bytes = 4 * params.len() as u64;
+    let reqs = requests(n_req, max_new, model.vocab);
+    let reference: Vec<Vec<u32>> =
+        reqs.iter().map(|r| reference_greedy(&model, &params, r)).collect();
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &n in worlds {
+        let part = zero_core::Partitioner::new(params.len(), n);
+        let shards: Vec<Vec<f32>> =
+            (0..n).map(|r| params[part.shard_range(r)].to_vec()).collect();
+        let bound = (full_bytes as f64 * (2.0 / n as f64 + EPSILON)) as u64;
+
+        let mut tps = [0.0f64; 2];
+        for (i, slot_count) in [1, slots].into_iter().enumerate() {
+            let (secs, responses, steps, peak, kv, gather) =
+                run_one(&model, &shards, &reqs, slot_count, trials);
+            for (resp, want) in responses.iter().zip(&reference) {
+                assert_eq!(
+                    &resp.tokens, want,
+                    "served tokens diverge from the incremental-decoder reference \
+                     (N={n}, slots={slot_count}, request {})",
+                    resp.id
+                );
+            }
+            assert!(
+                peak <= bound,
+                "N={n}, slots={slot_count}: {peak} param bytes exceeds 4Ψ(2/N+ε) = {bound}"
+            );
+            let tokens: u64 = responses.iter().map(|r| r.decode_steps).sum();
+            let mut lat: Vec<u64> = responses.iter().map(|r| r.latency_ns).collect();
+            lat.sort_unstable();
+            tps[i] = tokens as f64 / secs;
+            println!(
+                "N={n} slots={slot_count}: {:>7.1} tok/s  p50 {:>7.2} ms  p99 {:>7.2} ms  \
+                 peak {peak} B (bound {bound} B)",
+                tps[i],
+                percentile_ms(&lat, 0.50),
+                percentile_ms(&lat, 0.99),
+            );
+            rows.push(ServeRow {
+                ranks: n,
+                slots: slot_count,
+                requests: reqs.len(),
+                tokens,
+                wall_secs: secs,
+                tokens_per_sec: tps[i],
+                p50_latency_ms: percentile_ms(&lat, 0.50),
+                p99_latency_ms: percentile_ms(&lat, 0.99),
+                batch_steps: steps,
+                param_bytes_peak: peak,
+                param_bound_bytes: bound,
+                kv_slab_bytes: kv,
+                gather_bytes: gather,
+            });
+        }
+        println!("N={n}: batching speedup {:.2}×", tps[1] / tps[0]);
+        speedups.push(ServeSpeedup {
+            ranks: n,
+            serial_tokens_per_sec: tps[0],
+            batched_tokens_per_sec: tps[1],
+            speedup: tps[1] / tps[0],
+        });
+    }
+
+    if !smoke {
+        assert!(
+            speedups.iter().all(|s| s.speedup > 1.0),
+            "continuous batching must beat one-at-a-time serving"
+        );
+    }
+
+    let out = BenchServe {
+        model_params: params.len(),
+        full_replica_bytes: full_bytes,
+        epsilon: EPSILON,
+        max_new_tokens: max_new,
+        rows,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialize bench");
+    let path = match (&out_path, smoke) {
+        (Some(p), _) => std::path::PathBuf::from(p),
+        (None, true) => {
+            println!("smoke run complete (results file untouched)");
+            return;
+        }
+        (None, false) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("manifest dir has a grandparent")
+            .join("results/BENCH_serve.json"),
+    };
+    std::fs::write(&path, json + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

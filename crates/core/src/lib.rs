@@ -45,7 +45,9 @@ pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MOD
 pub use metrics::TrainingMetrics;
 pub use partition::Partitioner;
 pub use plan::{CommPlan, CountSpec, PlanCursor, PlanOp, PlanScope, ResolvedOp, StepShape};
-pub use snapshot::{reshard, validate_consistent, RankSnapshot, SnapshotError};
+pub use snapshot::{
+    export_inference_shards, reshard, validate_consistent, RankSnapshot, SnapshotError,
+};
 pub use store::FlatStore;
 pub use supervisor::{
     resume_from_snapshot, run_supervised, RecoveryReport, SupervisedReport, SupervisorConfig,

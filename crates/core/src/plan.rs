@@ -630,6 +630,33 @@ impl CommPlan {
         CommPlan { grid, ops: b.ops }
     }
 
+    /// One shard-hosted *serving* step over `n` inference ranks: every
+    /// unit (embed, blocks…, head) is all-gathered from the balanced
+    /// [`Partitioner`] shards in walk order — the stage-3 fetch schedule
+    /// (§5.3) without any gradient or optimizer traffic. With `overlap`
+    /// the gathers are issued non-blocking (the serving engine runs them
+    /// one unit ahead of compute, the PR-3 double-buffer shape); issue
+    /// order is identical either way, so the same static symmetry and
+    /// volume checks apply.
+    pub fn serve_step(layout: &Layout, n: usize, overlap: bool) -> CommPlan {
+        assert!(n > 0, "serving world must be non-empty");
+        let grid = Grid::new(n, 1);
+        let part = Partitioner::new(layout.total_params(), n);
+        let ops = layout
+            .units()
+            .iter()
+            .map(|u| PlanOp {
+                kind: CollectiveKind::AllGather,
+                scope: PlanScope::Dp,
+                counts: CountSpec::Explicit(part.intersect_counts(&u.range)),
+                prec: Precision::Fp32,
+                label: "serve-fetch-unit",
+                nonblocking: overlap,
+            })
+            .collect();
+        CommPlan { grid, ops }
+    }
+
     /// The grid this plan is for.
     pub fn grid(&self) -> Grid {
         self.grid

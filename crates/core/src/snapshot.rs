@@ -565,6 +565,126 @@ pub fn reshard(snapshots: &[RankSnapshot], new_world: usize) -> Vec<RankSnapshot
         .collect()
 }
 
+/// Exports a training checkpoint's fp32 master parameters as *inference*
+/// shards for a serving world of `serve_world` ranks — the stage-3 idea
+/// (§5.3) applied to serving: each serving rank persists only `Ψ/N`
+/// parameters and all-gathers layers on demand.
+///
+/// Unlike [`reshard`] this drops all optimizer and scaler state (inference
+/// needs none of it) and returns typed errors instead of panicking: a
+/// serving frontend loads checkpoints that may be foreign or damaged, and
+/// must refuse them gracefully. The training world size is arbitrary —
+/// snapshots may tile the flat space (stages 1–3) or be full replicas
+/// (DDP) — and is re-partitioned onto the serving world's balanced
+/// [`crate::partition::Partitioner`] layout, so shard `r` of the result is
+/// exactly what serving rank `r` hosts.
+pub fn export_inference_shards(
+    snapshots: &[RankSnapshot],
+    serve_world: usize,
+) -> Result<Vec<Vec<f32>>, SnapshotError> {
+    if serve_world == 0 {
+        return Err(SnapshotError::Inconsistent(
+            "serving world size must be positive".into(),
+        ));
+    }
+    validate_consistent(snapshots)?;
+    let mut sorted: Vec<&RankSnapshot> = snapshots.iter().collect();
+    sorted.sort_by_key(|s| s.shard_start);
+
+    let full_replica = sorted
+        .iter()
+        .all(|s| s.shard_start == sorted[0].shard_start && s.shard_end == sorted[0].shard_end);
+    let master = if full_replica {
+        sorted[0].master.clone()
+    } else {
+        let mut master = Vec::new();
+        for s in &sorted {
+            if s.shard_start as usize != master.len() {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "rank {}'s shard starts at {} but the space is only covered to {}",
+                    s.rank,
+                    s.shard_start,
+                    master.len()
+                )));
+            }
+            if s.master.len() != (s.shard_end - s.shard_start) as usize {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "rank {}'s master holds {} values for a [{}, {}) shard",
+                    s.rank,
+                    s.master.len(),
+                    s.shard_start,
+                    s.shard_end
+                )));
+            }
+            master.extend_from_slice(&s.master);
+        }
+        master
+    };
+
+    let part = crate::partition::Partitioner::new(master.len(), serve_world);
+    Ok((0..serve_world)
+        .map(|r| master[part.shard_range(r)].to_vec())
+        .collect())
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+
+    fn shard(rank: u32, world: u32, start: u64, end: u64) -> RankSnapshot {
+        RankSnapshot {
+            rank,
+            world,
+            step: 11,
+            shard_start: start,
+            shard_end: end,
+            master: (start..end).map(|i| i as f32).collect(),
+            opt_m: (start..end).map(|i| i as f32 * 10.0).collect(),
+            opt_v: Vec::new(),
+            opt_t: 11,
+            scaler: None,
+        }
+    }
+
+    #[test]
+    fn shards_tile_the_master_exactly() {
+        let snaps = vec![shard(0, 3, 0, 40), shard(1, 3, 40, 70), shard(2, 3, 70, 100)];
+        let out = export_inference_shards(&snaps, 4).unwrap();
+        assert_eq!(out.len(), 4);
+        let rebuilt: Vec<f32> = out.concat();
+        let want: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(rebuilt, want, "export must reassemble bitwise");
+        let part = crate::partition::Partitioner::new(100, 4);
+        for (r, s) in out.iter().enumerate() {
+            assert_eq!(s.len(), part.shard_range(r).len());
+        }
+    }
+
+    #[test]
+    fn ddp_replicas_export_from_one_copy() {
+        let snaps = vec![shard(0, 2, 0, 50), shard(1, 2, 0, 50)];
+        let out = export_inference_shards(&snaps, 2).unwrap();
+        assert_eq!(out.concat().len(), 50);
+    }
+
+    #[test]
+    fn gaps_are_a_typed_error_not_a_panic() {
+        let snaps = vec![shard(0, 2, 0, 30), shard(1, 2, 40, 60)];
+        let err = export_inference_shards(&snaps, 2).unwrap_err();
+        assert!(matches!(err, SnapshotError::Inconsistent(_)), "got {err}");
+        let err = export_inference_shards(&snaps, 0).unwrap_err();
+        assert!(matches!(err, SnapshotError::Inconsistent(_)), "got {err}");
+    }
+
+    #[test]
+    fn mixed_step_sets_rejected() {
+        let mut b = shard(1, 2, 50, 100);
+        b.step = 12;
+        let err = export_inference_shards(&[shard(0, 2, 0, 50), b], 2).unwrap_err();
+        assert!(matches!(err, SnapshotError::Inconsistent(_)), "got {err}");
+    }
+}
+
 #[cfg(test)]
 mod reshard_tests {
     use super::*;

@@ -1,0 +1,172 @@
+//! Pooled key/value-cache slab for batched incremental decoding.
+//!
+//! A serving rank decodes many requests concurrently; each live request
+//! needs one K and one V cache per transformer block, `[seq, hidden]`
+//! row-major. Allocating those per request would fragment memory and
+//! bound throughput by the allocator — instead a [`KvSlab`] owns one flat
+//! arena of `slots × layers × seq × hidden` elements per side, hands out
+//! *slots* (one per in-flight request), and recycles a slot the moment
+//! its request finishes. This is the contiguous-memory idea of the
+//! paper's §6.3 (MD) applied to serving state: the working set is bounded
+//! and constant for a given batch capacity, regardless of request churn.
+//!
+//! Correctness under recycling relies on the decode discipline: position
+//! `t` of a cache row is always written (by the token at position `t`)
+//! before any later token reads it, so a recycled slot never exposes a
+//! previous request's state. `debug_assert`s and the slab tests pin this.
+
+/// A pooled K/V cache arena: `slots` concurrently live requests, each
+/// with `layers` caches of `seq × width` elements per side.
+pub struct KvSlab {
+    layers: usize,
+    slots: usize,
+    seq: usize,
+    width: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// Free slot ids (LIFO: the most recently freed slot is reused first,
+    /// which keeps the hot part of the arena small).
+    free: Vec<usize>,
+}
+
+impl KvSlab {
+    /// Creates a slab for `slots` concurrent requests over a model with
+    /// `layers` blocks, context `seq`, and attention width `width`.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(layers: usize, slots: usize, seq: usize, width: usize) -> KvSlab {
+        assert!(layers > 0 && slots > 0 && seq > 0 && width > 0, "empty KV slab");
+        let elems = layers * slots * seq * width;
+        KvSlab {
+            layers,
+            slots,
+            seq,
+            width,
+            k: vec![0.0; elems],
+            v: vec![0.0; elems],
+            free: (0..slots).rev().collect(),
+        }
+    }
+
+    /// Total slots (the batch capacity).
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Slots currently handed out.
+    pub fn in_use(&self) -> usize {
+        self.slots - self.free.len()
+    }
+
+    /// Context length each slot caches.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Bytes the slab arena occupies (both sides).
+    pub fn bytes(&self) -> u64 {
+        2 * 4 * (self.k.len() as u64)
+    }
+
+    /// Claims a free slot, or `None` when the batch is full. The slot's
+    /// contents are whatever its previous tenant left; every position is
+    /// written before it is read, so this is invisible (tested).
+    pub fn alloc(&mut self) -> Option<usize> {
+        self.free.pop()
+    }
+
+    /// Returns `slot` to the pool.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range or already free (double free).
+    pub fn release(&mut self, slot: usize) {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        assert!(!self.free.contains(&slot), "double free of slot {slot}");
+        self.free.push(slot);
+    }
+
+    #[inline]
+    fn base(&self, layer: usize, slot: usize) -> usize {
+        debug_assert!(layer < self.layers && slot < self.slots);
+        (layer * self.slots + slot) * self.seq * self.width
+    }
+
+    /// The K cache of (`layer`, `slot`): `seq × width` row-major.
+    pub fn k_cache(&self, layer: usize, slot: usize) -> &[f32] {
+        let b = self.base(layer, slot);
+        &self.k[b..b + self.seq * self.width]
+    }
+
+    /// The V cache of (`layer`, `slot`).
+    pub fn v_cache(&self, layer: usize, slot: usize) -> &[f32] {
+        let b = self.base(layer, slot);
+        &self.v[b..b + self.seq * self.width]
+    }
+
+    /// Mutable K and V caches of (`layer`, `slot`) together — what
+    /// [`block_step`](crate::generate::block_step) needs to append this
+    /// position's rows and attend over the past in one call.
+    pub fn kv_pair_mut(&mut self, layer: usize, slot: usize) -> (&mut [f32], &mut [f32]) {
+        let b = self.base(layer, slot);
+        let n = self.seq * self.width;
+        (&mut self.k[b..b + n], &mut self.v[b..b + n])
+    }
+
+    /// Writes position `pos` of (`layer`, `slot`)'s K and V rows.
+    ///
+    /// # Panics
+    /// Panics (debug) if `pos ≥ seq` or the rows are not `width` long.
+    pub fn write_row(&mut self, layer: usize, slot: usize, pos: usize, k: &[f32], v: &[f32]) {
+        debug_assert!(pos < self.seq, "cache position {pos} out of range");
+        debug_assert_eq!(k.len(), self.width);
+        debug_assert_eq!(v.len(), self.width);
+        let b = self.base(layer, slot) + pos * self.width;
+        self.k[b..b + self.width].copy_from_slice(k);
+        self.v[b..b + self.width].copy_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_slots() {
+        let mut slab = KvSlab::new(2, 3, 4, 8);
+        assert_eq!(slab.capacity(), 3);
+        let a = slab.alloc().unwrap();
+        let b = slab.alloc().unwrap();
+        let c = slab.alloc().unwrap();
+        assert_eq!(slab.in_use(), 3);
+        assert!(slab.alloc().is_none(), "slab exhausted");
+        slab.release(b);
+        assert_eq!(slab.in_use(), 2);
+        // LIFO reuse: the freed slot comes straight back.
+        assert_eq!(slab.alloc(), Some(b));
+        let _ = (a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut slab = KvSlab::new(1, 2, 2, 2);
+        let s = slab.alloc().unwrap();
+        slab.release(s);
+        slab.release(s);
+    }
+
+    #[test]
+    fn rows_land_in_the_right_slot_and_layer() {
+        let mut slab = KvSlab::new(2, 2, 3, 2);
+        let s0 = slab.alloc().unwrap();
+        let s1 = slab.alloc().unwrap();
+        slab.write_row(0, s0, 0, &[1.0, 2.0], &[3.0, 4.0]);
+        slab.write_row(1, s1, 2, &[5.0, 6.0], &[7.0, 8.0]);
+        assert_eq!(&slab.k_cache(0, s0)[..2], &[1.0, 2.0]);
+        assert_eq!(&slab.v_cache(0, s0)[..2], &[3.0, 4.0]);
+        assert_eq!(&slab.k_cache(1, s1)[4..6], &[5.0, 6.0]);
+        // Other cells untouched.
+        assert!(slab.k_cache(1, s0).iter().all(|&x| x == 0.0));
+    }
+}

@@ -27,11 +27,16 @@ pub mod config;
 pub mod data;
 pub mod generate;
 pub mod gpt;
+pub mod kv;
 pub mod layout;
 
 pub use block::{BlockDims, BlockSaved, Dropout};
 pub use config::ModelConfig;
 pub use data::{ByteCorpus, SyntheticCorpus};
-pub use generate::{Generator, IncrementalDecoder, Sampling};
+pub use generate::{
+    argmax, block_step, embed_step, head_step, GenerateError, Generator, IncrementalDecoder,
+    Sampling,
+};
+pub use kv::KvSlab;
 pub use gpt::{init_full_params, shard_params, Gpt, HeadSaved};
 pub use layout::{Field, Layout, Unit};

@@ -72,9 +72,21 @@ impl DynamicLossScaler {
     }
 
     /// Restores from [`Self::state`] (checkpoint resume).
+    ///
+    /// A snapshot is untrusted input: a corrupt or hand-edited file could
+    /// carry a scale outside `[min_scale, max_scale]` — an invariant
+    /// [`Self::update`] maintains but downstream code (gradient unscale,
+    /// overflow detection) silently depends on. The restored scale is
+    /// clamped back into range.
+    ///
+    /// # Panics
+    /// Panics if `scale` is non-finite or not positive.
     pub fn restore(&mut self, scale: f32, good_steps: u32, skipped: u64) {
-        assert!(scale > 0.0, "scale must be positive");
-        self.scale = scale;
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "restored loss scale must be finite and positive, got {scale}"
+        );
+        self.scale = scale.clamp(self.min_scale, self.max_scale);
         self.good_steps = good_steps;
         self.skipped = skipped;
     }
@@ -165,6 +177,33 @@ mod tests {
         let mut s = DynamicLossScaler::new(2.0_f32.powi(24)).with_growth_interval(1);
         s.update(false);
         assert_eq!(s.scale(), 2.0_f32.powi(24), "never above max");
+    }
+
+    #[test]
+    fn restore_clamps_out_of_range_scales() {
+        // Regression: restore used to accept any positive scale, letting a
+        // corrupt snapshot resume outside [min_scale, max_scale].
+        let mut s = DynamicLossScaler::new(1024.0);
+        s.restore(1e30, 5, 2);
+        assert_eq!(s.scale(), 2.0_f32.powi(24), "clamped down to max_scale");
+        assert_eq!(s.skipped_steps(), 2);
+        s.restore(1e-20, 0, 2);
+        assert_eq!(s.scale(), 1.0, "clamped up to min_scale");
+        // In-range values pass through untouched.
+        s.restore(4096.0, 7, 9);
+        assert_eq!(s.state(), (4096.0, 7, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn restore_rejects_nan_scale() {
+        DynamicLossScaler::new(8.0).restore(f32::NAN, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn restore_rejects_infinite_scale() {
+        DynamicLossScaler::new(8.0).restore(f32::INFINITY, 0, 0);
     }
 
     #[test]

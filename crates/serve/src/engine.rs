@@ -1,0 +1,554 @@
+//! The per-rank serving engine: layer-streaming gathers + continuous
+//! batching over a pooled KV slab.
+//!
+//! Every rank runs [`run_rank`] over the *same* request list — the batch
+//! is replicated, the parameters are sharded. Each batch step walks the
+//! unit list once (gathering each unit from the shards, one unit
+//! prefetched ahead), advancing every live request by exactly one token:
+//! prefill requests consume their next prompt token, decode requests emit
+//! their next greedy token. A request finishing frees its KV slot, which
+//! the next queued request claims at the following step boundary — that
+//! is the whole continuous-batching scheduler, and its determinism is
+//! what keeps N ranks in lockstep with zero coordination traffic beyond
+//! the parameter gathers themselves.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use zero_comm::{
+    launch_with_config, CollectiveKind, Communicator, Group, PendingOp, WorldConfig,
+};
+use zero_core::{CommPlan, Partitioner, ResolvedOp};
+use zero_model::{argmax, block_step, embed_step, head_step, Gpt, KvSlab, ModelConfig};
+use zero_trace::{SpanCategory, SpanId, StepTimeline};
+
+use crate::request::{admit, ServeOutcome, ServeRequest, ServeResponse};
+
+/// Per-request spans live on their slot's own track so concurrent
+/// requests' prefill/decode spans stay well-nested per track. Tracks 0/1
+/// are the rank and progress tracks.
+const TRACK_REQ_BASE: u32 = 8;
+
+/// Serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// KV-slab slots — the maximum concurrently decoding requests.
+    /// `slots = 1` degenerates to serial one-request-at-a-time serving
+    /// through the identical code path (the bench baseline).
+    pub slots: usize,
+    /// Double-buffered gather prefetch: issue unit `u+1`'s all-gather
+    /// before computing unit `u` (the training engine's stage-3 shape).
+    /// Off means each gather is synchronous.
+    pub overlap: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { slots: 4, overlap: true }
+    }
+}
+
+/// What one serving rank reports back.
+#[derive(Clone, Debug)]
+pub struct RankServeReport {
+    /// The rank.
+    pub rank: usize,
+    /// Terminal state of every request, in submission order.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Batch steps executed (each walks every unit once).
+    pub batch_steps: u64,
+    /// Elements of the persistent parameter shard this rank hosts.
+    pub shard_elems: usize,
+    /// Bytes of the persistent shard (`4 · shard_elems`).
+    pub persistent_param_bytes: u64,
+    /// Peak bytes of transiently materialized full units (current unit
+    /// plus the in-flight prefetch destination).
+    pub transient_param_bytes_peak: u64,
+    /// Peak total parameter bytes: persistent + transient peak. The
+    /// quantity the paper's 2Ψ/N claim bounds.
+    pub param_bytes_peak: u64,
+    /// Bytes of the (fixed-size) KV slab arena.
+    pub kv_slab_bytes: u64,
+    /// All-gather bytes this rank actually sent (traffic counters).
+    pub gather_bytes: u64,
+    /// The rank's span timeline (request spans, gather waits, collective
+    /// execution with byte tags).
+    pub timeline: StepTimeline,
+}
+
+/// The whole serving world's result.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-rank reports, rank-indexed.
+    pub ranks: Vec<RankServeReport>,
+    /// The statically checkable one-step gather plan every batch step
+    /// executed (`batch_steps × rank_bytes` reconciles against both the
+    /// traffic counters and the trace byte tags).
+    pub plan: CommPlan,
+}
+
+impl ServeReport {
+    /// Rank 0's outcomes (all ranks' agree — see
+    /// [`Self::check_ranks_agree`]).
+    pub fn outcomes(&self) -> &[ServeOutcome] {
+        &self.ranks[0].outcomes
+    }
+
+    /// Verifies the SPMD invariant: every rank produced identical
+    /// outcomes and step counts. A divergence would mean ranks fell out
+    /// of lockstep — returns which rank disagrees. Latency is wall-clock
+    /// and legitimately rank-local, so it is excluded from the comparison.
+    pub fn check_ranks_agree(&self) -> Result<(), String> {
+        fn scrubbed(outcomes: &[ServeOutcome]) -> Vec<ServeOutcome> {
+            outcomes
+                .iter()
+                .cloned()
+                .map(|o| match o {
+                    ServeOutcome::Completed(mut r) => {
+                        r.latency_ns = 0;
+                        ServeOutcome::Completed(r)
+                    }
+                    rejected => rejected,
+                })
+                .collect()
+        }
+        let first = &self.ranks[0];
+        for r in &self.ranks[1..] {
+            if scrubbed(&r.outcomes) != scrubbed(&first.outcomes) {
+                return Err(format!("rank {} outcomes diverge from rank 0", r.rank));
+            }
+            if r.batch_steps != first.batch_steps {
+                return Err(format!(
+                    "rank {} ran {} steps, rank 0 ran {}",
+                    r.rank, r.batch_steps, first.batch_steps
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The analytic all-gather bytes rank `rank` should have sent:
+    /// `batch_steps × plan.rank_bytes(rank)[AllGather]`. The smoke and
+    /// tests require the traffic counters and trace byte tags to match
+    /// this exactly.
+    pub fn expected_gather_bytes(&self, rank: usize) -> u64 {
+        self.ranks[rank].batch_steps
+            * self.plan.rank_bytes(rank)[CollectiveKind::AllGather as usize]
+    }
+}
+
+/// One live (admitted, unfinished) request's decode state.
+struct Active {
+    /// Index into the submitted request list.
+    ri: usize,
+    /// KV-slab slot.
+    slot: usize,
+    /// Tokens fed so far (== decoder position).
+    fed: usize,
+    /// Tokens emitted so far.
+    produced: Vec<u32>,
+    /// Activation row flowing between units within the current step.
+    x: Vec<f32>,
+    /// The current step's prefill/decode span.
+    span: SpanId,
+    /// Step at which the request was admitted.
+    admitted_at: u64,
+}
+
+/// Runs the serving schedule on one rank. `shard` is this rank's slice of
+/// the balanced [`Partitioner`] layout over the flat parameter space.
+///
+/// # Panics
+/// Panics on communication failure (fault-free serving worlds don't
+/// inject any) and on a `shard` that does not match the partition layout.
+pub fn run_rank(
+    comm: &mut Communicator,
+    model: &ModelConfig,
+    shard: &[f32],
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+) -> RankServeReport {
+    assert!(cfg.slots > 0, "need at least one KV slot");
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let gpt = Gpt::new(*model);
+    let units: Vec<std::ops::Range<usize>> =
+        gpt.layout().units().iter().map(|u| u.range.clone()).collect();
+    let part = Partitioner::new(gpt.num_params(), n);
+    let my_range = part.shard_range(rank);
+    assert_eq!(shard.len(), my_range.len(), "shard does not match the partition layout");
+
+    // The per-step schedule, resolved once: one all-gather per unit.
+    let plan = CommPlan::serve_step(gpt.layout(), n, cfg.overlap);
+    let ops: Vec<ResolvedOp> = plan.resolve_for(rank);
+    let groups: Vec<Group> = ops.iter().map(|op| Group::new(op.members.clone())).collect();
+    // This rank's contribution to each unit: shard ∩ unit, shard-relative.
+    let contrib: Vec<&[f32]> = units
+        .iter()
+        .map(|u| {
+            let lo = my_range.start.max(u.start);
+            let hi = my_range.end.min(u.end);
+            if hi > lo {
+                &shard[lo - my_range.start..hi - my_range.start]
+            } else {
+                &shard[0..0]
+            }
+        })
+        .collect();
+
+    let trace = comm.trace();
+    let t0 = Instant::now();
+
+    // Admission control: malformed requests are rejected up front and
+    // never consume a schedule step; well-formed ones queue FIFO.
+    let mut outcomes: Vec<Option<ServeOutcome>> = vec![None; requests.len()];
+    let mut pending: VecDeque<(usize, SpanId)> = VecDeque::new();
+    for (ri, req) in requests.iter().enumerate() {
+        match admit(req, model) {
+            Ok(()) => {
+                let qspan = trace.begin(SpanCategory::Wait, "queue-wait");
+                pending.push_back((ri, qspan));
+            }
+            Err(error) => {
+                trace.instant(SpanCategory::Compute, "request-rejected");
+                outcomes[ri] = Some(ServeOutcome::Rejected { id: req.id, error });
+            }
+        }
+    }
+
+    let mut slab = KvSlab::new(model.layers, cfg.slots, model.seq, model.hidden);
+    let mut active: Vec<Active> = Vec::new();
+    let mut steps = 0u64;
+    let mut transient_peak = 0u64;
+
+    while !pending.is_empty() || !active.is_empty() {
+        // Admit as many queued requests as there are free slots. This is
+        // a pure function of (queue, slab) state, identical on all ranks.
+        while !pending.is_empty() {
+            let Some(slot) = slab.alloc() else { break };
+            let (ri, qspan) = pending.pop_front().expect("checked non-empty");
+            trace.end(qspan);
+            active.push(Active {
+                ri,
+                slot,
+                fed: 0,
+                produced: Vec::new(),
+                x: Vec::new(),
+                span: SpanId::NULL,
+                admitted_at: steps,
+            });
+        }
+
+        // One batch step: walk the units, one prefetch ahead, advancing
+        // every live request by one token.
+        let step_span = trace.begin(SpanCategory::Compute, "serve-step");
+        let n_units = units.len();
+        let mut pending_gather: Option<(PendingOp, u64)> = None;
+        let mut cur: Vec<f32>;
+        if cfg.overlap {
+            pending_gather = Some((
+                comm.start_all_gather_var(&groups[0], contrib[0], &ops[0].counts, ops[0].prec),
+                4 * ops[0].total_elems() as u64,
+            ));
+        }
+        for u in 0..n_units {
+            // Issue next unit's gather before touching this one (the
+            // double buffer: at most two units materialized at once).
+            let mut next: Option<(PendingOp, u64)> = None;
+            if cfg.overlap && u + 1 < n_units {
+                let op = &ops[u + 1];
+                next = Some((
+                    comm.start_all_gather_var(&groups[u + 1], contrib[u + 1], &op.counts, op.prec),
+                    4 * op.total_elems() as u64,
+                ));
+            }
+            // Materialize unit u.
+            let cur_bytes;
+            if cfg.overlap {
+                let (pend, bytes) = pending_gather.take().expect("gather issued");
+                cur_bytes = bytes;
+                let wspan = trace.begin(SpanCategory::Wait, "gather-wait");
+                cur = pend.wait().expect("serving gather failed");
+                trace.end(wspan);
+            } else {
+                let op = &ops[u];
+                cur_bytes = 4 * op.total_elems() as u64;
+                let mut buf = vec![0.0; op.total_elems()];
+                let wspan = trace.begin(SpanCategory::Wait, "gather-wait");
+                comm.all_gather_var_in(&groups[u], contrib[u], &mut buf, &op.counts, op.prec)
+                    .expect("serving gather failed");
+                trace.end(wspan);
+                cur = buf;
+            }
+            pending_gather = next;
+            let in_flight = pending_gather.as_ref().map(|(_, b)| *b).unwrap_or(0);
+            transient_peak = transient_peak.max(cur_bytes + in_flight);
+
+            // Advance every live request through unit u.
+            for a in active.iter_mut() {
+                let req = &requests[a.ri];
+                if u == 0 {
+                    let prefilling = a.fed + 1 < req.prompt.len();
+                    a.span = trace.begin_on(
+                        TRACK_REQ_BASE + a.slot as u32,
+                        SpanCategory::Compute,
+                        if prefilling { "prefill" } else { "decode-token" },
+                    );
+                    let token = if a.fed < req.prompt.len() {
+                        req.prompt[a.fed]
+                    } else {
+                        *a.produced.last().expect("decode steps follow prefill")
+                    };
+                    a.x = embed_step(&gpt, &cur, token, a.fed).expect("validated at admission");
+                } else if u < n_units - 1 {
+                    let l = u - 1;
+                    let (k, v) = slab.kv_pair_mut(l, a.slot);
+                    a.x = block_step(&gpt, l, &cur, &a.x, k, v, a.fed);
+                } else {
+                    let logits = head_step(&gpt, &cur, &a.x);
+                    if a.fed + 1 >= req.prompt.len() {
+                        a.produced.push(argmax(&logits) as u32);
+                    }
+                    a.fed += 1;
+                    trace.end(a.span);
+                }
+            }
+        }
+        steps += 1;
+        trace.end(step_span);
+
+        // Retire finished requests, freeing their slots for the next
+        // step's admissions.
+        let mut i = 0;
+        while i < active.len() {
+            let done = active[i].produced.len() >= requests[active[i].ri].max_new_tokens;
+            if done {
+                let a = active.remove(i);
+                let req = &requests[a.ri];
+                slab.release(a.slot);
+                outcomes[a.ri] = Some(ServeOutcome::Completed(ServeResponse {
+                    id: req.id,
+                    tokens: a.produced,
+                    queue_steps: a.admitted_at,
+                    prefill_steps: (req.prompt.len() - 1) as u64,
+                    decode_steps: req.max_new_tokens as u64,
+                    latency_ns: t0.elapsed().as_nanos() as u64,
+                }));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let persistent = 4 * shard.len() as u64;
+    RankServeReport {
+        rank,
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every request reaches a terminal state"))
+            .collect(),
+        batch_steps: steps,
+        shard_elems: shard.len(),
+        persistent_param_bytes: persistent,
+        transient_param_bytes_peak: transient_peak,
+        param_bytes_peak: persistent + transient_peak,
+        kv_slab_bytes: slab.bytes(),
+        gather_bytes: comm.stats().bytes(CollectiveKind::AllGather),
+        timeline: trace.timeline(),
+    }
+}
+
+/// Serves `requests` on a world of `shards.len()` ranks (one thread per
+/// rank, each hosting its shard) and returns every rank's report.
+///
+/// # Panics
+/// Panics if `shards` is empty, a shard does not match the balanced
+/// partition of the model's parameter space, or a rank fails.
+pub fn serve(
+    model: &ModelConfig,
+    shards: &[Vec<f32>],
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+) -> ServeReport {
+    serve_with_config(model, shards, requests, cfg, WorldConfig::default())
+}
+
+/// [`serve`] with an explicit [`WorldConfig`] (timeouts, link latency).
+pub fn serve_with_config(
+    model: &ModelConfig,
+    shards: &[Vec<f32>],
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+    wcfg: WorldConfig,
+) -> ServeReport {
+    let n = shards.len();
+    assert!(n > 0, "need at least one serving rank");
+    let gpt = Gpt::new(*model);
+    let plan = CommPlan::serve_step(gpt.layout(), n, cfg.overlap);
+    let ranks = launch_with_config(n, wcfg, |mut comm| {
+        let shard = &shards[comm.rank()];
+        run_rank(&mut comm, model, shard, requests, cfg)
+    });
+    ServeReport { ranks, plan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zero_core::export_inference_shards;
+    use zero_core::RankSnapshot;
+    use zero_model::init_full_params;
+
+    fn model() -> ModelConfig {
+        ModelConfig {
+            vocab: 24,
+            seq: 12,
+            hidden: 16,
+            layers: 2,
+            heads: 2,
+        }
+    }
+
+    fn shards_of(params: &[f32], n: usize) -> Vec<Vec<f32>> {
+        let part = Partitioner::new(params.len(), n);
+        (0..n).map(|r| params[part.shard_range(r)].to_vec()).collect()
+    }
+
+    fn reference_greedy(model: &ModelConfig, params: &[f32], req: &ServeRequest) -> Vec<u32> {
+        let gpt = Gpt::new(*model);
+        let mut dec = zero_model::IncrementalDecoder::new(&gpt, params);
+        let mut last = vec![0.0];
+        for &t in &req.prompt {
+            last = dec.feed(t).unwrap();
+        }
+        let mut out = vec![argmax(&last) as u32];
+        while out.len() < req.max_new_tokens {
+            last = dec.feed(*out.last().unwrap()).unwrap();
+            out.push(argmax(&last) as u32);
+        }
+        out
+    }
+
+    #[test]
+    fn batched_serving_matches_the_incremental_decoder_bitwise() {
+        let m = model();
+        let params = init_full_params(&m, 17);
+        let requests: Vec<ServeRequest> = (0..5)
+            .map(|i| ServeRequest {
+                id: i as u64,
+                prompt: vec![(i * 3) as u32 % 24, (i + 1) as u32 % 24],
+                max_new_tokens: 3 + i % 3,
+            })
+            .collect();
+        for n in [1usize, 2, 3] {
+            let report = serve(&m, &shards_of(&params, n), &requests, &ServeConfig::default());
+            report.check_ranks_agree().unwrap();
+            for (req, out) in requests.iter().zip(report.outcomes()) {
+                let resp = out.response().expect("all requests well-formed");
+                assert_eq!(
+                    resp.tokens,
+                    reference_greedy(&m, &params, req),
+                    "world {n}, request {}",
+                    req.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_without_crashing_any_rank() {
+        let m = model();
+        let params = init_full_params(&m, 3);
+        let requests = vec![
+            ServeRequest { id: 0, prompt: vec![1, 2], max_new_tokens: 2 },
+            ServeRequest { id: 1, prompt: vec![99], max_new_tokens: 2 }, // out-of-vocab
+            ServeRequest { id: 2, prompt: vec![1; 11], max_new_tokens: 5 }, // over-length
+            ServeRequest { id: 3, prompt: vec![3], max_new_tokens: 2 },
+        ];
+        let report = serve(&m, &shards_of(&params, 2), &requests, &ServeConfig::default());
+        report.check_ranks_agree().unwrap();
+        let o = report.outcomes();
+        assert!(o[0].response().is_some());
+        assert!(matches!(
+            o[1].rejection(),
+            Some(crate::ServeError::TokenOutOfVocab { token: 99, .. })
+        ));
+        assert!(matches!(o[2].rejection(), Some(crate::ServeError::PromptTooLong { .. })));
+        assert!(o[3].response().is_some());
+    }
+
+    #[test]
+    fn traffic_and_trace_reconcile_byte_exactly_with_the_plan() {
+        let m = model();
+        let params = init_full_params(&m, 5);
+        let requests: Vec<ServeRequest> = (0..4)
+            .map(|i| ServeRequest { id: i, prompt: vec![2, 4, 6], max_new_tokens: 4 })
+            .collect();
+        for overlap in [false, true] {
+            let cfg = ServeConfig { slots: 2, overlap };
+            let report = serve(&m, &shards_of(&params, 3), &requests, &cfg);
+            for r in &report.ranks {
+                let want = report.expected_gather_bytes(r.rank);
+                assert_eq!(r.gather_bytes, want, "traffic counters (overlap={overlap})");
+                assert_eq!(
+                    r.timeline
+                        .bytes_named(SpanCategory::Collective, "all-gather"),
+                    want,
+                    "trace byte tags (overlap={overlap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_batching_recycles_slots() {
+        let m = model();
+        let params = init_full_params(&m, 9);
+        // 6 requests through 2 slots: queueing is mandatory.
+        let requests: Vec<ServeRequest> = (0..6)
+            .map(|i| ServeRequest { id: i, prompt: vec![1, 2], max_new_tokens: 2 })
+            .collect();
+        let report = serve(&m, &shards_of(&params, 2), &requests, &ServeConfig { slots: 2, overlap: true });
+        report.check_ranks_agree().unwrap();
+        let responses: Vec<_> = report.outcomes().iter().filter_map(|o| o.response()).collect();
+        assert_eq!(responses.len(), 6);
+        // Later requests waited in the queue.
+        assert!(responses.iter().any(|r| r.queue_steps > 0));
+        // Every request takes prompt_len − 1 + max_new steps of service.
+        for r in &responses {
+            assert_eq!(r.prefill_steps, 1);
+            assert_eq!(r.decode_steps, 2);
+        }
+    }
+
+    #[test]
+    fn serving_from_exported_training_snapshots_is_bitwise_identical() {
+        let m = model();
+        let params = init_full_params(&m, 21);
+        // Fake a 3-rank stage-style training checkpoint tiling the space.
+        let part = Partitioner::new(params.len(), 3);
+        let snaps: Vec<RankSnapshot> = (0..3)
+            .map(|r| {
+                let range = part.shard_range(r);
+                RankSnapshot {
+                    rank: r as u32,
+                    world: 3,
+                    step: 40,
+                    shard_start: range.start as u64,
+                    shard_end: range.end as u64,
+                    master: params[range].to_vec(),
+                    opt_m: Vec::new(),
+                    opt_v: Vec::new(),
+                    opt_t: 40,
+                    scaler: None,
+                }
+            })
+            .collect();
+        // Export onto a *different* world size than training used.
+        let shards = export_inference_shards(&snaps, 2).unwrap();
+        let requests = vec![ServeRequest { id: 7, prompt: vec![5, 9, 13], max_new_tokens: 5 }];
+        let report = serve(&m, &shards, &requests, &ServeConfig::default());
+        let resp = report.outcomes()[0].response().unwrap().clone();
+        assert_eq!(resp.tokens, reference_greedy(&m, &params, &requests[0]));
+    }
+}

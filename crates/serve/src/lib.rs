@@ -1,0 +1,45 @@
+//! # zero-serve
+//!
+//! Shard-hosted, batched inference serving — the paper's §5.3 memory
+//! argument applied to the *serving* side of the north star ("serves heavy
+//! traffic from millions of users").
+//!
+//! ## Memory model
+//!
+//! A trained world's fp32 master parameters are exported
+//! ([`zero_core::export_inference_shards`]) into `N` balanced shards, one
+//! per serving rank. A rank persists only its `Ψ/N` shard; each batch step
+//! walks the model's units (embed, blocks…, head) and **all-gathers one
+//! unit at a time**, double-buffered one unit ahead exactly like the
+//! training engine's stage-3 prefetch, then drops the buffer. Per-rank
+//! parameter memory is therefore
+//!
+//! ```text
+//! 4Ψ/N  (persistent shard)  +  4·(u_max + u_next)  (transient window)
+//! ```
+//!
+//! which for transformer-shaped models is within ε of the paper's `2/N`
+//! figure — measured and enforced by `bench_serve`.
+//!
+//! ## Scheduling model
+//!
+//! Serving is SPMD and deterministic: every rank runs the identical
+//! continuous-batching schedule over the identical request list, so the
+//! per-step gather schedule is rank-symmetric by construction (statically
+//! provable — [`zero_core::CommPlan::serve_step`] is checked by
+//! `zero-verify`) and ranks never need to coordinate about batch
+//! composition. Sharding buys *memory*, batching buys *throughput*: the
+//! per-unit gathers amortize over every live request in the batch.
+//!
+//! Admission is where all input validation happens — malformed requests
+//! (out-of-vocab tokens, over-length prompts) get a typed
+//! [`ServeError`] and never touch the schedule, so one bad request can
+//! never crash or desynchronize a rank. Termination is never
+//! data-dependent: a request runs exactly `prompt_len − 1 + max_new_tokens`
+//! steps, so every rank retires it on the same step.
+
+pub mod engine;
+pub mod request;
+
+pub use engine::{serve, serve_with_config, RankServeReport, ServeConfig, ServeReport};
+pub use request::{admit, ServeError, ServeOutcome, ServeRequest, ServeResponse};

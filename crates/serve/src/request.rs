@@ -1,0 +1,198 @@
+//! Request, response, and admission-control types.
+//!
+//! Admission is the serving system's trust boundary: everything after it
+//! assumes a well-formed request, so [`admit`] must reject every input the
+//! model code would choke on — and nothing else. The generation-path
+//! bugfixes (typed [`zero_model::GenerateError`]) are the second line of
+//! defense; admission is the first.
+
+use zero_model::ModelConfig;
+
+/// One inference request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Prompt token ids (must be non-empty and in-vocab).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate (greedy). Must be ≥ 1, and
+    /// `prompt.len() + max_new_tokens` must fit the context window.
+    pub max_new_tokens: usize,
+}
+
+/// Why a request was rejected at admission. Typed, recoverable, and
+/// deterministic: every rank rejects the same request for the same reason
+/// without consuming any schedule step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The prompt is empty — there is nothing to condition on.
+    EmptyPrompt,
+    /// A prompt token id is outside the model's vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: u32,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+    /// `prompt.len() + max_new_tokens` exceeds the context window: the
+    /// request could never finish without exhausting the position table.
+    PromptTooLong {
+        /// Prompt length in tokens.
+        prompt_len: usize,
+        /// Requested new tokens.
+        max_new_tokens: usize,
+        /// The model's context window.
+        seq: usize,
+    },
+    /// `max_new_tokens` is zero — the request asks for nothing.
+    NoTokensRequested,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::EmptyPrompt => write!(f, "empty prompt"),
+            ServeError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "prompt token {token} outside the vocabulary (0..{vocab})")
+            }
+            ServeError::PromptTooLong {
+                prompt_len,
+                max_new_tokens,
+                seq,
+            } => write!(
+                f,
+                "prompt of {prompt_len} + {max_new_tokens} new tokens exceeds the {seq}-token window"
+            ),
+            ServeError::NoTokensRequested => write!(f, "max_new_tokens must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A completed request: the greedy continuation plus scheduling metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The generated tokens (`max_new_tokens` of them, greedy argmax).
+    pub tokens: Vec<u32>,
+    /// Batch steps the request waited in the queue before admission.
+    pub queue_steps: u64,
+    /// Batch steps spent consuming the prompt (`prompt_len − 1`).
+    pub prefill_steps: u64,
+    /// Batch steps spent emitting tokens (`max_new_tokens`).
+    pub decode_steps: u64,
+    /// End-to-end latency (enqueue → completion) in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Terminal state of one request, in submission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The request ran to completion.
+    Completed(ServeResponse),
+    /// The request was rejected at admission.
+    Rejected {
+        /// The request's id.
+        id: u64,
+        /// Why it was rejected.
+        error: ServeError,
+    },
+}
+
+impl ServeOutcome {
+    /// The completed response, if any.
+    pub fn response(&self) -> Option<&ServeResponse> {
+        match self {
+            ServeOutcome::Completed(r) => Some(r),
+            ServeOutcome::Rejected { .. } => None,
+        }
+    }
+
+    /// The rejection, if any.
+    pub fn rejection(&self) -> Option<ServeError> {
+        match self {
+            ServeOutcome::Completed(_) => None,
+            ServeOutcome::Rejected { error, .. } => Some(*error),
+        }
+    }
+}
+
+/// Validates a request against a model's shape. `Ok` means the request
+/// can run to completion without any generation-path error: the prompt is
+/// non-empty and in-vocab, and `prompt_len − 1 + max_new_tokens` decoder
+/// positions fit the window (we require the slightly stronger
+/// `prompt_len + max_new_tokens ≤ seq`, which keeps the arithmetic
+/// obvious and leaves one position of slack).
+pub fn admit(req: &ServeRequest, model: &ModelConfig) -> Result<(), ServeError> {
+    if req.prompt.is_empty() {
+        return Err(ServeError::EmptyPrompt);
+    }
+    if req.max_new_tokens == 0 {
+        return Err(ServeError::NoTokensRequested);
+    }
+    if let Some(&bad) = req.prompt.iter().find(|&&t| t as usize >= model.vocab) {
+        return Err(ServeError::TokenOutOfVocab {
+            token: bad,
+            vocab: model.vocab,
+        });
+    }
+    if req.prompt.len() + req.max_new_tokens > model.seq {
+        return Err(ServeError::PromptTooLong {
+            prompt_len: req.prompt.len(),
+            max_new_tokens: req.max_new_tokens,
+            seq: model.seq,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelConfig {
+        ModelConfig {
+            vocab: 16,
+            seq: 12,
+            hidden: 8,
+            layers: 1,
+            heads: 2,
+        }
+    }
+
+    fn req(prompt: Vec<u32>, max_new: usize) -> ServeRequest {
+        ServeRequest {
+            id: 1,
+            prompt,
+            max_new_tokens: max_new,
+        }
+    }
+
+    #[test]
+    fn well_formed_requests_pass() {
+        assert!(admit(&req(vec![0, 5, 15], 4), &model()).is_ok());
+        // Exactly filling the window is allowed.
+        assert!(admit(&req(vec![1; 8], 4), &model()).is_ok());
+    }
+
+    #[test]
+    fn malformed_requests_get_the_right_typed_error() {
+        let m = model();
+        assert_eq!(admit(&req(vec![], 4), &m), Err(ServeError::EmptyPrompt));
+        assert_eq!(
+            admit(&req(vec![1, 16], 4), &m),
+            Err(ServeError::TokenOutOfVocab { token: 16, vocab: 16 })
+        );
+        assert_eq!(
+            admit(&req(vec![1; 10], 3), &m),
+            Err(ServeError::PromptTooLong {
+                prompt_len: 10,
+                max_new_tokens: 3,
+                seq: 12
+            })
+        );
+        assert_eq!(admit(&req(vec![1], 0), &m), Err(ServeError::NoTokensRequested));
+    }
+}

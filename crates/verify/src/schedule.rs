@@ -496,9 +496,70 @@ fn check_overlap_pair(
     Ok(())
 }
 
+/// Proves the serving gather schedule (`CommPlan::serve_step`): exactly
+/// one all-gather per unit, world-scoped and rank-symmetric, with each
+/// rank's step volume matching the telescoping identity
+///
+/// ```text
+/// Σ_u (|u| − c_u[(i+1) mod N]) = Ψ − |shard_{(i+1) mod N}|
+/// ```
+///
+/// (the unit intersections of a shard sum to the shard, since units tile
+/// the flat space) — and *no* traffic of any other kind.
+fn check_serve(n: usize, overlap: bool, report: &mut ScheduleReport) -> Result<(), String> {
+    let layout = Layout::build(&test_model());
+    let plan = CommPlan::serve_step(&layout, n, overlap);
+    let what = format!("serve N={n} overlap={overlap}");
+    let (ops, pairs) = check_symmetry(&plan, &what)?;
+    report.ops_checked += ops;
+    report.pair_checks += pairs;
+    report.plans += 1;
+
+    if plan.ops().len() != layout.units().len() {
+        return Err(format!(
+            "{what}: {} ops for {} units — the serving step must gather each unit exactly once",
+            plan.ops().len(),
+            layout.units().len()
+        ));
+    }
+    for op in plan.ops() {
+        if op.kind != CollectiveKind::AllGather
+            || op.label != "serve-fetch-unit"
+            || op.nonblocking != overlap
+        {
+            return Err(format!(
+                "{what}: unexpected op {:?} '{}' (nonblocking={})",
+                op.kind, op.label, op.nonblocking
+            ));
+        }
+    }
+
+    let psi = layout.total_params() as u64;
+    let part = Partitioner::new(layout.total_params(), n);
+    for rank in 0..n {
+        let got = plan.rank_bytes(rank)[AG];
+        let next = part.shard_range((rank + 1) % n).len() as u64;
+        let want = 4 * (psi - next);
+        if got != want {
+            return Err(format!(
+                "{what}: rank {rank} all-gathers {got} bytes, telescoped identity says {want}"
+            ));
+        }
+        let total = plan.total_rank_bytes(rank);
+        if total != got {
+            return Err(format!(
+                "{what}: rank {rank} sends {total} bytes total but {got} as all-gather — \
+                 the serving step must carry no other traffic"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full static sweep: every stage × N ∈ {2..8} (plus MP grids,
-/// checkpointing/P_a, clipping, hierarchical-all-reduce, and overlapped
-/// variants) — zero training steps executed.
+/// checkpointing/P_a, clipping, hierarchical-all-reduce, overlapped
+/// variants, and the serving gather schedule) — zero training steps
+/// executed.
 pub fn check_all() -> Result<ScheduleReport, String> {
     let mut report = ScheduleReport::default();
 
@@ -565,6 +626,15 @@ pub fn check_all() -> Result<ScheduleReport, String> {
     for (dp, mp) in [(2usize, 2usize), (4, 2)] {
         check_config(&base(ZeroStage::Three).overlapped(), Grid::new(dp, mp), &mut report)?;
         check_overlap_pair(&base(ZeroStage::Three), Grid::new(dp, mp), &mut report)?;
+    }
+
+    // Shard-hosted serving: the stage-3 fetch schedule with no training
+    // traffic, both synchronous and prefetched.
+    for n in 1..=8 {
+        for overlap in [false, true] {
+            check_serve(n, overlap, &mut report)?;
+        }
+        report.configs += 1;
     }
 
     // Hierarchical (two-level) all-reduce under DDP: symmetry only — the

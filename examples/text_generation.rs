@@ -60,20 +60,26 @@ fn main() {
     }
     println!();
     print!("greedy continuation:");
-    for t in generator.generate(&prompt, 12, Sampling::Greedy) {
+    // The prompt comes from the corpus, so in-vocab by construction.
+    for t in generator
+        .generate(&prompt, 12, Sampling::Greedy)
+        .expect("corpus prompt is in-vocab")
+    {
         print!("{t:>3}");
     }
     println!();
     print!("sampled (T=0.8, k=8):");
-    let sampled = generator.generate(
-        &prompt,
-        12,
-        Sampling::Temperature {
-            temperature: 0.8,
-            top_k: 8,
-            seed: 7,
-        },
-    );
+    let sampled = generator
+        .generate(
+            &prompt,
+            12,
+            Sampling::Temperature {
+                temperature: 0.8,
+                top_k: 8,
+                seed: 7,
+            },
+        )
+        .expect("corpus prompt is in-vocab");
     for t in sampled {
         print!("{t:>3}");
     }

@@ -1,0 +1,281 @@
+//! `zero-serve` — shard-hosted batched inference serving from the CLI.
+//!
+//! ```text
+//! cargo run --release --bin zero-train -- --stage 3 --dp 4 --save ckpt/
+//! cargo run --release --bin zero-serve -- --snapshots ckpt/ --ranks 2
+//! ```
+//!
+//! Loads a training checkpoint (any world size), exports the fp32 master
+//! parameters onto `--ranks` serving shards, and serves a synthetic
+//! request batch with continuous batching. `--smoke` runs the gated
+//! self-checks (typed rejection of malformed requests, byte-exact
+//! plan/trace/traffic reconciliation, bitwise agreement with the
+//! single-process decoder, the 2Ψ/N + ε memory bound) and exits non-zero
+//! on any failure.
+
+use zero::comm::CollectiveKind;
+use zero::core::{export_inference_shards, CommPlan, Partitioner, RankSnapshot};
+use zero::model::{argmax, Gpt, IncrementalDecoder, ModelConfig};
+use zero::serve::{serve, ServeConfig, ServeRequest};
+use zero::trace::SpanCategory;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("zero-serve: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Greedy reference through the single-process incremental decoder.
+fn reference_greedy(model: &ModelConfig, params: &[f32], req: &ServeRequest) -> Vec<u32> {
+    let gpt = Gpt::new(*model);
+    let mut dec = IncrementalDecoder::new(&gpt, params);
+    let mut last = Vec::new();
+    for &t in &req.prompt {
+        last = dec.feed(t).expect("reference prompt is well-formed");
+    }
+    let mut out = vec![argmax(&last) as u32];
+    while out.len() < req.max_new_tokens {
+        last = dec.feed(*out.last().unwrap()).expect("reference decode");
+        out.push(argmax(&last) as u32);
+    }
+    out
+}
+
+fn main() {
+    let args = Args(std::env::args().collect());
+    if args.flag("--help") {
+        println!(
+            "zero-serve: batched inference from stage-3 parameter shards\n\
+             \n\
+             --snapshots DIR  checkpoint dir from `zero-train --save`\n\
+                              (omitted: serve a freshly initialized model)\n\
+             --ranks N        serving world size                 [2]\n\
+             --slots N        concurrent-request batch capacity  [4]\n\
+             --requests N     synthetic requests to serve        [8]\n\
+             --max-new N      tokens generated per request       [8]\n\
+             --layers/--hidden/--heads/--seq/--vocab\n\
+                              model shape (no-snapshot mode)\n\
+             --seed N         init/request seed                  [42]\n\
+             --no-overlap     synchronous (non-prefetched) gathers\n\
+             --smoke          run the gated self-checks, exit non-zero on failure"
+        );
+        return;
+    }
+
+    let smoke = args.flag("--smoke");
+    let n: usize = args.get("--ranks", 2usize);
+    let seed: u64 = args.get("--seed", 42u64);
+    let snap_dir: String = args.get("--snapshots", String::new());
+
+    // Parameters: a checkpoint, or a fresh init in the named shape.
+    let (model, params) = if snap_dir.is_empty() {
+        let model = ModelConfig {
+            vocab: args.get("--vocab", 64usize),
+            seq: args.get("--seq", 32usize),
+            hidden: args.get("--hidden", 64usize),
+            layers: args.get("--layers", if smoke { 8 } else { 4 }),
+            heads: args.get("--heads", 4usize),
+        };
+        (model, zero::model::init_full_params(&model, seed))
+    } else {
+        let dir = std::path::Path::new(&snap_dir);
+        let world = (0..)
+            .take_while(|&r| RankSnapshot::path_for(dir, r).exists())
+            .count();
+        if world == 0 {
+            fail(&format!("no rank_*.zero snapshots in {snap_dir}"));
+        }
+        let snaps = RankSnapshot::load_all(dir, world)
+            .unwrap_or_else(|e| fail(&format!("loading {snap_dir}: {e}")));
+        let full = export_inference_shards(&snaps, 1)
+            .unwrap_or_else(|e| fail(&format!("exporting {snap_dir}: {e}")))
+            .remove(0);
+        let model = ModelConfig {
+            vocab: args.get("--vocab", 64usize),
+            seq: args.get("--seq", 32usize),
+            hidden: args.get("--hidden", 64usize),
+            layers: args.get("--layers", 2usize),
+            heads: args.get("--heads", 4usize),
+        };
+        if model.total_params() != full.len() {
+            fail(&format!(
+                "snapshot holds {} params but the model shape needs {} — \
+                 pass the training run's shape flags",
+                full.len(),
+                model.total_params()
+            ));
+        }
+        (model, full)
+    };
+
+    // Shard for serving.
+    let part = Partitioner::new(params.len(), n);
+    let shards: Vec<Vec<f32>> = (0..n).map(|r| params[part.shard_range(r)].to_vec()).collect();
+
+    // Synthetic request batch; under --smoke it includes one out-of-vocab
+    // and one over-length request that MUST be rejected with typed errors
+    // while every rank keeps serving.
+    let n_req: usize = args.get("--requests", 8usize).max(if smoke { 8 } else { 1 });
+    let max_new: usize = args.get("--max-new", 8usize).min(model.seq.saturating_sub(4));
+    let mut requests: Vec<ServeRequest> = (0..n_req)
+        .map(|i| ServeRequest {
+            id: i as u64,
+            prompt: (0..3 + i % 3)
+                .map(|j| ((seed as usize + i * 7 + j * 3) % model.vocab) as u32)
+                .collect(),
+            max_new_tokens: max_new.max(1),
+        })
+        .collect();
+    if smoke {
+        requests.push(ServeRequest {
+            id: 900,
+            prompt: vec![model.vocab as u32 + 5],
+            max_new_tokens: 2,
+        });
+        requests.push(ServeRequest {
+            id: 901,
+            prompt: vec![1; model.seq],
+            max_new_tokens: model.seq,
+        });
+    }
+
+    let cfg = ServeConfig {
+        slots: args.get("--slots", 4usize),
+        overlap: !args.flag("--no-overlap"),
+    };
+    println!(
+        "serving {} params over {n} ranks | {} requests | {} slots | overlap {}",
+        params.len(),
+        requests.len(),
+        cfg.slots,
+        cfg.overlap
+    );
+    let t0 = std::time::Instant::now();
+    let report = serve(&model, &shards, &requests, &cfg);
+    let dt = t0.elapsed();
+
+    let completed: Vec<_> = report.outcomes().iter().filter_map(|o| o.response()).collect();
+    let rejected = report.outcomes().len() - completed.len();
+    let tokens: u64 = completed.iter().map(|r| r.decode_steps).sum();
+    println!(
+        "completed {} requests ({rejected} rejected), {} tokens in {:.2?} \
+         ({:.1} tok/s) over {} batch steps",
+        completed.len(),
+        tokens,
+        dt,
+        tokens as f64 / dt.as_secs_f64(),
+        report.ranks[0].batch_steps
+    );
+    for r in &report.ranks {
+        println!(
+            "  rank {}: shard {} B + transient peak {} B = {} B params, {} B KV slab, {} B gathered",
+            r.rank,
+            r.persistent_param_bytes,
+            r.transient_param_bytes_peak,
+            r.param_bytes_peak,
+            r.kv_slab_bytes,
+            r.gather_bytes
+        );
+    }
+
+    if !smoke {
+        return;
+    }
+
+    // ---- gated self-checks ----
+
+    // 1. SPMD lockstep: identical outcomes on every rank.
+    if let Err(e) = report.check_ranks_agree() {
+        fail(&e);
+    }
+
+    // 2. Malformed requests got typed rejections; everything else ran.
+    for out in report.outcomes() {
+        match out.response() {
+            Some(r) if r.id >= 900 => fail(&format!("malformed request {} completed", r.id)),
+            None if out.rejection().is_none() => fail("outcome neither completed nor rejected"),
+            _ => {}
+        }
+    }
+    let rejections: Vec<_> = report
+        .outcomes()
+        .iter()
+        .filter_map(|o| o.rejection())
+        .collect();
+    if rejections.len() != 2 {
+        fail(&format!("expected 2 typed rejections, got {}", rejections.len()));
+    }
+    use zero::serve::ServeError;
+    if !rejections.iter().any(|e| matches!(e, ServeError::TokenOutOfVocab { .. })) {
+        fail("out-of-vocab request did not get TokenOutOfVocab");
+    }
+    if !rejections.iter().any(|e| matches!(e, ServeError::PromptTooLong { .. })) {
+        fail("over-length request did not get PromptTooLong");
+    }
+
+    // 3. Trace and traffic reconcile byte-exactly with the static plan.
+    for r in &report.ranks {
+        let want = report.expected_gather_bytes(r.rank);
+        if r.gather_bytes != want {
+            fail(&format!(
+                "rank {}: traffic counters say {} all-gather bytes, plan says {want}",
+                r.rank, r.gather_bytes
+            ));
+        }
+        let traced = r
+            .timeline
+            .bytes_named(SpanCategory::Collective, CollectiveKind::AllGather.name());
+        if traced != want {
+            fail(&format!(
+                "rank {}: trace byte tags say {traced} all-gather bytes, plan says {want}",
+                r.rank
+            ));
+        }
+    }
+
+    // 4. Bitwise agreement with the single-process incremental decoder.
+    for (req, out) in requests.iter().zip(report.outcomes()) {
+        if let Some(resp) = out.response() {
+            let want = reference_greedy(&model, &params, req);
+            if resp.tokens != want {
+                fail(&format!("request {}: served tokens diverge from reference", req.id));
+            }
+        }
+    }
+
+    // 5. The §5.3 memory claim: per-rank parameter bytes ≤ 4Ψ·(2/N + ε).
+    let full_bytes = 4.0 * params.len() as f64;
+    let bound = full_bytes * (2.0 / n as f64 + 0.10);
+    for r in &report.ranks {
+        if r.param_bytes_peak as f64 > bound {
+            fail(&format!(
+                "rank {}: {} param bytes exceeds the 2Ψ/N+ε bound {:.0}",
+                r.rank, r.param_bytes_peak, bound
+            ));
+        }
+    }
+
+    // 6. A plan sanity cross-check: one gather per unit, nothing else.
+    let plan = CommPlan::serve_step(Gpt::new(model).layout(), n, cfg.overlap);
+    if plan.ops().len() != model.layers + 2 {
+        fail("serve plan does not gather each unit exactly once");
+    }
+
+    println!("smoke OK: rejection typing, plan/trace/traffic reconciliation, bitwise outputs, memory bound");
+}

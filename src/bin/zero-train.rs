@@ -58,7 +58,9 @@ fn main() {
              --clip F       gradient-norm clip                  [off]\n\
              --text PATH    train on a text file (byte tokens, sets vocab 256)\n\
              --trace PATH   write a Chrome trace-event JSON of every rank's\n\
-                            spans (open in chrome://tracing or Perfetto)"
+                            spans (open in chrome://tracing or Perfetto)\n\
+             --save DIR     write per-rank parameter snapshots after training\n\
+                            (feed to zero-serve --snapshots; needs --mp 1)"
         );
         return;
     }
@@ -174,6 +176,36 @@ fn main() {
         overlap_ns as f64 / 1e6,
         overlap_ns as f64 / 1e6 / steps as f64,
     );
+
+    let save_dir: String = args.get("--save", String::new());
+    if !save_dir.is_empty() {
+        if setup.grid.mp_degree() != 1 {
+            eprintln!("--save needs --mp 1 (model-parallel export is not supported)");
+            std::process::exit(2);
+        }
+        let dir = std::path::Path::new(&save_dir);
+        for r in &report.ranks {
+            let snap = zero::core::RankSnapshot {
+                rank: r.rank as u32,
+                world: report.ranks.len() as u32,
+                step: steps as u64,
+                shard_start: r.shard_range.start as u64,
+                shard_end: r.shard_range.end as u64,
+                master: r.master.clone(),
+                // Inference export: optimizer and scaler state stay behind.
+                opt_m: Vec::new(),
+                opt_v: Vec::new(),
+                opt_t: steps as u64,
+                scaler: None,
+            };
+            snap.save(dir).expect("write --save snapshot");
+        }
+        println!(
+            "\nwrote {} parameter snapshots ({} params) to {save_dir}",
+            report.ranks.len(),
+            model.total_params()
+        );
+    }
 
     let trace_path: String = args.get("--trace", String::new());
     if !trace_path.is_empty() {

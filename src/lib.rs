@@ -15,6 +15,9 @@
 //! * [`optim`] — mixed-precision Adam (K = 12), SGD, dynamic loss scaling.
 //! * [`core`] — ZeRO-DP stages 1–3 and ZeRO-R (P_a, P_a+cpu, CB, MD), the
 //!   DDP baseline, and the multi-rank trainer.
+//! * [`serve`] — shard-hosted batched inference serving: stage-3 layer
+//!   streaming plus a continuous-batching scheduler
+//!   (`zero-train --save ckpt` → `zero-serve --snapshots ckpt`).
 //! * [`sim`] — the analytical memory model and cluster-scale throughput
 //!   simulator that regenerate the paper's tables and figures.
 //! * [`trace`] — per-rank span tracing: step timelines, overlap queries,
@@ -42,6 +45,7 @@ pub use zero_comm as comm;
 pub use zero_core as core;
 pub use zero_model as model;
 pub use zero_optim as optim;
+pub use zero_serve as serve;
 pub use zero_sim as sim;
 pub use zero_tensor as tensor;
 pub use zero_trace as trace;
