@@ -26,6 +26,27 @@ cargo run -q --release --bin zero-train -- \
 test -s "$trace_out" || { echo "trace file missing or empty"; exit 1; }
 rm -rf "$(dirname "$trace_out")"
 
+echo "==> process fabric (socket transport parity + process-world recovery)"
+# Cross-backend contract: same collectives, bitwise-identical results and
+# per-kind traffic on Unix-socket ranks vs in-process threads; wire
+# decoder survives fuzzing; SIGKILL recovery matches a clean resume.
+cargo test -q --release -p zero-comm --test wire_fuzz
+cargo test -q --release -p zero-comm --test process_fabric
+cargo test -q --release --test process_world
+
+echo "==> kill -9 smoke (real process death, bitwise-verified recovery)"
+procworld_dir="$(mktemp -d)"
+cargo run -q --release --bin zero-train -- \
+    --fabric process --stage 2 --dp 4 --layers 2 --hidden 16 --heads 2 \
+    --seq 8 --vocab 32 --batch 12 --steps 20 --fp32 \
+    --run-dir "$procworld_dir" --kill 2@7 --verify-recovery
+rm -rf "$procworld_dir"
+# The trainer's own leak check ran on exit; belt-and-suspenders here.
+# The [-] class keeps the pattern from matching this script's own shell.
+if pgrep -f -- '[-]-zero-worker' > /dev/null 2>&1; then
+    echo "leaked --zero-worker rank processes detected"; exit 1
+fi
+
 echo "==> zero-serve smoke (train -> snapshot -> shard-hosted serving)"
 serve_ckpt="$(mktemp -d)"
 cargo run -q --release --bin zero-train -- \

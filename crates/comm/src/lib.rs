@@ -30,6 +30,9 @@ pub mod group;
 pub mod hierarchical;
 pub mod nonblocking;
 pub mod stats;
+pub mod process;
+pub mod transport;
+pub mod wire;
 pub mod world;
 
 pub use collectives::{chunk_range, Precision, ReduceOp};
@@ -39,9 +42,12 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use group::{Grid, Group};
 pub use hierarchical::NodeTopology;
 pub use nonblocking::PendingOp;
+pub use process::{connect_process_rank, ProcessWorldConfig, RankProcs};
 pub use stats::{
     CollectiveKind, TimingSnapshot, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT,
 };
+pub use transport::{Msg, Transport};
+pub use wire::{Frame, WireError, MAX_FRAME_LEN};
 pub use world::{
     launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,
     Communicator, RankFailure, World, WorldConfig,

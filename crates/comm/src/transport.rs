@@ -1,0 +1,348 @@
+//! Pluggable rank-to-rank transport: the [`Transport`] trait and the
+//! in-process channel backend.
+//!
+//! The [`Fabric`](crate::world::Fabric) owns everything that makes the
+//! communicator *correct* — per-pair sequence numbers, payload CRCs, fault
+//! injection, traffic accounting, spans — and delegates the actual byte
+//! movement to a boxed `Transport`. Two backends implement it:
+//!
+//! * [`ChannelTransport`] (here): ranks are threads in one process and a
+//!   message hop is an `mpsc` send. The fast path for tests and the
+//!   default for `launch`/`World`.
+//! * [`SocketTransport`](crate::process::SocketTransport): ranks are
+//!   separate OS processes and a hop is a CRC-framed write on a Unix
+//!   domain socket — the backend that makes `kill -9` a real experiment
+//!   rather than a simulation.
+//!
+//! Both backends speak in whole [`Msg`]s and surface failures as the same
+//! typed [`CommError`]s, so the ring collectives, the fault matrix, and
+//! the volume accounting built above the fabric are backend-agnostic.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::error::CommError;
+
+/// A message between two ranks: an opaque f32 payload, a per-channel
+/// sequence number used to detect mismatched collective schedules, and a
+/// payload checksum used to detect in-flight corruption.
+///
+/// The checksum is computed by the *sender's* fabric before any injected
+/// corruption is applied and verified by the *receiver's* fabric, so it
+/// must travel with the payload on every backend (in-process it rides the
+/// struct; on the socket backend it is a field of the `Data` frame).
+pub struct Msg {
+    /// Position in the sender→receiver FIFO (per ordered pair).
+    pub seq: u64,
+    /// CRC-32 of `data` as the sender intended it.
+    pub crc: u32,
+    /// The payload.
+    pub data: Vec<f32>,
+}
+
+/// One rank's view of the byte-moving layer under the fabric.
+///
+/// Implementations move whole [`Msg`]s between ranks and provide a world
+/// barrier; they do not interpret payloads, count traffic, or inject
+/// faults — that is the fabric's job. Every blocking entry point is
+/// deadline-bounded and returns typed [`CommError`]s; none may panic on
+/// peer failure.
+pub trait Transport: Send {
+    /// Delivers `msg` to `dst`'s incoming queue for this rank.
+    fn send_msg(&mut self, dst: usize, msg: Msg) -> Result<(), CommError>;
+
+    /// Next message from `src`, waiting at most `timeout`. A peer that is
+    /// provably gone surfaces as [`CommError::PeerLost`]; one that is
+    /// merely silent surfaces as [`CommError::Timeout`] after the full
+    /// wait.
+    fn recv_msg(&mut self, src: usize, timeout: Duration) -> Result<Msg, CommError>;
+
+    /// Blocks until every rank reaches the barrier or `timeout` elapses
+    /// with ranks missing ([`CommError::BarrierTimeout`]).
+    fn barrier(&mut self, timeout: Duration) -> Result<(), CommError>;
+
+    /// Parks the calling (progress) thread until `deadline`, returning
+    /// early — with `true` — once the transport can prove no peer is
+    /// still waiting on this rank (their endpoints are gone). Used by the
+    /// `Hang` fault: the stall must outlive every peer's receive timeout,
+    /// but holding the thread hostage after the last peer has shut down
+    /// buys nothing, so the world's shutdown path can cancel it.
+    fn wait_shutdown(&mut self, deadline: Instant) -> bool;
+}
+
+/// Recovers a mutex guard even if a holder panicked: the latch and
+/// barrier states below are plain counters whose invariants are restored
+/// by the waiters themselves, so poisoning carries no information here.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Counts live communicator handles in one in-process world, so a hung
+/// rank's deadline wait can be cancelled once everyone else has shut
+/// down (dropped their [`Communicator`](crate::Communicator)s) and no
+/// peer can possibly still be blocked on the hung rank.
+pub(crate) struct ShutdownLatch {
+    live: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ShutdownLatch {
+    pub(crate) fn new(n: usize) -> Arc<ShutdownLatch> {
+        Arc::new(ShutdownLatch { live: Mutex::new(n), cv: Condvar::new() })
+    }
+
+    /// Records one communicator handle going away.
+    pub(crate) fn depart(&self) {
+        let mut live = lock_unpoisoned(&self.live);
+        *live = live.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Waits until at most one handle (the caller's own rank) remains or
+    /// `deadline` passes; `true` means the wait was cancelled early.
+    pub(crate) fn wait_sole_survivor(&self, deadline: Instant) -> bool {
+        let mut live = lock_unpoisoned(&self.live);
+        while *live > 1 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) = match self.cv.wait_timeout(live, deadline - now) {
+                Ok(x) => x,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            live = guard;
+        }
+        true
+    }
+}
+
+/// A reusable N-party barrier whose wait is bounded by a timeout, so a dead
+/// rank strands survivors with a typed error instead of a deadlock.
+/// (`std::sync::Barrier` has no timed wait.)
+pub(crate) struct TimeoutBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl TimeoutBarrier {
+    pub(crate) fn new(n: usize) -> TimeoutBarrier {
+        TimeoutBarrier {
+            n,
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Returns `true` if all `n` parties arrived within `timeout`.
+    ///
+    /// A party that times out *withdraws* its arrival before returning,
+    /// so a later retry (or a later generation joined by fresh parties)
+    /// starts from a clean count — the property the proptest below
+    /// hammers on.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut s = lock_unpoisoned(&self.state);
+        let gen = s.generation;
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while s.generation == gen {
+            let now = Instant::now();
+            if now >= deadline {
+                // Withdraw our arrival so a later retry starts clean.
+                s.arrived -= 1;
+                return false;
+            }
+            let (guard, _timed_out) = match self.cv.wait_timeout(s, deadline - now) {
+                Ok(x) => x,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            s = guard;
+        }
+        true
+    }
+}
+
+/// The in-process backend: one `mpsc` FIFO per ordered rank pair, a shared
+/// [`TimeoutBarrier`], and the world's [`ShutdownLatch`] for cancellable
+/// hang waits. This is exactly the fabric the crate has always had, now
+/// behind the trait.
+pub(crate) struct ChannelTransport {
+    rank: usize,
+    to_peer: Vec<Sender<Msg>>,
+    from_peer: Vec<Receiver<Msg>>,
+    barrier: Arc<TimeoutBarrier>,
+    latch: Arc<ShutdownLatch>,
+}
+
+impl ChannelTransport {
+    pub(crate) fn new(
+        rank: usize,
+        to_peer: Vec<Sender<Msg>>,
+        from_peer: Vec<Receiver<Msg>>,
+        barrier: Arc<TimeoutBarrier>,
+        latch: Arc<ShutdownLatch>,
+    ) -> ChannelTransport {
+        ChannelTransport { rank, to_peer, from_peer, barrier, latch }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send_msg(&mut self, dst: usize, msg: Msg) -> Result<(), CommError> {
+        self.to_peer[dst]
+            .send(msg)
+            .map_err(|_| CommError::PeerLost { rank: self.rank, peer: dst })
+    }
+
+    fn recv_msg(&mut self, src: usize, timeout: Duration) -> Result<Msg, CommError> {
+        match self.from_peer[src].recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(CommError::Timeout { rank: self.rank, peer: src, waited: timeout })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CommError::PeerLost { rank: self.rank, peer: src })
+            }
+        }
+    }
+
+    fn barrier(&mut self, timeout: Duration) -> Result<(), CommError> {
+        if self.barrier.wait_timeout(timeout) {
+            Ok(())
+        } else {
+            Err(CommError::BarrierTimeout { rank: self.rank, waited: timeout })
+        }
+    }
+
+    fn wait_shutdown(&mut self, deadline: Instant) -> bool {
+        self.latch.wait_sole_survivor(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn latch_cancels_when_peers_depart() {
+        let latch = ShutdownLatch::new(3);
+        let l2 = latch.clone();
+        let t = std::thread::spawn(move || {
+            l2.wait_sole_survivor(Instant::now() + Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        latch.depart();
+        latch.depart();
+        // Far before the 30 s deadline.
+        assert!(t.join().unwrap(), "wait must cancel once only one handle is left");
+    }
+
+    #[test]
+    fn latch_times_out_while_peers_live() {
+        let latch = ShutdownLatch::new(2);
+        let t0 = Instant::now();
+        assert!(!latch.wait_sole_survivor(t0 + Duration::from_millis(30)));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    /// Deterministic core of the withdraw-on-timeout property: `k < n`
+    /// parties arrive and time out (each withdrawing its arrival), in
+    /// `rounds` successive waves; afterwards a full complement of `n`
+    /// parties must still pass the barrier unanimously — no stale arrival
+    /// count and no generation skew may leak across the failed attempts.
+    fn withdraw_then_full_round(n: usize, k: usize, rounds: usize, stagger_us: u64) {
+        let b = Arc::new(TimeoutBarrier::new(n));
+        for _ in 0..rounds {
+            let partial: Vec<_> = (0..k)
+                .map(|i| {
+                    let b = b.clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_micros(stagger_us * i as u64));
+                        b.wait_timeout(Duration::from_millis(10))
+                    })
+                })
+                .collect();
+            for t in partial {
+                assert!(!t.join().unwrap(), "a short-handed wave must time out");
+            }
+        }
+        // The decisive wave: every party arrives, with generous timeout.
+        let full: Vec<_> = (0..n)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_micros(stagger_us * i as u64));
+                    b.wait_timeout(Duration::from_secs(10))
+                })
+            })
+            .collect();
+        for t in full {
+            assert!(t.join().unwrap(), "a full wave after withdrawals must pass");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Satellite: a party that times out of the barrier and retries
+        /// later must never corrupt a subsequent generation.
+        #[test]
+        fn timed_out_party_does_not_corrupt_later_generations(
+            n in 2usize..6,
+            k_frac in 1usize..100,
+            rounds in 1usize..4,
+            stagger_us in 0u64..300,
+        ) {
+            // Map k_frac onto 1..n so every (n, k<n) pair is reachable.
+            let k = 1 + k_frac % (n - 1);
+            withdraw_then_full_round(n, k, rounds, stagger_us);
+        }
+    }
+
+    #[test]
+    fn retrying_party_joins_next_generation_cleanly() {
+        // One party times out of a generation, then retries while the
+        // stragglers from that generation finally arrive: the retry plus
+        // the stragglers form a complete wave and everyone passes.
+        let n = 3;
+        let b = Arc::new(TimeoutBarrier::new(n));
+        let retrier = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let first = b.wait_timeout(Duration::from_millis(20));
+                let second = b.wait_timeout(Duration::from_secs(10));
+                (first, second)
+            })
+        };
+        // Let the retrier's first attempt expire before anyone else shows.
+        std::thread::sleep(Duration::from_millis(60));
+        let late: Vec<_> = (0..n - 1)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait_timeout(Duration::from_secs(10)))
+            })
+            .collect();
+        let (first, second) = retrier.join().unwrap();
+        assert!(!first, "short-handed first attempt must time out");
+        assert!(second, "retry must succeed once the wave completes");
+        for t in late {
+            assert!(t.join().unwrap());
+        }
+    }
+}

@@ -1,10 +1,14 @@
 //! The communicator "world": N ranks connected all-to-all.
 //!
 //! A rank in the paper is one GPU process talking NCCL over NVLink/IB.
-//! Here a rank is one OS thread, and the fabric is a matrix of `std::sync::mpsc`
-//! channels — one FIFO per ordered rank pair. Because every rank issues the
-//! same sequence of collectives (SPMD), per-pair FIFO ordering plus a
-//! sequence-number check is sufficient to match sends to receives.
+//! Here a rank is one OS thread by default, and the fabric moves messages
+//! through a pluggable [`Transport`]: the in-process backend is a matrix
+//! of `std::sync::mpsc` channels — one FIFO per ordered rank pair — while
+//! the process backend (`crate::process`) runs each rank as a separate OS
+//! process over Unix domain sockets. Because every rank issues the same
+//! sequence of collectives (SPMD), per-pair FIFO ordering plus a
+//! sequence-number check is sufficient to match sends to receives on
+//! either backend.
 //!
 //! Failure semantics: every receive is bounded by a configurable timeout and
 //! every payload carries a CRC, so a dead peer, a hung peer, or a damaged
@@ -26,8 +30,8 @@
 //! are unchanged.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::crc::crc32_f32s;
@@ -35,16 +39,8 @@ use crate::error::CommError;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::nonblocking::{progress_loop, Job, PendingOp, Request};
 use crate::stats::{CollectiveKind, TrafficStats};
+use crate::transport::{ChannelTransport, Msg, ShutdownLatch, TimeoutBarrier, Transport};
 use zero_trace::{SpanCategory, TraceRecorder, TRACK_PROGRESS};
-
-/// A message between two ranks: an opaque f32 payload, a per-channel
-/// sequence number used to detect mismatched collective schedules, and a
-/// payload checksum used to detect in-flight corruption.
-pub(crate) struct Msg {
-    pub seq: u64,
-    pub crc: u32,
-    pub data: Vec<f32>,
-}
 
 /// Fabric-wide configuration: receive timeout, fault script, and modeled
 /// link latency.
@@ -109,25 +105,23 @@ impl World {
     /// Panics if `n == 0`.
     pub fn with_config(n: usize, config: WorldConfig) -> World {
         assert!(n > 0, "world size must be positive");
-        // senders[dst][src] pairs with receivers[dst][src].
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| {
-            let mut row = Vec::with_capacity(n);
-            row.resize_with(n, || None);
-            row
-        }).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| {
-            let mut row = Vec::with_capacity(n);
-            row.resize_with(n, || None);
-            row
-        }).collect();
-        for dst in 0..n {
-            for src in 0..n {
+        // Grow the endpoint matrix directly in its final per-rank shape:
+        // outboxes[src][dst] pairs with inboxes[dst][src], no Option
+        // juggling and nothing to unwrap.
+        let mut outboxes: Vec<Vec<Sender<Msg>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut inboxes: Vec<Vec<Receiver<Msg>>> = Vec::with_capacity(n);
+        for _dst in 0..n {
+            let mut dst_row = Vec::with_capacity(n);
+            for src_out in outboxes.iter_mut() {
                 let (tx, rx) = channel();
-                senders[dst][src] = Some(tx);
-                receivers[dst][src] = Some(rx);
+                src_out.push(tx);
+                dst_row.push(rx);
             }
+            inboxes.push(dst_row);
         }
         let barrier = Arc::new(TimeoutBarrier::new(n));
+        let latch = ShutdownLatch::new(n);
         let stats: Vec<Arc<TrafficStats>> = (0..n).map(|_| TrafficStats::new()).collect();
         // One span recorder per rank, all sharing one epoch so per-rank
         // timestamps are comparable in a merged Chrome trace.
@@ -135,55 +129,24 @@ impl World {
         let traces: Vec<Arc<TraceRecorder>> =
             (0..n).map(|_| Arc::new(TraceRecorder::with_epoch(epoch))).collect();
 
-        // Re-group: rank r needs send handles to every dst and its own recv row.
         let mut comms = Vec::with_capacity(n);
-        let mut recv_rows: Vec<Vec<Receiver<Msg>>> = receivers
-            .into_iter()
-            .map(|row| row.into_iter().map(|r| r.unwrap()).collect())
-            .collect();
-        // Transpose the sender matrix so each rank owns its outgoing handles.
-        let mut send_rows: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        for dst_row in senders.iter_mut() {
-            for (src, slot) in dst_row.iter_mut().enumerate() {
-                send_rows[src].push(slot.take().unwrap());
-            }
-        }
-        for (rank, (tx_row, rx_row)) in
-            send_rows.into_iter().zip(recv_rows.drain(..)).enumerate()
-        {
-            let fabric = Fabric {
+        for (rank, (tx_row, rx_row)) in outboxes.into_iter().zip(inboxes).enumerate() {
+            let link = ChannelTransport::new(
                 rank,
-                world: n,
-                to_peer: tx_row,
-                from_peer: rx_row,
-                send_seq: vec![0; n].into(),
-                recv_seq: vec![0; n].into(),
-                barrier: barrier.clone(),
-                stats: stats[rank].clone(),
-                trace: traces[rank].clone(),
-                recv_timeout: config.recv_timeout,
-                link_latency: config.link_latency,
-                fault: config.faults.for_rank(rank),
-                dead: false,
-            };
-            let (jobs_tx, jobs_rx) = channel::<Job>();
-            let queued = Arc::new(AtomicUsize::new(0));
-            let thread_queued = queued.clone();
-            // Detached on purpose: the thread owns only 'static state (its
-            // endpoints, Arc'd stats/barrier) and exits as soon as the last
-            // job sender — the Communicator handle — drops, which also
-            // drops the fabric endpoints so peers observe `PeerLost`
-            // exactly as they did when the rank thread owned them.
-            std::thread::spawn(move || progress_loop(fabric, jobs_rx, thread_queued));
-            comms.push(Some(Communicator {
+                tx_row,
+                rx_row,
+                barrier.clone(),
+                latch.clone(),
+            );
+            comms.push(Some(Communicator::spawn(
                 rank,
-                world: n,
-                stats: stats[rank].clone(),
-                trace: traces[rank].clone(),
-                recv_timeout: config.recv_timeout,
-                jobs: jobs_tx,
-                queued,
-            }));
+                n,
+                Box::new(link),
+                stats[rank].clone(),
+                traces[rank].clone(),
+                &config,
+                latch.clone(),
+            )));
         }
         World { comms, stats, traces }
     }
@@ -219,67 +182,17 @@ impl World {
     }
 }
 
-/// A reusable N-party barrier whose wait is bounded by a timeout, so a dead
-/// rank strands survivors with a typed error instead of a deadlock.
-/// (`std::sync::Barrier` has no timed wait.)
-struct TimeoutBarrier {
-    n: usize,
-    state: Mutex<BarrierState>,
-    cv: Condvar,
-}
-
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-}
-
-impl TimeoutBarrier {
-    fn new(n: usize) -> TimeoutBarrier {
-        TimeoutBarrier {
-            n,
-            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Returns `true` if all `n` parties arrived within `timeout`.
-    fn wait_timeout(&self, timeout: Duration) -> bool {
-        let mut s = self.state.lock().unwrap();
-        let gen = s.generation;
-        s.arrived += 1;
-        if s.arrived == self.n {
-            s.arrived = 0;
-            s.generation += 1;
-            self.cv.notify_all();
-            return true;
-        }
-        let deadline = Instant::now() + timeout;
-        while s.generation == gen {
-            let now = Instant::now();
-            if now >= deadline {
-                // Withdraw our arrival so a later retry starts clean.
-                s.arrived -= 1;
-                return false;
-            }
-            let (guard, _res) = self.cv.wait_timeout(s, deadline - now).unwrap();
-            s = guard;
-        }
-        true
-    }
-}
-
-/// One rank's physical endpoint: channel matrix rows, per-pair sequence
-/// numbers, fault state, and traffic accounting. Ring collectives are
-/// built on top in `collectives.rs`. Owned exclusively by the rank's
-/// progress thread; the public [`Communicator`] never touches it directly.
+/// One rank's logical endpoint: per-pair sequence numbers, CRC checks,
+/// fault state, and traffic accounting over a pluggable [`Transport`]
+/// that does the actual byte moving. Ring collectives are built on top in
+/// `collectives.rs`. Owned exclusively by the rank's progress thread; the
+/// public [`Communicator`] never touches it directly.
 pub(crate) struct Fabric {
     pub(crate) rank: usize,
     pub(crate) world: usize,
-    to_peer: Vec<Sender<Msg>>,
-    from_peer: Vec<Receiver<Msg>>,
+    link: Box<dyn Transport>,
     send_seq: Box<[u64]>,
     recv_seq: Box<[u64]>,
-    barrier: Arc<TimeoutBarrier>,
     pub(crate) stats: Arc<TrafficStats>,
     pub(crate) trace: Arc<TraceRecorder>,
     recv_timeout: Duration,
@@ -309,8 +222,14 @@ impl Fabric {
             Some(FaultKind::Hang) => {
                 self.trace.instant_on(TRACK_PROGRESS, SpanCategory::Collective, "fault-hang");
                 // Stall past every peer's receive timeout so they observe
-                // `Timeout`, then report this rank dead.
-                std::thread::sleep(self.recv_timeout * 2);
+                // `Timeout`, then report this rank dead. The wait is a
+                // cancellable deadline, not a sleep: peers time out first
+                // (their recv_timeout < 2×ours), and once every one of
+                // them has shut down nobody can still be waiting on us,
+                // so the transport releases the progress thread instead
+                // of holding it hostage for the rest of the deadline.
+                let deadline = Instant::now() + self.recv_timeout * 2;
+                self.link.wait_shutdown(deadline);
                 self.dead = true;
                 Err(CommError::InjectedHang { rank: self.rank, op })
             }
@@ -349,9 +268,7 @@ impl Fabric {
         if let Some((elem, bit)) = self.fault.take_corruption(data.len()) {
             data[elem] = f32::from_bits(data[elem].to_bits() ^ (1 << bit));
         }
-        self.to_peer[dst]
-            .send(Msg { seq, crc, data })
-            .map_err(|_| CommError::PeerLost { rank: self.rank, peer: dst })
+        self.link.send_msg(dst, Msg { seq, crc, data })
     }
 
     /// Receives the next message from `src`, verifying schedule agreement
@@ -364,19 +281,7 @@ impl Fabric {
             // pay it while the compute thread keeps running.
             std::thread::sleep(self.link_latency);
         }
-        let msg = match self.from_peer[src].recv_timeout(self.recv_timeout) {
-            Ok(msg) => msg,
-            Err(RecvTimeoutError::Timeout) => {
-                return Err(CommError::Timeout {
-                    rank: self.rank,
-                    peer: src,
-                    waited: self.recv_timeout,
-                })
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                return Err(CommError::PeerLost { rank: self.rank, peer: src })
-            }
-        };
+        let msg = self.link.recv_msg(src, self.recv_timeout)?;
         let expect = self.recv_seq[src];
         if msg.seq != expect {
             return Err(CommError::OutOfOrder {
@@ -418,11 +323,7 @@ impl Fabric {
         if self.dead {
             return Err(CommError::InjectedCrash { rank: self.rank, op: 0 });
         }
-        if self.barrier.wait_timeout(self.recv_timeout) {
-            Ok(())
-        } else {
-            Err(CommError::BarrierTimeout { rank: self.rank, waited: self.recv_timeout })
-        }
+        self.link.barrier(self.recv_timeout)
     }
 }
 
@@ -446,9 +347,65 @@ pub struct Communicator {
     /// the wait budget of newly submitted ops (FIFO: everything already
     /// queued runs first).
     queued: Arc<AtomicUsize>,
+    /// World-shared shutdown accounting: departed on drop so a hung
+    /// peer's deadline wait can cancel once every other handle is gone.
+    latch: Arc<ShutdownLatch>,
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        self.latch.depart();
+    }
 }
 
 impl Communicator {
+    /// Builds the rank's [`Fabric`] over `link`, starts its progress
+    /// thread, and returns the public handle — the one construction path
+    /// shared by every backend (`World` for threads-over-channels,
+    /// `crate::process` for processes-over-sockets).
+    pub(crate) fn spawn(
+        rank: usize,
+        world: usize,
+        link: Box<dyn Transport>,
+        stats: Arc<TrafficStats>,
+        trace: Arc<TraceRecorder>,
+        config: &WorldConfig,
+        latch: Arc<ShutdownLatch>,
+    ) -> Communicator {
+        let fabric = Fabric {
+            rank,
+            world,
+            link,
+            send_seq: vec![0; world].into(),
+            recv_seq: vec![0; world].into(),
+            stats: stats.clone(),
+            trace: trace.clone(),
+            recv_timeout: config.recv_timeout,
+            link_latency: config.link_latency,
+            fault: config.faults.for_rank(rank),
+            dead: false,
+        };
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let queued = Arc::new(AtomicUsize::new(0));
+        let thread_queued = queued.clone();
+        // Detached on purpose: the thread owns only 'static state (its
+        // transport endpoints, Arc'd stats) and exits as soon as the last
+        // job sender — the Communicator handle — drops, which also drops
+        // the fabric endpoints so peers observe `PeerLost` exactly as
+        // they did when the rank thread owned them.
+        std::thread::spawn(move || progress_loop(fabric, jobs_rx, thread_queued));
+        Communicator {
+            rank,
+            world,
+            stats,
+            trace,
+            recv_timeout: config.recv_timeout,
+            jobs: jobs_tx,
+            queued,
+            latch,
+        }
+    }
+
     /// This rank's id in `0..world_size()`.
     #[inline]
     pub fn rank(&self) -> usize {

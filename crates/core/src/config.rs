@@ -11,7 +11,7 @@ use zero_optim::{AdamConfig, LrSchedule, SgdConfig};
 /// velocity + master (K = 8); plain SGD only the master (K = 4). §2.3
 /// argues ZeRO "makes it possible to develop and use even more complex
 /// and memory hungry optimizers" — the K-dependence is measurable here.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum OptimizerKind {
     /// Adam with fp32 moments (K = 12).
     Adam(AdamConfig),
@@ -77,7 +77,7 @@ impl ZeroStage {
 }
 
 /// Full engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ZeroConfig {
     /// ZeRO-DP stage.
     pub stage: ZeroStage,

@@ -32,6 +32,7 @@ pub mod memory;
 pub mod metrics;
 pub mod partition;
 pub mod plan;
+pub mod procworld;
 pub mod snapshot;
 pub mod store;
 pub mod supervisor;
@@ -44,6 +45,10 @@ pub use engine::{RankEngine, StepOutcome};
 pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
 pub use metrics::TrainingMetrics;
 pub use partition::Partitioner;
+pub use procworld::{
+    maybe_run_worker, run_supervised_process, KillSpec, ProcessSupervisedReport,
+    ProcessWorldOptions, WorkerCommand, WORKER_SPEC_ENV,
+};
 pub use plan::{CommPlan, CountSpec, PlanCursor, PlanOp, PlanScope, ResolvedOp, StepShape};
 pub use snapshot::{
     export_inference_shards, reshard, validate_consistent, RankSnapshot, SnapshotError,

@@ -1,0 +1,1195 @@
+//! Process-world driver: [`crate::supervisor`]'s recovery protocol run
+//! over *real OS processes* on the socket fabric of `zero_comm::process`.
+//!
+//! The thread-backed supervisor simulates rank death cooperatively — a
+//! faulted rank returns an error and drops its endpoints. Here every rank
+//! is a spawned child process; `kill -9` actually severs its sockets
+//! mid-step, and the driver must notice (via exit status and missing
+//! result files), roll survivors back to the last CRC-consistent
+//! snapshot, reshard to the shrunken world, and relaunch — producing
+//! losses bitwise identical to a clean thread-backend resume from the
+//! same snapshot. That equivalence is the backend-parity contract.
+//!
+//! ## Worker protocol
+//!
+//! The driver writes one *spec file* per rank (a `key=value` text file:
+//! model + ZeRO config with floats as exact bit patterns, fault plan,
+//! fabric timing, socket/snapshot/result paths) and spawns the caller's
+//! worker command with `ZERO_WORKER_SPEC` pointing at it. Any binary
+//! whose `main` (or a test shim) calls [`maybe_run_worker`] first can
+//! host a rank — `zero-train` does, and so do the integration tests by
+//! re-executing themselves.
+//!
+//! Workers report through the filesystem, never through pipes: a
+//! per-step `progress` file (the kill watcher's trigger), and an
+//! atomically renamed `result` file carrying bit-exact losses, the eval
+//! loss, any typed comm error (with its self-fault classification), the
+//! per-kind traffic totals, and the count of `snapshot-restore` spans.
+//! A rank that dies — by SIGKILL or panic — simply never renames its
+//! result file, which is exactly how the driver detects death.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use zero_comm::{
+    connect_process_rank, CommError, FaultKind, FaultPlan, FaultSpec, FaultTrigger, Grid,
+    ProcessWorldConfig, RankProcs, ALL_KINDS,
+};
+use zero_model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
+use zero_optim::{AdamConfig, LrSchedule, SgdConfig};
+use zero_trace::SpanCategory;
+
+use crate::config::{OptimizerKind, ZeroConfig, ZeroStage};
+use crate::engine::RankEngine;
+use crate::snapshot::{reshard, RankSnapshot};
+use crate::supervisor::{
+    latest_consistent_snapshot, snapshot_dir_for, RecoveryReport, SupervisorConfig,
+};
+
+/// Environment variable carrying the spec-file path to a worker process.
+pub const WORKER_SPEC_ENV: &str = "ZERO_WORKER_SPEC";
+
+// ---------------------------------------------------------------------------
+// Driver-side API
+// ---------------------------------------------------------------------------
+
+/// How to start one rank process. The driver appends only the
+/// [`WORKER_SPEC_ENV`] environment variable; everything in `args` is the
+/// caller's (e.g. a `--zero-worker` marker for leak checks, or libtest
+/// filter flags when a test binary re-executes itself).
+#[derive(Clone, Debug)]
+pub struct WorkerCommand {
+    /// Binary to execute.
+    pub program: PathBuf,
+    /// Arguments passed verbatim.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// The current executable with the given arguments — the usual
+    /// self-exec shape for both `zero-train` and test binaries.
+    pub fn current_exe(args: Vec<String>) -> std::io::Result<WorkerCommand> {
+        Ok(WorkerCommand {
+            program: std::env::current_exe()?,
+            args,
+        })
+    }
+
+    fn command(&self, spec_path: &Path) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args).env(WORKER_SPEC_ENV, spec_path);
+        cmd
+    }
+}
+
+/// SIGKILL injection: kill `rank` once its progress file shows
+/// `after_step` completed optimizer steps — i.e. mid-way through step
+/// `after_step`, after snapshots up to that point exist.
+#[derive(Clone, Copy, Debug)]
+pub struct KillSpec {
+    /// Victim rank (in the first round's numbering).
+    pub rank: usize,
+    /// Completed-step count that triggers the kill.
+    pub after_step: u64,
+}
+
+/// Driver options: worker command, scratch layout, fault injection, and
+/// the fabric timing parameters shared by every rank.
+#[derive(Clone, Debug)]
+pub struct ProcessWorldOptions {
+    /// How to spawn one rank.
+    pub worker: WorkerCommand,
+    /// Scratch root for sockets, specs, progress, and result files
+    /// (per-round subdirectories are created inside).
+    pub run_dir: PathBuf,
+    /// Optional SIGKILL injection, applied in the first round only —
+    /// mirroring the thread supervisor, which injects faults only into
+    /// the round they were scripted for.
+    pub kill: Option<KillSpec>,
+    /// Wall-clock budget for one round; children still alive at the
+    /// deadline are killed (and the round treated as failed).
+    pub round_timeout: Duration,
+    /// See [`ProcessWorldConfig::heartbeat_interval`].
+    pub heartbeat_interval: Duration,
+    /// See [`ProcessWorldConfig::liveness_timeout`].
+    pub liveness_timeout: Duration,
+    /// See [`ProcessWorldConfig::handshake_timeout`].
+    pub handshake_timeout: Duration,
+}
+
+impl ProcessWorldOptions {
+    /// Defaults sized for test-scale models on a loaded CI machine.
+    pub fn new(worker: WorkerCommand, run_dir: impl Into<PathBuf>) -> ProcessWorldOptions {
+        ProcessWorldOptions {
+            worker,
+            run_dir: run_dir.into(),
+            kill: None,
+            round_timeout: Duration::from_secs(300),
+            heartbeat_interval: Duration::from_millis(25),
+            liveness_timeout: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// What [`run_supervised_process`] returns: the same stitched history the
+/// thread supervisor produces, plus the per-rank measurements the parity
+/// tests compare across backends.
+#[derive(Clone, Debug)]
+pub struct ProcessSupervisedReport {
+    /// Per-step mean losses, stitched across recoveries.
+    pub losses: Vec<f32>,
+    /// Final eval loss, averaged over ranks.
+    pub final_eval: f32,
+    /// World size the run finished with.
+    pub final_world: usize,
+    /// One entry per recovery, in order.
+    pub recoveries: Vec<RecoveryReport>,
+    /// Final round, per rank: `(collective-kind name, bytes, messages)`.
+    pub traffic: Vec<Vec<(String, u64, u64)>>,
+    /// Final round, per rank: number of `snapshot-restore` spans the
+    /// rank's timeline recorded (> 0 after a rollback).
+    pub restore_spans: Vec<usize>,
+}
+
+/// Runs `cfg.steps` optimizer steps with every rank a spawned OS process,
+/// recovering from real process death (including injected `kill -9`) by
+/// snapshot rollback + reshard + relaunch.
+///
+/// Faults from `cfg.faults` are injected in the first round only, same as
+/// the thread supervisor; `opts.kill` adds genuine SIGKILL on top.
+///
+/// # Panics
+/// Panics on unsupported configs (mp > 1, DDP stage), when no consistent
+/// snapshot survives a failure, or when `cfg.max_recoveries` is exceeded.
+pub fn run_supervised_process(
+    cfg: &SupervisorConfig,
+    opts: &ProcessWorldOptions,
+) -> ProcessSupervisedReport {
+    assert_eq!(
+        cfg.setup.grid.mp_degree(),
+        1,
+        "process supervisor supports pure data-parallel grids (mp = 1)"
+    );
+    assert!(
+        cfg.setup.zero.stage.partitions_optimizer(),
+        "process supervisor requires sharded optimizer state (ZeRO stages 1-3)"
+    );
+    assert!(cfg.snapshot_every > 0, "snapshot_every must be positive");
+    cfg.setup.model.validate();
+    cfg.setup.zero.validate();
+
+    let mut world = cfg.setup.grid.dp_degree();
+    let mut start_step: u64 = 0;
+    let mut restore_dir: Option<PathBuf> = None;
+    let mut recoveries: Vec<RecoveryReport> = Vec::new();
+    let mut losses: Vec<f32> = Vec::new();
+    let mut round = 0usize;
+
+    loop {
+        assert_eq!(
+            cfg.setup.global_batch % world,
+            0,
+            "global batch {} must divide the surviving world {world}",
+            cfg.setup.global_batch
+        );
+        let plan = if round == 0 {
+            cfg.faults.clone()
+        } else {
+            FaultPlan::new()
+        };
+        let outs = run_process_round(
+            cfg,
+            opts,
+            world,
+            start_step,
+            restore_dir.as_deref(),
+            &plan,
+            round,
+        );
+
+        let mut dead: Vec<usize> = Vec::new();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (rank, out) in outs.iter().enumerate() {
+            match out {
+                RankOutcome::Finished(res) => {
+                    if let Some(msg) = &res.error {
+                        failures.push((rank, msg.clone()));
+                        if res.self_fault {
+                            dead.push(rank);
+                        }
+                    }
+                }
+                RankOutcome::Died(msg) => {
+                    failures.push((rank, msg.clone()));
+                    dead.push(rank);
+                }
+            }
+        }
+
+        if failures.is_empty() {
+            let finished: Vec<&WorkerResult> = outs
+                .iter()
+                .map(|o| match o {
+                    RankOutcome::Finished(res) => res,
+                    RankOutcome::Died(_) => unreachable!("no failures yet a rank died"),
+                })
+                .collect();
+            let completed = finished[0].losses.len();
+            for i in 0..completed {
+                let mean = finished.iter().map(|r| r.losses[i]).sum::<f32>()
+                    / finished.len() as f32;
+                losses.push(mean);
+            }
+            let evals: Vec<f32> = finished.iter().filter_map(|r| r.eval).collect();
+            let final_eval = evals.iter().sum::<f32>() / evals.len().max(1) as f32;
+            return ProcessSupervisedReport {
+                losses,
+                final_eval,
+                final_world: world,
+                recoveries,
+                traffic: finished.iter().map(|r| r.traffic.clone()).collect(),
+                restore_spans: finished.iter().map(|r| r.restore_spans).collect(),
+            };
+        }
+
+        // ----- recovery: identical protocol to the thread supervisor -----
+        let t0 = Instant::now();
+        assert!(
+            recoveries.len() < cfg.max_recoveries,
+            "process supervisor: exceeded {} recoveries; last failures: {failures:?}",
+            cfg.max_recoveries
+        );
+        let new_world = world - dead.len();
+        assert!(
+            new_world > 0,
+            "no surviving ranks to recover with: {failures:?}"
+        );
+
+        let reached = outs
+            .iter()
+            .filter_map(|o| match o {
+                RankOutcome::Finished(res) => Some(start_step + res.losses.len() as u64),
+                RankOutcome::Died(_) => None,
+            })
+            .max()
+            .unwrap_or(start_step);
+
+        let (snap_step, snaps) =
+            latest_consistent_snapshot(&cfg.snapshot_dir, reached, cfg.snapshot_every as u64)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "process supervisor: no consistent snapshot to recover from in {:?}",
+                        cfg.snapshot_dir
+                    )
+                });
+        let bytes_moved = snaps
+            .iter()
+            .map(|s| 4 * (s.master.len() + s.opt_m.len() + s.opt_v.len()) as u64)
+            .sum();
+
+        losses.truncate(snap_step as usize);
+        for step in losses.len() as u64..snap_step {
+            let i = (step - start_step) as usize;
+            let vals: Vec<f32> = outs
+                .iter()
+                .filter_map(|o| match o {
+                    RankOutcome::Finished(res) => res.losses.get(i).copied(),
+                    RankOutcome::Died(_) => None,
+                })
+                .collect();
+            assert!(
+                !vals.is_empty(),
+                "no loss record for step {step} below snapshot step {snap_step}"
+            );
+            losses.push(vals.iter().sum::<f32>() / vals.len() as f32);
+        }
+
+        // Reshard on the driver and hand each survivor its shard on disk.
+        let resharded = reshard(&snaps, new_world);
+        let rdir = opts.run_dir.join(format!("restore-{round}"));
+        std::fs::create_dir_all(&rdir).expect("create restore dir");
+        for shard in &resharded {
+            shard.save(&rdir).expect("write resharded shard");
+        }
+
+        recoveries.push(RecoveryReport {
+            failed_ranks: dead.clone(),
+            failures,
+            old_world: world,
+            new_world,
+            resumed_from_step: snap_step,
+            steps_lost: reached.saturating_sub(snap_step),
+            bytes_moved,
+            wall_time: t0.elapsed(),
+        });
+
+        world = new_world;
+        start_step = snap_step;
+        restore_dir = Some(rdir);
+        round += 1;
+    }
+}
+
+/// One rank's fate in one round, from the driver's point of view.
+enum RankOutcome {
+    /// The process exited and renamed a parseable result file into place.
+    Finished(WorkerResult),
+    /// SIGKILL, panic, or a vanished result file: the rank is gone and
+    /// its partial history with it.
+    Died(String),
+}
+
+/// Spawns `world` workers, runs the kill watcher, reaps everyone, and
+/// collects per-rank outcomes.
+fn run_process_round(
+    cfg: &SupervisorConfig,
+    opts: &ProcessWorldOptions,
+    world: usize,
+    start_step: u64,
+    restore_dir: Option<&Path>,
+    plan: &FaultPlan,
+    round: usize,
+) -> Vec<RankOutcome> {
+    let round_dir = opts.run_dir.join(format!("round-{round}"));
+    let sock_dir = round_dir.join("sockets");
+    std::fs::create_dir_all(&sock_dir).expect("create fabric socket dir");
+    let token = zero_comm::process::fresh_token();
+
+    let mut specs = Vec::with_capacity(world);
+    for rank in 0..world {
+        let spec = WorkerSpec {
+            rank,
+            world,
+            token,
+            socket_dir: sock_dir.clone(),
+            snapshot_dir: cfg.snapshot_dir.clone(),
+            restore_dir: restore_dir.map(Path::to_path_buf),
+            result_path: round_dir.join(format!("result-{rank}.txt")),
+            progress_path: round_dir.join(format!("progress-{rank}.txt")),
+            model: cfg.setup.model,
+            zero: cfg.setup.zero,
+            global_batch: cfg.setup.global_batch,
+            seed: cfg.setup.seed,
+            steps: cfg.steps,
+            start_step,
+            snapshot_every: cfg.snapshot_every,
+            recv_timeout: cfg.recv_timeout,
+            heartbeat_interval: opts.heartbeat_interval,
+            liveness_timeout: opts.liveness_timeout,
+            handshake_timeout: opts.handshake_timeout,
+            faults: plan.clone(),
+        };
+        let spec_path = round_dir.join(format!("spec-{rank}.txt"));
+        std::fs::write(&spec_path, spec.serialize()).expect("write worker spec");
+        specs.push((spec, spec_path));
+    }
+
+    let cmds: Vec<Command> = specs
+        .iter()
+        .map(|(_, path)| opts.worker.command(path))
+        .collect();
+    let mut procs = RankProcs::spawn(cmds).expect("spawn rank processes");
+
+    // Kill watcher: poll the victim's progress file and SIGKILL it the
+    // moment it has completed `after_step` steps — a genuinely
+    // asynchronous death in the middle of the following step.
+    if round == 0 {
+        if let Some(kill) = opts.kill {
+            assert!(kill.rank < world, "kill target outside the world");
+            let progress = specs[kill.rank].0.progress_path.clone();
+            let deadline = Instant::now() + opts.round_timeout;
+            loop {
+                if read_progress(&progress).is_some_and(|done| done >= kill.after_step) {
+                    procs.kill(kill.rank);
+                    break;
+                }
+                // If the fleet already exited (fast failure), stop waiting.
+                if procs.poll() == 0 || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    procs.wait_all(Instant::now() + opts.round_timeout);
+
+    (0..world)
+        .map(|rank| {
+            let (spec, _) = &specs[rank];
+            if procs.died_of_signal(rank) {
+                return RankOutcome::Died(format!("rank {rank}: killed by signal"));
+            }
+            match std::fs::read_to_string(&spec.result_path) {
+                Ok(text) => match WorkerResult::parse(&text) {
+                    Ok(res) => RankOutcome::Finished(res),
+                    Err(e) => RankOutcome::Died(format!("rank {rank}: bad result file: {e}")),
+                },
+                Err(_) => {
+                    let status = procs
+                        .status(rank)
+                        .map(|s| format!("{s}"))
+                        .unwrap_or_else(|| "unreaped".into());
+                    RankOutcome::Died(format!(
+                        "rank {rank}: exited ({status}) without a result"
+                    ))
+                }
+            }
+        })
+        .collect()
+}
+
+fn read_progress(path: &Path) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Worker dispatch hook: call this *first* in `main` (or from a test
+/// shim). If [`WORKER_SPEC_ENV`] is set, the process runs one rank to
+/// completion and exits — it never returns. Otherwise it returns
+/// immediately and the caller proceeds as the driver / CLI.
+pub fn maybe_run_worker() {
+    let Ok(spec_path) = std::env::var(WORKER_SPEC_ENV) else {
+        return;
+    };
+    let code = match std::fs::read_to_string(&spec_path) {
+        Ok(text) => run_worker(&text),
+        Err(e) => {
+            eprintln!("zero worker: cannot read spec {spec_path}: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run_worker(text: &str) -> i32 {
+    let spec = match WorkerSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("zero worker: bad spec: {e}");
+            return 2;
+        }
+    };
+    let mut pcfg = ProcessWorldConfig::new(&spec.socket_dir, spec.world);
+    pcfg.token = spec.token;
+    pcfg.recv_timeout = spec.recv_timeout;
+    pcfg.heartbeat_interval = spec.heartbeat_interval;
+    pcfg.liveness_timeout = spec.liveness_timeout;
+    pcfg.handshake_timeout = spec.handshake_timeout;
+    pcfg.faults = spec.faults.clone();
+    let comm = match connect_process_rank(spec.rank, &pcfg) {
+        Ok(comm) => comm,
+        Err(e) => {
+            eprintln!("zero worker rank {}: handshake failed: {e}", spec.rank);
+            return 3;
+        }
+    };
+    let result = run_rank(&spec, comm);
+    match result.write_atomic(&spec.result_path) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("zero worker rank {}: cannot write result: {e}", spec.rank);
+            4
+        }
+    }
+}
+
+/// The worker-side mirror of the thread supervisor's per-rank round
+/// closure: restore (or write the step-0 floor), train with snapshot
+/// cadence and per-step progress reporting, then eval.
+fn run_rank(spec: &WorkerSpec, comm: zero_comm::Communicator) -> WorkerResult {
+    let rank = spec.rank;
+    let world = spec.world;
+    let local_batch = spec.global_batch / world;
+    // Same corpus formula as the thread supervisor — the schedule is a
+    // function of the global step, which is what makes cross-backend and
+    // cross-world-size comparisons bitwise meaningful.
+    let corpus = SyntheticCorpus::generate(
+        spec.model.vocab,
+        (spec.global_batch * (spec.model.seq + 1) * (spec.steps + 2)).max(10_000),
+        spec.seed ^ 0x5EED,
+    );
+    let full_params = init_full_params(&spec.model, spec.seed);
+    let gpt = Gpt::new_mp(spec.model, 1);
+    let grid = Grid::new(world, 1);
+    let mut engine = RankEngine::new(gpt, &full_params, spec.zero, grid, comm);
+
+    let finish = |engine: &RankEngine, losses: Vec<f32>, eval, error: Option<CommError>| {
+        let timeline = engine.timeline();
+        let snap = engine.traffic();
+        WorkerResult {
+            losses,
+            eval,
+            self_fault: error.as_ref().is_some_and(|e| e.is_self_fault()),
+            error: error.map(|e| e.to_string()),
+            restore_spans: timeline.count_named(SpanCategory::Checkpoint, "snapshot-restore"),
+            traffic: ALL_KINDS
+                .iter()
+                .map(|&k| (k.name().to_string(), snap.bytes(k), snap.messages(k)))
+                .collect(),
+        }
+    };
+
+    if let Some(rdir) = &spec.restore_dir {
+        let shard = match RankSnapshot::load(rdir, rank) {
+            Ok(shard) => shard,
+            Err(e) => {
+                return WorkerResult {
+                    losses: Vec::new(),
+                    eval: None,
+                    error: Some(format!("restore shard unreadable: {e}")),
+                    self_fault: true,
+                    restore_spans: 0,
+                    traffic: Vec::new(),
+                };
+            }
+        };
+        if let Err(e) = engine.try_restore_snapshot(&shard) {
+            return finish(&engine, Vec::new(), None, Some(e));
+        }
+    } else {
+        engine
+            .save_snapshot()
+            .save(&snapshot_dir_for(&spec.snapshot_dir, 0))
+            .expect("write step-0 snapshot");
+    }
+
+    let mut losses = Vec::new();
+    for step in spec.start_step as usize..spec.steps {
+        let (ids, targets) =
+            corpus.rank_batch(step, spec.global_batch, spec.model.seq, world, rank);
+        match engine.try_train_step(&ids, &targets, local_batch) {
+            Ok(out) => losses.push(out.loss),
+            Err(e) => return finish(&engine, losses, None, Some(e)),
+        }
+        if (step + 1) % spec.snapshot_every == 0 {
+            engine
+                .save_snapshot()
+                .save(&snapshot_dir_for(&spec.snapshot_dir, (step + 1) as u64))
+                .expect("write snapshot shard");
+        }
+        write_atomic(&spec.progress_path, &format!("{}\n", step + 1))
+            .expect("write progress file");
+    }
+
+    let (ids, targets) = corpus.rank_batch(
+        spec.steps + 1,
+        spec.global_batch,
+        spec.model.seq,
+        world,
+        rank,
+    );
+    match engine.try_eval_loss(&ids, &targets, local_batch) {
+        Ok(l) => finish(&engine, losses, Some(l), None),
+        Err(e) => finish(&engine, losses, None, Some(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec + result serialization (bit-exact, line-oriented key=value text)
+// ---------------------------------------------------------------------------
+
+/// Everything one rank process needs, self-contained. Floats travel as
+/// exact bit patterns so the worker reconstructs configs bitwise.
+#[derive(Clone, Debug)]
+struct WorkerSpec {
+    rank: usize,
+    world: usize,
+    token: u64,
+    socket_dir: PathBuf,
+    snapshot_dir: PathBuf,
+    restore_dir: Option<PathBuf>,
+    result_path: PathBuf,
+    progress_path: PathBuf,
+    model: ModelConfig,
+    zero: ZeroConfig,
+    global_batch: usize,
+    seed: u64,
+    steps: usize,
+    start_step: u64,
+    snapshot_every: usize,
+    recv_timeout: Duration,
+    heartbeat_interval: Duration,
+    liveness_timeout: Duration,
+    handshake_timeout: Duration,
+    faults: FaultPlan,
+}
+
+fn f32_hex(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+impl WorkerSpec {
+    fn serialize(&self) -> String {
+        let mut s = String::new();
+        let mut kv = |k: &str, v: String| {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(&v);
+            s.push('\n');
+        };
+        kv("rank", self.rank.to_string());
+        kv("world", self.world.to_string());
+        kv("token", self.token.to_string());
+        kv("socket_dir", self.socket_dir.display().to_string());
+        kv("snapshot_dir", self.snapshot_dir.display().to_string());
+        if let Some(r) = &self.restore_dir {
+            kv("restore_dir", r.display().to_string());
+        }
+        kv("result_path", self.result_path.display().to_string());
+        kv("progress_path", self.progress_path.display().to_string());
+
+        kv("vocab", self.model.vocab.to_string());
+        kv("seq", self.model.seq.to_string());
+        kv("hidden", self.model.hidden.to_string());
+        kv("layers", self.model.layers.to_string());
+        kv("heads", self.model.heads.to_string());
+
+        let z = &self.zero;
+        kv(
+            "stage",
+            match z.stage {
+                ZeroStage::Ddp => "ddp".into(),
+                ZeroStage::One => "1".into(),
+                ZeroStage::Two => "2".into(),
+                ZeroStage::Three => "3".into(),
+            },
+        );
+        kv("fp16", z.fp16.to_string());
+        kv("checkpoint_activations", z.checkpoint_activations.to_string());
+        kv("checkpoint_interval", z.checkpoint_interval.to_string());
+        kv("partition_activations", z.partition_activations.to_string());
+        kv("offload_checkpoints", z.offload_checkpoints.to_string());
+        kv("bucket_elems", z.bucket_elems.to_string());
+        kv("use_arena", z.use_arena.to_string());
+        kv("initial_loss_scale", f32_hex(z.initial_loss_scale));
+        if let Some(c) = z.clip_grad_norm {
+            kv("clip_grad_norm", f64_hex(c));
+        }
+        kv("dropout", f32_hex(z.dropout));
+        if let Some(n) = z.node_size {
+            kv("node_size", n.to_string());
+        }
+        kv("overlap", z.overlap.to_string());
+        match &z.optimizer {
+            OptimizerKind::Adam(a) => kv(
+                "optimizer",
+                format!(
+                    "adam:{}:{}:{}:{}:{}",
+                    f32_hex(a.lr),
+                    f32_hex(a.beta1),
+                    f32_hex(a.beta2),
+                    f32_hex(a.eps),
+                    f32_hex(a.weight_decay)
+                ),
+            ),
+            OptimizerKind::Sgd(c) => kv(
+                "optimizer",
+                format!("sgd:{}:{}", f32_hex(c.lr), f32_hex(c.momentum)),
+            ),
+        }
+        match z.lr_schedule {
+            LrSchedule::Constant => kv("lr_schedule", "constant".into()),
+            LrSchedule::Warmup { warmup } => kv("lr_schedule", format!("warmup:{warmup}")),
+            LrSchedule::WarmupLinear {
+                warmup,
+                total,
+                floor,
+            } => kv(
+                "lr_schedule",
+                format!("warmup_linear:{warmup}:{total}:{}", f32_hex(floor)),
+            ),
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => kv(
+                "lr_schedule",
+                format!("warmup_cosine:{warmup}:{total}:{}", f32_hex(floor)),
+            ),
+        }
+
+        kv("global_batch", self.global_batch.to_string());
+        kv("seed", self.seed.to_string());
+        kv("steps", self.steps.to_string());
+        kv("start_step", self.start_step.to_string());
+        kv("snapshot_every", self.snapshot_every.to_string());
+        kv("recv_timeout_ms", self.recv_timeout.as_millis().to_string());
+        kv(
+            "heartbeat_ms",
+            self.heartbeat_interval.as_millis().to_string(),
+        );
+        kv("liveness_ms", self.liveness_timeout.as_millis().to_string());
+        kv(
+            "handshake_ms",
+            self.handshake_timeout.as_millis().to_string(),
+        );
+
+        kv("fault_seed", self.faults.seed().to_string());
+        for f in self.faults.specs() {
+            kv("fault", serialize_fault(f));
+        }
+        s
+    }
+
+    fn parse(text: &str) -> Result<WorkerSpec, String> {
+        let kv = Kv::parse(text);
+        let model = ModelConfig {
+            vocab: kv.req("vocab")?,
+            seq: kv.req("seq")?,
+            hidden: kv.req("hidden")?,
+            layers: kv.req("layers")?,
+            heads: kv.req("heads")?,
+        };
+        let stage = match kv.str("stage")? {
+            "ddp" => ZeroStage::Ddp,
+            "1" => ZeroStage::One,
+            "2" => ZeroStage::Two,
+            "3" => ZeroStage::Three,
+            other => return Err(format!("unknown stage {other:?}")),
+        };
+        let optimizer = parse_optimizer(kv.str("optimizer")?)?;
+        let lr_schedule = parse_schedule(kv.str("lr_schedule")?)?;
+        let zero = ZeroConfig {
+            stage,
+            fp16: kv.req("fp16")?,
+            checkpoint_activations: kv.req("checkpoint_activations")?,
+            checkpoint_interval: kv.req("checkpoint_interval")?,
+            partition_activations: kv.req("partition_activations")?,
+            offload_checkpoints: kv.req("offload_checkpoints")?,
+            bucket_elems: kv.req("bucket_elems")?,
+            use_arena: kv.req("use_arena")?,
+            initial_loss_scale: kv.f32_bits("initial_loss_scale")?,
+            clip_grad_norm: kv.opt_f64_bits("clip_grad_norm")?,
+            optimizer,
+            lr_schedule,
+            dropout: kv.f32_bits("dropout")?,
+            node_size: kv.opt("node_size")?,
+            overlap: kv.req("overlap")?,
+        };
+        let mut faults = FaultPlan::seeded(kv.req("fault_seed")?);
+        for line in kv.all("fault") {
+            faults = faults.with(parse_fault(line)?);
+        }
+        Ok(WorkerSpec {
+            rank: kv.req("rank")?,
+            world: kv.req("world")?,
+            token: kv.req("token")?,
+            socket_dir: PathBuf::from(kv.str("socket_dir")?),
+            snapshot_dir: PathBuf::from(kv.str("snapshot_dir")?),
+            restore_dir: kv.get("restore_dir").map(PathBuf::from),
+            result_path: PathBuf::from(kv.str("result_path")?),
+            progress_path: PathBuf::from(kv.str("progress_path")?),
+            model,
+            zero,
+            global_batch: kv.req("global_batch")?,
+            seed: kv.req("seed")?,
+            steps: kv.req("steps")?,
+            start_step: kv.req("start_step")?,
+            snapshot_every: kv.req("snapshot_every")?,
+            recv_timeout: Duration::from_millis(kv.req("recv_timeout_ms")?),
+            heartbeat_interval: Duration::from_millis(kv.req("heartbeat_ms")?),
+            liveness_timeout: Duration::from_millis(kv.req("liveness_ms")?),
+            handshake_timeout: Duration::from_millis(kv.req("handshake_ms")?),
+            faults,
+        })
+    }
+}
+
+fn serialize_fault(f: &FaultSpec) -> String {
+    let trigger = match f.trigger {
+        FaultTrigger::AtOp(n) => format!("op:{n}"),
+        FaultTrigger::AtKindOp(kind, n) => format!("kindop:{}:{n}", kind.name()),
+    };
+    let kind = match f.kind {
+        FaultKind::Crash => "crash".to_string(),
+        FaultKind::Hang => "hang".to_string(),
+        FaultKind::CorruptNextSend => "corrupt".to_string(),
+        FaultKind::Delay(d) => format!("delay:{}", d.as_millis()),
+    };
+    format!("rank:{};{trigger};{kind}", f.rank)
+}
+
+fn parse_fault(line: &str) -> Result<FaultSpec, String> {
+    let parts: Vec<&str> = line.split(';').collect();
+    let [rank_part, trigger_part, kind_part] = parts.as_slice() else {
+        return Err(format!("fault spec {line:?} needs 3 ;-separated parts"));
+    };
+    let rank = rank_part
+        .strip_prefix("rank:")
+        .and_then(|r| r.parse().ok())
+        .ok_or_else(|| format!("bad fault rank in {line:?}"))?;
+    let trigger = if let Some(n) = trigger_part.strip_prefix("op:") {
+        FaultTrigger::AtOp(n.parse().map_err(|_| format!("bad op in {line:?}"))?)
+    } else if let Some(rest) = trigger_part.strip_prefix("kindop:") {
+        let (name, n) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("bad kindop in {line:?}"))?;
+        let kind = ALL_KINDS
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| format!("unknown collective kind {name:?}"))?;
+        FaultTrigger::AtKindOp(kind, n.parse().map_err(|_| format!("bad op in {line:?}"))?)
+    } else {
+        return Err(format!("bad fault trigger in {line:?}"));
+    };
+    let kind = match *kind_part {
+        "crash" => FaultKind::Crash,
+        "hang" => FaultKind::Hang,
+        "corrupt" => FaultKind::CorruptNextSend,
+        other => {
+            let ms = other
+                .strip_prefix("delay:")
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| format!("bad fault kind in {line:?}"))?;
+            FaultKind::Delay(Duration::from_millis(ms))
+        }
+    };
+    Ok(FaultSpec {
+        rank,
+        trigger,
+        kind,
+    })
+}
+
+fn parse_optimizer(text: &str) -> Result<OptimizerKind, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    match parts.as_slice() {
+        ["adam", lr, b1, b2, eps, wd] => Ok(OptimizerKind::Adam(AdamConfig {
+            lr: parse_f32_bits(lr)?,
+            beta1: parse_f32_bits(b1)?,
+            beta2: parse_f32_bits(b2)?,
+            eps: parse_f32_bits(eps)?,
+            weight_decay: parse_f32_bits(wd)?,
+        })),
+        ["sgd", lr, momentum] => Ok(OptimizerKind::Sgd(SgdConfig {
+            lr: parse_f32_bits(lr)?,
+            momentum: parse_f32_bits(momentum)?,
+        })),
+        _ => Err(format!("unknown optimizer {text:?}")),
+    }
+}
+
+fn parse_schedule(text: &str) -> Result<LrSchedule, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    match parts.as_slice() {
+        ["constant"] => Ok(LrSchedule::Constant),
+        ["warmup", w] => Ok(LrSchedule::Warmup {
+            warmup: w.parse().map_err(|_| format!("bad warmup in {text:?}"))?,
+        }),
+        ["warmup_linear", w, t, f] => Ok(LrSchedule::WarmupLinear {
+            warmup: w.parse().map_err(|_| format!("bad warmup in {text:?}"))?,
+            total: t.parse().map_err(|_| format!("bad total in {text:?}"))?,
+            floor: parse_f32_bits(f)?,
+        }),
+        ["warmup_cosine", w, t, f] => Ok(LrSchedule::WarmupCosine {
+            warmup: w.parse().map_err(|_| format!("bad warmup in {text:?}"))?,
+            total: t.parse().map_err(|_| format!("bad total in {text:?}"))?,
+            floor: parse_f32_bits(f)?,
+        }),
+        _ => Err(format!("unknown lr schedule {text:?}")),
+    }
+}
+
+fn parse_f32_bits(hex: &str) -> Result<f32, String> {
+    u32::from_str_radix(hex, 16)
+        .map(f32::from_bits)
+        .map_err(|_| format!("bad f32 bit pattern {hex:?}"))
+}
+
+fn parse_f64_bits(hex: &str) -> Result<f64, String> {
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern {hex:?}"))
+}
+
+/// What a worker reports back; floats travel as bit patterns so the
+/// driver's stitched history is bitwise identical to an in-process run.
+#[derive(Clone, Debug)]
+struct WorkerResult {
+    losses: Vec<f32>,
+    eval: Option<f32>,
+    error: Option<String>,
+    self_fault: bool,
+    restore_spans: usize,
+    traffic: Vec<(String, u64, u64)>,
+}
+
+impl WorkerResult {
+    fn serialize(&self) -> String {
+        let losses: Vec<String> = self.losses.iter().map(|l| f32_hex(*l)).collect();
+        let traffic: Vec<String> = self
+            .traffic
+            .iter()
+            .map(|(name, b, m)| format!("{name}:{b}:{m}"))
+            .collect();
+        let mut s = String::new();
+        s.push_str(&format!("losses={}\n", losses.join(",")));
+        if let Some(eval) = self.eval {
+            s.push_str(&format!("eval={}\n", f32_hex(eval)));
+        }
+        if let Some(err) = &self.error {
+            // Result files are line-oriented; typed comm errors render on
+            // one line, but don't let a future multi-line Display tear it.
+            s.push_str(&format!("error={}\n", err.replace('\n', " ")));
+        }
+        s.push_str(&format!("self_fault={}\n", self.self_fault));
+        s.push_str(&format!("restore_spans={}\n", self.restore_spans));
+        s.push_str(&format!("traffic={}\n", traffic.join(";")));
+        s
+    }
+
+    fn parse(text: &str) -> Result<WorkerResult, String> {
+        let kv = Kv::parse(text);
+        let losses = kv
+            .str("losses")?
+            .split(',')
+            .filter(|part| !part.is_empty())
+            .map(parse_f32_bits)
+            .collect::<Result<Vec<f32>, String>>()?;
+        let eval = match kv.get("eval") {
+            Some(hex) => Some(parse_f32_bits(hex)?),
+            None => None,
+        };
+        let traffic = kv
+            .str("traffic")?
+            .split(';')
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                let fields: Vec<&str> = part.split(':').collect();
+                let [name, b, m] = fields.as_slice() else {
+                    return Err(format!("bad traffic entry {part:?}"));
+                };
+                let parsed_b = b.parse().map_err(|_| format!("bad bytes in {part:?}"))?;
+                let parsed_m = m.parse().map_err(|_| format!("bad count in {part:?}"))?;
+                Ok((name.to_string(), parsed_b, parsed_m))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(WorkerResult {
+            losses,
+            eval,
+            error: kv.get("error").map(str::to_string),
+            self_fault: kv.req("self_fault")?,
+            restore_spans: kv.req("restore_spans")?,
+            traffic,
+        })
+    }
+
+    fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        write_atomic(path, &self.serialize())
+    }
+}
+
+/// Write-then-rename so readers never observe a torn file: the rename is
+/// what commits a worker's result (or progress tick).
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Minimal line-oriented `key=value` store with typed, error-reporting
+/// accessors. Repeated keys are kept in order (fault specs).
+struct Kv<'a> {
+    entries: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Kv<'a> {
+    fn parse(text: &'a str) -> Kv<'a> {
+        let entries = text
+            .lines()
+            .filter_map(|line| line.split_once('='))
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .collect();
+        Kv { entries }
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn all(&self, key: &str) -> impl Iterator<Item = &'a str> + '_ {
+        let key = key.to_string();
+        self.entries
+            .iter()
+            .filter(move |(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, String> {
+        self.get(key).ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    fn req<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("unparseable value for {key:?}"))
+    }
+
+    fn opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("unparseable value for {key:?}")),
+        }
+    }
+
+    fn f32_bits(&self, key: &str) -> Result<f32, String> {
+        parse_f32_bits(self.str(key)?)
+    }
+
+    fn opt_f64_bits(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(hex) => parse_f64_bits(hex).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zero_comm::CollectiveKind;
+
+    fn sample_spec() -> WorkerSpec {
+        let mut zero = ZeroConfig::fp32_exact(ZeroStage::Two);
+        zero.bucket_elems = 512;
+        zero.clip_grad_norm = Some(0.75);
+        zero.lr_schedule = LrSchedule::WarmupCosine {
+            warmup: 3,
+            total: 50,
+            floor: 0.1,
+        };
+        WorkerSpec {
+            rank: 2,
+            world: 4,
+            token: 0xDEAD_BEEF_CAFE,
+            socket_dir: PathBuf::from("/tmp/fabric"),
+            snapshot_dir: PathBuf::from("/tmp/snaps"),
+            restore_dir: Some(PathBuf::from("/tmp/restore-0")),
+            result_path: PathBuf::from("/tmp/result-2.txt"),
+            progress_path: PathBuf::from("/tmp/progress-2.txt"),
+            model: ModelConfig {
+                vocab: 32,
+                seq: 8,
+                hidden: 16,
+                layers: 2,
+                heads: 2,
+            },
+            zero,
+            global_batch: 12,
+            seed: 11,
+            steps: 20,
+            start_step: 5,
+            snapshot_every: 5,
+            recv_timeout: Duration::from_millis(500),
+            heartbeat_interval: Duration::from_millis(25),
+            liveness_timeout: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(20),
+            faults: FaultPlan::seeded(99)
+                .with_crash(2, 7)
+                .with_crash_at_kind(1, CollectiveKind::AllGather, 3)
+                .with_hang(0, 40)
+                .with_corruption(1, 25)
+                .with_delay(3, 2, Duration::from_millis(15)),
+        }
+    }
+
+    #[test]
+    fn worker_spec_round_trips_exactly() {
+        let spec = sample_spec();
+        let parsed = WorkerSpec::parse(&spec.serialize()).expect("parse spec");
+        assert_eq!(parsed.rank, spec.rank);
+        assert_eq!(parsed.world, spec.world);
+        assert_eq!(parsed.token, spec.token);
+        assert_eq!(parsed.restore_dir, spec.restore_dir);
+        assert_eq!(parsed.model, spec.model);
+        assert_eq!(parsed.zero, spec.zero);
+        assert_eq!(parsed.global_batch, spec.global_batch);
+        assert_eq!(parsed.start_step, spec.start_step);
+        assert_eq!(parsed.recv_timeout, spec.recv_timeout);
+        assert_eq!(parsed.faults.seed(), spec.faults.seed());
+        assert_eq!(parsed.faults.specs(), spec.faults.specs());
+    }
+
+    #[test]
+    fn worker_spec_floats_survive_bitwise() {
+        let mut spec = sample_spec();
+        // Values with no short decimal representation.
+        if let OptimizerKind::Adam(a) = &mut spec.zero.optimizer {
+            a.lr = f32::from_bits(0x3a83_126f);
+            a.eps = f32::MIN_POSITIVE;
+        }
+        spec.zero.dropout = f32::from_bits(0x3e99_999a);
+        spec.zero.clip_grad_norm = Some(f64::from_bits(0x3FB9_9999_9999_999A));
+        let parsed = WorkerSpec::parse(&spec.serialize()).expect("parse spec");
+        assert_eq!(parsed.zero, spec.zero);
+    }
+
+    #[test]
+    fn worker_result_round_trips_bitwise_including_nan_free_extremes() {
+        let res = WorkerResult {
+            losses: vec![f32::from_bits(0x7f7f_ffff), 1.5e-40, -0.0],
+            eval: Some(f32::from_bits(0x0000_0001)),
+            error: Some("rank 1 lost peer 2".to_string()),
+            self_fault: true,
+            restore_spans: 2,
+            traffic: vec![
+                ("all-reduce".into(), 123_456, 42),
+                ("p2p".into(), 0, 0),
+            ],
+        };
+        let parsed = WorkerResult::parse(&res.serialize()).expect("parse result");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&parsed.losses), bits(&res.losses));
+        assert_eq!(parsed.eval.map(f32::to_bits), res.eval.map(f32::to_bits));
+        assert_eq!(parsed.error, res.error);
+        assert!(parsed.self_fault);
+        assert_eq!(parsed.restore_spans, 2);
+        assert_eq!(parsed.traffic, res.traffic);
+    }
+
+    #[test]
+    fn empty_loss_list_round_trips() {
+        let res = WorkerResult {
+            losses: Vec::new(),
+            eval: None,
+            error: None,
+            self_fault: false,
+            restore_spans: 0,
+            traffic: Vec::new(),
+        };
+        let parsed = WorkerResult::parse(&res.serialize()).expect("parse result");
+        assert!(parsed.losses.is_empty());
+        assert!(parsed.eval.is_none());
+        assert!(parsed.error.is_none());
+    }
+
+    #[test]
+    fn malformed_spec_reports_missing_keys_not_panics() {
+        let err = WorkerSpec::parse("rank=0\nworld=2\n").expect_err("must fail");
+        assert!(err.contains("missing key"), "got {err}");
+        let err = WorkerSpec::parse("").expect_err("must fail");
+        assert!(err.contains("missing key"), "got {err}");
+    }
+}

@@ -381,7 +381,7 @@ pub fn snapshot_dir_for(root: &Path, step: u64) -> PathBuf {
 /// missing, or inconsistent checkpoints are skipped — that is the point.
 /// The writing world size is read from the shards themselves, so a
 /// checkpoint from a larger (pre-failure) world remains usable.
-fn latest_consistent_snapshot(
+pub(crate) fn latest_consistent_snapshot(
     root: &Path,
     reached: u64,
     cadence: u64,

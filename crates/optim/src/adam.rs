@@ -12,7 +12,7 @@ use std::sync::Arc;
 use zero_trace::{SpanCategory, TraceRecorder};
 
 /// Adam hyperparameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AdamConfig {
     /// Learning rate.
     pub lr: f32,

@@ -3,7 +3,7 @@
 //! parameter instead of Adam's 8.
 
 /// SGD hyperparameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SgdConfig {
     /// Learning rate.
     pub lr: f32,

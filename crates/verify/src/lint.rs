@@ -89,6 +89,12 @@ const COMM_TOKENS: &[&str] = &[
     "gather_in",
     "scatter_in",
     "hierarchical_all_reduce",
+    // Transport-fabric entry points (trait methods and the socket
+    // backend's frame writer): a panic here severs the wire mid-frame
+    // and every peer observes PeerLost instead of the real error.
+    "send_msg",
+    "recv_msg",
+    "write_frame",
 ];
 
 /// Blocking collective entry points (the synchronous wrappers). The
@@ -421,6 +427,17 @@ mod tests {
         let src = "fn f() { comm.all_reduce(&mut v, op, group).unwrap(); }\n";
         assert_eq!(lint_str(src), vec!["comm-unwrap"]);
         let src = "fn f() { group.local_index(rank).expect(\"not in group\"); }\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap"]);
+    }
+
+    #[test]
+    fn flags_unwrap_on_transport_calls() {
+        // The process-fabric entry points are comm tokens too.
+        let src = "fn f() { link.send_msg(dst, msg).unwrap(); }\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap"]);
+        let src = "fn f() { let m = link.recv_msg(src, t).expect(\"recv\"); }\n";
+        assert_eq!(lint_str(src), vec!["comm-unwrap"]);
+        let src = "fn f() { write_frame(&writer, &frame).unwrap(); }\n";
         assert_eq!(lint_str(src), vec!["comm-unwrap"]);
     }
 

@@ -32,6 +32,9 @@ impl Args {
 }
 
 fn main() {
+    // Worker dispatch must come first: when ZERO_WORKER_SPEC is set this
+    // process *is* a rank of a process-fabric run and never returns here.
+    zero::core::maybe_run_worker();
     let args = Args(std::env::args().collect());
     if args.flag("--help") {
         println!(
@@ -56,6 +59,17 @@ fn main() {
              --pa           partition activation checkpoints (needs --mp > 1)\n\
              --pa-cpu       offload checkpoints to CPU (needs --pa)\n\
              --clip F       gradient-norm clip                  [off]\n\
+             --fabric NAME  rank fabric: threads | process      [threads]\n\
+                            process spawns one OS process per rank over\n\
+                            Unix sockets, supervised with rollback+reshard\n\
+             --kill R@S     (process fabric) SIGKILL rank R once it has\n\
+                            completed S steps — real fault injection\n\
+             --verify-recovery  (process fabric) after a recovery, rerun\n\
+                            from the rollback snapshot on the thread\n\
+                            backend and require bitwise-identical losses\n\
+             --snapshot-every N  (process fabric) snapshot cadence  [5]\n\
+             --run-dir DIR  (process fabric) scratch dir for sockets,\n\
+                            snapshots, and worker results      [tempdir]\n\
              --text PATH    train on a text file (byte tokens, sets vocab 256)\n\
              --trace PATH   write a Chrome trace-event JSON of every rank's\n\
                             spans (open in chrome://tracing or Perfetto)\n\
@@ -109,6 +123,19 @@ fn main() {
         seed: args.get("--seed", 42u64),
     };
     let steps = args.get("--steps", 50usize);
+
+    let fabric: String = args.get("--fabric", "threads".to_string());
+    match fabric.as_str() {
+        "threads" => {}
+        "process" => {
+            run_process_fabric(&args, setup, steps);
+            return;
+        }
+        other => {
+            eprintln!("unknown fabric {other:?} (expected threads | process)");
+            std::process::exit(2);
+        }
+    }
 
     println!(
         "model: {} params | {} | grid {}x{} | batch {} | {} steps",
@@ -207,6 +234,167 @@ fn main() {
         );
     }
 
+    write_trace_if_requested(&args, &report);
+}
+
+/// Trains with every rank a spawned OS process on the Unix-socket fabric,
+/// supervised for real process death: `--kill R@S` SIGKILLs a rank
+/// mid-run and `--verify-recovery` proves the rollback+reshard resume is
+/// bitwise identical to a clean thread-backend resume from the same
+/// snapshot — the cross-backend recovery guarantee, from the CLI.
+fn run_process_fabric(args: &Args, setup: TrainSetup, steps: usize) {
+    if setup.grid.mp_degree() != 1 {
+        eprintln!("--fabric process needs --mp 1");
+        std::process::exit(2);
+    }
+    if !setup.zero.stage.partitions_optimizer() {
+        eprintln!("--fabric process needs --stage 1, 2, or 3 (supervised resharding)");
+        std::process::exit(2);
+    }
+    let run_root: String = args.get("--run-dir", String::new());
+    let run_dir = if run_root.is_empty() {
+        std::env::temp_dir().join(format!("zero-procworld-{}", std::process::id()))
+    } else {
+        std::path::PathBuf::from(run_root)
+    };
+    let snap_dir = run_dir.join("snapshots");
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot dir");
+
+    let mut cfg = zero::core::SupervisorConfig::new(setup, steps, snap_dir.clone());
+    cfg.snapshot_every = args.get("--snapshot-every", 5usize);
+    let worker = zero::core::WorkerCommand::current_exe(vec!["--zero-worker".into()])
+        .expect("resolve current executable");
+    let mut opts = zero::core::ProcessWorldOptions::new(worker, run_dir.join("fabric"));
+
+    let kill_arg: String = args.get("--kill", String::new());
+    if !kill_arg.is_empty() {
+        let Some((r, s)) = kill_arg.split_once('@') else {
+            eprintln!("--kill wants R@S (rank @ completed-step count)");
+            std::process::exit(2);
+        };
+        let rank = r.parse().unwrap_or_else(|_| {
+            eprintln!("--kill: bad rank {r:?}");
+            std::process::exit(2);
+        });
+        let after_step = s.parse().unwrap_or_else(|_| {
+            eprintln!("--kill: bad step {s:?}");
+            std::process::exit(2);
+        });
+        opts.kill = Some(zero::core::KillSpec { rank, after_step });
+    }
+
+    println!(
+        "model: {} params | {} | fabric process, {} rank processes | batch {} | {} steps",
+        setup.model.total_params(),
+        setup.zero.stage.name(),
+        setup.grid.dp_degree(),
+        setup.global_batch,
+        steps
+    );
+    let t0 = std::time::Instant::now();
+    let report = zero::core::run_supervised_process(&cfg, &opts);
+    let dt = t0.elapsed();
+
+    for (i, loss) in report.losses.iter().enumerate() {
+        if i < 3 || i + 3 >= report.losses.len() || (i + 1) % 10 == 0 {
+            println!("step {:>4}  loss {:.4}", i + 1, loss);
+        }
+    }
+    println!("eval loss: {:.4}", report.final_eval);
+    for rec in &report.recoveries {
+        println!(
+            "recovery: ranks {:?} died, world {} -> {}, rolled back to step {} ({} steps lost, {} checkpoint bytes resharded)",
+            rec.failed_ranks,
+            rec.old_world,
+            rec.new_world,
+            rec.resumed_from_step,
+            rec.steps_lost,
+            rec.bytes_moved,
+        );
+        for (rank, msg) in &rec.failures {
+            println!("  rank {rank}: {msg}");
+        }
+    }
+    println!(
+        "wall time: {:.2?} | final world {}",
+        dt, report.final_world
+    );
+
+    let leaked = count_worker_procs();
+    if leaked > 0 {
+        eprintln!("leak check: {leaked} orphaned --zero-worker processes!");
+        std::process::exit(1);
+    }
+    println!("leak check: no orphaned rank processes");
+
+    if args.flag("--verify-recovery") {
+        let Some(last) = report.recoveries.last() else {
+            println!("verify-recovery: no recovery occurred; nothing to compare");
+            return;
+        };
+        // Control arm on the *thread* backend, from the same snapshot the
+        // process-world rollback used: the comparison is simultaneously a
+        // recovery-correctness and a cross-backend-determinism check.
+        let control_setup = TrainSetup {
+            grid: Grid::new(last.new_world, 1),
+            ..setup
+        };
+        let snap = zero::core::supervisor::snapshot_dir_for(&snap_dir, last.resumed_from_step);
+        // The world that *wrote* the snapshot is recorded in its shards; a
+        // later recovery's `old_world` can be smaller than that (the dir is
+        // only rewritten when the snapshot step advances), so trust the disk.
+        let written_world = zero::core::RankSnapshot::load(&snap, 0)
+            .expect("read control snapshot shard 0")
+            .world as usize;
+        let (control, control_eval) =
+            zero::core::resume_from_snapshot(&control_setup, steps, &snap, written_world);
+        let tail = &report.losses[last.resumed_from_step as usize..];
+        let losses_match = tail.len() == control.len()
+            && tail
+                .iter()
+                .zip(&control)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if losses_match && report.final_eval.to_bits() == control_eval.to_bits() {
+            println!(
+                "verify-recovery: PASS — {} resumed steps + eval bitwise-identical to a clean thread-backend resume",
+                control.len()
+            );
+        } else {
+            eprintln!(
+                "verify-recovery: FAIL — resumed losses diverge from the clean control arm\n  process tail: {tail:?}\n  control:      {control:?}\n  eval {} vs {}",
+                report.final_eval, control_eval
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Counts surviving rank processes by their `--zero-worker` marker arg —
+/// the CLI-level orphan check backing the fabric's reaping guarantee.
+fn count_worker_procs() -> usize {
+    let own = std::process::id().to_string();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.chars().all(|c| c.is_ascii_digit()) && *name != *own
+        })
+        .filter(|e| {
+            std::fs::read(e.path().join("cmdline"))
+                .map(|c| {
+                    c.split(|b| *b == 0)
+                        .any(|arg| arg == b"--zero-worker")
+                })
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn write_trace_if_requested(args: &Args, report: &zero::core::TrainReport) {
     let trace_path: String = args.get("--trace", String::new());
     if !trace_path.is_empty() {
         let timelines: Vec<_> = report.ranks.iter().map(|r| r.timeline.clone()).collect();
