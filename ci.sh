@@ -7,8 +7,13 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> zero-verify (static schedule check + tiling proof + lint)"
-cargo run -q --release -p zero-verify
+echo "==> zero-verify (schedule + tiling + lint + overlap + tracecheck)"
+cargo run -q --release -p zero-verify -- --pass schedule,tiling,lint,overlap,tracecheck
+
+echo "==> zero-verify --pass modelcheck (exhaustive protocol interleavings, explicit state budget)"
+# Prints explored-state counts per protocol; exhausting the budget is a
+# hard failure (coverage incomplete), not a silent pass.
+cargo run -q --release -p zero-verify -- --pass modelcheck --budget 500000
 
 echo "==> cargo test -q"
 cargo test -q

@@ -29,6 +29,7 @@ pub mod fault;
 pub mod group;
 pub mod hierarchical;
 pub mod nonblocking;
+pub mod protocol;
 pub mod stats;
 pub mod process;
 pub mod transport;
@@ -46,7 +47,7 @@ pub use process::{connect_process_rank, ProcessWorldConfig, RankProcs};
 pub use stats::{
     CollectiveKind, TimingSnapshot, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT,
 };
-pub use transport::{Msg, Transport};
+pub use transport::{Msg, ShutdownLatch, TimeoutBarrier, Transport};
 pub use wire::{Frame, WireError, MAX_FRAME_LEN};
 pub use world::{
     launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,

@@ -45,6 +45,7 @@ use zero_trace::TraceRecorder;
 
 use crate::error::CommError;
 use crate::fault::FaultPlan;
+use crate::protocol;
 use crate::stats::TrafficStats;
 use crate::transport::{lock_unpoisoned, Msg, ShutdownLatch, Transport};
 use crate::wire::{self, Frame};
@@ -453,15 +454,14 @@ impl Transport for SocketTransport {
             waited: timeout,
         };
         // Dissemination barrier: round r sends to rank + 2^r and waits on
-        // rank - 2^r, completing in ceil(log2(world)) rounds. Offsets are
-        // distinct per round, so within one generation each ordered pair
-        // carries at most one frame and per-link FIFO keeps rounds in
-        // order. Frames are transport chatter and skip TrafficStats.
-        let mut offset = 1usize;
-        let mut round = 0u32;
-        while offset < self.world {
-            let dst = (self.rank + offset) % self.world;
-            let src = (self.rank + self.world - offset) % self.world;
+        // rank - 2^r, completing in ceil(log2(world)) rounds. The peer
+        // schedule is the shared pure kernel the model checker explores
+        // (`protocol::dissemination_schedule`); offsets are distinct per
+        // round, so within one generation each ordered pair carries at
+        // most one frame and per-link FIFO keeps rounds in order. Frames
+        // are transport chatter and skip TrafficStats.
+        for step in protocol::dissemination_schedule(self.rank, self.world) {
+            let (dst, src, round) = (step.dst, step.src, step.round);
             let frame = wire::encode_barrier(generation, round);
             // A severed peer means the barrier can never complete; report
             // it the way the channel backend reports an unfilled barrier.
@@ -496,8 +496,6 @@ impl Transport for SocketTransport {
                     }
                 }
             }
-            offset *= 2;
-            round += 1;
         }
         Ok(())
     }

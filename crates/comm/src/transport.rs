@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::error::CommError;
+use crate::protocol::{latch, Arrival, BarrierCore};
 
 /// A message between two ranks: an opaque f32 payload, a per-channel
 /// sequence number used to detect mismatched collective schedules, and a
@@ -85,28 +86,32 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// rank's deadline wait can be cancelled once everyone else has shut
 /// down (dropped their [`Communicator`](crate::Communicator)s) and no
 /// peer can possibly still be blocked on the hung rank.
-pub(crate) struct ShutdownLatch {
+///
+/// Public (not `pub(crate)`) so `zero-verify`'s conformance tests can
+/// drive the real latch through the critical schedules its model
+/// checker enumerates.
+pub struct ShutdownLatch {
     live: Mutex<usize>,
     cv: Condvar,
 }
 
 impl ShutdownLatch {
-    pub(crate) fn new(n: usize) -> Arc<ShutdownLatch> {
+    pub fn new(n: usize) -> Arc<ShutdownLatch> {
         Arc::new(ShutdownLatch { live: Mutex::new(n), cv: Condvar::new() })
     }
 
     /// Records one communicator handle going away.
-    pub(crate) fn depart(&self) {
+    pub fn depart(&self) {
         let mut live = lock_unpoisoned(&self.live);
-        *live = live.saturating_sub(1);
+        latch::depart(&mut live);
         self.cv.notify_all();
     }
 
     /// Waits until at most one handle (the caller's own rank) remains or
     /// `deadline` passes; `true` means the wait was cancelled early.
-    pub(crate) fn wait_sole_survivor(&self, deadline: Instant) -> bool {
+    pub fn wait_sole_survivor(&self, deadline: Instant) -> bool {
         let mut live = lock_unpoisoned(&self.live);
-        while *live > 1 {
+        while !latch::sole_survivor(*live) {
             let now = Instant::now();
             if now >= deadline {
                 return false;
@@ -124,24 +129,18 @@ impl ShutdownLatch {
 /// A reusable N-party barrier whose wait is bounded by a timeout, so a dead
 /// rank strands survivors with a typed error instead of a deadlock.
 /// (`std::sync::Barrier` has no timed wait.)
-pub(crate) struct TimeoutBarrier {
-    n: usize,
-    state: Mutex<BarrierState>,
+///
+/// Public (not `pub(crate)`) so `zero-verify`'s conformance tests can
+/// drive the real barrier through the critical schedules its model
+/// checker enumerates.
+pub struct TimeoutBarrier {
+    state: Mutex<BarrierCore>,
     cv: Condvar,
 }
 
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-}
-
 impl TimeoutBarrier {
-    pub(crate) fn new(n: usize) -> TimeoutBarrier {
-        TimeoutBarrier {
-            n,
-            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
-            cv: Condvar::new(),
-        }
+    pub fn new(n: usize) -> TimeoutBarrier {
+        TimeoutBarrier { state: Mutex::new(BarrierCore::new(n)), cv: Condvar::new() }
     }
 
     /// Returns `true` if all `n` parties arrived within `timeout`.
@@ -149,23 +148,24 @@ impl TimeoutBarrier {
     /// A party that times out *withdraws* its arrival before returning,
     /// so a later retry (or a later generation joined by fresh parties)
     /// starts from a clean count — the property the proptest below
-    /// hammers on.
-    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+    /// hammers on and `zero-verify --pass modelcheck` proves over every
+    /// interleaving (the counter logic is the shared
+    /// [`BarrierCore`](crate::protocol::BarrierCore)).
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
         let mut s = lock_unpoisoned(&self.state);
-        let gen = s.generation;
-        s.arrived += 1;
-        if s.arrived == self.n {
-            s.arrived = 0;
-            s.generation += 1;
-            self.cv.notify_all();
-            return true;
-        }
+        let gen = match s.arrive() {
+            Arrival::Released => {
+                self.cv.notify_all();
+                return true;
+            }
+            Arrival::MustWait { gen } => gen,
+        };
         let deadline = Instant::now() + timeout;
-        while s.generation == gen {
+        while !s.released(gen) {
             let now = Instant::now();
             if now >= deadline {
                 // Withdraw our arrival so a later retry starts clean.
-                s.arrived -= 1;
+                s.withdraw();
                 return false;
             }
             let (guard, _timed_out) = match self.cv.wait_timeout(s, deadline - now) {
@@ -259,6 +259,57 @@ mod tests {
         let t0 = Instant::now();
         assert!(!latch.wait_sole_survivor(t0 + Duration::from_millis(30)));
         assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn latch_zero_duration_deadline_returns_immediately() {
+        // An already-expired deadline must not block at all: false while
+        // peers are live, true the instant the latch is already drained.
+        let latch = ShutdownLatch::new(3);
+        let t0 = Instant::now();
+        assert!(!latch.wait_sole_survivor(t0), "peers live: expired wait must fail fast");
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        latch.depart();
+        latch.depart();
+        let t1 = Instant::now();
+        assert!(latch.wait_sole_survivor(t1), "sole survivor: even an expired wait succeeds");
+        assert!(t1.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn latch_shutdown_racing_the_deadline_never_hangs() {
+        // Departures land exactly around deadline expiry; either verdict
+        // is legal, but the waiter must return promptly and a cancelled
+        // wait must really mean the peers were gone.
+        for spin in 0..20 {
+            let latch = ShutdownLatch::new(2);
+            let l2 = latch.clone();
+            let deadline = Instant::now() + Duration::from_millis(5);
+            let waiter = std::thread::spawn(move || l2.wait_sole_survivor(deadline));
+            if spin % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            latch.depart();
+            let cancelled = waiter.join().unwrap();
+            if cancelled {
+                assert!(
+                    latch::sole_survivor(*lock_unpoisoned(&latch.live)),
+                    "cancelled wait with peers still live"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latch_double_shutdown_is_idempotent() {
+        // More departs than the latch was built for must saturate at
+        // zero, not underflow into a live count that strands the waiter.
+        let latch = ShutdownLatch::new(2);
+        latch.depart();
+        latch.depart();
+        latch.depart(); // double shutdown of the last handle
+        assert!(latch.wait_sole_survivor(Instant::now() + Duration::from_secs(5)));
+        assert_eq!(*lock_unpoisoned(&latch.live), 0);
     }
 
     /// Deterministic core of the withdraw-on-timeout property: `k < n`

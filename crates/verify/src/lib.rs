@@ -26,11 +26,13 @@
 //! counters `zero-comm` metered during real training.
 
 pub mod lint;
+pub mod modelcheck;
 pub mod schedule;
 pub mod tiling;
 pub mod tracecheck;
 
 pub use lint::{lint_paths, LintHit, LintReport};
+pub use modelcheck::{run_modelcheck, ModelcheckReport, ScenarioOutcome};
 pub use schedule::{check_all as check_schedules, ScheduleReport};
 pub use tiling::{prove_all as prove_tiling, TilingReport};
 pub use tracecheck::{check_timeline, TraceExpectation};

@@ -22,11 +22,21 @@
 //!   mode waits the returned handle inline, the overlap mode parks it),
 //!   so a direct `.reduce_scatter(…)` there silently forfeits
 //!   backward/communication overlap.
+//! * **`condvar-wait-unlooped`** — a `Condvar` `wait(…)`/`wait_timeout(…)`
+//!   call outside a `while`/`loop` body. Condvar waits wake spuriously
+//!   and can race a notify against the predicate check, so the wait must
+//!   sit inside a loop that re-checks its predicate — exactly the shape
+//!   `zero-verify --pass modelcheck` proves correct for the shutdown
+//!   latch and timeout barrier. A bare `if`-guarded wait is a latent lost
+//!   wakeup.
 //!
 //! The scanner masks comments, strings, and char literals before
 //! matching, and skips `#[cfg(test)]` regions, so the rules fire only on
 //! compiled production code. A deliberate exception is declared next to
 //! the code it excuses: `// verify:allow(rule-name)` on the same line.
+//! An exception whose rule does *not* fire on that line is reported as a
+//! non-failing warning, so stale allows are cleaned up instead of
+//! silently masking the next real regression.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -39,7 +49,7 @@ pub struct LintHit {
     /// 1-based line number.
     pub line_no: usize,
     /// Rule identifier (`comm-unwrap`, `untimed-recv`, `lossy-byte-cast`,
-    /// `blocking-flush`).
+    /// `blocking-flush`, `condvar-wait-unlooped`).
     pub rule: &'static str,
     /// The offending source line, trimmed.
     pub line_text: String,
@@ -63,16 +73,30 @@ impl fmt::Display for LintHit {
 pub struct LintReport {
     /// All violations found, in path order.
     pub hits: Vec<LintHit>,
+    /// Non-failing diagnostics: stale `verify:allow(rule)` exceptions
+    /// whose rule did not fire on that line (including unknown rule
+    /// names). Rendered `file:line: message`.
+    pub warnings: Vec<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl LintReport {
-    /// True when no rule fired.
+    /// True when no rule fired. Warnings do not fail the pass.
     pub fn is_clean(&self) -> bool {
         self.hits.is_empty()
     }
 }
+
+/// Every rule the scanner knows; a `verify:allow` naming anything else
+/// is warned about as unknown.
+pub const RULES: &[&str] = &[
+    "comm-unwrap",
+    "untimed-recv",
+    "lossy-byte-cast",
+    "blocking-flush",
+    "condvar-wait-unlooped",
+];
 
 /// Calls that talk to the fabric; an `unwrap`/`expect` on the same line
 /// as one of these is a `comm-unwrap` hit.
@@ -319,6 +343,99 @@ fn flush_region_mask(masked: &str) -> Vec<bool> {
     in_flush
 }
 
+/// Finds a word-boundary occurrence of `kw` in `line`.
+fn find_keyword(line: &str, kw: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(p) = line[from..].find(kw).map(|p| p + from) {
+        let before_ok = p == 0 || !(b[p - 1].is_ascii_alphanumeric() || b[p - 1] == b'_');
+        let after = p + kw.len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return Some(p);
+        }
+        from = p + kw.len();
+    }
+    None
+}
+
+/// Marks lines inside `while`/`loop` constructs (header through the
+/// brace-matched end of the body) — the regions where a condvar wait
+/// participates in a predicate re-check loop. Nested loops are marked
+/// independently, so overlapping regions are simply unioned.
+fn loop_region_mask(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut in_loop = vec![false; lines.len()];
+    for li in 0..lines.len() {
+        let kw = ["while", "loop"].iter().filter_map(|k| find_keyword(lines[li], k)).min();
+        let Some(kw) = kw else { continue };
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut lj = li;
+        let mut col = kw;
+        'scan: while lj < lines.len() {
+            in_loop[lj] = true;
+            let b = lines[lj].as_bytes();
+            while col < b.len() {
+                match b[col] {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+                col += 1;
+            }
+            lj += 1;
+            col = 0;
+        }
+    }
+    in_loop
+}
+
+/// True when the line calls `wait(…)`/`wait_timeout(…)` on a receiver
+/// that looks like a condvar (`cv`, `cvar`, `cond`, `condvar`, with or
+/// without a `self.`/field path prefix). `wait_while` embeds its own
+/// predicate loop and is deliberately not matched.
+fn condvar_wait(line: &str) -> bool {
+    let b = line.as_bytes();
+    for recv in ["cv", "cvar", "cond", "condvar"] {
+        for call in ["wait(", "wait_timeout("] {
+            let pat = format!("{recv}.{call}");
+            let mut from = 0;
+            while let Some(p) = line[from..].find(&pat).map(|p| p + from) {
+                let boundary =
+                    p == 0 || !(b[p - 1].is_ascii_alphanumeric() || b[p - 1] == b'_');
+                if boundary {
+                    return true;
+                }
+                from = p + pat.len();
+            }
+        }
+    }
+    false
+}
+
+/// Extracts every `verify:allow(rule)` annotation on the (unmasked) line.
+fn allow_annotations(original: &str) -> Vec<&str> {
+    const MARK: &str = "verify:allow(";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = original[from..].find(MARK).map(|p| p + from) {
+        let start = p + MARK.len();
+        let Some(end) = original[start..].find(')').map(|e| e + start) else { break };
+        out.push(&original[start..end]);
+        from = end + 1;
+    }
+    out
+}
+
 fn narrowing_cast(line: &str) -> bool {
     ["as u32", "as u16", "as u8", "as i32", "as i16", "as f32"]
         .iter()
@@ -330,15 +447,42 @@ fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
     let masked = mask_source(src);
     let in_test = test_region_mask(&masked);
     let in_flush = flush_region_mask(&masked);
+    let in_loop = loop_region_mask(&masked);
     let originals: Vec<&str> = src.lines().collect();
     for (idx, line) in masked.lines().enumerate() {
         if in_test.get(idx).copied().unwrap_or(false) {
             continue;
         }
         let original = originals.get(idx).copied().unwrap_or("");
-        let mut hit = |rule: &'static str| {
-            if original.contains(&format!("verify:allow({rule})")) {
-                return;
+
+        // First decide what fires on this line, then reconcile against
+        // the line's `verify:allow` annotations: a fired+allowed rule is
+        // suppressed, a fired rule without an allow is a hit, and an
+        // allow whose rule never fired is a stale exception (warning).
+        let mut fired: Vec<&'static str> = Vec::new();
+        let has_panic = line.contains(".unwrap()") || line.contains(".expect(");
+        if has_panic && COMM_TOKENS.iter().any(|t| line.contains(t)) {
+            fired.push("comm-unwrap");
+        }
+        if line.contains(".recv()") {
+            fired.push("untimed-recv");
+        }
+        if line.contains("bytes") && narrowing_cast(line) {
+            fired.push("lossy-byte-cast");
+        }
+        if in_flush.get(idx).copied().unwrap_or(false)
+            && BLOCKING_TOKENS.iter().any(|t| line.contains(t))
+        {
+            fired.push("blocking-flush");
+        }
+        if condvar_wait(line) && !in_loop.get(idx).copied().unwrap_or(false) {
+            fired.push("condvar-wait-unlooped");
+        }
+
+        let allows = allow_annotations(original);
+        for &rule in &fired {
+            if allows.contains(&rule) {
+                continue;
             }
             report.hits.push(LintHit {
                 file: path.to_path_buf(),
@@ -346,21 +490,19 @@ fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
                 rule,
                 line_text: original.trim().to_string(),
             });
-        };
-        let has_panic = line.contains(".unwrap()") || line.contains(".expect(");
-        if has_panic && COMM_TOKENS.iter().any(|t| line.contains(t)) {
-            hit("comm-unwrap");
         }
-        if line.contains(".recv()") {
-            hit("untimed-recv");
-        }
-        if line.contains("bytes") && narrowing_cast(line) {
-            hit("lossy-byte-cast");
-        }
-        if in_flush.get(idx).copied().unwrap_or(false)
-            && BLOCKING_TOKENS.iter().any(|t| line.contains(t))
-        {
-            hit("blocking-flush");
+        for allow in allows {
+            if fired.contains(&allow) {
+                continue;
+            }
+            let known = RULES.contains(&allow);
+            report.warnings.push(format!(
+                "{}:{}: {} exception verify:allow({allow}) — rule {}",
+                path.display(),
+                idx + 1,
+                if known { "stale" } else { "unknown-rule" },
+                if known { "did not fire on this line" } else { "does not exist" },
+            ));
         }
     }
     report.files_scanned += 1;
@@ -416,10 +558,14 @@ pub fn lint_paths(roots: &[&Path]) -> LintReport {
 mod tests {
     use super::*;
 
-    fn lint_str(src: &str) -> Vec<&'static str> {
+    fn lint_report(src: &str) -> LintReport {
         let mut report = LintReport::default();
         lint_source(Path::new("mem.rs"), src, &mut report);
-        report.hits.into_iter().map(|h| h.rule).collect()
+        report
+    }
+
+    fn lint_str(src: &str) -> Vec<&'static str> {
+        lint_report(src).hits.into_iter().map(|h| h.rule).collect()
     }
 
     #[test]
@@ -504,5 +650,169 @@ mod tests {
     fn raw_strings_and_chars_are_masked() {
         assert!(lint_str("fn f() { let s = r#\"rx.recv()\"#; }\n").is_empty());
         assert!(lint_str("fn f() { let c = '\"'; let d = rx.recv_timeout(t); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_unlooped_condvar_wait() {
+        // An if-guarded (or bare) wait is a latent lost wakeup.
+        let src = "fn f() { let g = self.cv.wait(guard); }\n";
+        assert_eq!(lint_str(src), vec!["condvar-wait-unlooped"]);
+        let src = "fn f() { if !done { let g = cvar.wait_timeout(guard, d); } }\n";
+        assert_eq!(lint_str(src), vec!["condvar-wait-unlooped"]);
+    }
+
+    #[test]
+    fn looped_condvar_wait_is_clean() {
+        // The shapes the real ShutdownLatch / TimeoutBarrier use.
+        let src = "fn f() {\n  while !latch::sole_survivor(*live) {\n    \
+                   let (g, _) = self.cv.wait_timeout(live, d).unwrap_or_else(|p| p.into_inner());\n    \
+                   live = g;\n  }\n}\n";
+        assert!(lint_str(src).is_empty());
+        let src = "fn f() {\n  loop {\n    if s.released(gen) { break; }\n    \
+                   s = cv.wait(s);\n  }\n}\n";
+        assert!(lint_str(src).is_empty());
+        // `wait_while` embeds the predicate re-check internally.
+        assert!(lint_str("fn f() { let g = cv.wait_while(g, |s| !s.done); }\n").is_empty());
+        // A non-condvar `.wait()` (pending-op handles) is out of scope.
+        assert!(lint_str("fn f() { let out = pending.wait(); }\n").is_empty());
+        // Word boundary: `second.wait_timeout(` is not a condvar match.
+        assert!(lint_str("fn f() { second.wait_timeout(d); }\n").is_empty());
+    }
+
+    #[test]
+    fn unlooped_condvar_wait_allow_escape() {
+        let src = "fn f() { let g = cv.wait(g); } // verify:allow(condvar-wait-unlooped)\n";
+        let report = lint_report(src);
+        assert!(report.hits.is_empty());
+        // The allow is live (the rule fired), so no stale warning either.
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn stale_allow_is_warned_not_failed() {
+        // recv_timeout never fires untimed-recv, so the allow is stale.
+        let src = "fn f() { let m = rx.recv_timeout(d); } // verify:allow(untimed-recv)\n";
+        let report = lint_report(src);
+        assert!(report.is_clean());
+        assert_eq!(report.warnings.len(), 1);
+        assert!(
+            report.warnings[0].contains("stale exception verify:allow(untimed-recv)"),
+            "{}",
+            report.warnings[0]
+        );
+        // An allow naming a rule that does not exist is called out as such.
+        let src = "fn f() {} // verify:allow(no-such-rule)\n";
+        let report = lint_report(src);
+        assert!(report.is_clean());
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("unknown-rule"), "{}", report.warnings[0]);
+    }
+
+    #[test]
+    fn live_allow_produces_no_warning() {
+        let src = "fn f() { let m = rx.recv(); } // verify:allow(untimed-recv)\n";
+        let report = lint_report(src);
+        assert!(report.is_clean());
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    /// One fixture per rule: the positive form must fire, the same code
+    /// behind a comment or inside a string must not, and the same-line
+    /// `verify:allow` must suppress it without leaving a stale warning.
+    /// Guards every rule's masking path, not just the ones tested above.
+    #[test]
+    fn fixture_suite_covers_every_rule() {
+        struct Fixture {
+            rule: &'static str,
+            positive: &'static str,
+            comment_masked: &'static str,
+            string_masked: &'static str,
+        }
+        let fixtures = [
+            Fixture {
+                rule: "comm-unwrap",
+                positive: "fn f() { comm.all_reduce(v, op, g).unwrap(); }\n",
+                comment_masked: "fn f() {} // comm.all_reduce(v, op, g).unwrap()\n",
+                string_masked: "fn f() { let s = \"comm.all_reduce(v).unwrap()\"; }\n",
+            },
+            Fixture {
+                rule: "untimed-recv",
+                positive: "fn f() { let m = rx.recv(); }\n",
+                comment_masked: "fn f() {} // let m = rx.recv();\n",
+                string_masked: "fn f() { let s = \"rx.recv()\"; }\n",
+            },
+            Fixture {
+                rule: "lossy-byte-cast",
+                positive: "fn f(bytes: u64) -> u32 { bytes as u32 }\n",
+                comment_masked: "fn f() {} // bytes as u32\n",
+                string_masked: "fn f() { let s = \"bytes as u32\"; }\n",
+            },
+            Fixture {
+                rule: "blocking-flush",
+                positive: "fn f() {\n  bucket.flush_all(&mut |r, fused| {\n    \
+                           let x = comm.all_reduce(g, fused, op);\n  });\n}\n",
+                comment_masked: "fn f() {\n  // bucket.flush_all(&mut |r, fused| {\n  \
+                                 //   let x = comm.all_reduce(g, fused, op);\n  // });\n}\n",
+                string_masked: "fn f() {\n  let s = \"bucket.flush_all(\";\n  \
+                                let x = comm.all_reduce(g, fused, op);\n}\n",
+            },
+            Fixture {
+                rule: "condvar-wait-unlooped",
+                positive: "fn f() { let g = cv.wait(g); }\n",
+                comment_masked: "fn f() {} // let g = cv.wait(g);\n",
+                string_masked: "fn f() { let s = \"cv.wait(g)\"; }\n",
+            },
+        ];
+        for fx in &fixtures {
+            assert_eq!(lint_str(fx.positive), vec![fx.rule], "positive fixture for {}", fx.rule);
+            assert!(
+                lint_str(fx.comment_masked).is_empty(),
+                "comment-masked fixture for {} must not fire",
+                fx.rule
+            );
+            assert!(
+                lint_str(fx.string_masked).is_empty(),
+                "string-masked fixture for {} must not fire",
+                fx.rule
+            );
+            // Allow-escape: annotate the line the rule fires on.
+            let line_no = lint_report(fx.positive).hits[0].line_no;
+            let allowed: String = fx
+                .positive
+                .lines()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i + 1 == line_no {
+                        format!("{l} // verify:allow({})\n", fx.rule)
+                    } else {
+                        format!("{l}\n")
+                    }
+                })
+                .collect();
+            let report = lint_report(&allowed);
+            assert!(report.hits.is_empty(), "allow-escape fixture for {} must suppress", fx.rule);
+            assert!(
+                report.warnings.is_empty(),
+                "live allow for {} must not warn: {:?}",
+                fx.rule,
+                report.warnings
+            );
+        }
+    }
+
+    #[test]
+    fn every_known_rule_has_a_fixture() {
+        // `RULES` is the contract the stale-allow warning validates
+        // against; keep it in sync with the rules lint_source implements.
+        assert_eq!(
+            RULES,
+            &[
+                "comm-unwrap",
+                "untimed-recv",
+                "lossy-byte-cast",
+                "blocking-flush",
+                "condvar-wait-unlooped"
+            ]
+        );
     }
 }

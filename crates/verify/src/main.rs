@@ -2,14 +2,29 @@
 //! line (CI runs this before the test suite).
 //!
 //! ```text
-//! zero-verify [schedule|tiling|lint|all]
+//! zero-verify [--pass <name>[,<name>...]] [--budget <states>] [--list-passes]
 //! ```
 //!
-//! Exits non-zero if any pass fails, printing the first violated
-//! invariant (schedule/tiling) or every lint hit.
+//! Passes: `schedule`, `tiling`, `lint`, `overlap`, `tracecheck`,
+//! `modelcheck` — run all of them when no `--pass` is given. The legacy
+//! positional forms (`zero-verify lint`, `zero-verify all`) keep
+//! working. Exits non-zero if any selected pass fails; `--budget` caps
+//! the model checker's per-scenario state count (exhausting it is a
+//! failure, not a silent pass).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use zero_core::{run_training, CommPlan, StepShape, TrainSetup, ZeroConfig, ZeroStage};
+use zero_model::ModelConfig;
+
+/// Default per-scenario state budget for the modelcheck pass: an order
+/// of magnitude above the largest scenario's measured state count, so
+/// genuine blowups fail loudly while normal growth has headroom.
+const DEFAULT_MODELCHECK_BUDGET: u64 = 500_000;
+
+const PASSES: [&str; 6] =
+    ["schedule", "tiling", "lint", "overlap", "tracecheck", "modelcheck"];
 
 fn repo_root() -> PathBuf {
     // crates/verify -> crates -> repo root.
@@ -24,14 +39,14 @@ fn run_schedule() -> bool {
     match zero_verify::check_schedules() {
         Ok(r) => {
             println!(
-                "schedule: OK — {} configs, {} plans, {} resolved ops, \
+                "schedule:   OK — {} configs, {} plans, {} resolved ops, \
                  {} rank-pair agreements",
                 r.configs, r.plans, r.ops_checked, r.pair_checks
             );
             true
         }
         Err(e) => {
-            eprintln!("schedule: FAIL — {e}");
+            eprintln!("schedule:   FAIL — {e}");
             false
         }
     }
@@ -41,13 +56,13 @@ fn run_tiling() -> bool {
     match zero_verify::prove_tiling() {
         Ok(r) => {
             println!(
-                "tiling:   OK — {} partitions ({} elements), {} layout units tiled",
+                "tiling:     OK — {} partitions ({} elements), {} layout units tiled",
                 r.partitions, r.elements, r.units
             );
             true
         }
         Err(e) => {
-            eprintln!("tiling:   FAIL — {e}");
+            eprintln!("tiling:     FAIL — {e}");
             false
         }
     }
@@ -58,12 +73,15 @@ fn run_lint() -> bool {
     let comm = root.join("crates/comm/src");
     let core = root.join("crates/core/src");
     let report = zero_verify::lint_paths(&[comm.as_path(), core.as_path()]);
+    for warning in &report.warnings {
+        println!("lint:       warning — {warning}");
+    }
     if report.is_clean() {
-        println!("lint:     OK — {} files scanned, 0 hits", report.files_scanned);
+        println!("lint:       OK — {} files scanned, 0 hits", report.files_scanned);
         true
     } else {
         eprintln!(
-            "lint:     FAIL — {} hits in {} files:",
+            "lint:       FAIL — {} hits in {} files:",
             report.hits.len(),
             report.files_scanned
         );
@@ -74,25 +92,193 @@ fn run_lint() -> bool {
     }
 }
 
-fn main() -> ExitCode {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let ok = match mode.as_str() {
+fn run_overlap() -> bool {
+    match zero_verify::schedule::check_overlap() {
+        Ok(r) => {
+            println!(
+                "overlap:    OK — {} configs proven volume-preserving reorderings \
+                 ({} plans compared)",
+                r.configs, r.plans
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("overlap:    FAIL — {e}");
+            false
+        }
+    }
+}
+
+/// Runs a tiny real training job (stage 3, N=2, two steps, overlapped)
+/// and reconciles every rank's recorded timeline byte-exactly against
+/// the analytic plan and the metered traffic — the runtime face of the
+/// schedule pass.
+fn run_tracecheck() -> bool {
+    let model = ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 };
+    let layout = zero_model::Layout::build(&model);
+    let act_elems = model.seq * model.hidden;
+    let mut checked_ranks = 0usize;
+    for overlap in [false, true] {
+        let setup = TrainSetup {
+            model,
+            zero: ZeroConfig {
+                stage: ZeroStage::Three,
+                fp16: true,
+                initial_loss_scale: 1.0,
+                checkpoint_activations: false,
+                bucket_elems: 1000,
+                overlap,
+                ..ZeroConfig::default()
+            },
+            grid: zero_comm::Grid::new(2, 1),
+            global_batch: 2,
+            seed: 5,
+        };
+        let report = run_training(&setup, 2, 0);
+        for r in &report.ranks {
+            let mut want = zero_verify::TraceExpectation::default();
+            for &skipped in &report.skipped {
+                let plan = CommPlan::train_step(
+                    &layout,
+                    &setup.zero,
+                    setup.grid,
+                    &StepShape { micro_batches: 1, act_elems, skipped },
+                );
+                want.add_plan(&plan, r.rank, 1);
+            }
+            if let Err(e) = zero_verify::check_timeline(&r.timeline, &want, Some(&r.traffic)) {
+                eprintln!("tracecheck: FAIL — overlap={overlap} rank {}: {e}", r.rank);
+                return false;
+            }
+            checked_ranks += 1;
+        }
+    }
+    println!(
+        "tracecheck: OK — {checked_ranks} rank timelines reconciled against plan and \
+         metered traffic (stage 3, N=2, sync+overlap)"
+    );
+    true
+}
+
+fn run_modelcheck(budget: u64) -> bool {
+    let report = zero_verify::run_modelcheck(budget);
+    let mut ok = true;
+    for sc in &report.scenarios {
+        println!(
+            "modelcheck:   {:<18} {:>8} states, {:>8} transitions, depth {}{}",
+            sc.name,
+            sc.states,
+            sc.transitions,
+            sc.max_depth,
+            if sc.budget_exhausted { "  [BUDGET EXHAUSTED]" } else { "" }
+        );
+        if sc.budget_exhausted {
+            eprintln!(
+                "modelcheck: FAIL — {}: state budget ({budget}) exhausted; \
+                 coverage incomplete",
+                sc.name
+            );
+            ok = false;
+        }
+        if let Some(f) = &sc.failure {
+            eprintln!("modelcheck: FAIL — {}: {f}", sc.name);
+            ok = false;
+        }
+        for race in &sc.races {
+            eprintln!("modelcheck: FAIL — {}: {race}", sc.name);
+            ok = false;
+        }
+        if let Some(cycle) = &sc.lock_cycle {
+            eprintln!(
+                "modelcheck: FAIL — {}: cyclic lock order over mutexes {:?}",
+                sc.name, cycle
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "modelcheck: OK — {} scenarios exhaustively explored, {} states total \
+             (budget {budget}/scenario)",
+            report.scenarios.len(),
+            report.total_states(),
+        );
+    }
+    ok
+}
+
+fn run_pass(name: &str, budget: u64) -> Option<bool> {
+    Some(match name {
         "schedule" => run_schedule(),
         "tiling" => run_tiling(),
         "lint" => run_lint(),
-        "all" => {
-            // Run every pass even if an early one fails, so CI output
-            // shows the full picture.
-            let s = run_schedule();
-            let t = run_tiling();
-            let l = run_lint();
-            s && t && l
+        "overlap" => run_overlap(),
+        "tracecheck" => run_tracecheck(),
+        "modelcheck" => run_modelcheck(budget),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selected: Vec<String> = Vec::new();
+    let mut budget = DEFAULT_MODELCHECK_BUDGET;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list-passes" => {
+                for p in PASSES {
+                    println!("{p}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--pass" => {
+                i += 1;
+                let Some(names) = args.get(i) else {
+                    eprintln!("--pass needs a value (one of: {})", PASSES.join(", "));
+                    return ExitCode::FAILURE;
+                };
+                selected.extend(names.split(',').map(|s| s.trim().to_string()));
+            }
+            "--budget" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(b) if b > 0 => budget = b,
+                    _ => {
+                        eprintln!("--budget needs a positive integer state count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            // Legacy positional form.
+            "all" => selected.extend(PASSES.iter().map(|s| s.to_string())),
+            other if PASSES.contains(&other) => selected.push(other.to_string()),
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'; usage: zero-verify \
+                     [--pass <name>[,<name>...]] [--budget <states>] [--list-passes]"
+                );
+                return ExitCode::FAILURE;
+            }
         }
-        other => {
-            eprintln!("unknown mode '{other}'; expected schedule|tiling|lint|all");
-            false
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = PASSES.iter().map(|s| s.to_string()).collect();
+    }
+
+    // Run every selected pass even if an early one fails, so CI output
+    // shows the full picture.
+    let mut ok = true;
+    for name in &selected {
+        match run_pass(name, budget) {
+            Some(passed) => ok &= passed,
+            None => {
+                eprintln!("unknown pass '{name}'; known passes: {}", PASSES.join(", "));
+                ok = false;
+            }
         }
-    };
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

@@ -556,6 +556,38 @@ fn check_serve(n: usize, overlap: bool, report: &mut ScheduleReport) -> Result<(
     Ok(())
 }
 
+/// Runs only the overlap-invariance battery: every overlapped plan is
+/// proven a volume-preserving reordering of its synchronous twin with a
+/// double-buffered prefetch window, across stages 1–3 × N ∈ {2..8},
+/// checkpointed stage 3, and mixed DP×MP grids. This is the same sweep
+/// [`check_all`] embeds, exposed as its own CLI pass so overlap
+/// regressions are attributable at a glance.
+pub fn check_overlap() -> Result<ScheduleReport, String> {
+    let mut report = ScheduleReport::default();
+    let base = |stage: ZeroStage| ZeroConfig {
+        stage,
+        fp16: true,
+        checkpoint_activations: false,
+        initial_loss_scale: 1.0,
+        bucket_elems: 512,
+        clip_grad_norm: None,
+        ..ZeroConfig::default()
+    };
+    for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for n in 2..=8 {
+            check_overlap_pair(&base(stage), Grid::new(n, 1), &mut report)?;
+        }
+    }
+    let ckpt3 = ZeroConfig { checkpoint_activations: true, ..base(ZeroStage::Three) };
+    for n in [2usize, 4] {
+        check_overlap_pair(&ckpt3, Grid::new(n, 1), &mut report)?;
+    }
+    for (dp, mp) in [(2usize, 2usize), (4, 2)] {
+        check_overlap_pair(&base(ZeroStage::Three), Grid::new(dp, mp), &mut report)?;
+    }
+    Ok(report)
+}
+
 /// Runs the full static sweep: every stage × N ∈ {2..8} (plus MP grids,
 /// checkpointing/P_a, clipping, hierarchical-all-reduce, overlapped
 /// variants, and the serving gather schedule) — zero training steps
