@@ -10,6 +10,12 @@ cargo build --release
 echo "==> zero-verify (schedule + tiling + lint + overlap + tracecheck)"
 cargo run -q --release -p zero-verify -- --pass schedule,tiling,lint,overlap,tracecheck
 
+echo "==> zero-verify --pass compression (qwZ/hpZ/qgZ sweep, proved inter-node byte ratio)"
+# Sweeps stages 2-3 x N in {2,4,8} x G in {2,4} x every lever combination,
+# recomputes every compressed op's wire bytes independently, and gates the
+# analytic stage-3 inter-node reduction at >= 3.5x with all levers on.
+cargo run -q --release -p zero-verify -- --pass compression
+
 echo "==> zero-verify --pass modelcheck (exhaustive protocol interleavings, explicit state budget)"
 # Prints explored-state counts per protocol; exhausting the budget is a
 # hard failure (coverage incomplete), not a silent pass.
@@ -72,6 +78,12 @@ rm -f "$serve_json"
 
 echo "==> bench_step --smoke (overlap bench path, no results churn)"
 cargo run -q --release -p zero-bench --bin bench_step -- --smoke
+
+echo "==> bench_step --check-against (wall-clock regression gate, 10% tolerance)"
+# Replays the smoke-restricted configs at the committed baseline's link
+# latency and step count; >10% per-step slowdown on any matching row fails.
+cargo run -q --release -p zero-bench --bin bench_step -- --smoke \
+    --check-against results/BENCH_step.json
 
 echo "==> bench_matmul --smoke (packed-GEMM bit-exactness gate)"
 cargo run -q --release -p zero-bench --bin bench_matmul -- --smoke

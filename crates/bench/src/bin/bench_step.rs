@@ -9,15 +9,30 @@
 //! the comm stats: under overlap, wait time collapses while execution
 //! time (on the progress thread) stays put.
 //!
+//! A second section runs stage 3 over a modeled **two-tier** link (fast
+//! intra-node, slow shared inter-node) with and without the ZeRO++
+//! compression levers (qwZ + hpZ + qgZ): the quantized / node-local
+//! schedules move ~4× fewer logical bytes across the slow tier, and the
+//! tiered fabric charges serialization by logical bytes, so the
+//! compressed rows show a genuine measured wall-clock win.
+//!
 //! `--smoke` runs a single tiny configuration and skips the results
 //! file — CI uses it to prove the bench path end-to-end without
 //! churning the committed baseline.
+//!
+//! `--check-against <path>` replays the (smoke-restricted) configs at
+//! the baseline file's recorded link latency and step count, compares
+//! each measured row's wall-clock against the matching baseline row, and
+//! exits non-zero on a >10% per-step regression. The results file is
+//! never rewritten in this mode.
 
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
-use zero_comm::{Grid, WorldConfig, ALL_KINDS};
-use zero_core::{run_training_world, TrainReport, TrainSetup, ZeroConfig, ZeroStage};
+use zero_comm::{Grid, TieredLink, WorldConfig, ALL_KINDS};
+use zero_core::{
+    run_training_world, CompressionConfig, TrainReport, TrainSetup, ZeroConfig, ZeroStage,
+};
 use zero_model::ModelConfig;
 
 /// Larger than `bench_model()`: overlap is only measurable when per-rank
@@ -83,6 +98,41 @@ struct Speedup {
     speedup: f64,
 }
 
+/// One stage-3 run over the modeled two-tier link, raw or with all
+/// ZeRO++ levers (qwZ + hpZ + qgZ) on.
+#[derive(Serialize)]
+struct TieredRow {
+    nd: usize,
+    node_size: usize,
+    compressed: bool,
+    overlap: bool,
+    steps: usize,
+    secs_per_step: f64,
+    tokens_per_sec: f64,
+}
+
+/// Wall-clock win of compression on the two-tier fabric.
+#[derive(Serialize)]
+struct CompressionSpeedup {
+    nd: usize,
+    node_size: usize,
+    overlap: bool,
+    raw_secs_per_step: f64,
+    compressed_secs_per_step: f64,
+    /// raw / compressed step latency; > 1 means compression wins.
+    speedup: f64,
+}
+
+/// The modeled two-tier link parameters, recorded for reproducibility.
+#[derive(Serialize)]
+struct TieredLinkSpec {
+    node_size: usize,
+    intra_latency_us: u64,
+    intra_gbytes_per_sec: f64,
+    inter_latency_us: u64,
+    inter_mbytes_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct BenchStep {
     link_latency_us: u64,
@@ -90,6 +140,76 @@ struct BenchStep {
     global_batch: usize,
     rows: Vec<StepRow>,
     speedups: Vec<Speedup>,
+    tiered_link: TieredLinkSpec,
+    compression_rows: Vec<TieredRow>,
+    compression_speedups: Vec<CompressionSpeedup>,
+}
+
+/// The subset of a previously written `BENCH_step.json` that
+/// `--check-against` compares; extra fields in the file are ignored so
+/// older baselines stay loadable.
+struct BaselineRow {
+    stage: String,
+    nd: usize,
+    overlap: bool,
+    secs_per_step: f64,
+}
+
+struct Baseline {
+    link_latency_us: u64,
+    steps: usize,
+    rows: Vec<BaselineRow>,
+}
+
+fn load_baseline(path: &str) -> Option<Baseline> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = serde_json::from_str(&text).ok()?;
+    let rows = v
+        .get("rows")?
+        .as_array()?
+        .iter()
+        .map(|r| {
+            Some(BaselineRow {
+                stage: r.get("stage")?.as_str()?.to_string(),
+                nd: r.get("nd")?.as_u64()? as usize,
+                overlap: r.get("overlap")?.as_bool()?,
+                secs_per_step: r.get("secs_per_step")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Baseline {
+        link_latency_us: v.get("link_latency_us")?.as_u64()?,
+        steps: v.get("steps")?.as_u64()? as usize,
+        rows,
+    })
+}
+
+/// The modeled two-tier fabric: NVLink-ish inside a node, a congested
+/// shared link between nodes — slow enough that stage-3 inter-node
+/// volume is a large share of the step, which is exactly the
+/// low-bandwidth-cluster regime ZeRO++ targets.
+fn tiered_link() -> TieredLink {
+    TieredLink {
+        node_size: 2,
+        intra_latency: Duration::from_micros(5),
+        intra_bytes_per_sec: 4e9,
+        inter_latency: Duration::from_micros(150),
+        inter_bytes_per_sec: 5e6,
+    }
+}
+
+fn comp_setup(dp: usize, compressed: bool, overlap: bool) -> TrainSetup {
+    let mut setup = step_setup(ZeroStage::Three, dp, overlap);
+    if compressed {
+        setup.zero.compression = CompressionConfig {
+            qwz: true,
+            hpz: true,
+            qgz: true,
+            node_size: tiered_link().node_size,
+            block: 64,
+        };
+    }
+    setup
 }
 
 fn run_one(stage: ZeroStage, nd: usize, overlap: bool, steps: usize, latency: Duration) -> (f64, TrainReport) {
@@ -100,8 +220,23 @@ fn run_one(stage: ZeroStage, nd: usize, overlap: bool, steps: usize, latency: Du
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (stages, dps, steps, trials, latency): (&[ZeroStage], &[usize], usize, usize, Duration) =
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let check_path = argv
+        .iter()
+        .position(|a| a == "--check-against")
+        .map(|i| argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check-against needs a baseline file path");
+            std::process::exit(2);
+        }));
+    let baseline: Option<Baseline> = check_path.as_ref().map(|p| {
+        load_baseline(p).unwrap_or_else(|| {
+            eprintln!("check: cannot read or parse baseline {p}");
+            std::process::exit(2);
+        })
+    });
+
+    let (stages, dps, mut steps, mut trials, mut latency): (&[ZeroStage], &[usize], usize, usize, Duration) =
         if smoke {
             (&[ZeroStage::Three], &[2], 2, 1, Duration::from_micros(50))
         } else {
@@ -113,6 +248,14 @@ fn main() {
                 Duration::from_micros(800),
             )
         };
+    if let Some(base) = &baseline {
+        // Replay at the baseline's recorded conditions so the wall-clock
+        // comparison is apples-to-apples, with best-of-2 trials to damp
+        // scheduler noise.
+        latency = Duration::from_micros(base.link_latency_us);
+        steps = base.steps;
+        trials = trials.max(2);
+    }
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -201,16 +344,115 @@ fn main() {
         );
     }
 
+    if let Some(base) = &baseline {
+        let mut compared = 0usize;
+        let mut fails = Vec::new();
+        for row in &rows {
+            let Some(b) = base
+                .rows
+                .iter()
+                .find(|b| b.stage == row.stage && b.nd == row.nd && b.overlap == row.overlap)
+            else {
+                continue;
+            };
+            compared += 1;
+            if row.secs_per_step > b.secs_per_step * 1.10 {
+                fails.push(format!(
+                    "{} N={} overlap={}: {:.2} ms/step vs baseline {:.2} ms/step \
+                     (+{:.0}% > 10%)",
+                    row.stage,
+                    row.nd,
+                    row.overlap,
+                    row.secs_per_step * 1e3,
+                    b.secs_per_step * 1e3,
+                    (row.secs_per_step / b.secs_per_step - 1.0) * 100.0
+                ));
+            }
+        }
+        if compared == 0 {
+            eprintln!("check: FAIL — no measured row matched a baseline row");
+            std::process::exit(1);
+        }
+        if !fails.is_empty() {
+            for f in &fails {
+                eprintln!("check: FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "check: OK — {compared} rows within 10% of baseline (results file untouched)"
+        );
+        return;
+    }
     if smoke {
         println!("smoke run complete (results file untouched)");
         return;
     }
+
+    // Compression on the two-tier fabric: stage 3 across two modeled
+    // nodes, raw vs all ZeRO++ levers, sync and overlapped.
+    let link = tiered_link();
+    let comp_dp = 4;
+    let mut compression_rows = Vec::new();
+    let mut compression_speedups = Vec::new();
+    for overlap in [false, true] {
+        let mut secs = [0.0f64; 2];
+        for compressed in [false, true] {
+            let setup = comp_setup(comp_dp, compressed, overlap);
+            let tokens = (setup.global_batch * setup.model.seq * steps) as f64;
+            let run = || {
+                let t0 = Instant::now();
+                run_training_world(&setup, steps, 0, WorldConfig::with_tiered_link(link));
+                t0.elapsed().as_secs_f64()
+            };
+            let mut elapsed = run();
+            for _ in 1..trials {
+                elapsed = elapsed.min(run());
+            }
+            secs[compressed as usize] = elapsed / steps as f64;
+            compression_rows.push(TieredRow {
+                nd: comp_dp,
+                node_size: link.node_size,
+                compressed,
+                overlap,
+                steps,
+                secs_per_step: elapsed / steps as f64,
+                tokens_per_sec: tokens / elapsed,
+            });
+        }
+        println!(
+            "ZeRO-3 tiered link   N={comp_dp} G={} overlap={overlap}  raw {:>8.2} ms/step  \
+             qwZ+hpZ+qgZ {:>8.2} ms/step  speedup {:.2}×",
+            link.node_size,
+            secs[0] * 1e3,
+            secs[1] * 1e3,
+            secs[0] / secs[1]
+        );
+        compression_speedups.push(CompressionSpeedup {
+            nd: comp_dp,
+            node_size: link.node_size,
+            overlap,
+            raw_secs_per_step: secs[0],
+            compressed_secs_per_step: secs[1],
+            speedup: secs[0] / secs[1],
+        });
+    }
+
     let out = BenchStep {
         link_latency_us: latency.as_micros() as u64,
         steps,
         global_batch,
         rows,
         speedups,
+        tiered_link: TieredLinkSpec {
+            node_size: link.node_size,
+            intra_latency_us: link.intra_latency.as_micros() as u64,
+            intra_gbytes_per_sec: link.intra_bytes_per_sec / 1e9,
+            inter_latency_us: link.inter_latency.as_micros() as u64,
+            inter_mbytes_per_sec: link.inter_bytes_per_sec / 1e6,
+        },
+        compression_rows,
+        compression_speedups,
     };
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

@@ -13,6 +13,7 @@
 use crate::error::CommError;
 use crate::group::Group;
 use crate::nonblocking::{PendingOp, Request};
+use crate::quant::{quant_wire_bytes, quantize_for_transport, BlockQuantized};
 use crate::stats::CollectiveKind;
 use crate::world::{Communicator, Fabric};
 
@@ -1022,6 +1023,312 @@ impl Fabric {
     }
 }
 
+// ----- compressed collectives (ZeRO++ qwZ / qgZ) -----
+
+impl Fabric {
+    /// Ring all-gather with block-quantized chunks (ZeRO++ qwZ): the wire
+    /// carries int8 codes plus per-block fp32 scale/zero-points, so each
+    /// forwarded chunk costs `quant_wire_bytes(len, block)` logical bytes
+    /// instead of `prec·len`. Each rank quantizes its own chunk exactly
+    /// once, the *encoded* stream circulates the ring verbatim, and every
+    /// rank — owner included — dequantizes from that stream, so the
+    /// gathered buffer is bitwise identical across the group and
+    /// requantization error never compounds across hops.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub(crate) fn all_gather_quant_in(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        out: &mut [f32],
+        counts: &[usize],
+        block: usize,
+    ) -> Result<(), CommError> {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "all_gather_quant: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather_quant: counts sum");
+        let idx = member_index(group, self.rank)?;
+        let ranges = ranges_from_counts(counts);
+        assert_eq!(shard.len(), counts[idx], "all_gather_quant: bad shard length");
+        let own = quantize_for_transport(shard, block);
+        out[ranges[idx].clone()].copy_from_slice(&own.dequantize());
+        if n == 1 {
+            // No peers, no fabric op (see `all_reduce_in`).
+            return Ok(());
+        }
+        self.begin_op(CollectiveKind::AllGather)?;
+        let next = group.members()[(idx + 1) % n];
+        let prev = group.members()[(idx + n - 1) % n];
+        let mut streams: Vec<Option<Vec<f32>>> = vec![None; n];
+        streams[idx] = Some(own.encode());
+        for step in 0..n - 1 {
+            let send_c = (idx + n - step) % n;
+            let recv_c = (idx + 2 * n - 1 - step) % n;
+            let Some(payload) = streams[send_c].take() else {
+                unreachable!("ring all-gather forwards each chunk exactly once")
+            };
+            let logical = quant_wire_bytes(counts[send_c], block);
+            self.send_raw(next, payload, CollectiveKind::AllGather, logical)?;
+            let incoming = self.recv_raw(prev)?;
+            let decoded = BlockQuantized::decode(&incoming, counts[recv_c], block);
+            out[ranges[recv_c].clone()].copy_from_slice(&decoded.dequantize());
+            streams[recv_c] = Some(incoming);
+        }
+        Ok(())
+    }
+
+    /// Two-phase quantized reduce-scatter (ZeRO++ qgZ) over a group whose
+    /// ranks are laid out node-major (`node_size` consecutive members per
+    /// node):
+    ///
+    /// 1. **raw intra-node all-to-all** — node-mate at slot `s` collects,
+    ///    at full precision, every chunk destined to a slot-`s` rank on
+    ///    any node, then reduces the node's contributions locally in slot
+    ///    order;
+    /// 2. **quantized inter-node all-to-all** — each rank sends its local
+    ///    partial for node `m`'s same-slot owner as int8 codes, and sums
+    ///    the dequantized partials in node order.
+    ///
+    /// Only the slow inter-node hop is quantized; the rank's own partial
+    /// stays full precision. Accumulation order (slots, then nodes) is
+    /// fixed, so results are bit-deterministic across runs.
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`], and a `node_size` that does not divide
+    /// the group as [`CommError::InvalidTopology`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reduce_scatter_qgz_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        counts: &[usize],
+        node_size: usize,
+        block: usize,
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        let n = group.len();
+        assert_eq!(counts.len(), n, "reduce_scatter_qgz: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter_qgz: counts sum");
+        let idx = member_index(group, self.rank)?;
+        assert_eq!(out.len(), counts[idx], "reduce_scatter_qgz: bad out length");
+        if n == 1 {
+            // No peers, no fabric op (see `all_reduce_in`).
+            out.copy_from_slice(input);
+            finalize(op, out, 1);
+            return Ok(());
+        }
+        let g = node_size;
+        if g == 0 || !n.is_multiple_of(g) {
+            return Err(CommError::InvalidTopology { rank: self.rank, world: n, node_size: g });
+        }
+        self.begin_op(CollectiveKind::ReduceScatter)?;
+        let nodes = n / g;
+        let slot = idx % g;
+        let node = idx / g;
+        let ranges = ranges_from_counts(counts);
+        // Mean sums through both phases and divides once at the end.
+        let inner = if op == ReduceOp::Mean { ReduceOp::Sum } else { op };
+
+        // Phase 1 — raw intra-node all-to-all, pairwise-ordered to match
+        // `all_to_all_in`. The payload to slot `s` concatenates the chunks
+        // of every slot-`s` owner in node order.
+        let col_len: usize = (0..nodes).map(|m| counts[m * g + slot]).sum();
+        let mut from_mates: Vec<Option<Vec<f32>>> = vec![None; g];
+        for d in 1..g {
+            let to_slot = (slot + d) % g;
+            let from_slot = (slot + g - d) % g;
+            let to = group.members()[node * g + to_slot];
+            let from = group.members()[node * g + from_slot];
+            let mut payload = Vec::new();
+            for m in 0..nodes {
+                payload.extend_from_slice(&input[ranges[m * g + to_slot].clone()]);
+            }
+            let bytes = prec.bytes() * payload.len() as u64;
+            self.send_raw(to, payload, CollectiveKind::ReduceScatter, bytes)?;
+            let incoming = self.recv_raw(from)?;
+            assert_eq!(incoming.len(), col_len, "reduce_scatter_qgz: phase-1 chunk mismatch");
+            from_mates[from_slot] = Some(incoming);
+        }
+        // Node-local partials for this rank's slot column, accumulated in
+        // slot order so every rank reduces identically.
+        let mut partial: Vec<Vec<f32>> = Vec::with_capacity(nodes);
+        for m in 0..nodes {
+            partial.push(vec![0.0; counts[m * g + slot]]);
+        }
+        for (s, mate) in from_mates.iter().enumerate() {
+            let mut off = 0usize;
+            for (m, dst) in partial.iter_mut().enumerate() {
+                let len = counts[m * g + slot];
+                let src: &[f32] = if s == slot {
+                    &input[ranges[m * g + slot].clone()]
+                } else {
+                    let Some(buf) = mate else {
+                        unreachable!("phase 1 received from every node-mate")
+                    };
+                    &buf[off..off + len]
+                };
+                if s == 0 {
+                    dst.copy_from_slice(src);
+                } else {
+                    apply(inner, dst, src);
+                }
+                off += len;
+            }
+        }
+
+        // Phase 2 — quantized inter-node all-to-all: node `m`'s same-slot
+        // owner receives this node's partial for its chunk as int8 codes.
+        let mut from_nodes: Vec<Option<Vec<f32>>> = vec![None; nodes];
+        for d in 1..nodes {
+            let to_node = (node + d) % nodes;
+            let from_node = (node + nodes - d) % nodes;
+            let to = group.members()[to_node * g + slot];
+            let from = group.members()[from_node * g + slot];
+            let q = quantize_for_transport(&partial[to_node], block);
+            let logical = quant_wire_bytes(counts[to_node * g + slot], block);
+            self.send_raw(to, q.encode(), CollectiveKind::ReduceScatter, logical)?;
+            from_nodes[from_node] = Some(self.recv_raw(from)?);
+        }
+        // Final reduction in node order; the local partial stays full
+        // precision — only the slow hop was quantized.
+        for (m, incoming) in from_nodes.iter().enumerate() {
+            let src: Vec<f32> = if m == node {
+                partial[node].clone()
+            } else {
+                let Some(stream) = incoming else {
+                    unreachable!("phase 2 received from every peer node")
+                };
+                BlockQuantized::decode(stream, counts[idx], block).dequantize()
+            };
+            if m == 0 {
+                out.copy_from_slice(&src);
+            } else {
+                apply(inner, out, &src);
+            }
+        }
+        finalize(op, out, n);
+        Ok(())
+    }
+}
+
+impl Communicator {
+    /// Starts a block-quantized ring all-gather (ZeRO++ qwZ) without
+    /// blocking; [`PendingOp::wait`] yields the full `Σ counts` buffer,
+    /// dequantized identically on every member.
+    ///
+    /// # Panics
+    /// Panics if `counts` is inconsistent with `group` and `shard`, or if
+    /// `block` is zero.
+    pub fn start_all_gather_quant(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        counts: &[usize],
+        block: usize,
+    ) -> PendingOp {
+        assert!(block > 0, "all_gather_quant: block size must be positive");
+        assert_eq!(counts.len(), group.len(), "all_gather_quant: counts length");
+        if let Some(idx) = group.local_index(self.rank()) {
+            assert_eq!(shard.len(), counts[idx], "all_gather_quant: bad shard length");
+        }
+        let req = Request::AllGatherQuant {
+            group: group.clone(),
+            shard: shard.to_vec(),
+            counts: counts.to_vec(),
+            block,
+        };
+        self.submit(Some(CollectiveKind::AllGather), req)
+    }
+
+    /// Blocking block-quantized ring all-gather (ZeRO++ qwZ); see
+    /// [`Communicator::start_all_gather_quant`].
+    ///
+    /// # Panics
+    /// Panics on length inconsistencies; membership violations surface as
+    /// [`CommError::NotInGroup`].
+    pub fn all_gather_quant_in(
+        &mut self,
+        group: &Group,
+        shard: &[f32],
+        out: &mut [f32],
+        counts: &[usize],
+        block: usize,
+    ) -> Result<(), CommError> {
+        assert_eq!(counts.iter().sum::<usize>(), out.len(), "all_gather_quant: counts sum");
+        let full = self.start_all_gather_quant(group, shard, counts, block).wait()?;
+        out.copy_from_slice(&full);
+        Ok(())
+    }
+
+    /// Starts a two-phase quantized reduce-scatter (ZeRO++ qgZ) without
+    /// blocking; [`PendingOp::wait`] yields this rank's reduced chunk
+    /// (`counts[idx]` elements). `prec` prices the raw intra-node phase;
+    /// the inter-node phase is accounted at int8 wire cost.
+    ///
+    /// # Panics
+    /// Panics if `counts` is inconsistent with `group` and `input`, or if
+    /// `block` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_reduce_scatter_qgz(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        op: ReduceOp,
+        counts: &[usize],
+        node_size: usize,
+        block: usize,
+        prec: Precision,
+    ) -> PendingOp {
+        assert!(block > 0, "reduce_scatter_qgz: block size must be positive");
+        assert_eq!(counts.len(), group.len(), "reduce_scatter_qgz: counts length");
+        assert_eq!(counts.iter().sum::<usize>(), input.len(), "reduce_scatter_qgz: counts sum");
+        let req = Request::ReduceScatterQgz {
+            group: group.clone(),
+            input: input.to_vec(),
+            op,
+            counts: counts.to_vec(),
+            node_size,
+            block,
+            prec,
+        };
+        self.submit(Some(CollectiveKind::ReduceScatter), req)
+    }
+
+    /// Blocking two-phase quantized reduce-scatter (ZeRO++ qgZ); see
+    /// [`Communicator::start_reduce_scatter_qgz`].
+    ///
+    /// # Errors
+    /// [`CommError::NotInGroup`] for a non-member caller and
+    /// [`CommError::InvalidTopology`] if `node_size` does not divide the
+    /// group size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_scatter_qgz_in(
+        &mut self,
+        group: &Group,
+        input: &[f32],
+        out: &mut [f32],
+        op: ReduceOp,
+        counts: &[usize],
+        node_size: usize,
+        block: usize,
+        prec: Precision,
+    ) -> Result<(), CommError> {
+        if let Some(idx) = group.local_index(self.rank()) {
+            assert_eq!(out.len(), counts[idx], "reduce_scatter_qgz: bad out length");
+        }
+        let chunk = self
+            .start_reduce_scatter_qgz(group, input, op, counts, node_size, block, prec)
+            .wait()?;
+        out.copy_from_slice(&chunk);
+        Ok(())
+    }
+}
+
 impl Communicator {
     /// All-to-all within `group`: member `i` sends `chunks[j]` of its
     /// input to member `j` and receives everyone's `i`-th chunk, in
@@ -1195,5 +1502,217 @@ mod extra_collective_tests {
         });
         let want: Vec<f32> = (0..13).map(|i| (i * i) as f32).collect();
         assert_eq!(results[0], want);
+    }
+}
+
+#[cfg(test)]
+mod compressed_tests {
+    use super::*;
+    use crate::world::{launch, launch_with_stats};
+
+    /// Shared helper: rank r's shard values for uneven counts.
+    fn shard_of(counts: &[usize], rank: usize) -> Vec<f32> {
+        let offset: usize = counts[..rank].iter().sum();
+        (0..counts[rank]).map(|j| ((offset + j) as f32 * 0.13).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn quant_all_gather_matches_raw_within_block_error() {
+        let n = 4;
+        let counts = [9usize, 0, 17, 5];
+        let total: usize = counts.iter().sum();
+        let block = 4;
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let shard = shard_of(&counts, c.rank());
+            let mut raw = vec![0.0; total];
+            c.all_gather_var_in(&g, &shard, &mut raw, &counts, Precision::Fp16).unwrap();
+            let mut q = vec![0.0; total];
+            c.all_gather_quant_in(&g, &shard, &mut q, &counts, block).unwrap();
+            (raw, q)
+        });
+        // All ranks see bitwise-identical gathered buffers...
+        for w in results.windows(2) {
+            assert_eq!(w[0].1, w[1].1, "quantized gather must agree across ranks");
+        }
+        // ...and each element is within the per-block error bound of raw.
+        let (raw, q) = &results[0];
+        let mut offset = 0;
+        for (rank, &cnt) in counts.iter().enumerate() {
+            let quantized = crate::quant::quantize(&raw[offset..offset + cnt], block)
+                .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+            for (b, chunk) in raw[offset..offset + cnt].chunks(block).enumerate() {
+                let bound = 0.5 * quantized.scales[b] * (1.0 + 1e-4) + 1e-30;
+                for (j, &v) in chunk.iter().enumerate() {
+                    let got = q[offset + b * block + j];
+                    assert!(
+                        (v - got).abs() <= bound,
+                        "rank {rank} block {b} elem {j}: {v} vs {got}"
+                    );
+                }
+            }
+            offset += cnt;
+        }
+    }
+
+    #[test]
+    fn quant_all_gather_wire_volume_matches_formula() {
+        let n = 4;
+        let counts = [100usize, 37, 64, 9];
+        let total: usize = counts.iter().sum();
+        let block = 16;
+        let (_, snaps) = launch_with_stats(n, move |mut c| {
+            let g = Group::world(n);
+            let shard = shard_of(&counts, c.rank());
+            let mut out = vec![0.0; total];
+            c.all_gather_quant_in(&g, &shard, &mut out, &counts, block).unwrap();
+        });
+        // Rank i forwards every chunk except its successor's.
+        for (i, s) in snaps.iter().enumerate() {
+            let want: u64 = (0..n)
+                .filter(|&j| j != (i + 1) % n)
+                .map(|j| quant_wire_bytes(counts[j], block))
+                .sum();
+            assert_eq!(s.bytes(CollectiveKind::AllGather), want, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn qgz_reduce_scatter_matches_raw_within_tolerance() {
+        // 4 ranks on 2 "nodes" of 2; Mean semantics like the grad path.
+        let n = 4;
+        let node_size = 2;
+        let counts = [11usize, 6, 0, 13];
+        let total: usize = counts.iter().sum();
+        let block = 4;
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let input: Vec<f32> =
+                (0..total).map(|i| ((i + 3 * c.rank()) as f32 * 0.21).cos() * 2.0).collect();
+            let mut raw = vec![0.0; counts[c.rank()]];
+            c.reduce_scatter_var_in(&g, &input, &mut raw, ReduceOp::Mean, &counts, Precision::Fp16)
+                .unwrap();
+            let mut q = vec![0.0; counts[c.rank()]];
+            c.reduce_scatter_qgz_in(
+                &g, &input, &mut q, ReduceOp::Mean, &counts, node_size, block, Precision::Fp16,
+            )
+            .unwrap();
+            (raw, q)
+        });
+        for (rank, (raw, q)) in results.iter().enumerate() {
+            assert_eq!(raw.len(), q.len());
+            for (j, (&a, &b)) in raw.iter().zip(q).enumerate() {
+                // One quantized hop of partials in ±(n/node_size)·range;
+                // a loose absolute bound suffices here (tight per-block
+                // bounds are covered in quant.rs).
+                assert!((a - b).abs() < 0.05, "rank {rank} elem {j}: raw {a} vs qgz {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn qgz_is_bit_deterministic_across_runs() {
+        let n = 4;
+        let counts = [7usize, 7, 7, 7];
+        let run = || {
+            launch(n, move |mut c| {
+                let g = Group::world(n);
+                let input: Vec<f32> =
+                    (0..28).map(|i| ((i * (c.rank() + 2)) as f32 * 0.11).sin()).collect();
+                let mut out = vec![0.0; counts[c.rank()]];
+                c.reduce_scatter_qgz_in(
+                    &g, &input, &mut out, ReduceOp::Mean, &counts, 2, 4, Precision::Fp16,
+                )
+                .unwrap();
+                out
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+
+    #[test]
+    fn qgz_wire_volume_matches_two_phase_formula() {
+        let n = 4;
+        let node_size = 2;
+        let counts = [40usize, 23, 31, 10];
+        let total: usize = counts.iter().sum();
+        let block = 8;
+        let (_, snaps) = launch_with_stats(n, move |mut c| {
+            let g = Group::world(n);
+            let input = vec![1.0_f32; total];
+            let mut out = vec![0.0; counts[c.rank()]];
+            c.reduce_scatter_qgz_in(
+                &g, &input, &mut out, ReduceOp::Sum, &counts, node_size, block, Precision::Fp16,
+            )
+            .unwrap();
+        });
+        let g = node_size;
+        let nodes = n / g;
+        for (i, s) in snaps.iter().enumerate() {
+            let (slot, node) = (i % g, i / g);
+            // Phase 1: to each node-mate s', the full column of slot s'.
+            let phase1: u64 = (0..g)
+                .filter(|&sp| sp != slot)
+                .map(|sp| {
+                    let col: usize = (0..nodes).map(|m| counts[m * g + sp]).sum();
+                    Precision::Fp16.bytes() * col as u64
+                })
+                .sum();
+            // Phase 2: to each other node, the quantized same-slot chunk.
+            let phase2: u64 = (0..nodes)
+                .filter(|&m| m != node)
+                .map(|m| quant_wire_bytes(counts[m * g + slot], block))
+                .sum();
+            assert_eq!(s.bytes(CollectiveKind::ReduceScatter), phase1 + phase2, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn qgz_rejects_indivisible_node_size() {
+        let errs = launch(4, move |mut c| {
+            let g = Group::world(4);
+            let input = vec![0.0_f32; 8];
+            let mut out = vec![0.0; 2];
+            c.reduce_scatter_qgz_in(
+                &g, &input, &mut out, ReduceOp::Sum, &[2, 2, 2, 2], 3, 4, Precision::Fp32,
+            )
+            .unwrap_err()
+        });
+        for (rank, e) in errs.iter().enumerate() {
+            assert_eq!(*e, CommError::InvalidTopology { rank, world: 4, node_size: 3 });
+        }
+    }
+
+    #[test]
+    fn qgz_single_node_group_stays_raw() {
+        // node_size == group size: phase 2 degenerates, no quantization of
+        // anything this rank keeps — result matches the raw reduce-scatter
+        // bit for bit (phase-1 ordering equals slot order on one node).
+        let n = 3;
+        let counts = [5usize, 4, 3];
+        let total: usize = counts.iter().sum();
+        let results = launch(n, move |mut c| {
+            let g = Group::world(n);
+            let input: Vec<f32> = (0..total).map(|i| (i + c.rank() * 7) as f32).collect();
+            let mut out = vec![0.0; counts[c.rank()]];
+            c.reduce_scatter_qgz_in(
+                &g, &input, &mut out, ReduceOp::Sum, &counts, n, 4, Precision::Fp32,
+            )
+            .unwrap();
+            out
+        });
+        // Integers sum exactly: compare against the analytic reduction.
+        let mut offset = 0;
+        for (rank, &cnt) in counts.iter().enumerate() {
+            for (j, &got) in results[rank].iter().enumerate().take(cnt) {
+                let want: f32 = (0..n).map(|r| (offset + j + r * 7) as f32).sum();
+                assert_eq!(got, want, "rank {rank} elem {j}");
+            }
+            offset += cnt;
+        }
     }
 }

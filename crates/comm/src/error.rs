@@ -91,6 +91,18 @@ pub enum CommError {
         /// The offending group's members.
         group: Vec<usize>,
     },
+    /// A hierarchical collective was invoked with a node size that does
+    /// not evenly divide the group: the ranks of a partial node would be
+    /// silently mis-grouped (some "node" groups would straddle physical
+    /// nodes), so the topology is rejected up front.
+    InvalidTopology {
+        /// The calling rank.
+        rank: usize,
+        /// Size of the group being split into nodes.
+        world: usize,
+        /// The ranks-per-node value that does not divide `world`.
+        node_size: usize,
+    },
     /// This rank's communication progress thread is gone: its job queue
     /// disconnected before (or while) a pending op awaited its result.
     /// The fabric endpoints died with it, so peers observe `PeerLost`.
@@ -122,6 +134,7 @@ impl CommError {
             | CommError::InjectedCrash { rank, .. }
             | CommError::InjectedHang { rank, .. } => rank,
             CommError::NotInGroup { rank, .. } => rank,
+            CommError::InvalidTopology { rank, .. } => rank,
             CommError::ProgressLost { rank } => rank,
             CommError::ProgressStalled { rank, .. } => rank,
         }
@@ -168,6 +181,10 @@ impl std::fmt::Display for CommError {
             CommError::NotInGroup { rank, group } => {
                 write!(f, "rank {rank} is not a member of collective group {group:?}")
             }
+            CommError::InvalidTopology { rank, world, node_size } => write!(
+                f,
+                "rank {rank}: node size {node_size} does not divide group size {world}"
+            ),
             CommError::ProgressLost { rank } => {
                 write!(f, "rank {rank}: communication progress thread is gone")
             }

@@ -23,7 +23,7 @@ use crate::world::Communicator;
 
 /// Topology for the two-level reduction: ranks `[node·G, node·G + G)`
 /// share a node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeTopology {
     /// Ranks per node G.
     pub ranks_per_node: usize,
@@ -34,6 +34,17 @@ impl NodeTopology {
     pub fn new(g: usize) -> NodeTopology {
         assert!(g > 0, "ranks_per_node must be positive");
         NodeTopology { ranks_per_node: g }
+    }
+
+    /// Checked constructor: rejects a node size that does not evenly
+    /// divide `world` (which would silently mis-group the tail ranks —
+    /// `node_group` would hand them members beyond the world) with a
+    /// typed [`CommError::InvalidTopology`].
+    pub fn for_world(g: usize, world: usize, rank: usize) -> Result<NodeTopology, CommError> {
+        if g == 0 || !world.is_multiple_of(g) {
+            return Err(CommError::InvalidTopology { rank, world, node_size: g });
+        }
+        Ok(NodeTopology { ranks_per_node: g })
     }
 
     /// The intra-node group of `rank`.
@@ -56,8 +67,9 @@ impl Communicator {
     /// all-reduce of the owned chunk, intra-node all-gather. Numerically
     /// equivalent to [`Communicator::all_reduce`] up to reassociation.
     ///
-    /// # Panics
-    /// Panics if the world size is not a multiple of `topo.ranks_per_node`.
+    /// Returns [`CommError::InvalidTopology`] if the world size is not a
+    /// multiple of `topo.ranks_per_node` — the two-level grouping would
+    /// otherwise silently assign out-of-world members to the tail node.
     pub fn hierarchical_all_reduce(
         &mut self,
         topo: &NodeTopology,
@@ -67,7 +79,13 @@ impl Communicator {
     ) -> Result<(), CommError> {
         let world = self.world_size();
         let g = topo.ranks_per_node;
-        assert_eq!(world % g, 0, "world {world} not a multiple of node size {g}");
+        if !world.is_multiple_of(g) {
+            return Err(CommError::InvalidTopology {
+                rank: self.rank(),
+                world,
+                node_size: g,
+            });
+        }
         if world == 1 {
             // Degenerate: behave like the flat collective.
             return self.all_reduce(buf, op, prec);
@@ -195,12 +213,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank panicked")]
-    fn bad_topology_rejected() {
+    fn indivisible_world_yields_typed_error() {
+        // Every rank gets the typed error back (no panic, no deadlock):
+        // the divisibility check happens before any message is exchanged.
         let topo = NodeTopology::new(3);
-        launch(4, move |mut c| {
+        let errs = launch(4, move |mut c| {
             let mut buf = vec![0.0_f32; 4];
-            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32).unwrap();
+            c.hierarchical_all_reduce(&topo, &mut buf, ReduceOp::Sum, Precision::Fp32)
+                .unwrap_err()
         });
+        for (rank, e) in errs.iter().enumerate() {
+            assert_eq!(*e, CommError::InvalidTopology { rank, world: 4, node_size: 3 });
+            assert_eq!(e.rank(), rank);
+            assert!(!e.is_self_fault());
+        }
+    }
+
+    #[test]
+    fn checked_constructor_rejects_indivisible_worlds() {
+        assert!(NodeTopology::for_world(2, 8, 0).is_ok());
+        assert!(NodeTopology::for_world(8, 8, 0).is_ok());
+        assert_eq!(
+            NodeTopology::for_world(3, 8, 5),
+            Err(CommError::InvalidTopology { rank: 5, world: 8, node_size: 3 })
+        );
+        assert_eq!(
+            NodeTopology::for_world(0, 8, 1),
+            Err(CommError::InvalidTopology { rank: 1, world: 8, node_size: 0 })
+        );
+        assert_eq!(NodeTopology::for_world(4, 8, 0).unwrap().ranks_per_node, 4);
     }
 }

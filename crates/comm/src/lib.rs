@@ -30,6 +30,7 @@ pub mod group;
 pub mod hierarchical;
 pub mod nonblocking;
 pub mod protocol;
+pub mod quant;
 pub mod stats;
 pub mod process;
 pub mod transport;
@@ -44,6 +45,10 @@ pub use group::{Grid, Group};
 pub use hierarchical::NodeTopology;
 pub use nonblocking::PendingOp;
 pub use process::{connect_process_rank, ProcessWorldConfig, RankProcs};
+pub use quant::{
+    quant_wire_bytes, quantize, quantize_for_transport, BlockQuantized, QuantError,
+    DEFAULT_QUANT_BLOCK,
+};
 pub use stats::{
     CollectiveKind, TimingSnapshot, TrafficSnapshot, TrafficStats, ALL_KINDS, KIND_COUNT,
 };
@@ -51,5 +56,5 @@ pub use transport::{Msg, ShutdownLatch, TimeoutBarrier, Transport};
 pub use wire::{Frame, WireError, MAX_FRAME_LEN};
 pub use world::{
     launch, launch_with_config, launch_with_stats, try_launch, try_launch_with_config,
-    Communicator, RankFailure, World, WorldConfig,
+    Communicator, RankFailure, TieredLink, World, WorldConfig,
 };

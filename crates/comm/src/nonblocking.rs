@@ -48,6 +48,20 @@ pub(crate) enum Request {
     /// Ring all-gather with explicit per-member counts; the result is the
     /// full `Σ counts` buffer.
     AllGather { group: Group, shard: Vec<f32>, counts: Vec<usize>, prec: Precision },
+    /// Block-quantized ring all-gather (ZeRO++ qwZ); the result is the
+    /// full `Σ counts` buffer, dequantized identically on every member.
+    AllGatherQuant { group: Group, shard: Vec<f32>, counts: Vec<usize>, block: usize },
+    /// Two-phase quantized reduce-scatter (ZeRO++ qgZ); the result is
+    /// this rank's reduced chunk (`counts[idx]` elements).
+    ReduceScatterQgz {
+        group: Group,
+        input: Vec<f32>,
+        op: ReduceOp,
+        counts: Vec<usize>,
+        node_size: usize,
+        block: usize,
+        prec: Precision,
+    },
     /// Pipelined broadcast from `root`; the result is the final buffer.
     Broadcast { group: Group, root: usize, data: Vec<f32>, prec: Precision },
     /// Chain reduce to `root`; non-roots get their input back unchanged.
@@ -71,8 +85,12 @@ impl Request {
     fn kind(&self) -> Option<CollectiveKind> {
         match self {
             Request::AllReduce { .. } => Some(CollectiveKind::AllReduce),
-            Request::ReduceScatter { .. } => Some(CollectiveKind::ReduceScatter),
-            Request::AllGather { .. } => Some(CollectiveKind::AllGather),
+            Request::ReduceScatter { .. } | Request::ReduceScatterQgz { .. } => {
+                Some(CollectiveKind::ReduceScatter)
+            }
+            Request::AllGather { .. } | Request::AllGatherQuant { .. } => {
+                Some(CollectiveKind::AllGather)
+            }
             Request::Broadcast { .. } => Some(CollectiveKind::Broadcast),
             Request::Reduce { .. } => Some(CollectiveKind::Reduce),
             Request::AllToAll { .. }
@@ -227,6 +245,22 @@ fn exec(fabric: &mut Fabric, req: Request) -> Result<Vec<f32>, CommError> {
         Request::AllGather { group, shard, counts, prec } => {
             let mut out = vec![0.0; counts.iter().sum()];
             fabric.all_gather_var_in(&group, &shard, &mut out, &counts, prec)?;
+            Ok(out)
+        }
+        Request::AllGatherQuant { group, shard, counts, block } => {
+            let mut out = vec![0.0; counts.iter().sum()];
+            fabric.all_gather_quant_in(&group, &shard, &mut out, &counts, block)?;
+            Ok(out)
+        }
+        Request::ReduceScatterQgz { group, input, op, counts, node_size, block, prec } => {
+            let out_len = match group.local_index(fabric.rank) {
+                Some(idx) => counts[idx],
+                None => 0,
+            };
+            let mut out = vec![0.0; out_len];
+            fabric.reduce_scatter_qgz_in(
+                &group, &input, &mut out, op, &counts, node_size, block, prec,
+            )?;
             Ok(out)
         }
         Request::Broadcast { group, root, mut data, prec } => {

@@ -150,6 +150,7 @@ pub fn connect_process_rank(
         recv_timeout: cfg.recv_timeout,
         faults: cfg.faults.clone(),
         link_latency: cfg.link_latency,
+        tiered_link: None,
     };
     // The latch only matters to the channel backend (it counts sibling
     // threads in one process); a process rank has no in-process siblings,

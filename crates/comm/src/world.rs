@@ -42,6 +42,40 @@ use crate::stats::{CollectiveKind, TrafficStats};
 use crate::transport::{ChannelTransport, Msg, ShutdownLatch, TimeoutBarrier, Transport};
 use zero_trace::{SpanCategory, TraceRecorder, TRACK_PROGRESS};
 
+/// Modeled two-tier interconnect: fast links within a node (NVLink), a
+/// slow shared link between nodes (IB/Ethernet). Nodes are contiguous
+/// blocks of `node_size` global ranks, matching
+/// [`NodeTopology`](crate::hierarchical::NodeTopology). Costs are charged per message on
+/// the *sender's* progress thread — latency plus logical bytes over
+/// bandwidth — so compressed payloads (fewer logical bytes) genuinely
+/// serialize faster and async ops can hide the cost.
+#[derive(Clone, Copy, Debug)]
+pub struct TieredLink {
+    /// Ranks per node (node = contiguous block of global ranks).
+    pub node_size: usize,
+    /// Per-message latency within a node.
+    pub intra_latency: Duration,
+    /// Intra-node bandwidth, bytes per second.
+    pub intra_bytes_per_sec: f64,
+    /// Per-message latency across nodes.
+    pub inter_latency: Duration,
+    /// Inter-node bandwidth, bytes per second.
+    pub inter_bytes_per_sec: f64,
+}
+
+impl TieredLink {
+    /// The modeled cost of sending `logical_bytes` from `src` to `dst`.
+    pub fn send_cost(&self, src: usize, dst: usize, logical_bytes: u64) -> Duration {
+        let cross = src / self.node_size != dst / self.node_size;
+        let (lat, bw) = if cross {
+            (self.inter_latency, self.inter_bytes_per_sec)
+        } else {
+            (self.intra_latency, self.intra_bytes_per_sec)
+        };
+        lat + Duration::from_secs_f64(logical_bytes as f64 / bw.max(1.0))
+    }
+}
+
 /// Fabric-wide configuration: receive timeout, fault script, and modeled
 /// link latency.
 #[derive(Clone, Debug)]
@@ -59,6 +93,11 @@ pub struct WorldConfig {
     /// progress thread, not the compute thread, so asynchronous ops can
     /// genuinely hide it.
     pub link_latency: Duration,
+    /// Modeled two-tier interconnect (intra- vs inter-node latency and
+    /// bandwidth), applied as a per-message sender-side cost in addition
+    /// to `link_latency`. `None` (the default) models no serialization
+    /// cost, preserving existing behavior bit for bit.
+    pub tiered_link: Option<TieredLink>,
 }
 
 impl Default for WorldConfig {
@@ -67,6 +106,7 @@ impl Default for WorldConfig {
             recv_timeout: Duration::from_secs(30),
             faults: FaultPlan::new(),
             link_latency: Duration::ZERO,
+            tiered_link: None,
         }
     }
 }
@@ -80,6 +120,15 @@ impl WorldConfig {
     /// Default config with a modeled per-hop link latency.
     pub fn with_link_latency(link_latency: Duration) -> WorldConfig {
         WorldConfig { link_latency, ..WorldConfig::default() }
+    }
+
+    /// Default config with a modeled two-tier interconnect.
+    ///
+    /// # Panics
+    /// Panics if `link.node_size == 0`.
+    pub fn with_tiered_link(link: TieredLink) -> WorldConfig {
+        assert!(link.node_size > 0, "tiered link node size must be positive");
+        WorldConfig { tiered_link: Some(link), ..WorldConfig::default() }
     }
 }
 
@@ -197,6 +246,7 @@ pub(crate) struct Fabric {
     pub(crate) trace: Arc<TraceRecorder>,
     recv_timeout: Duration,
     link_latency: Duration,
+    tiered_link: Option<TieredLink>,
     fault: FaultState,
     dead: bool,
 }
@@ -259,6 +309,13 @@ impl Fabric {
         logical_bytes: u64,
     ) -> Result<(), CommError> {
         debug_assert!(dst < self.world && dst != self.rank, "bad dst {dst}");
+        if let Some(link) = self.tiered_link {
+            // Modeled serialization cost of the two-tier interconnect,
+            // paid on the progress thread like `link_latency` so overlap
+            // can hide it. Charged on logical bytes: a compressed payload
+            // really does clear the slow link sooner.
+            std::thread::sleep(link.send_cost(self.rank, dst, logical_bytes));
+        }
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
         self.stats.record_send(kind, logical_bytes);
@@ -382,6 +439,7 @@ impl Communicator {
             trace: trace.clone(),
             recv_timeout: config.recv_timeout,
             link_latency: config.link_latency,
+            tiered_link: config.tiered_link,
             fault: config.faults.for_rank(rank),
             dead: false,
         };

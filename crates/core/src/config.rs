@@ -76,6 +76,57 @@ impl ZeroStage {
     }
 }
 
+/// ZeRO++-style communication compression switches.
+///
+/// Three independent levers shrink the bytes each collective puts on the
+/// wire, trading a bounded quantization error for bandwidth:
+///
+/// - **qwZ** — quantized weight all-gather: stage-3 forward/eval parameter
+///   fetches circulate block-quantized int8 streams instead of raw fp16.
+/// - **hpZ** — hierarchical (secondary) parameter partition: each rank
+///   additionally keeps a node-local fp16 copy of every unit, so the
+///   *backward* all-gathers resolve inside the node and never cross the
+///   slow inter-node links (extra Ψ/G memory per rank, priced under
+///   `MemCategory::SecondaryParams`).
+/// - **qgZ** — quantized gradient reduce-scatter: the bucket flush runs a
+///   two-phase all-to-all (raw intra-node, int8 inter-node) instead of
+///   the raw ring.
+///
+/// All three require mp = 1 and a DP degree divisible by `node_size`.
+/// With everything off (the default) plans and runs are bitwise identical
+/// to the uncompressed engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionConfig {
+    /// Quantized weight all-gather on stage-3 forward/eval fetches.
+    pub qwz: bool,
+    /// Secondary node-local parameter partition serving backward fetches.
+    pub hpz: bool,
+    /// Quantized all-to-all gradient reduce-scatter on bucket flushes.
+    pub qgz: bool,
+    /// Ranks per node G for the two-tier topology the levers exploit.
+    pub node_size: usize,
+    /// Quantization block length (elements per scale/zero pair).
+    pub block: usize,
+}
+
+impl CompressionConfig {
+    /// Everything off; the engine behaves exactly as without ZeRO++.
+    pub const fn off() -> CompressionConfig {
+        CompressionConfig { qwz: false, hpz: false, qgz: false, node_size: 1, block: 64 }
+    }
+
+    /// True if any lever is enabled.
+    pub fn any(&self) -> bool {
+        self.qwz || self.hpz || self.qgz
+    }
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig::off()
+    }
+}
+
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ZeroConfig {
@@ -126,6 +177,8 @@ pub struct ZeroConfig {
     /// to synchronous execution: the same ops run in the same issue order,
     /// only the waits move.
     pub overlap: bool,
+    /// ZeRO++-style communication compression (qwZ / hpZ / qgZ).
+    pub compression: CompressionConfig,
 }
 
 impl Default for ZeroConfig {
@@ -146,6 +199,7 @@ impl Default for ZeroConfig {
             dropout: 0.0,
             node_size: None,
             overlap: false,
+            compression: CompressionConfig::off(),
         }
     }
 }
@@ -175,6 +229,16 @@ impl ZeroConfig {
             assert!(
                 self.partition_activations,
                 "P_a+cpu requires P_a (partitioned checkpoints)"
+            );
+        }
+        if self.compression.any() {
+            assert!(
+                self.compression.node_size >= 1,
+                "compression node_size must be at least 1"
+            );
+            assert!(
+                self.compression.block >= 1,
+                "compression block must be at least 1"
             );
         }
     }
@@ -251,5 +315,42 @@ mod tests {
         ZeroConfig::default().validate();
         ZeroConfig::zero_100b().validate();
         ZeroConfig::fp32_exact(ZeroStage::Three).validate();
+    }
+
+    #[test]
+    fn compression_defaults_off() {
+        let c = CompressionConfig::off();
+        assert!(!c.any());
+        assert_eq!(ZeroConfig::default().compression, c);
+        let on = CompressionConfig { qwz: true, ..c };
+        assert!(on.any());
+    }
+
+    #[test]
+    #[should_panic(expected = "node_size")]
+    fn zero_node_size_compression_rejected() {
+        ZeroConfig {
+            compression: CompressionConfig {
+                qgz: true,
+                node_size: 0,
+                ..CompressionConfig::off()
+            },
+            ..ZeroConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "block")]
+    fn zero_block_compression_rejected() {
+        ZeroConfig {
+            compression: CompressionConfig {
+                qwz: true,
+                block: 0,
+                ..CompressionConfig::off()
+            },
+            ..ZeroConfig::default()
+        }
+        .validate();
     }
 }

@@ -41,7 +41,7 @@ use crate::bucket::GradBucket;
 use crate::config::{ZeroConfig, ZeroStage};
 use crate::memory::{MemCategory, MemoryTracker};
 use crate::partition::Partitioner;
-use crate::plan::{CommPlan, PlanCursor};
+use crate::plan::{CommPlan, EffectiveCompression, PlanCursor, WireFmt};
 use crate::store::FlatStore;
 
 /// Result of one training step.
@@ -93,6 +93,10 @@ struct PendingFetch {
     op: PendingOp,
     /// Full unit length in elements.
     len: usize,
+    /// hpZ: when this is a global (first-touch) gather, the unit's flat
+    /// range — on completion the rank's secondary slice is stashed into
+    /// the node-local replica. `None` for node-scope refetches.
+    stash: Option<std::ops::Range<usize>>,
 }
 
 /// The optimizer over the master shard, selected by
@@ -136,6 +140,22 @@ pub struct RankEngine {
     dp_idx: usize,
     mp_idx: usize,
     part: Partitioner,
+    /// Effective ZeRO++ levers for this run (qwZ/hpZ/qgZ after stage and
+    /// topology gating) — resolved identically to the plan builder's.
+    comp: EffectiveCompression,
+    /// hpZ: this rank's intra-node group (`node_size` consecutive ranks);
+    /// aliases the DP group when hpZ is off.
+    node_group: Group,
+    /// hpZ: partition of flat parameter space over the node's G slots.
+    sec_part: Partitioner,
+    /// hpZ secondary parameter partition: the node-local replica shard
+    /// (≈ 2Ψ/G), populated by each unit's first global all-gather of the
+    /// step and served back by node-scope refetches.
+    secondary: Option<FlatStore>,
+    /// hpZ per-unit first-touch flags, reset at every plan install: once a
+    /// unit's global gather has been issued this step, every later fetch
+    /// of it resolves intra-node over the secondary partition.
+    sec_stashed: Vec<bool>,
 
     /// Working parameters consumed by forward/backward: full flat buffer
     /// (stages DDP/1/2) or this rank's 1/N_d shard (stage 3).
@@ -216,7 +236,26 @@ impl RankEngine {
         let part = Partitioner::new(psi, grid.dp_degree());
         let my_shard = part.shard_range(dp_idx);
 
+        let comp = EffectiveCompression::resolve(&zcfg, grid);
+        let node_group = if comp.hpz {
+            zero_comm::NodeTopology::new(comp.node_size).node_group(rank)
+        } else {
+            dp_group.clone()
+        };
+        let sec_part = Partitioner::new(psi, comp.node_size.max(1));
+
         let mut mem = MemoryTracker::new();
+
+        // hpZ secondary partition: the node-local replica shard, priced as
+        // device memory (but not a §3 model state — it is a derived cache).
+        let secondary = comp.hpz.then(|| {
+            // Node groups are G consecutive ranks, so the slot is direct.
+            let slot = rank % comp.node_size;
+            let sec = FlatStore::zeros(sec_part.shard_range(slot).len(), zcfg.fp16);
+            mem.alloc(MemCategory::SecondaryParams, sec.bytes());
+            sec
+        });
+        let sec_stashed = vec![false; gpt.layout().units().len()];
 
         // Working parameters.
         let work = if zcfg.stage.partitions_params() {
@@ -277,6 +316,11 @@ impl RankEngine {
             dp_idx,
             mp_idx,
             part,
+            comp,
+            node_group,
+            sec_part,
+            secondary,
+            sec_stashed,
             work,
             master,
             opt,
@@ -392,14 +436,38 @@ impl RankEngine {
         let len = unit_range.len();
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
         if self.zcfg.stage.partitions_params() {
+            let prec = self.precision();
+            let mut out = vec![0.0; len];
+            if self.comp.hpz && self.sec_stashed[u] {
+                // hpZ refetch: raw all-gather over the node-local
+                // secondary partition — never crosses a node boundary.
+                let op = self.plan.take(CollectiveKind::AllGather, &self.node_group);
+                assert_eq!(op.total_elems(), len, "planned fetch-unit size");
+                let piece = self.read_secondary_piece(&unit_range);
+                self.comm
+                    .all_gather_var_in(&self.node_group, &piece, &mut out, &op.counts, prec)?;
+                return Ok(out);
+            }
             let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
             assert_eq!(op.total_elems(), len, "planned fetch-unit size");
             let local = self.part.local_slice_of(self.dp_idx, &unit_range);
             let piece = self.work.read_vec(local);
-            let mut out = vec![0.0; len];
-            let prec = self.precision();
-            self.comm
-                .all_gather_var_in(&self.dp_group, &piece, &mut out, &op.counts, prec)?;
+            match op.wire {
+                WireFmt::Int8Block { block } => self.comm.all_gather_quant_in(
+                    &self.dp_group,
+                    &piece,
+                    &mut out,
+                    &op.counts,
+                    block,
+                )?,
+                _ => self
+                    .comm
+                    .all_gather_var_in(&self.dp_group, &piece, &mut out, &op.counts, prec)?,
+            }
+            if self.comp.hpz {
+                self.sec_stashed[u] = true;
+                self.stash_secondary(&unit_range, &out);
+            }
             Ok(out)
         } else {
             Ok(self.work.read_vec(unit_range))
@@ -425,16 +493,35 @@ impl RankEngine {
         let unit_range = self.gpt.layout().units()[u].range.clone();
         let len = unit_range.len();
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
+        let prec = self.precision();
+        if self.comp.hpz && self.sec_stashed[u] {
+            let op = self.plan.take(CollectiveKind::AllGather, &self.node_group);
+            assert_eq!(op.total_elems(), len, "planned fetch-unit size");
+            self.trace.instant(SpanCategory::Collective, "prefetch-issue");
+            let piece = self.read_secondary_piece(&unit_range);
+            let pending = self
+                .comm
+                .start_all_gather_var(&self.node_group, &piece, &op.counts, prec);
+            return PendingFetch { unit: u, op: pending, len, stash: None };
+        }
         let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
         assert_eq!(op.total_elems(), len, "planned fetch-unit size");
         self.trace.instant(SpanCategory::Collective, "prefetch-issue");
         let local = self.part.local_slice_of(self.dp_idx, &unit_range);
         let piece = self.work.read_vec(local);
-        let prec = self.precision();
-        let pending = self
-            .comm
-            .start_all_gather_var(&self.dp_group, &piece, &op.counts, prec);
-        PendingFetch { unit: u, op: pending, len }
+        let pending = match op.wire {
+            WireFmt::Int8Block { block } => {
+                self.comm.start_all_gather_quant(&self.dp_group, &piece, &op.counts, block)
+            }
+            _ => self.comm.start_all_gather_var(&self.dp_group, &piece, &op.counts, prec),
+        };
+        // First-touch flags flip at issue time, mirroring the plan
+        // builder: any fetch issued after this one sees the stash.
+        let stash = self.comp.hpz.then_some(unit_range);
+        if stash.is_some() {
+            self.sec_stashed[u] = true;
+        }
+        PendingFetch { unit: u, op: pending, len, stash }
     }
 
     /// Prefetch-aware [`Self::fetch_unit`]: takes unit `u` from the
@@ -459,6 +546,9 @@ impl RankEngine {
         match cur.op.wait() {
             Ok(out) => {
                 debug_assert_eq!(out.len(), cur.len);
+                if let Some(range) = cur.stash {
+                    self.stash_secondary(&range, &out);
+                }
                 Ok(out)
             }
             Err(e) => {
@@ -466,6 +556,47 @@ impl RankEngine {
                 Err(e)
             }
         }
+    }
+
+    /// hpZ: this rank's slot within its node (shard index in `sec_part`).
+    /// Node groups are G consecutive ranks, so the slot is direct.
+    #[inline]
+    fn node_slot(&self) -> usize {
+        let slot = self.comm.rank() % self.comp.node_size;
+        debug_assert_eq!(self.node_group.local_index(self.comm.rank()), Some(slot));
+        slot
+    }
+
+    /// hpZ: copies this rank's secondary-partition slice of a freshly
+    /// gathered unit into the node-local replica. The gathered buffer is
+    /// bitwise identical on every rank (raw and qwZ alike), so the replica
+    /// stays node-consistent without extra communication. In fp16 mode the
+    /// store rounds dequantized values to fp16 — the replica is exactly
+    /// the fp16 image of what this step's forward saw.
+    fn stash_secondary(&mut self, unit_range: &std::ops::Range<usize>, data: &[f32]) {
+        if self.secondary.is_none() {
+            return;
+        }
+        let slot = self.node_slot();
+        let sec_range = self.sec_part.shard_range(slot);
+        let lo = sec_range.start.max(unit_range.start);
+        let hi = sec_range.end.min(unit_range.end);
+        if lo >= hi {
+            return;
+        }
+        let local = self.sec_part.local_slice_of(slot, unit_range);
+        self.secondary
+            .as_mut()
+            .expect("hpZ secondary store")
+            .write_from(local, &data[lo - unit_range.start..hi - unit_range.start]);
+    }
+
+    /// hpZ: this rank's contribution to a node-scope refetch — the
+    /// intersection of the unit with its secondary shard.
+    fn read_secondary_piece(&self, unit_range: &std::ops::Range<usize>) -> Vec<f32> {
+        let slot = self.node_slot();
+        let local = self.sec_part.local_slice_of(slot, unit_range);
+        self.secondary.as_ref().expect("hpZ secondary store").read_vec(local)
     }
 
     /// Waits every in-flight bucket reduce-scatter in FIFO (issue) order
@@ -511,6 +642,11 @@ impl RankEngine {
         if let Some(pf) = self.prefetch.take() {
             self.mem.free(MemCategory::Buffers, 4 * pf.len as u64);
             drop(pf.op);
+        }
+        // hpZ first-touch flags reset with each plan, mirroring the
+        // builder's per-plan state.
+        for s in &mut self.sec_stashed {
+            *s = false;
         }
     }
 
@@ -674,8 +810,19 @@ impl RankEngine {
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-bucket size");
             let local = part.local_slice_of(*dp_idx, &r);
-            let pending =
-                comm.start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec);
+            let pending = match op.wire {
+                WireFmt::QgzInt8 { node_size, block } => comm.start_reduce_scatter_qgz(
+                    dp_group,
+                    fused,
+                    ReduceOp::Mean,
+                    &op.counts,
+                    node_size,
+                    block,
+                    prec,
+                ),
+                _ => comm
+                    .start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec),
+            };
             if overlap {
                 // Deferred: backward keeps computing while the ring runs;
                 // `drain_inflight` waits and applies at end-of-backward.
@@ -730,8 +877,19 @@ impl RankEngine {
             let op = plan.take(CollectiveKind::ReduceScatter, dp_group);
             assert_eq!(op.total_elems(), fused.len(), "planned grad-flush size");
             let local = part.local_slice_of(*dp_idx, &r);
-            let pending =
-                comm.start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec);
+            let pending = match op.wire {
+                WireFmt::QgzInt8 { node_size, block } => comm.start_reduce_scatter_qgz(
+                    dp_group,
+                    fused,
+                    ReduceOp::Mean,
+                    &op.counts,
+                    node_size,
+                    block,
+                    prec,
+                ),
+                _ => comm
+                    .start_reduce_scatter_var(dp_group, fused, ReduceOp::Mean, &op.counts, prec),
+            };
             if overlap {
                 inflight_rs.push(InflightReduce { local, op: pending, bytes: 4 * fused.len() as u64 });
             } else {

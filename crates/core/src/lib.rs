@@ -40,7 +40,7 @@ pub mod trainer;
 
 pub use arena::ContiguousArena;
 pub use bucket::GradBucket;
-pub use config::{OptimizerKind, ZeroConfig, ZeroStage};
+pub use config::{CompressionConfig, OptimizerKind, ZeroConfig, ZeroStage};
 pub use engine::{RankEngine, StepOutcome};
 pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
 pub use metrics::TrainingMetrics;
@@ -49,7 +49,10 @@ pub use procworld::{
     maybe_run_worker, run_supervised_process, KillSpec, ProcessSupervisedReport,
     ProcessWorldOptions, WorkerCommand, WORKER_SPEC_ENV,
 };
-pub use plan::{CommPlan, CountSpec, PlanCursor, PlanOp, PlanScope, ResolvedOp, StepShape};
+pub use plan::{
+    CommPlan, CountSpec, EffectiveCompression, PlanCursor, PlanOp, PlanScope, ResolvedOp,
+    StepShape, WireFmt,
+};
 pub use snapshot::{
     export_inference_shards, reshard, validate_consistent, RankSnapshot, SnapshotError,
 };

@@ -32,10 +32,15 @@ pub enum MemCategory {
     /// Bytes resident in CPU memory via P_a+cpu offload — NOT device
     /// memory; excluded from [`MemoryTracker::device_live`].
     CpuOffload = 8,
+    /// hpZ secondary parameter partition: the node-local fp16 replica
+    /// (≈ 2Ψ/G per rank) that lets backward all-gathers stay intra-node.
+    /// Device memory, but NOT a model state in the paper's §3 sense —
+    /// it is a derived cache rebuilt from the primary partition.
+    SecondaryParams = 9,
 }
 
 /// Number of categories.
-pub const CATEGORY_COUNT: usize = 9;
+pub const CATEGORY_COUNT: usize = 10;
 
 /// All categories in discriminant order.
 pub const ALL_CATEGORIES: [MemCategory; CATEGORY_COUNT] = [
@@ -48,6 +53,7 @@ pub const ALL_CATEGORIES: [MemCategory; CATEGORY_COUNT] = [
     MemCategory::Checkpoints,
     MemCategory::Buffers,
     MemCategory::CpuOffload,
+    MemCategory::SecondaryParams,
 ];
 
 /// Categories that constitute "model states" in the paper's sense.
@@ -204,6 +210,14 @@ mod tests {
         assert_eq!(m.live(MemCategory::CpuOffload), 1_000_000);
         m.record_cpu_transfer(2_000_000);
         assert_eq!(m.cpu_transfer_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn secondary_params_are_device_but_not_model_state() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::SecondaryParams, 500);
+        assert_eq!(m.device_live(), 500);
+        assert_eq!(m.model_state_live(), 0);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 
-use zero_comm::{chunk_range, CollectiveKind, Grid, Group, NodeTopology, Precision, KIND_COUNT};
+use zero_comm::{
+    chunk_range, quant_wire_bytes, CollectiveKind, Grid, Group, NodeTopology, Precision,
+    KIND_COUNT,
+};
 use zero_model::Layout;
 
 use crate::config::{ZeroConfig, ZeroStage};
@@ -74,6 +77,32 @@ pub enum CountSpec {
     },
 }
 
+/// Wire format of a planned collective: how the engine encodes the buffer
+/// on the wire, and therefore how many bytes each hop actually carries.
+/// `Raw` reproduces the uncompressed engine exactly; the other variants
+/// are the ZeRO++ compression levers, whose byte formulas mirror the
+/// metered costs of the `zero-comm` compressed collectives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFmt {
+    /// Uncompressed `prec`-width elements.
+    Raw,
+    /// qwZ: ring all-gather of block-quantized streams — 1 byte per
+    /// element plus one fp32 scale/zero pair per `block` elements.
+    Int8Block {
+        /// Quantization block length.
+        block: usize,
+    },
+    /// qgZ: two-phase all-to-all reduce-scatter — raw pairwise exchange
+    /// inside each node of `node_size` ranks, block-quantized pairwise
+    /// exchange between same-slot ranks across nodes.
+    QgzInt8 {
+        /// Ranks per node G of the two-tier grouping.
+        node_size: usize,
+        /// Quantization block length.
+        block: usize,
+    },
+}
+
 /// One planned collective: kind, scope, counts, accounting precision, and
 /// a stable label naming the schedule position it models.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +125,8 @@ pub struct PlanOp {
     /// proves deadlock-freedom for the async schedule exactly as for the
     /// synchronous one.
     pub nonblocking: bool,
+    /// Wire encoding (ZeRO++ compression lever, or `Raw`).
+    pub wire: WireFmt,
 }
 
 /// A [`PlanOp`] resolved for one concrete rank: explicit members and
@@ -115,6 +146,8 @@ pub struct ResolvedOp {
     pub label: &'static str,
     /// Whether the engine issues this op non-blocking (see [`PlanOp`]).
     pub nonblocking: bool,
+    /// Wire encoding (ZeRO++ compression lever, or `Raw`).
+    pub wire: WireFmt,
 }
 
 impl ResolvedOp {
@@ -156,8 +189,9 @@ impl ResolvedOp {
     }
 
     /// Messages this rank sends: `2(n−1)` for all-reduce, `n−1` for the
-    /// single-phase ring collectives, `0` for single-member groups.
-    /// (Empty chunks still travel as zero-length messages.)
+    /// single-phase ring collectives, `(G−1) + (n/G−1)` for the two-phase
+    /// qgZ all-to-all, `0` for single-member groups. (Empty chunks still
+    /// travel as zero-length messages.)
     pub fn sent_messages(&self, rank: usize) -> usize {
         let n = self.members.len();
         if n == 1 {
@@ -168,6 +202,9 @@ impl ResolvedOp {
             "rank {rank} not in planned op '{}'",
             self.label
         );
+        if let WireFmt::QgzInt8 { node_size, .. } = self.wire {
+            return (node_size - 1) + (n / node_size - 1);
+        }
         match self.kind {
             CollectiveKind::AllReduce => 2 * (n - 1),
             CollectiveKind::ReduceScatter | CollectiveKind::AllGather => n - 1,
@@ -175,9 +212,119 @@ impl ResolvedOp {
         }
     }
 
-    /// Bytes this rank sends (`sent_elems · precision width`).
+    /// Bytes this rank sends, wire-aware: raw ops cost
+    /// `sent_elems · precision width`; compressed ops cost exactly what
+    /// the `zero-comm` compressed collectives meter.
     pub fn sent_bytes(&self, rank: usize) -> u64 {
-        self.prec.bytes() * self.sent_elems(rank) as u64
+        let n = self.members.len();
+        if n == 1 {
+            return 0;
+        }
+        match self.wire {
+            WireFmt::Raw => self.prec.bytes() * self.sent_elems(rank) as u64,
+            WireFmt::Int8Block { block } => {
+                // qwZ ring all-gather of encoded streams: forward every
+                // member's stream except the successor's own.
+                assert_eq!(
+                    self.kind,
+                    CollectiveKind::AllGather,
+                    "Int8Block wire only models all-gathers ('{}')",
+                    self.label
+                );
+                let i = self.member_index(rank);
+                self.counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != (i + 1) % n)
+                    .map(|(_, &c)| quant_wire_bytes(c, block))
+                    .sum()
+            }
+            WireFmt::QgzInt8 { node_size, block } => {
+                assert_eq!(
+                    self.kind,
+                    CollectiveKind::ReduceScatter,
+                    "QgzInt8 wire only models reduce-scatters ('{}')",
+                    self.label
+                );
+                let i = self.member_index(rank);
+                let (slot, node) = (i % node_size, i / node_size);
+                let nodes = n / node_size;
+                // Phase 1: raw pairwise intra-node all-to-all — to each
+                // local peer s′, the full column of chunks owned by slot
+                // s′ on any node.
+                let phase1: u64 = (0..node_size)
+                    .filter(|&s| s != slot)
+                    .map(|s| (0..nodes).map(|m| self.counts[m * node_size + s]).sum::<usize>())
+                    .sum::<usize>() as u64
+                    * self.prec.bytes();
+                // Phase 2: quantized pairwise inter-node exchange of this
+                // slot's per-node chunks.
+                let phase2: u64 = (0..nodes)
+                    .filter(|&m| m != node)
+                    .map(|m| quant_wire_bytes(self.counts[m * node_size + slot], block))
+                    .sum();
+                phase1 + phase2
+            }
+        }
+    }
+
+    /// Bytes this rank pushes across the slow links of a `g`-rank-per-node
+    /// topology. Ring collectives send only to the ring successor, so the
+    /// whole op is inter-node iff that successor lives on another node;
+    /// the qgZ all-to-all is split per partner (phase 1 partners share the
+    /// node, phase 2 partners never do).
+    pub fn sent_inter_node_bytes(&self, rank: usize, g: usize) -> u64 {
+        assert!(g > 0, "node size must be positive");
+        let n = self.members.len();
+        if n == 1 {
+            return 0;
+        }
+        let node_of = |r: usize| r / g;
+        match self.wire {
+            WireFmt::QgzInt8 { node_size, block } => {
+                let i = self.member_index(rank);
+                let (slot, node) = (i % node_size, i / node_size);
+                let nodes = n / node_size;
+                let mut inter = 0u64;
+                for s in 0..node_size {
+                    if s == slot {
+                        continue;
+                    }
+                    let partner = self.members[node * node_size + s];
+                    if node_of(partner) != node_of(rank) {
+                        let col: usize =
+                            (0..nodes).map(|m| self.counts[m * node_size + s]).sum();
+                        inter += self.prec.bytes() * col as u64;
+                    }
+                }
+                for m in 0..nodes {
+                    if m == node {
+                        continue;
+                    }
+                    let partner = self.members[m * node_size + slot];
+                    if node_of(partner) != node_of(rank) {
+                        inter += quant_wire_bytes(self.counts[m * node_size + slot], block);
+                    }
+                }
+                inter
+            }
+            _ => {
+                let i = self.member_index(rank);
+                let succ = self.members[(i + 1) % n];
+                if node_of(succ) != node_of(rank) {
+                    self.sent_bytes(rank)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    fn member_index(&self, rank: usize) -> usize {
+        self.members
+            .iter()
+            .position(|&m| m == rank)
+            .unwrap_or_else(|| panic!("rank {rank} not in planned op '{}'", self.label))
     }
 }
 
@@ -248,6 +395,64 @@ impl BucketMirror {
     }
 }
 
+/// Which ZeRO++ levers are actually in effect for a stage/grid — the
+/// config flags gated by the stage that owns the collective each lever
+/// compresses. Shared verbatim by the plan [`Builder`] and the engine so
+/// the two cannot disagree about when a compressed op appears.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EffectiveCompression {
+    /// Quantized weight all-gather (stage-3 parameter fetches only).
+    pub qwz: bool,
+    /// Secondary node-local parameter partition (stage-3 fetches only).
+    pub hpz: bool,
+    /// Quantized all-to-all gradient reduce-scatter (bucketed stages 2–3).
+    pub qgz: bool,
+    /// Ranks per node G.
+    pub node_size: usize,
+    /// Quantization block length.
+    pub block: usize,
+}
+
+impl EffectiveCompression {
+    /// Resolves the configured levers against the stage and grid.
+    ///
+    /// # Panics
+    /// Panics if a lever is in effect with model parallelism (the two-tier
+    /// node grouping is defined over pure DP ranks) or a DP degree not
+    /// divisible by the node size.
+    pub fn resolve(zcfg: &ZeroConfig, grid: Grid) -> EffectiveCompression {
+        let comp = zcfg.compression;
+        let eff = EffectiveCompression {
+            qwz: comp.qwz && zcfg.stage.partitions_params(),
+            hpz: comp.hpz && zcfg.stage.partitions_params(),
+            qgz: comp.qgz && zcfg.stage.partitions_grads(),
+            node_size: comp.node_size,
+            block: comp.block,
+        };
+        if eff.any() {
+            assert_eq!(
+                grid.mp_degree(),
+                1,
+                "compression requires mp = 1 (node grouping is over DP ranks)"
+            );
+            assert!(eff.node_size >= 1, "compression node_size must be positive");
+            assert_eq!(
+                grid.dp_degree() % eff.node_size,
+                0,
+                "DP degree {} must be divisible by node size {}",
+                grid.dp_degree(),
+                eff.node_size
+            );
+        }
+        eff
+    }
+
+    /// True if any lever is in effect.
+    pub fn any(&self) -> bool {
+        self.qwz || self.hpz || self.qgz
+    }
+}
+
 /// Internal builder state shared by the plan constructors.
 struct Builder {
     ops: Vec<PlanOp>,
@@ -257,43 +462,79 @@ struct Builder {
     /// issued non-blocking, and stage-3 fetch ops appear in prefetch
     /// *issue* order (one unit ahead of use).
     overlap: bool,
+    /// Effective ZeRO++ levers for this stage/grid.
+    comp: EffectiveCompression,
+    /// hpZ secondary partition: the flat space over the G ranks of a node.
+    sec_part: Partitioner,
+    /// hpZ: units whose secondary copy is populated at this point of the
+    /// step — their re-fetches resolve intra-node. Parameters only change
+    /// at the optimizer step, so one global gather per unit per step
+    /// suffices; the engine mirrors this first-touch rule exactly.
+    stashed: Vec<bool>,
 }
 
 impl Builder {
     fn new(layout: &Layout, zcfg: &ZeroConfig, grid: Grid) -> Builder {
+        let comp = EffectiveCompression::resolve(zcfg, grid);
         Builder {
             ops: Vec::new(),
             part: Partitioner::new(layout.total_params(), grid.dp_degree()),
             prec: if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 },
             overlap: zcfg.overlap,
+            comp,
+            sec_part: Partitioner::new(layout.total_params(), comp.node_size.max(1)),
+            stashed: vec![false; layout.units().len()],
         }
     }
 
     fn op(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str) {
-        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking: false });
+        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking: false, wire: WireFmt::Raw });
     }
 
     /// Pushes an op the engine issues through a non-blocking handle when
     /// overlap is on (the marker is informative: volumes and issue order
     /// are identical either way).
-    fn op_nb(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str) {
+    fn op_nb(&mut self, kind: CollectiveKind, scope: PlanScope, counts: CountSpec, prec: Precision, label: &'static str, wire: WireFmt) {
         let nonblocking = self.overlap;
-        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking });
+        self.ops.push(PlanOp { kind, scope, counts, prec, label, nonblocking, wire });
     }
 
-    /// Stage-3 parameter materialization of one unit (§5.3): all-gather
-    /// the flat-space intersections from every DP shard.
-    fn fetch_unit(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>) {
-        if zcfg.stage.partitions_params() {
-            let counts = self.part.intersect_counts(unit);
+    /// Stage-3 parameter materialization of unit `u` (§5.3): all-gather
+    /// the flat-space intersections from every DP shard. Under hpZ the
+    /// *first* fetch of a unit in the step is the global gather (qwZ wire
+    /// if enabled) that also populates the node-local secondary copy;
+    /// every later fetch of the same unit resolves inside the node.
+    fn fetch_unit(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>, u: usize) {
+        if !zcfg.stage.partitions_params() {
+            return;
+        }
+        if self.comp.hpz && self.stashed[u] {
+            let counts = self.sec_part.intersect_counts(unit);
             self.op_nb(
                 CollectiveKind::AllGather,
-                PlanScope::Dp,
+                PlanScope::Node { g: self.comp.node_size },
                 CountSpec::Explicit(counts),
                 self.prec,
                 "fetch-unit",
+                WireFmt::Raw,
             );
+            return;
         }
+        self.stashed[u] = true;
+        let wire = if self.comp.qwz {
+            WireFmt::Int8Block { block: self.comp.block }
+        } else {
+            WireFmt::Raw
+        };
+        let counts = self.part.intersect_counts(unit);
+        self.op_nb(
+            CollectiveKind::AllGather,
+            PlanScope::Dp,
+            CountSpec::Explicit(counts),
+            self.prec,
+            "fetch-unit",
+            wire,
+        );
     }
 
     /// One block pass's Megatron hooks: two MP all-reduces of the
@@ -336,12 +577,18 @@ impl Builder {
 
     fn grad_flush(&mut self, fused: &Range<usize>) {
         let counts = self.part.intersect_counts(fused);
+        let wire = if self.comp.qgz {
+            WireFmt::QgzInt8 { node_size: self.comp.node_size, block: self.comp.block }
+        } else {
+            WireFmt::Raw
+        };
         self.op_nb(
             CollectiveKind::ReduceScatter,
             PlanScope::Dp,
             CountSpec::Explicit(counts),
             self.prec,
             "grad-bucket",
+            wire,
         );
     }
 
@@ -365,24 +612,24 @@ impl Builder {
         // each block's call issues the *next* unit before its own MP ops
         // (the double-buffered one-ahead window).
         if pf {
-            self.fetch_unit(zcfg, &units[0]);
-            self.fetch_unit(zcfg, &units[1]);
+            self.fetch_unit(zcfg, &units[0], 0);
+            self.fetch_unit(zcfg, &units[1], 1);
             for l in 0..layers {
-                self.fetch_unit(zcfg, &units[2 + l]);
+                self.fetch_unit(zcfg, &units[2 + l], 2 + l);
                 self.mp_block_pass(act_elems);
             }
             // The head's call chains the prefetch into backward's first
             // refetch (non-checkpointed mode refetches block params).
             if !zcfg.checkpoint_activations && layers > 0 {
-                self.fetch_unit(zcfg, &units[layers]);
+                self.fetch_unit(zcfg, &units[layers], layers);
             }
         } else {
-            self.fetch_unit(zcfg, &units[0]);
+            self.fetch_unit(zcfg, &units[0], 0);
             for l in 0..layers {
-                self.fetch_unit(zcfg, &units[1 + l]);
+                self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                 self.mp_block_pass(act_elems);
             }
-            self.fetch_unit(zcfg, &units[1 + layers]);
+            self.fetch_unit(zcfg, &units[1 + layers], 1 + layers);
         }
         // Head forward+backward births the first gradients.
         self.dispatch_grads(zcfg, &units[1 + layers], &mut bucket);
@@ -404,13 +651,13 @@ impl Builder {
                 for l in seg_start..seg_end {
                     if pf {
                         if l == seg_start {
-                            self.fetch_unit(zcfg, &units[1 + l]);
+                            self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                         }
                         if l + 1 < seg_end {
-                            self.fetch_unit(zcfg, &units[2 + l]);
+                            self.fetch_unit(zcfg, &units[2 + l], 2 + l);
                         }
                     } else {
-                        self.fetch_unit(zcfg, &units[1 + l]);
+                        self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                     }
                     self.mp_block_pass(act_elems);
                 }
@@ -428,10 +675,10 @@ impl Builder {
                     // Block `layers-1` was issued by the head's call; each
                     // block issues its predecessor one ahead.
                     if l > 0 {
-                        self.fetch_unit(zcfg, &units[l]);
+                        self.fetch_unit(zcfg, &units[l], l);
                     }
                 } else {
-                    self.fetch_unit(zcfg, &units[1 + l]);
+                    self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                 }
                 self.mp_block_pass(act_elems);
                 self.dispatch_grads(zcfg, &units[1 + l], &mut bucket);
@@ -606,19 +853,19 @@ impl CommPlan {
         if b.prefetches(zcfg) {
             // Same one-ahead issue order as the forward pass of `micro`;
             // the head's call has nothing left to chain into.
-            b.fetch_unit(zcfg, &units[0]);
-            b.fetch_unit(zcfg, &units[1]);
+            b.fetch_unit(zcfg, &units[0], 0);
+            b.fetch_unit(zcfg, &units[1], 1);
             for l in 0..layers {
-                b.fetch_unit(zcfg, &units[2 + l]);
+                b.fetch_unit(zcfg, &units[2 + l], 2 + l);
                 b.mp_block_pass(act_elems);
             }
         } else {
-            b.fetch_unit(zcfg, &units[0]);
+            b.fetch_unit(zcfg, &units[0], 0);
             for l in 0..layers {
-                b.fetch_unit(zcfg, &units[1 + l]);
+                b.fetch_unit(zcfg, &units[1 + l], 1 + l);
                 b.mp_block_pass(act_elems);
             }
-            b.fetch_unit(zcfg, &units[1 + layers]);
+            b.fetch_unit(zcfg, &units[1 + layers], 1 + layers);
         }
         CommPlan { grid, ops: b.ops }
     }
@@ -652,6 +899,7 @@ impl CommPlan {
                 prec: Precision::Fp32,
                 label: "serve-fetch-unit",
                 nonblocking: overlap,
+                wire: WireFmt::Raw,
             })
             .collect();
         CommPlan { grid, ops }
@@ -720,6 +968,7 @@ impl CommPlan {
                     prec: op.prec,
                     label: op.label,
                     nonblocking: op.nonblocking,
+                    wire: op.wire,
                 }
             })
             .collect()
@@ -747,6 +996,24 @@ impl CommPlan {
     /// Total analytic bytes `rank` sends executing this plan.
     pub fn total_rank_bytes(&self, rank: usize) -> u64 {
         self.rank_bytes(rank).iter().sum()
+    }
+
+    /// Analytic bytes `rank` pushes across the slow links of a
+    /// `g`-rank-per-node topology executing this plan — the quantity the
+    /// ZeRO++ levers shrink.
+    pub fn rank_inter_node_bytes(&self, rank: usize, g: usize) -> u64 {
+        self.resolve_for(rank)
+            .iter()
+            .map(|op| op.sent_inter_node_bytes(rank, g))
+            .sum()
+    }
+
+    /// [`CommPlan::rank_inter_node_bytes`] summed over every rank: the
+    /// total load on the inter-node fabric per plan execution.
+    pub fn total_inter_node_bytes(&self, g: usize) -> u64 {
+        (0..self.grid.world_size())
+            .map(|r| self.rank_inter_node_bytes(r, g))
+            .sum()
     }
 }
 
@@ -929,6 +1196,155 @@ mod tests {
             cur.take(CollectiveKind::ReduceScatter, &g);
         }));
         assert!(err.is_err());
+    }
+
+    fn comp_all() -> crate::config::CompressionConfig {
+        crate::config::CompressionConfig {
+            qwz: true,
+            hpz: true,
+            qgz: true,
+            node_size: 2,
+            block: 64,
+        }
+    }
+
+    #[test]
+    fn compression_off_leaves_plans_bitwise_identical() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        for stage in [ZeroStage::Two, ZeroStage::Three] {
+            let base = CommPlan::train_step(&layout, &cfg(stage), grid, &shape());
+            let explicit_off = ZeroConfig {
+                compression: crate::config::CompressionConfig::off(),
+                ..cfg(stage)
+            };
+            let off = CommPlan::train_step(&layout, &explicit_off, grid, &shape());
+            assert_eq!(base.ops(), off.ops());
+            assert!(base.ops().iter().all(|op| op.wire == WireFmt::Raw));
+        }
+    }
+
+    #[test]
+    fn qwz_fetch_bytes_shrink_but_elems_match() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let zcfg = ZeroConfig {
+            compression: crate::config::CompressionConfig {
+                qwz: true,
+                ..crate::config::CompressionConfig::off()
+            },
+            ..cfg(ZeroStage::Three)
+        };
+        let plan = CommPlan::train_step(&layout, &zcfg, grid, &shape());
+        let raw = CommPlan::train_step(&layout, &cfg(ZeroStage::Three), grid, &shape());
+        let mut saw_fetch = false;
+        for (q, r) in plan.resolve_for(1).iter().zip(raw.resolve_for(1).iter()) {
+            assert_eq!(q.counts, r.counts, "counts are wire-independent");
+            if q.label == "fetch-unit" {
+                saw_fetch = true;
+                assert!(matches!(q.wire, WireFmt::Int8Block { block: 64 }));
+                assert!(q.sent_bytes(1) < r.sent_bytes(1), "int8 beats fp32 on the wire");
+                assert_eq!(q.sent_messages(1), r.sent_messages(1));
+            }
+        }
+        assert!(saw_fetch);
+    }
+
+    #[test]
+    fn hpz_refetches_resolve_intra_node() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let zcfg = ZeroConfig {
+            compression: crate::config::CompressionConfig {
+                hpz: true,
+                node_size: 2,
+                ..crate::config::CompressionConfig::off()
+            },
+            ..cfg(ZeroStage::Three)
+        };
+        // Two micro-batches: the second micro's forward refetches must all
+        // be node-local (first-touch already stashed every unit).
+        let shape2 = StepShape { micro_batches: 2, ..shape() };
+        let plan = CommPlan::train_step(&layout, &zcfg, grid, &shape2);
+        let fetches: Vec<&PlanOp> =
+            plan.ops().iter().filter(|op| op.label == "fetch-unit").collect();
+        let units = layout.units().len();
+        let global: Vec<bool> =
+            fetches.iter().map(|op| op.scope == PlanScope::Dp).collect();
+        assert_eq!(global.iter().filter(|&&d| d).count(), units, "one global fetch per unit");
+        assert!(global[..units].iter().all(|&d| d), "micro 1 forward is global");
+        assert!(global[units..].iter().all(|&d| !d), "every refetch is node-local");
+        for op in &fetches {
+            if op.scope != PlanScope::Dp {
+                assert_eq!(op.scope, PlanScope::Node { g: 2 });
+            }
+        }
+        // Node-scope fetches still cover the whole unit.
+        for (rank, op) in [(0usize, plan.resolve_for(0)), (3, plan.resolve_for(3))]
+            .into_iter()
+            .flat_map(|(r, ops)| ops.into_iter().map(move |o| (r, o)))
+        {
+            if op.label == "fetch-unit" && op.members.len() == 2 {
+                assert!(op.members.contains(&rank));
+                assert!(op.total_elems() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn qgz_two_phase_messages_and_inter_bytes() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let zcfg = ZeroConfig {
+            compression: crate::config::CompressionConfig {
+                qgz: true,
+                node_size: 2,
+                ..crate::config::CompressionConfig::off()
+            },
+            ..cfg(ZeroStage::Two)
+        };
+        let plan = CommPlan::train_step(&layout, &zcfg, grid, &shape());
+        let mut saw = false;
+        for op in plan.resolve_for(0) {
+            if op.label == "grad-bucket" {
+                saw = true;
+                assert!(matches!(op.wire, WireFmt::QgzInt8 { node_size: 2, block: 64 }));
+                // (G−1) intra + (N/G−1) inter messages.
+                assert_eq!(op.sent_messages(0), 2);
+                // Phase 1 is intra-node by construction; only phase 2
+                // (one quantized chunk to the other node) crosses.
+                let inter = op.sent_inter_node_bytes(0, 2);
+                assert_eq!(inter, quant_wire_bytes(op.counts[2], 64));
+                assert!(inter <= op.sent_bytes(0));
+            }
+        }
+        assert!(saw);
+        // Aggregate: qgZ strictly shrinks the step's inter-node load.
+        let raw = CommPlan::train_step(&layout, &cfg(ZeroStage::Two), grid, &shape());
+        assert!(plan.total_inter_node_bytes(2) < raw.total_inter_node_bytes(2));
+    }
+
+    #[test]
+    fn all_levers_cut_inter_node_bytes_past_the_gate() {
+        // The ISSUE acceptance bar, straight off the plan algebra:
+        // stage 3, N = 4, G = 2, two micro-batches, qwZ+hpZ+qgZ ⇒ the
+        // inter-node fabric carries ≥ 3.5× fewer bytes per step.
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        let shape2 = StepShape { micro_batches: 2, ..shape() };
+        // fp16 is the tight case: the int8 stream only beats the raw wire
+        // 1.78×, so the gate genuinely needs hpZ's zero-cost refetches.
+        let fp16 = ZeroConfig { fp16: true, ..cfg(ZeroStage::Three) };
+        let base = CommPlan::train_step(&layout, &fp16, grid, &shape2);
+        let zcfg = ZeroConfig { compression: comp_all(), ..fp16 };
+        let comp = CommPlan::train_step(&layout, &zcfg, grid, &shape2);
+        let raw = base.total_inter_node_bytes(2);
+        let squeezed = comp.total_inter_node_bytes(2);
+        assert!(
+            raw as f64 >= 3.5 * squeezed as f64,
+            "inter-node reduction {:.2}× below the 3.5× gate",
+            raw as f64 / squeezed as f64
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use zero_model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
 use zero_optim::{AdamConfig, LrSchedule, SgdConfig};
 use zero_trace::SpanCategory;
 
-use crate::config::{OptimizerKind, ZeroConfig, ZeroStage};
+use crate::config::{CompressionConfig, OptimizerKind, ZeroConfig, ZeroStage};
 use crate::engine::RankEngine;
 use crate::snapshot::{reshard, RankSnapshot};
 use crate::supervisor::{
@@ -681,6 +681,11 @@ impl WorkerSpec {
             kv("node_size", n.to_string());
         }
         kv("overlap", z.overlap.to_string());
+        let c = &z.compression;
+        kv(
+            "compression",
+            format!("{}:{}:{}:{}:{}", c.qwz, c.hpz, c.qgz, c.node_size, c.block),
+        );
         match &z.optimizer {
             OptimizerKind::Adam(a) => kv(
                 "optimizer",
@@ -776,6 +781,10 @@ impl WorkerSpec {
             dropout: kv.f32_bits("dropout")?,
             node_size: kv.opt("node_size")?,
             overlap: kv.req("overlap")?,
+            compression: match kv.get("compression") {
+                Some(s) => parse_compression(s)?,
+                None => CompressionConfig::off(),
+            },
         };
         let mut faults = FaultPlan::seeded(kv.req("fault_seed")?);
         for line in kv.all("fault") {
@@ -861,6 +870,20 @@ fn parse_fault(line: &str) -> Result<FaultSpec, String> {
         trigger,
         kind,
     })
+}
+
+fn parse_compression(text: &str) -> Result<CompressionConfig, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    match parts.as_slice() {
+        [qwz, hpz, qgz, node_size, block] => Ok(CompressionConfig {
+            qwz: qwz.parse().map_err(|e| format!("compression qwz: {e}"))?,
+            hpz: hpz.parse().map_err(|e| format!("compression hpz: {e}"))?,
+            qgz: qgz.parse().map_err(|e| format!("compression qgz: {e}"))?,
+            node_size: node_size.parse().map_err(|e| format!("compression node_size: {e}"))?,
+            block: block.parse().map_err(|e| format!("compression block: {e}"))?,
+        }),
+        _ => Err(format!("malformed compression spec {text:?}")),
+    }
 }
 
 fn parse_optimizer(text: &str) -> Result<OptimizerKind, String> {

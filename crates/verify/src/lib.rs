@@ -16,8 +16,14 @@
 //!    layer-range intersections tile every unit exactly.
 //! 3. [`lint`] — the workspace lint. Scans non-test code of `zero-comm`
 //!    and `zero-core` for banned patterns: `unwrap()`/`expect()` on
-//!    communication results, untimed `recv()`, and lossy `as` casts in
-//!    byte accounting.
+//!    communication results, untimed `recv()`, lossy `as` casts in byte
+//!    accounting, and raw integer casts near quantization codes.
+//! 4. [`compression`] — the ZeRO++ compression prover. Sweeps every
+//!    qwZ/hpZ/qgZ lever combination across stages 2–3 and node shapes,
+//!    independently recomputes every compressed op's wire bytes, proves
+//!    levers-off plans bitwise identical to the baseline, and certifies
+//!    the analytic inter-node volume reduction (≥ 3.5× at stage 3 with
+//!    all levers on, N ≥ 4, G ≥ 2).
 //!
 //! The runtime side of the same guarantee lives in [`tracecheck`] and the
 //! trace-conformance tests (`tests/trace_conformance.rs`): a recorded
@@ -25,12 +31,14 @@
 //! byte tags — with the plan's analytic volume model and the traffic
 //! counters `zero-comm` metered during real training.
 
+pub mod compression;
 pub mod lint;
 pub mod modelcheck;
 pub mod schedule;
 pub mod tiling;
 pub mod tracecheck;
 
+pub use compression::{check_compression, CompressionReport, RatioRow};
 pub use lint::{lint_paths, LintHit, LintReport};
 pub use modelcheck::{run_modelcheck, ModelcheckReport, ScenarioOutcome};
 pub use schedule::{check_all as check_schedules, ScheduleReport};

@@ -14,6 +14,11 @@
 //! * **`lossy-byte-cast`** — a narrowing `as` cast on a line doing byte
 //!   accounting. Traffic counters are `u64`; truncating them silently
 //!   invalidates every volume identity the schedule checker proves.
+//! * **`lossy-quant-cast`** — a narrowing `as` cast to a small integer on
+//!   a line doing quantization. Codes must be produced by the checked
+//!   clamp-and-round helpers; a raw `as i8`/`as u8` silently wraps
+//!   out-of-range values and corrupts the compressed wire format instead
+//!   of saturating it.
 //! * **`blocking-flush`** — a *blocking* collective wrapper called inside
 //!   a gradient-bucket flush closure (`bucket.push(…)` / `.flush_all(…)`
 //!   call regions). Flush closures are the single code path for both
@@ -49,7 +54,7 @@ pub struct LintHit {
     /// 1-based line number.
     pub line_no: usize,
     /// Rule identifier (`comm-unwrap`, `untimed-recv`, `lossy-byte-cast`,
-    /// `blocking-flush`, `condvar-wait-unlooped`).
+    /// `lossy-quant-cast`, `blocking-flush`, `condvar-wait-unlooped`).
     pub rule: &'static str,
     /// The offending source line, trimmed.
     pub line_text: String,
@@ -94,6 +99,7 @@ pub const RULES: &[&str] = &[
     "comm-unwrap",
     "untimed-recv",
     "lossy-byte-cast",
+    "lossy-quant-cast",
     "blocking-flush",
     "condvar-wait-unlooped",
 ];
@@ -470,6 +476,11 @@ fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
         if line.contains("bytes") && narrowing_cast(line) {
             fired.push("lossy-byte-cast");
         }
+        if line.contains("quant")
+            && [" as i8", " as u8", " as i16", " as u16"].iter().any(|p| line.contains(p))
+        {
+            fired.push("lossy-quant-cast");
+        }
         if in_flush.get(idx).copied().unwrap_or(false)
             && BLOCKING_TOKENS.iter().any(|t| line.contains(t))
         {
@@ -748,6 +759,12 @@ mod tests {
                 string_masked: "fn f() { let s = \"bytes as u32\"; }\n",
             },
             Fixture {
+                rule: "lossy-quant-cast",
+                positive: "fn f(q: f32) -> i8 { quantize_round(q) as i8 }\n",
+                comment_masked: "fn f() {} // quantize_round(q) as i8\n",
+                string_masked: "fn f() { let s = \"quantize_round(q) as i8\"; }\n",
+            },
+            Fixture {
                 rule: "blocking-flush",
                 positive: "fn f() {\n  bucket.flush_all(&mut |r, fused| {\n    \
                            let x = comm.all_reduce(g, fused, op);\n  });\n}\n",
@@ -810,6 +827,7 @@ mod tests {
                 "comm-unwrap",
                 "untimed-recv",
                 "lossy-byte-cast",
+                "lossy-quant-cast",
                 "blocking-flush",
                 "condvar-wait-unlooped"
             ]

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Passes: `schedule`, `tiling`, `lint`, `overlap`, `tracecheck`,
-//! `modelcheck` — run all of them when no `--pass` is given. The legacy
+//! `modelcheck`, `compression` — run all of them when no `--pass` is
+//! given. The legacy
 //! positional forms (`zero-verify lint`, `zero-verify all`) keep
 //! working. Exits non-zero if any selected pass fails; `--budget` caps
 //! the model checker's per-scenario state count (exhausting it is a
@@ -15,7 +16,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use zero_core::{run_training, CommPlan, StepShape, TrainSetup, ZeroConfig, ZeroStage};
+use zero_core::{
+    run_training, CommPlan, CompressionConfig, StepShape, TrainSetup, ZeroConfig, ZeroStage,
+};
 use zero_model::ModelConfig;
 
 /// Default per-scenario state budget for the modelcheck pass: an order
@@ -23,8 +26,8 @@ use zero_model::ModelConfig;
 /// genuine blowups fail loudly while normal growth has headroom.
 const DEFAULT_MODELCHECK_BUDGET: u64 = 500_000;
 
-const PASSES: [&str; 6] =
-    ["schedule", "tiling", "lint", "overlap", "tracecheck", "modelcheck"];
+const PASSES: [&str; 7] =
+    ["schedule", "tiling", "lint", "overlap", "tracecheck", "modelcheck", "compression"];
 
 fn repo_root() -> PathBuf {
     // crates/verify -> crates -> repo root.
@@ -109,53 +112,68 @@ fn run_overlap() -> bool {
     }
 }
 
-/// Runs a tiny real training job (stage 3, N=2, two steps, overlapped)
-/// and reconciles every rank's recorded timeline byte-exactly against
-/// the analytic plan and the metered traffic — the runtime face of the
-/// schedule pass.
+/// Runs tiny real training jobs (stage 3, raw N=2 and all-levers
+/// compressed N=4/G=2, two steps, sync+overlap) and reconciles every
+/// rank's recorded timeline byte-exactly against the analytic plan and
+/// the metered traffic — the runtime face of the schedule pass. With
+/// compression on, the plan's byte tags are compressed wire bytes, so
+/// this also proves the runtime sends exactly the quantized volume the
+/// plan promises.
 fn run_tracecheck() -> bool {
     let model = ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 };
     let layout = zero_model::Layout::build(&model);
     let act_elems = model.seq * model.hidden;
+    let raw = CompressionConfig::off();
+    let squeezed =
+        CompressionConfig { qwz: true, hpz: true, qgz: true, node_size: 2, block: 64 };
     let mut checked_ranks = 0usize;
-    for overlap in [false, true] {
-        let setup = TrainSetup {
-            model,
-            zero: ZeroConfig {
-                stage: ZeroStage::Three,
-                fp16: true,
-                initial_loss_scale: 1.0,
-                checkpoint_activations: false,
-                bucket_elems: 1000,
-                overlap,
-                ..ZeroConfig::default()
-            },
-            grid: zero_comm::Grid::new(2, 1),
-            global_batch: 2,
-            seed: 5,
-        };
-        let report = run_training(&setup, 2, 0);
-        for r in &report.ranks {
-            let mut want = zero_verify::TraceExpectation::default();
-            for &skipped in &report.skipped {
-                let plan = CommPlan::train_step(
-                    &layout,
-                    &setup.zero,
-                    setup.grid,
-                    &StepShape { micro_batches: 1, act_elems, skipped },
-                );
-                want.add_plan(&plan, r.rank, 1);
+    for (compression, dp) in [(raw, 2usize), (squeezed, 4)] {
+        for overlap in [false, true] {
+            let setup = TrainSetup {
+                model,
+                zero: ZeroConfig {
+                    stage: ZeroStage::Three,
+                    fp16: true,
+                    initial_loss_scale: 1.0,
+                    checkpoint_activations: false,
+                    bucket_elems: 1000,
+                    overlap,
+                    compression,
+                    ..ZeroConfig::default()
+                },
+                grid: zero_comm::Grid::new(dp, 1),
+                global_batch: dp,
+                seed: 5,
+            };
+            let report = run_training(&setup, 2, 0);
+            for r in &report.ranks {
+                let mut want = zero_verify::TraceExpectation::default();
+                for &skipped in &report.skipped {
+                    let plan = CommPlan::train_step(
+                        &layout,
+                        &setup.zero,
+                        setup.grid,
+                        &StepShape { micro_batches: 1, act_elems, skipped },
+                    );
+                    want.add_plan(&plan, r.rank, 1);
+                }
+                if let Err(e) =
+                    zero_verify::check_timeline(&r.timeline, &want, Some(&r.traffic))
+                {
+                    eprintln!(
+                        "tracecheck: FAIL — compression={} overlap={overlap} rank {}: {e}",
+                        compression.any(),
+                        r.rank
+                    );
+                    return false;
+                }
+                checked_ranks += 1;
             }
-            if let Err(e) = zero_verify::check_timeline(&r.timeline, &want, Some(&r.traffic)) {
-                eprintln!("tracecheck: FAIL — overlap={overlap} rank {}: {e}", r.rank);
-                return false;
-            }
-            checked_ranks += 1;
         }
     }
     println!(
         "tracecheck: OK — {checked_ranks} rank timelines reconciled against plan and \
-         metered traffic (stage 3, N=2, sync+overlap)"
+         metered traffic (stage 3, raw N=2 + qwZ/hpZ/qgZ N=4 G=2, sync+overlap)"
     );
     true
 }
@@ -207,6 +225,29 @@ fn run_modelcheck(budget: u64) -> bool {
     ok
 }
 
+fn run_compression() -> bool {
+    match zero_verify::check_compression() {
+        Ok(r) => {
+            println!(
+                "compression: OK — {} lever configurations proven, {} compressed ops \
+                 recomputed; inter-node step volume (all levers on vs raw):",
+                r.configs, r.ops_checked
+            );
+            for row in &r.rows {
+                println!(
+                    "compression:   {:<8} N={:<2} G={:<2} {:>10} -> {:>9} bytes  ({:.2}x)",
+                    row.stage, row.n, row.g, row.raw_bytes, row.compressed_bytes, row.ratio
+                );
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("compression: FAIL — {e}");
+            false
+        }
+    }
+}
+
 fn run_pass(name: &str, budget: u64) -> Option<bool> {
     Some(match name {
         "schedule" => run_schedule(),
@@ -215,6 +256,7 @@ fn run_pass(name: &str, budget: u64) -> Option<bool> {
         "overlap" => run_overlap(),
         "tracecheck" => run_tracecheck(),
         "modelcheck" => run_modelcheck(budget),
+        "compression" => run_compression(),
         _ => return None,
     })
 }

@@ -61,7 +61,7 @@ fn test_model() -> ModelConfig {
 ///
 /// Returns `(ops_checked, pair_checks)` on success.
 #[allow(clippy::needless_range_loop)] // ranks cross-index each other's op lists
-fn check_symmetry(plan: &CommPlan, what: &str) -> Result<(usize, usize), String> {
+pub(crate) fn check_symmetry(plan: &CommPlan, what: &str) -> Result<(usize, usize), String> {
     let world = plan.grid().world_size();
     let resolved: Vec<_> = (0..world).map(|r| plan.resolve_for(r)).collect();
     let n_ops = plan.ops().len();
@@ -101,6 +101,7 @@ fn check_symmetry(plan: &CommPlan, what: &str) -> Result<(usize, usize), String>
                     || peer.counts != op.counts
                     || peer.prec != op.prec
                     || peer.nonblocking != op.nonblocking
+                    || peer.wire != op.wire
                 {
                     return Err(format!(
                         "{what}: op {i} '{}': rank {r} sees {:?} over {:?} \
@@ -370,7 +371,10 @@ fn fetch_trace(plan: &CommPlan) -> Vec<(String, usize)> {
     let mut fetches = Vec::new();
     for op in plan.ops() {
         if op.label == "fetch-unit" {
-            fetches.push((format!("{:?}|{:?}|{:?}", op.kind, op.counts, op.prec), prefix));
+            fetches.push((
+                format!("{:?}|{:?}|{:?}|{:?}", op.kind, op.counts, op.prec, op.wire),
+                prefix,
+            ));
         } else {
             prefix += 1;
         }
@@ -424,7 +428,7 @@ fn check_fetch_window(
 /// the synchronous plan must contain no non-blocking issues, and the
 /// overlapped plan's fetch issue positions must respect the
 /// double-buffered window ([`check_fetch_window`]).
-fn check_overlap_pair(
+pub(crate) fn check_overlap_pair(
     zcfg: &ZeroConfig,
     grid: Grid,
     report: &mut ScheduleReport,
@@ -466,7 +470,10 @@ fn check_overlap_pair(
                 let mut keys: Vec<String> = ops
                     .iter()
                     .map(|op| {
-                        format!("{:?}|{:?}|{:?}|{:?}|{}", op.kind, op.members, op.counts, op.prec, op.label)
+                        format!(
+                            "{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+                            op.kind, op.members, op.counts, op.prec, op.wire, op.label
+                        )
                     })
                     .collect();
                 keys.sort();

@@ -146,7 +146,55 @@ pub fn prove_all() -> Result<TilingReport, String> {
         prove_layout(&Layout::build_mp(m, 2), 8, &mut report)?;
     }
 
+    // hpZ secondary partitions: for every (N, G) node shape the engine
+    // accepts, the node-local partition over G slots must tile the flat
+    // space just like the primary over N — every unit's node-scope
+    // refetch counts rest on it. Primary and secondary are independent
+    // tilings of the same space; prove both plus the per-unit secondary
+    // intersections.
+    for m in &models {
+        let layout = Layout::build(m);
+        for (n, g) in [(2usize, 2usize), (4, 2), (4, 4), (8, 2), (8, 4)] {
+            debug_assert!(n.is_multiple_of(g));
+            prove_secondary(&layout, n, g, &mut report)?;
+        }
+    }
+
     Ok(report)
+}
+
+/// Proves the hpZ secondary partition for one (N, G) world: the G-way
+/// node-local partition tiles the flat space, every unit's secondary
+/// intersection counts sum to the unit length (the node-scope all-gather
+/// contract), and the primary + secondary tilings cover each element the
+/// same number of times (once each).
+fn prove_secondary(
+    layout: &Layout,
+    n: usize,
+    g: usize,
+    report: &mut TilingReport,
+) -> Result<(), String> {
+    let psi = layout.total_params();
+    let primary = Partitioner::new(psi, n);
+    let secondary = Partitioner::new(psi, g);
+    primary.verify_tiling()?;
+    secondary.verify_tiling()?;
+    report.partitions += 2;
+    report.elements += 2 * psi as u64;
+    for (ui, unit) in layout.units().iter().enumerate() {
+        let counts = secondary.intersect_counts(&unit.range);
+        if counts.iter().sum::<usize>() != unit.range.len() {
+            return Err(format!(
+                "hpZ unit {ui} ({:?}): secondary intersections sum to {} ≠ unit \
+                 length {} (Ψ={psi}, N={n}, G={g})",
+                unit.range,
+                counts.iter().sum::<usize>(),
+                unit.range.len()
+            ));
+        }
+        report.units += 1;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -59,6 +59,15 @@ fn main() {
              --pa           partition activation checkpoints (needs --mp > 1)\n\
              --pa-cpu       offload checkpoints to CPU (needs --pa)\n\
              --clip F       gradient-norm clip                  [off]\n\
+             --qwz          quantized int8 weight all-gather (stage 3)\n\
+             --hpz          node-local secondary param partition: stage-3\n\
+                            re-gathers resolve within the node (needs\n\
+                            --dp divisible by --node-size)\n\
+             --qgz          quantized all-to-all gradient reduce-scatter\n\
+                            (stages 2-3): int8 across nodes, full\n\
+                            precision within\n\
+             --node-size N  ranks per modeled node for --hpz/--qgz  [2]\n\
+             --quant-block N  int8 quantizer block size           [64]\n\
              --fabric NAME  rank fabric: threads | process      [threads]\n\
                             process spawns one OS process per rank over\n\
                             Unix sockets, supervised with rollback+reshard\n\
@@ -102,6 +111,13 @@ fn main() {
         }
     };
     let clip = args.get("--clip", f64::NAN);
+    let compression = zero::core::CompressionConfig {
+        qwz: args.flag("--qwz"),
+        hpz: args.flag("--hpz"),
+        qgz: args.flag("--qgz"),
+        node_size: args.get("--node-size", 2usize),
+        block: args.get("--quant-block", 64usize),
+    };
     let setup = TrainSetup {
         model,
         zero: ZeroConfig {
@@ -112,6 +128,7 @@ fn main() {
             partition_activations: args.flag("--pa") || args.flag("--pa-cpu"),
             offload_checkpoints: args.flag("--pa-cpu"),
             clip_grad_norm: clip.is_finite().then_some(clip),
+            compression,
             optimizer: zero::core::OptimizerKind::Adam(AdamConfig {
                 lr: args.get("--lr", 1e-3f32),
                 ..AdamConfig::default()
@@ -123,6 +140,23 @@ fn main() {
         seed: args.get("--seed", 42u64),
     };
     let steps = args.get("--steps", 50usize);
+
+    if compression.any() {
+        let eff = zero::core::EffectiveCompression::resolve(&setup.zero, setup.grid);
+        println!(
+            "compression: qwZ={} hpZ={} qgZ={} (node size {}, quant block {})",
+            eff.qwz, eff.hpz, eff.qgz, eff.node_size, compression.block
+        );
+        if (compression.qwz && !eff.qwz)
+            || (compression.hpz && !eff.hpz)
+            || (compression.qgz && !eff.qgz)
+        {
+            eprintln!(
+                "note: some requested levers are inactive — qwZ/hpZ need stage 3, qgZ \
+                 needs stage 2+, all need --mp 1 and --dp divisible by --node-size"
+            );
+        }
+    }
 
     let fabric: String = args.get("--fabric", "threads".to_string());
     match fabric.as_str() {
