@@ -16,6 +16,13 @@ echo "==> zero-verify --pass compression (qwZ/hpZ/qgZ sweep, proved inter-node b
 # analytic stage-3 inter-node reduction at >= 3.5x with all levers on.
 cargo run -q --release -p zero-verify -- --pass compression
 
+echo "==> zero-verify --pass offload (tier prefetch windows, byte telescoping, bitwise collective stream)"
+# Sweeps stages 1-3 x N x sync/overlap x precision: every tier movement's
+# prefetch window is well-formed, fetches pair byte-exactly with their
+# anchor collectives, spill volumes telescope against the partition, and
+# offloaded plans keep a collective stream bitwise equal to tier-off.
+cargo run -q --release -p zero-verify -- --pass offload
+
 echo "==> zero-verify --pass modelcheck (exhaustive protocol interleavings, explicit state budget)"
 # Prints explored-state counts per protocol; exhausting the budget is a
 # hard failure (coverage incomplete), not a silent pass.
@@ -29,6 +36,17 @@ cargo test -q --release --test overlap_equivalence
 
 echo "==> trace conformance (span/byte reconciliation vs plan + traffic counters)"
 cargo test -q --release --test trace_conformance
+
+echo "==> offload conformance (bitwise equivalence + exact tier-byte reconciliation, tier on vs off)"
+cargo test -q --release --test offload_equivalence
+
+echo "==> zero-train --verify-offload smoke (train beyond the device budget, proved)"
+# 64 KiB/rank sits between the offloaded peak and the unconstrained peak
+# at this model size: the budget binds, the tracker proves peak <= budget,
+# and the offload-off rerun must produce bitwise-identical losses.
+cargo run -q --release --bin zero-train -- \
+    --stage 3 --dp 2 --layers 2 --hidden 16 --heads 2 --seq 8 --vocab 32 \
+    --batch 4 --steps 5 --device-budget 65536 --verify-offload
 
 echo "==> zero-train --trace smoke (emitted Chrome trace must parse)"
 trace_out="$(mktemp -d)/smoke-trace.json"

@@ -16,6 +16,14 @@
 //! tiered fabric charges serialization by logical bytes, so the
 //! compressed rows show a genuine measured wall-clock win.
 //!
+//! A third section prices memory-tier offload (ZeRO-Offload direction):
+//! the same stage-3 config runs unconstrained and with optimizer,
+//! gradient, and parameter shards resident on a modeled host tier
+//! (throttled bandwidth + per-transfer latency). Losses must be bitwise
+//! identical — offload moves residency, never values — and the offloaded
+//! rows join the results file so the regression gate holds the tier path
+//! to the same tolerance as the plain rows.
+//!
 //! `--smoke` runs a single tiny configuration and skips the results
 //! file — CI uses it to prove the bench path end-to-end without
 //! churning the committed baseline.
@@ -31,7 +39,8 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 use zero_comm::{Grid, TieredLink, WorldConfig, ALL_KINDS};
 use zero_core::{
-    run_training_world, CompressionConfig, TrainReport, TrainSetup, ZeroConfig, ZeroStage,
+    run_training_world, CompressionConfig, TierConfig, TrainReport, TrainSetup, ZeroConfig,
+    ZeroStage,
 };
 use zero_model::ModelConfig;
 
@@ -111,6 +120,26 @@ struct TieredRow {
     tokens_per_sec: f64,
 }
 
+/// One stage-3 run with the full model state on the modeled host tier,
+/// paired with its unconstrained twin's step latency. The loss streams of
+/// the pair are gated bitwise-identical before the row is recorded.
+#[derive(Serialize)]
+struct OffloadRow {
+    nd: usize,
+    overlap: bool,
+    steps: usize,
+    secs_per_step: f64,
+    baseline_secs_per_step: f64,
+    /// Rank-0 host→device bytes over the whole run.
+    tier_fetch_bytes: u64,
+    /// Rank-0 device→host bytes over the whole run.
+    tier_spill_bytes: u64,
+    /// Rank-0 modeled time on the host link, ms per step.
+    tier_time_ms_per_step: f64,
+    /// baseline / offloaded step latency; < 1 means offload costs time.
+    relative_throughput: f64,
+}
+
 /// Wall-clock win of compression on the two-tier fabric.
 #[derive(Serialize)]
 struct CompressionSpeedup {
@@ -140,6 +169,7 @@ struct BenchStep {
     global_batch: usize,
     rows: Vec<StepRow>,
     speedups: Vec<Speedup>,
+    offload_rows: Vec<OffloadRow>,
     tiered_link: TieredLinkSpec,
     compression_rows: Vec<TieredRow>,
     compression_speedups: Vec<CompressionSpeedup>,
@@ -155,10 +185,17 @@ struct BaselineRow {
     secs_per_step: f64,
 }
 
+struct BaselineOffloadRow {
+    nd: usize,
+    overlap: bool,
+    secs_per_step: f64,
+}
+
 struct Baseline {
     link_latency_us: u64,
     steps: usize,
     rows: Vec<BaselineRow>,
+    offload_rows: Vec<BaselineOffloadRow>,
 }
 
 fn load_baseline(path: &str) -> Option<Baseline> {
@@ -177,10 +214,28 @@ fn load_baseline(path: &str) -> Option<Baseline> {
             })
         })
         .collect::<Option<Vec<_>>>()?;
+    // Optional so baselines written before the offload section stay
+    // loadable; their tier path simply goes ungated until regenerated.
+    let offload_rows = v
+        .get("offload_rows")
+        .and_then(|rows| rows.as_array())
+        .map(|rows| {
+            rows.iter()
+                .map(|r| {
+                    Some(BaselineOffloadRow {
+                        nd: r.get("nd")?.as_u64()? as usize,
+                        overlap: r.get("overlap")?.as_bool()?,
+                        secs_per_step: r.get("secs_per_step")?.as_f64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .unwrap_or(Some(Vec::new()))?;
     Some(Baseline {
         link_latency_us: v.get("link_latency_us")?.as_u64()?,
         steps: v.get("steps")?.as_u64()? as usize,
         rows,
+        offload_rows,
     })
 }
 
@@ -196,6 +251,23 @@ fn tiered_link() -> TieredLink {
         inter_latency: Duration::from_micros(150),
         inter_bytes_per_sec: 5e6,
     }
+}
+
+/// Stage 3 with (or without) the modeled host tier: PCIe-gen3-ish
+/// bandwidth and a small per-transfer latency, no device cap (the budget
+/// *proof* belongs to the tests and the CLI; the bench prices the link).
+fn offload_setup(dp: usize, offload: bool, overlap: bool) -> TrainSetup {
+    let mut setup = step_setup(ZeroStage::Three, dp, overlap);
+    if offload {
+        setup.zero.tier = TierConfig {
+            enabled: true,
+            device_budget: u64::MAX,
+            host_bw: 8 << 30,
+            host_lat: Duration::from_micros(10),
+            depth: 1,
+        };
+    }
+    setup
 }
 
 fn comp_setup(dp: usize, compressed: bool, overlap: bool) -> TrainSetup {
@@ -344,6 +416,75 @@ fn main() {
         );
     }
 
+    // Memory-tier offload: the same stage-3 config with and without the
+    // modeled host tier. The bitwise loss gate runs in every mode
+    // (including --smoke); the rows only reach the results file on a
+    // full run.
+    let off_dp = if smoke { 2 } else { 4 };
+    let mut offload_rows = Vec::new();
+    for overlap in [false, true] {
+        let mut secs = [0.0f64; 2];
+        let mut reports: [Option<TrainReport>; 2] = [None, None];
+        for offload in [false, true] {
+            let setup = offload_setup(off_dp, offload, overlap);
+            let run = || {
+                let t0 = Instant::now();
+                let r = run_training_world(
+                    &setup,
+                    steps,
+                    0,
+                    WorldConfig::with_link_latency(latency),
+                );
+                (t0.elapsed().as_secs_f64(), r)
+            };
+            let (mut elapsed, mut report) = run();
+            for _ in 1..trials {
+                let (e, r) = run();
+                if e < elapsed {
+                    (elapsed, report) = (e, r);
+                }
+            }
+            secs[offload as usize] = elapsed / steps as f64;
+            reports[offload as usize] = Some(report);
+        }
+        let base_run = reports[0].take().expect("baseline run recorded");
+        let off_run = reports[1].take().expect("offloaded run recorded");
+        let identical = base_run.losses.len() == off_run.losses.len()
+            && base_run
+                .losses
+                .iter()
+                .zip(&off_run.losses)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            eprintln!(
+                "offload: FAIL — losses diverge from the unconstrained run \
+                 (N={off_dp} overlap={overlap})\n  offloaded: {:?}\n  baseline:  {:?}",
+                off_run.losses, base_run.losses
+            );
+            std::process::exit(1);
+        }
+        let r0 = &off_run.ranks[0];
+        println!(
+            "ZeRO-3 tier offload  N={off_dp} overlap={overlap}  plain {:>8.2} ms/step  \
+             offloaded {:>8.2} ms/step  (tier {:.2} ms/step, {} B moved, losses bitwise equal)",
+            secs[0] * 1e3,
+            secs[1] * 1e3,
+            r0.tier_time.as_secs_f64() * 1e3 / steps as f64,
+            r0.tier.total_bytes(),
+        );
+        offload_rows.push(OffloadRow {
+            nd: off_dp,
+            overlap,
+            steps,
+            secs_per_step: secs[1],
+            baseline_secs_per_step: secs[0],
+            tier_fetch_bytes: r0.tier.fetch_bytes,
+            tier_spill_bytes: r0.tier.spill_bytes,
+            tier_time_ms_per_step: r0.tier_time.as_secs_f64() * 1e3 / steps as f64,
+            relative_throughput: secs[0] / secs[1],
+        });
+    }
+
     if let Some(base) = &baseline {
         let mut compared = 0usize;
         let mut fails = Vec::new();
@@ -361,6 +502,27 @@ fn main() {
                     "{} N={} overlap={}: {:.2} ms/step vs baseline {:.2} ms/step \
                      (+{:.0}% > 10%)",
                     row.stage,
+                    row.nd,
+                    row.overlap,
+                    row.secs_per_step * 1e3,
+                    b.secs_per_step * 1e3,
+                    (row.secs_per_step / b.secs_per_step - 1.0) * 100.0
+                ));
+            }
+        }
+        for row in &offload_rows {
+            let Some(b) = base
+                .offload_rows
+                .iter()
+                .find(|b| b.nd == row.nd && b.overlap == row.overlap)
+            else {
+                continue;
+            };
+            compared += 1;
+            if row.secs_per_step > b.secs_per_step * 1.10 {
+                fails.push(format!(
+                    "offload N={} overlap={}: {:.2} ms/step vs baseline {:.2} ms/step \
+                     (+{:.0}% > 10%)",
                     row.nd,
                     row.overlap,
                     row.secs_per_step * 1e3,
@@ -444,6 +606,7 @@ fn main() {
         global_batch,
         rows,
         speedups,
+        offload_rows,
         tiered_link: TieredLinkSpec {
             node_size: link.node_size,
             intra_latency_us: link.intra_latency.as_micros() as u64,

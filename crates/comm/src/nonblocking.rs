@@ -78,6 +78,13 @@ pub(crate) enum Request {
     Recv { src: usize },
     /// World barrier (empty result).
     Barrier,
+    /// A modeled host↔device memory-tier transfer (ZeRO-Offload traffic):
+    /// no fabric messages move, but the transfer occupies the FIFO
+    /// progress thread for `delay`, so tier latency serializes with the
+    /// rank's collectives and hides behind compute exactly like they do.
+    /// Recorded as a byte-tagged [`SpanCategory::Tier`] span named
+    /// `label` (empty result).
+    TierMove { bytes: u64, delay: Duration, label: &'static str },
 }
 
 impl Request {
@@ -98,7 +105,7 @@ impl Request {
             | Request::Scatter { .. }
             | Request::Send { .. }
             | Request::Recv { .. } => Some(CollectiveKind::P2p),
-            Request::Barrier => None,
+            Request::Barrier | Request::TierMove { .. } => None,
         }
     }
 }
@@ -204,11 +211,26 @@ pub(crate) fn progress_loop(mut fabric: Fabric, jobs: Receiver<Job>, queued: Arc
                     ),
                     None => (zero_trace::SpanId::NULL, 0),
                 };
+                // Tier moves are not collectives (no fabric traffic, no
+                // stats kind) but still get a byte-tagged span on the
+                // progress track: the tag is the modeled transfer volume,
+                // which the trace-conformance tests reconcile against the
+                // plan's tier stream.
+                let tier = match &job.req {
+                    Request::TierMove { bytes, label, .. } => Some((
+                        *bytes,
+                        fabric.trace.begin_on(TRACK_PROGRESS, SpanCategory::Tier, label),
+                    )),
+                    _ => None,
+                };
                 let t0 = Instant::now();
                 let res = exec(&mut fabric, job.req);
                 if let Some(kind) = kind {
                     fabric.stats.record_exec(kind, t0.elapsed());
                     fabric.trace.end_with_bytes(span, fabric.stats.bytes(kind) - bytes_before);
+                }
+                if let Some((bytes, span)) = tier {
+                    fabric.trace.end_with_bytes(span, bytes);
                 }
                 queued.fetch_sub(1, Ordering::SeqCst);
                 // The waiter may have dropped its handle; the op already
@@ -293,6 +315,12 @@ fn exec(fabric: &mut Fabric, req: Request) -> Result<Vec<f32>, CommError> {
         Request::Recv { src } => fabric.recv_p2p(src),
         Request::Barrier => {
             fabric.barrier()?;
+            Ok(Vec::new())
+        }
+        Request::TierMove { delay, .. } => {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
             Ok(Vec::new())
         }
     }

@@ -127,6 +127,71 @@ impl Default for CompressionConfig {
     }
 }
 
+/// Memory-tier offload switches (ZeRO-Offload / ZeRO-Infinity direction).
+///
+/// When enabled, the engine spills the big per-rank states to a modeled
+/// slower host tier — optimizer states + fp32 master (stage ≥ 1), the
+/// reduced gradient shard (stage ≥ 2), and the stage-3 parameter shard —
+/// and every byte crossing the tier boundary is metered, priced at
+/// `host_lat + bytes / host_bw`, and checked against the `CommPlan`'s
+/// tier-movement stream. The [`crate::MemoryTracker`] then *proves* the
+/// configured `device_budget`: any allocation that would push live device
+/// bytes past it panics.
+///
+/// Offload moves exact copies (no re-quantization), so losses are bitwise
+/// identical to the unconstrained run; only residency and modeled time
+/// change. Requires mp = 1, a partitioned-optimizer stage, and no
+/// ZeRO++ compression (the lever interactions are not modeled).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Device-tier byte budget the tracker enforces (`u64::MAX` = no cap).
+    pub device_budget: u64,
+    /// Host-tier bandwidth in bytes/second (0 = unthrottled: transfers
+    /// cost only `host_lat` of modeled time).
+    pub host_bw: u64,
+    /// Per-transfer latency added to every tier crossing.
+    pub host_lat: std::time::Duration,
+    /// Prefetch depth in units. The engine's double-buffered slot is
+    /// depth 1 — the only depth currently implemented.
+    pub depth: usize,
+}
+
+impl TierConfig {
+    /// Offload off; the engine behaves exactly as without a tier.
+    pub const fn off() -> TierConfig {
+        TierConfig {
+            enabled: false,
+            device_budget: u64::MAX,
+            host_bw: 0,
+            host_lat: std::time::Duration::ZERO,
+            depth: 1,
+        }
+    }
+
+    /// Offload on with an explicit device budget and free transfers.
+    pub const fn budgeted(device_budget: u64) -> TierConfig {
+        TierConfig { enabled: true, device_budget, ..TierConfig::off() }
+    }
+
+    /// Modeled seconds one `bytes`-sized transfer spends on the tier link.
+    pub fn transfer_time(&self, bytes: u64) -> std::time::Duration {
+        let bw = if self.host_bw == 0 {
+            std::time::Duration::ZERO
+        } else {
+            std::time::Duration::from_secs_f64(bytes as f64 / self.host_bw as f64)
+        };
+        self.host_lat + bw
+    }
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig::off()
+    }
+}
+
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ZeroConfig {
@@ -179,6 +244,8 @@ pub struct ZeroConfig {
     pub overlap: bool,
     /// ZeRO++-style communication compression (qwZ / hpZ / qgZ).
     pub compression: CompressionConfig,
+    /// Memory-tier offload (ZeRO-Offload / ZeRO-Infinity direction).
+    pub tier: TierConfig,
 }
 
 impl Default for ZeroConfig {
@@ -200,6 +267,7 @@ impl Default for ZeroConfig {
             node_size: None,
             overlap: false,
             compression: CompressionConfig::off(),
+            tier: TierConfig::off(),
         }
     }
 }
@@ -239,6 +307,23 @@ impl ZeroConfig {
             assert!(
                 self.compression.block >= 1,
                 "compression block must be at least 1"
+            );
+        }
+        if self.tier.enabled {
+            assert!(
+                self.stage.partitions_optimizer(),
+                "tier offload requires a partitioned-optimizer stage (ZeRO >= 1)"
+            );
+            assert!(self.tier.device_budget > 0, "tier device_budget must be positive");
+            assert_eq!(
+                self.tier.depth, 1,
+                "tier prefetch depth {} unsupported: only the double-buffered \
+                 depth 1 is implemented",
+                self.tier.depth
+            );
+            assert!(
+                !self.compression.any(),
+                "tier offload cannot combine with ZeRO++ compression"
             );
         }
     }
@@ -335,6 +420,46 @@ mod tests {
                 node_size: 0,
                 ..CompressionConfig::off()
             },
+            ..ZeroConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn tier_defaults_off() {
+        let t = TierConfig::off();
+        assert!(!t.enabled);
+        assert_eq!(ZeroConfig::default().tier, t);
+        assert_eq!(t.transfer_time(1 << 30), std::time::Duration::ZERO);
+        let throttled = TierConfig {
+            host_bw: 1 << 30,
+            host_lat: std::time::Duration::from_micros(10),
+            ..t
+        };
+        assert_eq!(
+            throttled.transfer_time(1 << 30),
+            std::time::Duration::from_micros(10) + std::time::Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned-optimizer")]
+    fn tier_offload_requires_zero_stage() {
+        ZeroConfig {
+            stage: ZeroStage::Ddp,
+            tier: TierConfig::budgeted(1 << 20),
+            ..ZeroConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "compression")]
+    fn tier_offload_rejects_compression() {
+        ZeroConfig {
+            stage: ZeroStage::Three,
+            tier: TierConfig::budgeted(1 << 20),
+            compression: CompressionConfig { qwz: true, ..CompressionConfig::off() },
             ..ZeroConfig::default()
         }
         .validate();

@@ -41,8 +41,9 @@ use crate::bucket::GradBucket;
 use crate::config::{ZeroConfig, ZeroStage};
 use crate::memory::{MemCategory, MemoryTracker};
 use crate::partition::Partitioner;
-use crate::plan::{CommPlan, EffectiveCompression, PlanCursor, WireFmt};
+use crate::plan::{CommPlan, EffectiveCompression, EffectiveOffload, PlanCursor, TierDir, WireFmt};
 use crate::store::FlatStore;
+use crate::tier::{TierStats, TierStore};
 
 /// Result of one training step.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +98,10 @@ struct PendingFetch {
     /// range — on completion the rank's secondary slice is stashed into
     /// the node-local replica. `None` for node-scope refetches.
     stash: Option<std::ops::Range<usize>>,
+    /// Offload: the host→device fetch of this rank's shard piece, issued
+    /// to the FIFO progress thread ahead of the gather (so the modeled
+    /// transfer completes before the ring starts) and waited first.
+    tier: Option<PendingOp>,
 }
 
 /// The optimizer over the master shard, selected by
@@ -143,6 +148,12 @@ pub struct RankEngine {
     /// Effective ZeRO++ levers for this run (qwZ/hpZ/qgZ after stage and
     /// topology gating) — resolved identically to the plan builder's.
     comp: EffectiveCompression,
+    /// Effective tier-offload levers (which state classes live in the
+    /// host tier) — resolved identically to the plan builder's.
+    off: EffectiveOffload,
+    /// The memory tier: byte meter and modeled host-link clock for every
+    /// spill/fetch the engine issues. `None` when offload is off.
+    tier: Option<TierStore>,
     /// hpZ: this rank's intra-node group (`node_size` consecutive ranks);
     /// aliases the DP group when hpZ is off.
     node_group: Group,
@@ -237,6 +248,7 @@ impl RankEngine {
         let my_shard = part.shard_range(dp_idx);
 
         let comp = EffectiveCompression::resolve(&zcfg, grid);
+        let off = EffectiveOffload::resolve(&zcfg, grid);
         let node_group = if comp.hpz {
             zero_comm::NodeTopology::new(comp.node_size).node_group(rank)
         } else {
@@ -245,6 +257,12 @@ impl RankEngine {
         let sec_part = Partitioner::new(psi, comp.node_size.max(1));
 
         let mut mem = MemoryTracker::new();
+        // Arm the device budget before the first allocation: from here on
+        // the tracker panics the moment live device bytes would exceed it,
+        // so a run that completes has *proved* peak device memory fit.
+        if zcfg.tier.enabled {
+            mem.set_device_budget(Some(zcfg.tier.device_budget));
+        }
 
         // hpZ secondary partition: the node-local replica shard, priced as
         // device memory (but not a §3 model state — it is a derived cache).
@@ -257,21 +275,43 @@ impl RankEngine {
         });
         let sec_stashed = vec![false; gpt.layout().units().len()];
 
-        // Working parameters.
+        // Working parameters. Under stage-3 offload the shard's home is
+        // the host tier (every use fetches a unit's piece up), so it is
+        // priced as host — not device — residency.
         let work = if zcfg.stage.partitions_params() {
             FlatStore::from_f32(&initial_params[my_shard.clone()], zcfg.fp16)
         } else {
             FlatStore::from_f32(initial_params, zcfg.fp16)
         };
-        mem.alloc(MemCategory::ParamsFp16, work.bytes());
+        let work_cat = if off.params {
+            MemCategory::HostParamShard
+        } else {
+            MemCategory::ParamsFp16
+        };
+        mem.alloc(work_cat, work.bytes());
 
-        // fp32 master copy: full for DDP, shard otherwise.
+        // fp32 master copy: full for DDP, shard otherwise. With offload
+        // the master and both moments are host-resident (ZeRO-Offload's
+        // host optimizer), collapsing into one host category.
+        let (master_cat, mom_cat, var_cat) = if off.opt_state {
+            (
+                MemCategory::HostOptimizerStates,
+                MemCategory::HostOptimizerStates,
+                MemCategory::HostOptimizerStates,
+            )
+        } else {
+            (
+                MemCategory::MasterParams,
+                MemCategory::Momentum,
+                MemCategory::Variance,
+            )
+        };
         let master: Vec<f32> = if zcfg.stage.partitions_optimizer() {
             initial_params[my_shard].to_vec()
         } else {
             initial_params.to_vec()
         };
-        mem.alloc(MemCategory::MasterParams, 4 * master.len() as u64);
+        mem.alloc(master_cat, 4 * master.len() as u64);
         let mut opt = OptState::new(master.len(), zcfg.optimizer);
         if let OptState::Adam(a) = &mut opt {
             a.attach_trace(trace.clone());
@@ -281,18 +321,25 @@ impl RankEngine {
         // plain SGD = nothing (K = 4).
         match &opt {
             OptState::Adam(_) => {
-                mem.alloc(MemCategory::Momentum, 4 * master.len() as u64);
-                mem.alloc(MemCategory::Variance, 4 * master.len() as u64);
+                mem.alloc(mom_cat, 4 * master.len() as u64);
+                mem.alloc(var_cat, 4 * master.len() as u64);
             }
             OptState::Sgd(s) => {
-                mem.alloc(MemCategory::Momentum, s.state_bytes() as u64);
+                mem.alloc(mom_cat, s.state_bytes() as u64);
             }
         }
 
-        // Gradient storage.
+        // Gradient storage. Offloaded stages 2/3 keep the reduced shard
+        // host-resident (it feeds the host optimizer, spilled bucket by
+        // bucket as backward reduces).
         let (full_grads, grad_shard) = if zcfg.stage.partitions_grads() {
             let shard = FlatStore::zeros(part.shard_range(dp_idx).len(), zcfg.fp16);
-            mem.alloc(MemCategory::Gradients, shard.bytes());
+            let cat = if off.grads {
+                MemCategory::HostGradShard
+            } else {
+                MemCategory::Gradients
+            };
+            mem.alloc(cat, shard.bytes());
             (None, Some(shard))
         } else {
             let full = FlatStore::zeros(psi, zcfg.fp16);
@@ -317,6 +364,8 @@ impl RankEngine {
             mp_idx,
             part,
             comp,
+            tier: off.any().then(|| TierStore::new(zcfg.tier)),
+            off,
             node_group,
             sec_part,
             secondary,
@@ -351,6 +400,26 @@ impl RankEngine {
     /// The memory tracker (read it after steps for measured footprints).
     pub fn memory(&self) -> &MemoryTracker {
         &self.mem
+    }
+
+    /// Which state classes cross the memory tier on this rank.
+    pub fn offload(&self) -> EffectiveOffload {
+        self.off
+    }
+
+    /// Byte/op meters for this rank's tier traffic (zero when offload is
+    /// off).
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier.as_ref().map(|t| t.stats()).unwrap_or_default()
+    }
+
+    /// Modeled wall time this rank's tier transfers would take on the
+    /// configured host link.
+    pub fn tier_time(&self) -> std::time::Duration {
+        self.tier
+            .as_ref()
+            .map(|t| t.modeled_time())
+            .unwrap_or_default()
     }
 
     /// Communication counters for this rank.
@@ -423,6 +492,24 @@ impl RankEngine {
         self.comm
     }
 
+    // ----- tier movement (offload) -----
+
+    /// Pops the next planned tier op, meters it through the [`TierStore`]
+    /// (bytes + modeled host-link time), and submits the transfer to the
+    /// FIFO progress thread. The plan's `issue_pos` anchor is checked by
+    /// the pop — the engine cannot reorder tier traffic against the
+    /// collective stream without panicking. FIFO submission means a fetch
+    /// issued before an all-gather completes before that gather starts.
+    fn start_tier_op(&mut self, dir: TierDir, label: &str) -> PendingOp {
+        let t = self.plan.take_tier(dir, label);
+        let store = self.tier.as_mut().expect("tier store when offload is on");
+        let delay = match dir {
+            TierDir::Fetch => store.record_fetch(t.bytes),
+            TierDir::Spill => store.record_spill(t.bytes),
+        };
+        self.comm.start_tier_move(t.label, t.bytes, delay)
+    }
+
     // ----- parameter materialization -----
 
     /// Materializes unit `u`'s parameters as an f32 buffer.
@@ -437,6 +524,13 @@ impl RankEngine {
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
         if self.zcfg.stage.partitions_params() {
             let prec = self.precision();
+            // Offload: the local shard piece lives in the host tier and
+            // must be fetched up before it can seed the gather. Sync path
+            // blocks on the modeled transfer here (demand = issue).
+            if self.off.params {
+                self.start_tier_op(TierDir::Fetch, "tier-param-fetch")
+                    .wait()?;
+            }
             let mut out = vec![0.0; len];
             if self.comp.hpz && self.sec_stashed[u] {
                 // hpZ refetch: raw all-gather over the node-local
@@ -494,6 +588,13 @@ impl RankEngine {
         let len = unit_range.len();
         self.mem.alloc(MemCategory::Buffers, 4 * len as u64);
         let prec = self.precision();
+        // Offload prefetch: the shard piece's host→device move rides the
+        // same FIFO as the gather it seeds — issued here (one unit ahead
+        // of use), completed by the progress thread before the ring runs.
+        let tier = self
+            .off
+            .params
+            .then(|| self.start_tier_op(TierDir::Fetch, "tier-param-fetch"));
         if self.comp.hpz && self.sec_stashed[u] {
             let op = self.plan.take(CollectiveKind::AllGather, &self.node_group);
             assert_eq!(op.total_elems(), len, "planned fetch-unit size");
@@ -502,7 +603,7 @@ impl RankEngine {
             let pending = self
                 .comm
                 .start_all_gather_var(&self.node_group, &piece, &op.counts, prec);
-            return PendingFetch { unit: u, op: pending, len, stash: None };
+            return PendingFetch { unit: u, op: pending, len, stash: None, tier };
         }
         let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
         assert_eq!(op.total_elems(), len, "planned fetch-unit size");
@@ -521,7 +622,7 @@ impl RankEngine {
         if stash.is_some() {
             self.sec_stashed[u] = true;
         }
-        PendingFetch { unit: u, op: pending, len, stash }
+        PendingFetch { unit: u, op: pending, len, stash, tier }
     }
 
     /// Prefetch-aware [`Self::fetch_unit`]: takes unit `u` from the
@@ -532,7 +633,7 @@ impl RankEngine {
         if !self.prefetches() {
             return self.fetch_unit(u);
         }
-        let cur = match self.prefetch.take() {
+        let mut cur = match self.prefetch.take() {
             Some(pf) => {
                 assert_eq!(pf.unit, u, "prefetch drift: slot holds a different unit");
                 pf
@@ -542,6 +643,14 @@ impl RankEngine {
         if let Some(v) = next {
             let pf = self.start_fetch(v);
             self.prefetch = Some(pf);
+        }
+        // The tier fetch ran first on the FIFO; settle it before the
+        // gather so transfer failures surface in issue order.
+        if let Some(t) = cur.tier.take() {
+            if let Err(e) = t.wait() {
+                self.mem.free(MemCategory::Buffers, 4 * cur.len as u64);
+                return Err(e);
+            }
         }
         match cur.op.wait() {
             Ok(out) => {
@@ -797,8 +906,11 @@ impl RankEngine {
             plan,
             inflight_rs,
             trace,
+            tier,
+            off,
             ..
         } = self;
+        let off_grads = off.grads;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let mut comm_err: Option<CommError> = None;
         bucket.push(range, g, &mut |r, fused| {
@@ -826,6 +938,8 @@ impl RankEngine {
             if overlap {
                 // Deferred: backward keeps computing while the ring runs;
                 // `drain_inflight` waits and applies at end-of-backward.
+                // Offload spills are deferred with it — planned at the
+                // drain, the first point the owner piece exists.
                 inflight_rs.push(InflightReduce { local, op: pending, bytes: 4 * fused.len() as u64 });
             } else {
                 match pending.wait() {
@@ -833,6 +947,18 @@ impl RankEngine {
                     Err(e) => comm_err = Some(e),
                 }
                 mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
+                // Sync spill: the freshly reduced owner piece moves down
+                // to the host tier before backward proceeds.
+                if off_grads && comm_err.is_none() {
+                    let t = plan.take_tier(TierDir::Spill, "tier-grad-spill");
+                    let delay = tier
+                        .as_mut()
+                        .expect("tier store when offload is on")
+                        .record_spill(t.bytes);
+                    if let Err(e) = comm.start_tier_move(t.label, t.bytes, delay).wait() {
+                        comm_err = Some(e);
+                    }
+                }
             }
         });
         match comm_err {
@@ -862,8 +988,11 @@ impl RankEngine {
             plan,
             inflight_rs,
             trace,
+            tier,
+            off,
             ..
         } = self;
+        let off_grads = off.grads;
         let grad_shard = grad_shard.as_mut().expect("gradient shard");
         let prec = if zcfg.fp16 { Precision::Fp16 } else { Precision::Fp32 };
         let overlap = zcfg.overlap;
@@ -898,6 +1027,16 @@ impl RankEngine {
                     Err(e) => comm_err = Some(e),
                 }
                 mem.free(MemCategory::Buffers, 4 * fused.len() as u64);
+                if off_grads && comm_err.is_none() {
+                    let t = plan.take_tier(TierDir::Spill, "tier-grad-spill");
+                    let delay = tier
+                        .as_mut()
+                        .expect("tier store when offload is on")
+                        .record_spill(t.bytes);
+                    if let Err(e) = comm.start_tier_move(t.label, t.bytes, delay).wait() {
+                        comm_err = Some(e);
+                    }
+                }
             }
         });
         match comm_err {
@@ -1034,6 +1173,12 @@ impl RankEngine {
                     let end = (cursor + step).min(psi);
                     let chunk = cursor..end;
                     self.mem.alloc(MemCategory::Buffers, 4 * chunk.len() as u64);
+                    // Host optimizer: the updated shard chunk is fetched
+                    // up from the host-resident master before the gather.
+                    if self.off.opt_state {
+                        self.start_tier_op(TierDir::Fetch, "tier-publish-fetch")
+                            .wait()?;
+                    }
                     let op = self.plan.take(CollectiveKind::AllGather, &self.dp_group);
                     assert_eq!(op.total_elems(), chunk.len(), "planned publish size");
                     let lo = shard.start.max(chunk.start);
@@ -1538,7 +1683,16 @@ impl RankEngine {
         // reduce-scatter still in flight (the end-of-backward barrier the
         // tentpole moves the waits to).
         self.flush_pending_grads()?;
+        let drained = self.inflight_rs.len();
         self.drain_inflight()?;
+        // Overlap-mode spills are planned at this drain barrier — the
+        // first point the reduced owner pieces exist — one per in-flight
+        // reduce-scatter (sync mode spilled inline at each flush).
+        if self.off.grads && self.zcfg.overlap {
+            for _ in 0..drained {
+                self.start_tier_op(TierDir::Spill, "tier-grad-spill").wait()?;
+            }
+        }
         debug_assert!(self.prefetch.is_none(), "prefetch slot must drain with backward");
         Ok(loss)
     }
@@ -1576,6 +1730,12 @@ impl RankEngine {
         let mut grad_norm = None;
         if !skipped {
             let mut g = self.read_grad_shard();
+            // Stage 1 host optimizer: gradients reduced into the full
+            // device buffer, so the owned shard region spills down once
+            // per step (stages 2/3 already spilled bucket by bucket).
+            if self.off.opt_state && !self.zcfg.stage.partitions_grads() {
+                self.start_tier_op(TierDir::Spill, "tier-grad-spill").wait()?;
+            }
             // Undo the loss scale and average over accumulation steps.
             let inv = 1.0 / (scale * n_micro as f32);
             if inv != 1.0 {

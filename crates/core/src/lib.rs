@@ -36,11 +36,12 @@ pub mod procworld;
 pub mod snapshot;
 pub mod store;
 pub mod supervisor;
+pub mod tier;
 pub mod trainer;
 
 pub use arena::ContiguousArena;
 pub use bucket::GradBucket;
-pub use config::{CompressionConfig, OptimizerKind, ZeroConfig, ZeroStage};
+pub use config::{CompressionConfig, OptimizerKind, TierConfig, ZeroConfig, ZeroStage};
 pub use engine::{RankEngine, StepOutcome};
 pub use memory::{MemCategory, MemoryTracker, ALL_CATEGORIES, CATEGORY_COUNT, MODEL_STATE_CATEGORIES};
 pub use metrics::TrainingMetrics;
@@ -50,13 +51,14 @@ pub use procworld::{
     ProcessWorldOptions, WorkerCommand, WORKER_SPEC_ENV,
 };
 pub use plan::{
-    CommPlan, CountSpec, EffectiveCompression, PlanCursor, PlanOp, PlanScope, ResolvedOp,
-    StepShape, WireFmt,
+    CommPlan, CountSpec, EffectiveCompression, EffectiveOffload, PlanCursor, PlanOp, PlanScope,
+    ResolvedOp, ResolvedTierOp, StepShape, TierDir, TierOp, WireFmt,
 };
 pub use snapshot::{
     export_inference_shards, reshard, validate_consistent, RankSnapshot, SnapshotError,
 };
 pub use store::FlatStore;
+pub use tier::{PageId, TierStats, TierStore};
 pub use supervisor::{
     resume_from_snapshot, run_supervised, RecoveryReport, SupervisedReport, SupervisorConfig,
 };

@@ -37,10 +37,19 @@ pub enum MemCategory {
     /// Device memory, but NOT a model state in the paper's §3 sense —
     /// it is a derived cache rebuilt from the primary partition.
     SecondaryParams = 9,
+    /// Tier offload: fp32 master + optimizer moments resident in the host
+    /// tier (stage ≥ 1). NOT device memory.
+    HostOptimizerStates = 10,
+    /// Tier offload: the reduced gradient shard resident in the host tier
+    /// (stage ≥ 2). NOT device memory.
+    HostGradShard = 11,
+    /// Tier offload: the stage-3 working parameter shard resident in the
+    /// host tier. NOT device memory.
+    HostParamShard = 12,
 }
 
 /// Number of categories.
-pub const CATEGORY_COUNT: usize = 10;
+pub const CATEGORY_COUNT: usize = 13;
 
 /// All categories in discriminant order.
 pub const ALL_CATEGORIES: [MemCategory; CATEGORY_COUNT] = [
@@ -54,7 +63,24 @@ pub const ALL_CATEGORIES: [MemCategory; CATEGORY_COUNT] = [
     MemCategory::Buffers,
     MemCategory::CpuOffload,
     MemCategory::SecondaryParams,
+    MemCategory::HostOptimizerStates,
+    MemCategory::HostGradShard,
+    MemCategory::HostParamShard,
 ];
+
+impl MemCategory {
+    /// True for categories that occupy device memory (everything except
+    /// the CPU-offload and host-tier residency categories).
+    pub fn is_device(self) -> bool {
+        !matches!(
+            self,
+            MemCategory::CpuOffload
+                | MemCategory::HostOptimizerStates
+                | MemCategory::HostGradShard
+                | MemCategory::HostParamShard
+        )
+    }
+}
 
 /// Categories that constitute "model states" in the paper's sense.
 pub const MODEL_STATE_CATEGORIES: [MemCategory; 5] = [
@@ -76,6 +102,7 @@ pub struct MemoryTracker {
     peak_device_total: u64,
     peak_model_states: u64,
     cpu_transfer_bytes: u64,
+    device_budget: Option<u64>,
 }
 
 impl MemoryTracker {
@@ -84,7 +111,24 @@ impl MemoryTracker {
         MemoryTracker::default()
     }
 
+    /// Installs a hard device-byte budget: any allocation that would push
+    /// live device bytes past it panics, so a run that completes has
+    /// *proved* `peak_device() <= budget` rather than asserted it after
+    /// the fact.
+    pub fn set_device_budget(&mut self, budget: Option<u64>) {
+        self.device_budget = budget;
+    }
+
+    /// The enforced device budget, if any.
+    pub fn device_budget(&self) -> Option<u64> {
+        self.device_budget
+    }
+
     /// Registers an allocation of `bytes` under `cat`.
+    ///
+    /// # Panics
+    /// Panics when a device budget is installed and this allocation would
+    /// exceed it.
     pub fn alloc(&mut self, cat: MemCategory, bytes: u64) {
         let i = cat as usize;
         self.live[i] += bytes;
@@ -92,6 +136,13 @@ impl MemoryTracker {
             self.peak[i] = self.live[i];
         }
         let dev = self.device_live();
+        if let Some(budget) = self.device_budget {
+            assert!(
+                dev <= budget,
+                "device budget exceeded: {dev} live device bytes > budget {budget} \
+                 (allocating {bytes} under {cat:?})"
+            );
+        }
         if dev > self.peak_device_total {
             self.peak_device_total = dev;
         }
@@ -139,11 +190,12 @@ impl MemoryTracker {
         self.peak[cat as usize]
     }
 
-    /// Live device bytes (everything except CPU offload).
+    /// Live device bytes (everything except CPU offload and the host-tier
+    /// residency categories).
     pub fn device_live(&self) -> u64 {
         ALL_CATEGORIES
             .iter()
-            .filter(|&&c| c != MemCategory::CpuOffload)
+            .filter(|&&c| c.is_device())
             .map(|&c| self.live[c as usize])
             .sum()
     }
@@ -218,6 +270,38 @@ mod tests {
         m.alloc(MemCategory::SecondaryParams, 500);
         assert_eq!(m.device_live(), 500);
         assert_eq!(m.model_state_live(), 0);
+    }
+
+    #[test]
+    fn host_tier_categories_are_not_device() {
+        let mut m = MemoryTracker::new();
+        m.alloc(MemCategory::HostOptimizerStates, 1200);
+        m.alloc(MemCategory::HostGradShard, 200);
+        m.alloc(MemCategory::HostParamShard, 200);
+        assert_eq!(m.device_live(), 0);
+        assert_eq!(m.model_state_live(), 0);
+        m.alloc(MemCategory::Buffers, 10);
+        assert_eq!(m.device_live(), 10);
+    }
+
+    #[test]
+    fn device_budget_admits_runs_under_it() {
+        let mut m = MemoryTracker::new();
+        m.set_device_budget(Some(100));
+        m.alloc(MemCategory::HostOptimizerStates, 1 << 40); // host: free
+        m.alloc(MemCategory::Buffers, 60);
+        m.free(MemCategory::Buffers, 60);
+        m.alloc(MemCategory::Buffers, 100);
+        assert_eq!(m.peak_device(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "device budget exceeded")]
+    fn device_budget_rejects_overallocation() {
+        let mut m = MemoryTracker::new();
+        m.set_device_budget(Some(100));
+        m.alloc(MemCategory::Buffers, 60);
+        m.alloc(MemCategory::Activations, 41);
     }
 
     #[test]

@@ -328,6 +328,54 @@ impl ResolvedOp {
     }
 }
 
+/// Direction of a planned tier movement (ZeRO-Offload traffic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierDir {
+    /// Device → host (gradient shards headed for the host optimizer).
+    Spill,
+    /// Host → device (parameter pieces materialized for compute).
+    Fetch,
+}
+
+/// One planned host↔device tier movement. Tier ops form a second stream
+/// alongside the collective ops: each records *where* in the collective
+/// stream it is issued (`issue_pos`) and where its result is first needed
+/// (`demand_pos`), so the `offload` verify pass can prove the prefetch
+/// window statically — `issue_pos ≤ demand_pos` — and the runtime cursor
+/// can assert the engine issues each movement at exactly the planned
+/// anchor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierOp {
+    /// Movement direction.
+    pub dir: TierDir,
+    /// Schedule position, e.g. `"tier-param-fetch"`.
+    pub label: &'static str,
+    /// Elements moved by each DP rank (tier traffic is rank-local, so the
+    /// counts are per-rank volumes, not collective group counts).
+    pub counts: Vec<usize>,
+    /// Bytes per element on the tier link.
+    pub elem_bytes: u64,
+    /// Number of collective ops issued before this movement is submitted.
+    pub issue_pos: usize,
+    /// Number of collective ops issued before the engine blocks on it.
+    pub demand_pos: usize,
+}
+
+/// A [`TierOp`] resolved for one concrete rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedTierOp {
+    /// Movement direction.
+    pub dir: TierDir,
+    /// Schedule position label.
+    pub label: &'static str,
+    /// Bytes this rank moves across the tier link.
+    pub bytes: u64,
+    /// Collective ops issued before submission.
+    pub issue_pos: usize,
+    /// Collective ops issued before the engine blocks on it.
+    pub demand_pos: usize,
+}
+
 /// The shape parameters a step plan depends on beyond config and layout.
 #[derive(Clone, Copy, Debug)]
 pub struct StepShape {
@@ -348,6 +396,7 @@ pub struct StepShape {
 pub struct CommPlan {
     grid: Grid,
     ops: Vec<PlanOp>,
+    tier: Vec<TierOp>,
 }
 
 /// Mirrors [`GradBucket`](crate::bucket::GradBucket)'s flush decisions
@@ -453,6 +502,56 @@ impl EffectiveCompression {
     }
 }
 
+/// Which state classes actually cross the memory tier for a stage — the
+/// tier flag gated by the stage that owns each class (§3's taxonomy:
+/// optimizer states partition at stage ≥ 1, gradients at stage ≥ 2,
+/// parameters at stage 3). Shared verbatim by the plan [`Builder`] and
+/// the engine so the two cannot disagree about which tier ops appear.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EffectiveOffload {
+    /// Master params + Adam moments live in the host tier; the optimizer
+    /// updates there (grad shards spill down, updated params fetch up).
+    pub opt_state: bool,
+    /// Reduced gradient shards spill to the host tier bucket by bucket.
+    pub grads: bool,
+    /// The stage-3 working parameter shard lives in the host tier; every
+    /// unit materialization first fetches the local piece up.
+    pub params: bool,
+}
+
+impl EffectiveOffload {
+    /// Resolves the configured tier against the stage and grid.
+    ///
+    /// # Panics
+    /// Panics if the tier is enabled with model parallelism (tier volumes
+    /// are defined over the DP partition of the flat space).
+    pub fn resolve(zcfg: &ZeroConfig, grid: Grid) -> EffectiveOffload {
+        let on = zcfg.tier.enabled;
+        let eff = EffectiveOffload {
+            opt_state: on && zcfg.stage.partitions_optimizer(),
+            grads: on && zcfg.stage.partitions_grads(),
+            params: on && zcfg.stage.partitions_params(),
+        };
+        if eff.any() {
+            assert_eq!(
+                grid.mp_degree(),
+                1,
+                "tier offload requires mp = 1 (tier volumes are over DP shards)"
+            );
+            assert!(
+                !(zcfg.compression.qwz || zcfg.compression.hpz || zcfg.compression.qgz),
+                "tier offload cannot combine with ZeRO++ compression"
+            );
+        }
+        eff
+    }
+
+    /// True if any state class crosses the tier.
+    pub fn any(&self) -> bool {
+        self.opt_state || self.grads || self.params
+    }
+}
+
 /// Internal builder state shared by the plan constructors.
 struct Builder {
     ops: Vec<PlanOp>,
@@ -471,6 +570,17 @@ struct Builder {
     /// at the optimizer step, so one global gather per unit per step
     /// suffices; the engine mirrors this first-touch rule exactly.
     stashed: Vec<bool>,
+    /// Effective tier-offload levers for this stage/grid.
+    off: EffectiveOffload,
+    /// The tier-movement stream being built alongside `ops`.
+    tier: Vec<TierOp>,
+    /// Index into `tier` of each unit's in-flight prefetch param fetch,
+    /// until [`Builder::demand_unit`] stamps its demand position.
+    unit_tier_idx: Vec<Option<usize>>,
+    /// Overlap mode: gradient spills recorded at their reduce-scatter but
+    /// issued at the end-of-micro drain (the engine submits a spill only
+    /// once the bucket's reduce-scatter has completed on the FIFO).
+    pending_spills: Vec<Vec<usize>>,
 }
 
 impl Builder {
@@ -484,6 +594,45 @@ impl Builder {
             comp,
             sec_part: Partitioner::new(layout.total_params(), comp.node_size.max(1)),
             stashed: vec![false; layout.units().len()],
+            off: EffectiveOffload::resolve(zcfg, grid),
+            tier: Vec::new(),
+            unit_tier_idx: vec![None; layout.units().len()],
+            pending_spills: Vec::new(),
+        }
+    }
+
+    /// Pushes a tier movement anchored at the current op position. Sync
+    /// call sites both issue and block here (`demand = issue`); prefetch
+    /// fetches get their demand stamped later by [`Builder::demand_unit`].
+    fn tier_op(&mut self, dir: TierDir, label: &'static str, counts: Vec<usize>) -> usize {
+        let pos = self.ops.len();
+        self.tier.push(TierOp {
+            dir,
+            label,
+            counts,
+            elem_bytes: self.prec.bytes(),
+            issue_pos: pos,
+            demand_pos: pos,
+        });
+        self.tier.len() - 1
+    }
+
+    /// Marks the point where the engine blocks on unit `u`'s prefetched
+    /// tier fetch (the `fetch_unit_pf` wait). No-op unless a prefetch
+    /// fetch for `u` is outstanding.
+    fn demand_unit(&mut self, u: usize) {
+        if let Some(idx) = self.unit_tier_idx[u].take() {
+            self.tier[idx].demand_pos = self.ops.len();
+        }
+    }
+
+    /// Flushes overlap-mode gradient spills at the end-of-micro drain:
+    /// the engine waits each bucket's reduce-scatter there, accumulates,
+    /// and only then submits the spill of the reduced piece.
+    fn drain_spills(&mut self) {
+        let pending = std::mem::take(&mut self.pending_spills);
+        for counts in pending {
+            self.tier_op(TierDir::Spill, "tier-grad-spill", counts);
         }
     }
 
@@ -507,6 +656,16 @@ impl Builder {
     fn fetch_unit(&mut self, zcfg: &ZeroConfig, unit: &Range<usize>, u: usize) {
         if !zcfg.stage.partitions_params() {
             return;
+        }
+        if self.off.params {
+            // The local shard piece of the unit climbs host → device right
+            // before it seeds the all-gather (the FIFO serializes the two,
+            // so both hide behind compute together under overlap).
+            let counts = self.part.intersect_counts(unit);
+            let idx = self.tier_op(TierDir::Fetch, "tier-param-fetch", counts);
+            if self.prefetches(zcfg) {
+                self.unit_tier_idx[u] = Some(idx);
+            }
         }
         if self.comp.hpz && self.stashed[u] {
             let counts = self.sec_part.intersect_counts(unit);
@@ -590,6 +749,19 @@ impl Builder {
             "grad-bucket",
             wire,
         );
+        if self.off.grads {
+            // Each rank spills its reduced piece of the bucket to the host
+            // optimizer. The spill can only leave once the reduce-scatter
+            // has produced it: sync mode spills right here, overlap mode
+            // at the end-of-micro drain (where the engine first waits the
+            // bucket's reduce-scatter).
+            let counts = self.part.intersect_counts(fused);
+            if self.overlap {
+                self.pending_spills.push(counts);
+            } else {
+                self.tier_op(TierDir::Spill, "tier-grad-spill", counts);
+            }
+        }
     }
 
     /// True when the plan must list stage-3 fetches in prefetch *issue*
@@ -614,8 +786,10 @@ impl Builder {
         if pf {
             self.fetch_unit(zcfg, &units[0], 0);
             self.fetch_unit(zcfg, &units[1], 1);
+            self.demand_unit(0);
             for l in 0..layers {
                 self.fetch_unit(zcfg, &units[2 + l], 2 + l);
+                self.demand_unit(1 + l);
                 self.mp_block_pass(act_elems);
             }
             // The head's call chains the prefetch into backward's first
@@ -623,6 +797,7 @@ impl Builder {
             if !zcfg.checkpoint_activations && layers > 0 {
                 self.fetch_unit(zcfg, &units[layers], layers);
             }
+            self.demand_unit(1 + layers);
         } else {
             self.fetch_unit(zcfg, &units[0], 0);
             for l in 0..layers {
@@ -656,6 +831,7 @@ impl Builder {
                         if l + 1 < seg_end {
                             self.fetch_unit(zcfg, &units[2 + l], 2 + l);
                         }
+                        self.demand_unit(1 + l);
                     } else {
                         self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                     }
@@ -677,6 +853,7 @@ impl Builder {
                     if l > 0 {
                         self.fetch_unit(zcfg, &units[l], l);
                     }
+                    self.demand_unit(1 + l);
                 } else {
                     self.fetch_unit(zcfg, &units[1 + l], 1 + l);
                 }
@@ -690,6 +867,7 @@ impl Builder {
         if let Some(r) = bucket.flush() {
             self.grad_flush(&r);
         }
+        self.drain_spills();
     }
 
     /// End-of-step gradient reduction for the non-bucketed stages,
@@ -768,6 +946,11 @@ impl Builder {
         while cursor < psi {
             let end = (cursor + step).min(psi);
             let counts = self.part.intersect_counts(&(cursor..end));
+            if self.off.opt_state {
+                // The host optimizer's freshly updated fp16 shard piece
+                // climbs host → device to seed the publish all-gather.
+                self.tier_op(TierDir::Fetch, "tier-publish-fetch", counts.clone());
+            }
             self.op(
                 CollectiveKind::AllGather,
                 PlanScope::Dp,
@@ -777,6 +960,21 @@ impl Builder {
             );
             cursor = end;
         }
+    }
+
+    /// Seals the builder into a plan, checking the tier mirror is
+    /// balanced: every prefetch fetch got a demand stamp and every
+    /// overlap spill was drained.
+    fn finish(self, grid: Grid) -> CommPlan {
+        debug_assert!(
+            self.unit_tier_idx.iter().all(Option::is_none),
+            "plan builder: a prefetched tier fetch was never demanded"
+        );
+        debug_assert!(
+            self.pending_spills.is_empty(),
+            "plan builder: pending tier spills were never drained"
+        );
+        CommPlan { grid, ops: self.ops, tier: self.tier }
     }
 }
 
@@ -805,7 +1003,7 @@ impl CommPlan {
             Precision::Fp32,
             "overflow-flag",
         );
-        CommPlan { grid, ops: b.ops }
+        b.finish(grid)
     }
 
     /// The data-dependent suffix of a training step, given the skip
@@ -814,6 +1012,14 @@ impl CommPlan {
     pub fn step_suffix(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, skipped: bool) -> CommPlan {
         let mut b = Builder::new(layout, zcfg, grid);
         if !skipped {
+            if b.off.opt_state && !zcfg.stage.partitions_grads() {
+                // Stage 1: gradients were reduced into the full device
+                // buffer; the optimizer's shard piece spills to the host
+                // before the update (stages 2–3 spilled bucket by bucket
+                // during accumulation).
+                let counts = b.part.counts().to_vec();
+                b.tier_op(TierDir::Spill, "tier-grad-spill", counts);
+            }
             if zcfg.clip_grad_norm.is_some() {
                 let scope = if zcfg.stage.partitions_optimizer() {
                     // Shard contributions sum across the whole world.
@@ -833,15 +1039,21 @@ impl CommPlan {
             }
             b.publish(zcfg);
         }
-        CommPlan { grid, ops: b.ops }
+        b.finish(grid)
     }
 
     /// One whole training step (prefix + suffix) for a known skip outcome
     /// — what the static checker and the conformance tests consume.
     pub fn train_step(layout: &Layout, zcfg: &ZeroConfig, grid: Grid, shape: &StepShape) -> CommPlan {
         let mut plan = CommPlan::step_prefix(layout, zcfg, grid, shape.micro_batches, shape.act_elems);
-        plan.ops
-            .extend(CommPlan::step_suffix(layout, zcfg, grid, shape.skipped).ops);
+        let suffix = CommPlan::step_suffix(layout, zcfg, grid, shape.skipped);
+        let base = plan.ops.len();
+        plan.ops.extend(suffix.ops);
+        plan.tier.extend(suffix.tier.into_iter().map(|mut t| {
+            t.issue_pos += base;
+            t.demand_pos += base;
+            t
+        }));
         plan
     }
 
@@ -855,10 +1067,13 @@ impl CommPlan {
             // the head's call has nothing left to chain into.
             b.fetch_unit(zcfg, &units[0], 0);
             b.fetch_unit(zcfg, &units[1], 1);
+            b.demand_unit(0);
             for l in 0..layers {
                 b.fetch_unit(zcfg, &units[2 + l], 2 + l);
+                b.demand_unit(1 + l);
                 b.mp_block_pass(act_elems);
             }
+            b.demand_unit(1 + layers);
         } else {
             b.fetch_unit(zcfg, &units[0], 0);
             for l in 0..layers {
@@ -867,14 +1082,14 @@ impl CommPlan {
             }
             b.fetch_unit(zcfg, &units[1 + layers], 1 + layers);
         }
-        CommPlan { grid, ops: b.ops }
+        b.finish(grid)
     }
 
     /// The standalone parameter re-publish a snapshot restore performs.
     pub fn publish_refresh(layout: &Layout, zcfg: &ZeroConfig, grid: Grid) -> CommPlan {
         let mut b = Builder::new(layout, zcfg, grid);
         b.publish(zcfg);
-        CommPlan { grid, ops: b.ops }
+        b.finish(grid)
     }
 
     /// One shard-hosted *serving* step over `n` inference ranks: every
@@ -902,7 +1117,7 @@ impl CommPlan {
                 wire: WireFmt::Raw,
             })
             .collect();
-        CommPlan { grid, ops }
+        CommPlan { grid, ops, tier: Vec::new() }
     }
 
     /// The grid this plan is for.
@@ -913,6 +1128,54 @@ impl CommPlan {
     /// The scope-relative ops in schedule order.
     pub fn ops(&self) -> &[PlanOp] {
         &self.ops
+    }
+
+    /// The tier-movement stream in submission order (empty unless the
+    /// config offloads to the memory tier).
+    pub fn tier_ops(&self) -> &[TierOp] {
+        &self.tier
+    }
+
+    /// Resolves the tier stream for one concrete rank. Tier offload
+    /// requires mp = 1, so the rank indexes the DP partition directly.
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside the grid, or the plan has tier ops but
+    /// a model-parallel grid.
+    pub fn resolve_tier_for(&self, rank: usize) -> Vec<ResolvedTierOp> {
+        let world = self.grid.world_size();
+        assert!(rank < world, "rank {rank} outside grid of {world}");
+        if !self.tier.is_empty() {
+            assert_eq!(self.grid.mp_degree(), 1, "tier plans are mp = 1 only");
+        }
+        self.tier
+            .iter()
+            .map(|t| {
+                assert_eq!(t.counts.len(), world, "tier counts cover every DP rank");
+                ResolvedTierOp {
+                    dir: t.dir,
+                    label: t.label,
+                    bytes: t.elem_bytes * t.counts[rank] as u64,
+                    issue_pos: t.issue_pos,
+                    demand_pos: t.demand_pos,
+                }
+            })
+            .collect()
+    }
+
+    /// Analytic tier bytes `rank` moves executing this plan, as
+    /// `(fetch_bytes, spill_bytes)` — directly comparable to a
+    /// [`crate::tier::TierStats`].
+    pub fn rank_tier_bytes(&self, rank: usize) -> (u64, u64) {
+        let mut fetch = 0u64;
+        let mut spill = 0u64;
+        for t in self.resolve_tier_for(rank) {
+            match t.dir {
+                TierDir::Fetch => fetch += t.bytes,
+                TierDir::Spill => spill += t.bytes,
+            }
+        }
+        (fetch, spill)
     }
 
     /// Resolves the schedule for one concrete rank: explicit group members
@@ -1023,8 +1286,10 @@ impl CommPlan {
 #[derive(Debug, Default)]
 pub struct PlanCursor {
     ops: VecDeque<ResolvedOp>,
+    tier: VecDeque<ResolvedTierOp>,
     source: &'static str,
     installed: usize,
+    consumed: usize,
 }
 
 impl PlanCursor {
@@ -1037,8 +1302,10 @@ impl PlanCursor {
     /// (a failed step abandons its plan; the next entry point re-plans).
     pub fn install(&mut self, plan: &CommPlan, rank: usize, source: &'static str) {
         self.ops = plan.resolve_for(rank).into();
+        self.tier = plan.resolve_tier_for(rank).into();
         self.source = source;
         self.installed = self.ops.len();
+        self.consumed = 0;
     }
 
     /// Pops the next planned op, asserting it is a `kind` collective over
@@ -1069,7 +1336,38 @@ impl PlanCursor {
             op.label,
             self.source
         );
+        self.consumed += 1;
         op
+    }
+
+    /// Pops the next planned tier movement, asserting direction, label,
+    /// and that the engine is at exactly the planned issue anchor (the
+    /// number of collective ops consumed so far).
+    ///
+    /// # Panics
+    /// Panics on tier-schedule drift.
+    pub fn take_tier(&mut self, dir: TierDir, label: &str) -> ResolvedTierOp {
+        let t = self.tier.pop_front().unwrap_or_else(|| {
+            panic!(
+                "tier-plan drift: engine issued {dir:?} '{label}' but the \
+                 '{}' plan's tier stream is exhausted",
+                self.source
+            )
+        });
+        assert!(
+            t.dir == dir && t.label == label,
+            "tier-plan drift ({}): planned {:?} '{}', engine issued {dir:?} '{label}'",
+            self.source,
+            t.dir,
+            t.label
+        );
+        assert_eq!(
+            t.issue_pos, self.consumed,
+            "tier-plan anchor drift at '{}' ({}): planned issue after {} collective \
+             op(s), engine has consumed {}",
+            t.label, self.source, t.issue_pos, self.consumed
+        );
+        t
     }
 
     /// Ops not yet consumed.
@@ -1081,7 +1379,7 @@ impl PlanCursor {
     /// of every successful engine entry point.
     ///
     /// # Panics
-    /// Panics if planned ops were never issued.
+    /// Panics if planned ops (collective or tier) were never issued.
     pub fn assert_exhausted(&self, context: &str) {
         assert!(
             self.ops.is_empty(),
@@ -1089,6 +1387,13 @@ impl PlanCursor {
             self.ops.len(),
             self.source,
             self.ops.front().map_or("-", |op| op.label)
+        );
+        assert!(
+            self.tier.is_empty(),
+            "tier-plan drift: {} tier op(s) of '{}' never executed ({context}); next: '{}'",
+            self.tier.len(),
+            self.source,
+            self.tier.front().map_or("-", |t| t.label)
         );
     }
 }
@@ -1345,6 +1650,146 @@ mod tests {
             "inter-node reduction {:.2}× below the 3.5× gate",
             raw as f64 / squeezed as f64
         );
+    }
+
+    fn tiered(stage: ZeroStage, overlap: bool) -> ZeroConfig {
+        ZeroConfig {
+            tier: crate::config::TierConfig::budgeted(1 << 20),
+            overlap,
+            ..cfg(stage)
+        }
+    }
+
+    #[test]
+    fn offload_off_leaves_plans_bitwise_identical() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            for overlap in [false, true] {
+                let base = ZeroConfig { overlap, ..cfg(stage) };
+                let off = ZeroConfig { tier: crate::config::TierConfig::off(), ..base };
+                let p_base = CommPlan::train_step(&layout, &base, grid, &shape());
+                let p_off = CommPlan::train_step(&layout, &off, grid, &shape());
+                assert_eq!(p_base.ops(), p_off.ops());
+                assert!(p_base.tier_ops().is_empty());
+                assert!(p_off.tier_ops().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tier_offload_does_not_change_the_collective_schedule() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            for overlap in [false, true] {
+                let base = CommPlan::train_step(&layout, &ZeroConfig { overlap, ..cfg(stage) }, grid, &shape());
+                let off = CommPlan::train_step(&layout, &tiered(stage, overlap), grid, &shape());
+                assert_eq!(base.ops(), off.ops(), "stage {stage:?} overlap {overlap}");
+                assert!(!off.tier_ops().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tier_fetches_anchor_on_their_allgathers() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(4, 1);
+        for overlap in [false, true] {
+            let plan = CommPlan::train_step(&layout, &tiered(ZeroStage::Three, overlap), grid, &shape());
+            let mut windows = 0usize;
+            for t in plan.tier_ops() {
+                assert!(t.issue_pos <= t.demand_pos, "'{}' window inverted", t.label);
+                assert!(t.demand_pos <= plan.ops().len());
+                if t.dir == TierDir::Fetch {
+                    let anchor = &plan.ops()[t.issue_pos];
+                    assert_eq!(anchor.kind, CollectiveKind::AllGather, "'{}'", t.label);
+                    assert_eq!(anchor.counts, CountSpec::Explicit(t.counts.clone()));
+                }
+                if t.demand_pos > t.issue_pos {
+                    windows += 1;
+                }
+            }
+            if overlap {
+                assert!(windows > 0, "overlap mode must open real prefetch windows");
+            } else {
+                assert_eq!(windows, 0, "sync mode blocks at issue");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_volumes_telescope() {
+        let model = tiny();
+        let layout = Layout::build(&model);
+        let psi = layout.total_params();
+        let grid = Grid::new(4, 1);
+        let part = Partitioner::new(psi, 4);
+        for overlap in [false, true] {
+            // Stages 2/3: per-step spill volume is exactly micro_batches ×
+            // the rank's shard (every reduced element crosses once).
+            let shape2 = StepShape { micro_batches: 2, ..shape() };
+            for stage in [ZeroStage::Two, ZeroStage::Three] {
+                let plan = CommPlan::train_step(&layout, &tiered(stage, overlap), grid, &shape2);
+                for rank in 0..4 {
+                    let spilled: usize = plan
+                        .tier_ops()
+                        .iter()
+                        .filter(|t| t.dir == TierDir::Spill)
+                        .map(|t| t.counts[rank])
+                        .sum();
+                    assert_eq!(spilled, 2 * part.shard_range(rank).len(), "{stage:?}");
+                }
+            }
+            // Stages 1/2: per-step publish fetch is exactly the shard.
+            for stage in [ZeroStage::One, ZeroStage::Two] {
+                let plan = CommPlan::train_step(&layout, &tiered(stage, overlap), grid, &shape2);
+                for rank in 0..4 {
+                    let fetched: usize = plan
+                        .tier_ops()
+                        .iter()
+                        .filter(|t| t.label == "tier-publish-fetch")
+                        .map(|t| t.counts[rank])
+                        .sum();
+                    assert_eq!(fetched, part.shard_range(rank).len(), "{stage:?}");
+                }
+            }
+            // Stage 1 spills its shard exactly once, in the suffix.
+            let plan = CommPlan::train_step(&layout, &tiered(ZeroStage::One, overlap), grid, &shape2);
+            let spills: Vec<_> =
+                plan.tier_ops().iter().filter(|t| t.dir == TierDir::Spill).collect();
+            assert_eq!(spills.len(), 1);
+            assert_eq!(spills[0].counts, part.counts().to_vec());
+        }
+    }
+
+    #[test]
+    fn skipped_steps_plan_no_suffix_tier_traffic() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(2, 1);
+        for stage in [ZeroStage::One, ZeroStage::Two] {
+            let suffix = CommPlan::step_suffix(&layout, &tiered(stage, false), grid, true);
+            assert!(suffix.tier_ops().is_empty(), "{stage:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_enforces_tier_anchor() {
+        let layout = Layout::build(&tiny());
+        let grid = Grid::new(2, 1);
+        let plan = CommPlan::train_step(&layout, &tiered(ZeroStage::Three, false), grid, &shape());
+        let mut cur = PlanCursor::idle();
+        cur.install(&plan, 0, "test");
+        // The first planned movement is the embed fetch at anchor 0.
+        let t = cur.take_tier(TierDir::Fetch, "tier-param-fetch");
+        assert_eq!(t.issue_pos, 0);
+        assert!(t.bytes > 0);
+        // The next fetch anchors after the embed all-gather; taking it
+        // without consuming that op must trip the anchor assert.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cur.take_tier(TierDir::Fetch, "tier-param-fetch");
+        }));
+        assert!(err.is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use zero_model::{init_full_params, Gpt, ModelConfig, SyntheticCorpus};
 use zero_optim::{AdamConfig, LrSchedule, SgdConfig};
 use zero_trace::SpanCategory;
 
-use crate::config::{CompressionConfig, OptimizerKind, ZeroConfig, ZeroStage};
+use crate::config::{CompressionConfig, OptimizerKind, TierConfig, ZeroConfig, ZeroStage};
 use crate::engine::RankEngine;
 use crate::snapshot::{reshard, RankSnapshot};
 use crate::supervisor::{
@@ -686,6 +686,18 @@ impl WorkerSpec {
             "compression",
             format!("{}:{}:{}:{}:{}", c.qwz, c.hpz, c.qgz, c.node_size, c.block),
         );
+        let t = &z.tier;
+        kv(
+            "tier",
+            format!(
+                "{}:{}:{}:{}:{}",
+                t.enabled,
+                t.device_budget,
+                t.host_bw,
+                t.host_lat.as_nanos(),
+                t.depth
+            ),
+        );
         match &z.optimizer {
             OptimizerKind::Adam(a) => kv(
                 "optimizer",
@@ -785,6 +797,10 @@ impl WorkerSpec {
                 Some(s) => parse_compression(s)?,
                 None => CompressionConfig::off(),
             },
+            tier: match kv.get("tier") {
+                Some(s) => parse_tier(s)?,
+                None => TierConfig::off(),
+            },
         };
         let mut faults = FaultPlan::seeded(kv.req("fault_seed")?);
         for line in kv.all("fault") {
@@ -870,6 +886,22 @@ fn parse_fault(line: &str) -> Result<FaultSpec, String> {
         trigger,
         kind,
     })
+}
+
+fn parse_tier(text: &str) -> Result<TierConfig, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    match parts.as_slice() {
+        [enabled, budget, bw, lat_ns, depth] => Ok(TierConfig {
+            enabled: enabled.parse().map_err(|e| format!("tier enabled: {e}"))?,
+            device_budget: budget.parse().map_err(|e| format!("tier device_budget: {e}"))?,
+            host_bw: bw.parse().map_err(|e| format!("tier host_bw: {e}"))?,
+            host_lat: Duration::from_nanos(
+                lat_ns.parse().map_err(|e| format!("tier host_lat: {e}"))?,
+            ),
+            depth: depth.parse().map_err(|e| format!("tier depth: {e}"))?,
+        }),
+        _ => Err(format!("malformed tier spec {text:?}")),
+    }
 }
 
 fn parse_compression(text: &str) -> Result<CompressionConfig, String> {

@@ -43,6 +43,10 @@ pub struct RankReport {
     pub peak_by_category: [u64; CATEGORY_COUNT],
     /// Bytes moved over the simulated PCIe link (P_a+cpu).
     pub cpu_transfer_bytes: u64,
+    /// Memory-tier fetch/spill meters (zero when offload is off).
+    pub tier: crate::tier::TierStats,
+    /// Modeled wall time of all tier transfers on the configured link.
+    pub tier_time: std::time::Duration,
     /// Communication traffic snapshot.
     pub traffic: TrafficSnapshot,
     /// Per-kind wait vs in-flight execution timing.
@@ -248,6 +252,8 @@ fn run_training_inner(
                         live_by_category: live,
                         peak_by_category: peak,
                         cpu_transfer_bytes: mem.cpu_transfer_bytes(),
+                        tier: engine.tier_stats(),
+                        tier_time: engine.tier_time(),
                         traffic: engine.traffic(),
                         timing: engine.timing(),
                         timeline: engine.timeline(),
@@ -380,6 +386,31 @@ mod tests {
         assert_eq!(report.losses.len(), 2);
         assert_eq!(report.val_losses.len(), 2);
         assert!(report.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn smoke_train_offload_stages() {
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            for overlap in [false, true] {
+                let mut setup = tiny_setup(stage, 2, 1);
+                setup.zero.overlap = overlap;
+                setup.zero.tier = crate::config::TierConfig::budgeted(64 << 20);
+                let report = run_training(&setup, 2, 1);
+                assert!(
+                    report.losses.iter().all(|l| l.is_finite()),
+                    "{stage:?} overlap={overlap}: losses finite"
+                );
+                let t = &report.ranks[0].tier;
+                assert!(
+                    t.total_bytes() > 0,
+                    "{stage:?} overlap={overlap}: tier traffic metered"
+                );
+                assert!(
+                    report.ranks[0].peak_device_bytes <= 64 << 20,
+                    "{stage:?} overlap={overlap}: budget respected"
+                );
+            }
+        }
     }
 
     #[test]

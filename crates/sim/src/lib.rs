@@ -30,4 +30,4 @@ pub use fragmentation::{simulate_training_fragmentation, FirstFitHeap, FragRepor
 pub use memory::{MemoryModel, SimWorkload, ZeroRFlags, K_ADAM};
 pub use perf::{PerfModel, RunConfig, StepBreakdown};
 pub use pipeline::{compare_zero_vs_pp, PipelineConfig, PipelineScheme, PpComparison};
-pub use recovery::{reshard_bytes, RecoveryModel};
+pub use recovery::{reshard_bytes, RecoveryModel, TierCostModel};

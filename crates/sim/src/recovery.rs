@@ -75,6 +75,65 @@ pub fn reshard_bytes(psi: f64, k: f64, _new_world: usize) -> f64 {
     psi * k
 }
 
+/// Prices one rank's per-step memory-tier traffic (ZeRO-Offload) on the
+/// host link, and feeds the slowdown back into the Young/Daly cadence:
+/// offload stretches the step, so the same optimal interval *in seconds*
+/// spans fewer steps — the cadence model and the tier model have to agree
+/// on what a "step" costs.
+#[derive(Clone, Copy, Debug)]
+pub struct TierCostModel {
+    /// Host→device bytes one rank fetches per optimizer step
+    /// (e.g. [`zero_core::CommPlan::rank_tier_bytes`]'s first component).
+    pub fetch_bytes_per_step: f64,
+    /// Device→host bytes one rank spills per step (second component).
+    pub spill_bytes_per_step: f64,
+    /// Individual tier transfers per step (each pays the link latency).
+    pub tier_ops_per_step: f64,
+    /// Host link bandwidth in bytes/second (0 = unthrottled link).
+    pub host_bw_bytes_per_sec: f64,
+    /// Per-transfer link latency in seconds.
+    pub host_latency_seconds: f64,
+    /// Fraction of tier time hidden behind compute: 0 for the synchronous
+    /// schedule, approaching 1 when the prefetch/drain windows cover it
+    /// (measure with [`crate::overlap_fraction`] on a real trace).
+    pub overlap_fraction: f64,
+}
+
+impl TierCostModel {
+    /// Raw seconds of tier traffic per step: latency per transfer plus
+    /// bytes over bandwidth — the same `lat + bytes/bw` law
+    /// `zero_core::TierConfig::transfer_time` charges at runtime.
+    pub fn tier_seconds_per_step(&self) -> f64 {
+        let bytes = self.fetch_bytes_per_step + self.spill_bytes_per_step;
+        let bw = if self.host_bw_bytes_per_sec > 0.0 {
+            bytes / self.host_bw_bytes_per_sec
+        } else {
+            0.0
+        };
+        self.tier_ops_per_step * self.host_latency_seconds + bw
+    }
+
+    /// Seconds of tier traffic *exposed* on the critical path after
+    /// overlap hides its share.
+    pub fn exposed_seconds_per_step(&self) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&self.overlap_fraction),
+            "overlap fraction must be within [0, 1]"
+        );
+        (1.0 - self.overlap_fraction) * self.tier_seconds_per_step()
+    }
+
+    /// The recovery model with this tier cost folded into the step time:
+    /// cadence arithmetic downstream (optimal interval in steps, failure
+    /// cost) then prices the offloaded deployment.
+    pub fn offloaded(&self, base: RecoveryModel) -> RecoveryModel {
+        RecoveryModel {
+            step_seconds: base.step_seconds + self.exposed_seconds_per_step(),
+            ..base
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +184,92 @@ mod tests {
         assert!(m.failure_cost_seconds(20) > m.failure_cost_seconds(5));
         // Half-window rework: 10 steps at cadence 20.
         assert!((m.expected_steps_lost(20) - 10.0).abs() < 1e-12);
+    }
+
+    fn tier() -> TierCostModel {
+        TierCostModel {
+            fetch_bytes_per_step: 6.0e9,
+            spill_bytes_per_step: 2.0e9,
+            tier_ops_per_step: 100.0,
+            host_bw_bytes_per_sec: 16.0e9, // PCIe-gen3-ish
+            host_latency_seconds: 10.0e-6,
+            overlap_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn tier_pricing_matches_hand_formula() {
+        let t = tier();
+        let want = 100.0 * 10.0e-6 + 8.0e9 / 16.0e9;
+        assert!((t.tier_seconds_per_step() - want).abs() < 1e-12);
+        // Unthrottled link charges latency only.
+        let mut free = t;
+        free.host_bw_bytes_per_sec = 0.0;
+        assert!((free.tier_seconds_per_step() - 100.0 * 10.0e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_hides_tier_time() {
+        let mut t = tier();
+        let sync = t.exposed_seconds_per_step();
+        t.overlap_fraction = 0.8;
+        let overlapped = t.exposed_seconds_per_step();
+        assert!(overlapped < sync);
+        assert!((overlapped - 0.2 * t.tier_seconds_per_step()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offload_stretches_steps_and_shortens_cadence_in_steps() {
+        let m = model();
+        let off = tier().offloaded(m);
+        assert!(off.step_seconds > m.step_seconds);
+        // τ* in seconds is failure economics only — unchanged by offload —
+        // so the slower step packs fewer steps into the same interval.
+        assert!(
+            (off.optimal_interval_seconds() - m.optimal_interval_seconds()).abs() < 1e-9
+        );
+        assert!(off.optimal_interval_steps() <= m.optimal_interval_steps());
+        // And each failure costs more wall time at the same step cadence.
+        assert!(off.failure_cost_seconds(20) > m.failure_cost_seconds(20));
+    }
+
+    #[test]
+    fn tier_model_prices_a_real_plan() {
+        // Feed the analytic model the exact per-rank tier volumes of a
+        // real stage-3 offloaded plan, so the two layers can't drift.
+        use zero_comm::Grid;
+        use zero_core::{CommPlan, StepShape, TierConfig, ZeroConfig, ZeroStage};
+        let model_cfg =
+            zero_model::ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 };
+        let layout = zero_model::Layout::build_mp(&model_cfg, 1);
+        let zcfg = ZeroConfig {
+            stage: ZeroStage::Three,
+            fp16: true,
+            checkpoint_activations: false,
+            initial_loss_scale: 1.0,
+            bucket_elems: 512,
+            tier: TierConfig::budgeted(1 << 30),
+            ..ZeroConfig::default()
+        };
+        let plan = CommPlan::train_step(
+            &layout,
+            &zcfg,
+            Grid::new(2, 1),
+            &StepShape { micro_batches: 1, act_elems: 8 * 16, skipped: false },
+        );
+        let (fetch, spill) = plan.rank_tier_bytes(0);
+        assert!(fetch > 0 && spill > 0, "offloaded plan moves bytes both ways");
+        let t = TierCostModel {
+            fetch_bytes_per_step: fetch as f64,
+            spill_bytes_per_step: spill as f64,
+            tier_ops_per_step: plan.tier_ops().len() as f64,
+            host_bw_bytes_per_sec: 16.0e9,
+            host_latency_seconds: 10.0e-6,
+            overlap_fraction: 0.0,
+        };
+        assert!(t.tier_seconds_per_step() > 0.0);
+        let off = t.offloaded(model());
+        assert!(off.step_seconds > model().step_seconds);
     }
 
     #[test]

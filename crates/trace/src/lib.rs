@@ -47,15 +47,19 @@ pub enum SpanCategory {
     Optimizer,
     /// Snapshot, restore, and supervisor-recovery machinery.
     Checkpoint,
+    /// A host↔device memory-tier transfer executing on the progress
+    /// thread (ZeRO-Offload spill/fetch traffic).
+    Tier,
 }
 
 /// Every category, in display order.
-pub const ALL_CATEGORIES: [SpanCategory; 5] = [
+pub const ALL_CATEGORIES: [SpanCategory; 6] = [
     SpanCategory::Compute,
     SpanCategory::Collective,
     SpanCategory::Wait,
     SpanCategory::Optimizer,
     SpanCategory::Checkpoint,
+    SpanCategory::Tier,
 ];
 
 impl SpanCategory {
@@ -67,6 +71,7 @@ impl SpanCategory {
             SpanCategory::Wait => "wait",
             SpanCategory::Optimizer => "optimizer",
             SpanCategory::Checkpoint => "checkpoint",
+            SpanCategory::Tier => "tier",
         }
     }
 }

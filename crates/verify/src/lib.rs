@@ -24,6 +24,13 @@
 //!    levers-off plans bitwise identical to the baseline, and certifies
 //!    the analytic inter-node volume reduction (≥ 3.5× at stage 3 with
 //!    all levers on, N ≥ 4, G ≥ 2).
+//! 5. [`offload`] — the memory-tier offload prover. Sweeps stages 1–3 ×
+//!    N × sync/overlap × precision, proves every tier movement's
+//!    prefetch window (`issue_pos ≤ demand_pos`, open under overlap),
+//!    pairs each movement byte-exactly with its anchor collective,
+//!    telescopes spill/publish volumes against the partition, and shows
+//!    offloaded plans keep a collective stream bitwise identical to the
+//!    tier-off baseline.
 //!
 //! The runtime side of the same guarantee lives in [`tracecheck`] and the
 //! trace-conformance tests (`tests/trace_conformance.rs`): a recorded
@@ -34,13 +41,15 @@
 pub mod compression;
 pub mod lint;
 pub mod modelcheck;
+pub mod offload;
 pub mod schedule;
 pub mod tiling;
 pub mod tracecheck;
 
 pub use compression::{check_compression, CompressionReport, RatioRow};
+pub use offload::{check_offload, OffloadReport};
 pub use lint::{lint_paths, LintHit, LintReport};
 pub use modelcheck::{run_modelcheck, ModelcheckReport, ScenarioOutcome};
 pub use schedule::{check_all as check_schedules, ScheduleReport};
 pub use tiling::{prove_all as prove_tiling, TilingReport};
-pub use tracecheck::{check_timeline, TraceExpectation};
+pub use tracecheck::{check_timeline, TraceExpectation, TIER_LABELS};

@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Passes: `schedule`, `tiling`, `lint`, `overlap`, `tracecheck`,
-//! `modelcheck`, `compression` — run all of them when no `--pass` is
-//! given. The legacy
+//! `modelcheck`, `compression`, `offload` — run all of them when no
+//! `--pass` is given. The legacy
 //! positional forms (`zero-verify lint`, `zero-verify all`) keep
 //! working. Exits non-zero if any selected pass fails; `--budget` caps
 //! the model checker's per-scenario state count (exhausting it is a
@@ -26,8 +26,16 @@ use zero_model::ModelConfig;
 /// genuine blowups fail loudly while normal growth has headroom.
 const DEFAULT_MODELCHECK_BUDGET: u64 = 500_000;
 
-const PASSES: [&str; 7] =
-    ["schedule", "tiling", "lint", "overlap", "tracecheck", "modelcheck", "compression"];
+const PASSES: [&str; 8] = [
+    "schedule",
+    "tiling",
+    "lint",
+    "overlap",
+    "tracecheck",
+    "modelcheck",
+    "compression",
+    "offload",
+];
 
 fn repo_root() -> PathBuf {
     // crates/verify -> crates -> repo root.
@@ -248,6 +256,23 @@ fn run_compression() -> bool {
     }
 }
 
+fn run_offload() -> bool {
+    match zero_verify::check_offload() {
+        Ok(r) => {
+            println!(
+                "offload:    OK — {} configurations proven ({} tier ops checked, \
+                 {} paired with their anchor collective, {} prefetch windows open)",
+                r.configs, r.tier_ops_checked, r.paired_ops, r.windows_proven
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("offload:    FAIL — {e}");
+            false
+        }
+    }
+}
+
 fn run_pass(name: &str, budget: u64) -> Option<bool> {
     Some(match name {
         "schedule" => run_schedule(),
@@ -257,6 +282,7 @@ fn run_pass(name: &str, budget: u64) -> Option<bool> {
         "tracecheck" => run_tracecheck(),
         "modelcheck" => run_modelcheck(budget),
         "compression" => run_compression(),
+        "offload" => run_offload(),
         _ => return None,
     })
 }

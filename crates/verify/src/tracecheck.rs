@@ -13,6 +13,11 @@ use zero_comm::{TrafficSnapshot, ALL_KINDS, KIND_COUNT};
 use zero_core::CommPlan;
 use zero_trace::{SpanCategory, StepTimeline};
 
+/// The schedule-position labels the engine stamps on tier movements —
+/// the closed name set [`SpanCategory::Tier`] spans may carry.
+pub const TIER_LABELS: [&str; 3] =
+    ["tier-param-fetch", "tier-publish-fetch", "tier-grad-spill"];
+
 /// Expected per-kind collective span counts and byte volumes for one rank,
 /// accumulated over the plans a run executed.
 #[derive(Clone, Copy, Debug, Default)]
@@ -21,6 +26,10 @@ pub struct TraceExpectation {
     pub ops: [u64; KIND_COUNT],
     /// Span byte-tag sums expected, indexed by kind discriminant.
     pub bytes: [u64; KIND_COUNT],
+    /// Tier-movement spans expected, indexed by [`TIER_LABELS`] position.
+    pub tier_ops: [u64; TIER_LABELS.len()],
+    /// Tier span byte-tag sums expected, same indexing.
+    pub tier_bytes: [u64; TIER_LABELS.len()],
 }
 
 impl TraceExpectation {
@@ -29,12 +38,25 @@ impl TraceExpectation {
     /// Every rank submits every planned op (single-member groups included:
     /// the communicator still issues a request, so a span is still
     /// recorded — with zero bytes, since a ring of one moves nothing).
+    /// An offloaded plan's tier stream is folded in the same way: one
+    /// [`SpanCategory::Tier`] span per movement, byte-tagged with the
+    /// rank's planned transfer volume.
     pub fn add_plan(&mut self, plan: &CommPlan, rank: usize, reps: u64) {
         for op in plan.ops() {
             self.ops[op.kind as usize] += reps;
         }
         for (acc, b) in self.bytes.iter_mut().zip(plan.rank_bytes(rank)) {
             *acc += reps * b;
+        }
+        if !plan.tier_ops().is_empty() {
+            for t in plan.resolve_tier_for(rank) {
+                let i = TIER_LABELS
+                    .iter()
+                    .position(|l| *l == t.label)
+                    .unwrap_or_else(|| panic!("unknown tier label {:?}", t.label));
+                self.tier_ops[i] += reps;
+                self.tier_bytes[i] += reps * t.bytes;
+            }
         }
     }
 
@@ -97,6 +119,30 @@ pub fn check_timeline(
             want.total_ops()
         ));
     }
+    for (i, label) in TIER_LABELS.iter().enumerate() {
+        let spans = tl.count_named(SpanCategory::Tier, label) as u64;
+        if spans != want.tier_ops[i] {
+            return Err(format!(
+                "{label}: {spans} tier spans recorded, plan has {}",
+                want.tier_ops[i]
+            ));
+        }
+        let tagged = tl.bytes_named(SpanCategory::Tier, label);
+        if tagged != want.tier_bytes[i] {
+            return Err(format!(
+                "{label}: tier span byte tags sum to {tagged}, plan volume is {}",
+                want.tier_bytes[i]
+            ));
+        }
+    }
+    let tier_total = tl.count(SpanCategory::Tier) as u64;
+    let tier_want: u64 = want.tier_ops.iter().sum();
+    if tier_total != tier_want {
+        return Err(format!(
+            "{tier_total} tier spans recorded in all, plan has {tier_want} — \
+             some spans carry labels outside the tier taxonomy"
+        ));
+    }
     Ok(())
 }
 
@@ -128,6 +174,20 @@ mod tests {
                 spans.push(Span {
                     name: kind.name(),
                     cat: SpanCategory::Collective,
+                    start_ns: t,
+                    end_ns: t + 10,
+                    track: 1,
+                    bytes,
+                });
+                t += 10;
+            }
+        }
+        for (i, label) in TIER_LABELS.iter().enumerate() {
+            for j in 0..want.tier_ops[i] {
+                let bytes = if j == 0 { want.tier_bytes[i] } else { 0 };
+                spans.push(Span {
+                    name: label,
+                    cat: SpanCategory::Tier,
                     start_ns: t,
                     end_ns: t + 10,
                     track: 1,
@@ -180,6 +240,41 @@ mod tests {
             bytes: 0,
         });
         assert!(check_timeline(&tl, &want, None).is_err());
+    }
+
+    #[test]
+    fn offloaded_tier_stream_reconciles_and_tampering_is_rejected() {
+        use zero_core::TierConfig;
+        let model = ModelConfig { vocab: 32, seq: 8, hidden: 16, layers: 2, heads: 2 };
+        let layout = Layout::build_mp(&model, 1);
+        let zcfg = ZeroConfig {
+            stage: ZeroStage::Three,
+            bucket_elems: 512,
+            tier: TierConfig::budgeted(1 << 30),
+            ..ZeroConfig::default()
+        };
+        let shape = StepShape { micro_batches: 1, act_elems: 8 * 16, skipped: false };
+        let plan = CommPlan::train_step(&layout, &zcfg, Grid::new(2, 1), &shape);
+        assert!(!plan.tier_ops().is_empty(), "offloaded plan carries tier ops");
+        let mut want = TraceExpectation::default();
+        want.add_plan(&plan, 0, 2);
+        assert!(want.tier_ops.iter().sum::<u64>() > 0);
+        let mut tl = timeline_for(&want);
+        check_timeline(&tl, &want, None).expect("matching tier stream reconciles");
+
+        // A lost tier span, a wrong byte tag, and a stray label must all
+        // be rejected.
+        let idx = tl
+            .spans
+            .iter()
+            .position(|s| s.cat == SpanCategory::Tier)
+            .expect("tier span present");
+        let dropped = tl.spans.remove(idx);
+        let err = check_timeline(&tl, &want, None).unwrap_err();
+        assert!(err.contains("tier spans recorded"), "{err}");
+        tl.spans.push(Span { bytes: dropped.bytes + 8, ..dropped });
+        let err = check_timeline(&tl, &want, None).unwrap_err();
+        assert!(err.contains("tier span byte tags"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,25 @@ fn main() {
                             precision within\n\
              --node-size N  ranks per modeled node for --hpz/--qgz  [2]\n\
              --quant-block N  int8 quantizer block size           [64]\n\
+             --offload      memory-tier offload: optimizer state\n\
+                            (stage >= 1), gradient shards (stage >= 2),\n\
+                            and parameter shards (stage 3) live on the\n\
+                            host tier, fetched/spilled around their\n\
+                            anchor collectives (needs --mp 1, stage >= 1,\n\
+                            no --qwz/--hpz/--qgz)\n\
+             --device-budget B  device-tier byte budget the MemoryTracker\n\
+                            enforces: any allocation past B panics, so a\n\
+                            completed run proves peak <= B (implies\n\
+                            --offload)                          [none]\n\
+             --host-bw B    modeled host-link bandwidth, bytes/sec\n\
+                            (0 = unthrottled)                   [0]\n\
+             --host-lat-us N  modeled per-transfer host-link latency,\n\
+                            microseconds                        [0]\n\
+             --verify-offload  rerun the same config without offload and\n\
+                            require bitwise-identical losses; with a\n\
+                            --device-budget, also require the baseline's\n\
+                            peak device bytes to EXCEED the budget the\n\
+                            offloaded run provably stayed under\n\
              --fabric NAME  rank fabric: threads | process      [threads]\n\
                             process spawns one OS process per rank over\n\
                             Unix sockets, supervised with rollback+reshard\n\
@@ -118,6 +137,18 @@ fn main() {
         node_size: args.get("--node-size", 2usize),
         block: args.get("--quant-block", 64usize),
     };
+    let device_budget: u64 = args.get("--device-budget", u64::MAX);
+    let tier = if args.flag("--offload") || device_budget != u64::MAX {
+        zero::core::TierConfig {
+            enabled: true,
+            device_budget,
+            host_bw: args.get("--host-bw", 0u64),
+            host_lat: std::time::Duration::from_micros(args.get("--host-lat-us", 0u64)),
+            depth: 1,
+        }
+    } else {
+        zero::core::TierConfig::off()
+    };
     let setup = TrainSetup {
         model,
         zero: ZeroConfig {
@@ -129,6 +160,7 @@ fn main() {
             offload_checkpoints: args.flag("--pa-cpu"),
             clip_grad_norm: clip.is_finite().then_some(clip),
             compression,
+            tier,
             optimizer: zero::core::OptimizerKind::Adam(AdamConfig {
                 lr: args.get("--lr", 1e-3f32),
                 ..AdamConfig::default()
@@ -158,10 +190,43 @@ fn main() {
         }
     }
 
+    if tier.enabled {
+        // Fail with a usage message instead of the engine's panic.
+        if setup.grid.mp_degree() != 1 || !stage.partitions_optimizer() || compression.any() {
+            eprintln!(
+                "--offload needs --mp 1, --stage 1/2/3, and no ZeRO++ levers \
+                 (--qwz/--hpz/--qgz)"
+            );
+            std::process::exit(2);
+        }
+        let off = zero::core::EffectiveOffload::resolve(&setup.zero, setup.grid);
+        println!(
+            "offload: optimizer-state={} grad-shards={} param-shards={} | device budget {} | \
+             host link {} B/s + {:?}",
+            off.opt_state,
+            off.grads,
+            off.params,
+            if tier.device_budget == u64::MAX {
+                "unlimited".to_string()
+            } else {
+                format!("{} bytes", tier.device_budget)
+            },
+            if tier.host_bw == 0 { "inf".to_string() } else { tier.host_bw.to_string() },
+            tier.host_lat,
+        );
+    } else if args.flag("--verify-offload") {
+        eprintln!("--verify-offload needs --offload (or a --device-budget)");
+        std::process::exit(2);
+    }
+
     let fabric: String = args.get("--fabric", "threads".to_string());
     match fabric.as_str() {
         "threads" => {}
         "process" => {
+            if args.flag("--verify-offload") {
+                eprintln!("--verify-offload runs the thread backend (drop --fabric process)");
+                std::process::exit(2);
+            }
             run_process_fabric(&args, setup, steps);
             return;
         }
@@ -237,6 +302,29 @@ fn main() {
         overlap_ns as f64 / 1e6,
         overlap_ns as f64 / 1e6 / steps as f64,
     );
+    if tier.enabled {
+        println!(
+            "  tier traffic: fetch {} B in {} ops, spill {} B in {} ops, modeled tier time {:.3} ms",
+            r.tier.fetch_bytes,
+            r.tier.fetch_ops,
+            r.tier.spill_bytes,
+            r.tier.spill_ops,
+            r.tier_time.as_secs_f64() * 1e3,
+        );
+        if tier.device_budget != u64::MAX {
+            // The tracker panics on any allocation past the budget, so a
+            // run that got this far IS the proof.
+            let peak = report.ranks.iter().map(|r| r.peak_device_bytes).max().unwrap_or(0);
+            println!(
+                "  device budget: PROVEN — peak {} B <= budget {} B (tracker armed all run)",
+                peak, tier.device_budget
+            );
+        }
+    }
+
+    if args.flag("--verify-offload") {
+        verify_offload(&setup, steps, &report, &text_path);
+    }
 
     let save_dir: String = args.get("--save", String::new());
     if !save_dir.is_empty() {
@@ -401,6 +489,84 @@ fn run_process_fabric(args: &Args, setup: TrainSetup, steps: usize) {
             std::process::exit(1);
         }
     }
+}
+
+/// `--verify-offload`: the headline demo as a self-checking command.
+/// Reruns the exact configuration with the tier disabled and requires
+/// (a) bitwise-identical per-step losses, skipped-step pattern, and
+/// validation losses — offload moves residency, never values — and
+/// (b) when a `--device-budget` is set, that the unconstrained baseline's
+/// peak device bytes EXCEED the budget the offloaded run provably stayed
+/// under (the tracker panics past it, so finishing is the proof): a model
+/// whose state does not fit the device, trained anyway, loss untouched.
+fn verify_offload(
+    setup: &TrainSetup,
+    steps: usize,
+    offloaded: &zero::core::TrainReport,
+    text_path: &str,
+) {
+    let base_setup = TrainSetup {
+        zero: ZeroConfig { tier: zero::core::TierConfig::off(), ..setup.zero },
+        ..*setup
+    };
+    let eval_every = (steps / 5).max(1);
+    let baseline = if text_path.is_empty() {
+        run_training(&base_setup, steps, eval_every)
+    } else {
+        let text = std::fs::read_to_string(text_path).expect("read --text file");
+        let corpus = zero::model::ByteCorpus::from_text(&text);
+        zero::core::run_training_on(&base_setup, steps, eval_every, corpus.tokens())
+    };
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    let mut ok = true;
+    if bits(&offloaded.losses) != bits(&baseline.losses)
+        || offloaded.skipped != baseline.skipped
+        || bits(&offloaded.val_losses) != bits(&baseline.val_losses)
+    {
+        eprintln!(
+            "verify-offload: FAIL — losses diverge from the unconstrained baseline\n  \
+             offloaded: {:?}\n  baseline:  {:?}",
+            offloaded.losses, baseline.losses
+        );
+        ok = false;
+    }
+    let peak = |r: &zero::core::TrainReport| {
+        r.ranks.iter().map(|k| k.peak_device_bytes).max().unwrap_or(0)
+    };
+    let (off_peak, base_peak) = (peak(offloaded), peak(&baseline));
+    let budget = setup.zero.tier.device_budget;
+    if budget != u64::MAX {
+        if base_peak <= budget {
+            eprintln!(
+                "verify-offload: FAIL — budget {budget} B is not binding: the unconstrained \
+                 baseline already peaks at {base_peak} B; set --device-budget below that"
+            );
+            ok = false;
+        }
+        if off_peak > budget {
+            // Belt and braces: the armed tracker would have panicked first.
+            eprintln!(
+                "verify-offload: FAIL — offloaded peak {off_peak} B exceeds budget {budget} B"
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "verify-offload: PASS — {} losses + {} eval losses bitwise-identical to the \
+         unconstrained run; peak device bytes {off_peak} (offloaded) vs {base_peak} \
+         (baseline){}",
+        offloaded.losses.len(),
+        offloaded.val_losses.len(),
+        if budget == u64::MAX {
+            String::new()
+        } else {
+            format!("; budget {budget} B binding on the baseline, proven on the offloaded run")
+        }
+    );
 }
 
 /// Counts surviving rank processes by their `--zero-worker` marker arg —

@@ -8,7 +8,8 @@ use std::time::Duration;
 use zero::comm::{CollectiveKind, FaultPlan, Grid};
 use zero::core::supervisor::snapshot_dir_for;
 use zero::core::{
-    resume_from_snapshot, run_supervised, SupervisorConfig, TrainSetup, ZeroConfig, ZeroStage,
+    resume_from_snapshot, run_supervised, SupervisorConfig, TierConfig, TrainSetup, ZeroConfig,
+    ZeroStage,
 };
 use zero::model::ModelConfig;
 use zero::trace::SpanCategory;
@@ -194,6 +195,71 @@ fn stage3_crash_recovers() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The offload corner of the matrix, with the strongest oracle: rank 2
+/// dies while a memory-tier prefetch is in flight. Stage 3 with overlap
+/// issues each unit's parameter all-gather one unit ahead of compute,
+/// and under offload every fetch is *preceded* on the FIFO by the
+/// host-tier `tier-param-fetch` movement — crashing inside an all-gather
+/// therefore kills the rank with tier traffic pending settlement. The
+/// supervisor must roll back, reshard to 3 survivors (whose engines
+/// rebuild their tier stores from the snapshot), and finish bitwise
+/// identical to a clean offloaded 3-rank run resumed from the same
+/// snapshot files.
+#[test]
+fn killed_rank_with_offload_prefetch_in_flight_recovers_bitwise_identical() {
+    let dir = unique_dir("offload");
+    std::fs::remove_dir_all(&dir).ok();
+    let steps = 12;
+
+    let tiered = |dp: usize| {
+        let mut s = setup(dp, ZeroStage::Three);
+        s.zero.overlap = true;
+        s.zero.tier = TierConfig::budgeted(64 << 20);
+        s
+    };
+    let mut cfg = SupervisorConfig::new(tiered(4), steps, dir.clone());
+    cfg.snapshot_every = 5;
+    cfg.recv_timeout = Duration::from_millis(500);
+    // Stage 3 all-gathers every unit on demand; landing the crash in an
+    // all-gather past the step-5 snapshot guarantees an open prefetch
+    // window (overlap) with its tier fetch already metered.
+    cfg.faults = FaultPlan::new().with_crash_at_kind(2, CollectiveKind::AllGather, 50);
+    let recovered = run_supervised(&cfg);
+
+    assert_eq!(recovered.final_world, 3);
+    assert_eq!(recovered.losses.len(), steps);
+    assert_eq!(recovered.recoveries.len(), 1);
+    let rec = &recovered.recoveries[0];
+    assert_eq!(rec.failed_ranks, vec![2]);
+    assert_eq!(rec.resumed_from_step, 5, "crash must land after the step-5 snapshot");
+    assert!(
+        rec.failures.iter().any(|(r, m)| *r == 2 && m.contains("crashed this rank")),
+        "failures must name the injected crash: {:?}",
+        rec.failures
+    );
+
+    // Control arm: clean offloaded 3-rank run from the same snapshots.
+    let (control_losses, control_eval) =
+        resume_from_snapshot(&tiered(3), steps, &snapshot_dir_for(&dir, 5), 4);
+    assert_eq!(control_losses.len(), steps - 5);
+    for (i, (a, b)) in recovered.losses[5..].iter().zip(&control_losses).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "step {}: recovered {a} != control {b}",
+            5 + i
+        );
+    }
+    assert_eq!(
+        recovered.final_eval.to_bits(),
+        control_eval.to_bits(),
+        "final eval loss must be bitwise identical under offload: {} vs {}",
+        recovered.final_eval,
+        control_eval
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Runs one cell of the randomized fault matrix: deterministic
 /// splitmix64-derived placement of a crash, hang, or corruption across
 /// stage, victim rank, and fabric-op index. Asserts the run finishes with
@@ -201,6 +267,13 @@ fn stage3_crash_recovers() {
 /// supervisor rollback is visible in the final round's traces as a
 /// checkpoint-category `snapshot-restore` span on every rank.
 fn run_matrix_case(case: u64) {
+    run_matrix_case_tiered(case, TierConfig::off());
+}
+
+/// [`run_matrix_case`] with the memory tier dialed in: the same
+/// deterministic fault placements replayed against an engine whose
+/// optimizer/gradient/parameter shards live in the host tier.
+fn run_matrix_case_tiered(case: u64, tier: TierConfig) {
     let stages = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three];
     // Deterministic pseudo-random placement (splitmix64 spread).
     let mut z = case.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5A5_A5A5);
@@ -218,9 +291,10 @@ fn run_matrix_case(case: u64) {
         _ => FaultPlan::seeded(case).with_corruption(victim, op),
     };
 
-    let dir = unique_dir(&format!("stress-{case}"));
+    let dir = unique_dir(&format!("stress-{case}-{}", tier.enabled));
     std::fs::remove_dir_all(&dir).ok();
     let mut cfg = config(&dir, 4, stage, 12);
+    cfg.setup.zero.tier = tier;
     cfg.snapshot_every = 3;
     cfg.recv_timeout = Duration::from_millis(200);
     cfg.faults = faults;
@@ -269,13 +343,29 @@ fn matrix_case_stage1_crash() {
     run_matrix_case(4);
 }
 
+// The same corners with the memory tier enabled: every fault now races
+// host-tier traffic (spills mid-backward, fetches ahead of compute) and
+// recovery must rebuild the survivors' tier stores from the snapshot.
+
+#[test]
+fn matrix_case_stage3_crash_offloaded() {
+    run_matrix_case_tiered(0, TierConfig::budgeted(64 << 20));
+}
+
+#[test]
+fn matrix_case_stage3_hang_offloaded() {
+    run_matrix_case_tiered(3, TierConfig::budgeted(64 << 20));
+}
+
 /// Randomized stress matrix (ignored by default; run with
 /// `cargo test -- --ignored`): the remaining cells of the same sweep the
-/// promoted `matrix_case_*` tests above cover four corners of.
+/// promoted `matrix_case_*` tests above cover four corners of — each cell
+/// run twice, tier off and tier on.
 #[test]
 #[ignore = "stress matrix: minutes of runtime; exercised in CI's ignored pass"]
 fn randomized_fault_matrix_stress() {
     for case in 0u64..18 {
         run_matrix_case(case);
+        run_matrix_case_tiered(case, TierConfig::budgeted(64 << 20));
     }
 }

@@ -96,6 +96,52 @@ fn timeline_reconciles_byte_exactly_with_plan_and_traffic() {
 }
 
 #[test]
+fn offloaded_timeline_reconciles_tier_stream_byte_exactly() {
+    // Offload adds a second span stream (SpanCategory::Tier). Every
+    // movement must appear exactly once, byte-tagged with the plan's
+    // per-rank volume, and the engine's TierStats meters must agree with
+    // the same analytic volumes — three independent records, one number.
+    let steps = 2;
+    for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        for overlap in [false, true] {
+            let mut s = setup(stage, 2, overlap);
+            s.zero.tier = zero::core::TierConfig::budgeted(64 << 20);
+            let report = run_training(&s, steps, 0);
+            for r in &report.ranks {
+                let want = expectation(&report, &s, r.rank);
+                assert!(
+                    want.tier_ops.iter().sum::<u64>() > 0,
+                    "{stage:?} overlap={overlap}: offloaded plan must move tier bytes"
+                );
+                zero_verify::check_timeline(&r.timeline, &want, Some(&r.traffic))
+                    .unwrap_or_else(|e| {
+                        panic!("{stage:?} overlap={overlap} rank {}: {e}", r.rank)
+                    });
+                // TIER_LABELS order: param-fetch, publish-fetch, grad-spill.
+                let fetch_want = want.tier_bytes[0] + want.tier_bytes[1];
+                let spill_want = want.tier_bytes[2];
+                assert_eq!(
+                    r.tier.fetch_bytes, fetch_want,
+                    "{stage:?} overlap={overlap} rank {}: metered fetch bytes",
+                    r.rank
+                );
+                assert_eq!(
+                    r.tier.spill_bytes, spill_want,
+                    "{stage:?} overlap={overlap} rank {}: metered spill bytes",
+                    r.rank
+                );
+                assert_eq!(
+                    r.tier.fetch_ops + r.tier.spill_ops,
+                    want.tier_ops.iter().sum::<u64>(),
+                    "{stage:?} overlap={overlap} rank {}: tier op count",
+                    r.rank
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn peak_memory_counter_matches_report() {
     for stage in STAGES {
         let s = setup(stage, 2, false);
@@ -106,6 +152,33 @@ fn peak_memory_counter_matches_report() {
                 Some(r.peak_device_bytes),
                 "{stage:?} rank {}: counter track must mirror MemoryTracker peak",
                 r.rank
+            );
+        }
+    }
+}
+
+#[test]
+fn peak_memory_counter_matches_report_under_offload() {
+    // The budget proof's observable face: the counter track the trace
+    // carries equals the MemoryTracker peak, and both sit inside the
+    // enforced device budget.
+    let budget = 64u64 << 20;
+    for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+        let mut s = setup(stage, 2, false);
+        s.zero.tier = zero::core::TierConfig::budgeted(budget);
+        let report = run_training(&s, 2, 0);
+        for r in &report.ranks {
+            assert_eq!(
+                r.timeline.counter_max("peak-device-bytes"),
+                Some(r.peak_device_bytes),
+                "{stage:?} rank {}: counter track must mirror MemoryTracker peak",
+                r.rank
+            );
+            assert!(
+                r.peak_device_bytes <= budget,
+                "{stage:?} rank {}: peak {} exceeds enforced budget {budget}",
+                r.rank,
+                r.peak_device_bytes
             );
         }
     }
