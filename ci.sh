@@ -87,12 +87,22 @@ rm -rf "$serve_ckpt"
 # rejections; trace/traffic must reconcile byte-exactly with the plan.
 cargo run -q --release --bin zero-serve -- --smoke
 
+echo "==> saturation suite (open-loop load: FIFO fairness, deterministic shedding, paged-vs-slab bitwise, prefix-reuse bytes)"
+cargo test -q --release --test saturation
+
 echo "==> bench_serve --smoke (batched vs serial serving, bitwise outputs)"
 serve_json="$(mktemp)"
 cargo run -q --release -p zero-bench --bin bench_serve -- --smoke --out "$serve_json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$serve_json" \
     || { echo "bench_serve smoke JSON does not parse"; exit 1; }
 rm -f "$serve_json"
+
+echo "==> bench_serve --arrivals (open-loop determinism gate vs committed baseline)"
+# Replays the poisson:0.5 schedule and exact-compares every deterministic
+# field (admitted/shed counts, tokens, batch steps, step percentiles,
+# prefix hits, KV bytes) against the committed open_loop baseline row.
+cargo run -q --release -p zero-bench --bin bench_serve -- \
+    --arrivals poisson:0.5 --check-against results/BENCH_serve.json
 
 echo "==> bench_step --smoke (overlap bench path, no results churn)"
 cargo run -q --release -p zero-bench --bin bench_step -- --smoke

@@ -109,6 +109,11 @@ pub fn embed_step(
 /// visible past, and returns the block output row. `p` is the *block
 /// unit's* parameter slice.
 ///
+/// This is the contiguous-buffer convenience wrapper over
+/// [`block_step_kv`]; both execute the identical arithmetic in the
+/// identical order, so slab-backed, paged, and private-cache decoding
+/// stay bitwise equal (tested in `tests/serving.rs`).
+///
 /// # Panics
 /// Panics (debug) on cache-length or position inconsistencies — the
 /// callers ([`IncrementalDecoder::feed`] and the serving engine) validate
@@ -122,6 +127,28 @@ pub fn block_step(
     v_cache: &mut [f32],
     pos: usize,
 ) -> Vec<f32> {
+    let cfg = gpt.config();
+    debug_assert_eq!(k_cache.len(), cfg.seq * cfg.hidden);
+    debug_assert_eq!(v_cache.len(), cfg.seq * cfg.hidden);
+    let mut kv = crate::kv::ContigKv::new(k_cache, v_cache, cfg.hidden);
+    block_step_kv(gpt, l, p, x, &mut kv, 0, pos)
+}
+
+/// [`block_step`] over any [`KvArena`](crate::kv::KvArena) backing
+/// store: the serving engine passes a pooled slab or a paged block
+/// arena with `slot` naming the request's cache lane; the incremental
+/// decoder passes a contiguous adapter. The kernel reads and writes the
+/// cache strictly row-at-a-time, which is what lets a paged arena with
+/// non-contiguous storage produce bitwise-identical logits.
+pub fn block_step_kv<A: crate::kv::KvArena>(
+    gpt: &Gpt,
+    l: usize,
+    p: &[f32],
+    x: &[f32],
+    kv: &mut A,
+    slot: usize,
+    pos: usize,
+) -> Vec<f32> {
     use zero_tensor::ops::matmul::sgemm_nt;
     use zero_tensor::ops::norm::layernorm_forward;
 
@@ -129,8 +156,6 @@ pub fn block_step(
     let h = cfg.hidden;
     let (nh, hd) = (cfg.heads, cfg.head_dim());
     debug_assert!(pos < cfg.seq, "cache position out of range");
-    debug_assert_eq!(k_cache.len(), cfg.seq * h);
-    debug_assert_eq!(v_cache.len(), cfg.seq * h);
     let off = gpt.layout().block_offsets(l);
     let t = pos;
 
@@ -144,9 +169,8 @@ pub fn block_step(
     for (v, b) in qkv.iter_mut().zip(&p[off.b_qkv.clone()]) {
         *v += b;
     }
-    // Append K, V to the caches.
-    k_cache[t * h..(t + 1) * h].copy_from_slice(&qkv[h..2 * h]);
-    v_cache[t * h..(t + 1) * h].copy_from_slice(&qkv[2 * h..3 * h]);
+    // Append K, V to the cache.
+    kv.write_row(l, slot, t, &qkv[h..2 * h], &qkv[2 * h..3 * h]);
     // Attention over the cache, per head.
     let scale = 1.0 / (hd as f32).sqrt();
     let mut attn = vec![0.0; h];
@@ -154,7 +178,7 @@ pub fn block_step(
         let q = &qkv[head * hd..(head + 1) * hd];
         let mut weights = vec![0.0; t + 1];
         for (i, w) in weights.iter_mut().enumerate() {
-            let k = &k_cache[i * h + head * hd..i * h + (head + 1) * hd];
+            let k = &kv.k_row(l, slot, i)[head * hd..(head + 1) * hd];
             *w = zero_tensor::ops::vector::dot(q, k) * scale;
         }
         // Softmax over the visible past.
@@ -167,7 +191,7 @@ pub fn block_step(
         let inv = 1.0 / sum;
         let out = &mut attn[head * hd..(head + 1) * hd];
         for (i, w) in weights.iter().enumerate() {
-            let v = &v_cache[i * h + head * hd..i * h + (head + 1) * hd];
+            let v = &kv.v_row(l, slot, i)[head * hd..(head + 1) * hd];
             for (o, &vv) in out.iter_mut().zip(v) {
                 *o += w * inv * vv;
             }

@@ -1,19 +1,106 @@
-//! Pooled key/value-cache slab for batched incremental decoding.
+//! Pooled key/value-cache storage for batched incremental decoding.
 //!
 //! A serving rank decodes many requests concurrently; each live request
-//! needs one K and one V cache per transformer block, `[seq, hidden]`
-//! row-major. Allocating those per request would fragment memory and
-//! bound throughput by the allocator — instead a [`KvSlab`] owns one flat
-//! arena of `slots × layers × seq × hidden` elements per side, hands out
-//! *slots* (one per in-flight request), and recycles a slot the moment
-//! its request finishes. This is the contiguous-memory idea of the
-//! paper's §6.3 (MD) applied to serving state: the working set is bounded
-//! and constant for a given batch capacity, regardless of request churn.
+//! needs one K and one V cache per transformer block. Two backing
+//! strategies live here behind the [`KvArena`] row-access trait:
 //!
-//! Correctness under recycling relies on the decode discipline: position
-//! `t` of a cache row is always written (by the token at position `t`)
-//! before any later token reads it, so a recycled slot never exposes a
-//! previous request's state. `debug_assert`s and the slab tests pin this.
+//! * [`KvSlab`] — one flat arena of `slots × layers × seq × hidden`
+//!   elements per side, a *slot* per in-flight request. The working set
+//!   is bounded and constant for a given batch capacity (the contiguous
+//!   memory idea of the paper's §6.3 applied to serving state), but every
+//!   slot pays for the full context window whether it uses it or not.
+//! * [`BlockArena`] — fixed-size *position blocks* allocated on demand
+//!   as a request's decode position crosses block boundaries (the paged
+//!   KV-cache design). Blocks are reference counted so shared prompt
+//!   prefixes can map to shared read-only blocks; the page tables and
+//!   prefix-hash cache live with the serving engine (`zero-serve`),
+//!   which owns the sharing policy — this type owns allocation,
+//!   refcounts, scrubbing, and byte metering.
+//!
+//! Both implement [`KvArena`], and the per-token attention kernel
+//! (`block_step_kv`) is generic over it, so slab-backed and paged-backed
+//! decoding execute bitwise-identical arithmetic — a tested invariant.
+//!
+//! Correctness under recycling used to rely purely on the decode
+//! discipline (position `t` is written before any later token reads it).
+//! That is still true for append-only positions, but block sharing makes
+//! stale state a real hazard, so both containers now *scrub* recycled
+//! storage (the slab on release, the arena on alloc) and detect double
+//! frees with an O(1) occupancy bitset instead of the old O(slots)
+//! free-list scan.
+
+/// Row-level access to a K/V cache keyed by (layer, slot, position) —
+/// the interface the shared per-token attention kernel decodes through.
+/// Implementations must return rows of exactly `width` elements and must
+/// keep a written row readable (bitwise) until the slot is released.
+pub trait KvArena {
+    /// Writes position `pos` of (`layer`, `slot`): one K row and one V
+    /// row of the arena's width.
+    fn write_row(&mut self, layer: usize, slot: usize, pos: usize, k: &[f32], v: &[f32]);
+    /// The K row of (`layer`, `slot`, `pos`).
+    fn k_row(&self, layer: usize, slot: usize, pos: usize) -> &[f32];
+    /// The V row of (`layer`, `slot`, `pos`).
+    fn v_row(&self, layer: usize, slot: usize, pos: usize) -> &[f32];
+}
+
+/// A [`KvArena`] over two plain contiguous `seq × width` buffers (one
+/// request, one layer at a time — the slot and layer indices are
+/// ignored). This is how [`IncrementalDecoder`](crate::IncrementalDecoder)
+/// and any caller holding per-layer `Vec<f32>` caches drive the shared
+/// kernel.
+pub struct ContigKv<'a> {
+    k: &'a mut [f32],
+    v: &'a mut [f32],
+    width: usize,
+}
+
+impl<'a> ContigKv<'a> {
+    /// Wraps one layer's K and V buffers (`seq × width` each).
+    pub fn new(k: &'a mut [f32], v: &'a mut [f32], width: usize) -> ContigKv<'a> {
+        debug_assert_eq!(k.len() % width, 0);
+        debug_assert_eq!(k.len(), v.len());
+        ContigKv { k, v, width }
+    }
+}
+
+impl KvArena for ContigKv<'_> {
+    fn write_row(&mut self, _layer: usize, _slot: usize, pos: usize, k: &[f32], v: &[f32]) {
+        let w = self.width;
+        self.k[pos * w..(pos + 1) * w].copy_from_slice(k);
+        self.v[pos * w..(pos + 1) * w].copy_from_slice(v);
+    }
+
+    fn k_row(&self, _layer: usize, _slot: usize, pos: usize) -> &[f32] {
+        &self.k[pos * self.width..(pos + 1) * self.width]
+    }
+
+    fn v_row(&self, _layer: usize, _slot: usize, pos: usize) -> &[f32] {
+        &self.v[pos * self.width..(pos + 1) * self.width]
+    }
+}
+
+/// A fixed-word occupancy bitset: O(1) membership instead of the old
+/// O(n) `Vec::contains` scan on every release.
+#[derive(Clone, Debug)]
+struct Bitset(Vec<u64>);
+
+impl Bitset {
+    fn new(n: usize) -> Bitset {
+        Bitset(vec![0; n.div_ceil(64)])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+}
 
 /// A pooled K/V cache arena: `slots` concurrently live requests, each
 /// with `layers` caches of `seq × width` elements per side.
@@ -27,6 +114,8 @@ pub struct KvSlab {
     /// Free slot ids (LIFO: the most recently freed slot is reused first,
     /// which keeps the hot part of the arena small).
     free: Vec<usize>,
+    /// Occupancy: bit `s` set means slot `s` is handed out.
+    occupied: Bitset,
 }
 
 impl KvSlab {
@@ -46,6 +135,7 @@ impl KvSlab {
             k: vec![0.0; elems],
             v: vec![0.0; elems],
             free: (0..slots).rev().collect(),
+            occupied: Bitset::new(slots),
         }
     }
 
@@ -70,19 +160,30 @@ impl KvSlab {
     }
 
     /// Claims a free slot, or `None` when the batch is full. The slot's
-    /// contents are whatever its previous tenant left; every position is
-    /// written before it is read, so this is invisible (tested).
+    /// rows are zero: recycled slots are scrubbed on release, so a new
+    /// tenant can never observe a previous request's state even if the
+    /// write-before-read decode discipline is violated.
     pub fn alloc(&mut self) -> Option<usize> {
-        self.free.pop()
+        let slot = self.free.pop()?;
+        self.occupied.set(slot);
+        Some(slot)
     }
 
-    /// Returns `slot` to the pool.
+    /// Returns `slot` to the pool, scrubbing its rows.
     ///
     /// # Panics
-    /// Panics if `slot` is out of range or already free (double free).
+    /// Panics if `slot` is out of range or already free (double free —
+    /// detected by the occupancy bitset in O(1)).
     pub fn release(&mut self, slot: usize) {
         assert!(slot < self.slots, "slot {slot} out of range");
-        assert!(!self.free.contains(&slot), "double free of slot {slot}");
+        assert!(self.occupied.get(slot), "double free of slot {slot}");
+        self.occupied.clear(slot);
+        for layer in 0..self.layers {
+            let b = self.base(layer, slot);
+            let n = self.seq * self.width;
+            self.k[b..b + n].fill(0.0);
+            self.v[b..b + n].fill(0.0);
+        }
         self.free.push(slot);
     }
 
@@ -104,9 +205,7 @@ impl KvSlab {
         &self.v[b..b + self.seq * self.width]
     }
 
-    /// Mutable K and V caches of (`layer`, `slot`) together — what
-    /// [`block_step`](crate::generate::block_step) needs to append this
-    /// position's rows and attend over the past in one call.
+    /// Mutable K and V caches of (`layer`, `slot`) together.
     pub fn kv_pair_mut(&mut self, layer: usize, slot: usize) -> (&mut [f32], &mut [f32]) {
         let b = self.base(layer, slot);
         let n = self.seq * self.width;
@@ -124,6 +223,252 @@ impl KvSlab {
         let b = self.base(layer, slot) + pos * self.width;
         self.k[b..b + self.width].copy_from_slice(k);
         self.v[b..b + self.width].copy_from_slice(v);
+    }
+}
+
+impl KvArena for KvSlab {
+    fn write_row(&mut self, layer: usize, slot: usize, pos: usize, k: &[f32], v: &[f32]) {
+        KvSlab::write_row(self, layer, slot, pos, k, v);
+    }
+
+    fn k_row(&self, layer: usize, slot: usize, pos: usize) -> &[f32] {
+        let b = self.base(layer, slot) + pos * self.width;
+        &self.k[b..b + self.width]
+    }
+
+    fn v_row(&self, layer: usize, slot: usize, pos: usize) -> &[f32] {
+        let b = self.base(layer, slot) + pos * self.width;
+        &self.v[b..b + self.width]
+    }
+}
+
+/// Byte and operation meters for a [`BlockArena`] — the paged analogue
+/// of `KvSlab::bytes`, split so prefix sharing is measurable: sharing
+/// shows up as *fewer allocations* for the same served tokens.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockArenaStats {
+    /// Blocks handed out by `alloc` over the arena's lifetime.
+    pub alloc_ops: u64,
+    /// Bytes those allocations cover (`alloc_ops × block_bytes`).
+    pub alloc_bytes: u64,
+    /// Peak simultaneously *live* (refcount ≥ 1) bytes.
+    pub live_bytes_peak: u64,
+}
+
+/// A reference-counted block arena for paged KV caches.
+///
+/// One *block* holds `layers × block_positions × width` K elements (and
+/// as many V elements): a fixed run of consecutive positions across
+/// every layer of one request. Blocks are claimed on demand, shared
+/// read-only between requests via refcounts (prefix reuse), and scrubbed
+/// on allocation so a recycled block can never leak a previous tenant's
+/// rows. Double frees of the *block* kind — reclaiming a block that is
+/// not allocated — are caught by an occupancy bitset in O(1).
+pub struct BlockArena {
+    layers: usize,
+    width: usize,
+    block_positions: usize,
+    cap: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    free: Vec<usize>,
+    occupied: Bitset,
+    refcount: Vec<u32>,
+    live_blocks: usize,
+    live_blocks_peak: usize,
+    alloc_ops: u64,
+}
+
+impl BlockArena {
+    /// Creates an arena of `cap` blocks, each covering `block_positions`
+    /// consecutive positions of `layers` layers at `width` elements per
+    /// row and side.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(layers: usize, cap: usize, block_positions: usize, width: usize) -> BlockArena {
+        assert!(
+            layers > 0 && cap > 0 && block_positions > 0 && width > 0,
+            "empty KV block arena"
+        );
+        let elems = cap * layers * block_positions * width;
+        BlockArena {
+            layers,
+            width,
+            block_positions,
+            cap,
+            k: vec![0.0; elems],
+            v: vec![0.0; elems],
+            free: (0..cap).rev().collect(),
+            occupied: Bitset::new(cap),
+            refcount: vec![0; cap],
+            live_blocks: 0,
+            live_blocks_peak: 0,
+            alloc_ops: 0,
+        }
+    }
+
+    /// Positions one block covers.
+    pub fn block_positions(&self) -> usize {
+        self.block_positions
+    }
+
+    /// Total blocks the arena can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes one block occupies (both sides).
+    pub fn block_bytes(&self) -> u64 {
+        2 * 4 * (self.layers * self.block_positions * self.width) as u64
+    }
+
+    /// Bytes of the whole backing arena (capacity, not residency).
+    pub fn arena_bytes(&self) -> u64 {
+        self.cap as u64 * self.block_bytes()
+    }
+
+    /// Lifetime allocation and peak-residency meters.
+    pub fn stats(&self) -> BlockArenaStats {
+        BlockArenaStats {
+            alloc_ops: self.alloc_ops,
+            alloc_bytes: self.alloc_ops * self.block_bytes(),
+            live_bytes_peak: self.live_blocks_peak as u64 * self.block_bytes(),
+        }
+    }
+
+    /// Blocks currently live (refcount ≥ 1).
+    pub fn live_blocks(&self) -> usize {
+        self.live_blocks
+    }
+
+    /// Claims a scrubbed block with refcount 1, or `None` when the arena
+    /// is exhausted (the caller evicts a cached block and retries).
+    pub fn alloc(&mut self) -> Option<usize> {
+        let b = self.free.pop()?;
+        self.occupied.set(b);
+        self.refcount[b] = 1;
+        let n = self.layers * self.block_positions * self.width;
+        self.k[b * n..(b + 1) * n].fill(0.0);
+        self.v[b * n..(b + 1) * n].fill(0.0);
+        self.alloc_ops += 1;
+        self.live_blocks += 1;
+        self.live_blocks_peak = self.live_blocks_peak.max(self.live_blocks);
+        Some(b)
+    }
+
+    /// Adds a reference to an allocated block (prefix sharing).
+    ///
+    /// # Panics
+    /// Panics if `b` is not allocated.
+    pub fn retain(&mut self, b: usize) {
+        assert!(b < self.cap && self.occupied.get(b), "retain of unallocated block {b}");
+        if self.refcount[b] == 0 {
+            self.live_blocks += 1;
+            self.live_blocks_peak = self.live_blocks_peak.max(self.live_blocks);
+        }
+        self.refcount[b] += 1;
+    }
+
+    /// Drops one reference from `b`, returning the remaining count. A
+    /// block at refcount 0 stays *allocated* (the caller may keep it as
+    /// a reusable cached prefix) until [`Self::reclaim`] frees it.
+    ///
+    /// # Panics
+    /// Panics if `b` is not allocated or its refcount is already 0.
+    pub fn release(&mut self, b: usize) -> u32 {
+        assert!(b < self.cap && self.occupied.get(b), "release of unallocated block {b}");
+        assert!(self.refcount[b] > 0, "refcount underflow on block {b}");
+        self.refcount[b] -= 1;
+        if self.refcount[b] == 0 {
+            self.live_blocks -= 1;
+        }
+        self.refcount[b]
+    }
+
+    /// Frees a refcount-0 block back to the free list (cache eviction).
+    ///
+    /// # Panics
+    /// Panics if `b` is not allocated (double free, O(1) bitset check)
+    /// or still referenced.
+    pub fn reclaim(&mut self, b: usize) {
+        assert!(b < self.cap, "block {b} out of range");
+        assert!(self.occupied.get(b), "double free of block {b}");
+        assert_eq!(self.refcount[b], 0, "reclaim of live block {b}");
+        self.occupied.clear(b);
+        self.free.push(b);
+    }
+
+    /// Current refcount of an allocated block.
+    pub fn refcount(&self, b: usize) -> u32 {
+        self.refcount[b]
+    }
+
+    #[inline]
+    fn base(&self, b: usize, layer: usize, pos_in_block: usize) -> usize {
+        debug_assert!(b < self.cap && layer < self.layers && pos_in_block < self.block_positions);
+        ((b * self.layers + layer) * self.block_positions + pos_in_block) * self.width
+    }
+
+    /// The K row at (`block`, `layer`, `pos_in_block`).
+    pub fn k_row(&self, b: usize, layer: usize, pos_in_block: usize) -> &[f32] {
+        let at = self.base(b, layer, pos_in_block);
+        &self.k[at..at + self.width]
+    }
+
+    /// The V row at (`block`, `layer`, `pos_in_block`).
+    pub fn v_row(&self, b: usize, layer: usize, pos_in_block: usize) -> &[f32] {
+        let at = self.base(b, layer, pos_in_block);
+        &self.v[at..at + self.width]
+    }
+
+    /// Writes one position's K and V rows into a block.
+    ///
+    /// # Panics
+    /// Panics (debug) on out-of-range indices or wrong row widths.
+    pub fn write_row(&mut self, b: usize, layer: usize, pos_in_block: usize, k: &[f32], v: &[f32]) {
+        debug_assert_eq!(k.len(), self.width);
+        debug_assert_eq!(v.len(), self.width);
+        let at = self.base(b, layer, pos_in_block);
+        self.k[at..at + self.width].copy_from_slice(k);
+        self.v[at..at + self.width].copy_from_slice(v);
+    }
+
+    /// Copies the first `positions` rows of every layer from block `src`
+    /// into block `dst` — the copy-on-write primitive: a request that
+    /// shares a prefix up to mid-block copies the shared rows into its
+    /// private block and diverges from there.
+    ///
+    /// # Panics
+    /// Panics if `positions` exceeds the block size or `src == dst`.
+    pub fn copy_rows(&mut self, dst: usize, src: usize, positions: usize) {
+        assert!(positions <= self.block_positions, "copy beyond the block");
+        assert_ne!(src, dst, "self-copy");
+        for layer in 0..self.layers {
+            for p in 0..positions {
+                let s = self.base(src, layer, p);
+                let d = self.base(dst, layer, p);
+                let w = self.width;
+                let (k_src, k_dst, v_src, v_dst);
+                if s < d {
+                    let (a, b2) = self.k.split_at_mut(d);
+                    k_src = &a[s..s + w];
+                    k_dst = &mut b2[..w];
+                    let (a, b2) = self.v.split_at_mut(d);
+                    v_src = &a[s..s + w];
+                    v_dst = &mut b2[..w];
+                } else {
+                    let (a, b2) = self.k.split_at_mut(s);
+                    k_dst = &mut a[d..d + w];
+                    k_src = &b2[..w];
+                    let (a, b2) = self.v.split_at_mut(s);
+                    v_dst = &mut a[d..d + w];
+                    v_src = &b2[..w];
+                }
+                k_dst.copy_from_slice(k_src);
+                v_dst.copy_from_slice(v_src);
+            }
+        }
     }
 }
 
@@ -168,5 +513,220 @@ mod tests {
         assert_eq!(&slab.k_cache(1, s1)[4..6], &[5.0, 6.0]);
         // Other cells untouched.
         assert!(slab.k_cache(1, s0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn released_slots_are_scrubbed_before_reuse() {
+        // Regression for the stale-row hazard: rows used to survive a
+        // release, visible to the next tenant that read before writing.
+        let mut slab = KvSlab::new(2, 2, 3, 2);
+        let s = slab.alloc().unwrap();
+        slab.write_row(0, s, 1, &[9.0, 9.0], &[8.0, 8.0]);
+        slab.write_row(1, s, 2, &[7.0, 7.0], &[6.0, 6.0]);
+        slab.release(s);
+        let s2 = slab.alloc().unwrap();
+        assert_eq!(s2, s, "LIFO returns the same slot");
+        assert!(slab.k_cache(0, s2).iter().all(|&x| x == 0.0), "K scrubbed");
+        assert!(slab.v_cache(1, s2).iter().all(|&x| x == 0.0), "V scrubbed");
+    }
+
+    #[test]
+    fn kv_arena_rows_match_the_cache_views() {
+        let mut slab = KvSlab::new(2, 2, 4, 3);
+        let s = slab.alloc().unwrap();
+        KvArena::write_row(&mut slab, 1, s, 2, &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(KvArena::k_row(&slab, 1, s, 2), &[1.0, 2.0, 3.0]);
+        assert_eq!(KvArena::v_row(&slab, 1, s, 2), &[4.0, 5.0, 6.0]);
+        assert_eq!(&slab.k_cache(1, s)[6..9], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn contig_adapter_is_position_indexed() {
+        let mut k = vec![0.0; 8];
+        let mut v = vec![0.0; 8];
+        let mut kv = ContigKv::new(&mut k, &mut v, 2);
+        kv.write_row(0, 0, 3, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(kv.k_row(0, 0, 3), &[1.0, 2.0]);
+        assert_eq!(kv.v_row(0, 0, 3), &[3.0, 4.0]);
+        let _ = kv;
+        assert_eq!(&k[6..8], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn block_arena_alloc_scrubs_and_meters() {
+        let mut arena = BlockArena::new(2, 3, 4, 2);
+        assert_eq!(arena.block_bytes(), 2 * 4 * (2 * 4 * 2) as u64);
+        let a = arena.alloc().unwrap();
+        arena.write_row(a, 1, 3, &[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(arena.k_row(a, 1, 3), &[5.0, 5.0]);
+        assert_eq!(arena.release(a), 0);
+        arena.reclaim(a);
+        let b = arena.alloc().unwrap();
+        assert_eq!(b, a, "LIFO reuse");
+        assert_eq!(arena.k_row(b, 1, 3), &[0.0, 0.0], "scrub on alloc");
+        let stats = arena.stats();
+        assert_eq!(stats.alloc_ops, 2);
+        assert_eq!(stats.alloc_bytes, 2 * arena.block_bytes());
+        assert_eq!(stats.live_bytes_peak, arena.block_bytes());
+    }
+
+    #[test]
+    fn block_refcounts_track_sharing() {
+        let mut arena = BlockArena::new(1, 2, 2, 2);
+        let a = arena.alloc().unwrap();
+        arena.retain(a);
+        assert_eq!(arena.refcount(a), 2);
+        assert_eq!(arena.release(a), 1);
+        assert_eq!(arena.live_blocks(), 1);
+        assert_eq!(arena.release(a), 0);
+        assert_eq!(arena.live_blocks(), 0);
+        // Refcount-0 blocks stay allocated until reclaimed.
+        arena.retain(a);
+        assert_eq!(arena.refcount(a), 1);
+        assert_eq!(arena.live_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn block_double_free_detected() {
+        let mut arena = BlockArena::new(1, 2, 2, 2);
+        let a = arena.alloc().unwrap();
+        arena.release(a);
+        arena.reclaim(a);
+        arena.reclaim(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaim of live block")]
+    fn reclaim_of_live_block_detected() {
+        let mut arena = BlockArena::new(1, 2, 2, 2);
+        let a = arena.alloc().unwrap();
+        arena.reclaim(a);
+    }
+
+    #[test]
+    fn copy_rows_moves_the_shared_prefix_both_directions() {
+        let mut arena = BlockArena::new(2, 2, 3, 2);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        for l in 0..2 {
+            for p in 0..3 {
+                let x = (l * 10 + p) as f32;
+                arena.write_row(a, l, p, &[x, x], &[-x, -x]);
+            }
+        }
+        arena.copy_rows(b, a, 2);
+        for l in 0..2 {
+            for p in 0..2 {
+                let x = (l * 10 + p) as f32;
+                assert_eq!(arena.k_row(b, l, p), &[x, x]);
+                assert_eq!(arena.v_row(b, l, p), &[-x, -x]);
+            }
+            // Beyond the copied prefix: untouched (zero from scrub).
+            assert_eq!(arena.k_row(b, l, 2), &[0.0, 0.0]);
+        }
+        // And dst < src works the same way.
+        arena.write_row(b, 0, 2, &[42.0, 42.0], &[42.0, 42.0]);
+        arena.copy_rows(a, b, 3);
+        assert_eq!(arena.k_row(a, 0, 2), &[42.0, 42.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary alloc/release interleavings against a reference
+        /// model: the slab hands out each slot at most once, counts
+        /// match, and a released slot always comes back scrubbed.
+        #[test]
+        fn slab_alloc_release_interleavings(ops in prop::collection::vec(0u8..4, 1..64)) {
+            let (layers, slots, seq, width) = (2usize, 4usize, 3usize, 2usize);
+            let mut slab = KvSlab::new(layers, slots, seq, width);
+            let mut held: Vec<usize> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                if *op < 3 {
+                    // Weighted toward alloc so the slab saturates often.
+                    match slab.alloc() {
+                        Some(s) => {
+                            prop_assert!(!held.contains(&s), "slot {s} double-allocated");
+                            prop_assert!(s < slots);
+                            // A fresh slot is always scrubbed.
+                            for l in 0..layers {
+                                prop_assert!(slab.k_cache(l, s).iter().all(|&x| x == 0.0));
+                                prop_assert!(slab.v_cache(l, s).iter().all(|&x| x == 0.0));
+                            }
+                            // Dirty every row so scrubbing is observable.
+                            let fill = vec![1.0 + i as f32; width];
+                            for l in 0..layers {
+                                for p in 0..seq {
+                                    slab.write_row(l, s, p, &fill, &fill);
+                                }
+                            }
+                            held.push(s);
+                        }
+                        None => prop_assert_eq!(held.len(), slots, "alloc failed below capacity"),
+                    }
+                } else if let Some(pos) = held.pop() {
+                    slab.release(pos);
+                }
+                prop_assert_eq!(slab.in_use(), held.len());
+            }
+        }
+
+        /// Block arena under arbitrary alloc/retain/release/reclaim
+        /// interleavings: refcounts, occupancy, and the live-block meter
+        /// agree with a reference model, and allocation never yields a
+        /// block that is still live.
+        #[test]
+        fn block_arena_refcount_interleavings(ops in prop::collection::vec(0u8..8, 1..96)) {
+            let cap = 4usize;
+            let mut arena = BlockArena::new(1, cap, 2, 2);
+            // Reference refcounts, None = unallocated.
+            let mut model: Vec<Option<u32>> = vec![None; cap];
+            for op in ops {
+                match op {
+                    0..=2 => {
+                        if let Some(b) = arena.alloc() {
+                            prop_assert!(model[b].is_none(), "allocated an occupied block");
+                            model[b] = Some(1);
+                            arena.write_row(b, 0, 0, &[9.0, 9.0], &[9.0, 9.0]);
+                        } else {
+                            prop_assert!(model.iter().all(|m| m.is_some()));
+                        }
+                    }
+                    3..=4 => {
+                        if let Some(b) = (0..cap).find(|&b| model[b].is_some_and(|r| r > 0)) {
+                            arena.retain(b);
+                            model[b] = model[b].map(|r| r + 1);
+                        }
+                    }
+                    5..=6 => {
+                        if let Some(b) = (0..cap).find(|&b| model[b].is_some_and(|r| r > 0)) {
+                            let left = arena.release(b);
+                            model[b] = model[b].map(|r| r - 1);
+                            prop_assert_eq!(left, model[b].unwrap());
+                        }
+                    }
+                    _ => {
+                        if let Some(b) = (0..cap).find(|&b| model[b] == Some(0)) {
+                            arena.reclaim(b);
+                            model[b] = None;
+                        }
+                    }
+                }
+                let live = model.iter().filter(|m| m.is_some_and(|r| r > 0)).count();
+                prop_assert_eq!(arena.live_blocks(), live);
+                for (b, m) in model.iter().enumerate() {
+                    if let Some(r) = *m {
+                        prop_assert_eq!(arena.refcount(b), r);
+                    }
+                }
+            }
+        }
     }
 }

@@ -34,9 +34,9 @@ pub use block::{BlockDims, BlockSaved, Dropout};
 pub use config::ModelConfig;
 pub use data::{ByteCorpus, SyntheticCorpus};
 pub use generate::{
-    argmax, block_step, embed_step, head_step, GenerateError, Generator, IncrementalDecoder,
-    Sampling,
+    argmax, block_step, block_step_kv, embed_step, head_step, GenerateError, Generator,
+    IncrementalDecoder, Sampling,
 };
-pub use kv::KvSlab;
+pub use kv::{BlockArena, BlockArenaStats, ContigKv, KvArena, KvSlab};
 pub use gpt::{init_full_params, shard_params, Gpt, HeadSaved};
 pub use layout::{Field, Layout, Unit};

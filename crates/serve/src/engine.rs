@@ -1,17 +1,24 @@
 //! The per-rank serving engine: layer-streaming gathers + continuous
-//! batching over a pooled KV slab.
+//! batching over a pooled KV arena, driven by an open-loop arrival
+//! schedule in batch-step time.
 //!
 //! Every rank runs [`run_rank`] over the *same* request list — the batch
-//! is replicated, the parameters are sharded. Each batch step walks the
-//! unit list once (gathering each unit from the shards, one unit
-//! prefetched ahead), advancing every live request by exactly one token:
-//! prefill requests consume their next prompt token, decode requests emit
-//! their next greedy token. A request finishing frees its KV slot, which
-//! the next queued request claims at the following step boundary — that
-//! is the whole continuous-batching scheduler, and its determinism is
-//! what keeps N ranks in lockstep with zero coordination traffic beyond
-//! the parameter gathers themselves.
+//! is replicated, the parameters are sharded. The scheduler keeps a
+//! virtual clock in **batch steps**: requests become visible when the
+//! clock reaches their `arrival_step`, are SLO-checked and queued (or
+//! shed) at delivery, admitted FIFO into free KV slots, and then each
+//! executed batch step walks the unit list once (gathering each unit from
+//! the shards, one unit prefetched ahead), advancing every live request
+//! by exactly one token. When nothing is live the clock fast-forwards to
+//! the next arrival without executing steps, so `batch_steps` counts only
+//! steps that actually gathered parameters and the traffic reconciliation
+//! (`batch_steps × plan.rank_bytes`) stays exact. Every scheduling
+//! decision is a pure function of (request list, config), which is what
+//! keeps N ranks in lockstep with zero coordination traffic beyond the
+//! parameter gathers themselves.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -19,10 +26,11 @@ use zero_comm::{
     launch_with_config, CollectiveKind, Communicator, Group, PendingOp, WorldConfig,
 };
 use zero_core::{CommPlan, Partitioner, ResolvedOp};
-use zero_model::{argmax, block_step, embed_step, head_step, Gpt, KvSlab, ModelConfig};
+use zero_model::{argmax, block_step_kv, embed_step, head_step, Gpt, ModelConfig};
 use zero_trace::{SpanCategory, SpanId, StepTimeline};
 
-use crate::request::{admit, ServeOutcome, ServeRequest, ServeResponse};
+use crate::paged::{KvBackend, KvMeters, KvPool};
+use crate::request::{admit, ServeError, ServeOutcome, ServeRequest, ServeResponse};
 
 /// Per-request spans live on their slot's own track so concurrent
 /// requests' prefill/decode spans stay well-nested per track. Tracks 0/1
@@ -32,19 +40,27 @@ const TRACK_REQ_BASE: u32 = 8;
 /// Serving knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// KV-slab slots — the maximum concurrently decoding requests.
-    /// `slots = 1` degenerates to serial one-request-at-a-time serving
-    /// through the identical code path (the bench baseline).
+    /// Concurrent-request slots — the maximum simultaneously decoding
+    /// requests. `slots = 1` degenerates to serial one-request-at-a-time
+    /// serving through the identical code path (the bench baseline).
     pub slots: usize,
     /// Double-buffered gather prefetch: issue unit `u+1`'s all-gather
     /// before computing unit `u` (the training engine's stage-3 shape).
     /// Off means each gather is synchronous.
     pub overlap: bool,
+    /// KV backing store: the pre-sized slab or demand-paged blocks with
+    /// optional prefix reuse. Greedy outputs are bitwise identical across
+    /// backends — the decode kernel is generic over the arena.
+    pub kv: KvBackend,
+    /// Admission SLO in batch steps: a request whose predicted queue
+    /// delay exceeds this is shed with [`ServeError::Overloaded`] at
+    /// delivery instead of queueing without bound. `None` never sheds.
+    pub slo_steps: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { slots: 4, overlap: true }
+        ServeConfig { slots: 4, overlap: true, kv: KvBackend::Slab, slo_steps: None }
     }
 }
 
@@ -55,7 +71,8 @@ pub struct RankServeReport {
     pub rank: usize,
     /// Terminal state of every request, in submission order.
     pub outcomes: Vec<ServeOutcome>,
-    /// Batch steps executed (each walks every unit once).
+    /// Batch steps executed (each walks every unit once; idle
+    /// fast-forwards between distant arrivals are not counted).
     pub batch_steps: u64,
     /// Elements of the persistent parameter shard this rank hosts.
     pub shard_elems: usize,
@@ -67,8 +84,12 @@ pub struct RankServeReport {
     /// Peak total parameter bytes: persistent + transient peak. The
     /// quantity the paper's 2Ψ/N claim bounds.
     pub param_bytes_peak: u64,
-    /// Bytes of the (fixed-size) KV slab arena.
-    pub kv_slab_bytes: u64,
+    /// Bytes of the KV backing arena (slab window, or paged capacity).
+    pub kv_arena_bytes: u64,
+    /// Deterministic KV meters: bytes actually allocated / peak live,
+    /// prefix-reuse hit and copy rows, cache evictions. Compared across
+    /// ranks by [`ServeReport::check_ranks_agree`].
+    pub kv_meters: KvMeters,
     /// All-gather bytes this rank actually sent (traffic counters).
     pub gather_bytes: u64,
     /// The rank's span timeline (request spans, gather waits, collective
@@ -95,9 +116,12 @@ impl ServeReport {
     }
 
     /// Verifies the SPMD invariant: every rank produced identical
-    /// outcomes and step counts. A divergence would mean ranks fell out
-    /// of lockstep — returns which rank disagrees. Latency is wall-clock
-    /// and legitimately rank-local, so it is excluded from the comparison.
+    /// outcomes, step counts, and KV meters. A divergence would mean
+    /// ranks fell out of lockstep — returns which rank disagrees. Only
+    /// `latency_ns` is wall-clock and legitimately rank-local, so it
+    /// alone is excluded from the comparison; every step-indexed metric
+    /// (arrival, admission, completion, queue delay, prefix reuse) must
+    /// agree bit for bit.
     pub fn check_ranks_agree(&self) -> Result<(), String> {
         fn scrubbed(outcomes: &[ServeOutcome]) -> Vec<ServeOutcome> {
             outcomes
@@ -123,6 +147,12 @@ impl ServeReport {
                     r.rank, r.batch_steps, first.batch_steps
                 ));
             }
+            if r.kv_meters != first.kv_meters {
+                return Err(format!(
+                    "rank {} KV meters diverge from rank 0: {:?} vs {:?}",
+                    r.rank, r.kv_meters, first.kv_meters
+                ));
+            }
         }
         Ok(())
     }
@@ -137,14 +167,69 @@ impl ServeReport {
     }
 }
 
+/// Predicts how many batch steps a request delivered at step `now` will
+/// wait before a KV slot frees up for it — the admission-control oracle.
+///
+/// The prediction is an exact simulation of the FIFO scheduler over
+/// slot-release times: free slots release at `now`, busy slots at their
+/// request's completion step, and each already-queued request occupies
+/// the earliest-releasing slot for its full service time
+/// (`prompt_len − 1 + max_new_tokens` steps — deliberately ignoring
+/// prefix reuse, whose skip depends on cache state at future admission;
+/// the conservative bound sheds slightly early, never late). The
+/// returned delay is a pure function of scheduler state, so every rank
+/// sheds the same requests.
+pub fn predicted_queue_delay(
+    now: u64,
+    free_slots: usize,
+    active_completions: &[u64],
+    queued_service_steps: &[u64],
+) -> u64 {
+    let mut heap: BinaryHeap<Reverse<u64>> =
+        active_completions.iter().map(|&c| Reverse(c.max(now))).collect();
+    for _ in 0..free_slots {
+        heap.push(Reverse(now));
+    }
+    assert!(!heap.is_empty(), "scheduler has at least one slot");
+    for &svc in queued_service_steps {
+        let Reverse(release) = heap.pop().expect("non-empty");
+        heap.push(Reverse(release + svc));
+    }
+    let Reverse(release) = heap.pop().expect("non-empty");
+    release - now
+}
+
+/// Steps of service a request consumes once admitted, assuming no prefix
+/// reuse: `prompt_len − 1` prefill steps plus `max_new_tokens` decodes.
+fn service_steps(req: &ServeRequest) -> u64 {
+    (req.prompt.len() - 1 + req.max_new_tokens) as u64
+}
+
+/// A delivered, admitted-to-queue request waiting for a slot.
+struct Pending {
+    /// Index into the submitted request list.
+    ri: usize,
+    /// Wall-clock enqueue time — the latency epoch. Latency is measured
+    /// from here, not from world start (which inflated every latency by
+    /// the request's arrival offset under staggered arrivals).
+    enqueued: Instant,
+    /// The queue-wait span, closed at admission.
+    qspan: SpanId,
+}
+
 /// One live (admitted, unfinished) request's decode state.
 struct Active {
     /// Index into the submitted request list.
     ri: usize,
-    /// KV-slab slot.
+    /// KV slot.
     slot: usize,
     /// Tokens fed so far (== decoder position).
     fed: usize,
+    /// Positions skipped at admission via prefix reuse (`fed` started
+    /// here instead of 0).
+    fed0: usize,
+    /// The token fed at position `fed` during the current step.
+    cur_token: u32,
     /// Tokens emitted so far.
     produced: Vec<u32>,
     /// Activation row flowing between units within the current step.
@@ -153,10 +238,18 @@ struct Active {
     span: SpanId,
     /// Step at which the request was admitted.
     admitted_at: u64,
+    /// Step at which the request will retire
+    /// (`admitted_at + prompt_len + max_new − 1 − fed0`).
+    completes_at: u64,
+    /// Wall-clock enqueue time, inherited from [`Pending`].
+    enqueued: Instant,
 }
 
 /// Runs the serving schedule on one rank. `shard` is this rank's slice of
 /// the balanced [`Partitioner`] layout over the flat parameter space.
+///
+/// Requests may carry arbitrary `arrival_step`s; delivery order is
+/// `(arrival_step, submission index)`, stable and identical on all ranks.
 ///
 /// # Panics
 /// Panics on communication failure (fault-free serving worlds don't
@@ -197,46 +290,123 @@ pub fn run_rank(
         .collect();
 
     let trace = comm.trace();
-    let t0 = Instant::now();
 
-    // Admission control: malformed requests are rejected up front and
-    // never consume a schedule step; well-formed ones queue FIFO.
+    // The open-loop delivery queue: request indices in
+    // (arrival_step, submission index) order.
+    let mut arrivals: VecDeque<usize> = {
+        let mut idx: Vec<usize> = (0..requests.len()).collect();
+        idx.sort_by_key(|&ri| requests[ri].arrival_step);
+        idx.into_iter().collect()
+    };
+
     let mut outcomes: Vec<Option<ServeOutcome>> = vec![None; requests.len()];
-    let mut pending: VecDeque<(usize, SpanId)> = VecDeque::new();
-    for (ri, req) in requests.iter().enumerate() {
-        match admit(req, model) {
-            Ok(()) => {
-                let qspan = trace.begin(SpanCategory::Wait, "queue-wait");
-                pending.push_back((ri, qspan));
-            }
-            Err(error) => {
-                trace.instant(SpanCategory::Compute, "request-rejected");
-                outcomes[ri] = Some(ServeOutcome::Rejected { id: req.id, error });
-            }
-        }
-    }
-
-    let mut slab = KvSlab::new(model.layers, cfg.slots, model.seq, model.hidden);
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut pool = KvPool::new(model, cfg.slots, cfg.kv);
     let mut active: Vec<Active> = Vec::new();
-    let mut steps = 0u64;
+    let mut clock = 0u64; // batch-step time (includes idle fast-forwards)
+    let mut steps = 0u64; // executed batch steps only
     let mut transient_peak = 0u64;
 
-    while !pending.is_empty() || !active.is_empty() {
+    loop {
+        // Deliver every request whose arrival step the clock has reached.
+        // Malformed requests are rejected without consuming anything;
+        // well-formed ones face the SLO gate: predicted queue delay above
+        // the SLO sheds the request *now*, deterministically, instead of
+        // letting the queue grow without bound.
+        while let Some(&ri) = arrivals.front() {
+            let req = &requests[ri];
+            if req.arrival_step > clock {
+                break;
+            }
+            arrivals.pop_front();
+            match admit(req, model) {
+                Err(error) => {
+                    trace.instant(SpanCategory::Compute, "request-rejected");
+                    outcomes[ri] = Some(ServeOutcome::Rejected { id: req.id, error });
+                }
+                Ok(()) => {
+                    if let Some(slo) = cfg.slo_steps {
+                        let completions: Vec<u64> =
+                            active.iter().map(|a| a.completes_at).collect();
+                        let queued: Vec<u64> = pending
+                            .iter()
+                            .map(|p| service_steps(&requests[p.ri]))
+                            .collect();
+                        let free = cfg.slots - active.len();
+                        let delay = predicted_queue_delay(clock, free, &completions, &queued);
+                        if delay > slo {
+                            trace.instant(SpanCategory::Compute, "request-shed");
+                            outcomes[ri] = Some(ServeOutcome::Rejected {
+                                id: req.id,
+                                error: ServeError::Overloaded {
+                                    predicted_delay_steps: delay,
+                                    slo_steps: slo,
+                                },
+                            });
+                            continue;
+                        }
+                    }
+                    let qspan = trace.begin(SpanCategory::Wait, "queue-wait");
+                    pending.push_back(Pending { ri, enqueued: Instant::now(), qspan });
+                }
+            }
+        }
+
         // Admit as many queued requests as there are free slots. This is
-        // a pure function of (queue, slab) state, identical on all ranks.
+        // a pure function of (queue, pool) state, identical on all ranks.
         while !pending.is_empty() {
-            let Some(slot) = slab.alloc() else { break };
-            let (ri, qspan) = pending.pop_front().expect("checked non-empty");
-            trace.end(qspan);
+            let Some(slot) = pool.alloc_slot() else { break };
+            let p = pending.pop_front().expect("checked non-empty");
+            trace.end(p.qspan);
+            let req = &requests[p.ri];
+            let (att, act) = pool.attach_prompt(slot, &req.prompt);
+            for _ in 0..act.allocs {
+                trace.instant(SpanCategory::Compute, "kv-block-alloc");
+            }
+            for _ in 0..act.evictions {
+                trace.instant(SpanCategory::Compute, "kv-block-evict");
+            }
+            let service = service_steps(req) - att.matched as u64;
             active.push(Active {
-                ri,
+                ri: p.ri,
                 slot,
-                fed: 0,
+                fed: att.matched,
+                fed0: att.matched,
+                cur_token: 0,
                 produced: Vec::new(),
                 x: Vec::new(),
                 span: SpanId::NULL,
-                admitted_at: steps,
+                admitted_at: clock,
+                completes_at: clock + service,
+                enqueued: p.enqueued,
             });
+        }
+
+        // Nothing live: fast-forward the clock to the next arrival (no
+        // steps execute, no parameters gather) or finish. `pending` can
+        // only be non-empty when every slot is busy, so an empty `active`
+        // here implies an empty queue.
+        if active.is_empty() {
+            debug_assert!(pending.is_empty());
+            match arrivals.front() {
+                Some(&ri) => {
+                    clock = requests[ri].arrival_step;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Demand-page the KV block covering each live request's current
+        // position before the unit walk touches it.
+        for a in &active {
+            let act = pool.ensure(a.slot, a.fed);
+            for _ in 0..act.allocs {
+                trace.instant(SpanCategory::Compute, "kv-block-alloc");
+            }
+            for _ in 0..act.evictions {
+                trace.instant(SpanCategory::Compute, "kv-block-evict");
+            }
         }
 
         // One batch step: walk the units, one prefetch ahead, advancing
@@ -294,27 +464,29 @@ pub fn run_rank(
                         SpanCategory::Compute,
                         if prefilling { "prefill" } else { "decode-token" },
                     );
-                    let token = if a.fed < req.prompt.len() {
+                    a.cur_token = if a.fed < req.prompt.len() {
                         req.prompt[a.fed]
                     } else {
                         *a.produced.last().expect("decode steps follow prefill")
                     };
-                    a.x = embed_step(&gpt, &cur, token, a.fed).expect("validated at admission");
+                    a.x = embed_step(&gpt, &cur, a.cur_token, a.fed)
+                        .expect("validated at admission");
                 } else if u < n_units - 1 {
                     let l = u - 1;
-                    let (k, v) = slab.kv_pair_mut(l, a.slot);
-                    a.x = block_step(&gpt, l, &cur, &a.x, k, v, a.fed);
+                    a.x = block_step_kv(&gpt, l, &cur, &a.x, &mut pool, a.slot, a.fed);
                 } else {
                     let logits = head_step(&gpt, &cur, &a.x);
                     if a.fed + 1 >= req.prompt.len() {
                         a.produced.push(argmax(&logits) as u32);
                     }
+                    pool.note_token(a.slot, a.fed, a.cur_token);
                     a.fed += 1;
                     trace.end(a.span);
                 }
             }
         }
         steps += 1;
+        clock += 1;
         trace.end(step_span);
 
         // Retire finished requests, freeing their slots for the next
@@ -325,14 +497,20 @@ pub fn run_rank(
             if done {
                 let a = active.remove(i);
                 let req = &requests[a.ri];
-                slab.release(a.slot);
+                debug_assert_eq!(clock, a.completes_at, "completion prediction is exact");
+                pool.release_slot(a.slot);
                 outcomes[a.ri] = Some(ServeOutcome::Completed(ServeResponse {
                     id: req.id,
                     tokens: a.produced,
-                    queue_steps: a.admitted_at,
-                    prefill_steps: (req.prompt.len() - 1) as u64,
+                    arrival_step: req.arrival_step,
+                    admitted_step: a.admitted_at,
+                    completion_step: clock,
+                    latency_steps: clock - req.arrival_step,
+                    queue_steps: a.admitted_at - req.arrival_step,
+                    prefill_steps: (req.prompt.len() - 1 - a.fed0) as u64,
+                    prefix_reused_rows: a.fed0 as u64,
                     decode_steps: req.max_new_tokens as u64,
-                    latency_ns: t0.elapsed().as_nanos() as u64,
+                    latency_ns: a.enqueued.elapsed().as_nanos() as u64,
                 }));
             } else {
                 i += 1;
@@ -352,7 +530,8 @@ pub fn run_rank(
         persistent_param_bytes: persistent,
         transient_param_bytes_peak: transient_peak,
         param_bytes_peak: persistent + transient_peak,
-        kv_slab_bytes: slab.bytes(),
+        kv_arena_bytes: pool.arena_bytes(),
+        kv_meters: pool.meters(),
         gather_bytes: comm.stats().bytes(CollectiveKind::AllGather),
         timeline: trace.timeline(),
     }
@@ -434,10 +613,12 @@ mod tests {
         let m = model();
         let params = init_full_params(&m, 17);
         let requests: Vec<ServeRequest> = (0..5)
-            .map(|i| ServeRequest {
-                id: i as u64,
-                prompt: vec![(i * 3) as u32 % 24, (i + 1) as u32 % 24],
-                max_new_tokens: 3 + i % 3,
+            .map(|i| {
+                ServeRequest::new(
+                    i as u64,
+                    vec![(i * 3) as u32 % 24, (i + 1) as u32 % 24],
+                    3 + i % 3,
+                )
             })
             .collect();
         for n in [1usize, 2, 3] {
@@ -460,10 +641,10 @@ mod tests {
         let m = model();
         let params = init_full_params(&m, 3);
         let requests = vec![
-            ServeRequest { id: 0, prompt: vec![1, 2], max_new_tokens: 2 },
-            ServeRequest { id: 1, prompt: vec![99], max_new_tokens: 2 }, // out-of-vocab
-            ServeRequest { id: 2, prompt: vec![1; 11], max_new_tokens: 5 }, // over-length
-            ServeRequest { id: 3, prompt: vec![3], max_new_tokens: 2 },
+            ServeRequest::new(0, vec![1, 2], 2),
+            ServeRequest::new(1, vec![99], 2),     // out-of-vocab
+            ServeRequest::new(2, vec![1; 11], 5),  // over-length (11+5−1 > 12)
+            ServeRequest::new(3, vec![3], 2),
         ];
         let report = serve(&m, &shards_of(&params, 2), &requests, &ServeConfig::default());
         report.check_ranks_agree().unwrap();
@@ -482,10 +663,10 @@ mod tests {
         let m = model();
         let params = init_full_params(&m, 5);
         let requests: Vec<ServeRequest> = (0..4)
-            .map(|i| ServeRequest { id: i, prompt: vec![2, 4, 6], max_new_tokens: 4 })
+            .map(|i| ServeRequest::new(i, vec![2, 4, 6], 4))
             .collect();
         for overlap in [false, true] {
-            let cfg = ServeConfig { slots: 2, overlap };
+            let cfg = ServeConfig { slots: 2, overlap, ..ServeConfig::default() };
             let report = serve(&m, &shards_of(&params, 3), &requests, &cfg);
             for r in &report.ranks {
                 let want = report.expected_gather_bytes(r.rank);
@@ -505,10 +686,10 @@ mod tests {
         let m = model();
         let params = init_full_params(&m, 9);
         // 6 requests through 2 slots: queueing is mandatory.
-        let requests: Vec<ServeRequest> = (0..6)
-            .map(|i| ServeRequest { id: i, prompt: vec![1, 2], max_new_tokens: 2 })
-            .collect();
-        let report = serve(&m, &shards_of(&params, 2), &requests, &ServeConfig { slots: 2, overlap: true });
+        let requests: Vec<ServeRequest> =
+            (0..6).map(|i| ServeRequest::new(i, vec![1, 2], 2)).collect();
+        let cfg = ServeConfig { slots: 2, ..ServeConfig::default() };
+        let report = serve(&m, &shards_of(&params, 2), &requests, &cfg);
         report.check_ranks_agree().unwrap();
         let responses: Vec<_> = report.outcomes().iter().filter_map(|o| o.response()).collect();
         assert_eq!(responses.len(), 6);
@@ -518,6 +699,110 @@ mod tests {
         for r in &responses {
             assert_eq!(r.prefill_steps, 1);
             assert_eq!(r.decode_steps, 2);
+            assert_eq!(r.completion_step - r.admitted_step, 3);
+            assert_eq!(r.latency_steps, r.queue_steps + 3);
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_fast_forward_idle_gaps() {
+        let m = model();
+        let params = init_full_params(&m, 11);
+        // Two requests separated by a long idle gap: the clock jumps, the
+        // step counter does not.
+        let requests = vec![
+            ServeRequest::new(0, vec![1, 2], 2).at_step(0),
+            ServeRequest::new(1, vec![3, 4], 2).at_step(500),
+        ];
+        let report = serve(&m, &shards_of(&params, 2), &requests, &ServeConfig::default());
+        report.check_ranks_agree().unwrap();
+        let r0 = report.outcomes()[0].response().unwrap();
+        let r1 = report.outcomes()[1].response().unwrap();
+        // Each request runs 3 service steps; only 6 steps execute overall.
+        assert_eq!(report.ranks[0].batch_steps, 6);
+        assert_eq!(r0.completion_step, 3);
+        assert_eq!(r1.admitted_step, 500);
+        assert_eq!(r1.completion_step, 503);
+        assert_eq!(r1.queue_steps, 0);
+        // Traffic still reconciles exactly: only executed steps gather.
+        for r in &report.ranks {
+            assert_eq!(r.gather_bytes, report.expected_gather_bytes(r.rank));
+        }
+    }
+
+    #[test]
+    fn queue_delay_prediction_simulates_fifo_exactly() {
+        // 2 slots, both busy until steps 5 and 9; two queued requests of
+        // 4 service steps each. FIFO: first queued starts at 5, second at
+        // 9 (slot from the other active), new request starts at
+        // min(5+4, 9+4) = 9 — a 9-step wait from now=0.
+        assert_eq!(predicted_queue_delay(0, 0, &[5, 9], &[4, 4]), 9);
+        // A free slot admits immediately.
+        assert_eq!(predicted_queue_delay(7, 1, &[12], &[]), 0);
+        // Free slot but a queue ahead of us: we wait behind it.
+        assert_eq!(predicted_queue_delay(7, 1, &[12], &[3]), 3);
+        // Stale completion times clamp to now rather than the past.
+        assert_eq!(predicted_queue_delay(10, 0, &[4], &[]), 0);
+    }
+
+    #[test]
+    fn slo_sheds_deterministically_under_burst() {
+        let m = model();
+        let params = init_full_params(&m, 13);
+        // 1 slot, service = 2 + 4 − 1 = 5 steps; 6 simultaneous arrivals
+        // with a 12-step SLO: positions 0..=2 predict delays 0/5/10 and
+        // queue; every later arrival predicts 15 (shed requests never
+        // join the queue, so the prediction stops growing) and is shed.
+        let requests: Vec<ServeRequest> =
+            (0..6).map(|i| ServeRequest::new(i, vec![1, 2], 4)).collect();
+        let cfg = ServeConfig { slots: 1, slo_steps: Some(12), ..ServeConfig::default() };
+        let report = serve(&m, &shards_of(&params, 2), &requests, &cfg);
+        report.check_ranks_agree().unwrap();
+        let o = report.outcomes();
+        for (i, out) in o.iter().enumerate().take(3) {
+            assert!(out.response().is_some(), "request {i} within SLO");
+        }
+        for (i, out) in o.iter().enumerate().skip(3) {
+            assert_eq!(
+                out.rejection(),
+                Some(ServeError::Overloaded { predicted_delay_steps: 15, slo_steps: 12 }),
+                "request {i} sheds with its exact predicted delay"
+            );
+        }
+    }
+
+    #[test]
+    fn paged_kv_serves_bitwise_identically_to_the_slab() {
+        let m = model();
+        let params = init_full_params(&m, 29);
+        let requests: Vec<ServeRequest> = (0..6)
+            .map(|i| {
+                ServeRequest::new(i as u64, vec![2, 4, 6, (i % 8) as u32], 3 + i % 4)
+                    .at_step(2 * i as u64)
+            })
+            .collect();
+        let slab = serve(
+            &m,
+            &shards_of(&params, 2),
+            &requests,
+            &ServeConfig { slots: 2, ..ServeConfig::default() },
+        );
+        for (block, reuse) in [(4, false), (4, true), (3, true)] {
+            let paged = serve(
+                &m,
+                &shards_of(&params, 2),
+                &requests,
+                &ServeConfig {
+                    slots: 2,
+                    kv: KvBackend::Paged { block, prefix_reuse: reuse },
+                    ..ServeConfig::default()
+                },
+            );
+            paged.check_ranks_agree().unwrap();
+            for (a, b) in slab.outcomes().iter().zip(paged.outcomes()) {
+                let (ra, rb) = (a.response().unwrap(), b.response().unwrap());
+                assert_eq!(ra.tokens, rb.tokens, "block={block} reuse={reuse}");
+            }
         }
     }
 
@@ -546,7 +831,7 @@ mod tests {
             .collect();
         // Export onto a *different* world size than training used.
         let shards = export_inference_shards(&snaps, 2).unwrap();
-        let requests = vec![ServeRequest { id: 7, prompt: vec![5, 9, 13], max_new_tokens: 5 }];
+        let requests = vec![ServeRequest::new(7, vec![5, 9, 13], 5)];
         let report = serve(&m, &shards, &requests, &ServeConfig::default());
         let resp = report.outcomes()[0].response().unwrap().clone();
         assert_eq!(resp.tokens, reference_greedy(&m, &params, &requests[0]));

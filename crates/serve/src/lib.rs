@@ -21,6 +21,14 @@
 //! which for transformer-shaped models is within ε of the paper's `2/N`
 //! figure — measured and enforced by `bench_serve`.
 //!
+//! KV memory is pooled: either a pre-sized per-slot slab, or — the
+//! production shape — **paged blocks** allocated on demand as each
+//! request's decode position advances, with hash-verified **prefix
+//! reuse** sharing read-only blocks between requests whose prompts agree
+//! (copy-on-write at the divergence point). See [`paged`]. Greedy outputs
+//! are bitwise identical across every KV backend because the decode
+//! kernel is generic over the arena.
+//!
 //! ## Scheduling model
 //!
 //! Serving is SPMD and deterministic: every rank runs the identical
@@ -31,15 +39,31 @@
 //! composition. Sharding buys *memory*, batching buys *throughput*: the
 //! per-unit gathers amortize over every live request in the batch.
 //!
+//! Load is **open-loop in batch-step time**: the seeded generator
+//! ([`load`]) stamps each request with an `arrival_step`, every rank
+//! observes the identical schedule, and the engine fast-forwards its
+//! virtual clock across idle gaps without executing (or gathering for)
+//! empty steps. Under saturation the engine degrades deterministically:
+//! a request whose predicted queue delay exceeds the configured SLO is
+//! shed with [`ServeError::Overloaded`] at delivery — on every rank, for
+//! the same reason, at the same step.
+//!
 //! Admission is where all input validation happens — malformed requests
 //! (out-of-vocab tokens, over-length prompts) get a typed
 //! [`ServeError`] and never touch the schedule, so one bad request can
 //! never crash or desynchronize a rank. Termination is never
 //! data-dependent: a request runs exactly `prompt_len − 1 + max_new_tokens`
-//! steps, so every rank retires it on the same step.
+//! steps (minus positions skipped via prefix reuse), so every rank
+//! retires it on the same step.
 
 pub mod engine;
+pub mod load;
+pub mod paged;
 pub mod request;
 
-pub use engine::{serve, serve_with_config, RankServeReport, ServeConfig, ServeReport};
+pub use engine::{
+    predicted_queue_delay, serve, serve_with_config, RankServeReport, ServeConfig, ServeReport,
+};
+pub use load::{generate, Arrivals, LoadConfig, SplitMix64};
+pub use paged::{AttachOutcome, KvBackend, KvMeters, KvPool, PagedPool, PoolActivity};
 pub use request::{admit, ServeError, ServeOutcome, ServeRequest, ServeResponse};

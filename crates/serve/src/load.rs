@@ -1,0 +1,356 @@
+//! Deterministic open-loop load generation in batch-step time.
+//!
+//! An *open-loop* client issues requests on its own schedule, independent
+//! of server progress — the regime where queueing, saturation, and
+//! shedding actually appear (a closed loop self-throttles and can never
+//! overload the server). The catch in an SPMD serving world: every rank
+//! must observe the *identical* arrival sequence or lockstep breaks. A
+//! wall-clock Poisson clock would desynchronize ranks the first time one
+//! of them stalls, so arrivals here are expressed in **batch-step time**:
+//! "request 7 arrives at step 12" means it becomes visible to the
+//! scheduler just before the 13th decode step executes, on every rank,
+//! regardless of how many wall-clock seconds any rank took to get there.
+//! Determinism comes from a seeded [`SplitMix64`] stream; the same
+//! `(seed, config)` yields byte-identical schedules forever.
+//!
+//! Two arrival processes cover the interesting regimes:
+//! - [`Arrivals::Poisson`] — independent arrivals at `rate` requests per
+//!   batch step (Knuth's product method per step), the classic
+//!   memoryless open-loop model;
+//! - [`Arrivals::Burst`] — `size` simultaneous arrivals every `period`
+//!   steps, the adversarial schedule for admission control (queue-depth
+//!   spikes rather than a smooth load).
+
+use crate::request::ServeRequest;
+
+/// SplitMix64: tiny, seedable, splittable PRNG (public-domain algorithm
+/// from Steele et al., "Fast splittable pseudorandom number generators").
+/// Implemented inline so the serve crate stays free of the `rand`
+/// dependency — schedules must be reproducible from a `u64` seed alone.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of mantissa.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive; `lo ≤ hi`). Uses rejection-free
+    /// modulo, fine for the tiny ranges load generation needs.
+    pub fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// The arrival process, in batch-step time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrivals {
+    /// All requests arrive at step 0 (the closed-loop batch the earlier
+    /// benches used — kept so one CLI flag selects every regime).
+    Closed,
+    /// Poisson arrivals at `rate` expected requests per batch step.
+    Poisson {
+        /// Expected arrivals per batch step (λ).
+        rate: f64,
+    },
+    /// `size` requests arrive together every `period` steps.
+    Burst {
+        /// Requests per burst.
+        size: usize,
+        /// Steps between bursts.
+        period: u64,
+    },
+}
+
+impl Arrivals {
+    /// Parses a CLI descriptor: `closed`, `poisson:RATE`, or
+    /// `burst:SIZE@PERIOD` (e.g. `poisson:0.5`, `burst:8@40`).
+    pub fn parse(s: &str) -> Result<Arrivals, String> {
+        if s == "closed" {
+            return Ok(Arrivals::Closed);
+        }
+        if let Some(rate) = s.strip_prefix("poisson:") {
+            let rate: f64 = rate
+                .parse()
+                .map_err(|_| format!("bad poisson rate in --arrivals {s:?}"))?;
+            // NaN fails the finiteness check, so `<=` is safe here.
+            if rate <= 0.0 || !rate.is_finite() {
+                return Err(format!("poisson rate must be a positive finite number, got {rate}"));
+            }
+            return Ok(Arrivals::Poisson { rate });
+        }
+        if let Some(spec) = s.strip_prefix("burst:") {
+            let (size, period) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("expected burst:SIZE@PERIOD, got --arrivals {s:?}"))?;
+            let size: usize = size
+                .parse()
+                .map_err(|_| format!("bad burst size in --arrivals {s:?}"))?;
+            let period: u64 = period
+                .parse()
+                .map_err(|_| format!("bad burst period in --arrivals {s:?}"))?;
+            if size == 0 || period == 0 {
+                return Err("burst size and period must both be at least 1".to_string());
+            }
+            return Ok(Arrivals::Burst { size, period });
+        }
+        Err(format!(
+            "unknown --arrivals {s:?}; expected closed, poisson:RATE, or burst:SIZE@PERIOD"
+        ))
+    }
+
+    /// A short descriptor round-trippable through [`Arrivals::parse`]
+    /// (used to key benchmark rows).
+    pub fn describe(&self) -> String {
+        match self {
+            Arrivals::Closed => "closed".to_string(),
+            Arrivals::Poisson { rate } => format!("poisson:{rate}"),
+            Arrivals::Burst { size, period } => format!("burst:{size}@{period}"),
+        }
+    }
+}
+
+/// Everything that determines a load schedule. Same config + same seed ⇒
+/// byte-identical request list, on every rank, forever.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Total requests to generate.
+    pub n_requests: usize,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Inclusive prompt-length range.
+    pub prompt_len: (usize, usize),
+    /// Inclusive max-new-tokens range.
+    pub max_new: (usize, usize),
+    /// Vocabulary to draw prompt tokens from.
+    pub vocab: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of distinct shared prompt-prefix families (0 disables).
+    /// With `k > 0`, each request prepends one of `k` fixed prefixes of
+    /// `prefix_len` tokens — the workload shape prefix reuse exploits.
+    pub shared_prefixes: usize,
+    /// Length of each shared prefix, in tokens.
+    pub prefix_len: usize,
+}
+
+/// Generates the request schedule: `n_requests` requests with ids
+/// `0..n`, arrival steps nondecreasing per the arrival process, and
+/// seeded prompt/length draws. Ids are assigned in arrival order so
+/// FIFO fairness is checkable as "admitted ids are sorted".
+pub fn generate(cfg: &LoadConfig) -> Vec<ServeRequest> {
+    assert!(cfg.vocab > 0, "vocab must be positive");
+    assert!(cfg.prompt_len.0 >= 1, "prompts must be non-empty");
+    assert!(cfg.prompt_len.0 <= cfg.prompt_len.1 && cfg.max_new.0 <= cfg.max_new.1);
+    assert!(cfg.max_new.0 >= 1, "must request at least one token");
+    let mut rng = SplitMix64::new(cfg.seed);
+    // Shared prefixes come from an independent stream so toggling them
+    // on/off perturbs only the prompts, not the arrival schedule.
+    let mut prefix_rng = SplitMix64::new(cfg.seed ^ 0x005e_ed0f_ae11_0ca7);
+    let prefixes: Vec<Vec<u32>> = (0..cfg.shared_prefixes)
+        .map(|_| {
+            (0..cfg.prefix_len)
+                .map(|_| (prefix_rng.next_u64() % cfg.vocab as u64) as u32)
+                .collect()
+        })
+        .collect();
+
+    let steps = arrival_steps(cfg.arrivals, cfg.n_requests, &mut rng);
+    steps
+        .into_iter()
+        .enumerate()
+        .map(|(id, step)| {
+            let plen = rng.next_range(cfg.prompt_len.0, cfg.prompt_len.1);
+            let max_new = rng.next_range(cfg.max_new.0, cfg.max_new.1);
+            // The family pick and all `plen` body tokens are drawn
+            // unconditionally so toggling prefixes on/off changes which
+            // tokens appear, never how many draws each request consumes —
+            // arrival steps and lengths stay aligned between the two.
+            let family = rng.next_u64();
+            let mut prompt: Vec<u32> = (0..plen)
+                .map(|_| (rng.next_u64() % cfg.vocab as u64) as u32)
+                .collect();
+            if !prefixes.is_empty() {
+                let p = &prefixes[(family % prefixes.len() as u64) as usize];
+                let head = p.len().min(plen);
+                prompt[..head].copy_from_slice(&p[..head]);
+            }
+            ServeRequest::new(id as u64, prompt, max_new).at_step(step)
+        })
+        .collect()
+}
+
+/// The arrival step of each of `n` requests, nondecreasing.
+fn arrival_steps(arrivals: Arrivals, n: usize, rng: &mut SplitMix64) -> Vec<u64> {
+    match arrivals {
+        Arrivals::Closed => vec![0; n],
+        Arrivals::Poisson { rate } => {
+            // Knuth's product method, one draw per step: the count of
+            // arrivals in a step is Poisson(λ); walk steps until all n
+            // requests have arrived. Bounded-time even for tiny rates
+            // because each step consumes exactly one uniform sequence.
+            let mut steps = Vec::with_capacity(n);
+            let threshold = (-rate).exp();
+            let mut step = 0u64;
+            while steps.len() < n {
+                let mut k = 0usize;
+                let mut p = 1.0f64;
+                loop {
+                    p *= rng.next_f64();
+                    if p <= threshold {
+                        break;
+                    }
+                    k += 1;
+                }
+                for _ in 0..k.min(n - steps.len()) {
+                    steps.push(step);
+                }
+                step += 1;
+            }
+            steps
+        }
+        Arrivals::Burst { size, period } => (0..n)
+            .map(|i| (i / size) as u64 * period)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(arrivals: Arrivals) -> LoadConfig {
+        LoadConfig {
+            n_requests: 40,
+            arrivals,
+            prompt_len: (3, 9),
+            max_new: (2, 6),
+            vocab: 32,
+            seed: 7,
+            shared_prefixes: 0,
+            prefix_len: 0,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_sensitive() {
+        let cfg = base(Arrivals::Poisson { rate: 0.4 });
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b, "same seed ⇒ byte-identical schedule");
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        assert_ne!(generate(&cfg2), a, "different seed ⇒ different schedule");
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_ids_follow_arrival_order() {
+        for arrivals in [
+            Arrivals::Closed,
+            Arrivals::Poisson { rate: 0.3 },
+            Arrivals::Burst { size: 8, period: 25 },
+        ] {
+            let reqs = generate(&base(arrivals));
+            assert_eq!(reqs.len(), 40);
+            for w in reqs.windows(2) {
+                assert!(w[0].arrival_step <= w[1].arrival_step);
+                assert!(w[0].id < w[1].id);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_respect_the_configured_ranges() {
+        let reqs = generate(&base(Arrivals::Poisson { rate: 1.0 }));
+        for r in &reqs {
+            assert!((3..=9).contains(&r.prompt.len()));
+            assert!((2..=6).contains(&r.max_new_tokens));
+            assert!(r.prompt.iter().all(|&t| (t as usize) < 32));
+        }
+    }
+
+    #[test]
+    fn burst_schedule_is_exactly_periodic() {
+        let reqs = generate(&base(Arrivals::Burst { size: 8, period: 25 }));
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.arrival_step, (i / 8) as u64 * 25);
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_repeat_across_requests() {
+        let mut cfg = base(Arrivals::Closed);
+        cfg.shared_prefixes = 2;
+        cfg.prefix_len = 4;
+        cfg.prompt_len = (6, 8);
+        let reqs = generate(&cfg);
+        // Every prompt starts with one of two 4-token prefixes.
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        for r in &reqs {
+            let head = r.prompt[..4].to_vec();
+            if !seen.contains(&head) {
+                seen.push(head);
+            }
+        }
+        assert!(seen.len() <= 2, "at most two distinct prefix families, saw {}", seen.len());
+        assert!(seen.len() >= 2, "both families should appear across 40 draws");
+    }
+
+    #[test]
+    fn toggling_prefixes_leaves_the_arrival_schedule_alone() {
+        let cfg_off = base(Arrivals::Poisson { rate: 0.5 });
+        let mut cfg_on = cfg_off.clone();
+        cfg_on.shared_prefixes = 2;
+        cfg_on.prefix_len = 3;
+        let off = generate(&cfg_off);
+        let on = generate(&cfg_on);
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.arrival_step, b.arrival_step);
+            assert_eq!(a.prompt.len(), b.prompt.len());
+            assert_eq!(a.max_new_tokens, b.max_new_tokens);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        for s in ["closed", "poisson:0.5", "burst:8@40"] {
+            assert_eq!(Arrivals::parse(s).unwrap().describe(), s);
+        }
+        assert!(Arrivals::parse("poisson:-1").is_err());
+        assert!(Arrivals::parse("poisson:nope").is_err());
+        assert!(Arrivals::parse("burst:0@5").is_err());
+        assert!(Arrivals::parse("burst:5").is_err());
+        assert!(Arrivals::parse("uniform:3").is_err());
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_honored() {
+        let mut cfg = base(Arrivals::Poisson { rate: 0.5 });
+        cfg.n_requests = 400;
+        let reqs = generate(&cfg);
+        let last = reqs.last().unwrap().arrival_step as f64;
+        let empirical = 400.0 / last;
+        assert!(
+            (0.35..=0.70).contains(&empirical),
+            "λ=0.5 over 400 requests should land near 0.5, got {empirical:.3}"
+        );
+    }
+}

@@ -5,6 +5,12 @@
 //! model code would choke on — and nothing else. The generation-path
 //! bugfixes (typed [`zero_model::GenerateError`]) are the second line of
 //! defense; admission is the first.
+//!
+//! Under open-loop load there is a second admission gate: even a
+//! well-formed request is *shed* with [`ServeError::Overloaded`] when its
+//! predicted queue delay exceeds the configured SLO — saturation degrades
+//! by rejecting work deterministically instead of queueing without bound
+//! (see `engine::predicted_queue_delay`).
 
 use zero_model::ModelConfig;
 
@@ -16,8 +22,27 @@ pub struct ServeRequest {
     /// Prompt token ids (must be non-empty and in-vocab).
     pub prompt: Vec<u32>,
     /// Number of tokens to generate (greedy). Must be ≥ 1, and
-    /// `prompt.len() + max_new_tokens` must fit the context window.
+    /// `prompt.len() + max_new_tokens − 1` decoder positions must fit the
+    /// context window.
     pub max_new_tokens: usize,
+    /// Batch step at which the request reaches the server. Arrivals are
+    /// expressed in *batch-step time* (not wall-clock) so every SPMD rank
+    /// observes the identical schedule — the load generator
+    /// (`serve::load`) fills this in; closed-loop callers leave it 0.
+    pub arrival_step: u64,
+}
+
+impl ServeRequest {
+    /// A request arriving at step 0 (the closed-loop default).
+    pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize) -> ServeRequest {
+        ServeRequest { id, prompt, max_new_tokens, arrival_step: 0 }
+    }
+
+    /// Sets the arrival step (builder style, for open-loop schedules).
+    pub fn at_step(mut self, step: u64) -> ServeRequest {
+        self.arrival_step = step;
+        self
+    }
 }
 
 /// Why a request was rejected at admission. Typed, recoverable, and
@@ -34,8 +59,11 @@ pub enum ServeError {
         /// The model's vocabulary size.
         vocab: usize,
     },
-    /// `prompt.len() + max_new_tokens` exceeds the context window: the
-    /// request could never finish without exhausting the position table.
+    /// `prompt.len() + max_new_tokens − 1` exceeds the context window:
+    /// the request could never finish without exhausting the position
+    /// table. (The final generated token is returned, never fed back, so
+    /// it needs no position of its own — a request that exactly fills
+    /// the table is admitted.)
     PromptTooLong {
         /// Prompt length in tokens.
         prompt_len: usize,
@@ -46,6 +74,16 @@ pub enum ServeError {
     },
     /// `max_new_tokens` is zero — the request asks for nothing.
     NoTokensRequested,
+    /// The server is saturated: the predicted queue delay at arrival
+    /// exceeds the configured SLO, so the request is shed instead of
+    /// queued without bound. Deterministic — every rank predicts the
+    /// identical delay from the identical scheduler state.
+    Overloaded {
+        /// Steps the request was predicted to wait before admission.
+        predicted_delay_steps: u64,
+        /// The configured admission SLO, in batch steps.
+        slo_steps: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,9 +99,16 @@ impl std::fmt::Display for ServeError {
                 seq,
             } => write!(
                 f,
-                "prompt of {prompt_len} + {max_new_tokens} new tokens exceeds the {seq}-token window"
+                "prompt of {prompt_len} + {max_new_tokens} new tokens needs \
+                 {} positions but the window has {seq}",
+                prompt_len + max_new_tokens - 1
             ),
             ServeError::NoTokensRequested => write!(f, "max_new_tokens must be at least 1"),
+            ServeError::Overloaded { predicted_delay_steps, slo_steps } => write!(
+                f,
+                "overloaded: predicted queue delay {predicted_delay_steps} steps \
+                 exceeds the {slo_steps}-step SLO"
+            ),
         }
     }
 }
@@ -71,19 +116,42 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// A completed request: the greedy continuation plus scheduling metrics.
+///
+/// Every field except `latency_ns` is a deterministic function of the
+/// request list and serving configuration, identical across ranks
+/// (`ServeReport::check_ranks_agree` compares them); `latency_ns` is
+/// rank-local wall clock and is scrubbed from the comparison.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeResponse {
     /// The request's id.
     pub id: u64,
     /// The generated tokens (`max_new_tokens` of them, greedy argmax).
     pub tokens: Vec<u32>,
-    /// Batch steps the request waited in the queue before admission.
+    /// Batch step at which the request arrived (its `arrival_step`).
+    pub arrival_step: u64,
+    /// Batch step at which a KV slot was assigned.
+    pub admitted_step: u64,
+    /// Batch step at which the final token was emitted.
+    pub completion_step: u64,
+    /// Arrival → completion, in batch steps (`completion − arrival`):
+    /// the deterministic latency every rank agrees on.
+    pub latency_steps: u64,
+    /// Batch steps the request waited in the queue
+    /// (`admitted_step − arrival_step`).
     pub queue_steps: u64,
-    /// Batch steps spent consuming the prompt (`prompt_len − 1`).
+    /// Batch steps spent consuming the prompt (`prompt_len − 1`, minus
+    /// any positions skipped via prefix reuse).
     pub prefill_steps: u64,
+    /// Prompt positions served from shared or copied prefix-cache blocks
+    /// instead of being recomputed (0 without paged prefix reuse).
+    pub prefix_reused_rows: u64,
     /// Batch steps spent emitting tokens (`max_new_tokens`).
     pub decode_steps: u64,
-    /// End-to-end latency (enqueue → completion) in nanoseconds.
+    /// End-to-end wall-clock latency in nanoseconds, measured from the
+    /// request's *enqueue* (arrival) to its completion — not from world
+    /// start, which under staggered arrivals inflated every latency by
+    /// the request's arrival offset. Rank-local; excluded from the
+    /// cross-rank agreement check.
     pub latency_ns: u64,
 }
 
@@ -121,10 +189,12 @@ impl ServeOutcome {
 
 /// Validates a request against a model's shape. `Ok` means the request
 /// can run to completion without any generation-path error: the prompt is
-/// non-empty and in-vocab, and `prompt_len − 1 + max_new_tokens` decoder
-/// positions fit the window (we require the slightly stronger
-/// `prompt_len + max_new_tokens ≤ seq`, which keeps the arithmetic
-/// obvious and leaves one position of slack).
+/// non-empty and in-vocab, and the `prompt_len − 1 + max_new_tokens`
+/// decoder positions the request actually consumes fit the window. The
+/// final generated token is returned to the caller and never fed back,
+/// so it needs no position — a request with
+/// `prompt_len + max_new_tokens − 1 == seq` exactly fills the position
+/// table and is admitted (the old bound rejected it).
 pub fn admit(req: &ServeRequest, model: &ModelConfig) -> Result<(), ServeError> {
     if req.prompt.is_empty() {
         return Err(ServeError::EmptyPrompt);
@@ -138,7 +208,7 @@ pub fn admit(req: &ServeRequest, model: &ModelConfig) -> Result<(), ServeError> 
             vocab: model.vocab,
         });
     }
-    if req.prompt.len() + req.max_new_tokens > model.seq {
+    if req.prompt.len() + req.max_new_tokens - 1 > model.seq {
         return Err(ServeError::PromptTooLong {
             prompt_len: req.prompt.len(),
             max_new_tokens: req.max_new_tokens,
@@ -163,18 +233,32 @@ mod tests {
     }
 
     fn req(prompt: Vec<u32>, max_new: usize) -> ServeRequest {
-        ServeRequest {
-            id: 1,
-            prompt,
-            max_new_tokens: max_new,
-        }
+        ServeRequest::new(1, prompt, max_new)
     }
 
     #[test]
     fn well_formed_requests_pass() {
         assert!(admit(&req(vec![0, 5, 15], 4), &model()).is_ok());
-        // Exactly filling the window is allowed.
         assert!(admit(&req(vec![1; 8], 4), &model()).is_ok());
+    }
+
+    #[test]
+    fn exactly_filling_the_position_table_is_admitted() {
+        // Regression: prompt_len + max_new − 1 == seq uses every position
+        // exactly once; the old `prompt_len + max_new > seq` bound shed
+        // these even though the decoder finishes them without error.
+        let m = model();
+        assert!(admit(&req(vec![1; 9], 4), &m).is_ok(), "9 + 4 − 1 = 12 = seq fits");
+        assert!(admit(&req(vec![1; 12], 1), &m).is_ok(), "full-window prompt, one token");
+        // …and one more token than the table holds is still rejected.
+        assert_eq!(
+            admit(&req(vec![1; 9], 5), &m),
+            Err(ServeError::PromptTooLong { prompt_len: 9, max_new_tokens: 5, seq: 12 })
+        );
+        assert_eq!(
+            admit(&req(vec![1; 13], 1), &m),
+            Err(ServeError::PromptTooLong { prompt_len: 13, max_new_tokens: 1, seq: 12 })
+        );
     }
 
     #[test]
@@ -186,13 +270,20 @@ mod tests {
             Err(ServeError::TokenOutOfVocab { token: 16, vocab: 16 })
         );
         assert_eq!(
-            admit(&req(vec![1; 10], 3), &m),
+            admit(&req(vec![1; 10], 4), &m),
             Err(ServeError::PromptTooLong {
                 prompt_len: 10,
-                max_new_tokens: 3,
+                max_new_tokens: 4,
                 seq: 12
             })
         );
         assert_eq!(admit(&req(vec![1], 0), &m), Err(ServeError::NoTokensRequested));
+    }
+
+    #[test]
+    fn arrival_steps_default_to_zero_and_build_fluently() {
+        let r = ServeRequest::new(3, vec![1, 2], 2);
+        assert_eq!(r.arrival_step, 0);
+        assert_eq!(r.at_step(17).arrival_step, 17);
     }
 }

@@ -3,20 +3,24 @@
 //! ```text
 //! cargo run --release --bin zero-train -- --stage 3 --dp 4 --save ckpt/
 //! cargo run --release --bin zero-serve -- --snapshots ckpt/ --ranks 2
+//! cargo run --release --bin zero-serve -- --arrivals poisson:0.5 --slo-steps 64 --kv-block 8 --prefix-reuse
 //! ```
 //!
 //! Loads a training checkpoint (any world size), exports the fp32 master
-//! parameters onto `--ranks` serving shards, and serves a synthetic
-//! request batch with continuous batching. `--smoke` runs the gated
-//! self-checks (typed rejection of malformed requests, byte-exact
-//! plan/trace/traffic reconciliation, bitwise agreement with the
-//! single-process decoder, the 2Ψ/N + ε memory bound) and exits non-zero
-//! on any failure.
+//! parameters onto `--ranks` serving shards, and serves a request
+//! schedule with continuous batching. `--arrivals` switches from the
+//! legacy closed batch to a seeded open-loop schedule in batch-step time
+//! (`poisson:RATE` or `burst:SIZE@PERIOD`); `--kv-block`/`--prefix-reuse`
+//! select the paged KV backend; `--slo-steps` arms admission control.
+//! `--smoke` runs the gated self-checks (typed rejection of malformed
+//! requests, byte-exact plan/trace/traffic reconciliation, bitwise
+//! agreement with the single-process decoder and between KV backends,
+//! the 2Ψ/N + ε memory bound) and exits non-zero on any failure.
 
 use zero::comm::CollectiveKind;
 use zero::core::{export_inference_shards, CommPlan, Partitioner, RankSnapshot};
 use zero::model::{argmax, Gpt, IncrementalDecoder, ModelConfig};
-use zero::serve::{serve, ServeConfig, ServeRequest};
+use zero::serve::{serve, Arrivals, KvBackend, LoadConfig, ServeConfig, ServeRequest};
 use zero::trace::SpanCategory;
 
 struct Args(Vec<String>);
@@ -29,6 +33,14 @@ impl Args {
             .and_then(|i| self.0.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    fn maybe<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .and_then(|v| v.parse().ok())
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -69,9 +81,15 @@ fn main() {
              --slots N        concurrent-request batch capacity  [4]\n\
              --requests N     synthetic requests to serve        [8]\n\
              --max-new N      tokens generated per request       [8]\n\
+             --arrivals DESC  open-loop schedule in batch-step time:\n\
+                              closed | poisson:RATE | burst:SIZE@PERIOD  [closed]\n\
+             --slo-steps N    shed requests whose predicted queue delay\n\
+                              exceeds N batch steps (requires arrivals)\n\
+             --kv-block N     paged KV with N-position blocks (0 = slab) [0]\n\
+             --prefix-reuse   share prompt-prefix blocks between requests\n\
              --layers/--hidden/--heads/--seq/--vocab\n\
                               model shape (no-snapshot mode)\n\
-             --seed N         init/request seed                  [42]\n\
+             --seed N         init/request/schedule seed         [42]\n\
              --no-overlap     synchronous (non-prefetched) gathers\n\
              --smoke          run the gated self-checks, exit non-zero on failure"
         );
@@ -128,42 +146,70 @@ fn main() {
     let part = Partitioner::new(params.len(), n);
     let shards: Vec<Vec<f32>> = (0..n).map(|r| params[part.shard_range(r)].to_vec()).collect();
 
-    // Synthetic request batch; under --smoke it includes one out-of-vocab
-    // and one over-length request that MUST be rejected with typed errors
-    // while every rank keeps serving.
+    let arrivals = {
+        let desc: String = args.get("--arrivals", "closed".to_string());
+        Arrivals::parse(&desc).unwrap_or_else(|e| fail(&e))
+    };
+
+    // The request schedule. With `--arrivals closed` (the default) a
+    // legacy synthetic batch all arriving at step 0; otherwise a seeded
+    // open-loop schedule in batch-step time. Under --smoke the batch
+    // additionally includes one out-of-vocab and one over-length request
+    // that MUST be rejected with typed errors while every rank keeps
+    // serving.
     let n_req: usize = args.get("--requests", 8usize).max(if smoke { 8 } else { 1 });
-    let max_new: usize = args.get("--max-new", 8usize).min(model.seq.saturating_sub(4));
-    let mut requests: Vec<ServeRequest> = (0..n_req)
-        .map(|i| ServeRequest {
-            id: i as u64,
-            prompt: (0..3 + i % 3)
-                .map(|j| ((seed as usize + i * 7 + j * 3) % model.vocab) as u32)
-                .collect(),
-            max_new_tokens: max_new.max(1),
+    let max_new: usize = args.get("--max-new", 8usize).min(model.seq.saturating_sub(4)).max(1);
+    let mut requests: Vec<ServeRequest> = if arrivals == Arrivals::Closed {
+        (0..n_req)
+            .map(|i| {
+                ServeRequest::new(
+                    i as u64,
+                    (0..3 + i % 3)
+                        .map(|j| ((seed as usize + i * 7 + j * 3) % model.vocab) as u32)
+                        .collect(),
+                    max_new,
+                )
+            })
+            .collect()
+    } else {
+        zero::serve::generate(&LoadConfig {
+            n_requests: n_req,
+            arrivals,
+            prompt_len: (3, (model.seq / 2).max(3)),
+            max_new: (1, max_new),
+            vocab: model.vocab,
+            seed,
+            shared_prefixes: 3,
+            prefix_len: (model.seq / 4).max(2),
         })
-        .collect();
+    };
     if smoke {
-        requests.push(ServeRequest {
-            id: 900,
-            prompt: vec![model.vocab as u32 + 5],
-            max_new_tokens: 2,
-        });
-        requests.push(ServeRequest {
-            id: 901,
-            prompt: vec![1; model.seq],
-            max_new_tokens: model.seq,
-        });
+        requests.push(ServeRequest::new(900, vec![model.vocab as u32 + 5], 2));
+        requests.push(ServeRequest::new(901, vec![1; model.seq], model.seq));
     }
 
+    let kv_block: usize = args.get("--kv-block", 0usize);
     let cfg = ServeConfig {
         slots: args.get("--slots", 4usize),
         overlap: !args.flag("--no-overlap"),
+        kv: if kv_block == 0 {
+            KvBackend::Slab
+        } else {
+            KvBackend::Paged { block: kv_block, prefix_reuse: args.flag("--prefix-reuse") }
+        },
+        slo_steps: args.maybe("--slo-steps"),
     };
     println!(
-        "serving {} params over {n} ranks | {} requests | {} slots | overlap {}",
+        "serving {} params over {n} ranks | {} requests ({}) | {} slots | kv {} | overlap {}",
         params.len(),
         requests.len(),
+        arrivals.describe(),
         cfg.slots,
+        match cfg.kv {
+            KvBackend::Slab => "slab".to_string(),
+            KvBackend::Paged { block, prefix_reuse } =>
+                format!("paged:{block}{}", if prefix_reuse { "+reuse" } else { "" }),
+        },
         cfg.overlap
     );
     let t0 = std::time::Instant::now();
@@ -174,8 +220,8 @@ fn main() {
     let rejected = report.outcomes().len() - completed.len();
     let tokens: u64 = completed.iter().map(|r| r.decode_steps).sum();
     println!(
-        "completed {} requests ({rejected} rejected), {} tokens in {:.2?} \
-         ({:.1} tok/s) over {} batch steps",
+        "completed {} requests ({rejected} rejected/shed), {} tokens in {:.2?} \
+         ({:.1} tok/s goodput) over {} batch steps",
         completed.len(),
         tokens,
         dt,
@@ -184,12 +230,15 @@ fn main() {
     );
     for r in &report.ranks {
         println!(
-            "  rank {}: shard {} B + transient peak {} B = {} B params, {} B KV slab, {} B gathered",
+            "  rank {}: shard {} B + transient peak {} B = {} B params, \
+             {} B KV arena ({} B allocated, {} prefix rows reused), {} B gathered",
             r.rank,
             r.persistent_param_bytes,
             r.transient_param_bytes_peak,
             r.param_bytes_peak,
-            r.kv_slab_bytes,
+            r.kv_arena_bytes,
+            r.kv_meters.bytes_allocated,
+            r.kv_meters.prefix_hit_rows + r.kv_meters.prefix_cow_rows,
             r.gather_bytes
         );
     }
@@ -218,10 +267,14 @@ fn main() {
         .iter()
         .filter_map(|o| o.rejection())
         .collect();
-    if rejections.len() != 2 {
-        fail(&format!("expected 2 typed rejections, got {}", rejections.len()));
-    }
     use zero::serve::ServeError;
+    let typed = rejections
+        .iter()
+        .filter(|e| !matches!(e, ServeError::Overloaded { .. }))
+        .count();
+    if typed != 2 {
+        fail(&format!("expected 2 typed malformed-request rejections, got {typed}"));
+    }
     if !rejections.iter().any(|e| matches!(e, ServeError::TokenOutOfVocab { .. })) {
         fail("out-of-vocab request did not get TokenOutOfVocab");
     }
@@ -277,5 +330,55 @@ fn main() {
         fail("serve plan does not gather each unit exactly once");
     }
 
-    println!("smoke OK: rejection typing, plan/trace/traffic reconciliation, bitwise outputs, memory bound");
+    // 7. KV-backend equivalence. Without prefix reuse, paged KV is a
+    // pure memory-layout change: the whole schedule — tokens, completion
+    // steps, step count, rejections — must reproduce bit for bit. With
+    // reuse on, prefill skipping may finish requests earlier (that is
+    // the optimization), but the greedy tokens still must not move.
+    let strict_cfg = ServeConfig {
+        kv: KvBackend::Paged { block: kv_block.max(8), prefix_reuse: false },
+        ..cfg
+    };
+    let strict = serve(&model, &shards, &requests, &strict_cfg);
+    if let Err(e) = strict.check_ranks_agree() {
+        fail(&e);
+    }
+    if strict.ranks[0].batch_steps != report.ranks[0].batch_steps {
+        fail("paged KV (no reuse) changed the step count");
+    }
+    for (a, b) in report.outcomes().iter().zip(strict.outcomes()) {
+        match (a.response(), b.response()) {
+            (Some(ra), Some(rb)) => {
+                if ra.tokens != rb.tokens || ra.completion_step != rb.completion_step {
+                    fail(&format!("request {}: paged KV diverged from the slab", ra.id));
+                }
+            }
+            (None, None) => {
+                if a.rejection() != b.rejection() {
+                    fail("paged KV changed a rejection reason");
+                }
+            }
+            _ => fail("paged KV changed an outcome's terminal state"),
+        }
+    }
+    let reuse_cfg = ServeConfig {
+        kv: KvBackend::Paged { block: kv_block.max(8), prefix_reuse: true },
+        ..cfg
+    };
+    let reuse = serve(&model, &shards, &requests, &reuse_cfg);
+    if let Err(e) = reuse.check_ranks_agree() {
+        fail(&e);
+    }
+    for (a, b) in report.outcomes().iter().zip(reuse.outcomes()) {
+        if let (Some(ra), Some(rb)) = (a.response(), b.response()) {
+            if ra.tokens != rb.tokens {
+                fail(&format!("request {}: prefix reuse changed the tokens", ra.id));
+            }
+        }
+    }
+
+    println!(
+        "smoke OK: rejection typing, plan/trace/traffic reconciliation, bitwise outputs, \
+         memory bound, KV-backend equivalence"
+    );
 }

@@ -34,10 +34,12 @@ fn reference_greedy(model: &ModelConfig, params: &[f32], req: &ServeRequest) -> 
 
 fn requests(n_req: usize, max_new: usize, vocab: usize) -> Vec<ServeRequest> {
     (0..n_req)
-        .map(|i| ServeRequest {
-            id: i as u64,
-            prompt: (0..2 + i % 3).map(|j| ((i * 13 + j * 7 + 2) % vocab) as u32).collect(),
-            max_new_tokens: max_new,
+        .map(|i| {
+            ServeRequest::new(
+                i as u64,
+                (0..2 + i % 3).map(|j| ((i * 13 + j * 7 + 2) % vocab) as u32).collect(),
+                max_new,
+            )
         })
         .collect()
 }
@@ -132,10 +134,10 @@ fn malformed_requests_get_typed_errors_end_to_end() {
     let model = ModelConfig { vocab: 24, seq: 12, hidden: 16, layers: 2, heads: 2 };
     let params = init_full_params(&model, 5);
     let mut reqs = requests(3, 3, model.vocab);
-    reqs.push(ServeRequest { id: 90, prompt: vec![99], max_new_tokens: 2 });
-    reqs.push(ServeRequest { id: 91, prompt: vec![], max_new_tokens: 2 });
-    reqs.push(ServeRequest { id: 92, prompt: vec![1; 12], max_new_tokens: 12 });
-    reqs.push(ServeRequest { id: 93, prompt: vec![1], max_new_tokens: 0 });
+    reqs.push(ServeRequest::new(90, vec![99], 2));
+    reqs.push(ServeRequest::new(91, vec![], 2));
+    reqs.push(ServeRequest::new(92, vec![1; 12], 12)); // 12 + 12 − 1 > seq
+    reqs.push(ServeRequest::new(93, vec![1], 0));
 
     for n in [1, 2, 3] {
         let report = serve(&model, &shard(&params, n), &reqs, &ServeConfig::default());
@@ -174,7 +176,7 @@ fn serving_traffic_matches_plan_and_trace_byte_exactly() {
     let params = init_full_params(&model, 11);
     let reqs = requests(4, 3, model.vocab);
     for overlap in [false, true] {
-        let cfg = ServeConfig { slots: 2, overlap };
+        let cfg = ServeConfig { slots: 2, overlap, ..ServeConfig::default() };
         let report = serve(&model, &shard(&params, 3), &reqs, &cfg);
         for rank in &report.ranks {
             let want = report.expected_gather_bytes(rank.rank);
